@@ -1,0 +1,309 @@
+//! The RIPE Atlas API JSON wire format.
+//!
+//! The paper's published toolchain ingests traceroute results as served by
+//! the Atlas API: one JSON object per traceroute with `prb_id`, `msm_id`,
+//! `timestamp`, and a `result` array of hops, each hop holding a `result`
+//! array of reply objects — `{"from": "...", "rtt": 12.3, ...}` for an
+//! answer or `{"x": "*"}` for a timeout.
+//!
+//! [`AtlasTraceroute`] mirrors that shape field-for-field (unknown fields
+//! are ignored on input, standard fields are emitted on output), and
+//! converts losslessly to and from the internal
+//! [`TracerouteResult`] model. This keeps the reproduction's analysis
+//! pipeline wire-compatible: point it at real Atlas JSON and it parses.
+
+use crate::probe::ProbeId;
+use crate::traceroute::{Hop, Reply, TracerouteResult};
+use lastmile_timebase::UnixTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::IpAddr;
+
+/// One reply entry in the Atlas `result` array.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq)]
+pub struct AtlasReply {
+    /// Responding address (absent for timeouts).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub from: Option<String>,
+    /// Round-trip time in milliseconds (absent for timeouts).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub rtt: Option<f64>,
+    /// `"*"` marker on timeouts.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub x: Option<String>,
+    /// Reply size in bytes (cosmetic; emitted for realism).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub size: Option<u32>,
+    /// Reply TTL (cosmetic).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub ttl: Option<u8>,
+}
+
+/// One hop entry in the Atlas `result` array.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct AtlasHop {
+    /// 1-based hop (TTL).
+    pub hop: u8,
+    /// Replies for this hop.
+    pub result: Vec<AtlasReply>,
+}
+
+/// A complete Atlas traceroute document.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct AtlasTraceroute {
+    /// Probe firmware version (cosmetic).
+    pub fw: u32,
+    /// Address family: 4 or 6.
+    pub af: u8,
+    /// Destination address.
+    pub dst_addr: String,
+    /// The probe's source address (usually private).
+    pub src_addr: String,
+    /// The probe's public address as seen by Atlas infrastructure.
+    pub from: String,
+    /// Measurement id.
+    pub msm_id: u32,
+    /// Probe id.
+    pub prb_id: u32,
+    /// Unix timestamp of the run.
+    pub timestamp: i64,
+    /// Probe protocol, e.g. `ICMP` or `UDP`.
+    pub proto: String,
+    /// Always `"traceroute"`.
+    #[serde(rename = "type")]
+    pub kind: String,
+    /// Hops.
+    pub result: Vec<AtlasHop>,
+}
+
+/// Errors converting wire JSON into the internal model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConvertError {
+    /// `dst_addr` or `src_addr` is not a valid IP address.
+    BadAddress(String),
+    /// The document is not a traceroute.
+    NotATraceroute(String),
+}
+
+impl fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvertError::BadAddress(s) => write!(f, "invalid address in Atlas document: {s}"),
+            ConvertError::NotATraceroute(k) => write!(f, "expected a traceroute document, got {k}"),
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {}
+
+impl AtlasTraceroute {
+    /// Convert wire format to the internal model.
+    ///
+    /// Reply entries with unparsable `from` addresses are treated as
+    /// timeouts (defensive: real Atlas data contains occasional garbage),
+    /// but a bad `dst_addr`/`src_addr` fails the whole document.
+    pub fn to_model(&self) -> Result<TracerouteResult, ConvertError> {
+        if self.kind != "traceroute" {
+            return Err(ConvertError::NotATraceroute(self.kind.clone()));
+        }
+        let dst: IpAddr = self
+            .dst_addr
+            .parse()
+            .map_err(|_| ConvertError::BadAddress(self.dst_addr.clone()))?;
+        let src: IpAddr = self
+            .src_addr
+            .parse()
+            .map_err(|_| ConvertError::BadAddress(self.src_addr.clone()))?;
+        let hops = self
+            .result
+            .iter()
+            .map(|h| Hop {
+                hop: h.hop,
+                replies: h
+                    .result
+                    .iter()
+                    .map(|r| {
+                        let from = r.from.as_deref().and_then(|s| s.parse().ok());
+                        match (from, r.rtt) {
+                            (Some(a), Some(rtt)) => Reply::answered(a, rtt),
+                            _ => Reply::timeout(),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        Ok(TracerouteResult {
+            probe: ProbeId(self.prb_id),
+            msm_id: self.msm_id,
+            timestamp: UnixTime::from_secs(self.timestamp),
+            dst,
+            src,
+            hops,
+        })
+    }
+
+    /// Build the wire format from the internal model. `public_addr` fills
+    /// the Atlas `from` field (the probe's public address).
+    pub fn from_model(tr: &TracerouteResult, public_addr: IpAddr) -> AtlasTraceroute {
+        AtlasTraceroute {
+            fw: 5080,
+            af: if tr.dst.is_ipv4() { 4 } else { 6 },
+            dst_addr: tr.dst.to_string(),
+            src_addr: tr.src.to_string(),
+            from: public_addr.to_string(),
+            msm_id: tr.msm_id,
+            prb_id: tr.probe.0,
+            timestamp: tr.timestamp.as_secs(),
+            proto: "ICMP".to_string(),
+            kind: "traceroute".to_string(),
+            result: tr
+                .hops
+                .iter()
+                .map(|h| AtlasHop {
+                    hop: h.hop,
+                    result: h
+                        .replies
+                        .iter()
+                        .map(|r| match (r.from, r.rtt_ms) {
+                            (Some(a), Some(rtt)) => AtlasReply {
+                                from: Some(a.to_string()),
+                                rtt: Some(rtt),
+                                x: None,
+                                size: Some(28),
+                                ttl: Some(64 - h.hop.min(63)),
+                            },
+                            _ => AtlasReply {
+                                x: Some("*".to_string()),
+                                ..Default::default()
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Parse one Atlas JSON document into the internal model.
+pub fn parse_traceroute(json: &str) -> Result<TracerouteResult, Box<dyn std::error::Error>> {
+    let doc: AtlasTraceroute = serde_json::from_str(json)?;
+    Ok(doc.to_model()?)
+}
+
+/// Parse a JSON array of Atlas documents (the API's list form).
+pub fn parse_traceroutes(json: &str) -> Result<Vec<TracerouteResult>, Box<dyn std::error::Error>> {
+    let docs: Vec<AtlasTraceroute> = serde_json::from_str(json)?;
+    docs.iter()
+        .map(|d| d.to_model().map_err(Into::into))
+        .collect()
+}
+
+/// Serialise one internal traceroute to Atlas JSON.
+pub fn to_atlas_json(tr: &TracerouteResult, public_addr: IpAddr) -> String {
+    serde_json::to_string(&AtlasTraceroute::from_model(tr, public_addr))
+        .expect("traceroute serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A real-shaped Atlas document (trimmed).
+    const SAMPLE: &str = r#"{
+        "fw": 4790, "af": 4,
+        "dst_addr": "193.0.14.129",
+        "src_addr": "192.168.1.10",
+        "from": "20.0.0.55",
+        "msm_id": 5001, "prb_id": 6042,
+        "timestamp": 1567296000,
+        "proto": "ICMP", "type": "traceroute",
+        "result": [
+            {"hop": 1, "result": [
+                {"from": "192.168.1.1", "rtt": 0.5, "size": 28, "ttl": 64},
+                {"from": "192.168.1.1", "rtt": 0.62, "size": 28, "ttl": 64},
+                {"from": "192.168.1.1", "rtt": 0.48, "size": 28, "ttl": 64}
+            ]},
+            {"hop": 2, "result": [
+                {"from": "20.0.0.1", "rtt": 5.1, "size": 28, "ttl": 63},
+                {"x": "*"},
+                {"from": "20.0.0.1", "rtt": 4.9, "size": 28, "ttl": 63}
+            ]}
+        ]
+    }"#;
+
+    #[test]
+    fn parses_atlas_shaped_json() {
+        let tr = parse_traceroute(SAMPLE).unwrap();
+        assert_eq!(tr.probe, ProbeId(6042));
+        assert_eq!(tr.msm_id, 5001);
+        assert_eq!(tr.timestamp.as_secs(), 1_567_296_000);
+        assert_eq!(tr.hops.len(), 2);
+        assert_eq!(tr.hops[0].replies.len(), 3);
+        assert!(tr.hops[1].replies[1].from.is_none(), "timeout preserved");
+        assert_eq!(tr.edge_address().unwrap().to_string(), "20.0.0.1");
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored() {
+        let json = SAMPLE.replacen(
+            "\"fw\": 4790,",
+            "\"fw\": 4790, \"lts\": 22, \"group_id\": 5001,",
+            1,
+        );
+        assert!(parse_traceroute(&json).is_ok());
+    }
+
+    #[test]
+    fn round_trip_through_wire_format() {
+        let tr = parse_traceroute(SAMPLE).unwrap();
+        let json = to_atlas_json(&tr, "20.0.0.55".parse().unwrap());
+        let back = parse_traceroute(&json).unwrap();
+        assert_eq!(back, tr);
+    }
+
+    #[test]
+    fn array_form_parses() {
+        let json = format!("[{SAMPLE},{SAMPLE}]");
+        let list = parse_traceroutes(&json).unwrap();
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn rejects_non_traceroute_type() {
+        let json = SAMPLE.replace("\"type\": \"traceroute\"", "\"type\": \"ping\"");
+        let doc: AtlasTraceroute = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            doc.to_model().unwrap_err(),
+            ConvertError::NotATraceroute("ping".into())
+        );
+    }
+
+    #[test]
+    fn rejects_bad_dst_addr() {
+        let json = SAMPLE.replace("193.0.14.129", "not-an-ip");
+        let doc: AtlasTraceroute = serde_json::from_str(&json).unwrap();
+        assert!(matches!(
+            doc.to_model().unwrap_err(),
+            ConvertError::BadAddress(_)
+        ));
+    }
+
+    #[test]
+    fn garbage_reply_address_degrades_to_timeout() {
+        let json = SAMPLE.replace(
+            "\"from\": \"20.0.0.1\", \"rtt\": 5.1",
+            "\"from\": \"bogus\", \"rtt\": 5.1",
+        );
+        let tr = parse_traceroute(&json).unwrap();
+        assert!(!tr.hops[1].replies[0].is_answered());
+        // The hop still has one good reply.
+        assert_eq!(tr.hops[1].rtts().count(), 1);
+    }
+
+    #[test]
+    fn timeout_serializes_as_star() {
+        let tr = parse_traceroute(SAMPLE).unwrap();
+        let json = to_atlas_json(&tr, "20.0.0.55".parse().unwrap());
+        assert!(json.contains(r#"{"x":"*"}"#), "{json}");
+    }
+}

@@ -1,0 +1,347 @@
+//! The built-in measurement catalogue and schedule.
+//!
+//! §2 of the paper: "We fetched data from the 22 IPv4 built-in traceroute
+//! measurements to obtain a steady number of RTT samples. These
+//! measurements are executed by all probes towards all root DNS servers
+//! and RIPE Atlas controllers every 30 minutes, and two randomly selected
+//! addresses every 15 minutes." And §2.1: "every 30 minutes we obtain 24
+//! traceroutes".
+//!
+//! The catalogue therefore contains:
+//!
+//! * 13 root DNS server targets, every 30 minutes;
+//! *  7 Atlas controller/infrastructure targets, every 30 minutes;
+//! *  2 "random address" measurements, every 15 minutes (firing twice per
+//!    30-minute bin).
+//!
+//! 13 + 7 = 20 runs at the 30-minute cadence plus 2 × 2 runs at the
+//! 15-minute cadence = **24 traceroutes per probe per 30-minute bin**,
+//! from **22** measurement definitions — both of the paper's numbers.
+//!
+//! Scheduling is deterministic: each (probe, measurement) pair gets a
+//! stable pseudo-random phase offset inside its period, mirroring how
+//! Atlas spreads built-in load rather than firing all probes in sync.
+
+use crate::probe::ProbeId;
+use lastmile_timebase::{TimeRange, UnixTime};
+use serde::{Deserialize, Serialize};
+use std::net::{IpAddr, Ipv4Addr};
+
+/// An Atlas measurement identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct MeasurementId(pub u32);
+
+/// What kind of target a built-in measurement probes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TargetKind {
+    /// One of the 13 root DNS servers (a-m).
+    RootDns(u8),
+    /// RIPE Atlas controller / infrastructure.
+    Controller(u8),
+    /// The "two randomly selected addresses" measurements.
+    RandomAddress(u8),
+}
+
+/// One built-in measurement definition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BuiltinMeasurement {
+    /// Measurement id (stable, Atlas-style 5xxx).
+    pub id: MeasurementId,
+    /// Target class.
+    pub kind: TargetKind,
+    /// Destination address probed.
+    pub target: IpAddr,
+    /// Period between runs, in seconds (1800 or 900).
+    pub period_secs: i64,
+}
+
+/// One scheduled traceroute execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ScheduledRun {
+    /// The measurement being run.
+    pub msm_id: MeasurementId,
+    /// Target class of the measurement.
+    pub kind: TargetKind,
+    /// Destination address.
+    pub target: IpAddr,
+    /// When the traceroute starts.
+    pub at: UnixTime,
+}
+
+impl BuiltinMeasurement {
+    /// Address family of the target (4 or 6).
+    pub fn af(&self) -> u8 {
+        if self.target.is_ipv4() {
+            4
+        } else {
+            6
+        }
+    }
+}
+
+impl ScheduledRun {
+    /// Address family of the target (4 or 6).
+    pub fn af(&self) -> u8 {
+        if self.target.is_ipv4() {
+            4
+        } else {
+            6
+        }
+    }
+}
+
+/// The full built-in catalogue.
+#[derive(Clone, Debug)]
+pub struct BuiltinCatalogue {
+    measurements: Vec<BuiltinMeasurement>,
+}
+
+impl BuiltinCatalogue {
+    /// The standard 22-measurement catalogue described in the paper.
+    ///
+    /// Target addresses are synthetic but stable; what matters to the
+    /// pipeline is their count and cadence, not their values.
+    pub fn standard() -> BuiltinCatalogue {
+        let mut measurements = Vec::with_capacity(22);
+        // 13 root DNS servers, every 30 minutes (msm 5001..5013).
+        for i in 0..13u8 {
+            measurements.push(BuiltinMeasurement {
+                id: MeasurementId(5001 + u32::from(i)),
+                kind: TargetKind::RootDns(i),
+                target: IpAddr::V4(Ipv4Addr::new(193, 0, 14, 129 + i)),
+                period_secs: 1800,
+            });
+        }
+        // 7 controllers, every 30 minutes (msm 5020..5026).
+        for i in 0..7u8 {
+            measurements.push(BuiltinMeasurement {
+                id: MeasurementId(5020 + u32::from(i)),
+                kind: TargetKind::Controller(i),
+                target: IpAddr::V4(Ipv4Addr::new(193, 0, 19, 1 + i)),
+                period_secs: 1800,
+            });
+        }
+        // 2 random-address measurements, every 15 minutes (msm 5051, 5052).
+        for i in 0..2u8 {
+            measurements.push(BuiltinMeasurement {
+                id: MeasurementId(5051 + u32::from(i)),
+                kind: TargetKind::RandomAddress(i),
+                target: IpAddr::V4(Ipv4Addr::new(193, 0, 21, 1 + i)),
+                period_secs: 900,
+            });
+        }
+        BuiltinCatalogue { measurements }
+    }
+
+    /// The IPv6 built-in catalogue: the 13 root DNS servers probed over
+    /// IPv6 every 30 minutes (Atlas msm 6001–6013). Only probes with IPv6
+    /// connectivity run these; the paper's delay analysis uses the IPv4
+    /// set, but the platform (and this model) carries both.
+    pub fn standard_v6() -> BuiltinCatalogue {
+        let mut measurements = Vec::with_capacity(13);
+        for i in 0..13u8 {
+            let bits: u128 = (0x2001_0500u128 << 96) | u128::from(i);
+            measurements.push(BuiltinMeasurement {
+                id: MeasurementId(6001 + u32::from(i)),
+                kind: TargetKind::RootDns(i),
+                target: IpAddr::V6(std::net::Ipv6Addr::from(bits)),
+                period_secs: 1800,
+            });
+        }
+        BuiltinCatalogue { measurements }
+    }
+
+    /// Number of measurement definitions (22 for the standard catalogue).
+    pub fn len(&self) -> usize {
+        self.measurements.len()
+    }
+
+    /// Whether the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.measurements.is_empty()
+    }
+
+    /// The measurement definitions.
+    pub fn measurements(&self) -> &[BuiltinMeasurement] {
+        &self.measurements
+    }
+
+    /// Expected traceroutes per probe per 30-minute bin (24 for the
+    /// standard catalogue).
+    pub fn runs_per_30min(&self) -> usize {
+        self.measurements
+            .iter()
+            .map(|m| (1800 / m.period_secs) as usize)
+            .sum()
+    }
+
+    /// All runs of all measurements for `probe` within `window`, in
+    /// chronological order.
+    ///
+    /// Each (probe, measurement) pair runs with a stable phase offset
+    /// inside its period so a fleet of probes does not fire synchronously
+    /// (as on the real platform).
+    pub fn schedule(
+        &self,
+        probe: ProbeId,
+        window: &TimeRange,
+    ) -> impl Iterator<Item = ScheduledRun> + '_ {
+        let window = *window;
+        let mut runs: Vec<ScheduledRun> = self
+            .measurements
+            .iter()
+            .flat_map(move |m| {
+                let phase = phase_offset(probe, m.id, m.period_secs);
+                // First run at or after window.start with this phase.
+                let start = window.start().as_secs();
+                let k = (start - phase).div_euclid(m.period_secs)
+                    + i64::from((start - phase).rem_euclid(m.period_secs) != 0);
+                let first = k * m.period_secs + phase;
+                (0..)
+                    .map(move |j| UnixTime::from_secs(first + j * m.period_secs))
+                    .take_while(move |t| window.contains(*t))
+                    .map(move |t| ScheduledRun {
+                        msm_id: m.id,
+                        kind: m.kind,
+                        target: m.target,
+                        at: t,
+                    })
+            })
+            .collect();
+        runs.sort_by_key(|r| (r.at, r.msm_id));
+        runs.into_iter()
+    }
+}
+
+/// Deterministic per-(probe, measurement) phase in `[0, period)`.
+fn phase_offset(probe: ProbeId, msm: MeasurementId, period: i64) -> i64 {
+    let mut x = (u64::from(probe.0) << 32) ^ u64::from(msm.0);
+    // splitmix64 scramble.
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^= x >> 31;
+    (x % period as u64) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_catalogue_matches_paper_counts() {
+        let c = BuiltinCatalogue::standard();
+        assert_eq!(c.len(), 22);
+        assert_eq!(c.runs_per_30min(), 24);
+        let roots = c
+            .measurements()
+            .iter()
+            .filter(|m| matches!(m.kind, TargetKind::RootDns(_)))
+            .count();
+        assert_eq!(roots, 13);
+    }
+
+    #[test]
+    fn msm_ids_are_unique() {
+        let c = BuiltinCatalogue::standard();
+        let mut ids: Vec<u32> = c.measurements().iter().map(|m| m.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 22);
+    }
+
+    #[test]
+    fn v6_catalogue_has_13_roots_at_30min() {
+        let c = BuiltinCatalogue::standard_v6();
+        assert_eq!(c.len(), 13);
+        assert!(c.measurements().iter().all(|m| m.af() == 6));
+        assert!(c.measurements().iter().all(|m| m.period_secs == 1800));
+        assert_eq!(c.runs_per_30min(), 13);
+        let w = TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(1800));
+        assert_eq!(c.schedule(ProbeId(4), &w).count(), 13);
+        // Disjoint id space from the v4 catalogue.
+        let v4: std::collections::BTreeSet<u32> = BuiltinCatalogue::standard()
+            .measurements()
+            .iter()
+            .map(|m| m.id.0)
+            .collect();
+        assert!(c.measurements().iter().all(|m| !v4.contains(&m.id.0)));
+    }
+
+    #[test]
+    fn af_accessor() {
+        let v4 = BuiltinCatalogue::standard();
+        assert!(v4.measurements().iter().all(|m| m.af() == 4));
+    }
+
+    #[test]
+    fn thirty_minute_bin_has_24_runs() {
+        let c = BuiltinCatalogue::standard();
+        for probe in [1u32, 42, 9999] {
+            for bin_start in [0i64, 1800, 86_400] {
+                let w = TimeRange::new(
+                    UnixTime::from_secs(bin_start),
+                    UnixTime::from_secs(bin_start + 1800),
+                );
+                let n = c.schedule(ProbeId(probe), &w).count();
+                assert_eq!(n, 24, "probe {probe} bin {bin_start}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_day_has_1152_runs() {
+        let c = BuiltinCatalogue::standard();
+        let w = TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(86_400));
+        assert_eq!(c.schedule(ProbeId(7), &w).count(), 48 * 24);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_probe_dependent() {
+        let c = BuiltinCatalogue::standard();
+        let w = TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(3600));
+        let a: Vec<_> = c.schedule(ProbeId(1), &w).collect();
+        let b: Vec<_> = c.schedule(ProbeId(1), &w).collect();
+        assert_eq!(a, b, "same probe must schedule identically");
+        let other: Vec<_> = c.schedule(ProbeId(2), &w).collect();
+        assert_eq!(a.len(), other.len());
+        assert_ne!(
+            a.iter().map(|r| r.at).collect::<Vec<_>>(),
+            other.iter().map(|r| r.at).collect::<Vec<_>>(),
+            "different probes must be phase-shifted"
+        );
+    }
+
+    #[test]
+    fn runs_are_chronological_and_inside_window() {
+        let c = BuiltinCatalogue::standard();
+        let w = TimeRange::new(UnixTime::from_secs(10_000), UnixTime::from_secs(20_000));
+        let runs: Vec<_> = c.schedule(ProbeId(3), &w).collect();
+        assert!(!runs.is_empty());
+        for r in &runs {
+            assert!(w.contains(r.at));
+        }
+        for pair in runs.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn fifteen_minute_measurements_fire_twice_per_bin() {
+        let c = BuiltinCatalogue::standard();
+        let w = TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(1800));
+        let random_runs = c
+            .schedule(ProbeId(11), &w)
+            .filter(|r| matches!(r.kind, TargetKind::RandomAddress(_)))
+            .count();
+        assert_eq!(random_runs, 4); // 2 measurements x 2 firings
+    }
+
+    #[test]
+    fn empty_window_schedules_nothing() {
+        let c = BuiltinCatalogue::standard();
+        let w = TimeRange::new(UnixTime::from_secs(100), UnixTime::from_secs(100));
+        assert_eq!(c.schedule(ProbeId(1), &w).count(), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Probe identity and metadata.
+//!
+//! Three probe properties matter to the paper's filtering rules:
+//!
+//! * **anchors** are excluded — "this type of probe is usually located in
+//!   datacenters, thus without a typical last-mile connectivity" (§2); the
+//!   only use of anchors is Appendix B's probes-vs-anchor comparison;
+//! * **hardware version** — "v1 and v2 probes can be less reliable"; the
+//!   paper includes them for coverage in the large-scale survey (§3) but
+//!   avoids them in the Tokyo case study (§4);
+//! * **location** — §4 selects only probes in the Greater Tokyo Area, via
+//!   a geographic tag.
+
+use lastmile_prefix::Asn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::IpAddr;
+
+/// A RIPE Atlas probe identifier.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ProbeId(pub u32);
+
+impl fmt::Display for ProbeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prb{}", self.0)
+    }
+}
+
+/// Probe hardware generations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ProbeVersion {
+    /// First generation (Lantronix); least reliable timing.
+    V1,
+    /// Second generation; also flagged as less reliable by prior work.
+    V2,
+    /// Third generation and later (TP-Link/NanoPi); the reliable baseline.
+    V3,
+}
+
+impl ProbeVersion {
+    /// Whether prior work flags this generation's timing as less reliable
+    /// ("v1 and v2 probes can be less reliable", citing Holterbach et al.).
+    pub fn is_less_reliable(self) -> bool {
+        matches!(self, ProbeVersion::V1 | ProbeVersion::V2)
+    }
+}
+
+/// Static metadata of one probe.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Probe {
+    /// Probe identifier.
+    pub id: ProbeId,
+    /// Origin AS of the probe's public IPv4 address.
+    pub asn: Asn,
+    /// ISO 3166-1 alpha-2 country code, e.g. `JP`.
+    pub country: String,
+    /// Free-form geographic area tag (the paper uses the Greater Tokyo
+    /// Area: Tokyo, Yokohama, Chiba, Saitama). Empty when unknown.
+    pub area: String,
+    /// Whether this is an Atlas *anchor* (datacenter-hosted).
+    pub is_anchor: bool,
+    /// Hardware generation.
+    pub version: ProbeVersion,
+    /// The probe's public IPv4 address, used for the longest-prefix-match
+    /// ASN resolution when the first public hop is not announced in BGP.
+    pub public_addr: IpAddr,
+}
+
+impl Probe {
+    /// Whether the probe qualifies for last-mile analysis at all
+    /// (anchors never do).
+    pub fn has_last_mile(&self) -> bool {
+        !self.is_anchor
+    }
+
+    /// Whether the probe is inside the given area tag (case-insensitive).
+    pub fn in_area(&self, area: &str) -> bool {
+        self.area.eq_ignore_ascii_case(area)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(id: u32) -> Probe {
+        Probe {
+            id: ProbeId(id),
+            asn: 64500,
+            country: "JP".to_string(),
+            area: "Tokyo".to_string(),
+            is_anchor: false,
+            version: ProbeVersion::V3,
+            public_addr: "20.0.0.1".parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn anchors_have_no_last_mile() {
+        let mut p = probe(1);
+        assert!(p.has_last_mile());
+        p.is_anchor = true;
+        assert!(!p.has_last_mile());
+    }
+
+    #[test]
+    fn version_reliability_flags() {
+        assert!(ProbeVersion::V1.is_less_reliable());
+        assert!(ProbeVersion::V2.is_less_reliable());
+        assert!(!ProbeVersion::V3.is_less_reliable());
+    }
+
+    #[test]
+    fn area_matching_is_case_insensitive() {
+        let p = probe(1);
+        assert!(p.in_area("tokyo"));
+        assert!(p.in_area("Tokyo"));
+        assert!(!p.in_area("Yokohama"));
+    }
+
+    #[test]
+    fn probe_id_display_and_serde() {
+        let id = ProbeId(6042);
+        assert_eq!(id.to_string(), "prb6042");
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "6042"); // transparent: bare number like Atlas
+        assert_eq!(serde_json::from_str::<ProbeId>("6042").unwrap(), id);
+    }
+
+    #[test]
+    fn probe_serde_round_trip() {
+        let p = probe(77);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Probe = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

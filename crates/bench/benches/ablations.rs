@@ -1,0 +1,97 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+//!
+//! Each group compares the paper's choice against an alternative on the
+//! same input, measuring the *cost* side of the trade-off (the *quality*
+//! side is reported by `examples/ablations.rs`):
+//!
+//! * per-bin statistic: median (paper) vs mean;
+//! * bin width: 30 minutes (paper) vs 5 minutes;
+//! * Welch (averaged segments, paper) vs a single full-length periodogram;
+//! * sanity threshold ≥ 3 traceroutes/bin (paper) vs none.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lastmile_repro::core::pipeline::{AsPipeline, PipelineConfig};
+use lastmile_repro::dsp::welch::{welch_peak_to_peak, WelchConfig};
+use lastmile_repro::netsim::world::ProbeSpec;
+use lastmile_repro::netsim::{IspConfig, TracerouteEngine, World};
+use lastmile_repro::stats::{mean, median};
+use lastmile_repro::timebase::{BinSpec, MeasurementPeriod, TimeRange, TzOffset};
+
+fn bench_bin_statistic(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..216)
+        .map(|i| ((i * 2_654_435_761u64 as usize) % 997) as f64)
+        .collect();
+    let mut g = c.benchmark_group("ablation_bin_statistic");
+    g.bench_function("median_paper", |b| b.iter(|| median(black_box(&samples))));
+    g.bench_function("mean_alternative", |b| b.iter(|| mean(black_box(&samples))));
+    g.finish();
+}
+
+fn bench_bin_width(c: &mut Criterion) {
+    let mut b = World::builder(1);
+    b.add_isp(IspConfig::legacy_pppoe(
+        65001,
+        "ABL",
+        "JP",
+        TzOffset::JST,
+        4.0,
+    ));
+    b.add_probes(65001, 2, &ProbeSpec::simple());
+    let world = b.build();
+    let engine = TracerouteEngine::new(&world);
+    let full = MeasurementPeriod::september_2019();
+    let window = TimeRange::new(full.start(), full.start() + 2 * 86_400);
+    let mut trs = Vec::new();
+    for probe in world.probes() {
+        engine.for_each_traceroute(probe, &window, |tr| trs.push(tr));
+    }
+    let mut g = c.benchmark_group("ablation_bin_width");
+    for (name, bin, min_tr) in [
+        ("30min_paper", BinSpec::thirty_minutes(), 3usize),
+        ("5min_alternative", BinSpec::new(300), 1),
+        ("no_sanity_filter", BinSpec::thirty_minutes(), 1),
+    ] {
+        g.bench_function(name, |bch| {
+            bch.iter(|| {
+                let mut cfg = PipelineConfig::paper();
+                cfg.bin = bin;
+                cfg.min_traceroutes_per_bin = min_tr;
+                let mut p = AsPipeline::new(cfg, window);
+                for tr in &trs {
+                    p.ingest(black_box(tr));
+                }
+                p.finish().probes_used()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_welch_vs_plain_periodogram(c: &mut Criterion) {
+    let signal: Vec<f64> = (0..720)
+        .map(|i| {
+            (core::f64::consts::TAU * i as f64 / 48.0).sin() * 2.0 + 0.3 * ((i * 7) as f64).sin()
+        })
+        .collect();
+    let mut g = c.benchmark_group("ablation_spectral");
+    let welch = WelchConfig::for_daily_analysis(2.0);
+    g.bench_function("welch_4day_segments_paper", |b| {
+        b.iter(|| welch_peak_to_peak(black_box(&signal), &welch).unwrap())
+    });
+    let plain = WelchConfig {
+        segment_len: signal.len(),
+        ..welch.clone()
+    };
+    g.bench_function("single_periodogram_alternative", |b| {
+        b.iter(|| welch_peak_to_peak(black_box(&signal), &plain).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bin_statistic,
+    bench_bin_width,
+    bench_welch_vs_plain_periodogram
+);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Component benchmarks: the building blocks every experiment leans on.
+//!
+//! Covers the FFT (radix-2 and Bluestein lengths), the Welch estimator on
+//! a measurement-period-sized signal, median aggregation, longest-prefix
+//! matching, the last-mile estimator, the traceroute engine, and the
+//! Atlas JSON codec.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lastmile_repro::atlas::json::{parse_traceroute, to_atlas_json};
+use lastmile_repro::core::estimator::last_mile_samples;
+use lastmile_repro::dsp::fft::fft;
+use lastmile_repro::dsp::welch::{welch_peak_to_peak, WelchConfig};
+use lastmile_repro::dsp::Complex;
+use lastmile_repro::netsim::world::ProbeSpec;
+use lastmile_repro::netsim::{IspConfig, TracerouteEngine, World};
+use lastmile_repro::prefix::{Prefix, PrefixTrie};
+use lastmile_repro::stats::{median, spearman};
+use lastmile_repro::timebase::{TimeRange, TzOffset, UnixTime};
+
+fn small_world() -> World {
+    let mut b = World::builder(1);
+    b.add_isp(IspConfig::legacy_pppoe(
+        65001,
+        "BENCH",
+        "JP",
+        TzOffset::JST,
+        4.0,
+    ));
+    b.add_probes(65001, 2, &ProbeSpec::simple());
+    b.build()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [64usize, 192, 256, 720, 1024] {
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| fft(black_box(x)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_welch(c: &mut Criterion) {
+    // A 15-day aggregated queuing-delay signal (720 half-hour bins).
+    let signal: Vec<f64> = (0..720)
+        .map(|i| (core::f64::consts::TAU * i as f64 / 48.0).sin() + 0.1 * (i as f64).sin())
+        .collect();
+    let cfg = WelchConfig::for_daily_analysis(2.0);
+    c.bench_function("welch/15day_signal", |b| {
+        b.iter(|| welch_peak_to_peak(black_box(&signal), &cfg).unwrap())
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..216)
+        .map(|i| (i as f64 * 0.7).sin() * 5.0 + 10.0)
+        .collect();
+    c.bench_function("stats/median_216_samples", |b| {
+        b.iter(|| median(black_box(&samples)))
+    });
+    let x: Vec<f64> = (0..768).map(|i| (i as f64 * 0.1).sin()).collect();
+    let y: Vec<f64> = (0..768).map(|i| (i as f64 * 0.1).cos()).collect();
+    c.bench_function("stats/spearman_768_bins", |b| {
+        b.iter(|| spearman(black_box(&x), black_box(&y)))
+    });
+}
+
+fn bench_prefix_trie(c: &mut Criterion) {
+    // A BGP-scale-ish table: 100k prefixes.
+    let mut trie: PrefixTrie<u32> = PrefixTrie::new();
+    let mut count = 0u32;
+    'outer: for a in 1..224u32 {
+        for b in 0..255u32 {
+            if matches!(a, 10 | 100 | 127 | 169 | 172 | 192 | 198 | 203) {
+                continue;
+            }
+            let p: Prefix = format!("{a}.{b}.0.0/16").parse().unwrap();
+            trie.insert(p, count);
+            count += 1;
+            if count >= 100_000 {
+                break 'outer;
+            }
+        }
+    }
+    let addrs: Vec<std::net::IpAddr> = (0..1000)
+        .map(|i| {
+            std::net::IpAddr::V4(std::net::Ipv4Addr::from(
+                0x0100_0000u32.wrapping_add(i * 2_654_435_761),
+            ))
+        })
+        .collect();
+    c.bench_function("prefix/lpm_lookup_100k_table", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for &a in &addrs {
+                if trie.lookup(black_box(a)).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_engine_and_estimator(c: &mut Criterion) {
+    let world = small_world();
+    let engine = TracerouteEngine::new(&world);
+    let probe = &world.probes()[0];
+    let hour = TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(3600));
+    c.bench_function("engine/one_probe_hour", |b| {
+        b.iter(|| engine.probe_traceroutes(black_box(probe), &hour).len())
+    });
+
+    let trs = engine.probe_traceroutes(probe, &hour);
+    let tr = trs.iter().find(|t| t.has_last_mile_span()).unwrap();
+    c.bench_function("estimator/last_mile_samples", |b| {
+        b.iter(|| last_mile_samples(black_box(tr)))
+    });
+
+    let json = to_atlas_json(tr, probe.meta.public_addr);
+    c.bench_function("atlas/json_parse", |b| {
+        b.iter(|| parse_traceroute(black_box(&json)).unwrap())
+    });
+    c.bench_function("atlas/json_emit", |b| {
+        b.iter(|| to_atlas_json(black_box(tr), probe.meta.public_addr))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_welch,
+    bench_stats,
+    bench_prefix_trie,
+    bench_engine_and_estimator
+);
+criterion_main!(benches);

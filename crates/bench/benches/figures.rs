@@ -1,0 +1,181 @@
+//! Per-figure benchmarks: each bench runs the regeneration workload of
+//! one paper figure at a reduced-but-structurally-identical scale, so a
+//! performance regression in any stage of any experiment is caught here.
+//!
+//! The full-scale regenerations live in the `lastmile-experiments` binary;
+//! these benches share the same code paths through `lastmile_repro`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lastmile_repro::cdnlog::{
+    binned_median_throughput, CdnGeneratorConfig, CdnLogGenerator, LogFilter,
+};
+use lastmile_repro::core::correlate::{delay_throughput_rho, join_by_time};
+use lastmile_repro::core::pipeline::PipelineConfig;
+use lastmile_repro::dsp::welch::{welch_peak_to_peak, WelchConfig};
+use lastmile_repro::netsim::scenarios::anchor::{anchor_world, ISP_D_ASN};
+use lastmile_repro::netsim::scenarios::examples::{fig1_world, ISP_US_ASN};
+use lastmile_repro::netsim::scenarios::survey::{survey_world, SurveyConfig};
+use lastmile_repro::netsim::scenarios::tokyo::{tokyo_world, ISP_A_ASN, ISP_C_ASN};
+use lastmile_repro::netsim::ServiceClass;
+use lastmile_repro::runner::{
+    analyze_population, eyeballs_from_ground_truth, run_survey, ProbeSelection, SurveyOptions,
+};
+use lastmile_repro::timebase::{BinSpec, MeasurementPeriod, TimeRange};
+
+/// A 4-day slice of a period: long enough for one Welch segment, short
+/// enough to benchmark.
+fn short_window() -> MeasurementPeriod {
+    let full = MeasurementPeriod::september_2019();
+    MeasurementPeriod::custom(TimeRange::new(full.start(), full.start() + 4 * 86_400))
+}
+
+fn fig1_fig2(c: &mut Criterion) {
+    // Figures 1+2 share the ISP_DE/ISP_US world; bench ISP_US (hundreds
+    // of probes) over 4 days, detection included. Each iteration costs
+    // ~1.5 s, so the sample count is capped.
+    let world = fig1_world(1);
+    let window = short_window();
+    let mut g = c.benchmark_group("fig1_2");
+    g.sample_size(10);
+    g.bench_function("isp_us_4days", |b| {
+        b.iter(|| {
+            let a = analyze_population(
+                &world,
+                black_box(ISP_US_ASN),
+                &window,
+                PipelineConfig::paper(),
+                &ProbeSelection::regular(),
+            );
+            a.aggregated.fold_weekly().len()
+        })
+    });
+    g.finish();
+    // The Figure 2 spectral step alone.
+    let analysis = analyze_population(
+        &world,
+        ISP_US_ASN,
+        &window,
+        PipelineConfig::paper(),
+        &ProbeSelection::regular(),
+    );
+    let signal = analysis.aggregated.contiguous().expect("coverage is high");
+    let cfg = WelchConfig::for_daily_analysis(2.0);
+    c.bench_function("fig1_2/periodogram", |b| {
+        b.iter(|| welch_peak_to_peak(black_box(&signal), &cfg).unwrap())
+    });
+}
+
+fn fig3_fig4_survey(c: &mut Criterion) {
+    // Figures 3+4 and the summary share the survey loop: bench a 24-AS
+    // survey over one 4-day window.
+    let scenario = survey_world(&SurveyConfig::test_scale(5, 24));
+    let eyeballs = eyeballs_from_ground_truth(&scenario.ground_truth);
+    let window = [short_window()];
+    let mut g = c.benchmark_group("fig3_4");
+    g.sample_size(10);
+    g.bench_function("survey_24as_4days", |b| {
+        b.iter(|| {
+            run_survey(
+                &scenario.world,
+                black_box(&window),
+                &eyeballs,
+                &SurveyOptions::default(),
+            )
+            .rows()
+            .len()
+        })
+    });
+    g.finish();
+}
+
+fn fig5_delays(c: &mut Criterion) {
+    let world = tokyo_world(1);
+    let window = short_window();
+    c.bench_function("fig5/tokyo_isp_a_4days", |b| {
+        b.iter(|| {
+            analyze_population(
+                &world,
+                black_box(ISP_A_ASN),
+                &window,
+                PipelineConfig::paper(),
+                &ProbeSelection::in_area("Tokyo"),
+            )
+            .probes_used()
+        })
+    });
+}
+
+fn fig6_fig9_throughput(c: &mut Criterion) {
+    let world = tokyo_world(1);
+    let cdn = CdnLogGenerator::new(&world, CdnGeneratorConfig::test_scale(2));
+    let window = short_window();
+    c.bench_function("fig6_9/cdn_generate_filter_bin", |b| {
+        b.iter(|| {
+            let logs = cdn.generate(
+                black_box(ISP_A_ASN),
+                ServiceClass::BroadbandV4,
+                &window.range(),
+            );
+            let filter = LogFilter::paper_broadband();
+            let kept: Vec<_> = filter.apply(&logs, world.registry()).cloned().collect();
+            binned_median_throughput(kept.iter(), BinSpec::thirty_minutes()).len()
+        })
+    });
+}
+
+fn fig7_correlation(c: &mut Criterion) {
+    let world = tokyo_world(1);
+    let window = short_window();
+    let cdn = CdnLogGenerator::new(&world, CdnGeneratorConfig::test_scale(2));
+    let delay = analyze_population(
+        &world,
+        ISP_C_ASN,
+        &window,
+        PipelineConfig::paper(),
+        &ProbeSelection::in_area("Tokyo"),
+    )
+    .aggregated;
+    let logs = cdn.generate(ISP_C_ASN, ServiceClass::BroadbandV4, &window.range());
+    let filter = LogFilter::paper_broadband();
+    let kept: Vec<_> = filter.apply(&logs, world.registry()).cloned().collect();
+    let thr = binned_median_throughput(kept.iter(), BinSpec::fifteen_minutes());
+    c.bench_function("fig7/join_and_spearman", |b| {
+        b.iter(|| {
+            let pairs = join_by_time(black_box(&delay), thr.iter().copied());
+            delay_throughput_rho(&pairs)
+        })
+    });
+}
+
+fn fig8_anchor(c: &mut Criterion) {
+    let world = anchor_world(1);
+    let window = short_window();
+    c.bench_function("fig8/probes_and_anchor_4days", |b| {
+        b.iter(|| {
+            let probes = analyze_population(
+                &world,
+                black_box(ISP_D_ASN),
+                &window,
+                PipelineConfig::paper(),
+                &ProbeSelection::regular(),
+            );
+            let mut cfg = PipelineConfig::paper();
+            cfg.min_probes = 1;
+            cfg.min_probes_per_bin = 1;
+            let anchor =
+                analyze_population(&world, ISP_D_ASN, &window, cfg, &ProbeSelection::anchors());
+            (probes.probes_used(), anchor.probes_used())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    fig1_fig2,
+    fig3_fig4_survey,
+    fig5_delays,
+    fig6_fig9_throughput,
+    fig7_correlation,
+    fig8_anchor
+);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Criterion benchmark crate — see `benches/`: `components` (FFT, Welch,
+//! stats, LPM, engine, JSON), `figures` (one workload per paper figure),
+//! and `ablations` (design-choice cost comparisons).

@@ -1,0 +1,242 @@
+//! Congestion-control sensitivity models (the §6 discussion).
+//!
+//! The paper's discussion argues that "the original version of BBR that
+//! disregards packet loss may be detrimental in the context of persistent
+//! last-mile congestion, as it may put more burden to already overwhelmed
+//! devices. Thus, the improvements brought by BBR v2 (i.e. account for
+//! loss and ECN) are essential in this context."
+//!
+//! This module turns that argument into a quantitative model:
+//!
+//! * **loss-based** flows (Reno/CUBIC) follow the Mathis law — they back
+//!   off as queue-induced loss rises, which is what lets the evening
+//!   congestion show up as the Figure 6 throughput halving;
+//! * **BBRv1** paces at its bottleneck-bandwidth estimate regardless of
+//!   loss, sustaining its rate through the congested evening *and*
+//!   keeping up to two extra bandwidth-delay products of data in flight —
+//!   a standing queue added on top of the shared segment's own backlog;
+//! * **BBRv2** behaves like BBRv1 until loss crosses its ~2% ceiling,
+//!   then backs off multiplicatively, bounding the extra standing queue.
+//!
+//! [`mixed_traffic_queue_ms`] composes a population: given the share of
+//! BBRv1 traffic on a congested segment, how much standing queue do the
+//! non-backing-off flows add for everyone?
+
+use lastmile_netsim::AccessState;
+
+/// Mathis constant `C`.
+const MATHIS_C: f64 = 1.22;
+/// TCP maximum segment size, bytes.
+const MSS_BYTES: f64 = 1460.0;
+/// Loss rate above which BBRv2's loss ceiling engages (the "2% loss
+/// threshold" of the BBRv2 design).
+const BBR2_LOSS_CEILING: f64 = 0.02;
+/// BBRv1's steady-state inflight as a multiple of the BDP (cwnd_gain = 2).
+const BBR1_INFLIGHT_GAIN: f64 = 2.0;
+
+/// A TCP congestion-control algorithm, as seen by the access segment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CongestionControl {
+    /// Loss-based AIMD (Reno/CUBIC): Mathis-law throughput.
+    LossBased,
+    /// BBR version 1: ignores loss entirely.
+    BbrV1,
+    /// BBR version 2: loss-aware (backs off above the loss ceiling).
+    BbrV2,
+}
+
+impl CongestionControl {
+    /// Steady-state throughput of one flow whose fair line share is
+    /// `share_mbps`, under the given access-path state.
+    pub fn throughput_mbps(self, state: &AccessState, share_mbps: f64) -> f64 {
+        let rtt_s = (state.rtt_ms() / 1000.0).max(1e-4);
+        let p = state.loss_rate.max(1e-6);
+        match self {
+            CongestionControl::LossBased => {
+                let mathis = MATHIS_C * MSS_BYTES * 8.0 / (rtt_s * p.sqrt()) / 1e6;
+                mathis.min(share_mbps)
+            }
+            // BBRv1 holds its bandwidth estimate regardless of loss.
+            CongestionControl::BbrV1 => share_mbps,
+            // BBRv2 matches BBRv1 below the ceiling, then backs off in
+            // proportion to how far loss exceeds it.
+            CongestionControl::BbrV2 => {
+                if p <= BBR2_LOSS_CEILING {
+                    share_mbps
+                } else {
+                    share_mbps * (BBR2_LOSS_CEILING / p).sqrt()
+                }
+            }
+        }
+    }
+
+    /// Extra standing queue (ms) one flow of this algorithm keeps in the
+    /// shared buffer, beyond its fair BDP.
+    ///
+    /// Loss-based flows drain to roughly one BDP on each backoff: ~0.
+    /// BBRv1 keeps `cwnd_gain × BDP` in flight, i.e. up to one extra
+    /// base-RTT worth of data queued. BBRv2 does the same only below its
+    /// loss ceiling.
+    pub fn standing_queue_ms(self, state: &AccessState) -> f64 {
+        let extra_bdp_ms = state.base_rtt_ms * (BBR1_INFLIGHT_GAIN - 1.0);
+        match self {
+            CongestionControl::LossBased => 0.0,
+            CongestionControl::BbrV1 => extra_bdp_ms,
+            CongestionControl::BbrV2 => {
+                if state.loss_rate <= BBR2_LOSS_CEILING {
+                    extra_bdp_ms
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CongestionControl::LossBased => "loss-based (CUBIC/Reno)",
+            CongestionControl::BbrV1 => "BBR v1",
+            CongestionControl::BbrV2 => "BBR v2",
+        }
+    }
+}
+
+/// The added standing queue on a shared segment when a fraction of its
+/// flows run each congestion control, weighted by traffic share.
+///
+/// `mix` is a list of `(algorithm, traffic_fraction)`; fractions should
+/// sum to ~1 (asserted within 1%).
+pub fn mixed_traffic_queue_ms(state: &AccessState, mix: &[(CongestionControl, f64)]) -> f64 {
+    let total: f64 = mix.iter().map(|&(_, f)| f).sum();
+    assert!(
+        (total - 1.0).abs() < 0.01,
+        "traffic fractions must sum to 1, got {total}"
+    );
+    mix.iter()
+        .map(|&(cc, f)| f * cc.standing_queue_ms(state))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn congested_state() -> AccessState {
+        AccessState {
+            base_rtt_ms: 8.0,
+            queuing_ms: 5.0,
+            loss_rate: 0.018,
+            line_rate_mbps: 100.0,
+        }
+    }
+
+    fn overwhelmed_state() -> AccessState {
+        AccessState {
+            base_rtt_ms: 8.0,
+            queuing_ms: 30.0,
+            loss_rate: 0.05,
+            line_rate_mbps: 100.0,
+        }
+    }
+
+    fn clean_state() -> AccessState {
+        AccessState {
+            base_rtt_ms: 8.0,
+            queuing_ms: 0.0,
+            loss_rate: 0.0,
+            line_rate_mbps: 100.0,
+        }
+    }
+
+    #[test]
+    fn loss_based_backs_off_under_congestion() {
+        let clean = CongestionControl::LossBased.throughput_mbps(&clean_state(), 50.0);
+        let congested = CongestionControl::LossBased.throughput_mbps(&congested_state(), 50.0);
+        assert!(
+            (clean - 50.0).abs() < 1e-9,
+            "clean path is line-limited: {clean}"
+        );
+        assert!(
+            congested < 15.0,
+            "congested loss-based throughput {congested}"
+        );
+    }
+
+    #[test]
+    fn bbr1_ignores_loss_entirely() {
+        for state in [clean_state(), congested_state(), overwhelmed_state()] {
+            assert_eq!(CongestionControl::BbrV1.throughput_mbps(&state, 50.0), 50.0);
+        }
+    }
+
+    #[test]
+    fn bbr2_backs_off_only_above_its_ceiling() {
+        // 1.8% loss: below the 2% ceiling, full rate.
+        assert_eq!(
+            CongestionControl::BbrV2.throughput_mbps(&congested_state(), 50.0),
+            50.0
+        );
+        // 5% loss: backs off.
+        let t = CongestionControl::BbrV2.throughput_mbps(&overwhelmed_state(), 50.0);
+        assert!(t < 50.0 && t > 10.0, "{t}");
+        // And still far gentler than loss-based at the same loss.
+        let lb = CongestionControl::LossBased.throughput_mbps(&overwhelmed_state(), 50.0);
+        assert!(t > lb);
+    }
+
+    #[test]
+    fn standing_queue_ranks_v1_worst() {
+        let s = overwhelmed_state();
+        let v1 = CongestionControl::BbrV1.standing_queue_ms(&s);
+        let v2 = CongestionControl::BbrV2.standing_queue_ms(&s);
+        let lb = CongestionControl::LossBased.standing_queue_ms(&s);
+        assert!(v1 > 0.0);
+        assert_eq!(lb, 0.0);
+        assert_eq!(
+            v2, 0.0,
+            "v2 sheds its standing queue once loss exceeds the ceiling"
+        );
+        // Below the ceiling v2 queues like v1 (it is probing just as hard).
+        let mild = congested_state();
+        assert_eq!(
+            CongestionControl::BbrV2.standing_queue_ms(&mild),
+            CongestionControl::BbrV1.standing_queue_ms(&mild)
+        );
+    }
+
+    #[test]
+    fn mixed_traffic_queue_scales_with_bbr1_share() {
+        let s = overwhelmed_state();
+        let none = mixed_traffic_queue_ms(&s, &[(CongestionControl::LossBased, 1.0)]);
+        let third = mixed_traffic_queue_ms(
+            &s,
+            &[
+                (CongestionControl::LossBased, 0.67),
+                (CongestionControl::BbrV1, 0.33),
+            ],
+        );
+        let all = mixed_traffic_queue_ms(&s, &[(CongestionControl::BbrV1, 1.0)]);
+        assert_eq!(none, 0.0);
+        assert!(third > 0.0 && third < all);
+        assert!(
+            (all - 8.0).abs() < 1e-9,
+            "one extra BDP at base RTT 8 ms: {all}"
+        );
+        // Replacing v1 with v2 under heavy loss removes the burden.
+        let v2 = mixed_traffic_queue_ms(
+            &s,
+            &[
+                (CongestionControl::LossBased, 0.67),
+                (CongestionControl::BbrV2, 0.33),
+            ],
+        );
+        assert_eq!(v2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to 1")]
+    fn mix_fractions_are_checked() {
+        let _ = mixed_traffic_queue_ms(&clean_state(), &[(CongestionControl::BbrV1, 0.4)]);
+    }
+}

@@ -1,0 +1,169 @@
+//! The paper's log-filtering pipeline (§4.2).
+//!
+//! "Since the studied ASes provide both broadband and mobile services, we
+//! filter out all entries corresponding to mobile prefixes as advertised
+//! on their website. Then we select only requests for objects greater
+//! than 3MB and marked as cache-hit."
+//!
+//! [`LogFilter`] implements each rule as an independent toggle so the
+//! ablation benchmarks can measure what each filter contributes.
+
+use crate::record::{AccessLogRecord, CacheStatus};
+use lastmile_prefix::AsRegistry;
+
+/// The §4.2 record filter.
+#[derive(Clone, Debug)]
+pub struct LogFilter {
+    /// Keep only objects strictly larger than this (paper: 3 MB).
+    pub min_bytes: u64,
+    /// Keep only cache hits.
+    pub require_cache_hit: bool,
+    /// Drop clients inside advertised mobile prefixes.
+    pub exclude_mobile: bool,
+    /// Keep only this address family, when set (`true` = IPv6) —
+    /// Appendix C splits the two.
+    pub family_v6: Option<bool>,
+}
+
+/// 3 MB, the paper's object-size threshold.
+pub const PAPER_MIN_BYTES: u64 = 3_000_000;
+
+impl LogFilter {
+    /// The paper's broadband filter: > 3 MB, cache hits, mobile excluded.
+    pub fn paper_broadband() -> LogFilter {
+        LogFilter {
+            min_bytes: PAPER_MIN_BYTES,
+            require_cache_hit: true,
+            exclude_mobile: true,
+            family_v6: None,
+        }
+    }
+
+    /// The mobile-users view: same size/cache rules, mobile *included
+    /// only* (everything else dropped) — Figure 6's middle plot.
+    pub fn paper_mobile() -> LogFilter {
+        LogFilter {
+            exclude_mobile: false,
+            ..LogFilter::paper_broadband()
+        }
+    }
+
+    /// Restrict to one address family (Appendix C).
+    pub fn family(mut self, v6: bool) -> LogFilter {
+        self.family_v6 = Some(v6);
+        self
+    }
+
+    /// Whether a record passes. `registry` resolves mobile prefixes.
+    pub fn accepts(&self, record: &AccessLogRecord, registry: &AsRegistry) -> bool {
+        if record.bytes <= self.min_bytes {
+            return false;
+        }
+        if self.require_cache_hit && record.cache != CacheStatus::Hit {
+            return false;
+        }
+        if self.exclude_mobile && registry.is_mobile(record.client) {
+            return false;
+        }
+        if let Some(v6) = self.family_v6 {
+            if record.is_ipv6() != v6 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Filter a batch, preserving order.
+    pub fn apply<'a>(
+        &'a self,
+        records: &'a [AccessLogRecord],
+        registry: &'a AsRegistry,
+    ) -> impl Iterator<Item = &'a AccessLogRecord> {
+        records.iter().filter(move |r| self.accepts(r, registry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lastmile_prefix::{Prefix, PrefixRole};
+    use lastmile_timebase::UnixTime;
+
+    fn registry() -> AsRegistry {
+        let mut r = AsRegistry::new();
+        r.announce(
+            100,
+            "20.0.0.0/16".parse::<Prefix>().unwrap(),
+            PrefixRole::Broadband,
+        );
+        r.announce(
+            101,
+            "20.1.0.0/16".parse::<Prefix>().unwrap(),
+            PrefixRole::Mobile,
+        );
+        r
+    }
+
+    fn rec(client: &str, bytes: u64, cache: CacheStatus) -> AccessLogRecord {
+        AccessLogRecord {
+            client: client.parse().unwrap(),
+            timestamp: UnixTime::from_secs(0),
+            bytes,
+            duration_ms: 1000.0,
+            cache,
+        }
+    }
+
+    #[test]
+    fn size_threshold_is_strict() {
+        let f = LogFilter::paper_broadband();
+        let reg = registry();
+        assert!(!f.accepts(&rec("20.0.0.1", 3_000_000, CacheStatus::Hit), &reg));
+        assert!(f.accepts(&rec("20.0.0.1", 3_000_001, CacheStatus::Hit), &reg));
+        assert!(!f.accepts(&rec("20.0.0.1", 10_000, CacheStatus::Hit), &reg));
+    }
+
+    #[test]
+    fn cache_misses_are_dropped() {
+        let f = LogFilter::paper_broadband();
+        let reg = registry();
+        assert!(!f.accepts(&rec("20.0.0.1", 5_000_000, CacheStatus::Miss), &reg));
+    }
+
+    #[test]
+    fn mobile_clients_are_dropped_from_broadband_view() {
+        let f = LogFilter::paper_broadband();
+        let reg = registry();
+        assert!(f.accepts(&rec("20.0.0.1", 5_000_000, CacheStatus::Hit), &reg));
+        assert!(!f.accepts(&rec("20.1.0.1", 5_000_000, CacheStatus::Hit), &reg));
+        // The mobile view keeps them.
+        let m = LogFilter::paper_mobile();
+        assert!(m.accepts(&rec("20.1.0.1", 5_000_000, CacheStatus::Hit), &reg));
+    }
+
+    #[test]
+    fn family_restriction() {
+        let reg = registry();
+        let v6_only = LogFilter::paper_broadband().family(true);
+        assert!(!v6_only.accepts(&rec("20.0.0.1", 5_000_000, CacheStatus::Hit), &reg));
+        assert!(v6_only.accepts(&rec("2400:cb00::1", 5_000_000, CacheStatus::Hit), &reg));
+        let v4_only = LogFilter::paper_broadband().family(false);
+        assert!(v4_only.accepts(&rec("20.0.0.1", 5_000_000, CacheStatus::Hit), &reg));
+    }
+
+    #[test]
+    fn apply_preserves_order() {
+        let reg = registry();
+        let records = vec![
+            rec("20.0.0.1", 5_000_000, CacheStatus::Hit),
+            rec("20.0.0.2", 1_000, CacheStatus::Hit),
+            rec("20.0.0.3", 6_000_000, CacheStatus::Hit),
+        ];
+        let f = LogFilter::paper_broadband();
+        let kept: Vec<_> = f
+            .apply(&records, &reg)
+            .map(|r| r.client.to_string())
+            .collect();
+        assert_eq!(kept, vec!["20.0.0.1", "20.0.0.3"]);
+    }
+}

@@ -1,0 +1,333 @@
+//! Synthetic CDN access-log generation.
+//!
+//! The paper's CDN dataset is proprietary (Verizon Digital Media Services
+//! logs from Tokyo, ~150k unique client IPs). This generator replaces it
+//! with logs produced from the *same simulated network* that the
+//! traceroute engine measures, which preserves the property §4.3 tests
+//! for: throughput and last-mile queuing delay co-vary if and only if the
+//! shared access segment is the bottleneck.
+//!
+//! ## Transfer model
+//!
+//! A client's transfer rate is
+//!
+//! ```text
+//!   rate = min(line_rate × client_share,  C · MSS / (RTT · √p))
+//! ```
+//!
+//! the Mathis TCP throughput law capped by the access line and the
+//! client's local share of it. RTT and loss come from the world's
+//! [`lastmile_netsim::AccessState`] at the request instant, so evening
+//! queuing on a legacy PPPoE segment raises RTT and p and the rate
+//! collapses — while LTE and IPoE clients of the same AS sail through.
+//!
+//! The netsim loss model tracks *queue stress* (up to ~2% at saturation);
+//! TCP's p in the Mathis law is the per-window loss seen by long flows,
+//! which is far smaller. [`CdnGeneratorConfig::loss_scale`] converts one
+//! to the other and is the single calibration constant of the generator.
+
+use crate::record::{AccessLogRecord, CacheStatus};
+use lastmile_netsim::rng;
+use lastmile_netsim::{ServiceClass, World};
+use lastmile_prefix::Asn;
+use lastmile_timebase::{BinSpec, TimeRange};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Mathis constant `C` (√(3/2) for periodic loss).
+const MATHIS_C: f64 = 1.22;
+/// TCP maximum segment size, bytes.
+const MSS_BYTES: f64 = 1460.0;
+/// Baseline residual loss on an otherwise clean path.
+const BASELINE_LOSS: f64 = 6e-5;
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct CdnGeneratorConfig {
+    /// Seed (independent of the world seed so log sampling can be varied
+    /// without changing the network).
+    pub seed: u64,
+    /// Distinct client IPs per (AS, service class).
+    pub clients: usize,
+    /// Log records per 15-minute bin per (AS, service class).
+    pub requests_per_bin: usize,
+    /// Scale from netsim queue-stress loss to Mathis per-window loss.
+    pub loss_scale: f64,
+    /// Fraction of requests served from cache.
+    pub cache_hit_rate: f64,
+}
+
+impl CdnGeneratorConfig {
+    /// Defaults tuned to reproduce Figure 6's shape at a tractable volume.
+    pub fn default_tokyo(seed: u64) -> CdnGeneratorConfig {
+        CdnGeneratorConfig {
+            seed,
+            clients: 1500,
+            requests_per_bin: 400,
+            loss_scale: 0.3,
+            cache_hit_rate: 0.92,
+        }
+    }
+
+    /// A smaller configuration for unit tests.
+    pub fn test_scale(seed: u64) -> CdnGeneratorConfig {
+        CdnGeneratorConfig {
+            seed,
+            clients: 120,
+            requests_per_bin: 80,
+            loss_scale: 0.3,
+            cache_hit_rate: 0.92,
+        }
+    }
+}
+
+/// Generates access logs for services of a simulated world.
+pub struct CdnLogGenerator<'w> {
+    world: &'w World,
+    cfg: CdnGeneratorConfig,
+}
+
+impl<'w> CdnLogGenerator<'w> {
+    /// Create a generator.
+    pub fn new(world: &'w World, cfg: CdnGeneratorConfig) -> CdnLogGenerator<'w> {
+        CdnLogGenerator { world, cfg }
+    }
+
+    /// Generate the logs of one (AS, service class) over a window,
+    /// chronological. Returns an empty vector when the AS does not offer
+    /// the service.
+    pub fn generate(
+        &self,
+        asn: Asn,
+        class: ServiceClass,
+        window: &TimeRange,
+    ) -> Vec<AccessLogRecord> {
+        let Some(prefix) = self.world.client_prefix(asn, class) else {
+            return Vec::new();
+        };
+        let bins = BinSpec::fifteen_minutes();
+        let class_tag = match class {
+            ServiceClass::BroadbandV4 => 1u64,
+            ServiceClass::BroadbandV6 => 2,
+            ServiceClass::Mobile => 3,
+        };
+        let mut out = Vec::new();
+        for bin_start in bins.starts_in(window) {
+            let mut brng = rng::rng_for(
+                self.cfg.seed,
+                &[u64::from(asn), class_tag, bin_start.as_secs() as u64],
+            );
+            for _ in 0..self.cfg.requests_per_bin {
+                let client_idx = brng.gen_range(0..self.cfg.clients) as u128;
+                let Some(client) = prefix.nth_address(1000 + client_idx) else {
+                    continue;
+                };
+                let t = bin_start + brng.gen_range(0..bins.width_secs());
+                let Some(state) = self.world.access_state(asn, class, t) else {
+                    continue;
+                };
+
+                // Per-client heterogeneity, stable across the window. LTE
+                // schedulers grant a larger share of the (lower) cell rate
+                // than a home's share of its FTTH line.
+                let share_u = rng::unit_f64(
+                    self.cfg.seed,
+                    &[u64::from(asn), class_tag, client_idx as u64, 7],
+                );
+                let share = match class {
+                    ServiceClass::Mobile => 0.55 + 0.35 * share_u,
+                    _ => 0.35 + 0.4 * share_u,
+                };
+                let rtt_jitter = 0.85
+                    + 0.3
+                        * rng::unit_f64(
+                            self.cfg.seed,
+                            &[u64::from(asn), class_tag, client_idx as u64, 8],
+                        );
+
+                let rtt_s = (state.rtt_ms() * rtt_jitter).max(1.0) / 1000.0;
+                let p = BASELINE_LOSS + state.loss_rate * self.cfg.loss_scale;
+                let mathis_mbps = MATHIS_C * MSS_BYTES * 8.0 / (rtt_s * p.sqrt()) / 1e6;
+                let line_mbps = state.line_rate_mbps * share;
+                let rate_mbps = mathis_mbps.min(line_mbps).max(0.05);
+
+                let bytes = object_size_bytes(&mut brng);
+                let duration_ms = bytes as f64 * 8.0 / (rate_mbps * 1e6) * 1000.0;
+                let cache = if brng.gen::<f64>() < self.cfg.cache_hit_rate {
+                    CacheStatus::Hit
+                } else {
+                    CacheStatus::Miss
+                };
+                out.push(AccessLogRecord {
+                    client,
+                    timestamp: t,
+                    bytes,
+                    duration_ms,
+                    cache,
+                });
+            }
+        }
+        out.sort_by_key(|r| r.timestamp);
+        out
+    }
+
+    /// Generate and merge logs for several services of one AS — the raw
+    /// feed as a CDN would record it, before any filtering.
+    pub fn generate_mixed(
+        &self,
+        asn: Asn,
+        classes: &[ServiceClass],
+        window: &TimeRange,
+    ) -> Vec<AccessLogRecord> {
+        let mut out: Vec<AccessLogRecord> = classes
+            .iter()
+            .flat_map(|&c| self.generate(asn, c, window))
+            .collect();
+        out.sort_by_key(|r| r.timestamp);
+        out
+    }
+}
+
+/// Log-normal-ish object sizes: median ~0.7 MB, a healthy tail above the
+/// paper's 3 MB threshold (video segments), floor 1 KB.
+fn object_size_bytes(rng: &mut SmallRng) -> u64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+    (13.5 + 1.8 * z).exp().clamp(1e3, 2e9) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::LogFilter;
+    use crate::throughput::binned_median_throughput;
+    use lastmile_netsim::scenarios::tokyo::{tokyo_world, ISP_A_ASN, ISP_C_ASN};
+    use lastmile_timebase::CivilDate;
+
+    fn one_day() -> TimeRange {
+        let start = CivilDate::new(2019, 9, 25).midnight();
+        TimeRange::new(start, start + 86_400)
+    }
+
+    #[test]
+    fn generates_plausible_volume() {
+        let w = tokyo_world(1);
+        let gen = CdnLogGenerator::new(&w, CdnGeneratorConfig::test_scale(2));
+        let logs = gen.generate(ISP_A_ASN, ServiceClass::BroadbandV4, &one_day());
+        // 96 bins x 80 requests.
+        assert_eq!(logs.len(), 96 * 80);
+        // Chronological.
+        assert!(logs.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        // Clients come from the AS's broadband prefix.
+        for r in logs.iter().take(20) {
+            assert_eq!(w.registry().asn_of(r.client), Some(ISP_A_ASN));
+            assert!(!w.registry().is_mobile(r.client));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = tokyo_world(1);
+        let gen = CdnLogGenerator::new(&w, CdnGeneratorConfig::test_scale(2));
+        let a = gen.generate(ISP_A_ASN, ServiceClass::BroadbandV4, &one_day());
+        let b = gen.generate(ISP_A_ASN, ServiceClass::BroadbandV4, &one_day());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn congested_evening_halves_throughput() {
+        let w = tokyo_world(1);
+        let gen = CdnLogGenerator::new(&w, CdnGeneratorConfig::test_scale(2));
+        let logs = gen.generate(ISP_A_ASN, ServiceClass::BroadbandV4, &one_day());
+        let filter = LogFilter::paper_broadband();
+        let kept: Vec<_> = filter.apply(&logs, w.registry()).cloned().collect();
+        assert!(kept.len() > 500, "filter kept {}", kept.len());
+        let series = binned_median_throughput(kept.iter(), BinSpec::fifteen_minutes());
+        // JST evening 21:00 = 12:00 UTC; JST early morning 04:00 = 19:00 UTC.
+        let med_at = |hour: u8| {
+            let vals: Vec<f64> = series
+                .iter()
+                .filter(|(t, _)| t.hour_of_day() == hour)
+                .map(|&(_, v)| v)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let peak = med_at(12);
+        let night = med_at(19);
+        assert!(
+            peak < night * 0.55,
+            "peak {peak:.1} Mbps must be less than half of off-peak {night:.1} Mbps"
+        );
+        assert!(night > 30.0, "off-peak median {night:.1} Mbps");
+    }
+
+    #[test]
+    fn clean_isp_and_mobile_stay_stable() {
+        let w = tokyo_world(1);
+        let gen = CdnLogGenerator::new(&w, CdnGeneratorConfig::test_scale(2));
+        for (asn, class) in [
+            (ISP_C_ASN, ServiceClass::BroadbandV4),
+            (ISP_A_ASN, ServiceClass::Mobile),
+            (ISP_A_ASN, ServiceClass::BroadbandV6),
+        ] {
+            let logs = gen.generate(asn, class, &one_day());
+            let filter = match class {
+                ServiceClass::Mobile => LogFilter::paper_mobile(),
+                _ => LogFilter {
+                    exclude_mobile: false,
+                    ..LogFilter::paper_broadband()
+                },
+            };
+            let kept: Vec<_> = filter.apply(&logs, w.registry()).cloned().collect();
+            let series = binned_median_throughput(kept.iter(), BinSpec::fifteen_minutes());
+            let vals: Vec<f64> = series.iter().map(|&(_, v)| v).collect();
+            let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!(
+                lo > hi * 0.55,
+                "AS{asn} {class:?}: min {lo:.1} vs max {hi:.1} should be stable"
+            );
+            if class == ServiceClass::Mobile {
+                assert!(
+                    lo > 20.0,
+                    "mobile medians must stay above 20 Mbps, got {lo:.1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_service_generates_nothing() {
+        let w = tokyo_world(1);
+        let gen = CdnLogGenerator::new(&w, CdnGeneratorConfig::test_scale(2));
+        let logs = gen.generate(99999, ServiceClass::BroadbandV4, &one_day());
+        assert!(logs.is_empty());
+    }
+
+    #[test]
+    fn mixed_feed_contains_both_families() {
+        let w = tokyo_world(1);
+        let gen = CdnLogGenerator::new(&w, CdnGeneratorConfig::test_scale(2));
+        let logs = gen.generate_mixed(
+            ISP_A_ASN,
+            &[ServiceClass::BroadbandV4, ServiceClass::BroadbandV6],
+            &one_day(),
+        );
+        let v6 = logs.iter().filter(|r| r.is_ipv6()).count();
+        assert!(v6 > 0 && v6 < logs.len());
+        assert!(logs.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn object_sizes_have_a_3mb_tail() {
+        let mut r = rng::rng_for(1, &[2, 3]);
+        let sizes: Vec<u64> = (0..5000).map(|_| object_size_bytes(&mut r)).collect();
+        let over_3mb = sizes.iter().filter(|&&s| s > 3_000_000).count() as f64 / 5000.0;
+        assert!(
+            (0.1..0.5).contains(&over_3mb),
+            "fraction of >3MB objects: {over_3mb}"
+        );
+        assert!(sizes.iter().all(|&s| s >= 1000));
+    }
+}

@@ -1,0 +1,39 @@
+//! # lastmile-cdnlog
+//!
+//! The CDN access-log side of the IMC 2020 validation (§4.2–§4.3 and
+//! Appendix C), built from scratch: a log-record model, the paper's
+//! filtering pipeline, throughput estimation, and a synthetic log
+//! generator driven by the `lastmile-netsim` world so that throughput
+//! co-varies with last-mile queuing exactly when the simulated bottleneck
+//! is the shared access segment.
+//!
+//! The paper's §4.2 recipe, stage by stage:
+//!
+//! 1. logs "collected in Tokyo" from "a large commercial CDN"
+//!    (~150k unique IPs) — [`generate::CdnLogGenerator`];
+//! 2. "we filter out all entries corresponding to mobile prefixes as
+//!    advertised on their website" — [`filter::LogFilter`] +
+//!    [`lastmile_prefix::AsRegistry::is_mobile`];
+//! 3. "we select only requests for objects greater than 3MB and marked as
+//!    cache-hit. This allows us to account for TCP dynamics and artifacts
+//!    caused by CDN functioning" — [`filter::LogFilter`];
+//! 4. "we measure throughput per IP and compute ASN aggregates by
+//!    computing the median value in 15-minute time-bins" —
+//!    [`throughput::binned_median_throughput`].
+//!
+//! The generator's transfer model is Mathis-style TCP throughput
+//! `rate = C · MSS / (RTT · √p)` capped by the access line rate and a
+//! per-client share — so when the evening queue raises RTT and loss on a
+//! legacy PPPoE segment, throughput halves, reproducing Figure 6.
+
+pub mod cc;
+pub mod filter;
+pub mod generate;
+pub mod record;
+pub mod throughput;
+
+pub use cc::CongestionControl;
+pub use filter::LogFilter;
+pub use generate::{CdnGeneratorConfig, CdnLogGenerator};
+pub use record::{AccessLogRecord, CacheStatus};
+pub use throughput::binned_median_throughput;

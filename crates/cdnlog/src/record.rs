@@ -1,0 +1,207 @@
+//! CDN access-log records.
+//!
+//! One record per completed HTTP object delivery, with the fields the
+//! paper's pipeline needs: client address (family distinguishes the
+//! Appendix C IPv4/IPv6 comparison), timestamp, object size, transfer
+//! duration, and cache status. Throughput is *derived* (`bytes × 8 /
+//! duration`), as it would be from real logs.
+//!
+//! Records serialise to a tab-separated line format (the lingua franca of
+//! CDN log pipelines) via [`AccessLogRecord::to_tsv`] /
+//! [`AccessLogRecord::from_tsv`].
+
+use lastmile_timebase::UnixTime;
+use std::fmt;
+use std::net::IpAddr;
+use std::str::FromStr;
+
+/// Whether the CDN served the object from cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CacheStatus {
+    /// Served from the edge cache — transfer speed reflects the access
+    /// path, which is why the paper keeps only these.
+    Hit,
+    /// Fetched from origin — origin latency pollutes the measurement.
+    Miss,
+}
+
+impl fmt::Display for CacheStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CacheStatus::Hit => "HIT",
+            CacheStatus::Miss => "MISS",
+        })
+    }
+}
+
+impl FromStr for CacheStatus {
+    type Err = ParseRecordError;
+
+    fn from_str(s: &str) -> Result<CacheStatus, ParseRecordError> {
+        match s {
+            "HIT" => Ok(CacheStatus::Hit),
+            "MISS" => Ok(CacheStatus::Miss),
+            _ => Err(ParseRecordError::BadField("cache")),
+        }
+    }
+}
+
+/// One delivered object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AccessLogRecord {
+    /// Client address.
+    pub client: IpAddr,
+    /// Request completion time.
+    pub timestamp: UnixTime,
+    /// Object size in bytes.
+    pub bytes: u64,
+    /// Transfer duration in milliseconds.
+    pub duration_ms: f64,
+    /// Cache status.
+    pub cache: CacheStatus,
+}
+
+impl AccessLogRecord {
+    /// Transfer throughput in Mbps (`None` for zero-duration records,
+    /// which real logs do contain for tiny objects).
+    pub fn throughput_mbps(&self) -> Option<f64> {
+        if self.duration_ms <= 0.0 {
+            return None;
+        }
+        Some(self.bytes as f64 * 8.0 / (self.duration_ms / 1000.0) / 1e6)
+    }
+
+    /// Whether the client connected over IPv6.
+    pub fn is_ipv6(&self) -> bool {
+        self.client.is_ipv6()
+    }
+
+    /// Serialise to one TSV line: `timestamp client bytes duration cache`.
+    pub fn to_tsv(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{:.3}\t{}",
+            self.timestamp.as_secs(),
+            self.client,
+            self.bytes,
+            self.duration_ms,
+            self.cache
+        )
+    }
+
+    /// Parse one TSV line.
+    pub fn from_tsv(line: &str) -> Result<AccessLogRecord, ParseRecordError> {
+        let mut parts = line.split('\t');
+        let mut next = || parts.next().ok_or(ParseRecordError::MissingField);
+        let timestamp: i64 = next()?
+            .parse()
+            .map_err(|_| ParseRecordError::BadField("timestamp"))?;
+        let client: IpAddr = next()?
+            .parse()
+            .map_err(|_| ParseRecordError::BadField("client"))?;
+        let bytes: u64 = next()?
+            .parse()
+            .map_err(|_| ParseRecordError::BadField("bytes"))?;
+        let duration_ms: f64 = next()?
+            .parse()
+            .map_err(|_| ParseRecordError::BadField("duration"))?;
+        let cache: CacheStatus = next()?.parse()?;
+        Ok(AccessLogRecord {
+            client,
+            timestamp: UnixTime::from_secs(timestamp),
+            bytes,
+            duration_ms,
+            cache,
+        })
+    }
+}
+
+/// Errors parsing a TSV log line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseRecordError {
+    /// The line has fewer than five fields.
+    MissingField,
+    /// A field failed to parse.
+    BadField(&'static str),
+}
+
+impl fmt::Display for ParseRecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseRecordError::MissingField => write!(f, "log line has too few fields"),
+            ParseRecordError::BadField(name) => write!(f, "invalid {name} field"),
+        }
+    }
+}
+
+impl std::error::Error for ParseRecordError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> AccessLogRecord {
+        AccessLogRecord {
+            client: "20.0.0.77".parse().unwrap(),
+            timestamp: UnixTime::from_secs(1_568_900_000),
+            bytes: 5_000_000,
+            duration_ms: 1000.0,
+            cache: CacheStatus::Hit,
+        }
+    }
+
+    #[test]
+    fn throughput_derivation() {
+        // 5 MB in 1 s = 40 Mbit / 1 s = 40 Mbps.
+        assert!((rec().throughput_mbps().unwrap() - 40.0).abs() < 1e-9);
+        let zero = AccessLogRecord {
+            duration_ms: 0.0,
+            ..rec()
+        };
+        assert_eq!(zero.throughput_mbps(), None);
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let r = rec();
+        let line = r.to_tsv();
+        assert_eq!(AccessLogRecord::from_tsv(&line).unwrap(), r);
+        // v6 client too.
+        let r6 = AccessLogRecord {
+            client: "2400:cb00::1".parse().unwrap(),
+            ..rec()
+        };
+        assert!(r6.is_ipv6());
+        assert_eq!(AccessLogRecord::from_tsv(&r6.to_tsv()).unwrap(), r6);
+    }
+
+    #[test]
+    fn tsv_parse_errors() {
+        assert_eq!(
+            AccessLogRecord::from_tsv("1"),
+            Err(ParseRecordError::MissingField)
+        );
+        assert_eq!(
+            AccessLogRecord::from_tsv("1\t2"),
+            Err(ParseRecordError::BadField("client"))
+        );
+        assert_eq!(
+            AccessLogRecord::from_tsv("x\t20.0.0.1\t5\t1.0\tHIT"),
+            Err(ParseRecordError::BadField("timestamp"))
+        );
+        assert_eq!(
+            AccessLogRecord::from_tsv("1\tnot-ip\t5\t1.0\tHIT"),
+            Err(ParseRecordError::BadField("client"))
+        );
+        assert_eq!(
+            AccessLogRecord::from_tsv("1\t20.0.0.1\t5\t1.0\tWARM"),
+            Err(ParseRecordError::BadField("cache"))
+        );
+    }
+
+    #[test]
+    fn cache_status_round_trip() {
+        assert_eq!("HIT".parse::<CacheStatus>().unwrap(), CacheStatus::Hit);
+        assert_eq!("MISS".parse::<CacheStatus>().unwrap(), CacheStatus::Miss);
+        assert_eq!(CacheStatus::Hit.to_string(), "HIT");
+    }
+}

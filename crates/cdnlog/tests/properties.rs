@@ -1,0 +1,96 @@
+//! Property-based tests for the CDN log substrate.
+
+use lastmile_cdnlog::{binned_median_throughput, AccessLogRecord, CacheStatus, LogFilter};
+use lastmile_prefix::{AsRegistry, Prefix, PrefixRole};
+use lastmile_timebase::{BinSpec, UnixTime};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr};
+
+fn arb_record() -> impl Strategy<Value = AccessLogRecord> {
+    (
+        any::<u32>(),        // client v4 bits
+        0i64..2_000_000_000, // timestamp
+        1u64..2_000_000_000, // bytes
+        0.0f64..600_000.0,   // duration ms (includes 0: unusable)
+        any::<bool>(),       // cache hit?
+    )
+        .prop_map(|(client, t, bytes, duration_ms, hit)| AccessLogRecord {
+            client: IpAddr::V4(Ipv4Addr::from(client)),
+            timestamp: UnixTime::from_secs(t),
+            bytes,
+            duration_ms: (duration_ms * 1000.0).round() / 1000.0, // TSV keeps 3 decimals
+            cache: if hit {
+                CacheStatus::Hit
+            } else {
+                CacheStatus::Miss
+            },
+        })
+}
+
+fn registry() -> AsRegistry {
+    let mut r = AsRegistry::new();
+    r.announce(
+        1,
+        "0.0.0.0/1".parse::<Prefix>().unwrap(),
+        PrefixRole::Broadband,
+    );
+    r.announce(
+        2,
+        "128.0.0.0/2".parse::<Prefix>().unwrap(),
+        PrefixRole::Mobile,
+    );
+    r
+}
+
+proptest! {
+    /// TSV round trip is lossless (at the emitted precision).
+    #[test]
+    fn tsv_round_trip(rec in arb_record()) {
+        let line = rec.to_tsv();
+        let back = AccessLogRecord::from_tsv(&line).unwrap();
+        prop_assert_eq!(back, rec);
+    }
+
+    /// The filter is monotone: every record accepted by the paper filter
+    /// is a >3MB cache hit, and never a mobile client.
+    #[test]
+    fn filter_accepts_only_qualifying_records(records in prop::collection::vec(arb_record(), 0..60)) {
+        let reg = registry();
+        let f = LogFilter::paper_broadband();
+        for r in f.apply(&records, &reg) {
+            prop_assert!(r.bytes > 3_000_000);
+            prop_assert_eq!(r.cache, CacheStatus::Hit);
+            prop_assert!(!reg.is_mobile(r.client));
+        }
+        // Family-restricted views partition the accepted set.
+        let all: Vec<_> = f.apply(&records, &reg).collect();
+        let v4 = f.clone().family(false);
+        let v6 = f.clone().family(true);
+        let n4 = v4.apply(&records, &reg).count();
+        let n6 = v6.apply(&records, &reg).count();
+        prop_assert_eq!(all.len(), n4 + n6);
+    }
+
+    /// Binned medians lie within the envelope of the contributing
+    /// records' throughputs, and bins are strictly increasing in time.
+    #[test]
+    fn binned_median_is_bounded(records in prop::collection::vec(arb_record(), 1..80)) {
+        let bin = BinSpec::fifteen_minutes();
+        let series = binned_median_throughput(records.iter(), bin);
+        for w in series.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        for (start, v) in &series {
+            let idx = bin.bin_index(*start);
+            let members: Vec<f64> = records
+                .iter()
+                .filter(|r| bin.bin_index(r.timestamp) == idx)
+                .filter_map(|r| r.throughput_mbps())
+                .collect();
+            prop_assert!(!members.is_empty());
+            let lo = members.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = members.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(*v >= lo - 1e-9 && *v <= hi + 1e-9, "{} not in [{}, {}]", v, lo, hi);
+        }
+    }
+}

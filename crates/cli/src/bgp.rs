@@ -1,0 +1,152 @@
+//! BGP-table file support: `prefix,asn` CSV, the minimal routing-table
+//! substitute §2.1 needs to map addresses to origin ASNs.
+//!
+//! When `--bgp FILE` is given, the CLI groups traceroutes by the ASN of
+//! their **first public hop** (the paper's ISP-edge proxy) via longest
+//! prefix match — no probe metadata required. (Without metadata, anchors
+//! cannot be excluded; the paper's tooling faces the same constraint and
+//! resolves it with Atlas probe metadata, which `--probes` supplies.)
+
+use lastmile_repro::prefix::{Asn, Prefix, PrefixTrie};
+use std::io::BufRead;
+
+/// Load a `prefix,asn[,role]` CSV into a longest-prefix-match table
+/// (roles, when present, are ignored here — see [`load_registry`]).
+///
+/// Empty lines and `#` comments are skipped; malformed lines are an
+/// error (a silently half-loaded routing table would misattribute ASes).
+pub fn load_table(path: &str) -> Result<PrefixTrie<Asn>, String> {
+    let mut trie = PrefixTrie::new();
+    for_each_entry(path, |prefix, asn, _role| {
+        trie.insert(prefix, asn);
+    })?;
+    Ok(trie)
+}
+
+/// Load a `prefix,asn[,role]` CSV into an [`lastmile_repro::prefix::AsRegistry`], preserving the
+/// broadband/mobile/infrastructure roles the §4.2 mobile filter needs.
+/// Lines without a role default to `broadband`.
+pub fn load_registry(path: &str) -> Result<lastmile_repro::prefix::AsRegistry, String> {
+    use lastmile_repro::prefix::AsRegistry;
+    let mut reg = AsRegistry::new();
+    for_each_entry(path, |prefix, asn, role| {
+        reg.announce(asn, prefix, role);
+    })?;
+    Ok(reg)
+}
+
+fn for_each_entry(
+    path: &str,
+    mut f: impl FnMut(Prefix, Asn, lastmile_repro::prefix::PrefixRole),
+) -> Result<(), String> {
+    use lastmile_repro::prefix::PrefixRole;
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("read {path}: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let prefix_s = parts.next().expect("split yields at least one part");
+        let asn_s = parts
+            .next()
+            .ok_or_else(|| format!("{path}:{}: expected prefix,asn[,role]", lineno + 1))?;
+        let prefix: Prefix = prefix_s
+            .trim()
+            .parse()
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let asn: Asn = asn_s
+            .trim()
+            .parse()
+            .map_err(|_| format!("{path}:{}: invalid ASN {asn_s}", lineno + 1))?;
+        let role = match parts.next().map(str::trim) {
+            None | Some("") | Some("broadband") => PrefixRole::Broadband,
+            Some("mobile") => PrefixRole::Mobile,
+            Some("infrastructure") => PrefixRole::Infrastructure,
+            Some(other) => {
+                return Err(format!("{path}:{}: unknown role {other}", lineno + 1));
+            }
+        };
+        f(prefix, asn, role);
+    }
+    Ok(())
+}
+
+/// Serialise a registry's announcements to the `prefix,asn,role` CSV
+/// format (the `simulate` exporter's counterpart to [`load_registry`]).
+pub fn table_to_csv(registry: &lastmile_repro::prefix::AsRegistry) -> String {
+    use lastmile_repro::prefix::PrefixRole;
+    let mut out = String::from("# prefix,asn,role\n");
+    for asn in registry.asns().collect::<Vec<_>>() {
+        for (prefix, role) in registry.prefixes_of(asn) {
+            let role = match role {
+                PrefixRole::Broadband => "broadband",
+                PrefixRole::Mobile => "mobile",
+                PrefixRole::Infrastructure => "infrastructure",
+            };
+            out.push_str(&format!("{prefix},{asn},{role}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_lookup() {
+        let dir = std::env::temp_dir().join(format!("lastmile-bgp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.csv");
+        std::fs::write(
+            &path,
+            "# comment\n20.0.0.0/16,64500\n20.1.0.0/16, 64501\n\n",
+        )
+        .unwrap();
+        let trie = load_table(path.to_str().unwrap()).unwrap();
+        assert_eq!(trie.len(), 2);
+        let asn = trie.lookup("20.1.2.3".parse().unwrap()).map(|(_, &a)| a);
+        assert_eq!(asn, Some(64501));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_lines_are_fatal() {
+        let dir = std::env::temp_dir().join(format!("lastmile-bgp2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.csv");
+        std::fs::write(&path, "20.0.0.0/16;64500\n").unwrap();
+        assert!(load_table(path.to_str().unwrap()).is_err());
+        std::fs::write(&path, "20.0.0.0/99,64500\n").unwrap();
+        assert!(load_table(path.to_str().unwrap()).is_err());
+        std::fs::write(&path, "20.0.0.0/16,banana\n").unwrap();
+        assert!(load_table(path.to_str().unwrap()).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        use lastmile_repro::prefix::{AsRegistry, PrefixRole};
+        let mut reg = AsRegistry::new();
+        reg.announce(1, "20.0.0.0/16".parse().unwrap(), PrefixRole::Broadband);
+        reg.announce(2, "2400::/32".parse().unwrap(), PrefixRole::Broadband);
+        let csv = table_to_csv(&reg);
+        let dir = std::env::temp_dir().join(format!("lastmile-bgp3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.csv");
+        std::fs::write(&path, &csv).unwrap();
+        let trie = load_table(path.to_str().unwrap()).unwrap();
+        assert_eq!(
+            trie.lookup("20.0.5.5".parse().unwrap()).map(|(_, &a)| a),
+            Some(1)
+        );
+        assert_eq!(
+            trie.lookup("2400::1".parse().unwrap()).map(|(_, &a)| a),
+            Some(2)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,133 @@
+//! `lastmile classify`: per-AS persistent-congestion classification from
+//! Atlas-format traceroute data on disk.
+
+use crate::bgp::load_table;
+use crate::input::{group_by_asn, load_probes, resolve_window, stream_traceroutes};
+use crate::Flags;
+use lastmile_repro::atlas::ProbeId;
+use lastmile_repro::core::pipeline::{AsPipeline, PipelineConfig, PopulationAnalysis};
+use lastmile_repro::prefix::Asn;
+use lastmile_repro::timebase::UnixTime;
+use std::collections::BTreeMap;
+
+/// Shared plumbing for `classify` and `hygiene`: stream the file (twice —
+/// once for the time span, once for the analysis) and return one
+/// [`PopulationAnalysis`] per ASN (ASN 0 = "all probes" when no metadata
+/// is given).
+pub fn analyze_file(flags: &Flags) -> Result<Vec<(Asn, PopulationAnalysis)>, String> {
+    let path = flags.required("traceroutes")?;
+    let probes = flags.optional("probes").map(load_probes).transpose()?;
+    let bgp = flags.optional("bgp").map(load_table).transpose()?;
+    let anchors_only = flags.switch("anchors-only");
+
+    // Pass 1: find the data span.
+    let mut data_min: Option<UnixTime> = None;
+    let mut data_max: Option<UnixTime> = None;
+    let (parsed, skipped) = stream_traceroutes(path, |tr| {
+        data_min = Some(data_min.map_or(tr.timestamp, |m| m.min(tr.timestamp)));
+        data_max = Some(data_max.map_or(tr.timestamp, |m| m.max(tr.timestamp)));
+    })?;
+    eprintln!("[input] {parsed} traceroutes parsed, {skipped} skipped");
+    let window = resolve_window(
+        flags.parsed::<i64>("start")?,
+        flags.parsed::<i64>("end")?,
+        data_min,
+        data_max,
+    )?;
+
+    // Probe → ASN routing.
+    let probe_to_asn: Option<BTreeMap<ProbeId, Asn>> = probes.as_ref().map(|list| {
+        group_by_asn(list, anchors_only)
+            .into_iter()
+            .flat_map(|(asn, ids)| ids.into_iter().map(move |id| (id, asn)))
+            .collect()
+    });
+
+    let mut cfg = PipelineConfig::paper();
+    if let Some(min_probes) = flags.parsed::<usize>("min-probes")? {
+        cfg.min_probes = min_probes;
+        cfg.min_probes_per_bin = min_probes.min(cfg.min_probes_per_bin);
+    }
+
+    // Pass 2: route into per-AS pipelines. Probe metadata wins; otherwise
+    // the BGP table maps the first public hop (the paper's ISP edge) to
+    // its origin ASN; otherwise everything is one population (ASN 0).
+    let mut pipelines: BTreeMap<Asn, AsPipeline> = BTreeMap::new();
+    stream_traceroutes(path, |tr| {
+        let asn = match (&probe_to_asn, &bgp) {
+            (Some(map), _) => match map.get(&tr.probe) {
+                Some(&asn) => asn,
+                None => return, // unknown or filtered probe
+            },
+            (None, Some(table)) => match tr.edge_address().and_then(|a| table.lookup(a)) {
+                Some((_, &asn)) => asn,
+                None => return, // no public hop or unrouted edge
+            },
+            (None, None) => 0,
+        };
+        pipelines
+            .entry(asn)
+            .or_insert_with(|| AsPipeline::new(cfg.clone(), window))
+            .ingest(&tr);
+    })?;
+
+    Ok(pipelines
+        .into_iter()
+        .map(|(asn, p)| (asn, p.finish()))
+        .collect())
+}
+
+pub fn run(flags: &Flags) -> Result<(), String> {
+    let results = analyze_file(flags)?;
+    if results.is_empty() {
+        return Err("no analysable traceroutes in the window".into());
+    }
+    if flags.switch("json") {
+        let docs: Vec<serde_json::Value> = results
+            .iter()
+            .map(|(asn, a)| {
+                let d = a.detection.as_ref();
+                serde_json::json!({
+                    "asn": asn,
+                    "probes": a.probes_used(),
+                    "class": a.class().name(),
+                    "daily_amplitude_ms": d.map(|d| d.daily_amplitude_ms),
+                    "prominent_frequency_cph": d.and_then(|d| d.prominent_frequency()),
+                    "prominent_is_daily": d.map(|d| d.prominent_is_daily),
+                    "max_agg_delay_ms": a.aggregated.max(),
+                    "coverage": a.aggregated.coverage(),
+                })
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&docs).expect("json encodes")
+        );
+    } else {
+        println!(
+            "{:<10} {:>7} {:>8} {:>12} {:>12} {:>9}",
+            "asn", "probes", "class", "daily amp", "max delay", "coverage"
+        );
+        for (asn, a) in &results {
+            let amp = a
+                .detection
+                .as_ref()
+                .map(|d| format!("{:.2} ms", d.daily_amplitude_ms))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "{:<10} {:>7} {:>8} {:>12} {:>9.2} ms {:>9.2}",
+                if *asn == 0 {
+                    "all".to_string()
+                } else {
+                    format!("AS{asn}")
+                },
+                a.probes_used(),
+                a.class().name(),
+                amp,
+                a.aggregated.max().unwrap_or(0.0),
+                a.aggregated.coverage(),
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! `lastmile hygiene`: the §6 advisory for latency-sensitive studies —
+//! which hours and probes to avoid per AS.
+
+use crate::classify::analyze_file;
+use crate::Flags;
+use lastmile_repro::core::hygiene::advise;
+
+pub fn run(flags: &Flags) -> Result<(), String> {
+    let threshold: f64 = flags.parsed("threshold")?.unwrap_or(0.5);
+    if threshold <= 0.0 {
+        return Err("--threshold must be positive".into());
+    }
+    let results = analyze_file(flags)?;
+    if results.is_empty() {
+        return Err("no analysable traceroutes in the window".into());
+    }
+    for (asn, analysis) in &results {
+        let advisory = advise(analysis, threshold);
+        let label = if *asn == 0 {
+            "all probes".to_string()
+        } else {
+            format!("AS{asn}")
+        };
+        println!("{label}:");
+        println!(
+            "  persistent congestion : {}",
+            if advisory.affected { "YES" } else { "no" }
+        );
+        if advisory.avoid_hours_utc.is_empty() {
+            println!("  avoid hours (UTC)     : none");
+        } else {
+            let hours: Vec<String> = advisory
+                .avoid_hours_utc
+                .iter()
+                .map(|h| format!("{h:02}"))
+                .collect();
+            println!("  avoid hours (UTC)     : {}", hours.join(", "));
+            println!(
+                "  bias if ignored       : +{:.2} ms median inflation",
+                advisory.bias_ms
+            );
+        }
+        if advisory.affected_probes.is_empty() {
+            println!("  biased probes         : none");
+        } else {
+            let ids: Vec<String> = advisory
+                .affected_probes
+                .iter()
+                .map(|p| p.0.to_string())
+                .collect();
+            println!("  biased probes         : {}", ids.join(", "));
+        }
+        println!();
+    }
+    println!("recommendation (paper §6): exclude the listed hours and probes from");
+    println!("latency-based inferences (geolocation, anycast mapping, SLA baselines).");
+    Ok(())
+}

@@ -1,0 +1,196 @@
+//! Input handling: streaming Atlas-format traceroutes and probe metadata
+//! from disk.
+
+use lastmile_repro::atlas::json::AtlasTraceroute;
+use lastmile_repro::atlas::{Probe, ProbeId, TracerouteResult};
+use lastmile_repro::prefix::Asn;
+use lastmile_repro::timebase::{TimeRange, UnixTime};
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// Read traceroutes from a file that is either a JSON array or JSON Lines
+/// (one Atlas document per line), streaming each into `f`.
+///
+/// Malformed lines are counted, not fatal — real Atlas dumps contain the
+/// occasional truncated document. Returns `(parsed, skipped)`.
+pub fn stream_traceroutes(
+    path: &str,
+    mut f: impl FnMut(TracerouteResult),
+) -> Result<(usize, usize), String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut reader = std::io::BufReader::new(file);
+
+    // Peek the first non-whitespace byte to pick array vs lines.
+    let first = {
+        let buf = reader.fill_buf().map_err(|e| format!("read {path}: {e}"))?;
+        buf.iter().copied().find(|b| !b.is_ascii_whitespace())
+    };
+    let mut parsed = 0usize;
+    let mut skipped = 0usize;
+    match first {
+        Some(b'[') => {
+            // Whole-file JSON array.
+            let mut text = String::new();
+            std::io::Read::read_to_string(&mut reader, &mut text)
+                .map_err(|e| format!("read {path}: {e}"))?;
+            let docs: Vec<AtlasTraceroute> =
+                serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+            for doc in &docs {
+                match doc.to_model() {
+                    Ok(tr) => {
+                        parsed += 1;
+                        f(tr);
+                    }
+                    Err(_) => skipped += 1,
+                }
+            }
+        }
+        Some(_) => {
+            // JSON Lines.
+            for line in reader.lines() {
+                let line = line.map_err(|e| format!("read {path}: {e}"))?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<AtlasTraceroute>(&line)
+                    .map_err(|_| ())
+                    .and_then(|d| d.to_model().map_err(|_| ()))
+                {
+                    Ok(tr) => {
+                        parsed += 1;
+                        f(tr);
+                    }
+                    Err(()) => skipped += 1,
+                }
+            }
+        }
+        None => {}
+    }
+    Ok((parsed, skipped))
+}
+
+/// Load probe metadata (a JSON array of [`Probe`] objects).
+pub fn load_probes(path: &str) -> Result<Vec<Probe>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("open {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// Group probes by ASN, excluding anchors (the paper's default view).
+pub fn group_by_asn(probes: &[Probe], anchors_only: bool) -> BTreeMap<Asn, Vec<ProbeId>> {
+    let mut out: BTreeMap<Asn, Vec<ProbeId>> = BTreeMap::new();
+    for p in probes {
+        if p.is_anchor == anchors_only {
+            out.entry(p.asn).or_default().push(p.id);
+        }
+    }
+    out
+}
+
+/// The analysis window from `--start`/`--end` flags, or the span of the
+/// data itself when omitted.
+pub fn resolve_window(
+    start: Option<i64>,
+    end: Option<i64>,
+    data_min: Option<UnixTime>,
+    data_max: Option<UnixTime>,
+) -> Result<TimeRange, String> {
+    let start = start
+        .map(UnixTime::from_secs)
+        .or(data_min)
+        .ok_or("no traceroutes and no --start given")?;
+    let end = end
+        .map(UnixTime::from_secs)
+        .or_else(|| data_max.map(|t| t + 1))
+        .ok_or("no traceroutes and no --end given")?;
+    if end <= start {
+        return Err(format!(
+            "empty window: {} .. {}",
+            start.as_secs(),
+            end.as_secs()
+        ));
+    }
+    Ok(TimeRange::new(start, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lastmile_repro::atlas::ProbeVersion;
+
+    fn probe(id: u32, asn: u32, anchor: bool) -> Probe {
+        Probe {
+            id: ProbeId(id),
+            asn,
+            country: "JP".into(),
+            area: String::new(),
+            is_anchor: anchor,
+            version: ProbeVersion::V3,
+            public_addr: "20.0.0.1".parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn grouping_excludes_anchors_by_default() {
+        let probes = vec![probe(1, 10, false), probe(2, 10, true), probe(3, 20, false)];
+        let groups = group_by_asn(&probes, false);
+        assert_eq!(groups[&10], vec![ProbeId(1)]);
+        assert_eq!(groups[&20], vec![ProbeId(3)]);
+        let anchors = group_by_asn(&probes, true);
+        assert_eq!(anchors[&10], vec![ProbeId(2)]);
+        assert!(!anchors.contains_key(&20));
+    }
+
+    #[test]
+    fn window_resolution() {
+        let w = resolve_window(Some(100), Some(200), None, None).unwrap();
+        assert_eq!(w.duration_secs(), 100);
+        // Falls back to the data span (inclusive of the last instant).
+        let w = resolve_window(
+            None,
+            None,
+            Some(UnixTime::from_secs(10)),
+            Some(UnixTime::from_secs(20)),
+        )
+        .unwrap();
+        assert_eq!(w.start().as_secs(), 10);
+        assert_eq!(w.end().as_secs(), 21);
+        assert!(resolve_window(Some(5), Some(5), None, None).is_err());
+        assert!(resolve_window(None, None, None, None).is_err());
+    }
+
+    #[test]
+    fn streaming_jsonl_and_array() {
+        use lastmile_repro::atlas::json::to_atlas_json;
+        use lastmile_repro::atlas::{Hop, Reply};
+        let tr = TracerouteResult {
+            probe: ProbeId(5),
+            msm_id: 5001,
+            timestamp: UnixTime::from_secs(100),
+            dst: "20.9.9.9".parse().unwrap(),
+            src: "192.168.1.10".parse().unwrap(),
+            hops: vec![Hop {
+                hop: 1,
+                replies: vec![Reply::answered("192.168.1.1".parse().unwrap(), 1.0)],
+            }],
+        };
+        let json = to_atlas_json(&tr, "20.0.0.1".parse().unwrap());
+        let dir = std::env::temp_dir().join("lastmile-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // JSON Lines with one garbage line.
+        let jsonl = dir.join("trs.jsonl");
+        std::fs::write(&jsonl, format!("{json}\nnot-json\n{json}\n")).unwrap();
+        let mut count = 0;
+        let (parsed, skipped) =
+            stream_traceroutes(jsonl.to_str().unwrap(), |_| count += 1).unwrap();
+        assert_eq!((parsed, skipped, count), (2, 1, 2));
+
+        // Array form.
+        let array = dir.join("trs.json");
+        std::fs::write(&array, format!("[{json},{json},{json}]")).unwrap();
+        let mut count = 0;
+        let (parsed, skipped) =
+            stream_traceroutes(array.to_str().unwrap(), |_| count += 1).unwrap();
+        assert_eq!((parsed, skipped, count), (3, 0, 3));
+    }
+}

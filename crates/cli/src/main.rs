@@ -1,0 +1,157 @@
+//! `lastmile` — the command-line face of the reproduction, in the spirit
+//! of the paper's released tooling (raclette): point it at RIPE-Atlas-
+//! format traceroute data and get per-AS persistent-congestion
+//! classifications, or export simulated datasets for downstream tools.
+//!
+//! ```text
+//! lastmile classify --traceroutes FILE [--probes FILE] [--start T --end T] [--json]
+//! lastmile hygiene  --traceroutes FILE [--probes FILE] [--start T --end T] [--threshold MS]
+//! lastmile simulate --scenario tokyo|fig1|anchor --out DIR [--seed N] [--days N]
+//! ```
+//!
+//! Traceroute input is Atlas wire format: either a JSON array or JSON
+//! Lines (one document per line — the format of `magellan`/Atlas dumps).
+//! Probe metadata (`--probes`) is a JSON array of probe objects carrying
+//! `id`, `asn`, `country`, `area`, `is_anchor`, `version`, `public_addr`;
+//! without it, all traceroutes are analysed as a single population and
+//! anchors cannot be excluded.
+
+mod bgp;
+mod classify;
+mod hygiene;
+mod input;
+mod simulate;
+mod throughput;
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Parsed command-line flags: `--name value` pairs after the subcommand.
+pub struct Flags {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut values = BTreeMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument {arg}"));
+            };
+            // Boolean switches take no value.
+            if matches!(name, "json" | "anchors-only") {
+                switches.push(name.to_string());
+                i += 1;
+                continue;
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            values.insert(name.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Flags { values, switches })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.values
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing --{name}"))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// An optional parsed flag.
+    pub fn parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.values.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for --{name}: {v}")),
+        }
+    }
+
+    /// Whether a boolean switch is present.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     lastmile classify --traceroutes FILE [--probes FILE | --bgp TABLE.csv] [--start UNIX --end UNIX] [--min-probes N] [--json]\n  \
+     lastmile hygiene  --traceroutes FILE [--probes FILE] [--start UNIX --end UNIX] [--threshold MS]\n  \
+     lastmile throughput --cdn FILE.tsv --bgp TABLE.csv [--bin-minutes 15] [--view broadband|mobile|v4|v6] [--csv OUT]\n  \
+     lastmile simulate --scenario tokyo|fig1|anchor --out DIR [--seed N] [--days N]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let flags = match Flags::parse(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "classify" => classify::run(&flags),
+        "hygiene" => hygiene::run(&flags),
+        "simulate" => simulate::run(&flags),
+        "throughput" => throughput::run(&flags),
+        other => Err(format!("unknown subcommand {other}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Flags;
+
+    fn parse(args: &[&str]) -> Result<Flags, String> {
+        Flags::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn values_and_switches() {
+        let f = parse(&["--traceroutes", "a.jsonl", "--json", "--seed", "42"]).unwrap();
+        assert_eq!(f.required("traceroutes").unwrap(), "a.jsonl");
+        assert_eq!(f.parsed::<u64>("seed").unwrap(), Some(42));
+        assert!(f.switch("json"));
+        assert!(!f.switch("anchors-only"));
+        assert_eq!(f.optional("missing"), None);
+        assert!(f.required("missing").is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["positional"]).is_err());
+    }
+
+    #[test]
+    fn bad_parse_is_an_error() {
+        let f = parse(&["--seed", "banana"]).unwrap();
+        assert!(f.parsed::<u64>("seed").is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! `lastmile simulate`: export a scenario's datasets to disk —
+//! Atlas-format traceroutes (JSON Lines), probe metadata (JSON), and for
+//! the Tokyo scenario the CDN access logs (TSV) — so external tools (or
+//! the paper's original pipeline) can be pointed at the simulated data.
+
+use crate::Flags;
+use lastmile_repro::atlas::json::to_atlas_json;
+use lastmile_repro::cdnlog::{CdnGeneratorConfig, CdnLogGenerator};
+use lastmile_repro::netsim::scenarios::{anchor, examples, tokyo};
+use lastmile_repro::netsim::{ServiceClass, TracerouteEngine, World};
+use lastmile_repro::timebase::{MeasurementPeriod, TimeRange};
+use std::io::Write;
+
+pub fn run(flags: &Flags) -> Result<(), String> {
+    let scenario = flags.required("scenario")?;
+    let out_dir = flags.required("out")?;
+    let seed: u64 = flags.parsed("seed")?.unwrap_or(20190919);
+    let days: i64 = flags.parsed("days")?.unwrap_or(8);
+    if days <= 0 {
+        return Err("--days must be positive".into());
+    }
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("create {out_dir}: {e}"))?;
+
+    let (world, default_period, with_cdn): (World, MeasurementPeriod, bool) = match scenario {
+        "tokyo" => (
+            tokyo::tokyo_world(seed),
+            MeasurementPeriod::tokyo_cdn_2019(),
+            true,
+        ),
+        "fig1" => (
+            examples::fig1_world(seed),
+            MeasurementPeriod::september_2019(),
+            false,
+        ),
+        "anchor" => (
+            anchor::anchor_world(seed),
+            MeasurementPeriod::september_2019(),
+            false,
+        ),
+        other => return Err(format!("unknown scenario {other} (tokyo|fig1|anchor)")),
+    };
+    let window = TimeRange::new(
+        default_period.start(),
+        (default_period.start() + days * 86_400).min(default_period.end()),
+    );
+
+    // Probe metadata.
+    let probes: Vec<_> = world.probes().iter().map(|p| p.meta.clone()).collect();
+    let probes_path = format!("{out_dir}/probes.json");
+    let json = serde_json::to_string_pretty(&probes).expect("probes encode");
+    std::fs::write(&probes_path, json).map_err(|e| format!("write {probes_path}: {e}"))?;
+    eprintln!("[out] {probes_path} ({} probes)", probes.len());
+
+    // The routing table, for metadata-free classification (--bgp).
+    let table_path = format!("{out_dir}/bgp.csv");
+    std::fs::write(&table_path, crate::bgp::table_to_csv(world.registry()))
+        .map_err(|e| format!("write {table_path}: {e}"))?;
+    eprintln!("[out] {table_path}");
+
+    // Traceroutes, streamed to JSON Lines.
+    let trs_path = format!("{out_dir}/traceroutes.jsonl");
+    let file = std::fs::File::create(&trs_path).map_err(|e| format!("create {trs_path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    let engine = TracerouteEngine::new(&world);
+    let mut count = 0usize;
+    for probe in world.probes() {
+        let mut failed = None;
+        engine.for_each_traceroute(probe, &window, |tr| {
+            let line = to_atlas_json(&tr, probe.meta.public_addr);
+            if let Err(e) = writeln!(w, "{line}") {
+                failed = Some(e);
+            }
+            count += 1;
+        });
+        if let Some(e) = failed {
+            return Err(format!("write {trs_path}: {e}"));
+        }
+    }
+    w.flush().map_err(|e| format!("flush {trs_path}: {e}"))?;
+    eprintln!("[out] {trs_path} ({count} traceroutes)");
+
+    // IPv6 built-ins, when any AS offers an IPv6 service. Kept in a
+    // separate file: the paper's delay analysis is per-family (v6 rides
+    // IPoE with a different RTT baseline).
+    if world.ases().iter().any(|a| a.v6_prefix.is_some()) {
+        let v6_path = format!("{out_dir}/traceroutes_v6.jsonl");
+        let file =
+            std::fs::File::create(&v6_path).map_err(|e| format!("create {v6_path}: {e}"))?;
+        let mut w = std::io::BufWriter::new(file);
+        let mut v6_count = 0usize;
+        for probe in world.probes() {
+            let mut failed = None;
+            engine.for_each_traceroute_v6(probe, &window, |tr| {
+                let line = to_atlas_json(&tr, probe.meta.public_addr);
+                if let Err(e) = writeln!(w, "{line}") {
+                    failed = Some(e);
+                }
+                v6_count += 1;
+            });
+            if let Some(e) = failed {
+                return Err(format!("write {v6_path}: {e}"));
+            }
+        }
+        w.flush().map_err(|e| format!("flush {v6_path}: {e}"))?;
+        eprintln!("[out] {v6_path} ({v6_count} traceroutes)");
+    }
+
+    // CDN logs for the Tokyo scenario.
+    if with_cdn {
+        let cdn_path = format!("{out_dir}/cdn_access.tsv");
+        let file =
+            std::fs::File::create(&cdn_path).map_err(|e| format!("create {cdn_path}: {e}"))?;
+        let mut w = std::io::BufWriter::new(file);
+        let cdn = CdnLogGenerator::new(&world, CdnGeneratorConfig::default_tokyo(seed ^ 0xCD));
+        let mut lines = 0usize;
+        for asn in [tokyo::ISP_A_ASN, tokyo::ISP_B_ASN, tokyo::ISP_C_ASN] {
+            for class in [
+                ServiceClass::BroadbandV4,
+                ServiceClass::BroadbandV6,
+                ServiceClass::Mobile,
+            ] {
+                for rec in cdn.generate(asn, class, &window) {
+                    writeln!(w, "{}", rec.to_tsv())
+                        .map_err(|e| format!("write {cdn_path}: {e}"))?;
+                    lines += 1;
+                }
+            }
+        }
+        w.flush().map_err(|e| format!("flush {cdn_path}: {e}"))?;
+        eprintln!("[out] {cdn_path} ({lines} records)");
+    }
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! `lastmile throughput`: the §4.2 CDN-side analysis over on-disk logs —
+//! the paper's filters (mobile prefixes, > 3 MB, cache-hit) followed by
+//! per-AS binned median throughput.
+//!
+//! ```text
+//! lastmile throughput --cdn FILE.tsv --bgp TABLE.csv
+//!                     [--bin-minutes 15] [--view broadband|mobile|v4|v6]
+//!                     [--csv OUT.csv]
+//! ```
+//!
+//! The TSV format is one record per line:
+//! `timestamp<TAB>client<TAB>bytes<TAB>duration_ms<TAB>HIT|MISS`
+//! (what `lastmile simulate --scenario tokyo` exports, and what a real
+//! CDN log trivially maps onto). The BGP table must carry roles
+//! (`prefix,asn,role`) for the mobile filter to work.
+
+use crate::bgp::load_registry;
+use crate::Flags;
+use lastmile_repro::cdnlog::throughput::daily_minima;
+use lastmile_repro::cdnlog::{binned_median_throughput, AccessLogRecord, LogFilter};
+use lastmile_repro::prefix::Asn;
+use lastmile_repro::timebase::BinSpec;
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+pub fn run(flags: &Flags) -> Result<(), String> {
+    let cdn_path = flags.required("cdn")?;
+    let registry = load_registry(flags.required("bgp")?)?;
+    let bin_minutes: i64 = flags.parsed("bin-minutes")?.unwrap_or(15);
+    if bin_minutes <= 0 {
+        return Err("--bin-minutes must be positive".into());
+    }
+    let bin = BinSpec::new(bin_minutes * 60);
+    let filter = match flags.optional("view").unwrap_or("broadband") {
+        "broadband" => LogFilter::paper_broadband(),
+        "mobile" => LogFilter::paper_mobile(),
+        "v4" => LogFilter::paper_broadband().family(false),
+        "v6" => LogFilter {
+            exclude_mobile: false,
+            ..LogFilter::paper_broadband()
+        }
+        .family(true),
+        other => return Err(format!("unknown --view {other} (broadband|mobile|v4|v6)")),
+    };
+    let mobile_only = flags.optional("view") == Some("mobile");
+
+    // Stream the TSV, filter, and group records by client ASN.
+    let file = std::fs::File::open(cdn_path).map_err(|e| format!("open {cdn_path}: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    let mut by_asn: BTreeMap<Asn, Vec<AccessLogRecord>> = BTreeMap::new();
+    let mut parsed = 0usize;
+    let mut skipped = 0usize;
+    let mut filtered = 0usize;
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read {cdn_path}: {e}"))?;
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Ok(record) = AccessLogRecord::from_tsv(&line) else {
+            skipped += 1;
+            continue;
+        };
+        parsed += 1;
+        if !filter.accepts(&record, &registry) {
+            filtered += 1;
+            continue;
+        }
+        // The mobile view keeps only mobile-prefix clients.
+        if mobile_only && !registry.is_mobile(record.client) {
+            filtered += 1;
+            continue;
+        }
+        let Some(asn) = registry.asn_of(record.client) else {
+            filtered += 1;
+            continue;
+        };
+        by_asn.entry(asn).or_default().push(record);
+    }
+    eprintln!("[input] {parsed} records parsed, {skipped} malformed, {filtered} filtered out");
+    if by_asn.is_empty() {
+        return Err("no records survive the filters".into());
+    }
+
+    let mut csv_rows: Vec<String> = Vec::new();
+    println!(
+        "{:<10} {:>9} {:>7} {:>12} {:>12} {:>24}",
+        "asn", "records", "bins", "median", "min bin", "daily minima (Mbps)"
+    );
+    for (asn, records) in &by_asn {
+        let series = binned_median_throughput(records.iter(), bin);
+        for &(t, v) in &series {
+            csv_rows.push(format!("{asn},{},{v:.3}", t.as_secs()));
+        }
+        let vals: Vec<f64> = series.iter().map(|&(_, v)| v).collect();
+        let median = lastmile_repro::stats::median(&vals).unwrap_or(f64::NAN);
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let minima: Vec<String> = daily_minima(&series)
+            .iter()
+            .map(|(_, v)| format!("{v:.0}"))
+            .collect();
+        println!(
+            "AS{:<8} {:>9} {:>7} {:>8.1}Mbps {:>8.1}Mbps   [{}]",
+            asn,
+            records.len(),
+            series.len(),
+            median,
+            min,
+            minima.join(","),
+        );
+    }
+
+    if let Some(out) = flags.optional("csv") {
+        let mut f = std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+        writeln!(f, "asn,unix_time,median_throughput_mbps")
+            .and_then(|()| csv_rows.iter().try_for_each(|r| writeln!(f, "{r}")))
+            .map_err(|e| format!("write {out}: {e}"))?;
+        eprintln!("[csv] wrote {out} ({} rows)", csv_rows.len());
+    }
+    Ok(())
+}

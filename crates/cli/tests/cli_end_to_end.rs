@@ -1,0 +1,137 @@
+//! End-to-end test of the `lastmile` binary: simulate a scenario to disk,
+//! then classify the exported Atlas-format data and check the verdict
+//! matches the planted ground truth.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lastmile_bin() -> PathBuf {
+    // target/debug/lastmile next to the test binary's directory.
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop(); // deps/
+    path.pop(); // debug/
+    path.push(format!("lastmile{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(lastmile_bin())
+        .args(args)
+        .output()
+        .expect("spawn lastmile");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn simulate_then_classify_round_trip() {
+    let dir = std::env::temp_dir().join(format!("lastmile-e2e-{}", std::process::id()));
+    let dir_s = dir.to_str().unwrap();
+
+    // Export 5 days of the anchor scenario (ISP_D: planted Severe).
+    let (_, err, ok) = run(&[
+        "simulate",
+        "--scenario",
+        "anchor",
+        "--out",
+        dir_s,
+        "--days",
+        "5",
+    ]);
+    assert!(ok, "simulate failed: {err}");
+    assert!(dir.join("traceroutes.jsonl").exists());
+    assert!(dir.join("probes.json").exists());
+
+    // Classify with probe metadata: ISP_D must come back Severe.
+    let trs = dir.join("traceroutes.jsonl");
+    let probes = dir.join("probes.json");
+    let (stdout, err, ok) = run(&[
+        "classify",
+        "--traceroutes",
+        trs.to_str().unwrap(),
+        "--probes",
+        probes.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(ok, "classify failed: {err}");
+    let docs: serde_json::Value = serde_json::from_str(&stdout).expect("json output");
+    let row = &docs.as_array().expect("array")[0];
+    assert_eq!(row["asn"], 64520);
+    assert_eq!(row["class"], "Severe");
+    assert_eq!(row["probes"], 6);
+    assert!(row["daily_amplitude_ms"].as_f64().unwrap() > 3.0);
+
+    // Hygiene output flags the congestion.
+    let (stdout, _, ok) = run(&[
+        "hygiene",
+        "--traceroutes",
+        trs.to_str().unwrap(),
+        "--probes",
+        probes.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("persistent congestion : YES"), "{stdout}");
+    assert!(stdout.contains("avoid hours"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_then_throughput_round_trip() {
+    let dir = std::env::temp_dir().join(format!("lastmile-e2e-thr-{}", std::process::id()));
+    let dir_s = dir.to_str().unwrap();
+    let (_, err, ok) = run(&[
+        "simulate",
+        "--scenario",
+        "tokyo",
+        "--out",
+        dir_s,
+        "--days",
+        "1",
+    ]);
+    assert!(ok, "simulate failed: {err}");
+
+    let cdn = dir.join("cdn_access.tsv");
+    let bgp = dir.join("bgp.csv");
+    let (stdout, err, ok) = run(&[
+        "throughput",
+        "--cdn",
+        cdn.to_str().unwrap(),
+        "--bgp",
+        bgp.to_str().unwrap(),
+    ]);
+    assert!(ok, "throughput failed: {err}");
+    // All three broadband ASNs appear; the legacy ISPs dip below half of
+    // the clean one's floor.
+    for asn in ["AS64511", "AS64512", "AS64513"] {
+        assert!(stdout.contains(asn), "{stdout}");
+    }
+    // The mobile view switches to the mobile ASNs.
+    let (stdout, _, ok) = run(&[
+        "throughput",
+        "--cdn",
+        cdn.to_str().unwrap(),
+        "--bgp",
+        bgp.to_str().unwrap(),
+        "--view",
+        "mobile",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("AS64611"), "{stdout}");
+    assert!(!stdout.contains("AS64511"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let (_, _, ok) = run(&["classify"]); // missing --traceroutes
+    assert!(!ok);
+    let (_, _, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    let (_, _, ok) = run(&["simulate", "--scenario", "nope", "--out", "/tmp"]);
+    assert!(!ok);
+}

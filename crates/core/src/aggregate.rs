@@ -1,0 +1,392 @@
+//! Population aggregation.
+//!
+//! §2.1: "To combine delays from a population, we compute the median value
+//! across all last-mile queuing delay estimates from that population. This
+//! gives us an aggregated queuing delay where large fluctuations reveal
+//! times when the majority of the probes experience high latency."
+//!
+//! [`aggregate_median`] computes that per-bin cross-probe median over a
+//! measurement period. Bins where too few probes report stay empty
+//! ([`AggregatedSignal`] keeps `Option<f64>` per bin); before spectral
+//! analysis the signal is made contiguous by linear interpolation across
+//! short gaps, provided overall coverage is high enough — a judgment call
+//! the paper leaves implicit but any implementation must make.
+
+use crate::series::QueuingDelaySeries;
+use lastmile_stats::median_in_place;
+use lastmile_timebase::{BinIndex, BinSpec, TimeRange, UnixTime, Weekday};
+use std::collections::BTreeMap;
+
+/// Minimum fraction of bins that must hold data for a signal to be
+/// analysable spectrally.
+pub const MIN_COVERAGE: f64 = 0.6;
+
+/// The aggregated (population-median) queuing delay over a period.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggregatedSignal {
+    bin: BinSpec,
+    first_bin: BinIndex,
+    values: Vec<Option<f64>>,
+    probes: usize,
+}
+
+/// Per-bin median queuing delay across a probe population.
+///
+/// * `period` — the measurement period; the signal covers exactly its bins.
+/// * `min_probes_per_bin` — bins where fewer probes report are left empty
+///   (a single probe's value is not a population median).
+pub fn aggregate_median(
+    series: &[QueuingDelaySeries],
+    period: &TimeRange,
+    bin: BinSpec,
+    min_probes_per_bin: usize,
+) -> AggregatedSignal {
+    let indices: Vec<BinIndex> = bin.indices_in(period).collect();
+    let first_bin = indices.first().copied().unwrap_or(0);
+    let mut per_bin: BTreeMap<BinIndex, Vec<f64>> = BTreeMap::new();
+    for s in series {
+        assert_eq!(s.bin(), bin, "series bin width mismatch");
+        for (b, v) in s.iter() {
+            if b >= first_bin && (b - first_bin) < indices.len() as i64 {
+                per_bin.entry(b).or_default().push(v);
+            }
+        }
+    }
+    let values = indices
+        .iter()
+        .map(|b| {
+            per_bin.get_mut(b).and_then(|vals| {
+                if vals.len() >= min_probes_per_bin.max(1) {
+                    median_in_place(vals)
+                } else {
+                    None
+                }
+            })
+        })
+        .collect();
+    AggregatedSignal {
+        bin,
+        first_bin,
+        values,
+        probes: series.iter().filter(|s| !s.is_empty()).count(),
+    }
+}
+
+impl AggregatedSignal {
+    /// The bin width.
+    pub fn bin(&self) -> BinSpec {
+        self.bin
+    }
+
+    /// Number of bins covered (including empty ones).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the period contained no bins.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of probes that contributed at least one bin.
+    pub fn probe_count(&self) -> usize {
+        self.probes
+    }
+
+    /// Fraction of bins holding a value.
+    pub fn coverage(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().filter(|v| v.is_some()).count() as f64 / self.values.len() as f64
+    }
+
+    /// Iterate `(bin start, value)` over all bins.
+    pub fn iter(&self) -> impl Iterator<Item = (UnixTime, Option<f64>)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (self.bin.index_start(self.first_bin + i as i64), *v))
+    }
+
+    /// The maximum aggregated delay (Figure 5's markers sit on daily
+    /// maxima).
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().flatten().copied().reduce(f64::max)
+    }
+
+    /// A contiguous copy with short gaps linearly interpolated, suitable
+    /// for the Welch detector. Returns `None` when coverage is below
+    /// [`MIN_COVERAGE`] or no bin holds data.
+    pub fn contiguous(&self) -> Option<Vec<f64>> {
+        if self.coverage() < MIN_COVERAGE {
+            return None;
+        }
+        let n = self.values.len();
+        let mut out = vec![0.0f64; n];
+        let mut last_known: Option<(usize, f64)> = None;
+        let mut first_known: Option<usize> = None;
+        for i in 0..n {
+            if let Some(v) = self.values[i] {
+                if first_known.is_none() {
+                    first_known = Some(i);
+                    // Back-fill the leading gap with the first value.
+                    for slot in out.iter_mut().take(i) {
+                        *slot = v;
+                    }
+                }
+                if let Some((j, prev)) = last_known {
+                    // Interpolate the interior gap (j, i).
+                    let span = (i - j) as f64;
+                    for (off, slot) in out.iter_mut().enumerate().take(i).skip(j + 1) {
+                        let frac = (off - j) as f64 / span;
+                        *slot = prev * (1.0 - frac) + v * frac;
+                    }
+                }
+                out[i] = v;
+                last_known = Some((i, v));
+            }
+        }
+        let (tail, tail_v) = last_known?;
+        for slot in out.iter_mut().skip(tail + 1) {
+            *slot = tail_v;
+        }
+        Some(out)
+    }
+
+    /// Fold the period onto one week (the Figure 1/8 view): for each
+    /// week-position (weekday × bin-of-day) the median across occurrences.
+    ///
+    /// Returns `(hours since Monday 00:00, median delay)`, sorted.
+    pub fn fold_weekly(&self) -> Vec<(f64, f64)> {
+        let bins_per_day = self.bin.bins_per_day() as i64;
+        let mut groups: BTreeMap<i64, Vec<f64>> = BTreeMap::new();
+        for (start, v) in self.iter() {
+            let Some(v) = v else { continue };
+            let weekday =
+                lastmile_timebase::CivilDate::from_days_since_epoch(start.days_since_epoch())
+                    .weekday();
+            let bin_of_day = start.seconds_of_day() / self.bin.width_secs();
+            let pos = weekday.monday_index() as i64 * bins_per_day + bin_of_day;
+            groups.entry(pos).or_default().push(v);
+        }
+        groups
+            .into_iter()
+            .map(|(pos, mut vals)| {
+                let hours = pos as f64 * self.bin.width_secs() as f64 / 3600.0;
+                (
+                    hours,
+                    median_in_place(&mut vals).expect("group is non-empty"),
+                )
+            })
+            .collect()
+    }
+
+    /// Daily maxima: `(day start, max delay of that day)` — Figure 5's
+    /// markers.
+    pub fn daily_maxima(&self) -> Vec<(UnixTime, f64)> {
+        let mut out: BTreeMap<i64, f64> = BTreeMap::new();
+        for (start, v) in self.iter() {
+            if let Some(v) = v {
+                let day = start.days_since_epoch();
+                out.entry(day).and_modify(|m| *m = m.max(v)).or_insert(v);
+            }
+        }
+        out.into_iter()
+            .map(|(day, v)| (UnixTime::from_secs(day * 86_400), v))
+            .collect()
+    }
+
+    /// Median of the signal restricted to one weekday (diagnostics).
+    pub fn weekday_median(&self, weekday: Weekday) -> Option<f64> {
+        let mut vals: Vec<f64> = self
+            .iter()
+            .filter_map(|(start, v)| {
+                let wd =
+                    lastmile_timebase::CivilDate::from_days_since_epoch(start.days_since_epoch())
+                        .weekday();
+                if wd == weekday {
+                    v
+                } else {
+                    None
+                }
+            })
+            .collect();
+        median_in_place(&mut vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::ProbeSeriesBuilder;
+    use lastmile_atlas::{Hop, ProbeId, Reply, TracerouteResult};
+    use std::net::IpAddr;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn tr(probe: u32, t: i64, last_mile_ms: f64) -> TracerouteResult {
+        TracerouteResult {
+            probe: ProbeId(probe),
+            msm_id: 5001,
+            timestamp: UnixTime::from_secs(t),
+            dst: ip("20.9.9.9"),
+            src: ip("192.168.1.10"),
+            hops: vec![
+                Hop {
+                    hop: 1,
+                    replies: vec![Reply::answered(ip("192.168.1.1"), 1.0); 3],
+                },
+                Hop {
+                    hop: 2,
+                    replies: vec![Reply::answered(ip("20.0.0.1"), 1.0 + last_mile_ms); 3],
+                },
+            ],
+        }
+    }
+
+    /// Build a queuing-delay series for a probe from (bin, rtt) pairs.
+    fn series(probe: u32, bins: &[(i64, f64)]) -> QueuingDelaySeries {
+        let mut b = ProbeSeriesBuilder::paper(ProbeId(probe));
+        for &(bin, rtt) in bins {
+            for i in 0..3 {
+                b.ingest(&tr(probe, bin * 1800 + i * 300, rtt));
+            }
+        }
+        b.finish().queuing_delay()
+    }
+
+    fn one_day() -> TimeRange {
+        TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(86_400))
+    }
+
+    #[test]
+    fn median_across_probes() {
+        // Three probes; bin 1 values 0, 4, 10 after baseline removal.
+        let s = vec![
+            series(1, &[(0, 5.0), (1, 5.0)]),  // q: 0, 0
+            series(2, &[(0, 5.0), (1, 9.0)]),  // q: 0, 4
+            series(3, &[(0, 5.0), (1, 15.0)]), // q: 0, 10
+        ];
+        let agg = aggregate_median(&s, &one_day(), BinSpec::thirty_minutes(), 1);
+        assert_eq!(agg.probe_count(), 3);
+        let vals: Vec<Option<f64>> = agg.iter().map(|(_, v)| v).take(2).collect();
+        assert_eq!(vals, vec![Some(0.0), Some(4.0)]);
+        assert_eq!(agg.len(), 48);
+    }
+
+    #[test]
+    fn aggregated_median_needs_majority() {
+        // One congested probe among three: the aggregate must NOT follow it
+        // (the paper: "the majority of the probes should experience delay
+        // increase to be visible at the AS level").
+        let s = vec![
+            series(1, &[(0, 5.0), (1, 5.0)]),
+            series(2, &[(0, 5.0), (1, 5.0)]),
+            series(3, &[(0, 5.0), (1, 25.0)]),
+        ];
+        let agg = aggregate_median(&s, &one_day(), BinSpec::thirty_minutes(), 1);
+        let bin1 = agg.iter().nth(1).unwrap().1;
+        assert_eq!(bin1, Some(0.0));
+    }
+
+    #[test]
+    fn min_probes_per_bin_blanks_sparse_bins() {
+        let s = vec![series(1, &[(0, 5.0), (1, 6.0)]), series(2, &[(0, 5.0)])];
+        let agg = aggregate_median(&s, &one_day(), BinSpec::thirty_minutes(), 2);
+        let vals: Vec<Option<f64>> = agg.iter().map(|(_, v)| v).take(2).collect();
+        assert_eq!(vals[0], Some(0.0));
+        assert_eq!(vals[1], None, "only one probe reported bin 1");
+    }
+
+    #[test]
+    fn coverage_and_contiguous() {
+        // 48-bin day, data in 40 bins -> coverage 40/48 > 0.6.
+        let bins: Vec<(i64, f64)> = (0..40).map(|b| (b, 5.0 + b as f64 * 0.1)).collect();
+        let s = vec![series(1, &bins)];
+        let agg = aggregate_median(&s, &one_day(), BinSpec::thirty_minutes(), 1);
+        assert!((agg.coverage() - 40.0 / 48.0).abs() < 1e-12);
+        let filled = agg.contiguous().unwrap();
+        assert_eq!(filled.len(), 48);
+        // Tail is padded with the last value.
+        assert_eq!(filled[47], filled[39]);
+    }
+
+    #[test]
+    fn interior_gaps_interpolate_linearly() {
+        let s = vec![series(1, &[(0, 5.0), (4, 9.0)])];
+        // Period of just 5 bins so coverage (2/5) still fails; widen min.
+        let range = TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(5 * 1800));
+        let agg = aggregate_median(&s, &range, BinSpec::thirty_minutes(), 1);
+        // Coverage 0.4 < 0.6: refuse.
+        assert!(agg.contiguous().is_none());
+        // With three bins filled out of five, interpolation engages.
+        let s = vec![series(1, &[(0, 5.0), (2, 7.0), (4, 9.0)])];
+        let agg = aggregate_median(&s, &range, BinSpec::thirty_minutes(), 1);
+        let filled = agg.contiguous().unwrap();
+        assert_eq!(filled, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_population() {
+        let agg = aggregate_median(&[], &one_day(), BinSpec::thirty_minutes(), 1);
+        assert_eq!(agg.probe_count(), 0);
+        assert_eq!(agg.coverage(), 0.0);
+        assert!(agg.contiguous().is_none());
+        assert_eq!(agg.max(), None);
+        assert!(agg.fold_weekly().is_empty());
+    }
+
+    #[test]
+    fn fold_weekly_groups_by_weekday_and_hour() {
+        // Two weeks of data with value = weekday index; folding must
+        // produce one point per (weekday, bin) with that value.
+        // Jan 5 1970 is a Monday (day 4).
+        let monday = 4 * 48; // bin index of Monday 00:00
+        let mut bins = Vec::new();
+        for week in 0..2 {
+            for day in 0..7i64 {
+                bins.push((monday + week * 7 * 48 + day * 48, 5.0 + day as f64));
+            }
+        }
+        let s = vec![series(1, &bins)];
+        let range = TimeRange::new(
+            UnixTime::from_secs(monday * 1800),
+            UnixTime::from_secs((monday + 14 * 48) * 1800),
+        );
+        let agg = aggregate_median(&s, &range, BinSpec::thirty_minutes(), 1);
+        let folded = agg.fold_weekly();
+        assert_eq!(folded.len(), 7, "one point per weekday at midnight");
+        for (i, (hours, v)) in folded.iter().enumerate() {
+            assert!((hours - i as f64 * 24.0).abs() < 1e-9);
+            assert!((v - i as f64).abs() < 1e-9, "weekday {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn weekday_median_selects_one_day() {
+        // Day 0 of the epoch is a Thursday; give Thursday bins value 2 and
+        // Friday bins value 7.
+        let s = vec![series(1, &[(0, 7.0), (10, 7.0), (48, 12.0), (58, 12.0)])];
+        let range = TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(2 * 86_400));
+        let agg = aggregate_median(&s, &range, BinSpec::thirty_minutes(), 1);
+        use lastmile_timebase::Weekday;
+        assert_eq!(agg.weekday_median(Weekday::Thursday), Some(0.0)); // 7-7=0 baseline
+        assert_eq!(agg.weekday_median(Weekday::Friday), Some(5.0)); // 12-7
+        assert_eq!(agg.weekday_median(Weekday::Monday), None);
+    }
+
+    #[test]
+    fn daily_maxima() {
+        let s = vec![series(1, &[(0, 5.0), (10, 9.0), (50, 5.0), (60, 7.0)])];
+        let range = TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(2 * 86_400));
+        let agg = aggregate_median(&s, &range, BinSpec::thirty_minutes(), 1);
+        let maxima = agg.daily_maxima();
+        assert_eq!(maxima.len(), 2);
+        assert_eq!(maxima[0].1, 4.0); // day 0: max(0, 4)
+        assert_eq!(maxima[1].1, 2.0); // day 1: max(0, 2)
+        assert_eq!(agg.max(), Some(4.0));
+    }
+}

@@ -1,0 +1,167 @@
+//! Delay–throughput correlation (§4.3).
+//!
+//! "To better understand the relationship between delay and throughput
+//! fluctuations, we cross-reference both datasets. For congested ASes, we
+//! find that there is clear non-linear correlations between delay and
+//! throughput, hence we report correlation using Spearman's rank
+//! correlation coefficient." — ρ(ISP_A) = −0.6, ρ(ISP_C) = 0.0.
+//!
+//! The two series live on different grids: aggregated delay on 30-minute
+//! bins, CDN median throughput on 15-minute bins. [`join_by_time`] pairs
+//! each throughput point with the delay bin containing its timestamp, and
+//! [`delay_throughput_rho`] computes Spearman's ρ over the joined pairs.
+
+use crate::aggregate::AggregatedSignal;
+use lastmile_stats::spearman;
+use lastmile_timebase::UnixTime;
+
+/// Pair each `(timestamp, value)` point with the delay-bin value covering
+/// its timestamp. Points over empty delay bins are skipped.
+///
+/// Returns `(delay_ms, value)` pairs — the scatter of Figure 7.
+pub fn join_by_time(
+    delay: &AggregatedSignal,
+    points: impl IntoIterator<Item = (UnixTime, f64)>,
+) -> Vec<(f64, f64)> {
+    // Index the delay signal once.
+    let bin = delay.bin();
+    let delay_bins: std::collections::BTreeMap<i64, f64> = delay
+        .iter()
+        .filter_map(|(start, v)| v.map(|v| (bin.bin_index(start), v)))
+        .collect();
+    points
+        .into_iter()
+        .filter_map(|(t, v)| delay_bins.get(&bin.bin_index(t)).map(|&d| (d, v)))
+        .collect()
+}
+
+/// Spearman's ρ between delay and a joined metric. `None` when fewer than
+/// two pairs survive the join or a side is constant.
+pub fn delay_throughput_rho(pairs: &[(f64, f64)]) -> Option<f64> {
+    let (d, t): (Vec<f64>, Vec<f64>) = pairs.iter().copied().unzip();
+    spearman(&d, &t)
+}
+
+/// §4.3's headline check: "we always observe low throughput when
+/// aggregated delay is above 1 ms". Returns the maximum throughput seen
+/// over pairs with delay above the threshold, or `None` when no such pair
+/// exists.
+pub fn max_throughput_above_delay(pairs: &[(f64, f64)], delay_threshold_ms: f64) -> Option<f64> {
+    pairs
+        .iter()
+        .filter(|(d, _)| *d > delay_threshold_ms)
+        .map(|&(_, t)| t)
+        .reduce(f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::aggregate_median;
+    use crate::series::ProbeSeriesBuilder;
+    use lastmile_atlas::{Hop, ProbeId, Reply, TracerouteResult};
+    use lastmile_timebase::{BinSpec, TimeRange};
+    use std::net::IpAddr;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn tr(t: i64, last_mile_ms: f64) -> TracerouteResult {
+        TracerouteResult {
+            probe: ProbeId(1),
+            msm_id: 5001,
+            timestamp: UnixTime::from_secs(t),
+            dst: ip("20.9.9.9"),
+            src: ip("192.168.1.10"),
+            hops: vec![
+                Hop {
+                    hop: 1,
+                    replies: vec![Reply::answered(ip("192.168.1.1"), 1.0); 3],
+                },
+                Hop {
+                    hop: 2,
+                    replies: vec![Reply::answered(ip("20.0.0.1"), 1.0 + last_mile_ms); 3],
+                },
+            ],
+        }
+    }
+
+    /// An aggregated signal with delay = bin index (0..4) over 5 bins.
+    fn staircase_delay() -> AggregatedSignal {
+        let mut b = ProbeSeriesBuilder::paper(ProbeId(1));
+        for bin in 0..5i64 {
+            for i in 0..3 {
+                b.ingest(&tr(bin * 1800 + i * 300, 5.0 + bin as f64));
+            }
+        }
+        let s = vec![b.finish().queuing_delay()];
+        let range = TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(5 * 1800));
+        aggregate_median(&s, &range, BinSpec::thirty_minutes(), 1)
+    }
+
+    #[test]
+    fn join_pairs_15min_points_with_30min_bins() {
+        let delay = staircase_delay();
+        // Two 15-minute throughput points per delay bin.
+        let points: Vec<(UnixTime, f64)> = (0..10)
+            .map(|i| (UnixTime::from_secs(i * 900 + 10), 50.0 - i as f64))
+            .collect();
+        let pairs = join_by_time(&delay, points);
+        assert_eq!(pairs.len(), 10);
+        // The first two points share delay bin 0.
+        assert_eq!(pairs[0].0, 0.0);
+        assert_eq!(pairs[1].0, 0.0);
+        assert_eq!(pairs[2].0, 1.0);
+    }
+
+    #[test]
+    fn points_over_missing_bins_are_skipped() {
+        let delay = staircase_delay();
+        // A point far outside the covered window.
+        let pairs = join_by_time(&delay, vec![(UnixTime::from_secs(99 * 1800), 10.0)]);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn inverse_relation_gives_negative_rho() {
+        let delay = staircase_delay();
+        let points: Vec<(UnixTime, f64)> = (0..5)
+            .map(|i| (UnixTime::from_secs(i * 1800 + 5), 50.0 / (1.0 + i as f64)))
+            .collect();
+        let pairs = join_by_time(&delay, points);
+        let rho = delay_throughput_rho(&pairs).unwrap();
+        assert!((rho + 1.0).abs() < 1e-9, "rho {rho}");
+    }
+
+    #[test]
+    fn unrelated_metric_gives_near_zero_rho() {
+        let delay = staircase_delay();
+        let points: Vec<(UnixTime, f64)> = (0..5)
+            .map(|i| {
+                (
+                    UnixTime::from_secs(i * 1800 + 5),
+                    if i % 2 == 0 { 40.0 } else { 42.0 },
+                )
+            })
+            .collect();
+        let pairs = join_by_time(&delay, points);
+        let rho = delay_throughput_rho(&pairs).unwrap().abs();
+        assert!(rho < 0.5, "rho {rho}");
+    }
+
+    #[test]
+    fn max_throughput_above_threshold() {
+        let pairs = vec![(0.2, 50.0), (1.5, 20.0), (2.5, 18.0), (0.9, 45.0)];
+        assert_eq!(max_throughput_above_delay(&pairs, 1.0), Some(20.0));
+        assert_eq!(max_throughput_above_delay(&pairs, 5.0), None);
+        assert!(delay_throughput_rho(&pairs).unwrap() < -0.9);
+    }
+
+    #[test]
+    fn degenerate_correlations() {
+        assert_eq!(delay_throughput_rho(&[]), None);
+        assert_eq!(delay_throughput_rho(&[(1.0, 2.0)]), None);
+        assert_eq!(delay_throughput_rho(&[(1.0, 2.0), (1.0, 3.0)]), None); // constant delay
+    }
+}

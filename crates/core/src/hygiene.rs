@@ -1,0 +1,213 @@
+//! Measurement hygiene (§6 recommendations).
+//!
+//! "Special care is also required when working with measurement platforms,
+//! such as RIPE Atlas. For instance, geolocation studies and services
+//! based on latency should avoid making inferences during peak hours and
+//! with probes affected by persistent last-mile congestion. More
+//! generally, we recommend inspecting last-mile latency for any Internet
+//! delay study."
+//!
+//! [`advise`] turns a [`PopulationAnalysis`] into an actionable advisory:
+//! whether the AS is affected at all, which UTC hours to avoid, which
+//! probes are individually biased, and how large the inflation is — so a
+//! downstream delay study (geolocation, anycast mapping, SLA monitoring)
+//! can exclude exactly the measurements the paper warns about.
+
+use crate::pipeline::PopulationAnalysis;
+use lastmile_atlas::ProbeId;
+use lastmile_stats::median;
+
+/// A latency-study advisory for one AS over one measurement period.
+#[derive(Clone, Debug)]
+pub struct HygieneAdvisory {
+    /// Whether the AS shows reportable persistent last-mile congestion.
+    pub affected: bool,
+    /// UTC hours of day (0–23) during which the aggregated queuing delay
+    /// exceeds the threshold — the "peak hours" to avoid.
+    pub avoid_hours_utc: Vec<u8>,
+    /// Probes whose own queuing delay crosses the threshold in a
+    /// non-negligible fraction of bins — biased vantage points.
+    pub affected_probes: Vec<ProbeId>,
+    /// Median delay inflation (ms) inside the avoid-hours relative to the
+    /// rest of the day: the bias a naive study would absorb.
+    pub bias_ms: f64,
+}
+
+impl HygieneAdvisory {
+    /// Whether a measurement taken at this UTC hour from this probe
+    /// should be used by a latency-sensitive study.
+    pub fn measurement_is_clean(&self, hour_utc: u8, probe: ProbeId) -> bool {
+        !self.avoid_hours_utc.contains(&hour_utc) && !self.affected_probes.contains(&probe)
+    }
+}
+
+/// Build an advisory. `threshold_ms` is the queuing-delay level considered
+/// harmful for the downstream study (the paper's reporting threshold,
+/// 0.5 ms, is a sensible default for geolocation).
+pub fn advise(analysis: &PopulationAnalysis, threshold_ms: f64) -> HygieneAdvisory {
+    assert!(threshold_ms > 0.0, "threshold must be positive");
+
+    // Per-UTC-hour medians of the aggregated signal.
+    let mut per_hour: [Vec<f64>; 24] = Default::default();
+    for (start, v) in analysis.aggregated.iter() {
+        if let Some(v) = v {
+            per_hour[start.hour_of_day() as usize].push(v);
+        }
+    }
+    let hour_medians: Vec<Option<f64>> = per_hour.iter().map(|v| median(v)).collect();
+    let avoid_hours_utc: Vec<u8> = hour_medians
+        .iter()
+        .enumerate()
+        .filter_map(|(h, m)| match m {
+            Some(m) if *m > threshold_ms => Some(h as u8),
+            _ => None,
+        })
+        .collect();
+
+    // Bias: inflation inside vs outside the avoid window.
+    let inside: Vec<f64> = avoid_hours_utc
+        .iter()
+        .filter_map(|&h| hour_medians[h as usize])
+        .collect();
+    let outside: Vec<f64> = (0u8..24)
+        .filter(|h| !avoid_hours_utc.contains(h))
+        .filter_map(|h| hour_medians[h as usize])
+        .collect();
+    let bias_ms = match (median(&inside), median(&outside)) {
+        (Some(i), Some(o)) => (i - o).max(0.0),
+        _ => 0.0,
+    };
+
+    // Probes individually biased: above threshold in over 5% of bins.
+    let affected_probes: Vec<ProbeId> = analysis
+        .probe_series
+        .iter()
+        .filter(|s| s.fraction_above(threshold_ms) > 0.05)
+        .map(|s| s.probe())
+        .collect();
+
+    HygieneAdvisory {
+        affected: analysis.class().is_reported(),
+        avoid_hours_utc,
+        affected_probes,
+        bias_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{AsPipeline, PipelineConfig};
+    use lastmile_atlas::{Hop, Reply, TracerouteResult};
+    use lastmile_timebase::{TimeRange, UnixTime};
+    use std::net::IpAddr;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn tr(probe: u32, t: i64, last_mile_ms: f64) -> TracerouteResult {
+        TracerouteResult {
+            probe: ProbeId(probe),
+            msm_id: 5001,
+            timestamp: UnixTime::from_secs(t),
+            dst: ip("20.9.9.9"),
+            src: ip("192.168.1.10"),
+            hops: vec![
+                Hop {
+                    hop: 1,
+                    replies: vec![Reply::answered(ip("192.168.1.1"), 1.0); 3],
+                },
+                Hop {
+                    hop: 2,
+                    replies: vec![Reply::answered(ip("20.0.0.1"), 1.0 + last_mile_ms); 3],
+                },
+            ],
+        }
+    }
+
+    /// A population whose delay rises by `peak_ms` between 12:00 and 15:00
+    /// UTC every day.
+    fn analysis_with_peak(n_probes: u32, peak_ms: f64) -> PopulationAnalysis {
+        let period = TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(15 * 86_400));
+        let mut p = AsPipeline::new(PipelineConfig::paper(), period);
+        for probe in 1..=n_probes {
+            for bin in 0..(15 * 48) {
+                let hour = (bin % 48) / 2;
+                let rtt = if (12..15).contains(&hour) {
+                    5.0 + peak_ms
+                } else {
+                    5.0
+                };
+                for i in 0..3 {
+                    p.ingest(&tr(probe, bin * 1800 + i * 400, rtt));
+                }
+            }
+        }
+        p.finish()
+    }
+
+    #[test]
+    fn congested_population_gets_avoid_hours() {
+        let analysis = analysis_with_peak(4, 4.0);
+        let advisory = advise(&analysis, 0.5);
+        assert!(advisory.affected);
+        assert_eq!(advisory.avoid_hours_utc, vec![12, 13, 14]);
+        assert!(
+            (advisory.bias_ms - 4.0).abs() < 0.2,
+            "bias {}",
+            advisory.bias_ms
+        );
+        // Every probe crosses the threshold during the peak window.
+        assert_eq!(advisory.affected_probes.len(), 4);
+    }
+
+    #[test]
+    fn clean_population_is_unrestricted() {
+        let analysis = analysis_with_peak(4, 0.0);
+        let advisory = advise(&analysis, 0.5);
+        assert!(!advisory.affected);
+        assert!(advisory.avoid_hours_utc.is_empty());
+        assert!(advisory.affected_probes.is_empty());
+        assert_eq!(advisory.bias_ms, 0.0);
+        assert!(advisory.measurement_is_clean(13, ProbeId(1)));
+    }
+
+    #[test]
+    fn clean_measurement_predicate() {
+        let analysis = analysis_with_peak(4, 4.0);
+        let advisory = advise(&analysis, 0.5);
+        // Peak hour: rejected regardless of probe.
+        assert!(!advisory.measurement_is_clean(12, ProbeId(999)));
+        // Off-peak but from an affected probe: rejected.
+        assert!(!advisory.measurement_is_clean(3, ProbeId(1)));
+        // Off-peak from an unaffected probe: accepted.
+        assert!(advisory.measurement_is_clean(3, ProbeId(999)));
+    }
+
+    #[test]
+    fn threshold_scales_the_window() {
+        let analysis = analysis_with_peak(4, 4.0);
+        // With a 10 ms tolerance nothing is flagged.
+        let advisory = advise(&analysis, 10.0);
+        assert!(advisory.avoid_hours_utc.is_empty());
+        assert!(advisory.affected_probes.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn rejects_nonpositive_threshold() {
+        let analysis = analysis_with_peak(3, 1.0);
+        let _ = advise(&analysis, 0.0);
+    }
+
+    #[test]
+    fn empty_analysis_is_clean() {
+        let period = TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(86_400));
+        let analysis = AsPipeline::new(PipelineConfig::paper(), period).finish();
+        let advisory = advise(&analysis, 0.5);
+        assert!(!advisory.affected);
+        assert!(advisory.avoid_hours_utc.is_empty());
+        assert_eq!(advisory.bias_ms, 0.0);
+    }
+}

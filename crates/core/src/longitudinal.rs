@@ -1,0 +1,231 @@
+//! Longitudinal amplitude tracking.
+//!
+//! The paper's title claim — congestion that is *persistent* — rests on
+//! §3.1's longitudinal view: "36 ASes are reported for at least half of
+//! the measurement periods" and the abstract's "may span years". Between
+//! the six half-month snapshots, though, the amplitude's *trajectory* is
+//! invisible. This module provides the continuous view: a sliding Welch
+//! window over a long queuing-delay signal, yielding the daily
+//! peak-to-peak amplitude as a time series, plus run-length statistics
+//! ("how long has this AS been congested without interruption?").
+//!
+//! This is an extension beyond the paper's published analysis, built from
+//! the same primitives; the paper's per-period classification is the
+//! special case of one window per measurement period.
+
+use crate::detect::{CongestionClass, LOW_THRESHOLD_MS};
+use lastmile_dsp::spectrum::prominent_peak;
+use lastmile_dsp::welch::{welch_peak_to_peak, WelchConfig};
+use lastmile_timebase::{BinSpec, TimeRange, UnixTime};
+
+/// One sliding-window measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AmplitudePoint {
+    /// Start of the window.
+    pub window_start: UnixTime,
+    /// Daily peak-to-peak amplitude within the window, ms.
+    pub daily_amplitude_ms: f64,
+    /// Whether the daily component was the prominent one in this window.
+    pub daily_is_prominent: bool,
+}
+
+impl AmplitudePoint {
+    /// Whether this window would be *reported* by the paper's rule
+    /// (prominent daily pattern above the Low threshold).
+    pub fn is_reported(&self) -> bool {
+        self.daily_is_prominent && self.daily_amplitude_ms > LOW_THRESHOLD_MS
+    }
+
+    /// The class this window alone would receive.
+    pub fn class(&self) -> CongestionClass {
+        CongestionClass::from_amplitude(self.daily_is_prominent, self.daily_amplitude_ms)
+    }
+}
+
+/// Sliding-window daily-amplitude tracking over a contiguous signal.
+///
+/// * `signal` — queuing delay per bin, gap-filled
+///   (see [`crate::aggregate::AggregatedSignal::contiguous`]);
+/// * `signal_start` — instant of the first sample;
+/// * `bin` — bin width of the samples;
+/// * `window_days` — length of each analysis window (≥ 4, so the Welch
+///   segment fits);
+/// * `step_days` — slide between windows (≥ 1).
+///
+/// Windows that fail spectral analysis (degenerate signals) are skipped.
+pub fn sliding_daily_amplitude(
+    signal: &[f64],
+    signal_start: UnixTime,
+    bin: BinSpec,
+    window_days: usize,
+    step_days: usize,
+) -> Vec<AmplitudePoint> {
+    assert!(window_days >= 4, "window must cover at least one 4-day Welch segment");
+    assert!(step_days >= 1, "step must be at least one day");
+    let bins_per_day = bin.bins_per_day();
+    let window_len = window_days * bins_per_day;
+    let step = step_days * bins_per_day;
+    let cfg = WelchConfig::for_daily_analysis(bin.samples_per_hour());
+
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start + window_len <= signal.len() {
+        let window = &signal[start..start + window_len];
+        if let Ok(spectrum) = welch_peak_to_peak(window, &cfg) {
+            let peak = prominent_peak(&spectrum);
+            out.push(AmplitudePoint {
+                window_start: signal_start + (start as i64 * bin.width_secs()),
+                daily_amplitude_ms: spectrum
+                    .amplitude_near(lastmile_dsp::welch::DAILY_CYCLES_PER_HOUR)
+                    .unwrap_or(0.0),
+                daily_is_prominent: peak.as_ref().is_some_and(|p| p.is_daily()),
+            });
+        }
+        start += step;
+    }
+    out
+}
+
+/// The longest uninterrupted run of reported windows, as a time range —
+/// "how long did the congestion persist?". `None` when no window reports.
+pub fn longest_reported_run(
+    points: &[AmplitudePoint],
+    window_days: usize,
+) -> Option<TimeRange> {
+    let mut best: Option<(usize, usize)> = None; // (start index, len)
+    let mut current: Option<(usize, usize)> = None;
+    for (i, p) in points.iter().enumerate() {
+        if p.is_reported() {
+            current = Some(match current {
+                Some((s, l)) => (s, l + 1),
+                None => (i, 1),
+            });
+            if current.map(|(_, l)| l) > best.map(|(_, l)| l) {
+                best = current;
+            }
+        } else {
+            current = None;
+        }
+    }
+    best.map(|(s, l)| {
+        let start = points[s].window_start;
+        let end = points[s + l - 1].window_start + (window_days as i64 * 86_400);
+        TimeRange::new(start, end)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f64::consts::TAU;
+
+    /// `days` of 30-minute bins; congested (pp = amp) only inside
+    /// `[on_day, off_day)`.
+    fn signal_with_episode(days: usize, on_day: usize, off_day: usize, amp: f64) -> Vec<f64> {
+        (0..days * 48)
+            .map(|i| {
+                let day = i / 48;
+                let a = if (on_day..off_day).contains(&day) { amp } else { 0.05 };
+                a / 2.0 + a / 2.0 * (TAU * i as f64 / 48.0).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tracks_an_episode_on_and_off() {
+        // 60 days, congestion from day 20 to day 40.
+        let sig = signal_with_episode(60, 20, 40, 2.0);
+        let pts = sliding_daily_amplitude(
+            &sig,
+            UnixTime::from_secs(0),
+            BinSpec::thirty_minutes(),
+            4,
+            1,
+        );
+        assert_eq!(pts.len(), 57); // (60-4)/1 + 1 windows
+        // Early windows: quiet. Windows fully inside the episode: ~2 ms.
+        assert!(pts[5].daily_amplitude_ms < 0.3, "{}", pts[5].daily_amplitude_ms);
+        assert!(
+            (pts[25].daily_amplitude_ms - 2.0).abs() < 0.3,
+            "{}",
+            pts[25].daily_amplitude_ms
+        );
+        assert!(pts[25].is_reported());
+        assert!(pts[50].daily_amplitude_ms < 0.3);
+        assert_eq!(pts[25].class(), CongestionClass::Mild);
+    }
+
+    #[test]
+    fn longest_run_matches_the_episode() {
+        let sig = signal_with_episode(60, 20, 40, 2.0);
+        let pts = sliding_daily_amplitude(
+            &sig,
+            UnixTime::from_secs(0),
+            BinSpec::thirty_minutes(),
+            4,
+            1,
+        );
+        let run = longest_reported_run(&pts, 4).expect("episode detected");
+        // The run covers roughly days 18..40 (windows overlapping the
+        // episode report too).
+        let start_day = run.start().as_secs() / 86_400;
+        let end_day = run.end().as_secs() / 86_400;
+        assert!((16..=21).contains(&start_day), "start day {start_day}");
+        assert!((39..=42).contains(&end_day), "end day {end_day}");
+    }
+
+    #[test]
+    fn persistent_signal_is_one_long_run() {
+        let sig = signal_with_episode(30, 0, 30, 4.0);
+        let pts = sliding_daily_amplitude(
+            &sig,
+            UnixTime::from_secs(0),
+            BinSpec::thirty_minutes(),
+            4,
+            2,
+        );
+        assert!(pts.iter().all(AmplitudePoint::is_reported));
+        let run = longest_reported_run(&pts, 4).unwrap();
+        assert_eq!(run.start(), UnixTime::from_secs(0));
+        // Last window starts at day 26 (step 2) and extends 4 days.
+        assert_eq!(run.end().as_secs() / 86_400, 30);
+    }
+
+    #[test]
+    fn quiet_signal_has_no_run() {
+        let sig = signal_with_episode(20, 0, 0, 0.0);
+        let pts = sliding_daily_amplitude(
+            &sig,
+            UnixTime::from_secs(0),
+            BinSpec::thirty_minutes(),
+            4,
+            1,
+        );
+        assert!(longest_reported_run(&pts, 4).is_none());
+    }
+
+    #[test]
+    fn short_signal_yields_nothing() {
+        let sig = signal_with_episode(3, 0, 3, 2.0);
+        let pts = sliding_daily_amplitude(
+            &sig,
+            UnixTime::from_secs(0),
+            BinSpec::thirty_minutes(),
+            4,
+            1,
+        );
+        assert!(pts.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one 4-day")]
+    fn rejects_tiny_windows() {
+        let _ = sliding_daily_amplitude(
+            &[0.0; 480],
+            UnixTime::from_secs(0),
+            BinSpec::thirty_minutes(),
+            2,
+            1,
+        );
+    }
+}

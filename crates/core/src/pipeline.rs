@@ -1,0 +1,299 @@
+//! The end-to-end per-population pipeline.
+//!
+//! An [`AsPipeline`] analyses one probe *population* over one measurement
+//! period — an AS (§3) or an AS restricted to a metro area (§4's Greater
+//! Tokyo selection; the caller chooses which probes' traceroutes to feed).
+//! It routes traceroutes to per-probe series builders, then on
+//! [`AsPipeline::finish`] runs binning → sanity filter → queuing delay →
+//! population median → Welch detection, yielding a
+//! [`PopulationAnalysis`].
+//!
+//! The caller is responsible for pre-filtering (exclude anchors, area
+//! selection) — the pipeline analyses exactly what it is fed, mirroring
+//! how the paper's tooling takes a probe set as input.
+
+use crate::aggregate::{aggregate_median, AggregatedSignal};
+use crate::detect::{detect, CongestionClass, Detection};
+use crate::series::{ProbeSeriesBuilder, QueuingDelaySeries};
+use lastmile_atlas::{ProbeId, TracerouteResult};
+use lastmile_timebase::{BinSpec, TimeRange};
+use std::collections::BTreeMap;
+
+/// Pipeline parameters.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Bin width (paper: 30 minutes).
+    pub bin: BinSpec,
+    /// Sanity filter: minimum traceroutes per probe-bin (paper: 3).
+    pub min_traceroutes_per_bin: usize,
+    /// Minimum probes reporting in a bin for the aggregate to hold a value.
+    pub min_probes_per_bin: usize,
+    /// Minimum probes with data for the population to be analysable
+    /// (paper monitors "ASes hosting at least three Atlas probes").
+    pub min_probes: usize,
+}
+
+impl PipelineConfig {
+    /// The paper's parameters.
+    pub fn paper() -> PipelineConfig {
+        PipelineConfig {
+            bin: BinSpec::thirty_minutes(),
+            min_traceroutes_per_bin: 3,
+            min_probes_per_bin: 2,
+            min_probes: 3,
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::paper()
+    }
+}
+
+/// Streams traceroutes of a probe population into an analysis.
+pub struct AsPipeline {
+    cfg: PipelineConfig,
+    period: TimeRange,
+    builders: BTreeMap<ProbeId, ProbeSeriesBuilder>,
+    ignored_out_of_period: usize,
+}
+
+impl AsPipeline {
+    /// A pipeline over one measurement period.
+    pub fn new(cfg: PipelineConfig, period: TimeRange) -> AsPipeline {
+        AsPipeline {
+            cfg,
+            period,
+            builders: BTreeMap::new(),
+            ignored_out_of_period: 0,
+        }
+    }
+
+    /// The measurement period.
+    pub fn period(&self) -> TimeRange {
+        self.period
+    }
+
+    /// Ingest one traceroute. Traceroutes outside the period are counted
+    /// and dropped (period boundaries are exact, §2's dates are UTC).
+    pub fn ingest(&mut self, tr: &TracerouteResult) {
+        if !self.period.contains(tr.timestamp) {
+            self.ignored_out_of_period += 1;
+            return;
+        }
+        let cfg = &self.cfg;
+        self.builders
+            .entry(tr.probe)
+            .or_insert_with(|| {
+                ProbeSeriesBuilder::new(tr.probe, cfg.bin, cfg.min_traceroutes_per_bin)
+            })
+            .ingest(tr);
+    }
+
+    /// Number of traceroutes dropped for being outside the period.
+    pub fn ignored_out_of_period(&self) -> usize {
+        self.ignored_out_of_period
+    }
+
+    /// Number of probes seen so far.
+    pub fn probe_count(&self) -> usize {
+        self.builders.len()
+    }
+
+    /// Run the full analysis.
+    pub fn finish(self) -> PopulationAnalysis {
+        let cfg = self.cfg;
+        let period = self.period;
+        let probe_series: Vec<QueuingDelaySeries> = self
+            .builders
+            .into_values()
+            .map(|b| b.finish().queuing_delay())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let aggregated = aggregate_median(&probe_series, &period, cfg.bin, cfg.min_probes_per_bin);
+        let enough_probes = probe_series.len() >= cfg.min_probes;
+        let detection = if enough_probes {
+            aggregated
+                .contiguous()
+                .and_then(|signal| detect(&signal, cfg.bin).ok())
+        } else {
+            None
+        };
+        PopulationAnalysis {
+            probe_series,
+            aggregated,
+            detection,
+            enough_probes,
+        }
+    }
+}
+
+/// The result of analysing one probe population over one period.
+#[derive(Clone, Debug)]
+pub struct PopulationAnalysis {
+    /// Per-probe queuing-delay series (probes that survived filtering).
+    pub probe_series: Vec<QueuingDelaySeries>,
+    /// The population-median aggregated signal.
+    pub aggregated: AggregatedSignal,
+    /// Detection outcome; `None` when the population is too small or the
+    /// signal too sparse to analyse.
+    pub detection: Option<Detection>,
+    /// Whether the population met the minimum probe count.
+    pub enough_probes: bool,
+}
+
+impl PopulationAnalysis {
+    /// The congestion class ([`CongestionClass::None`] when no detection
+    /// ran — an unanalysable AS is simply not reported, as in the paper).
+    pub fn class(&self) -> CongestionClass {
+        self.detection
+            .as_ref()
+            .map(|d| d.class)
+            .unwrap_or(CongestionClass::None)
+    }
+
+    /// Probes contributing data.
+    pub fn probes_used(&self) -> usize {
+        self.probe_series.len()
+    }
+
+    /// Fraction of contributing probes whose own queuing delay exceeds
+    /// `threshold_ms` in at least `fraction_of_bins` of their bins — the
+    /// §2.2 per-probe view ("the proportion of probes that experience
+    /// daily queuing delay over 5 ms has tripled").
+    pub fn fraction_of_probes_above(&self, threshold_ms: f64, fraction_of_bins: f64) -> f64 {
+        if self.probe_series.is_empty() {
+            return 0.0;
+        }
+        let hit = self
+            .probe_series
+            .iter()
+            .filter(|s| s.fraction_above(threshold_ms) >= fraction_of_bins)
+            .count();
+        hit as f64 / self.probe_series.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lastmile_atlas::{Hop, Reply};
+    use lastmile_timebase::UnixTime;
+    use std::net::IpAddr;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    fn tr(probe: u32, t: i64, last_mile_ms: f64) -> TracerouteResult {
+        TracerouteResult {
+            probe: ProbeId(probe),
+            msm_id: 5001,
+            timestamp: UnixTime::from_secs(t),
+            dst: ip("20.9.9.9"),
+            src: ip("192.168.1.10"),
+            hops: vec![
+                Hop {
+                    hop: 1,
+                    replies: vec![Reply::answered(ip("192.168.1.1"), 1.0); 3],
+                },
+                Hop {
+                    hop: 2,
+                    replies: vec![Reply::answered(ip("20.0.0.1"), 1.0 + last_mile_ms); 3],
+                },
+            ],
+        }
+    }
+
+    /// Fifteen days, `n_probes`, each with a diurnal last-mile delay of
+    /// peak-to-peak `pp` ms on top of a 5 ms base.
+    fn feed_diurnal(pipeline: &mut AsPipeline, n_probes: u32, pp: f64) {
+        for probe in 1..=n_probes {
+            for bin in 0..(15 * 48) {
+                let phase = core::f64::consts::TAU * bin as f64 / 48.0;
+                let rtt = 5.0 + pp / 2.0 + pp / 2.0 * phase.sin();
+                for i in 0..3 {
+                    pipeline.ingest(&tr(probe, bin * 1800 + i * 400, rtt));
+                }
+            }
+        }
+    }
+
+    fn period_15d() -> TimeRange {
+        TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(15 * 86_400))
+    }
+
+    #[test]
+    fn diurnal_population_is_detected() {
+        let mut p = AsPipeline::new(PipelineConfig::paper(), period_15d());
+        feed_diurnal(&mut p, 5, 2.0);
+        let analysis = p.finish();
+        assert_eq!(analysis.probes_used(), 5);
+        assert!(analysis.enough_probes);
+        let d = analysis.detection.as_ref().expect("detection must run");
+        assert!(d.prominent_is_daily);
+        assert_eq!(analysis.class(), CongestionClass::Mild);
+        assert!(
+            (d.daily_amplitude_ms - 2.0).abs() < 0.2,
+            "{}",
+            d.daily_amplitude_ms
+        );
+    }
+
+    #[test]
+    fn flat_population_is_none() {
+        let mut p = AsPipeline::new(PipelineConfig::paper(), period_15d());
+        feed_diurnal(&mut p, 4, 0.0);
+        let analysis = p.finish();
+        assert_eq!(analysis.class(), CongestionClass::None);
+    }
+
+    #[test]
+    fn too_few_probes_skip_detection() {
+        let mut p = AsPipeline::new(PipelineConfig::paper(), period_15d());
+        feed_diurnal(&mut p, 2, 3.0);
+        let analysis = p.finish();
+        assert!(!analysis.enough_probes);
+        assert!(analysis.detection.is_none());
+        assert_eq!(analysis.class(), CongestionClass::None);
+    }
+
+    #[test]
+    fn out_of_period_traceroutes_are_dropped() {
+        let mut p = AsPipeline::new(PipelineConfig::paper(), period_15d());
+        p.ingest(&tr(1, -100, 5.0));
+        p.ingest(&tr(1, 16 * 86_400, 5.0));
+        assert_eq!(p.ignored_out_of_period(), 2);
+        assert_eq!(p.probe_count(), 0);
+    }
+
+    #[test]
+    fn empty_pipeline_finishes_cleanly() {
+        let analysis = AsPipeline::new(PipelineConfig::paper(), period_15d()).finish();
+        assert_eq!(analysis.probes_used(), 0);
+        assert!(analysis.detection.is_none());
+        assert_eq!(analysis.class(), CongestionClass::None);
+        assert_eq!(analysis.fraction_of_probes_above(5.0, 0.1), 0.0);
+    }
+
+    #[test]
+    fn probes_above_threshold_fraction() {
+        let mut p = AsPipeline::new(PipelineConfig::paper(), period_15d());
+        // Three quiet probes, one severely congested.
+        feed_diurnal(&mut p, 3, 0.2);
+        for bin in 0..(15 * 48) {
+            let phase = core::f64::consts::TAU * bin as f64 / 48.0;
+            let rtt = 5.0 + 6.0 + 6.0 * phase.sin(); // pp = 12ms
+            for i in 0..3 {
+                p.ingest(&tr(99, bin * 1800 + i * 400, rtt));
+            }
+        }
+        let analysis = p.finish();
+        // Exactly 1 of 4 probes spends >10% of bins above 5 ms.
+        let f = analysis.fraction_of_probes_above(5.0, 0.1);
+        assert!((f - 0.25).abs() < 1e-12, "{f}");
+        // And the aggregate stays quiet: majority rules.
+        assert_eq!(analysis.class(), CongestionClass::None);
+    }
+}

@@ -1,0 +1,369 @@
+//! Survey rollups: the §3 statistics over many ASes and periods.
+//!
+//! A [`SurveyReport`] collects one [`AsClassification`] per (AS, period)
+//! and answers the paper's questions:
+//!
+//! * class counts and the number of *reported* ASes per period (~47 on
+//!   average, ~90% None);
+//! * churn: ASes reported in at least half of the periods (36 in the
+//!   paper);
+//! * Figure 3's CDF inputs: prominent frequencies of all ASes, and daily
+//!   amplitudes of ASes with a prominent daily component;
+//! * Figure 4's rank-bucket × class breakdown;
+//! * the geographic rollups (countries with reports, Severe by country).
+
+use crate::detect::CongestionClass;
+use lastmile_prefix::Asn;
+use lastmile_stats::Ecdf;
+use lastmile_timebase::PeriodId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// One AS's classification in one measurement period.
+#[derive(Clone, Debug)]
+pub struct AsClassification {
+    /// The AS.
+    pub asn: Asn,
+    /// The measurement period.
+    pub period: PeriodId,
+    /// Assigned class.
+    pub class: CongestionClass,
+    /// Peak-to-peak amplitude at the daily bin, ms.
+    pub daily_amplitude_ms: f64,
+    /// Prominent frequency (cycles/hour), if a peak existed.
+    pub prominent_frequency: Option<f64>,
+    /// Whether the prominent peak was the daily component.
+    pub prominent_is_daily: bool,
+    /// Probes contributing data.
+    pub probes: usize,
+    /// Country code, when known (from the eyeball registry).
+    pub country: Option<String>,
+    /// APNIC-style eyeball rank, when known.
+    pub rank: Option<u32>,
+}
+
+/// The classification rows of a whole survey.
+#[derive(Clone, Debug, Default)]
+pub struct SurveyReport {
+    rows: Vec<AsClassification>,
+}
+
+impl SurveyReport {
+    /// An empty report.
+    pub fn new() -> SurveyReport {
+        SurveyReport::default()
+    }
+
+    /// Add one row.
+    pub fn push(&mut self, row: AsClassification) {
+        self.rows.push(row);
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[AsClassification] {
+        &self.rows
+    }
+
+    /// Rows of one period.
+    pub fn period_rows(&self, period: PeriodId) -> impl Iterator<Item = &AsClassification> {
+        self.rows.iter().filter(move |r| r.period == period)
+    }
+
+    /// The distinct periods present, ascending.
+    pub fn periods(&self) -> Vec<PeriodId> {
+        let set: BTreeSet<PeriodId> = self.rows.iter().map(|r| r.period).collect();
+        set.into_iter().collect()
+    }
+
+    /// Number of monitored ASes in a period.
+    pub fn monitored(&self, period: PeriodId) -> usize {
+        self.period_rows(period).count()
+    }
+
+    /// Class → count for a period.
+    pub fn class_counts(&self, period: PeriodId) -> BTreeMap<CongestionClass, usize> {
+        let mut out = BTreeMap::new();
+        for r in self.period_rows(period) {
+            *out.entry(r.class).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Number of *reported* (non-None) ASes in a period.
+    pub fn reported_count(&self, period: PeriodId) -> usize {
+        self.period_rows(period)
+            .filter(|r| r.class.is_reported())
+            .count()
+    }
+
+    /// Mean reported count across periods (the paper's "average of 47
+    /// ASes per measurement period").
+    pub fn mean_reported(&self) -> f64 {
+        let periods = self.periods();
+        if periods.is_empty() {
+            return 0.0;
+        }
+        periods
+            .iter()
+            .map(|&p| self.reported_count(p))
+            .sum::<usize>() as f64
+            / periods.len() as f64
+    }
+
+    /// ASes reported in at least `min_periods` of the given periods — the
+    /// churn statistic ("36 ASes are reported for at least half of the
+    /// measurement periods").
+    pub fn persistent_asns(&self, periods: &[PeriodId], min_periods: usize) -> Vec<Asn> {
+        let mut counts: BTreeMap<Asn, usize> = BTreeMap::new();
+        for r in &self.rows {
+            if periods.contains(&r.period) && r.class.is_reported() {
+                *counts.entry(r.asn).or_insert(0) += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .filter(|&(_, c)| c >= min_periods)
+            .map(|(a, _)| a)
+            .collect()
+    }
+
+    /// Prominent frequencies of all ASes of a period (Figure 3, top).
+    pub fn prominent_frequencies(&self, period: PeriodId) -> Vec<f64> {
+        self.period_rows(period)
+            .filter_map(|r| r.prominent_frequency)
+            .collect()
+    }
+
+    /// Fraction of ASes of a period whose prominent component is daily.
+    pub fn daily_fraction(&self, period: PeriodId) -> f64 {
+        let rows: Vec<_> = self.period_rows(period).collect();
+        if rows.is_empty() {
+            return 0.0;
+        }
+        rows.iter().filter(|r| r.prominent_is_daily).count() as f64 / rows.len() as f64
+    }
+
+    /// Daily-amplitude CDF over ASes with a prominent daily component
+    /// (Figure 3, bottom).
+    pub fn daily_amplitude_cdf(&self, period: PeriodId) -> Ecdf {
+        Ecdf::new(
+            self.period_rows(period)
+                .filter(|r| r.prominent_is_daily)
+                .map(|r| r.daily_amplitude_ms)
+                .collect(),
+        )
+    }
+
+    /// Figure 4's breakdown: for each APNIC rank bucket, the number of
+    /// ASes per class. Buckets: 1–10, 11–100, 101–1k, 1k–10k, >10k; rows
+    /// without a rank are skipped.
+    pub fn rank_breakdown(
+        &self,
+        period: PeriodId,
+    ) -> BTreeMap<&'static str, BTreeMap<CongestionClass, usize>> {
+        let mut out: BTreeMap<&'static str, BTreeMap<CongestionClass, usize>> = BTreeMap::new();
+        for r in self.period_rows(period) {
+            let Some(rank) = r.rank else { continue };
+            let bucket = rank_bucket(rank);
+            *out.entry(bucket).or_default().entry(r.class).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Countries with at least one reported AS over the given periods.
+    pub fn countries_with_reports(&self, periods: &[PeriodId]) -> BTreeSet<String> {
+        self.rows
+            .iter()
+            .filter(|r| periods.contains(&r.period) && r.class.is_reported())
+            .filter_map(|r| r.country.clone())
+            .collect()
+    }
+
+    /// Country → number of Severe reports over the given periods
+    /// (Japan leads with ~18% in the paper).
+    pub fn severe_reports_by_country(&self, periods: &[PeriodId]) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for r in &self.rows {
+            if periods.contains(&r.period) && r.class == CongestionClass::Severe {
+                if let Some(c) = &r.country {
+                    *out.entry(c.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// A plain-text summary table (one line per period).
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<14} {:>9} {:>8} {:>6} {:>6} {:>6} {:>6} {:>9}",
+            "period", "monitored", "reported", "sev", "mild", "low", "none", "daily-frac"
+        );
+        for p in self.periods() {
+            let counts = self.class_counts(p);
+            let g = |c: CongestionClass| counts.get(&c).copied().unwrap_or(0);
+            let _ = writeln!(
+                s,
+                "{:<14} {:>9} {:>8} {:>6} {:>6} {:>6} {:>6} {:>9.2}",
+                p.label(),
+                self.monitored(p),
+                self.reported_count(p),
+                g(CongestionClass::Severe),
+                g(CongestionClass::Mild),
+                g(CongestionClass::Low),
+                g(CongestionClass::None),
+                self.daily_fraction(p),
+            );
+        }
+        s
+    }
+}
+
+/// Figure 4's APNIC rank buckets.
+pub fn rank_bucket(rank: u32) -> &'static str {
+    match rank {
+        0..=10 => "1 to 10",
+        11..=100 => "11 to 100",
+        101..=1000 => "101 to 1k",
+        1001..=10_000 => "1k to 10k",
+        _ => "more than 10k",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(
+        asn: Asn,
+        period: PeriodId,
+        class: CongestionClass,
+        amp: f64,
+        country: &str,
+        rank: u32,
+    ) -> AsClassification {
+        AsClassification {
+            asn,
+            period,
+            class,
+            daily_amplitude_ms: amp,
+            prominent_frequency: Some(if class.is_reported() || amp > 0.0 {
+                1.0 / 24.0
+            } else {
+                0.3
+            }),
+            prominent_is_daily: class.is_reported() || amp > 0.0,
+            probes: 5,
+            country: Some(country.to_string()),
+            rank: Some(rank),
+        }
+    }
+
+    fn sample_report() -> SurveyReport {
+        let mut r = SurveyReport::new();
+        use CongestionClass::*;
+        use PeriodId::*;
+        // Sep 2019: 2 reported of 5.
+        r.push(row(1, Sep2019, Severe, 4.0, "JP", 100));
+        r.push(row(2, Sep2019, Low, 0.7, "US", 500));
+        r.push(row(3, Sep2019, None, 0.2, "DE", 2000));
+        r.push(row(4, Sep2019, None, 0.0, "FR", 50));
+        r.push(row(5, Sep2019, None, 0.1, "GB", 20000));
+        // Apr 2020: 3 reported.
+        r.push(row(1, Apr2020, Severe, 5.0, "JP", 100));
+        r.push(row(2, Apr2020, Mild, 1.5, "US", 500));
+        r.push(row(3, Apr2020, Low, 0.8, "DE", 2000));
+        r.push(row(4, Apr2020, None, 0.0, "FR", 50));
+        r.push(row(5, Apr2020, None, 0.1, "GB", 20000));
+        r
+    }
+
+    #[test]
+    fn period_counts() {
+        let r = sample_report();
+        assert_eq!(r.monitored(PeriodId::Sep2019), 5);
+        assert_eq!(r.reported_count(PeriodId::Sep2019), 2);
+        assert_eq!(r.reported_count(PeriodId::Apr2020), 3);
+        assert_eq!(r.periods(), vec![PeriodId::Sep2019, PeriodId::Apr2020]);
+        assert!((r.mean_reported() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_counts() {
+        let r = sample_report();
+        let c = r.class_counts(PeriodId::Sep2019);
+        assert_eq!(c[&CongestionClass::Severe], 1);
+        assert_eq!(c[&CongestionClass::Low], 1);
+        assert_eq!(c[&CongestionClass::None], 3);
+        assert!(!c.contains_key(&CongestionClass::Mild));
+    }
+
+    #[test]
+    fn persistence() {
+        let r = sample_report();
+        let periods = [PeriodId::Sep2019, PeriodId::Apr2020];
+        // Reported in both periods: AS1 and AS2.
+        assert_eq!(r.persistent_asns(&periods, 2), vec![1, 2]);
+        // Reported at least once: AS1, AS2, AS3.
+        assert_eq!(r.persistent_asns(&periods, 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn amplitude_cdf_only_covers_daily_ases() {
+        let r = sample_report();
+        let cdf = r.daily_amplitude_cdf(PeriodId::Sep2019);
+        // AS4 has no daily component; the other four do.
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.5); // 0.1 and 0.2
+    }
+
+    #[test]
+    fn rank_buckets() {
+        assert_eq!(rank_bucket(1), "1 to 10");
+        assert_eq!(rank_bucket(10), "1 to 10");
+        assert_eq!(rank_bucket(11), "11 to 100");
+        assert_eq!(rank_bucket(1000), "101 to 1k");
+        assert_eq!(rank_bucket(10_000), "1k to 10k");
+        assert_eq!(rank_bucket(10_001), "more than 10k");
+    }
+
+    #[test]
+    fn rank_breakdown_counts() {
+        let r = sample_report();
+        let b = r.rank_breakdown(PeriodId::Sep2019);
+        assert_eq!(b["11 to 100"][&CongestionClass::Severe], 1);
+        assert_eq!(b["101 to 1k"][&CongestionClass::Low], 1);
+        assert_eq!(b["1k to 10k"][&CongestionClass::None], 1);
+    }
+
+    #[test]
+    fn geography() {
+        let r = sample_report();
+        let periods = [PeriodId::Sep2019, PeriodId::Apr2020];
+        let countries = r.countries_with_reports(&periods);
+        assert!(countries.contains("JP") && countries.contains("US") && countries.contains("DE"));
+        assert!(!countries.contains("FR"));
+        let severe = r.severe_reports_by_country(&periods);
+        assert_eq!(severe["JP"], 2);
+        assert_eq!(severe.len(), 1);
+    }
+
+    #[test]
+    fn text_rendering_contains_period_lines() {
+        let r = sample_report();
+        let text = r.render_text();
+        assert!(text.contains("2019-09"));
+        assert!(text.contains("2020-04"));
+        assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = SurveyReport::new();
+        assert_eq!(r.mean_reported(), 0.0);
+        assert_eq!(r.daily_fraction(PeriodId::Sep2019), 0.0);
+        assert!(r.periods().is_empty());
+    }
+}

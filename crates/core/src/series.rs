@@ -1,0 +1,347 @@
+//! Per-probe time series: binned medians and queuing delay.
+//!
+//! §2 of the paper, step by step:
+//!
+//! * "for each probe, we group its traceroutes into 30-minute time-bins
+//!   and discard traceroutes in bins that have less than 3 traceroutes" —
+//!   the *sanity filter* against disconnected probes
+//!   ([`ProbeSeriesBuilder`], which counts traceroutes per bin, not
+//!   samples);
+//! * "we compute the median RTT per probe in 30-minute time-bins" —
+//!   [`ProbeSeries`], the noise filter;
+//! * "we subtract the minimum median RTT value from all median RTT values
+//!   for each probe. The minimum median RTT is computed separately for
+//!   each measurement period" — [`ProbeSeries::queuing_delay`], yielding a
+//!   [`QueuingDelaySeries`] whose "lowest point is set to zero and other
+//!   values correspond to delay increase in milliseconds".
+
+use crate::estimator::last_mile_samples;
+use lastmile_atlas::{ProbeId, TracerouteResult};
+use lastmile_stats::median_in_place;
+use lastmile_timebase::{BinIndex, BinSpec, UnixTime};
+use std::collections::BTreeMap;
+
+/// Accumulates one probe's last-mile samples into time bins.
+#[derive(Clone, Debug)]
+pub struct ProbeSeriesBuilder {
+    probe: ProbeId,
+    bin: BinSpec,
+    min_traceroutes: usize,
+    bins: BTreeMap<BinIndex, BinAccum>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct BinAccum {
+    samples: Vec<f64>,
+    traceroutes: usize,
+}
+
+impl ProbeSeriesBuilder {
+    /// A builder using the paper's parameters: 30-minute bins, at least 3
+    /// traceroutes per bin.
+    pub fn paper(probe: ProbeId) -> ProbeSeriesBuilder {
+        ProbeSeriesBuilder::new(probe, BinSpec::thirty_minutes(), 3)
+    }
+
+    /// A builder with custom binning (used by the ablation benchmarks).
+    pub fn new(probe: ProbeId, bin: BinSpec, min_traceroutes: usize) -> ProbeSeriesBuilder {
+        ProbeSeriesBuilder {
+            probe,
+            bin,
+            min_traceroutes,
+            bins: BTreeMap::new(),
+        }
+    }
+
+    /// The probe this builder belongs to.
+    pub fn probe(&self) -> ProbeId {
+        self.probe
+    }
+
+    /// Ingest one traceroute. Traceroutes from other probes are rejected
+    /// with a panic (routing them is the caller's job and mixing probes
+    /// would corrupt the series silently).
+    pub fn ingest(&mut self, tr: &TracerouteResult) {
+        assert_eq!(tr.probe, self.probe, "traceroute from wrong probe");
+        let accum = self
+            .bins
+            .entry(self.bin.bin_index(tr.timestamp))
+            .or_default();
+        // Every traceroute counts toward the sanity threshold, with or
+        // without usable samples: the probe was demonstrably online.
+        accum.traceroutes += 1;
+        accum.samples.extend(last_mile_samples(tr));
+    }
+
+    /// Number of bins currently holding data (before filtering).
+    pub fn raw_bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Apply the sanity filter and compute per-bin medians.
+    pub fn finish(self) -> ProbeSeries {
+        let mut medians = BTreeMap::new();
+        for (bin, mut accum) in self.bins {
+            if accum.traceroutes < self.min_traceroutes {
+                continue; // disconnected probe: discard the whole bin
+            }
+            if let Some(m) = median_in_place(&mut accum.samples) {
+                medians.insert(bin, m);
+            }
+        }
+        ProbeSeries {
+            probe: self.probe,
+            bin: self.bin,
+            medians,
+        }
+    }
+}
+
+/// One probe's median last-mile RTT per time bin.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbeSeries {
+    probe: ProbeId,
+    bin: BinSpec,
+    medians: BTreeMap<BinIndex, f64>,
+}
+
+impl ProbeSeries {
+    /// The probe.
+    pub fn probe(&self) -> ProbeId {
+        self.probe
+    }
+
+    /// The bin width.
+    pub fn bin(&self) -> BinSpec {
+        self.bin
+    }
+
+    /// Number of bins with a median.
+    pub fn len(&self) -> usize {
+        self.medians.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.medians.is_empty()
+    }
+
+    /// Iterate `(bin start, median RTT)` in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (UnixTime, f64)> + '_ {
+        self.medians
+            .iter()
+            .map(|(&b, &v)| (self.bin.index_start(b), v))
+    }
+
+    /// The minimum median RTT of the period — the propagation-delay
+    /// baseline.
+    pub fn min_rtt(&self) -> Option<f64> {
+        self.medians.values().copied().reduce(f64::min)
+    }
+
+    /// Convert to queuing delay: subtract the period minimum.
+    ///
+    /// Empty series convert to empty series.
+    pub fn queuing_delay(&self) -> QueuingDelaySeries {
+        let base = self.min_rtt().unwrap_or(0.0);
+        QueuingDelaySeries {
+            probe: self.probe,
+            bin: self.bin,
+            values: self.medians.iter().map(|(&b, &v)| (b, v - base)).collect(),
+        }
+    }
+}
+
+/// One probe's estimated last-mile queuing delay per time bin — minimum
+/// zero by construction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueuingDelaySeries {
+    probe: ProbeId,
+    bin: BinSpec,
+    values: BTreeMap<BinIndex, f64>,
+}
+
+impl QueuingDelaySeries {
+    /// The probe.
+    pub fn probe(&self) -> ProbeId {
+        self.probe
+    }
+
+    /// The bin width.
+    pub fn bin(&self) -> BinSpec {
+        self.bin
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at a bin, if present.
+    pub fn get(&self, bin: BinIndex) -> Option<f64> {
+        self.values.get(&bin).copied()
+    }
+
+    /// Iterate `(bin index, queuing delay)` in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (BinIndex, f64)> + '_ {
+        self.values.iter().map(|(&b, &v)| (b, v))
+    }
+
+    /// The maximum queuing delay of the period.
+    pub fn max_delay(&self) -> Option<f64> {
+        self.values.values().copied().reduce(f64::max)
+    }
+
+    /// Fraction of bins exceeding a threshold — the paper's "proportion of
+    /// probes that experience daily queuing delay over 5 ms" uses this
+    /// per-probe measure.
+    pub fn fraction_above(&self, threshold_ms: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.values().filter(|&&v| v > threshold_ms).count() as f64
+            / self.values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lastmile_atlas::{Hop, Reply};
+    use std::net::IpAddr;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    /// A traceroute with the given last-mile RTT at time `t`.
+    fn tr(probe: u32, t: i64, last_mile_ms: f64) -> TracerouteResult {
+        TracerouteResult {
+            probe: ProbeId(probe),
+            msm_id: 5001,
+            timestamp: UnixTime::from_secs(t),
+            dst: ip("20.9.9.9"),
+            src: ip("192.168.1.10"),
+            hops: vec![
+                Hop {
+                    hop: 1,
+                    replies: vec![Reply::answered(ip("192.168.1.1"), 1.0); 3],
+                },
+                Hop {
+                    hop: 2,
+                    replies: vec![Reply::answered(ip("20.0.0.1"), 1.0 + last_mile_ms); 3],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bins_collect_medians() {
+        let mut b = ProbeSeriesBuilder::paper(ProbeId(1));
+        // Bin 0: three traceroutes at 5, 6, 100 ms -> median 6.
+        b.ingest(&tr(1, 0, 5.0));
+        b.ingest(&tr(1, 600, 6.0));
+        b.ingest(&tr(1, 1200, 100.0));
+        // Bin 1: three traceroutes all at 5 ms.
+        for i in 0..3 {
+            b.ingest(&tr(1, 1800 + i * 300, 5.0));
+        }
+        let s = b.finish();
+        assert_eq!(s.len(), 2);
+        let vals: Vec<f64> = s.iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![6.0, 5.0]);
+    }
+
+    #[test]
+    fn sanity_filter_drops_sparse_bins() {
+        let mut b = ProbeSeriesBuilder::paper(ProbeId(1));
+        b.ingest(&tr(1, 0, 5.0));
+        b.ingest(&tr(1, 600, 5.0)); // only 2 traceroutes in bin 0
+        for i in 0..3 {
+            b.ingest(&tr(1, 1800 + i * 300, 7.0));
+        }
+        let s = b.finish();
+        assert_eq!(s.len(), 1, "bin with <3 traceroutes must be dropped");
+        assert_eq!(s.iter().next().unwrap().1, 7.0);
+    }
+
+    #[test]
+    fn unusable_traceroutes_count_toward_sanity_threshold() {
+        // A traceroute with no last-mile span still proves the probe was
+        // online; the bin keeps its remaining samples.
+        let mut b = ProbeSeriesBuilder::paper(ProbeId(1));
+        b.ingest(&tr(1, 0, 4.0));
+        b.ingest(&tr(1, 600, 4.0));
+        let no_span = TracerouteResult {
+            hops: vec![],
+            ..tr(1, 1200, 0.0)
+        };
+        b.ingest(&no_span);
+        let s = b.finish();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().next().unwrap().1, 4.0);
+    }
+
+    #[test]
+    fn queuing_delay_zeroes_the_minimum() {
+        let mut b = ProbeSeriesBuilder::paper(ProbeId(1));
+        for (bin, rtt) in [(0i64, 5.0), (1, 9.0), (2, 6.5)] {
+            for i in 0..3 {
+                b.ingest(&tr(1, bin * 1800 + i * 300, rtt));
+            }
+        }
+        let q = b.finish().queuing_delay();
+        let vals: Vec<f64> = q.iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![0.0, 4.0, 1.5]);
+        assert_eq!(q.max_delay(), Some(4.0));
+        assert!((q.fraction_above(1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_rtt_is_period_scoped() {
+        // Same probe, two separate builders = two measurement periods with
+        // independent baselines (the paper recomputes the minimum per
+        // period to absorb deployment changes).
+        let mut p1 = ProbeSeriesBuilder::paper(ProbeId(1));
+        let mut p2 = ProbeSeriesBuilder::paper(ProbeId(1));
+        for i in 0..3 {
+            p1.ingest(&tr(1, i * 300, 5.0));
+            p2.ingest(&tr(1, 10_000_000 + i * 300, 8.0));
+        }
+        assert_eq!(p1.finish().min_rtt(), Some(5.0));
+        assert_eq!(p2.finish().min_rtt(), Some(8.0));
+    }
+
+    #[test]
+    fn empty_builder_finishes_empty() {
+        let s = ProbeSeriesBuilder::paper(ProbeId(9)).finish();
+        assert!(s.is_empty());
+        assert_eq!(s.min_rtt(), None);
+        let q = s.queuing_delay();
+        assert!(q.is_empty());
+        assert_eq!(q.max_delay(), None);
+        assert_eq!(q.fraction_above(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong probe")]
+    fn rejects_foreign_traceroutes() {
+        let mut b = ProbeSeriesBuilder::paper(ProbeId(1));
+        b.ingest(&tr(2, 0, 5.0));
+    }
+
+    #[test]
+    fn custom_bin_width() {
+        // 5-minute bins (the ablation case): same data lands in more bins.
+        let mut b = ProbeSeriesBuilder::new(ProbeId(1), BinSpec::new(300), 1);
+        b.ingest(&tr(1, 0, 5.0));
+        b.ingest(&tr(1, 300, 6.0));
+        let s = b.finish();
+        assert_eq!(s.len(), 2);
+    }
+}

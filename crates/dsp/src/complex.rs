@@ -1,0 +1,235 @@
+//! Minimal complex arithmetic for the FFT.
+//!
+//! Only what the transforms need: no trait gymnastics, `f64` components,
+//! `Copy` everywhere. Keeping this in-tree avoids a numerics dependency
+//! and keeps the FFT auditable end to end.
+
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Construct from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// A purely real value.
+    #[inline]
+    pub const fn from_real(re: f64) -> Complex {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `e^(i·theta)` — the unit phasor used for twiddle factors.
+    #[inline]
+    pub fn cis(theta: f64) -> Complex {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|²` (avoids the square root; used for power
+    /// spectra).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Complex {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Whether both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex {
+            re: self.re / rhs,
+            im: self.im / rhs,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f64::consts::PI;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert!(close(z + Complex::ZERO, z));
+        assert!(close(z * Complex::ONE, z));
+        assert!(close(z - z, Complex::ZERO));
+        assert!(close(z + (-z), Complex::ZERO));
+    }
+
+    #[test]
+    fn multiplication_matches_i_squared() {
+        assert!(close(Complex::I * Complex::I, Complex::from_real(-1.0)));
+        let z = Complex::new(1.0, 2.0);
+        let w = Complex::new(3.0, 4.0);
+        // (1+2i)(3+4i) = 3+4i+6i+8i^2 = -5+10i
+        assert!(close(z * w, Complex::new(-5.0, 10.0)));
+    }
+
+    #[test]
+    fn magnitude_and_conjugate() {
+        let z = Complex::new(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < 1e-12);
+        assert!((z.norm_sqr() - 25.0).abs() < 1e-12);
+        assert!(close(z.conj(), Complex::new(3.0, -4.0)));
+        // z * conj(z) is |z|^2.
+        assert!(close(z * z.conj(), Complex::from_real(25.0)));
+    }
+
+    #[test]
+    fn cis_is_unit_circle() {
+        for k in 0..16 {
+            let theta = 2.0 * PI * k as f64 / 16.0;
+            let z = Complex::cis(theta);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+        assert!(close(Complex::cis(0.0), Complex::ONE));
+        assert!(close(Complex::cis(PI / 2.0), Complex::I));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex::new(1.0, 1.0);
+        z += Complex::new(2.0, -1.0);
+        assert!(close(z, Complex::new(3.0, 0.0)));
+        z -= Complex::new(1.0, 0.0);
+        assert!(close(z, Complex::new(2.0, 0.0)));
+        z *= Complex::I;
+        assert!(close(z, Complex::new(0.0, 2.0)));
+    }
+
+    #[test]
+    fn scale_and_div() {
+        let z = Complex::new(2.0, -6.0);
+        assert!(close(z.scale(0.5), Complex::new(1.0, -3.0)));
+        assert!(close(z / 2.0, Complex::new(1.0, -3.0)));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Complex::new(1.0, 2.0).is_finite());
+        assert!(!Complex::new(f64::NAN, 0.0).is_finite());
+        assert!(!Complex::new(0.0, f64::INFINITY).is_finite());
+    }
+}

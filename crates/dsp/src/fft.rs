@@ -1,0 +1,327 @@
+//! Discrete Fourier transforms.
+//!
+//! Two algorithms cover every length:
+//!
+//! * **Radix-2 Cooley–Tukey** (iterative, in-place, bit-reversal
+//!   permutation) for power-of-two lengths — O(n log n).
+//! * **Bluestein's chirp-z algorithm** for everything else. Bluestein
+//!   re-expresses an arbitrary-length DFT as a convolution, evaluated with
+//!   a power-of-two FFT of length ≥ 2n−1 — also O(n log n).
+//!
+//! Arbitrary lengths matter here because Welch segments are tied to whole
+//! days of 30-minute bins (192 = 2⁶·3 samples), not powers of two, so the
+//! daily frequency lands exactly on a spectral bin (§2.3's "check if the
+//! frequency bin corresponds to daily fluctuations" is exact rather than a
+//! nearest-bin approximation).
+//!
+//! Conventions: forward transform is `X[k] = Σ x[n]·e^(−2πi·kn/N)` with no
+//! scaling; the inverse scales by `1/N`, so `ifft(fft(x)) == x`.
+
+use crate::complex::Complex;
+use core::f64::consts::PI;
+
+/// Forward DFT of `data`, replacing its contents.
+///
+/// Uses radix-2 when `data.len()` is a power of two (including 0 and 1,
+/// which are no-ops) and Bluestein otherwise.
+pub fn fft_in_place(data: &mut [Complex]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        radix2(data, Direction::Forward);
+    } else {
+        let out = bluestein(data, Direction::Forward);
+        data.copy_from_slice(&out);
+    }
+}
+
+/// Inverse DFT of `data` (scaled by `1/N`), replacing its contents.
+pub fn ifft_in_place(data: &mut [Complex]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    if n.is_power_of_two() {
+        radix2(data, Direction::Inverse);
+    } else {
+        let out = bluestein(data, Direction::Inverse);
+        data.copy_from_slice(&out);
+    }
+    let scale = 1.0 / n as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(scale);
+    }
+}
+
+/// Forward DFT, allocating the output.
+pub fn fft(data: &[Complex]) -> Vec<Complex> {
+    let mut buf = data.to_vec();
+    fft_in_place(&mut buf);
+    buf
+}
+
+/// Inverse DFT, allocating the output.
+pub fn ifft(data: &[Complex]) -> Vec<Complex> {
+    let mut buf = data.to_vec();
+    ifft_in_place(&mut buf);
+    buf
+}
+
+/// Forward DFT of a real signal; returns the full complex spectrum.
+pub fn fft_real(data: &[f64]) -> Vec<Complex> {
+    let buf: Vec<Complex> = data.iter().map(|&x| Complex::from_real(x)).collect();
+    fft(&buf)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+impl Direction {
+    /// Sign of the exponent in `e^(sign·2πi·kn/N)`.
+    fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+}
+
+/// Iterative radix-2 Cooley–Tukey, in place. `data.len()` must be a power
+/// of two ≥ 2. The inverse direction does NOT apply the 1/N scale.
+fn radix2(data: &mut [Complex], dir: Direction) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two() && n >= 2);
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly passes.
+    let sign = dir.sign();
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Bluestein's algorithm: DFT of arbitrary length as a convolution.
+fn bluestein(data: &[Complex], dir: Direction) -> Vec<Complex> {
+    let n = data.len();
+    let sign = dir.sign();
+
+    // Chirp: c[k] = e^(sign·πi·k²/n). Note k² mod 2n keeps the argument
+    // small and the phase exact.
+    let mut chirp = Vec::with_capacity(n);
+    for k in 0..n as u64 {
+        let sq = (k * k) % (2 * n as u64);
+        chirp.push(Complex::cis(sign * PI * sq as f64 / n as f64));
+    }
+
+    // a[k] = x[k] · c[k], zero-padded to a power of two m ≥ 2n − 1.
+    let m = (2 * n - 1).next_power_of_two();
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = data[k] * chirp[k];
+    }
+
+    // b[k] = conj(c[k]) arranged circularly: b[0] = c̄[0], b[m−k] = c̄[k].
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+
+    // Circular convolution via the power-of-two FFT.
+    radix2(&mut a, Direction::Forward);
+    radix2(&mut b, Direction::Forward);
+    for k in 0..m {
+        a[k] *= b[k];
+    }
+    radix2(&mut a, Direction::Inverse);
+    let scale = 1.0 / m as f64;
+
+    // X[k] = c[k] · conv[k].
+    (0..n).map(|k| (a[k].scale(scale)) * chirp[k]).collect()
+}
+
+/// The DFT bin frequencies for a real signal of length `n` sampled at
+/// `sample_rate` (samples per unit time): `k · sample_rate / n` for the
+/// one-sided spectrum `k = 0 ..= n/2`.
+pub fn one_sided_frequencies(n: usize, sample_rate: f64) -> Vec<f64> {
+    assert!(n > 0, "empty signal has no spectrum");
+    (0..=n / 2)
+        .map(|k| k as f64 * sample_rate / n as f64)
+        .collect()
+}
+
+/// Naive O(n²) DFT used as a test oracle.
+#[cfg(test)]
+pub(crate) fn dft_naive(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (i, &x) in data.iter().enumerate() {
+                acc += x * Complex::cis(-2.0 * PI * (k * i % n) as f64 / n as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_spectra_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "bin {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new(i as f64, (i as f64) * 0.25 - 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        let spec = fft(&x);
+        for z in spec {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_dc_only() {
+        let x = vec![Complex::ONE; 16];
+        let spec = fft(&x);
+        assert!((spec[0].re - 16.0).abs() < 1e-9);
+        for z in &spec[1..] {
+            assert!(z.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn radix2_matches_naive_dft() {
+        for n in [2usize, 4, 8, 16, 64] {
+            let x = ramp(n);
+            assert_spectra_close(&fft(&x), &dft_naive(&x), 1e-7 * n as f64);
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_naive_dft() {
+        // Non-power-of-two lengths, including the Welch segment length 192
+        // and awkward primes.
+        for n in [3usize, 5, 7, 12, 48, 97, 192] {
+            let x = ramp(n);
+            assert_spectra_close(&fft(&x), &dft_naive(&x), 1e-6 * n as f64);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        for n in [8usize, 48, 100, 192, 255] {
+            let x = ramp(n);
+            let back = ifft(&fft(&x));
+            assert_spectra_close(&back, &x, 1e-9 * (n as f64).max(1.0));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        for n in [16usize, 60, 192] {
+            let x = ramp(n);
+            let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+            let freq_energy: f64 = fft(&x).iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+            assert!(
+                (time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0),
+                "n={n}: {time_energy} vs {freq_energy}"
+            );
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_on_its_bin() {
+        // cos(2π·5·t/64): spectrum has N/2 at bins 5 and 59.
+        let n = 64;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 5.0 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&x);
+        assert!((spec[5].abs() - n as f64 / 2.0).abs() < 1e-9);
+        assert!((spec[n - 5].abs() - n as f64 / 2.0).abs() < 1e-9);
+        for (k, z) in spec.iter().enumerate() {
+            if k != 5 && k != n - 5 {
+                assert!(z.abs() < 1e-9, "leak at {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 48;
+        let x = ramp(n);
+        let y: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), 0.5))
+            .collect();
+        let sum: Vec<Complex> = x.iter().zip(&y).map(|(&a, &b)| a + b).collect();
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let fsum = fft(&sum);
+        let expect: Vec<Complex> = fx.iter().zip(&fy).map(|(&a, &b)| a + b).collect();
+        assert_spectra_close(&fsum, &expect, 1e-8);
+    }
+
+    #[test]
+    fn trivial_lengths() {
+        assert!(fft(&[]).is_empty());
+        let one = fft(&[Complex::new(3.0, 1.0)]);
+        assert_eq!(one, vec![Complex::new(3.0, 1.0)]);
+    }
+
+    #[test]
+    fn one_sided_frequency_axis() {
+        // 192 samples at 2 samples/hour: df = 2/192 = 1/96 cycles/hour;
+        // the daily frequency 1/24 is exactly bin 4.
+        let f = one_sided_frequencies(192, 2.0);
+        assert_eq!(f.len(), 97);
+        assert_eq!(f[0], 0.0);
+        assert!((f[4] - 1.0 / 24.0).abs() < 1e-15);
+        assert!((f[96] - 1.0).abs() < 1e-15); // Nyquist: 1 cycle/hour
+    }
+
+    use core::f64::consts::PI;
+}

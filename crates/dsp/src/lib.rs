@@ -1,0 +1,57 @@
+//! # lastmile-dsp
+//!
+//! Signal-processing substrate for persistent-congestion detection,
+//! implemented from scratch (no FFT dependency).
+//!
+//! §2.3 of the IMC 2020 paper: aggregated queuing-delay signals are
+//! converted "to the frequency domain using the Welch method", the
+//! *prominent frequency* is the bin with the highest power, and the
+//! congestion classes are thresholds on the "average peak-to-peak
+//! amplitude" read off a periodogram whose y-axis is normalized for that
+//! purpose (Figure 2).
+//!
+//! This crate provides that chain:
+//!
+//! * [`Complex`] — minimal complex arithmetic.
+//! * [`fft`] — an iterative radix-2 Cooley–Tukey transform plus Bluestein's
+//!   algorithm for arbitrary lengths, so Welch segment lengths can be tied
+//!   to whole days (192 half-hour bins = 4 days) rather than powers of two.
+//! * [`window`] — Hann/Hamming/Blackman/rectangular windows with their
+//!   coherent gains.
+//! * [`welch`] — Welch's method: overlapping detrended windowed segments,
+//!   averaged periodograms, and the paper's **peak-to-peak amplitude**
+//!   normalization: a pure sinusoid of peak-to-peak amplitude `p` placed at
+//!   a bin frequency reads back as `p` on the spectrum.
+//! * [`spectrum`] — prominent-peak extraction and frequency matching with
+//!   half-bin tolerance (is the prominent bin "the daily frequency"?).
+//!
+//! ## Example: recovering a diurnal component
+//!
+//! ```
+//! use lastmile_dsp::welch::{WelchConfig, welch_peak_to_peak};
+//! use lastmile_dsp::spectrum::prominent_peak;
+//!
+//! // Two samples per hour (30-minute bins), 15 days of signal with a
+//! // 1.0 ms peak-to-peak daily sine.
+//! let fs = 2.0; // samples per hour
+//! let n = 15 * 48;
+//! let signal: Vec<f64> = (0..n)
+//!     .map(|i| 0.5 * (2.0 * std::f64::consts::PI * i as f64 / 48.0).sin() + 0.2)
+//!     .collect();
+//! let cfg = WelchConfig::for_daily_analysis(fs);
+//! let spec = welch_peak_to_peak(&signal, &cfg).unwrap();
+//! let peak = prominent_peak(&spec).unwrap();
+//! assert!(peak.matches_frequency(1.0 / 24.0), "daily bin must dominate");
+//! assert!((peak.amplitude - 1.0).abs() < 0.1, "p2p amplitude ~1.0, got {}", peak.amplitude);
+//! ```
+
+pub mod complex;
+pub mod fft;
+pub mod spectrum;
+pub mod welch;
+pub mod window;
+
+pub use complex::Complex;
+pub use spectrum::{prominent_peak, SpectralPeak};
+pub use welch::{welch_peak_to_peak, AmplitudeSpectrum, WelchConfig};
+pub use window::Window;

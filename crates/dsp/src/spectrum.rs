@@ -1,0 +1,180 @@
+//! Prominent-peak extraction from an amplitude spectrum.
+//!
+//! §2.3: "The Welch method enables us to identify the prominent frequency
+//! component of signals by finding the frequency bin with the highest power
+//! in the periodogram. Then we check if the frequency bin corresponds to
+//! daily fluctuations, and we derive from the corresponding power [...] the
+//! average peak-to-peak amplitude of these fluctuations."
+//!
+//! [`prominent_peak`] does the argmax (excluding the DC bin, which carries
+//! the signal baseline rather than a fluctuation) and reports the peak's
+//! frequency, amplitude, and a *prominence ratio* — peak power over the
+//! median non-DC power — used as a diagnostic for how decisively the peak
+//! stands out of a flat, noisy spectrum like ISP_DE's in Figure 2.
+
+use crate::welch::{AmplitudeSpectrum, DAILY_CYCLES_PER_HOUR};
+
+/// The dominant spectral component of a signal.
+#[derive(Clone, Copy, Debug)]
+pub struct SpectralPeak {
+    /// Bin index within the one-sided spectrum.
+    pub bin: usize,
+    /// Frequency in cycles per hour.
+    pub frequency: f64,
+    /// Average peak-to-peak amplitude at the peak, input units.
+    pub amplitude: f64,
+    /// Frequency resolution of the spectrum (cycles per hour), for
+    /// tolerance checks.
+    pub df: f64,
+    /// Peak power divided by the median non-DC bin power (≥ 1). Near 1
+    /// means the "peak" is just the top of flat noise.
+    pub prominence: f64,
+}
+
+impl SpectralPeak {
+    /// Whether this peak sits on the bin corresponding to `target`
+    /// frequency (cycles per hour), within half a bin.
+    pub fn matches_frequency(&self, target: f64) -> bool {
+        (self.frequency - target).abs() <= self.df / 2.0 + 1e-12
+    }
+
+    /// Whether this is the daily component (1/24 cycles per hour).
+    pub fn is_daily(&self) -> bool {
+        self.matches_frequency(DAILY_CYCLES_PER_HOUR)
+    }
+}
+
+/// Find the non-DC bin with the highest power.
+///
+/// Returns `None` if the spectrum has fewer than two bins or all non-DC
+/// power is zero (a perfectly constant signal has no fluctuation to rank).
+pub fn prominent_peak(spec: &AmplitudeSpectrum) -> Option<SpectralPeak> {
+    if spec.len() < 2 {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut best_power = 0.0f64;
+    for (k, &p) in spec.power.iter().enumerate().skip(1) {
+        if p > best_power {
+            best_power = p;
+            best = k;
+        }
+    }
+    if best == 0 || best_power <= 0.0 {
+        return None;
+    }
+
+    let median_power = {
+        let mut non_dc: Vec<f64> = spec.power[1..].to_vec();
+        non_dc.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+        let n = non_dc.len();
+        if n % 2 == 1 {
+            non_dc[n / 2]
+        } else {
+            (non_dc[n / 2 - 1] + non_dc[n / 2]) / 2.0
+        }
+    };
+    let prominence = if median_power > 0.0 {
+        best_power / median_power
+    } else {
+        f64::INFINITY
+    };
+
+    Some(SpectralPeak {
+        bin: best,
+        frequency: spec.frequencies[best],
+        amplitude: spec.peak_to_peak[best],
+        df: spec.df,
+        prominence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::welch::{welch_peak_to_peak, WelchConfig};
+    use core::f64::consts::TAU;
+
+    fn tone(cycles_per_day: f64, pp: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| pp / 2.0 * (TAU * cycles_per_day * i as f64 / 48.0).sin())
+            .collect()
+    }
+
+    #[test]
+    fn daily_tone_is_daily_peak() {
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        let spec = welch_peak_to_peak(&tone(1.0, 1.0, 720), &cfg).unwrap();
+        let p = prominent_peak(&spec).unwrap();
+        assert!(p.is_daily(), "peak at {} cph", p.frequency);
+        assert_eq!(p.bin, 4);
+        assert!(p.prominence > 100.0, "prominence {}", p.prominence);
+    }
+
+    #[test]
+    fn non_daily_tone_is_not_daily() {
+        // A 3-cycles-per-day tone (8-hour period) lands on bin 12.
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        let spec = welch_peak_to_peak(&tone(3.0, 1.0, 720), &cfg).unwrap();
+        let p = prominent_peak(&spec).unwrap();
+        assert!(!p.is_daily());
+        assert!(p.matches_frequency(3.0 / 24.0));
+        assert_eq!(p.bin, 12);
+    }
+
+    #[test]
+    fn constant_signal_has_no_peak() {
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        let spec = welch_peak_to_peak(&vec![3.0; 720], &cfg).unwrap();
+        assert!(prominent_peak(&spec).is_none());
+    }
+
+    #[test]
+    fn stronger_tone_wins() {
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        let a = tone(1.0, 0.3, 720);
+        let b = tone(2.0, 1.5, 720);
+        let mixed: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let spec = welch_peak_to_peak(&mixed, &cfg).unwrap();
+        let p = prominent_peak(&spec).unwrap();
+        assert!(
+            p.matches_frequency(2.0 / 24.0),
+            "peak at {} cph",
+            p.frequency
+        );
+        assert!((p.amplitude - 1.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn noise_peak_has_low_prominence() {
+        // Deterministic pseudo-noise: the top bin should not be decisively
+        // prominent the way a genuine diurnal component is.
+        let noise: Vec<f64> = (0..720u64)
+            .map(|i| {
+                let mut x = i.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+                x ^= x >> 33;
+                x = x.wrapping_mul(0xFF51AFD7ED558CCD);
+                x ^= x >> 33;
+                (x as f64 / u64::MAX as f64) - 0.5
+            })
+            .collect();
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        let spec = welch_peak_to_peak(&noise, &cfg).unwrap();
+        let p = prominent_peak(&spec).unwrap();
+        assert!(p.prominence < 50.0, "noise prominence {}", p.prominence);
+    }
+
+    #[test]
+    fn matches_frequency_uses_half_bin_tolerance() {
+        let peak = SpectralPeak {
+            bin: 4,
+            frequency: 1.0 / 24.0,
+            amplitude: 1.0,
+            df: 1.0 / 96.0,
+            prominence: 10.0,
+        };
+        assert!(peak.matches_frequency(1.0 / 24.0));
+        assert!(peak.matches_frequency(1.0 / 24.0 + 1.0 / 200.0)); // within df/2
+        assert!(!peak.matches_frequency(1.0 / 12.0));
+    }
+}

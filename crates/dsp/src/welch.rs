@@ -1,0 +1,434 @@
+//! Welch's method with peak-to-peak amplitude normalization.
+//!
+//! §2.3 of the paper: "we convert the aggregated delay signals to the
+//! frequency domain using the Welch method. This method splits the delay
+//! signals in overlapping segments and computes the periodogram [...] of
+//! each segment using Fourier transform. Then all periodograms are averaged
+//! to obtain a final periodogram that is less affected by noise" — and
+//! Figure 2's caption: "The y-axis is normalized to read directly average
+//! peak-to-peak amplitude."
+//!
+//! [`welch_peak_to_peak`] implements exactly that. The normalization is
+//! calibrated so that a pure sinusoid `A·sin(2πft)` at a bin frequency
+//! reads back as its peak-to-peak amplitude `2A`:
+//!
+//! * a windowed, bin-centered tone of amplitude `A` produces a spectral
+//!   line `|X_k| = A · N · CG / 2` where `CG` is the window's coherent
+//!   gain, so `A = 2·|X_k| / (N·CG)` and peak-to-peak `= 4·|X_k| / (N·CG)`;
+//! * per-segment powers `|X_k|²` are averaged across segments first
+//!   (Welch), then converted to amplitude.
+//!
+//! The default segment length for daily analysis is **4 whole days** of
+//! samples. This makes the daily frequency (1/24 cycles/hour) land exactly
+//! on spectral bin 4, so "does the prominent bin correspond to daily
+//! fluctuations" is an exact bin comparison, not a nearest-neighbour guess.
+
+use crate::complex::Complex;
+use crate::fft::{fft_in_place, one_sided_frequencies};
+use crate::window::Window;
+use core::fmt;
+
+/// The daily frequency in cycles per hour — the paper's 1/24 marker.
+pub const DAILY_CYCLES_PER_HOUR: f64 = 1.0 / 24.0;
+
+/// Configuration of the Welch estimator.
+#[derive(Clone, Debug)]
+pub struct WelchConfig {
+    /// Sampling rate in samples per hour (2.0 for 30-minute bins).
+    pub sample_rate: f64,
+    /// Segment length in samples. Clamped down to the signal length if the
+    /// signal is shorter (matching scipy's behaviour).
+    pub segment_len: usize,
+    /// Overlap fraction between consecutive segments, in `[0, 1)`.
+    /// Welch's classic choice (and scipy's default) is 0.5.
+    pub overlap: f64,
+    /// Taper applied to each segment.
+    pub window: Window,
+    /// Subtract each segment's mean before windowing ("constant"
+    /// detrending). Essential here: queuing-delay signals have a large
+    /// positive baseline that would otherwise leak from the DC bin.
+    pub detrend: bool,
+}
+
+impl WelchConfig {
+    /// Configuration for daily-pattern analysis at the given sampling rate
+    /// (samples per hour): 4-day segments, 50% overlap, Hann window,
+    /// constant detrend. With 15-day measurement periods this yields 5
+    /// averaged segments.
+    pub fn for_daily_analysis(sample_rate: f64) -> WelchConfig {
+        assert!(sample_rate > 0.0, "sample rate must be positive");
+        let segment_len = (4.0 * 24.0 * sample_rate).round() as usize;
+        WelchConfig {
+            sample_rate,
+            segment_len: segment_len.max(2),
+            overlap: 0.5,
+            window: Window::Hann,
+            detrend: true,
+        }
+    }
+
+    /// Step between segment starts, at least one sample.
+    fn step(&self, seg: usize) -> usize {
+        (((1.0 - self.overlap) * seg as f64).round() as usize).max(1)
+    }
+}
+
+/// Failure modes of the Welch estimator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WelchError {
+    /// The input signal has fewer than two samples.
+    SignalTooShort,
+    /// The input signal contains NaN or infinite values.
+    NonFiniteSample,
+    /// The configuration is invalid (overlap outside `[0,1)`, zero
+    /// segment length, or non-positive sample rate).
+    InvalidConfig,
+}
+
+impl fmt::Display for WelchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WelchError::SignalTooShort => write!(f, "signal has fewer than two samples"),
+            WelchError::NonFiniteSample => write!(f, "signal contains non-finite samples"),
+            WelchError::InvalidConfig => write!(f, "invalid Welch configuration"),
+        }
+    }
+}
+
+impl std::error::Error for WelchError {}
+
+/// A one-sided averaged spectrum, normalized to peak-to-peak amplitude.
+#[derive(Clone, Debug)]
+pub struct AmplitudeSpectrum {
+    /// Bin frequencies in cycles per hour, `k · fs / N` for `k = 0..=N/2`.
+    pub frequencies: Vec<f64>,
+    /// Average peak-to-peak amplitude per bin, same units as the input
+    /// signal (milliseconds for queuing delay). Entry 0 (DC) is the
+    /// residual mean after detrending and carries no peak-to-peak meaning.
+    pub peak_to_peak: Vec<f64>,
+    /// Averaged raw spectral power `mean_segments(|X_k|²)` per bin, kept
+    /// for prominence diagnostics.
+    pub power: Vec<f64>,
+    /// Frequency resolution (spacing between bins), cycles per hour.
+    pub df: f64,
+    /// Number of averaged segments.
+    pub segments: usize,
+    /// Segment length actually used (after clamping to the signal).
+    pub segment_len: usize,
+}
+
+impl AmplitudeSpectrum {
+    /// Number of one-sided bins.
+    pub fn len(&self) -> usize {
+        self.frequencies.len()
+    }
+
+    /// Whether the spectrum has no bins.
+    pub fn is_empty(&self) -> bool {
+        self.frequencies.is_empty()
+    }
+
+    /// The peak-to-peak amplitude at the bin nearest to `freq` (cycles per
+    /// hour), or `None` if outside the axis.
+    pub fn amplitude_near(&self, freq: f64) -> Option<f64> {
+        if self.frequencies.is_empty() || freq < 0.0 {
+            return None;
+        }
+        let k = (freq / self.df).round() as usize;
+        self.peak_to_peak.get(k).copied()
+    }
+}
+
+/// Estimate the averaged peak-to-peak amplitude spectrum of `signal`.
+///
+/// See the module docs for the normalization. Returns an error for empty
+/// or non-finite input; a signal shorter than the configured segment is
+/// analysed as a single segment (scipy-compatible clamping).
+pub fn welch_peak_to_peak(
+    signal: &[f64],
+    cfg: &WelchConfig,
+) -> Result<AmplitudeSpectrum, WelchError> {
+    if cfg.sample_rate <= 0.0 || cfg.segment_len < 2 || !(0.0..1.0).contains(&cfg.overlap) {
+        return Err(WelchError::InvalidConfig);
+    }
+    if signal.len() < 2 {
+        return Err(WelchError::SignalTooShort);
+    }
+    if signal.iter().any(|v| !v.is_finite()) {
+        return Err(WelchError::NonFiniteSample);
+    }
+
+    let seg = cfg.segment_len.min(signal.len());
+    let step = cfg.step(seg);
+    let coeffs = cfg.window.coefficients(seg);
+    let cg = cfg.window.coherent_gain(seg);
+
+    let n_bins = seg / 2 + 1;
+    let mut power = vec![0.0f64; n_bins];
+    let mut buf = vec![Complex::ZERO; seg];
+    let mut segments = 0usize;
+
+    let mut start = 0usize;
+    while start + seg <= signal.len() {
+        let chunk = &signal[start..start + seg];
+        let mean = if cfg.detrend {
+            chunk.iter().sum::<f64>() / seg as f64
+        } else {
+            0.0
+        };
+        for (i, (&x, &w)) in chunk.iter().zip(&coeffs).enumerate() {
+            buf[i] = Complex::from_real((x - mean) * w);
+        }
+        fft_in_place(&mut buf);
+        for (k, p) in power.iter_mut().enumerate() {
+            *p += buf[k].norm_sqr();
+        }
+        segments += 1;
+        start += step;
+    }
+    debug_assert!(segments > 0, "clamped segment always fits at least once");
+    for p in power.iter_mut() {
+        *p /= segments as f64;
+    }
+
+    // Convert averaged power to peak-to-peak amplitude:
+    //   one-sided interior bins: pp = 4·sqrt(P̄) / (N·CG)
+    //   DC and Nyquist have no mirrored twin: pp factor 2 instead of 4.
+    let norm = 1.0 / (seg as f64 * cg);
+    let nyquist_bin = if seg.is_multiple_of(2) {
+        Some(n_bins - 1)
+    } else {
+        None
+    };
+    let peak_to_peak: Vec<f64> = power
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| {
+            let factor = if k == 0 || Some(k) == nyquist_bin {
+                2.0
+            } else {
+                4.0
+            };
+            factor * p.sqrt() * norm
+        })
+        .collect();
+
+    Ok(AmplitudeSpectrum {
+        frequencies: one_sided_frequencies(seg, cfg.sample_rate),
+        peak_to_peak,
+        power,
+        df: cfg.sample_rate / seg as f64,
+        segments,
+        segment_len: seg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::f64::consts::TAU;
+
+    /// 15 days of 30-minute bins with a daily sinusoid of the given
+    /// peak-to-peak amplitude, plus an offset.
+    fn daily_signal(pp: f64, offset: f64) -> Vec<f64> {
+        let n = 15 * 48;
+        (0..n)
+            .map(|i| offset + pp / 2.0 * (TAU * i as f64 / 48.0).sin())
+            .collect()
+    }
+
+    #[test]
+    fn daily_tone_reads_back_its_peak_to_peak() {
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        for pp in [0.4, 1.0, 3.5] {
+            let spec = welch_peak_to_peak(&daily_signal(pp, 10.0), &cfg).unwrap();
+            let got = spec.amplitude_near(DAILY_CYCLES_PER_HOUR).unwrap();
+            assert!((got - pp).abs() < 0.05 * pp, "pp {pp}: spectrum read {got}");
+        }
+    }
+
+    #[test]
+    fn daily_bin_is_exact_with_four_day_segments() {
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        assert_eq!(cfg.segment_len, 192);
+        let spec = welch_peak_to_peak(&daily_signal(1.0, 0.0), &cfg).unwrap();
+        // Bin 4 must be exactly the daily frequency.
+        assert!((spec.frequencies[4] - DAILY_CYCLES_PER_HOUR).abs() < 1e-15);
+        // The Hann window spreads a bin-centered tone over the peak and its
+        // two neighbours (power shares 2/3, 1/6, 1/6); together they must
+        // hold virtually all the energy, and the center must dominate.
+        let total: f64 = spec.power.iter().sum();
+        let lobe: f64 = spec.power[3..=5].iter().sum();
+        assert!(lobe / total > 0.999, "main-lobe share: {}", lobe / total);
+        assert!((spec.power[4] / total - 2.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn fifteen_day_period_gives_five_segments() {
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        let spec = welch_peak_to_peak(&daily_signal(1.0, 0.0), &cfg).unwrap();
+        // 720 samples, 192-long segments, 96-sample step: starts at
+        // 0,96,...,528 => (720-192)/96+1 = 6 full segments fit; the last
+        // starts at 480 (480+192=672<=720) and 528 would end at 720 exactly.
+        assert_eq!(spec.segments, (720 - 192) / 96 + 1);
+        assert!(spec.segments >= 5);
+    }
+
+    #[test]
+    fn constant_signal_has_flat_near_zero_spectrum() {
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        let spec = welch_peak_to_peak(&vec![7.5; 720], &cfg).unwrap();
+        for (k, &a) in spec.peak_to_peak.iter().enumerate() {
+            assert!(a < 1e-9, "bin {k} amplitude {a}");
+        }
+    }
+
+    #[test]
+    fn detrend_removes_dc_leakage() {
+        // Without detrending, a large offset leaks into low bins through
+        // the window; with detrending the daily tone still dominates.
+        let sig = daily_signal(0.5, 100.0);
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        let spec = welch_peak_to_peak(&sig, &cfg).unwrap();
+        let daily = spec.amplitude_near(DAILY_CYCLES_PER_HOUR).unwrap();
+        // All non-DC, non-daily-adjacent bins must be far below the tone.
+        for (k, &a) in spec.peak_to_peak.iter().enumerate() {
+            if k >= 1 && !(3..=5).contains(&k) {
+                assert!(a < daily * 0.05, "bin {k}: {a} vs daily {daily}");
+            }
+        }
+    }
+
+    #[test]
+    fn half_day_harmonic_is_separated() {
+        // Daily + half-day components resolve into distinct bins (4 and 8).
+        let n = 15 * 48;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / 48.0;
+                1.0 * (TAU * t).sin() + 0.25 * (2.0 * TAU * t).sin()
+            })
+            .collect();
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        let spec = welch_peak_to_peak(&sig, &cfg).unwrap();
+        let daily = spec.amplitude_near(1.0 / 24.0).unwrap();
+        let half = spec.amplitude_near(1.0 / 12.0).unwrap();
+        assert!((daily - 2.0).abs() < 0.1, "daily {daily}");
+        assert!((half - 0.5).abs() < 0.05, "half-day {half}");
+    }
+
+    #[test]
+    fn short_signal_clamps_to_single_segment() {
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        let sig = daily_signal(1.0, 0.0)[..100].to_vec();
+        let spec = welch_peak_to_peak(&sig, &cfg).unwrap();
+        assert_eq!(spec.segment_len, 100);
+        assert_eq!(spec.segments, 1);
+    }
+
+    #[test]
+    fn error_cases() {
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        assert_eq!(
+            welch_peak_to_peak(&[], &cfg).unwrap_err(),
+            WelchError::SignalTooShort
+        );
+        assert_eq!(
+            welch_peak_to_peak(&[1.0], &cfg).unwrap_err(),
+            WelchError::SignalTooShort
+        );
+        assert_eq!(
+            welch_peak_to_peak(&[1.0, f64::NAN, 2.0], &cfg).unwrap_err(),
+            WelchError::NonFiniteSample
+        );
+        let mut bad = cfg.clone();
+        bad.overlap = 1.0;
+        assert_eq!(
+            welch_peak_to_peak(&[1.0, 2.0], &bad).unwrap_err(),
+            WelchError::InvalidConfig
+        );
+        let mut bad = cfg;
+        bad.segment_len = 1;
+        assert_eq!(
+            welch_peak_to_peak(&[1.0, 2.0], &bad).unwrap_err(),
+            WelchError::InvalidConfig
+        );
+    }
+
+    #[test]
+    fn all_windows_recover_a_bin_centered_tone() {
+        // The coherent-gain correction must make the amplitude estimate
+        // window-independent for bin-centered tones.
+        let sig = daily_signal(1.0, 2.0);
+        for window in [
+            crate::window::Window::Rectangular,
+            crate::window::Window::Hann,
+            crate::window::Window::Hamming,
+            crate::window::Window::Blackman,
+        ] {
+            let cfg = WelchConfig {
+                window,
+                ..WelchConfig::for_daily_analysis(2.0)
+            };
+            let spec = welch_peak_to_peak(&sig, &cfg).unwrap();
+            let amp = spec.amplitude_near(DAILY_CYCLES_PER_HOUR).unwrap();
+            assert!((amp - 1.0).abs() < 0.05, "{}: read {amp}", window.name());
+        }
+    }
+
+    #[test]
+    fn overlap_zero_uses_disjoint_segments() {
+        // 768 samples = exactly 4 disjoint 192-sample segments.
+        let sig: Vec<f64> = (0..768)
+            .map(|i| 0.5 * (TAU * i as f64 / 48.0).sin())
+            .collect();
+        let cfg = WelchConfig {
+            overlap: 0.0,
+            ..WelchConfig::for_daily_analysis(2.0)
+        };
+        let spec = welch_peak_to_peak(&sig, &cfg).unwrap();
+        assert_eq!(spec.segments, 4);
+        assert!((spec.amplitude_near(DAILY_CYCLES_PER_HOUR).unwrap() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn amplitude_near_out_of_axis() {
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        let spec = welch_peak_to_peak(&daily_signal(1.0, 0.0), &cfg).unwrap();
+        assert!(spec.amplitude_near(-0.5).is_none());
+        assert!(spec.amplitude_near(100.0).is_none());
+        assert!(spec.amplitude_near(0.0).is_some());
+    }
+
+    #[test]
+    fn averaging_reduces_noise_variance() {
+        // White noise spectrum estimated with many segments is flatter
+        // than a single-segment periodogram. Use deterministic pseudo-noise.
+        let noise: Vec<f64> = (0..720u64)
+            .map(|i| {
+                // xorshift-style scramble; values in [-0.5, 0.5]
+                let mut x = i.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+                x ^= x >> 33;
+                x = x.wrapping_mul(0xFF51AFD7ED558CCD);
+                x ^= x >> 33;
+                (x as f64 / u64::MAX as f64) - 0.5
+            })
+            .collect();
+        let multi = WelchConfig::for_daily_analysis(2.0);
+        let single = WelchConfig {
+            segment_len: 720,
+            ..multi.clone()
+        };
+        let sm = welch_peak_to_peak(&noise, &multi).unwrap();
+        let ss = welch_peak_to_peak(&noise, &single).unwrap();
+        let rel_spread = |p: &[f64]| {
+            let m = p.iter().sum::<f64>() / p.len() as f64;
+            let v = p.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / p.len() as f64;
+            v.sqrt() / m
+        };
+        assert!(
+            rel_spread(&sm.power[1..]) < rel_spread(&ss.power[1..]),
+            "averaging did not smooth the spectrum"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Tapering windows for spectral analysis.
+//!
+//! Welch's method multiplies each segment by a window before transforming
+//! it, trading a wider main lobe for much lower spectral leakage — without
+//! a taper, the strong low-frequency content of queuing-delay signals would
+//! bleed across the whole spectrum and bury the daily peak.
+//!
+//! The **coherent gain** (mean of the window coefficients) is what a
+//! windowed sinusoid's spectral line is scaled by; the amplitude
+//! normalization in [`crate::welch`] divides it back out so the paper's
+//! "average peak-to-peak amplitude" axis is in milliseconds.
+
+/// Supported window functions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Window {
+    /// No taper. Highest leakage; exact for bin-centered tones.
+    Rectangular,
+    /// Hann (raised cosine). scipy's Welch default and ours.
+    #[default]
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman (three-term).
+    Blackman,
+}
+
+impl Window {
+    /// Generate the `n` window coefficients (periodic form, the variant
+    /// appropriate for spectral averaging).
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let nf = n as f64;
+        (0..n)
+            .map(|i| {
+                let x = core::f64::consts::TAU * i as f64 / nf;
+                match self {
+                    Window::Rectangular => 1.0,
+                    Window::Hann => 0.5 - 0.5 * x.cos(),
+                    Window::Hamming => 0.54 - 0.46 * x.cos(),
+                    Window::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+                }
+            })
+            .collect()
+    }
+
+    /// Coherent gain: the mean of the coefficients. A bin-centered
+    /// sinusoid's spectral line is attenuated by exactly this factor.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let c = self.coefficients(n);
+        if c.is_empty() {
+            return 1.0;
+        }
+        c.iter().sum::<f64>() / c.len() as f64
+    }
+
+    /// Name for display.
+    pub fn name(self) -> &'static str {
+        match self {
+            Window::Rectangular => "rectangular",
+            Window::Hann => "hann",
+            Window::Hamming => "hamming",
+            Window::Blackman => "blackman",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficients_are_in_unit_range() {
+        for w in [
+            Window::Rectangular,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+        ] {
+            for &c in &w.coefficients(64) {
+                // Blackman's endpoint is 0 up to rounding (0.42-0.5+0.08).
+                assert!((-1e-12..=1.0 + 1e-12).contains(&c), "{}: {c}", w.name());
+            }
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_and_midpoint() {
+        let c = Window::Hann.coefficients(8);
+        assert!(c[0].abs() < 1e-12); // periodic Hann starts at 0
+        assert!((c[4] - 1.0).abs() < 1e-12); // peak at n/2
+    }
+
+    #[test]
+    fn periodic_hann_has_known_gain() {
+        // Periodic Hann coefficients sum to exactly n/2 => CG = 0.5.
+        assert!((Window::Hann.coherent_gain(192) - 0.5).abs() < 1e-12);
+        assert!((Window::Rectangular.coherent_gain(100) - 1.0).abs() < 1e-12);
+        // Hamming: mean of 0.54 - 0.46 cos over a full period = 0.54.
+        assert!((Window::Hamming.coherent_gain(128) - 0.54).abs() < 1e-12);
+        // Blackman: 0.42.
+        assert!((Window::Blackman.coherent_gain(128) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(Window::Hann.coefficients(0).is_empty());
+        assert_eq!(Window::Hann.coefficients(1), vec![1.0]);
+        assert_eq!(Window::Hann.coherent_gain(0), 1.0);
+    }
+
+    #[test]
+    fn symmetry_of_periodic_windows() {
+        // Periodic windows satisfy w[i] == w[n - i] for i in 1..n.
+        for w in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let c = w.coefficients(48);
+            for i in 1..48 {
+                assert!((c[i] - c[48 - i]).abs() < 1e-12, "{} at {i}", w.name());
+            }
+        }
+    }
+}

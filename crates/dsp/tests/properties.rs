@@ -1,0 +1,98 @@
+//! Property-based tests for the DSP substrate.
+
+use lastmile_dsp::complex::Complex;
+use lastmile_dsp::fft::{fft, ifft};
+use lastmile_dsp::spectrum::prominent_peak;
+use lastmile_dsp::welch::{welch_peak_to_peak, WelchConfig};
+use proptest::prelude::*;
+
+fn complex_signal(max_len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+proptest! {
+    /// ifft(fft(x)) == x for arbitrary lengths (radix-2 and Bluestein).
+    #[test]
+    fn fft_round_trip(x in complex_signal(200)) {
+        let back = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a.re - b.re).abs() < 1e-6, "{} vs {}", a.re, b.re);
+            prop_assert!((a.im - b.im).abs() < 1e-6, "{} vs {}", a.im, b.im);
+        }
+    }
+
+    /// Parseval: time-domain energy equals frequency-domain energy / N.
+    #[test]
+    fn fft_parseval(x in complex_signal(200)) {
+        let n = x.len() as f64;
+        let te: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let fe: f64 = fft(&x).iter().map(|z| z.norm_sqr()).sum::<f64>() / n;
+        prop_assert!((te - fe).abs() <= 1e-6 * te.max(1.0), "{te} vs {fe}");
+    }
+
+    /// FFT is linear: F(ax + y) == a·F(x) + F(y).
+    #[test]
+    fn fft_linearity(x in complex_signal(96), scale in -10.0f64..10.0) {
+        let n = x.len();
+        let y: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let combo: Vec<Complex> = x.iter().zip(&y).map(|(&a, &b)| a.scale(scale) + b).collect();
+        let lhs = fft(&combo);
+        let fx = fft(&x);
+        let fy = fft(&y);
+        for k in 0..n {
+            let rhs = fx[k].scale(scale) + fy[k];
+            prop_assert!((lhs[k].re - rhs.re).abs() < 1e-5);
+            prop_assert!((lhs[k].im - rhs.im).abs() < 1e-5);
+        }
+    }
+
+    /// A pure daily tone of arbitrary peak-to-peak amplitude and phase is
+    /// recovered by the Welch estimator within 5%, regardless of offset.
+    #[test]
+    fn welch_recovers_daily_tone(
+        pp in 0.1f64..20.0,
+        phase in 0.0f64..core::f64::consts::TAU,
+        offset in -50.0f64..50.0,
+    ) {
+        let n = 15 * 48;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| offset + pp / 2.0 * (core::f64::consts::TAU * i as f64 / 48.0 + phase).sin())
+            .collect();
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        let spec = welch_peak_to_peak(&sig, &cfg).unwrap();
+        let peak = prominent_peak(&spec).unwrap();
+        prop_assert!(peak.is_daily(), "peak at {} cph", peak.frequency);
+        prop_assert!((peak.amplitude - pp).abs() < 0.05 * pp,
+            "pp {} read back as {}", pp, peak.amplitude);
+    }
+
+    /// Scaling the signal scales the spectrum linearly.
+    #[test]
+    fn welch_amplitude_is_homogeneous(scale in 0.1f64..50.0) {
+        let n = 15 * 48;
+        let base: Vec<f64> = (0..n)
+            .map(|i| (core::f64::consts::TAU * i as f64 / 48.0).sin()
+                + 0.3 * (core::f64::consts::TAU * i as f64 / 24.0).cos())
+            .collect();
+        let scaled: Vec<f64> = base.iter().map(|v| v * scale).collect();
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        let a = welch_peak_to_peak(&base, &cfg).unwrap();
+        let b = welch_peak_to_peak(&scaled, &cfg).unwrap();
+        for (x, y) in a.peak_to_peak.iter().zip(&b.peak_to_peak) {
+            prop_assert!((y - x * scale).abs() < 1e-6 * scale.max(1.0) + 1e-9);
+        }
+    }
+
+    /// The spectrum never reports negative amplitudes or non-finite bins.
+    #[test]
+    fn welch_output_is_sane(sig in prop::collection::vec(-100.0f64..100.0, 2..400)) {
+        let cfg = WelchConfig::for_daily_analysis(2.0);
+        let spec = welch_peak_to_peak(&sig, &cfg).unwrap();
+        for &a in &spec.peak_to_peak {
+            prop_assert!(a.is_finite() && a >= 0.0);
+        }
+        prop_assert_eq!(spec.frequencies.len(), spec.peak_to_peak.len());
+        prop_assert_eq!(spec.power.len(), spec.peak_to_peak.len());
+    }
+}

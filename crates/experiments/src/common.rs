@@ -1,0 +1,110 @@
+//! Shared harness context: options, cached heavy computations, CSV output.
+
+use lastmile_repro::core::pipeline::{PipelineConfig, PopulationAnalysis};
+use lastmile_repro::core::report::SurveyReport;
+use lastmile_repro::netsim::scenarios::survey::{survey_world, SurveyConfig, SurveyScenario};
+use lastmile_repro::netsim::World;
+use lastmile_repro::runner::{
+    analyze_population, eyeballs_from_ground_truth, run_survey, ProbeSelection, SurveyOptions,
+};
+use lastmile_repro::timebase::MeasurementPeriod;
+use std::io::Write;
+use std::sync::OnceLock;
+
+/// Harness options plus lazily computed shared state.
+pub struct Ctx {
+    /// Master seed for every world.
+    pub seed: u64,
+    /// Number of survey ASes (paper: 646).
+    pub survey_ases: usize,
+    /// Output directory for CSVs.
+    pub out_dir: String,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    survey: OnceLock<(SurveyScenario, SurveyReport)>,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx {
+            seed: 20200427,
+            survey_ases: 646,
+            out_dir: "results".to_string(),
+            threads: 0,
+            survey: OnceLock::new(),
+        }
+    }
+}
+
+impl Ctx {
+    /// The survey scenario and its classification report over all seven
+    /// periods — computed once, shared by fig3/fig4/summary.
+    pub fn survey(&self) -> &(SurveyScenario, SurveyReport) {
+        self.survey.get_or_init(|| {
+            eprintln!(
+                "[survey] simulating {} ASes x 7 periods (use --scale to shrink)...",
+                self.survey_ases
+            );
+            let scenario = survey_world(&SurveyConfig {
+                seed: self.seed,
+                n_ases: self.survey_ases,
+                max_probes_per_as: 20,
+            });
+            let eyeballs = eyeballs_from_ground_truth(&scenario.ground_truth);
+            let report = run_survey(
+                &scenario.world,
+                &MeasurementPeriod::survey_periods(),
+                &eyeballs,
+                &SurveyOptions {
+                    threads: self.threads,
+                    ..Default::default()
+                },
+            );
+            (scenario, report)
+        })
+    }
+
+    /// Write a CSV file into the output directory.
+    pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) {
+        let path = format!("{}/{}", self.out_dir, name);
+        let mut f = std::fs::File::create(&path).expect("create CSV");
+        writeln!(f, "{header}").expect("write CSV header");
+        for row in rows {
+            writeln!(f, "{row}").expect("write CSV row");
+        }
+        eprintln!("[csv] wrote {path} ({} rows)", rows.len());
+    }
+}
+
+/// Analyse several (ASN, period, selection) populations in parallel.
+pub fn analyze_many(
+    world: &World,
+    jobs: &[(u32, MeasurementPeriod, ProbeSelection)],
+    cfg: &PipelineConfig,
+) -> Vec<PopulationAnalysis> {
+    let mut out: Vec<Option<PopulationAnalysis>> = Vec::new();
+    out.resize_with(jobs.len(), || None);
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let chunk = jobs.len().div_ceil(n_threads).max(1);
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, job_chunk) in out.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, (asn, period, selection)) in slot_chunk.iter_mut().zip(job_chunk) {
+                    *slot = Some(analyze_population(
+                        world,
+                        *asn,
+                        period,
+                        cfg.clone(),
+                        selection,
+                    ));
+                }
+            });
+        }
+    })
+    .expect("analysis scope failed");
+    out.into_iter()
+        .map(|o| o.expect("all jobs completed"))
+        .collect()
+}

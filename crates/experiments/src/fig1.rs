@@ -1,0 +1,70 @@
+//! Figure 1: one week of aggregated last-mile queuing delay for ISP_DE
+//! (top, flat) and ISP_US (bottom, diurnal; amplified April 2020), seven
+//! measurement periods.
+//!
+//! Output: `results/fig1.csv` with one weekly-folded series per
+//! (ISP, period), plus the per-period summary the paper's legend carries
+//! (probe counts) and the §2.2 per-probe statistic (the fraction of
+//! ISP_US probes with daily delay over 5 ms tripling under COVID-19).
+
+use crate::common::{analyze_many, Ctx};
+use lastmile_repro::core::pipeline::PipelineConfig;
+use lastmile_repro::netsim::scenarios::examples::{
+    active_probe_count, fig1_world, ISP_DE_ASN, ISP_US_ASN,
+};
+use lastmile_repro::runner::ProbeSelection;
+use lastmile_repro::timebase::MeasurementPeriod;
+
+pub fn run(ctx: &Ctx) {
+    let world = fig1_world(ctx.seed);
+    let periods = MeasurementPeriod::survey_periods();
+    let jobs: Vec<_> = [ISP_DE_ASN, ISP_US_ASN]
+        .into_iter()
+        .flat_map(|asn| {
+            periods
+                .iter()
+                .map(move |p| (asn, *p, ProbeSelection::regular()))
+        })
+        .collect();
+    eprintln!("[fig1] analysing {} populations...", jobs.len());
+    let analyses = analyze_many(&world, &jobs, &PipelineConfig::paper());
+
+    let mut rows = Vec::new();
+    println!("Figure 1 — weekly aggregated queuing delay (ms)\n");
+    println!(
+        "{:<8} {:<9} {:>7} {:>10} {:>10} {:>12}",
+        "ISP", "period", "probes", "median", "peak", ">5ms probes"
+    );
+    for ((asn, period, _), analysis) in jobs.iter().zip(&analyses) {
+        let isp = if *asn == ISP_DE_ASN {
+            "ISP_DE"
+        } else {
+            "ISP_US"
+        };
+        for (hours, v) in analysis.aggregated.fold_weekly() {
+            rows.push(format!("{isp},{},{hours:.2},{v:.4}", period.label()));
+        }
+        let folded = analysis.aggregated.fold_weekly();
+        let vals: Vec<f64> = folded.iter().map(|&(_, v)| v).collect();
+        let median = lastmile_repro::stats::median(&vals).unwrap_or(0.0);
+        let peak = analysis.aggregated.max().unwrap_or(0.0);
+        let over5 = analysis.fraction_of_probes_above(5.0, 0.02);
+        println!(
+            "{:<8} {:<9} {:>7} {:>9.2}ms {:>9.2}ms {:>11.1}%",
+            isp,
+            period.label(),
+            active_probe_count(&world, *asn, period),
+            median,
+            peak,
+            over5 * 100.0
+        );
+    }
+    ctx.write_csv(
+        "fig1.csv",
+        "isp,period,hours_since_monday,agg_queuing_ms",
+        &rows,
+    );
+    println!("\npaper's shape: ISP_DE flat in every period; ISP_US shows a small consistent");
+    println!("diurnal pattern that widens and grows in April 2020, and the fraction of its");
+    println!("probes with daily delay over 5 ms roughly triples under lockdown.");
+}

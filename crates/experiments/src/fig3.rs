@@ -1,0 +1,60 @@
+//! Figure 3: distributions over all monitored ASes, six longitudinal
+//! periods — (top) the prominent frequency of each AS's aggregated
+//! signal, (bottom) the peak-to-peak amplitude of prominent daily
+//! components.
+//!
+//! Paper's readings: the daily frequency dominates the prominent-frequency
+//! CDF; of the daily ASes ~83% are below 0.5 ms, ~7% in 0.5–1, ~6% in
+//! 1–3, ~4% above 3 ms.
+//!
+//! Output: `results/fig3_frequencies.csv`, `results/fig3_amplitudes.csv`.
+
+use crate::common::Ctx;
+use lastmile_repro::timebase::MeasurementPeriod;
+
+pub fn run(ctx: &Ctx) {
+    let (_, report) = ctx.survey();
+    let mut freq_rows = Vec::new();
+    let mut amp_rows = Vec::new();
+
+    println!("Figure 3 — prominent frequencies and daily amplitudes\n");
+    println!(
+        "{:<9} {:>6} {:>11} {:>9} {:>9} {:>9} {:>9}",
+        "period", "ASes", "daily-frac", "<0.5ms", "0.5-1ms", "1-3ms", ">3ms"
+    );
+    for period in MeasurementPeriod::longitudinal() {
+        let id = period.id();
+        for f in report.prominent_frequencies(id) {
+            freq_rows.push(format!("{},{f:.6}", id.label()));
+        }
+        let cdf = report.daily_amplitude_cdf(id);
+        for (v, frac) in cdf.points() {
+            amp_rows.push(format!("{},{v:.5},{frac:.5}", id.label()));
+        }
+        let below_half = cdf.fraction_at_or_below(0.5);
+        let low = cdf.fraction_in(0.5, 1.0);
+        let mild = cdf.fraction_in(1.0, 3.0);
+        let severe = 1.0 - cdf.fraction_at_or_below(3.0);
+        println!(
+            "{:<9} {:>6} {:>10.0}% {:>8.0}% {:>8.0}% {:>8.0}% {:>8.0}%",
+            id.label(),
+            report.monitored(id),
+            report.daily_fraction(id) * 100.0,
+            below_half * 100.0,
+            low * 100.0,
+            mild * 100.0,
+            severe * 100.0,
+        );
+    }
+    ctx.write_csv(
+        "fig3_frequencies.csv",
+        "period,prominent_freq_cycles_per_hour",
+        &freq_rows,
+    );
+    ctx.write_csv(
+        "fig3_amplitudes.csv",
+        "period,daily_p2p_amplitude_ms,cdf",
+        &amp_rows,
+    );
+    println!("\npaper's shape: daily component dominates; amplitude split ~83/7/6/4%.");
+}

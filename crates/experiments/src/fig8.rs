@@ -1,0 +1,59 @@
+//! Figure 8 (Appendix B): ISP_D's probes vs its anchor across four
+//! periods — the probes congest to tens of milliseconds at peak hours,
+//! the datacenter-hosted anchor stays flat.
+//!
+//! Output: `results/fig8.csv` (weekly-folded series per source × period).
+
+use crate::common::Ctx;
+use lastmile_repro::core::pipeline::PipelineConfig;
+use lastmile_repro::netsim::scenarios::anchor::{anchor_world, fig8_periods, ISP_D_ASN};
+use lastmile_repro::runner::{analyze_population, ProbeSelection};
+
+pub fn run(ctx: &Ctx) {
+    let world = anchor_world(ctx.seed);
+    let mut rows = Vec::new();
+    println!("Figure 8 — ISP_D probes vs anchor\n");
+    println!(
+        "{:<10} {:>7} {:>16} {:>16} {:>9}",
+        "period", "probes", "probes max (ms)", "anchor max (ms)", "class"
+    );
+    for period in fig8_periods() {
+        let probes = analyze_population(
+            &world,
+            ISP_D_ASN,
+            &period,
+            PipelineConfig::paper(),
+            &ProbeSelection::regular(),
+        );
+        let mut anchor_cfg = PipelineConfig::paper();
+        anchor_cfg.min_probes = 1;
+        anchor_cfg.min_probes_per_bin = 1;
+        let anchor = analyze_population(
+            &world,
+            ISP_D_ASN,
+            &period,
+            anchor_cfg,
+            &ProbeSelection::anchors(),
+        );
+        for (source, analysis) in [("probes", &probes), ("anchor", &anchor)] {
+            for (hours, v) in analysis.aggregated.fold_weekly() {
+                rows.push(format!("{source},{},{hours:.2},{v:.4}", period.label()));
+            }
+        }
+        println!(
+            "{:<10} {:>7} {:>16.2} {:>16.2} {:>9}",
+            period.label(),
+            probes.probes_used(),
+            probes.aggregated.max().unwrap_or(0.0),
+            anchor.aggregated.max().unwrap_or(0.0),
+            probes.class(),
+        );
+    }
+    ctx.write_csv(
+        "fig8.csv",
+        "source,period,hours_since_monday,agg_queuing_ms",
+        &rows,
+    );
+    println!("\npaper's shape: probes peak in the tens of ms every period (highest under");
+    println!("the 2020 lockdown); the anchor's delay never leaves the floor.");
+}

@@ -1,0 +1,101 @@
+//! The experiment harness: one subcommand per figure/statistic of the
+//! paper, each printing the series the paper reports and writing CSVs
+//! into `results/`.
+//!
+//! ```text
+//! experiments <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|summary|all>
+//!             [--seed N] [--scale N_ASES] [--out DIR] [--threads N]
+//! ```
+//!
+//! `--scale` shrinks the §3 survey below the paper's 646 ASes for quick
+//! runs; everything else is full scale by default.
+
+mod common;
+mod fig1;
+mod fig2;
+mod fig3;
+mod fig4;
+mod fig5;
+mod fig6;
+mod fig7;
+mod fig8;
+mod fig9;
+mod summary;
+
+use common::Ctx;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("usage: experiments <fig1..fig9|summary|all> [--seed N] [--scale N] [--out DIR] [--threads N]");
+        std::process::exit(2);
+    };
+
+    let mut ctx = Ctx::default();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let value = || {
+            it.clone()
+                .next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {flag}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match flag.as_str() {
+            "--seed" => {
+                ctx.seed = value().parse().expect("--seed takes an integer");
+                it.next();
+            }
+            "--scale" => {
+                ctx.survey_ases = value().parse().expect("--scale takes an integer");
+                it.next();
+            }
+            "--out" => {
+                ctx.out_dir = value();
+                it.next();
+            }
+            "--threads" => {
+                ctx.threads = value().parse().expect("--threads takes an integer");
+                it.next();
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::fs::create_dir_all(&ctx.out_dir).expect("create output directory");
+
+    let started = std::time::Instant::now();
+    match cmd.as_str() {
+        "fig1" => fig1::run(&ctx),
+        "fig2" => fig2::run(&ctx),
+        "fig3" => fig3::run(&ctx),
+        "fig4" => fig4::run(&ctx),
+        "fig5" => fig5::run(&ctx),
+        "fig6" => fig6::run(&ctx),
+        "fig7" => fig7::run(&ctx),
+        "fig8" => fig8::run(&ctx),
+        "fig9" => fig9::run(&ctx),
+        "summary" => summary::run(&ctx),
+        "all" => {
+            fig1::run(&ctx);
+            fig2::run(&ctx);
+            fig3::run(&ctx);
+            fig4::run(&ctx);
+            fig5::run(&ctx);
+            fig6::run(&ctx);
+            fig7::run(&ctx);
+            fig8::run(&ctx);
+            fig9::run(&ctx);
+            summary::run(&ctx);
+        }
+        other => {
+            eprintln!("unknown experiment {other}");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("\n[{cmd} done in {:.1}s]", started.elapsed().as_secs_f64());
+}

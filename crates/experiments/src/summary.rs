@@ -1,0 +1,159 @@
+//! §3's headline statistics over the full survey:
+//!
+//! * ~90% of monitored ASes classify None; ~47 ASes reported per period;
+//! * 36 ASes reported in at least half of the six longitudinal periods;
+//! * April 2020: reported ASes +55%;
+//! * geography: 53 of 98 monitored countries have at least one report,
+//!   23 have a Severe AS; Japan holds the most Severe reports (~18%),
+//!   then the U.S. (~8%); of Japan's top-10 eyeballs, 5 reported at least
+//!   once and 3 constantly.
+//!
+//! Output: `results/summary.csv` (one row per AS × period).
+
+use crate::common::Ctx;
+use lastmile_repro::core::detect::CongestionClass;
+use lastmile_repro::runner::eyeballs_from_ground_truth;
+use lastmile_repro::timebase::MeasurementPeriod;
+
+pub fn run(ctx: &Ctx) {
+    let (scenario, report) = ctx.survey();
+    let eyeballs = eyeballs_from_ground_truth(&scenario.ground_truth);
+
+    println!("Survey summary — {} ASes\n", scenario.ground_truth.len());
+    println!("{}", report.render_text());
+
+    let longitudinal: Vec<_> = MeasurementPeriod::longitudinal()
+        .iter()
+        .map(|p| p.id())
+        .collect();
+
+    // Headline numbers.
+    let monitored = report.monitored(longitudinal[5]) as f64;
+    let mean_reported: f64 = longitudinal
+        .iter()
+        .map(|&p| report.reported_count(p))
+        .sum::<usize>() as f64
+        / longitudinal.len() as f64;
+    println!(
+        "mean reported ASes per longitudinal period : {mean_reported:.1} ({:.0}% None; paper: ~47, ~90% None)",
+        (1.0 - mean_reported / monitored) * 100.0
+    );
+    let persistent = report.persistent_asns(&longitudinal, longitudinal.len() / 2);
+    println!(
+        "ASes reported in >= half of the periods    : {} (paper: 36)",
+        persistent.len()
+    );
+    let sep = MeasurementPeriod::september_2019().id();
+    let apr = MeasurementPeriod::april_2020().id();
+    println!(
+        "COVID-19 jump (Sep 2019 -> Apr 2020)       : {} -> {} ({:+.0}%; paper: 45 -> 70, +55%)",
+        report.reported_count(sep),
+        report.reported_count(apr),
+        (report.reported_count(apr) as f64 / report.reported_count(sep) as f64 - 1.0) * 100.0
+    );
+
+    // Geography.
+    let countries = report.countries_with_reports(&longitudinal);
+    println!(
+        "countries with >= 1 reported AS            : {} (paper: 53 of 98)",
+        countries.len()
+    );
+    let severe = report.severe_reports_by_country(&longitudinal);
+    let total_severe: usize = severe.values().sum();
+    let mut by_count: Vec<_> = severe.iter().collect();
+    by_count.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    println!(
+        "countries with >= 1 Severe AS              : {} (paper: 23)",
+        severe.len()
+    );
+    for (country, count) in by_count.iter().take(4) {
+        println!(
+            "  severe reports in {country:<3}                     : {count} ({:.0}% of all; paper: JP 18%, US 8%)",
+            100.0 * **count as f64 / total_severe.max(1) as f64
+        );
+    }
+
+    // Japan's top-10 eyeballs.
+    let top_jp = eyeballs.top_of_country("JP", 10);
+    let mut reported_once = 0;
+    let mut reported_always = 0;
+    for e in &top_jp {
+        let appearances = longitudinal
+            .iter()
+            .filter(|&&p| {
+                report
+                    .period_rows(p)
+                    .any(|r| r.asn == e.asn && r.class != CongestionClass::None)
+            })
+            .count();
+        if appearances >= 1 {
+            reported_once += 1;
+        }
+        if appearances == longitudinal.len() {
+            reported_always += 1;
+        }
+    }
+    println!(
+        "of Japan's top-{} eyeballs: reported >= once : {reported_once}, constantly: {reported_always} (paper: 5 and 3 of top-10)",
+        top_jp.len()
+    );
+
+    // Per-row CSV for downstream analysis.
+    let rows: Vec<String> = report
+        .rows()
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{},{:.4},{},{},{},{}",
+                r.period.label(),
+                r.asn,
+                r.class,
+                r.daily_amplitude_ms,
+                r.prominent_is_daily,
+                r.probes,
+                r.country.as_deref().unwrap_or(""),
+                r.rank.map(|x| x.to_string()).unwrap_or_default(),
+            )
+        })
+        .collect();
+    ctx.write_csv(
+        "summary.csv",
+        "period,asn,class,daily_amplitude_ms,prominent_is_daily,probes,country,rank",
+        &rows,
+    );
+
+    // A machine-readable survey report, in the spirit of the paper's
+    // public results server (last-mile-congestion.github.io).
+    let periods_json: Vec<serde_json::Value> = report
+        .periods()
+        .iter()
+        .map(|&p| {
+            let counts = report.class_counts(p);
+            serde_json::json!({
+                "period": p.label(),
+                "monitored": report.monitored(p),
+                "reported": report.reported_count(p),
+                "daily_fraction": report.daily_fraction(p),
+                "classes": counts
+                    .iter()
+                    .map(|(c, n)| (c.name().to_string(), *n))
+                    .collect::<std::collections::BTreeMap<_, _>>(),
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "paper": "Persistent Last-mile Congestion: Not so Uncommon (IMC 2020)",
+        "ases": scenario.ground_truth.len(),
+        "periods": periods_json,
+        "persistent_asns": report.persistent_asns(&longitudinal, longitudinal.len() / 2),
+        "countries_with_reports": report.countries_with_reports(&longitudinal),
+        "severe_by_country": report.severe_reports_by_country(&longitudinal),
+    });
+    let path = format!("{}/survey_report.json", ctx.out_dir);
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&doc).expect("report encodes"),
+    )
+    .expect("write survey report");
+    eprintln!("[json] wrote {path}");
+}

@@ -1,0 +1,208 @@
+//! # lastmile-eyeball
+//!
+//! An APNIC-labs-style registry of *eyeball population estimates*: how
+//! many Internet users sit behind each AS, its global rank, and its
+//! country.
+//!
+//! §3.2 of the IMC 2020 paper: "To get a sense of the number of Internet
+//! users impacted by the identified congestion, we classified our results
+//! with the help of the APNIC eyeball population estimates" — Figure 4
+//! breaks classifications down by rank bucket (1–10, 11–100, 101–1k,
+//! 1k–10k, >10k), and the geographic analysis uses "the country code
+//! provided with the APNIC ranks".
+//!
+//! [`EyeballRegistry`] stores per-AS entries and answers rank/country
+//! queries; [`EyeballRegistry::from_populations`] derives global ranks by
+//! sorting populations, the way the real service does.
+//!
+//! ```
+//! use lastmile_eyeball::EyeballRegistry;
+//!
+//! let reg = EyeballRegistry::from_populations([
+//!     (64501, 9_000_000, "JP"),
+//!     (64502, 40_000_000, "US"),
+//!     (64503, 500_000, "DE"),
+//! ]);
+//! assert_eq!(reg.rank_of(64502), Some(1)); // largest population
+//! assert_eq!(reg.rank_of(64501), Some(2));
+//! assert_eq!(reg.country_of(64503), Some("DE"));
+//! ```
+
+use lastmile_prefix::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One AS's eyeball estimate.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EyeballEntry {
+    /// The AS.
+    pub asn: Asn,
+    /// Global rank by estimated users (1 = largest).
+    pub rank: u32,
+    /// Estimated user population.
+    pub population: u64,
+    /// ISO 3166-1 alpha-2 country code.
+    pub country: String,
+}
+
+/// A registry of eyeball estimates.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EyeballRegistry {
+    entries: BTreeMap<Asn, EyeballEntry>,
+}
+
+impl EyeballRegistry {
+    /// An empty registry.
+    pub fn new() -> EyeballRegistry {
+        EyeballRegistry::default()
+    }
+
+    /// Insert (or replace) an entry with an explicit rank — used when the
+    /// scenario assigns synthetic global ranks directly.
+    pub fn insert(&mut self, entry: EyeballEntry) {
+        self.entries.insert(entry.asn, entry);
+    }
+
+    /// Build from raw `(asn, population, country)` tuples, deriving ranks
+    /// by descending population (ties broken by ASN for determinism).
+    pub fn from_populations<'a>(
+        items: impl IntoIterator<Item = (Asn, u64, &'a str)>,
+    ) -> EyeballRegistry {
+        let mut list: Vec<(Asn, u64, &str)> = items.into_iter().collect();
+        list.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut reg = EyeballRegistry::new();
+        for (i, (asn, population, country)) in list.into_iter().enumerate() {
+            reg.insert(EyeballEntry {
+                asn,
+                rank: (i + 1) as u32,
+                population,
+                country: country.to_string(),
+            });
+        }
+        reg
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry for an AS.
+    pub fn get(&self, asn: Asn) -> Option<&EyeballEntry> {
+        self.entries.get(&asn)
+    }
+
+    /// Rank of an AS.
+    pub fn rank_of(&self, asn: Asn) -> Option<u32> {
+        self.get(asn).map(|e| e.rank)
+    }
+
+    /// Country of an AS.
+    pub fn country_of(&self, asn: Asn) -> Option<&str> {
+        self.get(asn).map(|e| e.country.as_str())
+    }
+
+    /// Population of an AS.
+    pub fn population_of(&self, asn: Asn) -> Option<u64> {
+        self.get(asn).map(|e| e.population)
+    }
+
+    /// All entries, ascending by ASN.
+    pub fn iter(&self) -> impl Iterator<Item = &EyeballEntry> {
+        self.entries.values()
+    }
+
+    /// The top-`n` ASes of a country by rank — §3.2 looks at "the top 10
+    /// monitored Japanese ASes (in terms of APNIC rankings)".
+    pub fn top_of_country(&self, country: &str, n: usize) -> Vec<&EyeballEntry> {
+        let mut of_country: Vec<&EyeballEntry> = self
+            .entries
+            .values()
+            .filter(|e| e.country == country)
+            .collect();
+        of_country.sort_by_key(|e| e.rank);
+        of_country.truncate(n);
+        of_country
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EyeballRegistry {
+        EyeballRegistry::from_populations([
+            (1, 50_000_000, "US"),
+            (2, 30_000_000, "JP"),
+            (3, 30_000_000, "JP"), // tie with AS2: ASN breaks it
+            (4, 1_000_000, "DE"),
+            (5, 100, "JP"),
+        ])
+    }
+
+    #[test]
+    fn ranks_follow_population() {
+        let r = sample();
+        assert_eq!(r.rank_of(1), Some(1));
+        assert_eq!(r.rank_of(2), Some(2)); // tie broken by lower ASN
+        assert_eq!(r.rank_of(3), Some(3));
+        assert_eq!(r.rank_of(4), Some(4));
+        assert_eq!(r.rank_of(5), Some(5));
+        assert_eq!(r.rank_of(99), None);
+    }
+
+    #[test]
+    fn lookups() {
+        let r = sample();
+        assert_eq!(r.country_of(2), Some("JP"));
+        assert_eq!(r.population_of(4), Some(1_000_000));
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+        assert!(EyeballRegistry::new().is_empty());
+    }
+
+    #[test]
+    fn top_of_country() {
+        let r = sample();
+        let jp = r.top_of_country("JP", 2);
+        assert_eq!(jp.len(), 2);
+        assert_eq!(jp[0].asn, 2);
+        assert_eq!(jp[1].asn, 3);
+        assert_eq!(r.top_of_country("JP", 10).len(), 3);
+        assert!(r.top_of_country("FR", 3).is_empty());
+    }
+
+    #[test]
+    fn explicit_insert_overrides() {
+        let mut r = sample();
+        r.insert(EyeballEntry {
+            asn: 5,
+            rank: 777,
+            population: 1,
+            country: "JP".into(),
+        });
+        assert_eq!(r.rank_of(5), Some(777));
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: EyeballRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), r.len());
+        assert_eq!(back.rank_of(3), r.rank_of(3));
+    }
+
+    #[test]
+    fn iteration_is_by_asn() {
+        let r = sample();
+        let asns: Vec<_> = r.iter().map(|e| e.asn).collect();
+        assert_eq!(asns, vec![1, 2, 3, 4, 5]);
+    }
+}

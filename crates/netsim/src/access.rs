@@ -1,0 +1,180 @@
+//! Access technologies and service classes.
+//!
+//! §4 of the paper contrasts three access arrangements in Japan:
+//!
+//! * **shared legacy FTTH over PPPoE** (ISP A, ISP B, ISP D): the carrier's
+//!   nation-wide fiber with carrier-owned PPPoE termination equipment that
+//!   is "too expensive to upgrade" — the congested case;
+//! * **operator-owned fiber** (ISP C): dedicated, scaled infrastructure —
+//!   flat delay, stable throughput;
+//! * **LTE mobile**: "cellular networks show consistent performance by
+//!   maintaining median throughput above 20 Mbps";
+//!
+//! plus Appendix C's **IPoE IPv6** path that bypasses the congested PPPoE
+//! equipment ("more recent equipment and lower number of users").
+//!
+//! [`AccessTech`] captures the technology of a *broadband* product;
+//! [`ServiceClass`] names which service a CDN client uses (broadband v4,
+//! broadband v6, mobile) since one AS offers several.
+
+use crate::queue::QueueModel;
+
+/// The access technology behind an ISP's broadband product.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessTech {
+    /// FTTH over the shared legacy carrier network, terminated on
+    /// oversubscribed PPPoE equipment. The congestion-prone case.
+    SharedLegacyPppoe,
+    /// FTTH on infrastructure the ISP owns and scales itself.
+    DedicatedFiber,
+    /// DOCSIS cable: mildly shared, between the two above.
+    CableDocsis,
+    /// LTE cellular access (used for the mobile service class).
+    MobileLte,
+}
+
+impl AccessTech {
+    /// Typical per-subscriber base (propagation + serialization) RTT range
+    /// on the last-mile segment, milliseconds. Individual probes draw
+    /// their base from this range.
+    pub fn base_rtt_range_ms(self) -> (f64, f64) {
+        match self {
+            AccessTech::SharedLegacyPppoe => (1.5, 6.0),
+            AccessTech::DedicatedFiber => (0.8, 4.0),
+            AccessTech::CableDocsis => (4.0, 12.0),
+            AccessTech::MobileLte => (15.0, 45.0),
+        }
+    }
+
+    /// Nominal downstream line rate of the access product, Mbps. The CDN
+    /// throughput model can never exceed this.
+    pub fn line_rate_mbps(self) -> f64 {
+        match self {
+            AccessTech::SharedLegacyPppoe => 100.0,
+            AccessTech::DedicatedFiber => 100.0,
+            AccessTech::CableDocsis => 60.0,
+            AccessTech::MobileLte => 37.5,
+        }
+    }
+
+    /// Whether customers of this technology reach the ISP through shared
+    /// legacy equipment (the paper's congestion hypothesis applies).
+    pub fn is_shared_legacy(self) -> bool {
+        matches!(self, AccessTech::SharedLegacyPppoe)
+    }
+
+    /// Default queue for this technology when the scenario gives a target
+    /// peak queuing delay (ms). Non-shared technologies keep low
+    /// utilization regardless of the demand peak.
+    pub fn queue_for_peak_delay(self, peak_delay_ms: f64) -> QueueModel {
+        match self {
+            AccessTech::SharedLegacyPppoe => {
+                QueueModel::calibrated(0.25, 0.93, peak_delay_ms, peak_delay_ms.max(1.0) * 12.0)
+            }
+            AccessTech::DedicatedFiber => {
+                QueueModel::calibrated(0.1, 0.45, peak_delay_ms, peak_delay_ms.max(0.5) * 12.0)
+            }
+            AccessTech::CableDocsis => {
+                QueueModel::calibrated(0.2, 0.8, peak_delay_ms, peak_delay_ms.max(1.0) * 12.0)
+            }
+            AccessTech::MobileLte => {
+                QueueModel::calibrated(0.2, 0.6, peak_delay_ms, peak_delay_ms.max(1.0) * 12.0)
+            }
+        }
+    }
+}
+
+/// Which of an AS's services a client (or probe) uses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ServiceClass {
+    /// Fixed broadband over IPv4 — for legacy ISPs this is PPPoE, the
+    /// congested path.
+    BroadbandV4,
+    /// Fixed broadband over IPv6 — for legacy ISPs this is IPoE, the
+    /// uncongested bypass (Appendix C).
+    BroadbandV6,
+    /// Mobile (LTE) service, IPv4.
+    Mobile,
+}
+
+impl ServiceClass {
+    /// Label used in figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServiceClass::BroadbandV4 => "IPv4",
+            ServiceClass::BroadbandV6 => "IPv6",
+            ServiceClass::Mobile => "mobile",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_rtt_ranges_are_ordered() {
+        for tech in [
+            AccessTech::SharedLegacyPppoe,
+            AccessTech::DedicatedFiber,
+            AccessTech::CableDocsis,
+            AccessTech::MobileLte,
+        ] {
+            let (lo, hi) = tech.base_rtt_range_ms();
+            assert!(lo > 0.0 && lo < hi, "{tech:?}");
+        }
+        // LTE has the highest base RTT, fiber the lowest.
+        assert!(
+            AccessTech::MobileLte.base_rtt_range_ms().0
+                > AccessTech::DedicatedFiber.base_rtt_range_ms().1
+        );
+    }
+
+    #[test]
+    fn only_pppoe_is_shared_legacy() {
+        assert!(AccessTech::SharedLegacyPppoe.is_shared_legacy());
+        assert!(!AccessTech::DedicatedFiber.is_shared_legacy());
+        assert!(!AccessTech::CableDocsis.is_shared_legacy());
+        assert!(!AccessTech::MobileLte.is_shared_legacy());
+    }
+
+    #[test]
+    fn queue_reaches_target_at_peak() {
+        for tech in [AccessTech::SharedLegacyPppoe, AccessTech::DedicatedFiber] {
+            let q = tech.queue_for_peak_delay(3.0);
+            assert!((q.queuing_delay_ms(1.0) - 3.0).abs() < 1e-9, "{tech:?}");
+        }
+    }
+
+    #[test]
+    fn legacy_queue_sees_loss_at_peak_dedicated_does_not() {
+        let legacy = AccessTech::SharedLegacyPppoe.queue_for_peak_delay(4.0);
+        let fiber = AccessTech::DedicatedFiber.queue_for_peak_delay(0.2);
+        assert!(
+            legacy.loss_rate(1.0) > legacy.max_loss * 0.5,
+            "PPPoE at peak must drop packets"
+        );
+        assert!(
+            fiber.loss_rate(1.0) < fiber.max_loss * 0.01,
+            "dedicated fiber stays below the loss knee"
+        );
+    }
+
+    #[test]
+    fn line_rates() {
+        assert!(
+            AccessTech::MobileLte.line_rate_mbps() < AccessTech::DedicatedFiber.line_rate_mbps()
+        );
+        assert!(
+            AccessTech::MobileLte.line_rate_mbps() > 20.0,
+            "LTE must sustain >20 Mbps medians"
+        );
+    }
+
+    #[test]
+    fn service_class_labels() {
+        assert_eq!(ServiceClass::BroadbandV4.label(), "IPv4");
+        assert_eq!(ServiceClass::BroadbandV6.label(), "IPv6");
+        assert_eq!(ServiceClass::Mobile.label(), "mobile");
+    }
+}

@@ -1,0 +1,215 @@
+//! Diurnal demand curves.
+//!
+//! Residential broadband demand follows a strong daily rhythm: low in the
+//! early morning, a small bump around working hours, a high evening peak
+//! (roughly 20:00–23:00 *local* time), damped and shifted on weekends.
+//! This is the root cause of the paper's phenomenon: when the shared
+//! last-mile segment is oversubscribed, evening demand pushes utilization
+//! toward capacity and queuing delay rises every single day — the
+//! "prominent daily pattern" the Welch detector looks for.
+//!
+//! The COVID-19 variant raises and widens daytime load, matching the
+//! paper's April 2020 observation that ISP_US's "pattern is even more
+//! pronounced with peak hours widening over daytime".
+//!
+//! The curve is a deterministic *shape* in `[0, 1]` (1 = the busiest
+//! instant of a normal weekday); all randomness (day-to-day variation,
+//! per-probe noise) is layered on by the engine, keeping this module
+//! exactly reproducible and unit-testable.
+
+use lastmile_timebase::{TzOffset, UnixTime, Weekday};
+
+/// A diurnal demand shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiurnalProfile {
+    /// Demand floor at the quietest hour, fraction of peak (e.g. 0.25).
+    pub base: f64,
+    /// Local hour of the evening peak center (e.g. 21.0).
+    pub peak_hour: f64,
+    /// Gaussian half-width of the evening peak, hours (e.g. 2.5).
+    pub peak_width_hours: f64,
+    /// Relative size of the morning/office bump at `morning_hour`
+    /// (fraction of the evening peak, e.g. 0.3).
+    pub morning_bump: f64,
+    /// Local hour of the morning bump center (e.g. 10.0).
+    pub morning_hour: f64,
+    /// Weekend amplitude multiplier (e.g. 1.05: slightly busier evenings,
+    /// or < 1 for business ISPs).
+    pub weekend_scale: f64,
+    /// Hours the evening peak shifts later on weekends (e.g. 0.5).
+    pub weekend_shift_hours: f64,
+    /// Added daytime plateau between 09:00 and 18:00 local, fraction of
+    /// peak. Zero normally; ~0.4 under COVID-19 lockdown.
+    pub daytime_plateau: f64,
+}
+
+impl DiurnalProfile {
+    /// A typical residential eyeball profile.
+    pub fn residential() -> DiurnalProfile {
+        DiurnalProfile {
+            base: 0.25,
+            peak_hour: 21.0,
+            peak_width_hours: 2.5,
+            morning_bump: 0.3,
+            morning_hour: 10.0,
+            weekend_scale: 1.05,
+            weekend_shift_hours: 0.5,
+            daytime_plateau: 0.0,
+        }
+    }
+
+    /// The COVID-19 lockdown variant of this profile: daytime plateau
+    /// raised, evening peak widened ("peak hours widening over daytime").
+    pub fn under_lockdown(&self) -> DiurnalProfile {
+        DiurnalProfile {
+            // Only ever *raise* the daytime load: a profile that already
+            // carries a strong plateau keeps it.
+            daytime_plateau: self.daytime_plateau.max(0.55),
+            peak_width_hours: self.peak_width_hours * 1.5,
+            base: (self.base * 1.2).min(0.6).max(self.base),
+            ..self.clone()
+        }
+    }
+
+    /// Demand shape in `[0, 1]` at the given *local* hour and weekday.
+    pub fn shape(&self, local_hour: f64, weekday: Weekday) -> f64 {
+        let weekend = weekday.is_weekend();
+        let peak_center = if weekend {
+            self.peak_hour + self.weekend_shift_hours
+        } else {
+            self.peak_hour
+        };
+        let scale = if weekend { self.weekend_scale } else { 1.0 };
+
+        let evening = gaussian_bump(local_hour, peak_center, self.peak_width_hours);
+        let morning = self.morning_bump * gaussian_bump(local_hour, self.morning_hour, 2.0);
+        // Smooth-edged plateau over working hours.
+        let plateau = self.daytime_plateau * smooth_plateau(local_hour, 9.0, 18.0, 1.0);
+
+        let raw = self.base + (1.0 - self.base) * (evening.max(morning).max(plateau)) * scale;
+        raw.clamp(0.0, 1.0)
+    }
+
+    /// Shape at a UTC instant, given the network's timezone.
+    pub fn shape_at(&self, t: UnixTime, tz: TzOffset) -> f64 {
+        self.shape(tz.local_hour(t), tz.local_weekday(t))
+    }
+}
+
+/// A circular (24-hour-wrapped) Gaussian bump with value 1 at `center`.
+fn gaussian_bump(hour: f64, center: f64, width: f64) -> f64 {
+    let mut d = (hour - center).abs() % 24.0;
+    if d > 12.0 {
+        d = 24.0 - d;
+    }
+    (-0.5 * (d / width).powi(2)).exp()
+}
+
+/// Smoothly rises from 0 before `start` to 1 inside `[start, end]` and
+/// back to 0 after, with `edge` hours of transition.
+fn smooth_plateau(hour: f64, start: f64, end: f64, edge: f64) -> f64 {
+    let rise = sigmoid((hour - start) / edge);
+    let fall = sigmoid((end - hour) / edge);
+    rise * fall
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lastmile_timebase::{CivilDate, CivilDateTime};
+
+    fn at(hour: f64) -> f64 {
+        DiurnalProfile::residential().shape(hour, Weekday::Wednesday)
+    }
+
+    #[test]
+    fn shape_is_bounded() {
+        let p = DiurnalProfile::residential();
+        for wd in Weekday::ALL {
+            for h in 0..240 {
+                let v = p.shape(h as f64 / 10.0, wd);
+                assert!((0.0..=1.0).contains(&v), "{wd} {h}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn evening_peak_dominates() {
+        // 21:00 is the busiest time of a weekday; 04:00 the quietest.
+        assert!(at(21.0) > 0.95);
+        assert!(at(4.0) < 0.35);
+        assert!(at(21.0) > at(10.0), "evening beats morning bump");
+        assert!(at(10.0) > at(4.0), "morning bump beats the floor");
+    }
+
+    #[test]
+    fn weekend_peak_shifts_later() {
+        let p = DiurnalProfile::residential();
+        // At 21:00 the weekday curve is at its center; the weekend curve
+        // is centered at 21.5 so 22:00 is relatively busier on weekends.
+        let wd_2200 = p.shape(22.0, Weekday::Wednesday);
+        let we_2200 = p.shape(22.0, Weekday::Saturday);
+        assert!(we_2200 > wd_2200);
+    }
+
+    #[test]
+    fn lockdown_raises_daytime() {
+        let normal = DiurnalProfile::residential();
+        let covid = normal.under_lockdown();
+        for h in [11.0, 13.0, 15.0, 17.0] {
+            assert!(
+                covid.shape(h, Weekday::Tuesday) > normal.shape(h, Weekday::Tuesday) + 0.15,
+                "hour {h}"
+            );
+        }
+        // Night floor moves far less than the daytime plateau does.
+        let night_rise = covid.shape(4.0, Weekday::Tuesday) - normal.shape(4.0, Weekday::Tuesday);
+        let noon_rise = covid.shape(13.0, Weekday::Tuesday) - normal.shape(13.0, Weekday::Tuesday);
+        assert!(
+            night_rise < noon_rise * 0.7,
+            "night {night_rise} vs noon {noon_rise}"
+        );
+    }
+
+    #[test]
+    fn shape_at_respects_timezone() {
+        let p = DiurnalProfile::residential();
+        // 12:00 UTC is 21:00 JST: peak in Japan, lunchtime in UTC.
+        let t = CivilDateTime::new(CivilDate::new(2019, 9, 18), 12, 0, 0).to_unix();
+        let jst = p.shape_at(t, TzOffset::JST);
+        let utc = p.shape_at(t, TzOffset::UTC);
+        assert!(jst > 0.9, "JST evening: {jst}");
+        assert!(utc < jst, "UTC midday below JST evening");
+    }
+
+    #[test]
+    fn shape_is_daily_periodic_on_weekdays() {
+        let p = DiurnalProfile::residential();
+        // Tue 15:00 equals Wed 15:00: the pattern repeats every day.
+        assert_eq!(
+            p.shape(15.0, Weekday::Tuesday),
+            p.shape(15.0, Weekday::Wednesday)
+        );
+    }
+
+    #[test]
+    fn gaussian_bump_wraps_midnight() {
+        // A peak centered at 23:30 must still be high at 00:30.
+        let v = gaussian_bump(0.5, 23.5, 2.0);
+        assert!(v > 0.8, "{v}");
+    }
+
+    #[test]
+    fn plateau_has_smooth_edges() {
+        let inside = smooth_plateau(13.0, 9.0, 18.0, 1.0);
+        let edge = smooth_plateau(9.0, 9.0, 18.0, 1.0);
+        let outside = smooth_plateau(22.0, 9.0, 18.0, 1.0);
+        assert!(inside > 0.95);
+        assert!((edge - 0.5).abs() < 0.05);
+        assert!(outside < 0.05);
+    }
+}

@@ -1,0 +1,627 @@
+//! The traceroute engine.
+//!
+//! Executes the Atlas built-in measurement schedule over a [`World`],
+//! producing the same artifact the paper downloads from the Atlas API:
+//! traceroutes with per-hop reply triples. A probe's path is:
+//!
+//! ```text
+//!  hop 1   home gateway        192.168.1.1      (RFC1918, last private)
+//! (hop 2   carrier-grade NAT   100.64.0.1       for ~10% of probes)
+//!  hop 3   ISP edge            <infra prefix>   (first public) ← queue here
+//!  hop 4   ISP core            <infra prefix>
+//!  hop 5   destination         <measurement target>
+//! ```
+//!
+//! The shared-segment queuing delay enters every hop at or beyond the
+//! edge, so the paper's estimator — subtracting last-private from
+//! first-public reply RTTs — recovers exactly the queue (plus the
+//! last-mile propagation base).
+//!
+//! Realism knobs, all deterministic in the world seed:
+//!
+//! * per-reply noise (larger on v1/v2 probes), occasional timeouts;
+//! * probe *flakiness*: whole 30-minute bins with fewer than 3 traceroutes
+//!   (these must be discarded by the paper's sanity filter);
+//! * *transient spikes*: sub-15-minute congestion bursts that the paper's
+//!   30-minute median binning is designed to suppress;
+//! * anchors: datacenter paths with no last-mile segment dynamics.
+
+use crate::access::ServiceClass;
+use crate::rng;
+use crate::world::{SimProbe, World};
+use lastmile_atlas::measurement::ScheduledRun;
+use lastmile_atlas::{Hop, Reply, TracerouteResult};
+#[cfg(test)]
+use lastmile_timebase::UnixTime;
+use lastmile_timebase::{BinSpec, TimeRange};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::net::IpAddr;
+
+/// Probability that any single reply is lost.
+const REPLY_TIMEOUT_P: f64 = 0.005;
+/// Probability that a middle hop ignores traceroute probes entirely.
+const HOP_SILENT_P: f64 = 0.003;
+/// Per-bin probability of a transient (sub-15-minute) congestion burst.
+const TRANSIENT_SPIKE_P: f64 = 0.02;
+/// How much worse a probe's *own* broken segment gets under a lockdown
+/// (its residential demand rises like everyone else's, and these segments
+/// have no headroom).
+const OWN_SEGMENT_LOCKDOWN_BOOST: f64 = 2.5;
+
+/// The concrete hop addresses and access queue of one traceroute path.
+struct PathSpec {
+    lan_gw: IpAddr,
+    src: IpAddr,
+    cgn: Option<IpAddr>,
+    edge: IpAddr,
+    core: IpAddr,
+    q: f64,
+}
+
+/// Generates traceroutes for probes of a world.
+pub struct TracerouteEngine<'w> {
+    world: &'w World,
+}
+
+impl<'w> TracerouteEngine<'w> {
+    /// Create an engine over a world.
+    pub fn new(world: &'w World) -> TracerouteEngine<'w> {
+        TracerouteEngine { world }
+    }
+
+    /// The world being measured.
+    pub fn world(&self) -> &'w World {
+        self.world
+    }
+
+    /// All traceroutes of one probe within a window, chronological.
+    pub fn probe_traceroutes(&self, probe: &SimProbe, window: &TimeRange) -> Vec<TracerouteResult> {
+        let mut out = Vec::new();
+        self.for_each_traceroute(probe, window, |tr| out.push(tr));
+        out
+    }
+
+    /// All IPv6 traceroutes of one probe within a window (empty when the
+    /// probe's AS offers no IPv6 service).
+    pub fn probe_traceroutes_v6(
+        &self,
+        probe: &SimProbe,
+        window: &TimeRange,
+    ) -> Vec<TracerouteResult> {
+        let mut out = Vec::new();
+        self.for_each_traceroute_v6(probe, window, |tr| out.push(tr));
+        out
+    }
+
+    /// Stream one probe's **IPv6** built-in traceroutes. The v6 path runs
+    /// over the AS's IPv6 service (IPoE for legacy ISPs), so for a
+    /// congested PPPoE network the v6 delay stays flat while the v4 delay
+    /// peaks — the delay-side counterpart of Appendix C's throughput view.
+    pub fn for_each_traceroute_v6(
+        &self,
+        probe: &SimProbe,
+        window: &TimeRange,
+        mut f: impl FnMut(TracerouteResult),
+    ) {
+        let Some(sim_as) = self.world.as_for(probe.meta.asn) else {
+            return;
+        };
+        let Some(v6_prefix) = sim_as.v6_prefix else {
+            return; // no IPv6 service
+        };
+        if !probe.is_deployed(window.start()) && !probe.is_deployed(window.end() - 1) {
+            return;
+        }
+        let nth = u128::from(probe.meta.id.0 % 4096);
+        let path_base = PathSpec {
+            // Unique-local home side (fd00::/8): private per the paper's
+            // hop rule, like RFC1918 on the v4 side.
+            lan_gw: "fd00::1".parse().expect("valid ULA"),
+            src: "fd00::10".parse().expect("valid ULA"),
+            cgn: None, // IPoE needs no carrier NAT
+            edge: v6_prefix
+                .nth_address(0xE_0000 + nth / 4)
+                .expect("v6 /32 has room for edges"),
+            core: v6_prefix
+                .nth_address(0xF_0000)
+                .expect("v6 /32 has room for core"),
+            q: 0.0,
+        };
+
+        let bins = BinSpec::thirty_minutes();
+        let seed = self.world.seed();
+        let prb = u64::from(probe.meta.id.0);
+        let mut current_bin = i64::MIN;
+        let mut bin_budget = usize::MAX;
+        for run in self.world.catalogue_v6().schedule(probe.meta.id, window) {
+            if !probe.is_deployed(run.at) {
+                continue;
+            }
+            let bin = bins.bin_index(run.at);
+            if bin != current_bin {
+                current_bin = bin;
+                // The probe being offline affects both families alike.
+                bin_budget = self.bin_budget(probe, bin);
+            }
+            if bin_budget == 0 {
+                continue;
+            }
+            bin_budget -= 1;
+            let q = self
+                .world
+                .queuing_delay_ms(probe.meta.asn, ServiceClass::BroadbandV6, run.at)
+                * probe.participation;
+            let path = PathSpec { q, ..path_base };
+            let mut trng = rng::rng_for(
+                seed,
+                &[prb, run.at.as_secs() as u64, u64::from(run.msm_id.0)],
+            );
+            f(self.synth_traceroute(probe, &run, &path, &mut trng));
+        }
+    }
+
+    /// Stream one probe's traceroutes to a callback (chronological). This
+    /// is the memory-friendly path for survey-scale simulation: nothing is
+    /// retained after the callback returns.
+    pub fn for_each_traceroute(
+        &self,
+        probe: &SimProbe,
+        window: &TimeRange,
+        mut f: impl FnMut(TracerouteResult),
+    ) {
+        if !probe.is_deployed(window.start()) && !probe.is_deployed(window.end() - 1) {
+            return;
+        }
+        let bins = BinSpec::thirty_minutes();
+        let seed = self.world.seed();
+        let prb = u64::from(probe.meta.id.0);
+
+        let mut current_bin = i64::MIN;
+        let mut bin_budget = usize::MAX; // runs allowed in this bin (flakiness)
+        let mut spike: Option<(TimeRange, f64)> = None;
+
+        for run in self.world.catalogue().schedule(probe.meta.id, window) {
+            if !probe.is_deployed(run.at) {
+                continue;
+            }
+            let bin = bins.bin_index(run.at);
+            if bin != current_bin {
+                current_bin = bin;
+                bin_budget = self.bin_budget(probe, bin);
+                spike = self.bin_spike(probe, bin);
+            }
+            if bin_budget == 0 {
+                continue;
+            }
+            bin_budget -= 1;
+
+            let spike_ms = match &spike {
+                Some((range, ms)) if range.contains(run.at) => *ms,
+                _ => 0.0,
+            };
+            let mut trng = rng::rng_for(
+                seed,
+                &[prb, run.at.as_secs() as u64, u64::from(run.msm_id.0)],
+            );
+            f(self.run_one(probe, &run, spike_ms, &mut trng));
+        }
+    }
+
+    /// How many traceroutes the probe manages this bin (usually all).
+    fn bin_budget(&self, probe: &SimProbe, bin: i64) -> usize {
+        let u = rng::unit_f64(
+            self.world.seed(),
+            &[u64::from(probe.meta.id.0), bin as u64, 0xD0],
+        );
+        if u < probe.flakiness {
+            // Disconnected for most of the bin: 0..=2 runs get through,
+            // below the paper's >= 3 sanity threshold.
+            (u / probe.flakiness * 3.0) as usize
+        } else {
+            usize::MAX
+        }
+    }
+
+    /// An optional transient congestion burst inside the bin: shorter than
+    /// 15 minutes, so the per-bin median (over >= 30 minutes of runs) must
+    /// suppress it.
+    fn bin_spike(&self, probe: &SimProbe, bin: i64) -> Option<(TimeRange, f64)> {
+        if probe.meta.is_anchor {
+            return None;
+        }
+        let id = u64::from(probe.meta.id.0);
+        let u = rng::unit_f64(self.world.seed(), &[id, bin as u64, 0x5F1]);
+        if u >= TRANSIENT_SPIKE_P {
+            return None;
+        }
+        let bins = BinSpec::thirty_minutes();
+        let start_off =
+            (rng::unit_f64(self.world.seed(), &[id, bin as u64, 0x5F2]) * 1000.0) as i64;
+        let dur = 120 + (rng::unit_f64(self.world.seed(), &[id, bin as u64, 0x5F3]) * 720.0) as i64;
+        let magnitude = 5.0 + rng::unit_f64(self.world.seed(), &[id, bin as u64, 0x5F4]) * 25.0;
+        let start = bins.index_start(bin) + start_off;
+        Some((TimeRange::new(start, start + dur), magnitude))
+    }
+
+    fn run_one(
+        &self,
+        probe: &SimProbe,
+        run: &ScheduledRun,
+        spike_ms: f64,
+        trng: &mut SmallRng,
+    ) -> TracerouteResult {
+        let shared_q =
+            self.world
+                .queuing_delay_ms(probe.meta.asn, ServiceClass::BroadbandV4, run.at)
+                * probe.participation;
+        // The probe's own (non-shared) segment follows the same local
+        // demand rhythm but is invisible to the AS-level aggregate median.
+        let own_q = if probe.own_peak_ms > 0.0 {
+            let shape = self
+                .world
+                .as_for(probe.meta.asn)
+                .map(|a| self.world.demand_shape(a, run.at))
+                .unwrap_or(0.0);
+            let boost = if self.world.is_lockdown(run.at) {
+                OWN_SEGMENT_LOCKDOWN_BOOST
+            } else {
+                1.0
+            };
+            probe.own_peak_ms * shape * boost
+        } else {
+            0.0
+        };
+        let q = shared_q + own_q + spike_ms;
+        let path = PathSpec {
+            lan_gw: probe.lan_gw,
+            src: probe.src,
+            cgn: probe.cgn,
+            edge: probe.edge,
+            core: self.core_address(probe),
+            q,
+        };
+        self.synth_traceroute(probe, run, &path, trng)
+    }
+
+    /// Synthesize the traceroute of one run along a concrete path.
+    fn synth_traceroute(
+        &self,
+        probe: &SimProbe,
+        run: &ScheduledRun,
+        path: &PathSpec,
+        trng: &mut SmallRng,
+    ) -> TracerouteResult {
+        let q = path.q;
+
+        let mut hops: Vec<Hop> = Vec::with_capacity(5);
+        let mut hop_no = 0u8;
+        let mut push = |addr: IpAddr, base: f64, engine_rng: &mut SmallRng| {
+            hop_no += 1;
+            // Rarely a router ignores probes entirely.
+            if engine_rng.gen::<f64>() < HOP_SILENT_P {
+                hops.push(Hop {
+                    hop: hop_no,
+                    replies: vec![Reply::timeout(); 3],
+                });
+                return;
+            }
+            let replies = (0..3)
+                .map(|_| {
+                    if engine_rng.gen::<f64>() < REPLY_TIMEOUT_P {
+                        Reply::timeout()
+                    } else {
+                        let noise = half_gauss(engine_rng) * probe.noise_ms;
+                        Reply::answered(addr, (base + noise).max(0.05))
+                    }
+                })
+                .collect();
+            hops.push(Hop {
+                hop: hop_no,
+                replies,
+            });
+        };
+
+        // 1. home gateway (private LAN)
+        push(path.lan_gw, probe.base_lan_ms, trng);
+        // 2. optional CGN (still before the edge; negligible extra delay)
+        if let Some(cgn) = path.cgn {
+            push(cgn, probe.base_lan_ms + 0.2, trng);
+        }
+        // 3. ISP edge: base LAN + access propagation + shared-segment queue
+        let edge_rtt = probe.base_lan_ms + probe.base_access_ms + q;
+        push(path.edge, edge_rtt, trng);
+        // 4. ISP core (one hop into the backbone; everything beyond the
+        //    edge keeps carrying the access queue delay)
+        push(path.core, edge_rtt + 1.0 + 2.0 * trng.gen::<f64>(), trng);
+        // 5. destination
+        push(run.target, edge_rtt + 4.0 + 6.0 * trng.gen::<f64>(), trng);
+
+        TracerouteResult {
+            probe: probe.meta.id,
+            msm_id: run.msm_id.0,
+            timestamp: run.at,
+            dst: run.target,
+            src: path.src,
+            hops,
+        }
+    }
+
+    /// A backbone router address of the probe's AS.
+    fn core_address(&self, probe: &SimProbe) -> IpAddr {
+        self.world
+            .as_for(probe.meta.asn)
+            .and_then(|a| a.infra_prefix.nth_address(60_000))
+            .unwrap_or(probe.edge)
+    }
+}
+
+/// Half-normal deviate (|N(0,1)|) via Box–Muller, from uniform draws.
+fn half_gauss(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+    z.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isp::IspConfig;
+    use crate::world::ProbeSpec;
+    use lastmile_timebase::{CivilDate, TzOffset};
+
+    fn test_world() -> World {
+        let mut b = World::builder(99);
+        b.add_isp(IspConfig::legacy_pppoe(
+            65001,
+            "ISP_A",
+            "JP",
+            TzOffset::JST,
+            4.0,
+        ));
+        b.add_isp(IspConfig::clean(65002, "ISP_C", "JP", TzOffset::JST));
+        b.add_probes(65001, 4, &ProbeSpec::simple());
+        b.add_probes(65002, 4, &ProbeSpec::simple());
+        b.add_anchor(65001);
+        b.build()
+    }
+
+    fn one_day() -> TimeRange {
+        let start = CivilDate::new(2019, 9, 19).midnight();
+        TimeRange::new(start, start + 86_400)
+    }
+
+    #[test]
+    fn probes_produce_about_24_traceroutes_per_bin() {
+        let w = test_world();
+        let engine = TracerouteEngine::new(&w);
+        let probe = &w.probes()[0];
+        let trs = engine.probe_traceroutes(probe, &one_day());
+        // 48 bins x 24 runs, minus flaky bins.
+        assert!(trs.len() > 1000 && trs.len() <= 48 * 24, "{}", trs.len());
+    }
+
+    #[test]
+    fn traceroutes_have_last_mile_structure() {
+        let w = test_world();
+        let engine = TracerouteEngine::new(&w);
+        let probe = &w.probes()[0];
+        let trs = engine.probe_traceroutes(probe, &one_day());
+        let usable = trs.iter().filter(|t| t.has_last_mile_span()).count();
+        assert!(
+            usable as f64 > trs.len() as f64 * 0.95,
+            "{usable}/{}",
+            trs.len()
+        );
+        let tr = trs.iter().find(|t| t.has_last_mile_span()).unwrap();
+        assert_eq!(tr.last_private_hop().unwrap().address(), Some(probe.lan_gw));
+        assert_eq!(tr.edge_address(), Some(probe.edge));
+        // Edge RTT must exceed LAN RTT.
+        let lan: Vec<f64> = tr.last_private_hop().unwrap().rtts().collect();
+        let edge: Vec<f64> = tr.first_public_hop().unwrap().rtts().collect();
+        assert!(
+            edge.iter().sum::<f64>() / edge.len() as f64
+                > lan.iter().sum::<f64>() / lan.len() as f64
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = test_world();
+        let engine = TracerouteEngine::new(&w);
+        let probe = &w.probes()[2];
+        let a = engine.probe_traceroutes(probe, &one_day());
+        let b = engine.probe_traceroutes(probe, &one_day());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn congested_evening_rtts_exceed_night_rtts() {
+        let w = test_world();
+        let engine = TracerouteEngine::new(&w);
+        // Use a high-participation probe of the congested AS.
+        let probe = w
+            .probes_in(65001)
+            .find(|p| !p.meta.is_anchor && p.participation > 0.7)
+            .expect("a participating probe exists");
+        let trs = engine.probe_traceroutes(probe, &one_day());
+        let edge_minus_lan = |t: &TracerouteResult| {
+            let lan = t.last_private_hop()?.rtts().next()?;
+            let edge = t.first_public_hop()?.rtts().next()?;
+            Some(edge - lan)
+        };
+        // JST evening = 12:00 UTC, JST night = 19:00 UTC.
+        let mut evening = Vec::new();
+        let mut night = Vec::new();
+        for t in &trs {
+            let h = t.timestamp.hour_of_day();
+            if let Some(d) = edge_minus_lan(t) {
+                if h == 12 {
+                    evening.push(d);
+                } else if h == 19 {
+                    night.push(d);
+                }
+            }
+        }
+        let med = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let e = med(&mut evening);
+        let n = med(&mut night);
+        assert!(e > n + 1.0, "evening {e} vs night {n}");
+    }
+
+    #[test]
+    fn anchor_path_has_no_congestion_and_no_home_lan() {
+        let w = test_world();
+        let engine = TracerouteEngine::new(&w);
+        let anchor = w.probes().iter().find(|p| p.meta.is_anchor).unwrap();
+        let trs = engine.probe_traceroutes(anchor, &one_day());
+        assert!(!trs.is_empty());
+        for t in trs.iter().take(50) {
+            if let (Some(lan), Some(edge)) = (t.last_private_hop(), t.first_public_hop()) {
+                let l = lan.rtts().next().unwrap_or(0.0);
+                let e = edge.rtts().next().unwrap_or(0.0);
+                assert!(e < 1.5, "anchor edge RTT {e}");
+                assert!(l < 0.8, "anchor lan RTT {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn v6_traceroutes_follow_the_ipoe_path() {
+        // A congested legacy AS with an IPv6 (IPoE) service: v4 delay
+        // peaks in the evening, v6 stays flat.
+        let mut b = World::builder(21);
+        b.add_isp(IspConfig::legacy_pppoe(65001, "V6", "JP", TzOffset::JST, 6.0).with_v6(0.2));
+        b.add_probes(65001, 2, &ProbeSpec::simple());
+        let w = b.build();
+        let engine = TracerouteEngine::new(&w);
+        let probe = w.probes().iter().find(|p| p.participation > 0.7).unwrap();
+        let day = one_day();
+
+        let v6 = engine.probe_traceroutes_v6(probe, &day);
+        // 13 runs per 30-minute bin, 48 bins, minus flaky bins.
+        assert!(v6.len() > 500 && v6.len() <= 48 * 13, "{}", v6.len());
+        let tr = v6.iter().find(|t| t.has_last_mile_span()).unwrap();
+        // Home side is unique-local (private), edge is global v6.
+        assert!(tr.last_private_hop().unwrap().address().unwrap().is_ipv6());
+        let edge = tr.edge_address().unwrap();
+        assert!(edge.is_ipv6());
+        assert_eq!(w.registry().asn_of(edge), Some(65001));
+
+        // Evening (12:00 UTC = 21:00 JST) vs night (19:00 UTC) deltas.
+        let lastmile = |t: &TracerouteResult| -> Option<f64> {
+            let lan = t.last_private_hop()?.rtts().next()?;
+            let e = t.first_public_hop()?.rtts().next()?;
+            Some(e - lan)
+        };
+        let med_at = |trs: &[TracerouteResult], h: u8| {
+            let mut v: Vec<f64> = trs
+                .iter()
+                .filter(|t| t.timestamp.hour_of_day() == h)
+                .filter_map(lastmile)
+                .collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let v4 = engine.probe_traceroutes(probe, &day);
+        let v4_swing = med_at(&v4, 12) - med_at(&v4, 19);
+        let v6_swing = med_at(&v6, 12) - med_at(&v6, 19);
+        assert!(v4_swing > 2.0, "v4 evening swing {v4_swing:.2}");
+        assert!(
+            v6_swing < v4_swing * 0.25,
+            "v6 swing {v6_swing:.2} vs v4 {v4_swing:.2}"
+        );
+    }
+
+    #[test]
+    fn as_without_v6_yields_no_v6_traceroutes() {
+        let w = test_world(); // no v6 services configured
+        let engine = TracerouteEngine::new(&w);
+        let probe = &w.probes()[0];
+        assert!(engine.probe_traceroutes_v6(probe, &one_day()).is_empty());
+    }
+
+    #[test]
+    fn retired_probes_go_silent() {
+        let mut b = World::builder(6);
+        b.add_isp(IspConfig::clean(65001, "X", "DE", TzOffset::CET));
+        b.add_probes(
+            65001,
+            1,
+            &ProbeSpec::simple().retired_at(CivilDate::new(2019, 9, 19).midnight() + 43_200),
+        );
+        let w = b.build();
+        let engine = TracerouteEngine::new(&w);
+        let trs = engine.probe_traceroutes(&w.probes()[0], &one_day());
+        // Half a day of activity, then silence.
+        assert!(!trs.is_empty());
+        let cutoff = CivilDate::new(2019, 9, 19).midnight() + 43_200;
+        assert!(trs.iter().all(|t| t.timestamp < cutoff));
+        // Exactly half a day of the 48-runs-per-hour schedule remains
+        // (modulo flaky bins).
+        assert!(trs.len() <= 12 * 48 && trs.len() > 10 * 48, "{}", trs.len());
+    }
+
+    #[test]
+    fn undeployed_probes_are_silent() {
+        let mut b = World::builder(5);
+        b.add_isp(IspConfig::clean(65001, "X", "DE", TzOffset::CET));
+        b.add_probes(
+            65001,
+            1,
+            &ProbeSpec::simple().deployed_since(CivilDate::new(2020, 1, 1).midnight()),
+        );
+        let w = b.build();
+        let engine = TracerouteEngine::new(&w);
+        let trs = engine.probe_traceroutes(&w.probes()[0], &one_day()); // 2019
+        assert!(trs.is_empty());
+    }
+
+    #[test]
+    fn flaky_bins_fall_below_sanity_threshold() {
+        // Force high flakiness via many probes and count bins with 1-2 runs.
+        let w = test_world();
+        let engine = TracerouteEngine::new(&w);
+        let bins = BinSpec::thirty_minutes();
+        let mut short_bins = 0usize;
+        let mut total_bins = 0usize;
+        for probe in w.probes() {
+            let trs = engine.probe_traceroutes(probe, &one_day());
+            let mut counts = std::collections::HashMap::new();
+            for t in &trs {
+                *counts.entry(bins.bin_index(t.timestamp)).or_insert(0usize) += 1;
+            }
+            total_bins += counts.len();
+            short_bins += counts.values().filter(|&&c| c < 3).count();
+        }
+        // Flakiness is rare but must exist across a day x 9 probes.
+        assert!(total_bins > 300);
+        assert!(short_bins < total_bins / 10, "{short_bins}/{total_bins}");
+    }
+
+    #[test]
+    fn cgn_probes_expose_cgn_hop() {
+        // Build enough probes that some draw CGN.
+        let mut b = World::builder(11);
+        b.add_isp(IspConfig::clean(65001, "X", "DE", TzOffset::CET));
+        b.add_probes(65001, 40, &ProbeSpec::simple());
+        let w = b.build();
+        let engine = TracerouteEngine::new(&w);
+        let cgn_probe = w
+            .probes()
+            .iter()
+            .find(|p| p.cgn.is_some())
+            .expect("~10% draw CGN");
+        let trs = engine.probe_traceroutes(
+            cgn_probe,
+            &TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(3600)),
+        );
+        let tr = trs.iter().find(|t| t.has_last_mile_span()).unwrap();
+        // The estimator must use the CGN hop as last private.
+        assert_eq!(tr.last_private_hop().unwrap().address(), cgn_probe.cgn);
+    }
+}

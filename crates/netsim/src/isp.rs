@@ -1,0 +1,168 @@
+//! Per-AS (ISP) configuration.
+//!
+//! An [`IspConfig`] states an eyeball network's ground truth: where it is,
+//! what access technology its broadband product uses, how strong its
+//! diurnal demand is, and — the scenario's key dial — the **peak queuing
+//! delay** on its shared segment. Scenario presets build these to match
+//! each figure of the paper; the world and engine turn them into
+//! measurable traceroutes and CDN transfers.
+
+use crate::access::AccessTech;
+use crate::demand::DiurnalProfile;
+use lastmile_prefix::Asn;
+use lastmile_timebase::TzOffset;
+
+/// A mobile (cellular) service attached to an ISP.
+///
+/// §4.2: "ISP A mobile users are from a different AS" — the mobile service
+/// may be announced under its own ASN.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MobileService {
+    /// ASN announcing the mobile prefixes (may equal the broadband ASN).
+    pub asn: Asn,
+    /// Peak queuing delay of the LTE radio/backhaul, ms (small: cellular
+    /// performance is consistent in the paper).
+    pub peak_queuing_ms: f64,
+}
+
+/// An IPv6 broadband service (IPoE for legacy ISPs, dual-stack otherwise).
+#[derive(Clone, Debug, PartialEq)]
+pub struct V6Service {
+    /// Peak queuing delay of the IPv6 path, ms. For legacy ISPs this is
+    /// far below the PPPoE path ("more recent equipment and lower number
+    /// of users", Appendix C).
+    pub peak_queuing_ms: f64,
+}
+
+/// Ground-truth configuration of one eyeball AS.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IspConfig {
+    /// The broadband ASN.
+    pub asn: Asn,
+    /// Display name, e.g. `ISP_A`.
+    pub name: String,
+    /// ISO 3166-1 alpha-2 country code.
+    pub country: String,
+    /// The ISP's local timezone — demand peaks in local evenings.
+    pub tz: TzOffset,
+    /// Broadband access technology.
+    pub access: AccessTech,
+    /// Diurnal demand shape.
+    pub demand: DiurnalProfile,
+    /// Target queuing delay at the busiest weekday instant on the shared
+    /// IPv4 broadband segment, ms. Zero for a clean network.
+    pub peak_queuing_ms: f64,
+    /// Multiplier applied to `peak_queuing_ms` during a lockdown window
+    /// (≥ 1; e.g. 3.0 for an AS that tips into congestion under COVID-19).
+    pub lockdown_factor: f64,
+    /// Estimated user population (APNIC-style eyeball estimate input).
+    pub subscribers: u64,
+    /// Optional mobile service.
+    pub mobile: Option<MobileService>,
+    /// Optional IPv6 broadband service.
+    pub v6: Option<V6Service>,
+}
+
+impl IspConfig {
+    /// A minimal clean eyeball network, dedicated fiber, no congestion.
+    /// Scenario code customises from here.
+    pub fn clean(asn: Asn, name: &str, country: &str, tz: TzOffset) -> IspConfig {
+        IspConfig {
+            asn,
+            name: name.to_string(),
+            country: country.to_string(),
+            tz,
+            access: AccessTech::DedicatedFiber,
+            demand: DiurnalProfile::residential(),
+            peak_queuing_ms: 0.1,
+            lockdown_factor: 1.0,
+            subscribers: 100_000,
+            mobile: None,
+            v6: None,
+        }
+    }
+
+    /// A legacy-infrastructure eyeball with the given peak queuing delay.
+    pub fn legacy_pppoe(
+        asn: Asn,
+        name: &str,
+        country: &str,
+        tz: TzOffset,
+        peak_queuing_ms: f64,
+    ) -> IspConfig {
+        IspConfig {
+            access: AccessTech::SharedLegacyPppoe,
+            peak_queuing_ms,
+            ..IspConfig::clean(asn, name, country, tz)
+        }
+    }
+
+    /// Attach a mobile service.
+    pub fn with_mobile(mut self, asn: Asn, peak_queuing_ms: f64) -> IspConfig {
+        self.mobile = Some(MobileService {
+            asn,
+            peak_queuing_ms,
+        });
+        self
+    }
+
+    /// Attach an IPv6 (IPoE) service.
+    pub fn with_v6(mut self, peak_queuing_ms: f64) -> IspConfig {
+        self.v6 = Some(V6Service { peak_queuing_ms });
+        self
+    }
+
+    /// Set the subscriber population.
+    pub fn with_subscribers(mut self, subscribers: u64) -> IspConfig {
+        self.subscribers = subscribers;
+        self
+    }
+
+    /// Set the lockdown amplification factor.
+    pub fn with_lockdown_factor(mut self, factor: f64) -> IspConfig {
+        assert!(factor >= 0.0, "lockdown factor must be non-negative");
+        self.lockdown_factor = factor;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_defaults() {
+        let isp = IspConfig::clean(64500, "ISP_X", "DE", TzOffset::CET);
+        assert_eq!(isp.asn, 64500);
+        assert_eq!(isp.access, AccessTech::DedicatedFiber);
+        assert!(isp.peak_queuing_ms < 0.5, "clean ISP must classify as None");
+        assert!(isp.mobile.is_none() && isp.v6.is_none());
+    }
+
+    #[test]
+    fn legacy_builder_sets_technology() {
+        let isp = IspConfig::legacy_pppoe(64501, "ISP_A", "JP", TzOffset::JST, 4.0);
+        assert_eq!(isp.access, AccessTech::SharedLegacyPppoe);
+        assert_eq!(isp.peak_queuing_ms, 4.0);
+        assert_eq!(isp.country, "JP");
+    }
+
+    #[test]
+    fn service_attachment_chains() {
+        let isp = IspConfig::legacy_pppoe(64501, "ISP_A", "JP", TzOffset::JST, 4.0)
+            .with_mobile(64601, 0.3)
+            .with_v6(0.2)
+            .with_subscribers(5_000_000)
+            .with_lockdown_factor(2.0);
+        assert_eq!(isp.mobile.as_ref().unwrap().asn, 64601);
+        assert_eq!(isp.v6.as_ref().unwrap().peak_queuing_ms, 0.2);
+        assert_eq!(isp.subscribers, 5_000_000);
+        assert_eq!(isp.lockdown_factor, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lockdown factor")]
+    fn rejects_negative_lockdown_factor() {
+        let _ = IspConfig::clean(1, "x", "US", TzOffset::UTC).with_lockdown_factor(-1.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # lastmile-netsim
+//!
+//! A deterministic network simulator that stands in for the measurement
+//! substrate of the IMC 2020 paper — the RIPE Atlas probe fleet and the
+//! access networks it measures.
+//!
+//! The paper's phenomenon is *persistent last-mile congestion*: diurnal,
+//! utilization-driven queuing delay on the shared segment between a user's
+//! premises and the ISP edge, recurring day after day. The simulator
+//! models precisely that causal chain:
+//!
+//! ```text
+//!  diurnal demand  →  shared-segment utilization  →  queuing delay + loss
+//!  (demand.rs)        (queue.rs, access.rs)          ↓
+//!                                      traceroute RTTs per hop (engine.rs)
+//!                                      CDN transfer throughput (lastmile-cdnlog)
+//! ```
+//!
+//! * [`demand`] — diurnal demand curves: evening peak in *local* time,
+//!   weekday/weekend structure, and a COVID-19 lockdown variant with
+//!   elevated, widened daytime load ("peak hours widening over daytime").
+//! * [`queue`] — a fluid queue mapping utilization to queuing delay
+//!   (`u/(1-u)` growth, bufferbloat cap) and to packet loss, calibrated to
+//!   a target peak delay so scenario ground truth is exact.
+//! * [`access`] — access technologies: shared legacy PPPoE aggregation,
+//!   dedicated fiber, cable, LTE, and IPoE IPv6, with per-technology
+//!   queueing defaults, base RTT ranges, and line rates.
+//! * [`isp`] — per-AS configuration tying the above together.
+//! * [`world`] — the simulated Internet: ASes with announced prefixes
+//!   ([`lastmile_prefix::AsRegistry`]), a probe fleet with per-probe
+//!   heterogeneity, anchors, deployment dates.
+//! * [`engine`] — executes the Atlas built-in measurement schedule over
+//!   the world, producing [`lastmile_atlas::TracerouteResult`]s with
+//!   RFC1918 LAN hops, optional CGN hops, the public ISP edge, core hops,
+//!   reply triples, timeouts, probe flakiness and transient spikes.
+//! * [`scenarios`] — ready-made worlds for every experiment in the paper
+//!   (Figures 1–9 and the §3 survey).
+//!
+//! Everything is reproducible: the world seed plus (probe, bin) indices
+//! derive every random draw, so two runs — or two threads — produce
+//! identical data.
+
+pub mod access;
+pub mod demand;
+pub mod engine;
+pub mod isp;
+pub mod queue;
+pub mod rng;
+pub mod scenarios;
+pub mod world;
+
+pub use access::{AccessTech, ServiceClass};
+pub use demand::DiurnalProfile;
+pub use engine::TracerouteEngine;
+pub use isp::IspConfig;
+pub use queue::QueueModel;
+pub use world::{AccessState, SimAs, SimProbe, World, WorldBuilder};

@@ -1,0 +1,210 @@
+//! Shared-segment queue model.
+//!
+//! A fluid approximation of the aggregation queue: utilization `u` follows
+//! the demand shape between an off-peak and a peak level, queuing delay
+//! grows like the classic `u/(1-u)` law with a bufferbloat cap, and loss
+//! appears as utilization approaches saturation.
+//!
+//! The model is *calibrated*: [`QueueModel::calibrated`] takes the target
+//! queuing delay at peak utilization and solves for the scale constant, so
+//! a scenario can state ground truth directly ("this AS peaks at 4 ms of
+//! aggregated queuing delay") and the whole causal chain — demand →
+//! utilization → delay — still runs underneath. This is what lets the
+//! survey scenarios place ASes precisely into the paper's None / Low /
+//! Mild / Severe amplitude classes while the detector still has to *find*
+//! that out from traceroutes.
+
+/// Utilization beyond which the delay law is clamped (the queue is
+/// saturated and the bufferbloat cap takes over).
+const UTIL_CLAMP: f64 = 0.97;
+
+/// A calibrated fluid queue on a shared access segment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueModel {
+    /// Utilization at demand shape 0 (deep night).
+    pub offpeak_util: f64,
+    /// Utilization at demand shape 1 (peak hour).
+    pub peak_util: f64,
+    /// Scale constant of the delay law, ms.
+    scale_ms: f64,
+    /// Upper bound on queuing delay (buffer size), ms.
+    pub max_delay_ms: f64,
+    /// Loss rate at full saturation (u ≥ 1), fraction.
+    pub max_loss: f64,
+}
+
+impl QueueModel {
+    /// Build a queue whose delay at *peak* utilization equals
+    /// `peak_delay_ms`.
+    ///
+    /// Panics on out-of-order utilizations or negative targets — these are
+    /// scenario constants, not runtime input.
+    pub fn calibrated(
+        offpeak_util: f64,
+        peak_util: f64,
+        peak_delay_ms: f64,
+        max_delay_ms: f64,
+    ) -> QueueModel {
+        assert!(
+            (0.0..=1.5).contains(&offpeak_util) && (0.0..=1.5).contains(&peak_util),
+            "utilization out of range"
+        );
+        assert!(offpeak_util <= peak_util, "off-peak utilization above peak");
+        assert!(
+            peak_delay_ms >= 0.0 && max_delay_ms >= peak_delay_ms,
+            "bad delay targets"
+        );
+        let law_at_peak = delay_law(peak_util);
+        let scale_ms = if law_at_peak > 0.0 {
+            peak_delay_ms / law_at_peak
+        } else {
+            0.0
+        };
+        QueueModel {
+            offpeak_util,
+            peak_util,
+            scale_ms,
+            max_delay_ms,
+            max_loss: 0.02,
+        }
+    }
+
+    /// An uncongested segment: negligible delay at any demand.
+    pub fn uncongested() -> QueueModel {
+        QueueModel::calibrated(0.05, 0.3, 0.0, 50.0)
+    }
+
+    /// Utilization at a given demand shape (`0..=1`).
+    pub fn utilization(&self, shape: f64) -> f64 {
+        self.offpeak_util + (self.peak_util - self.offpeak_util) * shape.clamp(0.0, 1.0)
+    }
+
+    /// Queuing delay in milliseconds at a given demand shape.
+    pub fn queuing_delay_ms(&self, shape: f64) -> f64 {
+        (self.scale_ms * delay_law(self.utilization(shape))).min(self.max_delay_ms)
+    }
+
+    /// Packet loss rate at a given demand shape.
+    ///
+    /// Loss follows the *queuing delay* through a sharp Hill-type knee at
+    /// 1 ms: negligible below ~0.6 ms, half of `max_loss` at exactly 1 ms,
+    /// saturating above. This encodes the paper's §4.3 observation that
+    /// "significant throughput drops occur when aggregated delays are over
+    /// 1 ms" — once the shared buffer holds a millisecond of traffic it is
+    /// effectively full and TCP flows start losing packets.
+    pub fn loss_rate(&self, shape: f64) -> f64 {
+        let d = self.queuing_delay_ms(shape);
+        let d4 = d.powi(4);
+        self.max_loss * d4 / (d4 + LOSS_KNEE_MS.powi(4))
+    }
+}
+
+/// Queuing delay (ms) at which loss reaches half of `max_loss`.
+const LOSS_KNEE_MS: f64 = 1.0;
+
+/// The dimensionless delay law: `u² / (1 − u)`, clamped near saturation.
+/// The `u²` numerator keeps night-time delay negligible while preserving
+/// the sharp knee as `u → 1`.
+fn delay_law(u: f64) -> f64 {
+    let u = u.clamp(0.0, UTIL_CLAMP);
+    u * u / (1.0 - u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_peak_delay_exactly() {
+        for target in [0.2, 1.0, 4.0, 40.0] {
+            let q = QueueModel::calibrated(0.2, 0.9, target, 100.0);
+            assert!(
+                (q.queuing_delay_ms(1.0) - target).abs() < 1e-9,
+                "target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn delay_is_monotone_in_demand() {
+        let q = QueueModel::calibrated(0.2, 0.92, 4.0, 100.0);
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let d = q.queuing_delay_ms(i as f64 / 20.0);
+            assert!(d >= prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn offpeak_delay_is_far_below_peak() {
+        let q = QueueModel::calibrated(0.2, 0.92, 4.0, 100.0);
+        let night = q.queuing_delay_ms(0.0);
+        let peak = q.queuing_delay_ms(1.0);
+        assert!(night < peak * 0.05, "night {night} vs peak {peak}");
+    }
+
+    #[test]
+    fn bufferbloat_cap_applies() {
+        // A later capacity change (smaller buffers) caps the delay below
+        // the originally calibrated peak.
+        let mut q = QueueModel::calibrated(0.2, 0.97, 30.0, 35.0);
+        q.max_delay_ms = 10.0;
+        assert!(q.queuing_delay_ms(1.0) <= 10.0);
+    }
+
+    #[test]
+    fn uncongested_is_flat_zero() {
+        let q = QueueModel::uncongested();
+        for i in 0..=10 {
+            assert_eq!(q.queuing_delay_ms(i as f64 / 10.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn loss_knees_at_one_millisecond_of_delay() {
+        let q = QueueModel::calibrated(0.25, 0.93, 8.0, 100.0);
+        // Deep night: delay ~0 -> essentially lossless.
+        assert!(q.loss_rate(0.0) < q.max_loss * 0.01, "{}", q.loss_rate(0.0));
+        // At peak (8 ms of delay) loss saturates near max_loss.
+        assert!(q.loss_rate(1.0) > q.max_loss * 0.95);
+        // Monotone in demand.
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let l = q.loss_rate(i as f64 / 20.0);
+            assert!(l >= prev);
+            prev = l;
+        }
+        // A mildly-queued segment (peak 0.5 ms) stays nearly lossless even
+        // at its own peak: the knee is on absolute delay.
+        let mild = QueueModel::calibrated(0.1, 0.45, 0.5, 10.0);
+        assert!(
+            mild.loss_rate(1.0) < mild.max_loss * 0.08,
+            "{}",
+            mild.loss_rate(1.0)
+        );
+    }
+
+    #[test]
+    fn utilization_interpolates_linearly() {
+        let q = QueueModel::calibrated(0.2, 0.8, 1.0, 10.0);
+        assert!((q.utilization(0.0) - 0.2).abs() < 1e-12);
+        assert!((q.utilization(0.5) - 0.5).abs() < 1e-12);
+        assert!((q.utilization(1.0) - 0.8).abs() < 1e-12);
+        // Shape is clamped.
+        assert!((q.utilization(2.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "off-peak utilization above peak")]
+    fn rejects_inverted_utilization() {
+        let _ = QueueModel::calibrated(0.9, 0.2, 1.0, 10.0);
+    }
+
+    #[test]
+    fn zero_target_means_zero_delay_everywhere() {
+        let q = QueueModel::calibrated(0.1, 0.9, 0.0, 10.0);
+        assert_eq!(q.queuing_delay_ms(1.0), 0.0);
+        assert_eq!(q.queuing_delay_ms(0.5), 0.0);
+    }
+}

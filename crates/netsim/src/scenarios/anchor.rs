@@ -1,0 +1,112 @@
+//! The Appendix B scenario (Figure 8): ISP_D's probes vs its anchor.
+//!
+//! "We found only one AS (hereafter referred as ISP_D) that relies on the
+//! legacy network for its broadband service and that hosts both Atlas
+//! probes and anchor. [...] Both are close to 0 ms during off-peak hours
+//! but the probes' delay increases significantly during peak hours while
+//! the anchor's delay stays at the same level."
+//!
+//! Figure 8 shows the probes' aggregated queuing delay reaching tens of
+//! milliseconds at peak — ISP_D is far more severely congested than the
+//! Tokyo trio — across four periods (2019-03, 2019-06, 2019-09, 2020-04),
+//! with 6 probes in 2019 and 7 in April 2020.
+
+use crate::isp::IspConfig;
+use crate::world::{ProbeSpec, World};
+use lastmile_prefix::Asn;
+use lastmile_timebase::{MeasurementPeriod, TzOffset};
+
+/// ISP_D's ASN.
+pub const ISP_D_ASN: Asn = 64520;
+
+/// Peak aggregated queuing delay of ISP_D's probes, ms (Figure 8's y-axis
+/// reaches ~40 ms; typical weekday peaks sit around 15–30 ms).
+pub const ISP_D_PEAK_QUEUING_MS: f64 = 28.0;
+
+/// The four periods plotted in Figure 8.
+pub fn fig8_periods() -> [MeasurementPeriod; 4] {
+    [
+        MeasurementPeriod::march_2019(),
+        MeasurementPeriod::june_2019(),
+        MeasurementPeriod::september_2019(),
+        MeasurementPeriod::april_2020(),
+    ]
+}
+
+/// Build the ISP_D world: one legacy AS hosting 6 probes (7 from 2020)
+/// and one anchor.
+pub fn anchor_world(seed: u64) -> World {
+    let mut b = World::builder(seed);
+    b.add_isp(
+        IspConfig::legacy_pppoe(
+            ISP_D_ASN,
+            "ISP_D",
+            "JP",
+            TzOffset::JST,
+            ISP_D_PEAK_QUEUING_MS,
+        )
+        .with_lockdown_factor(1.4)
+        .with_subscribers(3_000_000),
+    );
+    // Six probes online for all of 2019...
+    b.add_probes(ISP_D_ASN, 6, &ProbeSpec::simple().with_old_versions(0.2));
+    // ...a seventh appears before April 2020 (the "7 probes" legend entry).
+    b.add_probes(
+        ISP_D_ASN,
+        1,
+        &ProbeSpec::simple().deployed_since(MeasurementPeriod::april_2020().start() - 86_400),
+    );
+    b.add_anchor(ISP_D_ASN);
+    b.lockdown(MeasurementPeriod::april_2020().range()).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::ServiceClass;
+    use lastmile_timebase::{CivilDate, CivilDateTime};
+
+    #[test]
+    fn world_has_probes_and_anchor() {
+        let w = anchor_world(1);
+        let probes: Vec<_> = w.probes_in(ISP_D_ASN).collect();
+        assert_eq!(probes.iter().filter(|p| !p.meta.is_anchor).count(), 7);
+        assert_eq!(probes.iter().filter(|p| p.meta.is_anchor).count(), 1);
+        // Six active in 2019, seven in April 2020.
+        let sep19 = MeasurementPeriod::september_2019().start();
+        let apr20 = MeasurementPeriod::april_2020().start();
+        assert_eq!(
+            probes
+                .iter()
+                .filter(|p| !p.meta.is_anchor && p.is_deployed(sep19))
+                .count(),
+            6
+        );
+        assert_eq!(
+            probes
+                .iter()
+                .filter(|p| !p.meta.is_anchor && p.is_deployed(apr20))
+                .count(),
+            7
+        );
+    }
+
+    #[test]
+    fn isp_d_is_severely_congested() {
+        let w = anchor_world(1);
+        // 2019-09-25 12:00 UTC = 21:00 JST.
+        let peak = CivilDateTime::new(CivilDate::new(2019, 9, 25), 12, 0, 0).to_unix();
+        let night = CivilDateTime::new(CivilDate::new(2019, 9, 25), 19, 0, 0).to_unix();
+        let p = w.queuing_delay_ms(ISP_D_ASN, ServiceClass::BroadbandV4, peak);
+        let n = w.queuing_delay_ms(ISP_D_ASN, ServiceClass::BroadbandV4, night);
+        assert!(p > 15.0, "peak {p}");
+        assert!(n < 2.0, "night {n}");
+    }
+
+    #[test]
+    fn anchor_participation_is_zero() {
+        let w = anchor_world(1);
+        let anchor = w.probes().iter().find(|p| p.meta.is_anchor).unwrap();
+        assert_eq!(anchor.participation, 0.0);
+    }
+}

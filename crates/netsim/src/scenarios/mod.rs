@@ -1,0 +1,105 @@
+//! Ready-made worlds for every experiment in the paper.
+//!
+//! Each scenario constructs a [`crate::World`] whose ground truth matches
+//! one of the paper's figures, and returns that ground truth alongside so
+//! integration tests and the experiment harness can check that the
+//! *detector* recovers what the *simulator* planted:
+//!
+//! * [`examples`] — Figure 1/2: ISP_DE (flat) vs ISP_US (mild diurnal,
+//!   amplified under COVID-19), with per-period probe deployment growth.
+//! * [`survey`] — Figure 3/4 and the §3 statistics: 646 ASes across 98
+//!   countries with the paper's class mix, APNIC-style ranks, and a
+//!   COVID-19 amplification cohort.
+//! * [`tokyo`] — Figures 5–7 and 9: ISP_A/ISP_B (shared legacy PPPoE) vs
+//!   ISP_C (own fiber) in Tokyo, with mobile and IPoE IPv6 services for
+//!   the CDN cross-validation.
+//! * [`anchor`] — Figure 8: ISP_D's probes vs its anchor.
+//!
+//! ## Amplitude calibration
+//!
+//! Scenario ground truth is expressed as the **measured daily peak-to-peak
+//! amplitude** the Welch detector should report. The simulator dial is the
+//! *peak queuing delay* of the shared segment; because the diurnal wave is
+//! a narrow evening peak (not a sine), only part of its energy lands in
+//! the daily Fourier bin. [`PEAK_DELAY_PER_AMPLITUDE`] converts between
+//! the two; its value is pinned by the calibration test in
+//! `tests/calibration.rs`.
+
+pub mod anchor;
+pub mod examples;
+pub mod survey;
+pub mod tokyo;
+
+use lastmile_prefix::Asn;
+
+/// Peak queuing delay (ms) needed per 1 ms of measured daily peak-to-peak
+/// amplitude. See the module docs; pinned by the calibration test.
+pub const PEAK_DELAY_PER_AMPLITUDE: f64 = 2.37;
+
+/// Per-technology calibration: the delay-law nonlinearity differs with
+/// the utilization band, so the waveform's daily-fundamental share does
+/// too. PPPoE (utilization up to 0.93) sharpens the evening peak; cable
+/// (up to 0.8) tracks the demand curve more closely. Values measured with
+/// `examples/calibrate.rs` / `experiments fig2`.
+pub fn peak_delay_per_amplitude(tech: crate::AccessTech) -> f64 {
+    match tech {
+        crate::AccessTech::SharedLegacyPppoe => PEAK_DELAY_PER_AMPLITUDE,
+        crate::AccessTech::CableDocsis => 2.0,
+        // Fiber and LTE stay far from saturation; their (tiny) diurnal
+        // components track the demand curve like cable does.
+        crate::AccessTech::DedicatedFiber | crate::AccessTech::MobileLte => 2.0,
+    }
+}
+
+/// Amplitude gain contributed by the COVID-19 lockdown demand *widening*
+/// alone: the daytime plateau pushes extra energy into the daily Fourier
+/// bin even at an unchanged queueing peak (measured with
+/// `experiments fig2`). Scenarios divide their lockdown severity targets
+/// by this so a planted "×2 under lockdown" really measures ×2.
+pub const LOCKDOWN_WIDENING_GAIN: f64 = 1.2;
+
+/// The congestion class a scenario plants for an AS.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum GroundTruthClass {
+    /// No daily component at all: flat noise (ISP_DE-like).
+    NoDaily,
+    /// A detectable daily component below the 0.5 ms reporting threshold.
+    WeakDaily,
+    /// Daily amplitude in (0.5, 1] ms.
+    Low,
+    /// Daily amplitude in (1, 3] ms.
+    Mild,
+    /// Daily amplitude above 3 ms.
+    Severe,
+}
+
+impl GroundTruthClass {
+    /// Whether the paper would *report* this AS (daily pattern with
+    /// amplitude over 0.5 ms).
+    pub fn is_reported(self) -> bool {
+        matches!(
+            self,
+            GroundTruthClass::Low | GroundTruthClass::Mild | GroundTruthClass::Severe
+        )
+    }
+}
+
+/// Scenario ground truth for one AS.
+#[derive(Clone, Debug)]
+pub struct AsGroundTruth {
+    /// The broadband ASN.
+    pub asn: Asn,
+    /// Display name.
+    pub name: String,
+    /// ISO country code.
+    pub country: String,
+    /// Synthetic APNIC-style eyeball rank (1 = largest population).
+    pub rank: u32,
+    /// The planted class in normal times.
+    pub class: GroundTruthClass,
+    /// The planted class during the COVID-19 lockdown window.
+    pub lockdown_class: GroundTruthClass,
+    /// The planted daily peak-to-peak amplitude in normal times, ms
+    /// (0 for [`GroundTruthClass::NoDaily`]).
+    pub amplitude_ms: f64,
+}

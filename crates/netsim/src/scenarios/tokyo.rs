@@ -1,0 +1,179 @@
+//! The Tokyo case-study scenario (Figures 5, 6, 7 and 9).
+//!
+//! §4 of the paper dissects Japan's three major eyeball networks during
+//! September 19–26, 2019:
+//!
+//! * **ISP_A** (8 Tokyo probes) and **ISP_B** (5 Tokyo probes) reach most
+//!   customers over the shared legacy FTTH infrastructure via PPPoE:
+//!   "consistent delay increases" at peak hours (aggregated queuing delay
+//!   up to several ms) and CDN throughput that "decreases to less than
+//!   half during peak hours".
+//! * **ISP_C** (8 Tokyo probes) runs its own fiber: delay "keeps stable",
+//!   peak maxima "an order of magnitude lower", flat throughput.
+//! * All three offer **mobile** service (ISP_A's mobile users are in a
+//!   different AS) with "consistent performance by maintaining median
+//!   throughput above 20 Mbps", and **IPv6 over IPoE** that bypasses the
+//!   congested PPPoE equipment (Appendix C).
+
+use crate::demand::DiurnalProfile;
+use crate::isp::IspConfig;
+use crate::scenarios::PEAK_DELAY_PER_AMPLITUDE;
+use crate::world::{ProbeSpec, World};
+use lastmile_prefix::Asn;
+use lastmile_timebase::TzOffset;
+
+/// ISP_A broadband ASN (legacy PPPoE).
+pub const ISP_A_ASN: Asn = 64511;
+/// ISP_B broadband ASN (legacy PPPoE).
+pub const ISP_B_ASN: Asn = 64512;
+/// ISP_C broadband ASN (own fiber).
+pub const ISP_C_ASN: Asn = 64513;
+/// ISP_A's mobile service ASN ("from a different AS", §4.2).
+pub const ISP_A_MOBILE_ASN: Asn = 64611;
+/// ISP_B's mobile service ASN.
+pub const ISP_B_MOBILE_ASN: Asn = 64612;
+/// ISP_C's mobile service ASN.
+pub const ISP_C_MOBILE_ASN: Asn = 64613;
+
+/// Target daily peak-to-peak amplitudes, ms (reading Figure 5: ISP_A peaks
+/// around 3–6 ms, ISP_B around 2–4 ms, ISP_C an order of magnitude lower).
+pub const ISP_A_AMPLITUDE_MS: f64 = 3.0;
+/// See [`ISP_A_AMPLITUDE_MS`].
+pub const ISP_B_AMPLITUDE_MS: f64 = 2.0;
+/// See [`ISP_A_AMPLITUDE_MS`].
+pub const ISP_C_AMPLITUDE_MS: f64 = 0.25;
+
+/// Number of Greater-Tokyo-Area probes per ISP (Figure 5's legend:
+/// "ISP_A (8 probes) ISP_B (5 probes) ISP_C (8 probes)").
+pub const TOKYO_PROBES: [(Asn, usize); 3] = [(ISP_A_ASN, 8), (ISP_B_ASN, 5), (ISP_C_ASN, 8)];
+
+/// Build the Tokyo world.
+pub fn tokyo_world(seed: u64) -> World {
+    let mut b = World::builder(seed);
+
+    // Japanese residential demand: evening peak around 21:00 JST.
+    let demand = DiurnalProfile {
+        peak_hour: 21.0,
+        ..DiurnalProfile::residential()
+    };
+
+    b.add_isp(
+        IspConfig {
+            demand: demand.clone(),
+            ..IspConfig::legacy_pppoe(
+                ISP_A_ASN,
+                "ISP_A",
+                "JP",
+                TzOffset::JST,
+                ISP_A_AMPLITUDE_MS * PEAK_DELAY_PER_AMPLITUDE,
+            )
+        }
+        .with_mobile(ISP_A_MOBILE_ASN, 0.3)
+        .with_v6(0.25)
+        .with_subscribers(12_000_000),
+    );
+
+    b.add_isp(
+        IspConfig {
+            demand: demand.clone(),
+            ..IspConfig::legacy_pppoe(
+                ISP_B_ASN,
+                "ISP_B",
+                "JP",
+                TzOffset::JST,
+                ISP_B_AMPLITUDE_MS * PEAK_DELAY_PER_AMPLITUDE,
+            )
+        }
+        .with_mobile(ISP_B_MOBILE_ASN, 0.35)
+        .with_v6(0.25)
+        .with_subscribers(8_000_000),
+    );
+
+    b.add_isp(
+        IspConfig {
+            demand,
+            peak_queuing_ms: ISP_C_AMPLITUDE_MS * PEAK_DELAY_PER_AMPLITUDE,
+            ..IspConfig::clean(ISP_C_ASN, "ISP_C", "JP", TzOffset::JST)
+        }
+        .with_mobile(ISP_C_MOBILE_ASN, 0.3)
+        .with_v6(0.3)
+        .with_subscribers(10_000_000),
+    );
+
+    // The case study deliberately uses only reliable v3 probes (§2: "we
+    // avoid using these probes when it is not needed (§4)").
+    for (asn, count) in TOKYO_PROBES {
+        b.add_probes(asn, count, &ProbeSpec::simple().in_area("Tokyo"));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::ServiceClass;
+    use lastmile_timebase::{CivilDate, CivilDateTime};
+
+    #[test]
+    fn probe_counts_match_figure_5() {
+        let w = tokyo_world(1);
+        assert_eq!(w.probes_in(ISP_A_ASN).count(), 8);
+        assert_eq!(w.probes_in(ISP_B_ASN).count(), 5);
+        assert_eq!(w.probes_in(ISP_C_ASN).count(), 8);
+        for p in w.probes() {
+            assert!(p.meta.in_area("Tokyo"));
+            assert!(
+                !p.meta.version.is_less_reliable(),
+                "case study uses v3 only"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_isps_congest_isp_c_does_not() {
+        let w = tokyo_world(1);
+        // Wed 2019-09-25 12:00 UTC = 21:00 JST.
+        let peak = CivilDateTime::new(CivilDate::new(2019, 9, 25), 12, 0, 0).to_unix();
+        let a = w.queuing_delay_ms(ISP_A_ASN, ServiceClass::BroadbandV4, peak);
+        let b_delay = w.queuing_delay_ms(ISP_B_ASN, ServiceClass::BroadbandV4, peak);
+        let c = w.queuing_delay_ms(ISP_C_ASN, ServiceClass::BroadbandV4, peak);
+        assert!(a > 2.0, "ISP_A peak {a}");
+        assert!(b_delay > 1.5, "ISP_B peak {b_delay}");
+        assert!(
+            c < a / 8.0,
+            "ISP_C {c} must be an order of magnitude below ISP_A {a}"
+        );
+    }
+
+    #[test]
+    fn all_three_offer_mobile_and_v6() {
+        let w = tokyo_world(1);
+        let t = CivilDate::new(2019, 9, 20).midnight();
+        for asn in [ISP_A_ASN, ISP_B_ASN, ISP_C_ASN] {
+            assert!(
+                w.access_state(asn, ServiceClass::Mobile, t).is_some(),
+                "AS{asn} mobile"
+            );
+            assert!(
+                w.access_state(asn, ServiceClass::BroadbandV6, t).is_some(),
+                "AS{asn} v6"
+            );
+        }
+        // Mobile prefixes are announced under the separate mobile ASNs.
+        let a = w.as_for(ISP_A_ASN).unwrap();
+        let ip = a.mobile_prefix.unwrap().nth_address(5).unwrap();
+        assert_eq!(w.registry().asn_of(ip), Some(ISP_A_MOBILE_ASN));
+        assert!(w.registry().is_mobile(ip));
+    }
+
+    #[test]
+    fn v6_stays_clean_at_peak_for_legacy_isps() {
+        let w = tokyo_world(1);
+        let peak = CivilDateTime::new(CivilDate::new(2019, 9, 25), 12, 0, 0).to_unix();
+        for asn in [ISP_A_ASN, ISP_B_ASN] {
+            let v4 = w.queuing_delay_ms(asn, ServiceClass::BroadbandV4, peak);
+            let v6 = w.queuing_delay_ms(asn, ServiceClass::BroadbandV6, peak);
+            assert!(v6 < v4 * 0.25, "AS{asn}: v6 {v6} vs v4 {v4}");
+        }
+    }
+}

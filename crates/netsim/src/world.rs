@@ -1,0 +1,754 @@
+//! The simulated Internet.
+//!
+//! A [`World`] is a set of eyeball ASes (each with calibrated queues and
+//! announced prefixes), a probe fleet with per-probe heterogeneity, and
+//! the global knobs the scenarios need (a lockdown window for the COVID-19
+//! experiments). It answers the two questions the rest of the workspace
+//! asks:
+//!
+//! * the **traceroute engine**: what are this probe's hops, and what is
+//!   the queuing delay on its AS's shared segment at instant `t`?
+//! * the **CDN log generator**: what RTT, loss and line rate does a client
+//!   of AS `x` on service class `c` see at instant `t`?
+//!
+//! Per-probe heterogeneity matters to the paper's aggregation story: not
+//! every probe of a congested AS sits behind a congested segment (§5 "the
+//! other probes may not see any congestion"), so each probe draws a
+//! *participation* factor; the population median only rises when most
+//! probes share the fate.
+
+use crate::access::{AccessTech, ServiceClass};
+use crate::isp::IspConfig;
+use crate::queue::QueueModel;
+use crate::rng;
+use lastmile_atlas::{BuiltinCatalogue, Probe, ProbeId, ProbeVersion};
+use lastmile_prefix::registry::SpaceAllocator;
+use lastmile_prefix::{AsRegistry, Asn, Prefix, PrefixRole};
+use lastmile_timebase::{TimeRange, UnixTime};
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+/// One AS with its calibrated queues and address space.
+#[derive(Clone, Debug)]
+pub struct SimAs {
+    /// The scenario's ground truth for this AS.
+    pub config: IspConfig,
+    /// Queue on the shared IPv4 broadband segment.
+    pub broadband_queue: QueueModel,
+    /// Queue on the mobile service, if offered.
+    pub mobile_queue: Option<QueueModel>,
+    /// Queue on the IPv6 (IPoE) service, if offered.
+    pub v6_queue: Option<QueueModel>,
+    /// Customer IPv4 space (broadband).
+    pub broadband_prefix: Prefix,
+    /// Router/edge interface space — the "first public IP" addresses.
+    pub infra_prefix: Prefix,
+    /// Mobile customer space, if offered (announced under the mobile ASN).
+    pub mobile_prefix: Option<Prefix>,
+    /// IPv6 customer space, if offered.
+    pub v6_prefix: Option<Prefix>,
+}
+
+/// One probe of the simulated fleet.
+#[derive(Clone, Debug)]
+pub struct SimProbe {
+    /// Atlas-visible metadata (id, ASN, country, anchor flag, version…).
+    pub meta: Probe,
+    /// The home gateway address (RFC1918) — the last private hop.
+    pub lan_gw: IpAddr,
+    /// The probe's own source address.
+    pub src: IpAddr,
+    /// Optional carrier-grade NAT hop between home and edge.
+    pub cgn: Option<IpAddr>,
+    /// The ISP edge interface this probe's traceroutes reveal — the first
+    /// public hop.
+    pub edge: IpAddr,
+    /// Home LAN RTT component, ms.
+    pub base_lan_ms: f64,
+    /// Last-mile propagation (no queue), ms.
+    pub base_access_ms: f64,
+    /// Fraction of the AS-level queuing delay this probe experiences
+    /// (most probes ≈ 1, a minority on uncongested segments ≈ 0).
+    pub participation: f64,
+    /// Peak queuing delay (ms) of this probe's *own* access segment,
+    /// independent of the AS-wide shared queue. A small minority of
+    /// probes sit behind genuinely broken segments: their individual
+    /// daily delay can cross 5 ms while the population median barely
+    /// moves (the §2.2 per-probe tail). Zero for most probes.
+    pub own_peak_ms: f64,
+    /// Per-reply RTT noise scale, ms (larger for v1/v2 hardware).
+    pub noise_ms: f64,
+    /// Per-bin probability of being disconnected (yields a bin with < 3
+    /// traceroutes, exercising the paper's sanity filter).
+    pub flakiness: f64,
+    /// When the probe came online (deployment growth between periods).
+    pub deployed_since: UnixTime,
+    /// When the probe went offline for good, if it did — real deployments
+    /// shrink as well as grow (ISP_DE's legend drops from 326 to 324
+    /// probes between periods in the paper's Figure 1).
+    pub retired_at: Option<UnixTime>,
+}
+
+impl SimProbe {
+    /// Whether this probe reports at instant `t`.
+    pub fn is_deployed(&self, t: UnixTime) -> bool {
+        t >= self.deployed_since && self.retired_at.is_none_or(|r| t < r)
+    }
+}
+
+/// The access-path state a client of an AS sees at one instant — the
+/// interface consumed by the CDN throughput model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccessState {
+    /// Typical base RTT (client to CDN, no queue), ms.
+    pub base_rtt_ms: f64,
+    /// Queuing delay on the access segment, ms.
+    pub queuing_ms: f64,
+    /// Packet loss rate on the access segment.
+    pub loss_rate: f64,
+    /// Access line rate cap, Mbps.
+    pub line_rate_mbps: f64,
+}
+
+impl AccessState {
+    /// Total effective RTT, ms.
+    pub fn rtt_ms(&self) -> f64 {
+        self.base_rtt_ms + self.queuing_ms
+    }
+}
+
+/// The simulated Internet.
+#[derive(Clone, Debug)]
+pub struct World {
+    seed: u64,
+    ases: Vec<SimAs>,
+    asn_index: HashMap<Asn, usize>,
+    probes: Vec<SimProbe>,
+    registry: AsRegistry,
+    catalogue: BuiltinCatalogue,
+    catalogue_v6: BuiltinCatalogue,
+    lockdown: Option<TimeRange>,
+}
+
+impl World {
+    /// Start building a world with the given master seed.
+    pub fn builder(seed: u64) -> WorldBuilder {
+        WorldBuilder {
+            seed,
+            allocator: SpaceAllocator::new(),
+            registry: AsRegistry::new(),
+            ases: Vec::new(),
+            asn_index: HashMap::new(),
+            probes: Vec::new(),
+            next_probe_id: 6000,
+            lockdown: None,
+        }
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// All ASes.
+    pub fn ases(&self) -> &[SimAs] {
+        &self.ases
+    }
+
+    /// Look up an AS by ASN.
+    pub fn as_for(&self, asn: Asn) -> Option<&SimAs> {
+        self.asn_index.get(&asn).map(|&i| &self.ases[i])
+    }
+
+    /// The probe fleet.
+    pub fn probes(&self) -> &[SimProbe] {
+        &self.probes
+    }
+
+    /// Probes homed in an AS.
+    pub fn probes_in(&self, asn: Asn) -> impl Iterator<Item = &SimProbe> {
+        self.probes.iter().filter(move |p| p.meta.asn == asn)
+    }
+
+    /// The prefix registry (BGP-table substitute).
+    pub fn registry(&self) -> &AsRegistry {
+        &self.registry
+    }
+
+    /// The built-in measurement catalogue probes execute.
+    pub fn catalogue(&self) -> &BuiltinCatalogue {
+        &self.catalogue
+    }
+
+    /// The IPv6 built-in catalogue (run only by probes whose AS offers an
+    /// IPv6 service).
+    pub fn catalogue_v6(&self) -> &BuiltinCatalogue {
+        &self.catalogue_v6
+    }
+
+    /// The configured lockdown window, if any.
+    pub fn lockdown(&self) -> Option<TimeRange> {
+        self.lockdown
+    }
+
+    /// Whether instant `t` falls inside the lockdown window.
+    pub fn is_lockdown(&self, t: UnixTime) -> bool {
+        self.lockdown.as_ref().is_some_and(|r| r.contains(t))
+    }
+
+    /// Demand shape of an AS at `t` (lockdown-aware), in `[0, 1]`.
+    pub fn demand_shape(&self, sim_as: &SimAs, t: UnixTime) -> f64 {
+        if self.is_lockdown(t) {
+            sim_as
+                .config
+                .demand
+                .under_lockdown()
+                .shape_at(t, sim_as.config.tz)
+        } else {
+            sim_as.config.demand.shape_at(t, sim_as.config.tz)
+        }
+    }
+
+    /// Day-to-day amplitude wobble (deterministic per AS and day): real
+    /// congestion is not identical every evening.
+    fn day_factor(&self, asn: Asn, t: UnixTime) -> f64 {
+        let day = t.days_since_epoch() as u64;
+        1.0 + 0.24 * (rng::unit_f64(self.seed, &[u64::from(asn), day, 0x0DA1]) - 0.5)
+    }
+
+    /// Slow (multi-week) severity drift, piecewise-constant over 15-day
+    /// windows: subscriber growth, capacity upgrades and seasonal shifts
+    /// move an AS's congestion level between measurement periods. This is
+    /// what produces the period-to-period churn of reported ASes the
+    /// paper observes (§3.1: only 36 of the ~47 per-period reports recur
+    /// in half the periods).
+    fn period_factor(&self, asn: Asn, t: UnixTime) -> f64 {
+        let window = t.days_since_epoch().div_euclid(15) as u64;
+        1.0 + 0.5 * (rng::unit_f64(self.seed, &[u64::from(asn), window, 0x9E02]) - 0.5)
+    }
+
+    /// Queuing delay on an AS's given service at instant `t`, ms.
+    ///
+    /// Returns 0 for ASes or services the world does not model.
+    pub fn queuing_delay_ms(&self, asn: Asn, class: ServiceClass, t: UnixTime) -> f64 {
+        let Some(sim_as) = self.as_for(asn) else {
+            return 0.0;
+        };
+        let Some(queue) = self.queue_of(sim_as, class) else {
+            return 0.0;
+        };
+        let shape = self.demand_shape(sim_as, t);
+        let lockdown_boost = if self.is_lockdown(t) {
+            sim_as.config.lockdown_factor
+        } else {
+            1.0
+        };
+        queue.queuing_delay_ms(shape)
+            * self.day_factor(asn, t)
+            * self.period_factor(asn, t)
+            * lockdown_boost
+    }
+
+    /// Loss rate on an AS's given service at instant `t`.
+    pub fn loss_rate(&self, asn: Asn, class: ServiceClass, t: UnixTime) -> f64 {
+        let Some(sim_as) = self.as_for(asn) else {
+            return 0.0;
+        };
+        let Some(queue) = self.queue_of(sim_as, class) else {
+            return 0.0;
+        };
+        queue.loss_rate(self.demand_shape(sim_as, t))
+    }
+
+    fn queue_of<'a>(&self, sim_as: &'a SimAs, class: ServiceClass) -> Option<&'a QueueModel> {
+        match class {
+            ServiceClass::BroadbandV4 => Some(&sim_as.broadband_queue),
+            ServiceClass::BroadbandV6 => sim_as.v6_queue.as_ref(),
+            ServiceClass::Mobile => sim_as.mobile_queue.as_ref(),
+        }
+    }
+
+    /// The full access state a client of (`asn`, `class`) sees at `t`,
+    /// or `None` if the AS does not offer that service.
+    pub fn access_state(&self, asn: Asn, class: ServiceClass, t: UnixTime) -> Option<AccessState> {
+        let sim_as = self.as_for(asn)?;
+        self.queue_of(sim_as, class)?;
+        let tech = match class {
+            ServiceClass::Mobile => AccessTech::MobileLte,
+            _ => sim_as.config.access,
+        };
+        let (lo, hi) = tech.base_rtt_range_ms();
+        Some(AccessState {
+            // Mid-range base plus a metro-to-CDN component.
+            base_rtt_ms: (lo + hi) / 2.0 + 3.0,
+            queuing_ms: self.queuing_delay_ms(asn, class, t),
+            loss_rate: self.loss_rate(asn, class, t),
+            line_rate_mbps: tech.line_rate_mbps(),
+        })
+    }
+
+    /// The customer prefix serving a service class of an AS.
+    pub fn client_prefix(&self, asn: Asn, class: ServiceClass) -> Option<Prefix> {
+        let sim_as = self.as_for(asn)?;
+        match class {
+            ServiceClass::BroadbandV4 => Some(sim_as.broadband_prefix),
+            ServiceClass::BroadbandV6 => sim_as.v6_prefix,
+            ServiceClass::Mobile => sim_as.mobile_prefix,
+        }
+    }
+}
+
+/// A standard normal deviate from two independent uniforms (Box–Muller).
+fn gauss_from_units(u1: f64, u2: f64) -> f64 {
+    (-2.0 * u1.max(1e-12).ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// Builder for [`World`].
+pub struct WorldBuilder {
+    seed: u64,
+    allocator: SpaceAllocator,
+    registry: AsRegistry,
+    ases: Vec<SimAs>,
+    asn_index: HashMap<Asn, usize>,
+    probes: Vec<SimProbe>,
+    next_probe_id: u32,
+    lockdown: Option<TimeRange>,
+}
+
+/// How a batch of probes is added to an AS.
+#[derive(Clone, Debug)]
+pub struct ProbeSpec {
+    /// Geographic area tag (e.g. "Tokyo"); empty when irrelevant.
+    pub area: String,
+    /// When the batch came online.
+    pub deployed_since: UnixTime,
+    /// When the batch retired, if ever.
+    pub retired_at: Option<UnixTime>,
+    /// Fraction of probes that are old v1/v2 hardware (noisier timing).
+    pub old_version_fraction: f64,
+}
+
+impl ProbeSpec {
+    /// Probes online since the beginning of time, no area tag, all-v3.
+    pub fn simple() -> ProbeSpec {
+        ProbeSpec {
+            area: String::new(),
+            deployed_since: UnixTime::from_secs(0),
+            retired_at: None,
+            old_version_fraction: 0.0,
+        }
+    }
+
+    /// Set the area tag.
+    pub fn in_area(mut self, area: &str) -> ProbeSpec {
+        self.area = area.to_string();
+        self
+    }
+
+    /// Set the deployment date.
+    pub fn deployed_since(mut self, t: UnixTime) -> ProbeSpec {
+        self.deployed_since = t;
+        self
+    }
+
+    /// Set the retirement date.
+    pub fn retired_at(mut self, t: UnixTime) -> ProbeSpec {
+        self.retired_at = Some(t);
+        self
+    }
+
+    /// Set the old-hardware fraction (the paper's v1/v2 probes).
+    pub fn with_old_versions(mut self, fraction: f64) -> ProbeSpec {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        self.old_version_fraction = fraction;
+        self
+    }
+}
+
+impl WorldBuilder {
+    /// Declare a lockdown window (the COVID-19 period).
+    pub fn lockdown(mut self, range: TimeRange) -> WorldBuilder {
+        self.lockdown = Some(range);
+        self
+    }
+
+    /// Add an AS: allocates and announces its prefixes, calibrates its
+    /// queues. Panics if the ASN is already present (scenario bug).
+    pub fn add_isp(&mut self, config: IspConfig) -> &mut WorldBuilder {
+        assert!(
+            !self.asn_index.contains_key(&config.asn),
+            "duplicate ASN {}",
+            config.asn
+        );
+        let broadband_prefix = self.allocator.next_v4_slash16();
+        let infra_prefix = self.allocator.next_v4_slash16();
+        self.registry
+            .announce(config.asn, broadband_prefix, PrefixRole::Broadband);
+        self.registry
+            .announce(config.asn, infra_prefix, PrefixRole::Infrastructure);
+
+        let mobile_prefix = config.mobile.as_ref().map(|m| {
+            let p = self.allocator.next_v4_slash16();
+            self.registry.announce(m.asn, p, PrefixRole::Mobile);
+            p
+        });
+        let v6_prefix = config.v6.as_ref().map(|_| {
+            let p = self.allocator.next_v6_slash32();
+            self.registry.announce(config.asn, p, PrefixRole::Broadband);
+            p
+        });
+
+        let broadband_queue = config.access.queue_for_peak_delay(config.peak_queuing_ms);
+        let mobile_queue = config
+            .mobile
+            .as_ref()
+            .map(|m| AccessTech::MobileLte.queue_for_peak_delay(m.peak_queuing_ms));
+        let v6_queue = config
+            .v6
+            .as_ref()
+            .map(|v| AccessTech::DedicatedFiber.queue_for_peak_delay(v.peak_queuing_ms));
+
+        self.asn_index.insert(config.asn, self.ases.len());
+        self.ases.push(SimAs {
+            config,
+            broadband_queue,
+            mobile_queue,
+            v6_queue,
+            broadband_prefix,
+            infra_prefix,
+            mobile_prefix,
+            v6_prefix,
+        });
+        self
+    }
+
+    /// Add `count` regular probes to an AS. Per-probe parameters are drawn
+    /// deterministically from the world seed.
+    pub fn add_probes(&mut self, asn: Asn, count: usize, spec: &ProbeSpec) -> &mut WorldBuilder {
+        for _ in 0..count {
+            self.push_probe(asn, spec, false);
+        }
+        self
+    }
+
+    /// Add one Atlas anchor (datacenter-hosted, no last-mile congestion).
+    pub fn add_anchor(&mut self, asn: Asn) -> &mut WorldBuilder {
+        self.push_probe(asn, &ProbeSpec::simple(), true);
+        self
+    }
+
+    fn push_probe(&mut self, asn: Asn, spec: &ProbeSpec, anchor: bool) {
+        let idx = *self
+            .asn_index
+            .get(&asn)
+            .unwrap_or_else(|| panic!("probes added to unknown ASN {asn}"));
+        let id = self.next_probe_id;
+        self.next_probe_id += 1;
+        let sim_as = &self.ases[idx];
+        let cfg = &sim_as.config;
+        let path = [u64::from(asn), u64::from(id)];
+        let u = |tag: u64| rng::unit_f64(self.seed, &[path[0], path[1], tag]);
+
+        let nth_in_as = self.probes.iter().filter(|p| p.meta.asn == asn).count() as u128;
+
+        let version = if anchor {
+            ProbeVersion::V3
+        } else {
+            let v = u(1);
+            if v < spec.old_version_fraction / 2.0 {
+                ProbeVersion::V1
+            } else if v < spec.old_version_fraction {
+                ProbeVersion::V2
+            } else {
+                ProbeVersion::V3
+            }
+        };
+
+        let (tech_lo, tech_hi) = cfg.access.base_rtt_range_ms();
+        let public_addr = sim_as
+            .broadband_prefix
+            .nth_address(256 + nth_in_as)
+            .expect("broadband /16 has room for probes");
+        // A handful of probes share each edge aggregation router.
+        let edge = sim_as
+            .infra_prefix
+            .nth_address(1 + nth_in_as / 4)
+            .expect("infra /16 has room for edges");
+
+        let (participation, own_peak_ms, base_lan_ms, base_access_ms, noise_ms, flakiness, cgn) =
+            if anchor {
+                (0.0, 0.0, 0.15, 0.3, 0.04, 0.0005, None)
+            } else {
+                // Most probes track the shared segment roughly 1:1; a minority
+                // sit on somewhat worse segments, and a few on uncongested
+                // paths entirely.
+                let participation = match u(2) {
+                    x if x < 0.84 => 0.75 + 0.4 * u(3),
+                    x if x < 0.92 => 1.5 + 3.5 * u(3),
+                    _ => 0.05 + 0.3 * u(3),
+                };
+                // ~10% of probes additionally sit behind a privately congested
+                // segment (bad in-building wiring, oversubscribed street
+                // cabinet) with a lognormal daily peak of its own.
+                let own_peak_ms = if u(9) < 0.10 {
+                    let z = gauss_from_units(u(10), u(11));
+                    (0.5 + 1.2 * z).exp().min(25.0)
+                } else {
+                    0.0
+                };
+                let base_lan_ms = 0.3 + 0.9 * u(4);
+                let base_access_ms = tech_lo + (tech_hi - tech_lo) * u(5);
+                let noise_ms = if version.is_less_reliable() {
+                    0.2 + 0.3 * u(6)
+                } else {
+                    0.06 + 0.09 * u(6)
+                };
+                let flakiness = 0.002 + 0.018 * u(7);
+                let cgn = if u(8) < 0.10 {
+                    Some("100.64.0.1".parse().expect("valid CGN address"))
+                } else {
+                    None
+                };
+                (
+                    participation,
+                    own_peak_ms,
+                    base_lan_ms,
+                    base_access_ms,
+                    noise_ms,
+                    flakiness,
+                    cgn,
+                )
+            };
+
+        self.probes.push(SimProbe {
+            meta: Probe {
+                id: ProbeId(id),
+                asn,
+                country: cfg.country.clone(),
+                area: spec.area.clone(),
+                is_anchor: anchor,
+                version,
+                public_addr,
+            },
+            lan_gw: if anchor {
+                "10.254.0.1".parse().expect("valid address")
+            } else {
+                "192.168.1.1".parse().expect("valid address")
+            },
+            src: if anchor {
+                "10.254.0.10".parse().expect("valid address")
+            } else {
+                "192.168.1.10".parse().expect("valid address")
+            },
+            cgn,
+            edge,
+            base_lan_ms,
+            base_access_ms,
+            participation,
+            own_peak_ms,
+            noise_ms,
+            flakiness,
+            deployed_since: spec.deployed_since,
+            retired_at: spec.retired_at,
+        });
+    }
+
+    /// Finalise the world.
+    pub fn build(self) -> World {
+        World {
+            seed: self.seed,
+            ases: self.ases,
+            asn_index: self.asn_index,
+            probes: self.probes,
+            registry: self.registry,
+            catalogue: BuiltinCatalogue::standard(),
+            catalogue_v6: BuiltinCatalogue::standard_v6(),
+            lockdown: self.lockdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lastmile_timebase::{CivilDate, CivilDateTime, TzOffset};
+
+    fn tokyo_evening() -> UnixTime {
+        // 2019-09-18 (Wed) 12:00 UTC = 21:00 JST.
+        CivilDateTime::new(CivilDate::new(2019, 9, 18), 12, 0, 0).to_unix()
+    }
+
+    fn tokyo_night() -> UnixTime {
+        // 2019-09-18 19:00 UTC = 04:00 JST Thursday.
+        CivilDateTime::new(CivilDate::new(2019, 9, 18), 19, 0, 0).to_unix()
+    }
+
+    fn small_world() -> World {
+        let mut b = World::builder(1234);
+        b.add_isp(
+            IspConfig::legacy_pppoe(65001, "ISP_A", "JP", TzOffset::JST, 4.0)
+                .with_mobile(65101, 0.3)
+                .with_v6(0.2),
+        );
+        b.add_isp(IspConfig::clean(65002, "ISP_C", "JP", TzOffset::JST));
+        b.add_probes(65001, 8, &ProbeSpec::simple().in_area("Tokyo"));
+        b.add_probes(65002, 8, &ProbeSpec::simple().in_area("Tokyo"));
+        b.add_anchor(65001);
+        b.build()
+    }
+
+    #[test]
+    fn prefixes_are_announced_and_disjoint() {
+        let w = small_world();
+        let a = w.as_for(65001).unwrap();
+        let c = w.as_for(65002).unwrap();
+        assert!(!a.broadband_prefix.overlaps(&a.infra_prefix));
+        assert!(!a.broadband_prefix.overlaps(&c.broadband_prefix));
+        // Registry resolves a probe's public address back to its AS.
+        for p in w.probes() {
+            assert_eq!(w.registry().asn_of(p.meta.public_addr), Some(p.meta.asn));
+        }
+        // Mobile prefix is announced under the mobile ASN with Mobile role.
+        let mp = a.mobile_prefix.unwrap();
+        let ip = mp.nth_address(77).unwrap();
+        assert!(w.registry().is_mobile(ip));
+        assert_eq!(w.registry().asn_of(ip), Some(65101));
+    }
+
+    #[test]
+    fn congested_as_peaks_in_local_evening() {
+        let w = small_world();
+        let peak = w.queuing_delay_ms(65001, ServiceClass::BroadbandV4, tokyo_evening());
+        let night = w.queuing_delay_ms(65001, ServiceClass::BroadbandV4, tokyo_night());
+        assert!(peak > 2.0, "evening queuing {peak}");
+        assert!(night < 0.5, "night queuing {night}");
+    }
+
+    #[test]
+    fn clean_as_stays_flat() {
+        let w = small_world();
+        let peak = w.queuing_delay_ms(65002, ServiceClass::BroadbandV4, tokyo_evening());
+        assert!(peak < 0.3, "clean ISP evening queuing {peak}");
+    }
+
+    #[test]
+    fn mobile_and_v6_bypass_congestion() {
+        let w = small_world();
+        let t = tokyo_evening();
+        let v4 = w.queuing_delay_ms(65001, ServiceClass::BroadbandV4, t);
+        let v6 = w.queuing_delay_ms(65001, ServiceClass::BroadbandV6, t);
+        let mobile = w.queuing_delay_ms(65001, ServiceClass::Mobile, t);
+        assert!(v6 < v4 * 0.2, "IPoE v6 {v6} vs PPPoE v4 {v4}");
+        assert!(mobile < v4 * 0.3, "mobile {mobile} vs broadband {v4}");
+    }
+
+    #[test]
+    fn unknown_services_yield_zero_or_none() {
+        let w = small_world();
+        let t = tokyo_evening();
+        // ISP_C has no mobile or v6 service.
+        assert_eq!(w.queuing_delay_ms(65002, ServiceClass::Mobile, t), 0.0);
+        assert!(w.access_state(65002, ServiceClass::Mobile, t).is_none());
+        assert!(w.client_prefix(65002, ServiceClass::BroadbandV6).is_none());
+        // Unknown ASN.
+        assert_eq!(w.queuing_delay_ms(99999, ServiceClass::BroadbandV4, t), 0.0);
+        assert!(w.as_for(99999).is_none());
+    }
+
+    #[test]
+    fn access_state_composes_rtt() {
+        let w = small_world();
+        let s = w
+            .access_state(65001, ServiceClass::BroadbandV4, tokyo_evening())
+            .unwrap();
+        assert!(s.queuing_ms > 1.0);
+        assert!((s.rtt_ms() - (s.base_rtt_ms + s.queuing_ms)).abs() < 1e-12);
+        assert!(s.line_rate_mbps > 0.0);
+        // Peak-hour loss on the legacy segment is non-zero.
+        assert!(s.loss_rate > 0.0);
+    }
+
+    #[test]
+    fn probe_heterogeneity_and_determinism() {
+        let w1 = small_world();
+        let w2 = small_world();
+        // Determinism: identical builds.
+        for (a, b) in w1.probes().iter().zip(w2.probes()) {
+            assert_eq!(a.meta, b.meta);
+            assert_eq!(a.participation, b.participation);
+        }
+        // Heterogeneity: not all probes identical.
+        let parts: Vec<f64> = w1
+            .probes_in(65001)
+            .filter(|p| !p.meta.is_anchor)
+            .map(|p| p.participation)
+            .collect();
+        let min = parts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = parts.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > min, "participation must vary across probes");
+    }
+
+    #[test]
+    fn anchors_are_marked_and_quiet() {
+        let w = small_world();
+        let anchor = w.probes().iter().find(|p| p.meta.is_anchor).unwrap();
+        assert_eq!(anchor.participation, 0.0);
+        assert!(anchor.noise_ms < 0.05);
+        assert_eq!(w.probes_in(65001).count(), 9); // 8 + anchor
+    }
+
+    #[test]
+    fn lockdown_boosts_congestion() {
+        let apr = TimeRange::new(
+            CivilDate::new(2020, 4, 1).midnight(),
+            CivilDate::new(2020, 4, 16).midnight(),
+        );
+        let mut b = World::builder(7);
+        b.add_isp(
+            IspConfig::legacy_pppoe(65001, "ISP_US", "US", TzOffset::US_EASTERN, 0.5)
+                .with_lockdown_factor(3.0),
+        );
+        let w = b.lockdown(apr).build();
+        // Evening US Eastern: 2020-04-08 01:00 UTC = Apr 7, 21:00 EDT-ish.
+        let covid_evening = CivilDateTime::new(CivilDate::new(2020, 4, 8), 2, 0, 0).to_unix();
+        let normal_evening = CivilDateTime::new(CivilDate::new(2019, 9, 18), 2, 0, 0).to_unix();
+        let covid = w.queuing_delay_ms(65001, ServiceClass::BroadbandV4, covid_evening);
+        let normal = w.queuing_delay_ms(65001, ServiceClass::BroadbandV4, normal_evening);
+        assert!(covid > normal * 1.8, "covid {covid} vs normal {normal}");
+        assert!(w.is_lockdown(covid_evening));
+        assert!(!w.is_lockdown(normal_evening));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown ASN")]
+    fn probes_require_known_asn() {
+        let mut b = World::builder(1);
+        b.add_probes(4242, 1, &ProbeSpec::simple());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ASN")]
+    fn duplicate_asn_rejected() {
+        let mut b = World::builder(1);
+        b.add_isp(IspConfig::clean(1, "a", "US", TzOffset::UTC));
+        b.add_isp(IspConfig::clean(1, "b", "US", TzOffset::UTC));
+    }
+
+    #[test]
+    fn deployment_dates_gate_probes() {
+        let mut b = World::builder(3);
+        b.add_isp(IspConfig::clean(65001, "X", "DE", TzOffset::CET));
+        b.add_probes(
+            65001,
+            2,
+            &ProbeSpec::simple().deployed_since(CivilDate::new(2019, 1, 1).midnight()),
+        );
+        let w = b.build();
+        let before = CivilDate::new(2018, 6, 1).midnight();
+        let after = CivilDate::new(2019, 6, 1).midnight();
+        for p in w.probes() {
+            assert!(!p.is_deployed(before));
+            assert!(p.is_deployed(after));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the simulator's analytic components.
+
+use lastmile_netsim::{DiurnalProfile, QueueModel};
+use lastmile_timebase::Weekday;
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = DiurnalProfile> {
+    (
+        0.0f64..0.6,  // base
+        0.0f64..24.0, // peak hour
+        0.5f64..5.0,  // width
+        0.0f64..0.8,  // morning bump
+        6.0f64..12.0, // morning hour
+        0.8f64..1.3,  // weekend scale
+        -1.0f64..2.0, // weekend shift
+        0.0f64..0.7,  // plateau
+    )
+        .prop_map(
+            |(
+                base,
+                peak_hour,
+                peak_width_hours,
+                morning_bump,
+                morning_hour,
+                weekend_scale,
+                weekend_shift_hours,
+                daytime_plateau,
+            )| {
+                DiurnalProfile {
+                    base,
+                    peak_hour,
+                    peak_width_hours,
+                    morning_bump,
+                    morning_hour,
+                    weekend_scale,
+                    weekend_shift_hours,
+                    daytime_plateau,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Demand shape stays in [0, 1] for arbitrary profiles and instants.
+    #[test]
+    fn demand_shape_is_bounded(profile in arb_profile(), hour in 0.0f64..24.0, wd in 0usize..7) {
+        let weekday = Weekday::ALL[wd];
+        let v = profile.shape(hour, weekday);
+        prop_assert!((0.0..=1.0).contains(&v), "{v}");
+        // The lockdown variant is also bounded and never below at midday.
+        let lockdown = profile.under_lockdown();
+        let lv = lockdown.shape(hour, weekday);
+        prop_assert!((0.0..=1.0).contains(&lv), "{lv}");
+        let mid = 13.0;
+        prop_assert!(lockdown.shape(mid, weekday) + 1e-9 >= profile.shape(mid, weekday));
+    }
+
+    /// Calibrated queues: delay is monotone in demand, bounded by the cap,
+    /// and hits the target at peak; loss is monotone and within [0, max].
+    #[test]
+    fn queue_model_invariants(
+        offpeak in 0.0f64..0.6,
+        peak_delta in 0.05f64..0.9,
+        target in 0.0f64..50.0,
+    ) {
+        let peak = (offpeak + peak_delta).min(1.45);
+        let q = QueueModel::calibrated(offpeak, peak, target, target.max(1.0) * 12.0);
+        let mut prev_d = -1.0;
+        let mut prev_l = -1.0;
+        for i in 0..=20 {
+            let s = i as f64 / 20.0;
+            let d = q.queuing_delay_ms(s);
+            let l = q.loss_rate(s);
+            prop_assert!(d >= prev_d - 1e-12);
+            prop_assert!(l >= prev_l - 1e-12);
+            prop_assert!(d <= q.max_delay_ms + 1e-9);
+            prop_assert!((0.0..=q.max_loss + 1e-12).contains(&l));
+            prev_d = d;
+            prev_l = l;
+        }
+        prop_assert!((q.queuing_delay_ms(1.0) - target).abs() < 1e-6 || target > q.max_delay_ms);
+    }
+}

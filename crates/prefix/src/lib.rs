@@ -1,0 +1,49 @@
+//! # lastmile-prefix
+//!
+//! IP prefix machinery: special-use address classification, CIDR prefixes,
+//! a longest-prefix-match trie, and an AS registry that stands in for the
+//! BGP table used by the paper.
+//!
+//! §2.1 of the IMC 2020 paper identifies the ISP edge as "the first public
+//! IP address seen in the traceroute (i.e. not a RFC1918 private address)",
+//! and resolves the last-mile ASN by "longest prefix match with BGP data"
+//! on the probe's public address. Appendix A filters CDN log entries whose
+//! client address falls in an ISP's published *mobile* prefixes.
+//!
+//! This crate provides those three functions:
+//!
+//! * [`special::is_public`] — the public/private split for traceroute hops
+//!   (RFC1918, plus the other non-routable ranges a home/CGN path can
+//!   legitimately show: loopback, link-local, CGN 100.64/10, …).
+//! * [`PrefixTrie`] — longest-prefix match over arbitrary values, the BGP
+//!   table substitute.
+//! * [`AsRegistry`] — per-AS prefix ownership with broadband/mobile/IPv6
+//!   roles, plus deterministic prefix allocation for the simulator.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::net::IpAddr;
+//! use lastmile_prefix::{special, Prefix, PrefixTrie};
+//!
+//! // The paper's hop classification:
+//! let lan: IpAddr = "192.168.1.1".parse().unwrap();
+//! let edge: IpAddr = "203.0.112.1".parse().unwrap();
+//! assert!(!special::is_public(lan));
+//! assert!(special::is_public(edge));
+//!
+//! // Longest prefix match, as used to map a probe address to its ASN:
+//! let mut table: PrefixTrie<u32> = PrefixTrie::new();
+//! table.insert("203.0.0.0/8".parse::<Prefix>().unwrap(), 64500);
+//! table.insert("203.0.112.0/24".parse::<Prefix>().unwrap(), 64501);
+//! assert_eq!(table.lookup(edge).map(|(_, &asn)| asn), Some(64501));
+//! ```
+
+pub mod prefix;
+pub mod registry;
+pub mod special;
+pub mod trie;
+
+pub use prefix::{ParsePrefixError, Prefix};
+pub use registry::{AsRegistry, Asn, PrefixRole};
+pub use trie::PrefixTrie;

@@ -1,0 +1,354 @@
+//! CIDR prefixes.
+//!
+//! A [`Prefix`] is an address family, a bit pattern and a mask length, with
+//! the usual CIDR semantics: `contains`, `overlaps`, subnet enumeration.
+//! Host bits below the mask are canonicalised to zero on construction so
+//! two spellings of the same prefix compare equal.
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// A CIDR prefix, IPv4 or IPv6.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Prefix {
+    /// An IPv4 prefix: network bits (host bits zeroed) and mask length 0–32.
+    V4 { bits: u32, len: u8 },
+    /// An IPv6 prefix: network bits (host bits zeroed) and mask length 0–128.
+    V6 { bits: u128, len: u8 },
+}
+
+impl Prefix {
+    /// Build an IPv4 prefix from an address and mask length, canonicalising
+    /// host bits. Panics if `len > 32` (a malformed constant, not input
+    /// data — parsing returns errors instead).
+    pub fn v4(addr: Ipv4Addr, len: u8) -> Prefix {
+        assert!(len <= 32, "IPv4 prefix length out of range: {len}");
+        let bits = u32::from(addr) & mask32(len);
+        Prefix::V4 { bits, len }
+    }
+
+    /// Build an IPv6 prefix from an address and mask length.
+    /// Panics if `len > 128`.
+    pub fn v6(addr: Ipv6Addr, len: u8) -> Prefix {
+        assert!(len <= 128, "IPv6 prefix length out of range: {len}");
+        let bits = u128::from(addr) & mask128(len);
+        Prefix::V6 { bits, len }
+    }
+
+    /// Build from a generic address.
+    pub fn from_ip(addr: IpAddr, len: u8) -> Prefix {
+        match addr {
+            IpAddr::V4(a) => Prefix::v4(a, len),
+            IpAddr::V6(a) => Prefix::v6(a, len),
+        }
+    }
+
+    /// The host prefix covering exactly `addr` (/32 or /128).
+    pub fn host(addr: IpAddr) -> Prefix {
+        match addr {
+            IpAddr::V4(a) => Prefix::v4(a, 32),
+            IpAddr::V6(a) => Prefix::v6(a, 128),
+        }
+    }
+
+    /// Mask length.
+    #[allow(clippy::len_without_is_empty)] // a prefix has no emptiness notion
+    pub fn len(&self) -> u8 {
+        match *self {
+            Prefix::V4 { len, .. } | Prefix::V6 { len, .. } => len,
+        }
+    }
+
+    /// Whether this is an IPv4 prefix.
+    pub fn is_v4(&self) -> bool {
+        matches!(self, Prefix::V4 { .. })
+    }
+
+    /// The network address (lowest address in the prefix).
+    pub fn network(&self) -> IpAddr {
+        match *self {
+            Prefix::V4 { bits, .. } => IpAddr::V4(Ipv4Addr::from(bits)),
+            Prefix::V6 { bits, .. } => IpAddr::V6(Ipv6Addr::from(bits)),
+        }
+    }
+
+    /// Whether `ip` falls inside this prefix. Cross-family lookups are
+    /// always false.
+    pub fn contains(&self, ip: IpAddr) -> bool {
+        match (*self, ip) {
+            (Prefix::V4 { bits, len }, IpAddr::V4(a)) => (u32::from(a) & mask32(len)) == bits,
+            (Prefix::V6 { bits, len }, IpAddr::V6(a)) => (u128::from(a) & mask128(len)) == bits,
+            _ => false,
+        }
+    }
+
+    /// Whether two prefixes share any address (one contains the other).
+    pub fn overlaps(&self, other: &Prefix) -> bool {
+        match (*self, *other) {
+            (Prefix::V4 { bits: a, len: la }, Prefix::V4 { bits: b, len: lb }) => {
+                let l = la.min(lb);
+                (a & mask32(l)) == (b & mask32(l))
+            }
+            (Prefix::V6 { bits: a, len: la }, Prefix::V6 { bits: b, len: lb }) => {
+                let l = la.min(lb);
+                (a & mask128(l)) == (b & mask128(l))
+            }
+            _ => false,
+        }
+    }
+
+    /// The `i`-th address within the prefix (offset from the network
+    /// address), or `None` past the prefix size. Used by the simulator to
+    /// deal out client/edge addresses deterministically.
+    pub fn nth_address(&self, i: u128) -> Option<IpAddr> {
+        match *self {
+            Prefix::V4 { bits, len } => {
+                let size = 1u64 << (32 - len);
+                if i as u64 >= size {
+                    return None;
+                }
+                Some(IpAddr::V4(Ipv4Addr::from(bits + i as u32)))
+            }
+            Prefix::V6 { bits, len } => {
+                if len < 128 {
+                    let host_bits = 128 - len;
+                    if host_bits < 128 && i >> host_bits != 0 {
+                        return None;
+                    }
+                }
+                if len == 128 && i > 0 {
+                    return None;
+                }
+                Some(IpAddr::V6(Ipv6Addr::from(bits + i)))
+            }
+        }
+    }
+
+    /// The `i`-th child subnet of the given longer mask length, e.g.
+    /// `10.0.0.0/8` → subnet(16, 3) = `10.3.0.0/16`.
+    ///
+    /// Returns `None` if `new_len` is shorter than this prefix or `i`
+    /// exceeds the number of children.
+    pub fn subnet(&self, new_len: u8, i: u128) -> Option<Prefix> {
+        match *self {
+            Prefix::V4 { bits, len } => {
+                if new_len < len || new_len > 32 {
+                    return None;
+                }
+                let extra = new_len - len;
+                if extra < 64 && i >= (1u128 << extra) {
+                    return None;
+                }
+                let child = bits | ((i as u32) << (32 - new_len));
+                Some(Prefix::V4 {
+                    bits: child,
+                    len: new_len,
+                })
+            }
+            Prefix::V6 { bits, len } => {
+                if new_len < len || new_len > 128 {
+                    return None;
+                }
+                let extra = new_len - len;
+                if extra < 128 && i >= (1u128 << extra) {
+                    return None;
+                }
+                let child = bits | (i << (128 - new_len));
+                Some(Prefix::V6 {
+                    bits: child,
+                    len: new_len,
+                })
+            }
+        }
+    }
+
+    /// Most-significant-bit-first bit accessor, for the trie: bit 0 is the
+    /// top bit of the address.
+    pub(crate) fn bit(&self, idx: u8) -> bool {
+        match *self {
+            Prefix::V4 { bits, .. } => (bits >> (31 - idx)) & 1 == 1,
+            Prefix::V6 { bits, .. } => (bits >> (127 - idx)) & 1 == 1,
+        }
+    }
+}
+
+fn mask32(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+fn mask128(len: u8) -> u128 {
+    if len == 0 {
+        0
+    } else {
+        u128::MAX << (128 - len)
+    }
+}
+
+/// Error parsing a textual prefix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParsePrefixError {
+    /// Missing `/` separator.
+    MissingSlash,
+    /// The address part is not a valid IP address.
+    BadAddress,
+    /// The length part is not a number or exceeds the family's maximum.
+    BadLength,
+}
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParsePrefixError::MissingSlash => write!(f, "prefix must be written addr/len"),
+            ParsePrefixError::BadAddress => write!(f, "invalid IP address in prefix"),
+            ParsePrefixError::BadLength => write!(f, "invalid prefix length"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Prefix, ParsePrefixError> {
+        let (addr, len) = s.split_once('/').ok_or(ParsePrefixError::MissingSlash)?;
+        let ip: IpAddr = addr.parse().map_err(|_| ParsePrefixError::BadAddress)?;
+        let len: u8 = len.parse().map_err(|_| ParsePrefixError::BadLength)?;
+        let max = if ip.is_ipv4() { 32 } else { 128 };
+        if len > max {
+            return Err(ParsePrefixError::BadLength);
+        }
+        Ok(Prefix::from_ip(ip, len))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len())
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in [
+            "10.0.0.0/8",
+            "192.168.1.0/24",
+            "0.0.0.0/0",
+            "1.2.3.4/32",
+            "2400:cb00::/32",
+            "::/0",
+        ] {
+            assert_eq!(p(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn host_bits_are_canonicalised() {
+        assert_eq!(p("10.1.2.3/8"), p("10.0.0.0/8"));
+        assert_eq!(p("10.1.2.3/8").to_string(), "10.0.0.0/8");
+        assert_eq!(p("2400:cb00::dead:beef/32"), p("2400:cb00::/32"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(
+            "10.0.0.0".parse::<Prefix>(),
+            Err(ParsePrefixError::MissingSlash)
+        );
+        assert_eq!(
+            "banana/8".parse::<Prefix>(),
+            Err(ParsePrefixError::BadAddress)
+        );
+        assert_eq!(
+            "10.0.0.0/33".parse::<Prefix>(),
+            Err(ParsePrefixError::BadLength)
+        );
+        assert_eq!("::/129".parse::<Prefix>(), Err(ParsePrefixError::BadLength));
+        assert_eq!(
+            "10.0.0.0/x".parse::<Prefix>(),
+            Err(ParsePrefixError::BadLength)
+        );
+    }
+
+    #[test]
+    fn contains() {
+        let net = p("192.168.0.0/16");
+        assert!(net.contains("192.168.255.1".parse().unwrap()));
+        assert!(!net.contains("192.169.0.1".parse().unwrap()));
+        // Cross family is never contained.
+        assert!(!net.contains("::1".parse().unwrap()));
+        assert!(p("0.0.0.0/0").contains("8.8.8.8".parse().unwrap()));
+        let v6 = p("2400:cb00::/32");
+        assert!(v6.contains("2400:cb00:1::1".parse().unwrap()));
+        assert!(!v6.contains("2400:cb01::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn overlaps() {
+        assert!(p("10.0.0.0/8").overlaps(&p("10.1.0.0/16")));
+        assert!(p("10.1.0.0/16").overlaps(&p("10.0.0.0/8")));
+        assert!(!p("10.0.0.0/8").overlaps(&p("11.0.0.0/8")));
+        assert!(!p("10.0.0.0/8").overlaps(&p("::/0")));
+        assert!(p("0.0.0.0/0").overlaps(&p("203.0.112.0/24")));
+    }
+
+    #[test]
+    fn nth_address() {
+        let net = p("10.0.0.0/30");
+        assert_eq!(net.nth_address(0).unwrap().to_string(), "10.0.0.0");
+        assert_eq!(net.nth_address(3).unwrap().to_string(), "10.0.0.3");
+        assert_eq!(net.nth_address(4), None);
+        let host = p("1.2.3.4/32");
+        assert_eq!(host.nth_address(0).unwrap().to_string(), "1.2.3.4");
+        assert_eq!(host.nth_address(1), None);
+        let v6 = p("2400:cb00::/64");
+        assert_eq!(v6.nth_address(5).unwrap().to_string(), "2400:cb00::5");
+    }
+
+    #[test]
+    fn subnets() {
+        let net = p("10.0.0.0/8");
+        assert_eq!(net.subnet(16, 0).unwrap(), p("10.0.0.0/16"));
+        assert_eq!(net.subnet(16, 255).unwrap(), p("10.255.0.0/16"));
+        assert_eq!(net.subnet(16, 256), None);
+        assert_eq!(net.subnet(4, 0), None); // shorter than parent
+        let v6 = p("2400::/16");
+        assert_eq!(v6.subnet(32, 1).unwrap(), p("2400:1::/32"));
+    }
+
+    #[test]
+    fn bit_access_is_msb_first() {
+        let net = p("128.0.0.0/1");
+        assert!(net.bit(0));
+        let net = p("64.0.0.0/2");
+        assert!(!net.bit(0));
+        assert!(net.bit(1));
+    }
+
+    #[test]
+    fn host_prefix() {
+        let h = Prefix::host("9.9.9.9".parse().unwrap());
+        assert_eq!(h.len(), 32);
+        assert!(h.contains("9.9.9.9".parse().unwrap()));
+        assert!(!h.contains("9.9.9.8".parse().unwrap()));
+    }
+}

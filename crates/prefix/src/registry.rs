@@ -1,0 +1,252 @@
+//! AS-level prefix registry — the workspace's stand-in for BGP data.
+//!
+//! The paper needs three address-to-meaning mappings:
+//!
+//! 1. probe public address → **ASN** ("longest prefix match with BGP
+//!    data", §2.1);
+//! 2. CDN client address → **mobile or broadband** service (Appendix A:
+//!    Japanese MNOs publish their mobile prefixes so web services can
+//!    adapt; §4.2 filters those out of the broadband series);
+//! 3. CDN client address → **IPv4 vs IPv6** (Appendix C compares the two).
+//!
+//! [`AsRegistry`] holds announced prefixes tagged with an owning ASN and a
+//! [`PrefixRole`], answers longest-prefix-match queries through a
+//! [`PrefixTrie`], and deterministically allocates non-special IPv4/IPv6
+//! space so the simulator can dealt out addresses without colliding with
+//! RFC1918/special-use ranges (which would confuse the hop classifier —
+//! by design, since that is what the real Internet must avoid too).
+
+use crate::prefix::Prefix;
+use crate::special;
+use crate::trie::PrefixTrie;
+use std::collections::BTreeMap;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// An Autonomous System number.
+pub type Asn = u32;
+
+/// What service a prefix carries, as advertised by its operator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PrefixRole {
+    /// Fixed broadband customers (FTTH/DSL/cable).
+    Broadband,
+    /// Mobile (cellular) customers — the prefixes Appendix A filters out.
+    Mobile,
+    /// Network infrastructure (router interfaces, ISP edge).
+    Infrastructure,
+}
+
+/// A registry of announced prefixes with ASN ownership and roles.
+#[derive(Clone, Debug, Default)]
+pub struct AsRegistry {
+    trie: PrefixTrie<(Asn, PrefixRole)>,
+    by_asn: BTreeMap<Asn, Vec<(Prefix, PrefixRole)>>,
+}
+
+impl AsRegistry {
+    /// An empty registry.
+    pub fn new() -> AsRegistry {
+        AsRegistry::default()
+    }
+
+    /// Announce `prefix` as originated by `asn` with the given role.
+    /// Re-announcing the same prefix replaces the previous origin.
+    pub fn announce(&mut self, asn: Asn, prefix: Prefix, role: PrefixRole) {
+        if let Some((old_asn, old_role)) = self.trie.insert(prefix, (asn, role)) {
+            if let Some(list) = self.by_asn.get_mut(&old_asn) {
+                list.retain(|(p, r)| !(p == &prefix && *r == old_role));
+            }
+        }
+        self.by_asn.entry(asn).or_default().push((prefix, role));
+    }
+
+    /// Number of announced prefixes.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Whether nothing is announced.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    /// Longest-prefix match: the origin ASN of `ip`, if covered.
+    pub fn asn_of(&self, ip: IpAddr) -> Option<Asn> {
+        self.trie.lookup(ip).map(|(_, &(asn, _))| asn)
+    }
+
+    /// Longest-prefix match with the full origin information.
+    pub fn origin_of(&self, ip: IpAddr) -> Option<(Prefix, Asn, PrefixRole)> {
+        self.trie
+            .lookup(ip)
+            .map(|(p, &(asn, role))| (*p, asn, role))
+    }
+
+    /// Whether `ip` belongs to an announced *mobile* prefix — the
+    /// Appendix A filter.
+    pub fn is_mobile(&self, ip: IpAddr) -> bool {
+        matches!(self.origin_of(ip), Some((_, _, PrefixRole::Mobile)))
+    }
+
+    /// All prefixes announced by `asn`.
+    pub fn prefixes_of(&self, asn: Asn) -> &[(Prefix, PrefixRole)] {
+        self.by_asn.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All ASNs with at least one announcement, ascending.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.by_asn.keys().copied()
+    }
+}
+
+/// Deterministic allocator of globally-routable address space for the
+/// simulator: hands out the `i`-th public IPv4 /16 or IPv6 /32, skipping
+/// every special-use range so simulated edges and clients always pass the
+/// [`special::is_public`] test.
+#[derive(Clone, Debug, Default)]
+pub struct SpaceAllocator {
+    next_v4: usize,
+    next_v6: u32,
+}
+
+impl SpaceAllocator {
+    /// Fresh allocator starting at the first public block.
+    pub fn new() -> SpaceAllocator {
+        SpaceAllocator::default()
+    }
+
+    /// Allocate the next public IPv4 /16.
+    pub fn next_v4_slash16(&mut self) -> Prefix {
+        loop {
+            let i = self.next_v4;
+            self.next_v4 += 1;
+            let first_octet = (i / 256) as u32;
+            let second_octet = (i % 256) as u32;
+            assert!(first_octet < 224, "IPv4 allocation space exhausted");
+            let addr = Ipv4Addr::from((first_octet << 24) | (second_octet << 16));
+            let prefix = Prefix::v4(addr, 16);
+            // Accept only blocks whose first address is public; since all
+            // special-use v4 ranges are /10 or coarser within an octet
+            // boundary except the /24 documentation nets, also check a
+            // mid-block address.
+            let probe_mid = Ipv4Addr::from(u32::from(addr) | 0x0000_FF00);
+            if special::is_public(IpAddr::V4(addr)) && special::is_public(IpAddr::V4(probe_mid)) {
+                // Documentation /24s (192.0.2.0, 198.51.100.0, 203.0.113.0)
+                // sit inside otherwise-public /16s; skip those /16s whole.
+                let o = addr.octets();
+                let poisoned = (o[0] == 192 && o[1] == 0)
+                    || (o[0] == 198 && o[1] == 51)
+                    || (o[0] == 203 && o[1] == 0);
+                if !poisoned {
+                    return prefix;
+                }
+            }
+        }
+    }
+
+    /// Allocate the next public IPv6 /32 (carved from `2400::/12`).
+    pub fn next_v6_slash32(&mut self) -> Prefix {
+        let i = self.next_v6;
+        self.next_v6 += 1;
+        assert!(i < 1 << 20, "IPv6 allocation space exhausted");
+        let bits: u128 = (0x2400u128 << 112) | ((i as u128) << 96);
+        Prefix::v6(Ipv6Addr::from(bits), 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn asn_lookup_uses_longest_match() {
+        let mut r = AsRegistry::new();
+        r.announce(100, p("20.0.0.0/8"), PrefixRole::Broadband);
+        r.announce(200, p("20.5.0.0/16"), PrefixRole::Broadband);
+        assert_eq!(r.asn_of(ip("20.5.1.1")), Some(200));
+        assert_eq!(r.asn_of(ip("20.6.1.1")), Some(100));
+        assert_eq!(r.asn_of(ip("21.0.0.1")), None);
+    }
+
+    #[test]
+    fn mobile_filtering() {
+        let mut r = AsRegistry::new();
+        r.announce(100, p("20.0.0.0/16"), PrefixRole::Broadband);
+        r.announce(100, p("20.1.0.0/16"), PrefixRole::Mobile);
+        assert!(!r.is_mobile(ip("20.0.0.1")));
+        assert!(r.is_mobile(ip("20.1.0.1")));
+        assert!(!r.is_mobile(ip("99.0.0.1"))); // unknown is not mobile
+    }
+
+    #[test]
+    fn prefixes_of_accumulates() {
+        let mut r = AsRegistry::new();
+        r.announce(7, p("20.0.0.0/16"), PrefixRole::Broadband);
+        r.announce(7, p("2400:cb00::/32"), PrefixRole::Broadband);
+        assert_eq!(r.prefixes_of(7).len(), 2);
+        assert!(r.prefixes_of(8).is_empty());
+        assert_eq!(r.asns().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn reannouncement_moves_ownership() {
+        let mut r = AsRegistry::new();
+        r.announce(1, p("20.0.0.0/16"), PrefixRole::Broadband);
+        r.announce(2, p("20.0.0.0/16"), PrefixRole::Broadband);
+        assert_eq!(r.asn_of(ip("20.0.0.1")), Some(2));
+        assert!(r.prefixes_of(1).is_empty());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn allocator_yields_distinct_public_blocks() {
+        let mut alloc = SpaceAllocator::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let pfx = alloc.next_v4_slash16();
+            assert!(seen.insert(pfx), "duplicate allocation {pfx}");
+            // Every address sampled from the block must be public.
+            for i in [0u128, 1, 0xFFFF, 0x1234] {
+                let a = pfx.nth_address(i).unwrap();
+                assert!(special::is_public(a), "{a} in {pfx} not public");
+            }
+        }
+    }
+
+    #[test]
+    fn allocator_skips_documentation_nets() {
+        let mut alloc = SpaceAllocator::new();
+        for _ in 0..60000 {
+            let pfx = alloc.next_v4_slash16();
+            assert!(!pfx.contains(ip("192.0.2.1")), "allocated {pfx}");
+            assert!(!pfx.contains(ip("198.51.100.1")));
+            assert!(!pfx.contains(ip("203.0.113.1")));
+            assert!(!pfx.contains(ip("100.64.0.1")));
+            assert!(!pfx.contains(ip("10.0.0.1")));
+            if pfx.contains(ip("223.255.0.0")) {
+                break; // reached the top of unicast space
+            }
+        }
+    }
+
+    #[test]
+    fn v6_allocator() {
+        let mut alloc = SpaceAllocator::new();
+        let a = alloc.next_v6_slash32();
+        let b = alloc.next_v6_slash32();
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "2400::/32");
+        assert_eq!(b.to_string(), "2400:1::/32");
+        for i in [0u128, 99] {
+            assert!(special::is_public(a.nth_address(i).unwrap()));
+        }
+    }
+}

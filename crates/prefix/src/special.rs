@@ -1,0 +1,155 @@
+//! Special-use address classification.
+//!
+//! The paper's hop-splitting rule is "first public IP address [...] (i.e.
+//! not a RFC1918 private address)". In practice a home + access path can
+//! also traverse carrier-grade NAT space (RFC 6598 `100.64.0.0/10`),
+//! link-local and loopback addresses, so [`is_public`] treats every
+//! IANA special-use range that can appear on a last-mile path as
+//! non-public. The stricter [`is_rfc1918`] is kept for tests and for
+//! callers that want the paper's literal wording.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Whether `ip` is in RFC 1918 private space (`10/8`, `172.16/12`,
+/// `192.168/16`). IPv6 addresses are never RFC 1918.
+pub fn is_rfc1918(ip: IpAddr) -> bool {
+    match ip {
+        IpAddr::V4(v4) => v4.is_private(),
+        IpAddr::V6(_) => false,
+    }
+}
+
+/// Whether `ip` is in RFC 6598 shared CGN space (`100.64.0.0/10`).
+pub fn is_cgn(ip: IpAddr) -> bool {
+    match ip {
+        IpAddr::V4(v4) => {
+            let o = v4.octets();
+            o[0] == 100 && (o[1] & 0xC0) == 64
+        }
+        IpAddr::V6(_) => false,
+    }
+}
+
+/// Whether an IPv4 address is publicly routable (not special-use).
+fn is_public_v4(v4: Ipv4Addr) -> bool {
+    let o = v4.octets();
+    !(v4.is_private()
+        || v4.is_loopback()
+        || v4.is_link_local()
+        || v4.is_unspecified()
+        || v4.is_broadcast()
+        || v4.is_documentation()
+        || o[0] == 0
+        || (o[0] == 100 && (o[1] & 0xC0) == 64) // CGN, RFC 6598
+        || (o[0] == 192 && o[1] == 0 && o[2] == 0) // IETF protocol, RFC 6890
+        || (o[0] == 198 && (o[1] & 0xFE) == 18) // benchmarking, RFC 2544
+        || o[0] >= 224) // multicast + reserved
+}
+
+/// Whether an IPv6 address is publicly routable (global unicast).
+fn is_public_v6(v6: Ipv6Addr) -> bool {
+    let seg = v6.segments();
+    !(v6.is_loopback()
+        || v6.is_unspecified()
+        || (seg[0] & 0xFE00) == 0xFC00 // unique local fc00::/7
+        || (seg[0] & 0xFFC0) == 0xFE80 // link local fe80::/10
+        || (seg[0] == 0x2001 && seg[1] == 0x0DB8) // documentation
+        || seg[0] == 0xFF00 // multicast ff00::/8 lower bound
+        || (seg[0] & 0xFF00) == 0xFF00) // multicast
+}
+
+/// The paper's hop test: is this the "first **public** IP"?
+///
+/// True for globally routable unicast addresses; false for every
+/// special-use range a traceroute can plausibly show before the ISP edge.
+pub fn is_public(ip: IpAddr) -> bool {
+    match ip {
+        IpAddr::V4(v4) => is_public_v4(v4),
+        IpAddr::V6(v6) => is_public_v6(v6),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn rfc1918_ranges() {
+        assert!(is_rfc1918(ip("10.0.0.1")));
+        assert!(is_rfc1918(ip("172.16.0.1")));
+        assert!(is_rfc1918(ip("172.31.255.255")));
+        assert!(is_rfc1918(ip("192.168.1.1")));
+        assert!(!is_rfc1918(ip("172.32.0.1")));
+        assert!(!is_rfc1918(ip("11.0.0.1")));
+        assert!(!is_rfc1918(ip("2001:db8::1")));
+    }
+
+    #[test]
+    fn cgn_range() {
+        assert!(is_cgn(ip("100.64.0.1")));
+        assert!(is_cgn(ip("100.127.255.255")));
+        assert!(!is_cgn(ip("100.63.255.255")));
+        assert!(!is_cgn(ip("100.128.0.0")));
+    }
+
+    #[test]
+    fn public_v4() {
+        for s in [
+            "8.8.8.8",
+            "203.0.112.1",
+            "1.1.1.1",
+            "100.63.0.1",
+            "100.128.0.1",
+        ] {
+            assert!(is_public(ip(s)), "{s} should be public");
+        }
+        for s in [
+            "10.1.2.3",
+            "192.168.0.1",
+            "172.20.0.1",
+            "127.0.0.1",
+            "169.254.1.1",
+            "100.64.0.1",
+            "0.1.2.3",
+            "255.255.255.255",
+            "224.0.0.1",
+            "240.0.0.1",
+            "192.0.2.1",    // TEST-NET-1
+            "198.51.100.1", // TEST-NET-2
+            "203.0.113.77", // TEST-NET-3
+            "198.18.0.1",   // benchmarking
+            "192.0.0.1",    // IETF protocol assignments
+        ] {
+            assert!(!is_public(ip(s)), "{s} should not be public");
+        }
+    }
+
+    #[test]
+    fn public_v6() {
+        for s in ["2400:cb00::1", "2a00:1450::1", "2001:4860::8888"] {
+            assert!(is_public(ip(s)), "{s} should be public");
+        }
+        for s in [
+            "::1",
+            "::",
+            "fe80::1",
+            "fc00::1",
+            "fd12::1",
+            "ff02::1",
+            "2001:db8::1",
+        ] {
+            assert!(!is_public(ip(s)), "{s} should not be public");
+        }
+    }
+
+    #[test]
+    fn rfc1918_is_subset_of_non_public() {
+        for s in ["10.0.0.1", "172.16.5.5", "192.168.99.99"] {
+            assert!(is_rfc1918(ip(s)) && !is_public(ip(s)));
+        }
+    }
+}

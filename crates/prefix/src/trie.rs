@@ -1,0 +1,264 @@
+//! Longest-prefix-match binary trie.
+//!
+//! The BGP-table substitute: §2.1 resolves the ASN of a probe's public
+//! address by "longest prefix match with BGP data". A binary (unibit) trie
+//! is the textbook structure: insert each announced prefix along its bit
+//! path; a lookup walks the address bits and remembers the deepest node
+//! holding a value. Lookups are O(address length) and the structure is
+//! simple enough to verify against a linear scan (see the property tests).
+//!
+//! IPv4 and IPv6 live in separate sub-tries so cross-family matches are
+//! impossible by construction.
+
+use crate::prefix::Prefix;
+use std::net::IpAddr;
+
+#[derive(Clone, Debug)]
+struct Node<V> {
+    value: Option<(Prefix, V)>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Node<V> {
+    fn new() -> Node<V> {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A longest-prefix-match table mapping [`Prefix`]es to values.
+#[derive(Clone, Debug)]
+pub struct PrefixTrie<V> {
+    v4: Node<V>,
+    v6: Node<V>,
+    len: usize,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// An empty table.
+    pub fn new() -> PrefixTrie<V> {
+        PrefixTrie {
+            v4: Node::new(),
+            v6: Node::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a prefix, returning the previous value if the exact prefix
+    /// was already present (it is replaced).
+    pub fn insert(&mut self, prefix: Prefix, value: V) -> Option<V> {
+        let root = if prefix.is_v4() {
+            &mut self.v4
+        } else {
+            &mut self.v6
+        };
+        let mut node = root;
+        for i in 0..prefix.len() {
+            let b = prefix.bit(i) as usize;
+            node = node.children[b].get_or_insert_with(|| Box::new(Node::new()));
+        }
+        let old = node.value.take().map(|(_, v)| v);
+        node.value = Some((prefix, value));
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Longest-prefix match: the most specific stored prefix containing
+    /// `ip`, with its value.
+    pub fn lookup(&self, ip: IpAddr) -> Option<(&Prefix, &V)> {
+        let (root, bits): (&Node<V>, u8) = match ip {
+            IpAddr::V4(_) => (&self.v4, 32),
+            IpAddr::V6(_) => (&self.v6, 128),
+        };
+        let bit_at = |i: u8| -> usize {
+            match ip {
+                IpAddr::V4(a) => ((u32::from(a) >> (31 - i)) & 1) as usize,
+                IpAddr::V6(a) => ((u128::from(a) >> (127 - i)) & 1) as usize,
+            }
+        };
+        let mut best: Option<(&Prefix, &V)> = None;
+        let mut node = root;
+        if let Some((p, v)) = &node.value {
+            best = Some((p, v));
+        }
+        for i in 0..bits {
+            match &node.children[bit_at(i)] {
+                Some(child) => {
+                    node = child;
+                    if let Some((p, v)) = &node.value {
+                        best = Some((p, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Exact-match retrieval of a stored prefix's value.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        let mut node = if prefix.is_v4() { &self.v4 } else { &self.v6 };
+        for i in 0..prefix.len() {
+            node = node.children[prefix.bit(i) as usize].as_deref()?;
+        }
+        match &node.value {
+            Some((p, v)) if p == prefix => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Iterate all stored `(prefix, value)` pairs in depth-first order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &V)> {
+        let mut stack: Vec<&Node<V>> = vec![&self.v4, &self.v6];
+        std::iter::from_fn(move || {
+            while let Some(node) = stack.pop() {
+                for child in node.children.iter().flatten() {
+                    stack.push(child);
+                }
+                if let Some((p, v)) = &node.value {
+                    return Some((p, v));
+                }
+            }
+            None
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> IpAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "eight");
+        t.insert(p("10.1.0.0/16"), "sixteen");
+        t.insert(p("10.1.2.0/24"), "twentyfour");
+        assert_eq!(
+            t.lookup(ip("10.1.2.3")).map(|(_, v)| *v),
+            Some("twentyfour")
+        );
+        assert_eq!(t.lookup(ip("10.1.9.9")).map(|(_, v)| *v), Some("sixteen"));
+        assert_eq!(t.lookup(ip("10.9.9.9")).map(|(_, v)| *v), Some("eight"));
+        assert_eq!(t.lookup(ip("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn default_route_matches_everything_v4() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), 0u32);
+        t.insert(p("203.0.112.0/24"), 1u32);
+        assert_eq!(t.lookup(ip("8.8.8.8")).map(|(_, v)| *v), Some(0));
+        assert_eq!(t.lookup(ip("203.0.112.9")).map(|(_, v)| *v), Some(1));
+        // But not across families.
+        assert_eq!(t.lookup(ip("2400::1")), None);
+    }
+
+    #[test]
+    fn families_are_isolated() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("::/0"), "v6");
+        t.insert(p("0.0.0.0/0"), "v4");
+        assert_eq!(t.lookup(ip("1.2.3.4")).map(|(_, v)| *v), Some("v4"));
+        assert_eq!(t.lookup(ip("2400::1")).map(|(_, v)| *v), Some("v6"));
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_old() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(ip("10.0.0.1")).map(|(_, v)| *v), Some(2));
+    }
+
+    #[test]
+    fn exact_get() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.0.0.0/16"), 16);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&8));
+        assert_eq!(t.get(&p("10.0.0.0/16")), Some(&16));
+        assert_eq!(t.get(&p("10.0.0.0/24")), None);
+    }
+
+    #[test]
+    fn lookup_returns_matched_prefix() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("100.100.0.0/16"), ());
+        let (matched, _) = t.lookup(ip("100.100.5.5")).unwrap();
+        assert_eq!(*matched, p("100.100.0.0/16"));
+    }
+
+    #[test]
+    fn v6_longest_match() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("2400::/16"), 16);
+        t.insert(p("2400:cb00::/32"), 32);
+        t.insert(p("2400:cb00:aaaa::/48"), 48);
+        assert_eq!(t.lookup(ip("2400:cb00:aaaa::1")).map(|(_, v)| *v), Some(48));
+        assert_eq!(t.lookup(ip("2400:cb00:bbbb::1")).map(|(_, v)| *v), Some(32));
+        assert_eq!(t.lookup(ip("2400:dddd::1")).map(|(_, v)| *v), Some(16));
+        assert_eq!(t.lookup(ip("2401::1")), None);
+    }
+
+    #[test]
+    fn iter_visits_everything_once() {
+        let mut t = PrefixTrie::new();
+        let prefixes = ["10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/16", "2400::/16"];
+        for (i, s) in prefixes.iter().enumerate() {
+            t.insert(p(s), i);
+        }
+        let mut seen: Vec<String> = t.iter().map(|(p, _)| p.to_string()).collect();
+        seen.sort();
+        let mut expect: Vec<String> = prefixes.iter().map(|s| s.to_string()).collect();
+        expect.sort();
+        assert_eq!(seen, expect);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn empty_trie() {
+        let t: PrefixTrie<()> = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(ip("1.2.3.4")), None);
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("9.9.9.9/32"), "host");
+        t.insert(p("9.9.9.0/24"), "net");
+        assert_eq!(t.lookup(ip("9.9.9.9")).map(|(_, v)| *v), Some("host"));
+        assert_eq!(t.lookup(ip("9.9.9.8")).map(|(_, v)| *v), Some("net"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests: the trie must agree with a brute-force scan.
+
+use lastmile_prefix::{special, Prefix, PrefixTrie};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+fn arb_v4_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::v4(Ipv4Addr::from(bits), len))
+}
+
+fn arb_v6_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| Prefix::v6(Ipv6Addr::from(bits), len))
+}
+
+/// Reference longest-prefix match: linear scan over all prefixes.
+fn linear_lpm(prefixes: &[(Prefix, usize)], ip: IpAddr) -> Option<usize> {
+    prefixes
+        .iter()
+        .filter(|(p, _)| p.contains(ip))
+        .max_by_key(|(p, _)| p.len())
+        .map(|&(_, v)| v)
+}
+
+proptest! {
+    /// Trie lookup equals linear-scan longest match for random v4 tables.
+    #[test]
+    fn trie_matches_linear_scan_v4(
+        prefixes in prop::collection::vec(arb_v4_prefix(), 1..40),
+        addrs in prop::collection::vec(any::<u32>(), 1..40),
+    ) {
+        // Deduplicate identical prefixes (insert replaces, linear scan
+        // would see both entries; keep the last as insert does).
+        let mut tagged: Vec<(Prefix, usize)> = Vec::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            tagged.retain(|(q, _)| q != p);
+            tagged.push((*p, i));
+        }
+        let mut trie = PrefixTrie::new();
+        for (p, i) in &tagged {
+            trie.insert(*p, *i);
+        }
+        for a in addrs {
+            let ip = IpAddr::V4(Ipv4Addr::from(a));
+            let got = trie.lookup(ip).map(|(_, &v)| v);
+            let want = linear_lpm(&tagged, ip);
+            // Longest length is unique per length; but two same-length
+            // prefixes can't both contain ip, so values must agree.
+            prop_assert_eq!(got, want, "ip {}", ip);
+        }
+    }
+
+    /// Same equivalence for IPv6.
+    #[test]
+    fn trie_matches_linear_scan_v6(
+        prefixes in prop::collection::vec(arb_v6_prefix(), 1..25),
+        addrs in prop::collection::vec(any::<u128>(), 1..25),
+    ) {
+        let mut tagged: Vec<(Prefix, usize)> = Vec::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            tagged.retain(|(q, _)| q != p);
+            tagged.push((*p, i));
+        }
+        let mut trie = PrefixTrie::new();
+        for (p, i) in &tagged {
+            trie.insert(*p, *i);
+        }
+        for a in addrs {
+            let ip = IpAddr::V6(Ipv6Addr::from(a));
+            prop_assert_eq!(trie.lookup(ip).map(|(_, &v)| v), linear_lpm(&tagged, ip));
+        }
+    }
+
+    /// A prefix always contains its own nth addresses, and parsing its
+    /// display round-trips.
+    #[test]
+    fn prefix_self_consistency(p in arb_v4_prefix(), i in 0u128..1u128 << 16) {
+        let parsed: Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, p);
+        if let Some(a) = p.nth_address(i) {
+            prop_assert!(p.contains(a), "{} not in {}", a, p);
+        }
+        prop_assert!(p.contains(p.network()));
+        prop_assert!(p.overlaps(&p));
+    }
+
+    /// Subnets stay within the parent and don't overlap each other.
+    #[test]
+    fn subnets_partition_parent(idx_a in 0u128..256, idx_b in 0u128..256) {
+        let parent: Prefix = "20.0.0.0/8".parse().unwrap();
+        let a = parent.subnet(16, idx_a).unwrap();
+        let b = parent.subnet(16, idx_b).unwrap();
+        prop_assert!(parent.overlaps(&a));
+        prop_assert!(a.contains(a.network()));
+        prop_assert!(parent.contains(a.network()));
+        if idx_a != idx_b {
+            prop_assert!(!a.overlaps(&b), "{} overlaps {}", a, b);
+        } else {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// RFC1918 implies not public, for arbitrary addresses.
+    #[test]
+    fn rfc1918_never_public(a in any::<u32>()) {
+        let ip = IpAddr::V4(Ipv4Addr::from(a));
+        if special::is_rfc1918(ip) {
+            prop_assert!(!special::is_public(ip));
+        }
+        if special::is_cgn(ip) {
+            prop_assert!(!special::is_public(ip));
+        }
+    }
+}

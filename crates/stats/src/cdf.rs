@@ -1,0 +1,169 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figure 3 of the paper plots two CDFs over all monitored ASes: the
+//! prominent-frequency distribution (showing the daily component dominates)
+//! and the daily peak-to-peak amplitude distribution (whose tail defines
+//! the Low/Mild/Severe classification thresholds: ~83% of ASes fall below
+//! 0.5 ms, ~7% in 0.5–1 ms, ~6% in 1–3 ms, ~4% above 3 ms).
+//!
+//! [`Ecdf`] stores the sorted sample and answers both directions:
+//! `F(x)` via [`Ecdf::fraction_at_or_below`] and `F⁻¹(q)` via
+//! [`Ecdf::quantile`], plus the plotted point series.
+
+/// An empirical CDF over a finite sample.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample (consumed and sorted). NaN values are removed —
+    /// an AS with an undefined amplitude simply does not appear in the CDF,
+    /// mirroring how the paper plots only ASes with a measured component.
+    pub fn new(mut values: Vec<f64>) -> Ecdf {
+        values.retain(|v| !v.is_nan());
+        values.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+        Ecdf { sorted: values }
+    }
+
+    /// Number of points in the sample.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// `F(x)`: fraction of the sample with value ≤ `x`.
+    ///
+    /// Returns 0 for an empty sample.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.count_at_or_below(x) as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of sample points ≤ `x` (binary search on the sorted sample).
+    pub fn count_at_or_below(&self, x: f64) -> usize {
+        self.sorted.partition_point(|&v| v <= x)
+    }
+
+    /// Fraction of the sample strictly inside `(lo, hi]` — the bucket
+    /// arithmetic used when reading class shares off the amplitude CDF.
+    pub fn fraction_in(&self, lo: f64, hi: f64) -> f64 {
+        if self.sorted.is_empty() || hi <= lo {
+            return 0.0;
+        }
+        (self.count_at_or_below(hi) - self.count_at_or_below(lo)) as f64 / self.sorted.len() as f64
+    }
+
+    /// `F⁻¹(q)`: smallest sample value `v` with `F(v) ≥ q`.
+    ///
+    /// `q` must be in `(0, 1]`. Returns `None` on an empty sample.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile out of range: {q}");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.sorted[idx.min(self.sorted.len() - 1)])
+    }
+
+    /// The CDF as a plottable `(value, fraction)` step series, one point
+    /// per sample element (fraction is `(i+1)/n`).
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_fractions() {
+        let cdf = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(cdf.fraction_at_or_below(2.5), 0.5);
+        assert_eq!(cdf.fraction_at_or_below(4.0), 1.0);
+        assert_eq!(cdf.fraction_at_or_below(99.0), 1.0);
+    }
+
+    #[test]
+    fn bucket_fractions_partition() {
+        // Emulates reading the paper's amplitude classes off the CDF:
+        // buckets (-inf,0.5], (0.5,1], (1,3], (3,inf) must sum to 1.
+        let amp = vec![0.1, 0.2, 0.3, 0.4, 0.45, 0.7, 1.5, 2.0, 5.0, 9.0];
+        let cdf = Ecdf::new(amp);
+        let none = cdf.fraction_at_or_below(0.5);
+        let low = cdf.fraction_in(0.5, 1.0);
+        let mild = cdf.fraction_in(1.0, 3.0);
+        let severe = 1.0 - cdf.fraction_at_or_below(3.0);
+        assert!((none + low + mild + severe - 1.0).abs() < 1e-12);
+        assert_eq!(none, 0.5);
+        assert!((low - 0.1).abs() < 1e-12);
+        assert!((mild - 0.2).abs() < 1e-12);
+        assert!((severe - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let cdf = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(cdf.quantile(0.25), Some(10.0));
+        assert_eq!(cdf.quantile(0.5), Some(20.0));
+        assert_eq!(cdf.quantile(1.0), Some(40.0));
+        assert_eq!(cdf.quantile(0.51), Some(30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_zero() {
+        let _ = Ecdf::new(vec![1.0]).quantile(0.0);
+    }
+
+    #[test]
+    fn nan_values_are_dropped() {
+        let cdf = Ecdf::new(vec![1.0, f64::NAN, 2.0]);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.fraction_at_or_below(1.5), 0.5);
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Ecdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert!(cdf.points().is_empty());
+    }
+
+    #[test]
+    fn points_are_monotone_and_end_at_one() {
+        let cdf = Ecdf::new(vec![5.0, 1.0, 3.0]);
+        let pts = cdf.points();
+        assert_eq!(pts.len(), 3);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn duplicates_step_together() {
+        let cdf = Ecdf::new(vec![2.0, 2.0, 2.0, 7.0]);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(cdf.fraction_at_or_below(1.999), 0.0);
+    }
+}

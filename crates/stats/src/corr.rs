@@ -1,0 +1,137 @@
+//! Correlation coefficients.
+//!
+//! §4.3 of the paper: "we find that there is clear non-linear correlations
+//! between delay and throughput, hence we report correlation using
+//! Spearman's rank correlation coefficient" — ρ = −0.6 for ISP A (delay up,
+//! throughput down) and ρ = 0.0 for ISP C (unrelated fluctuations).
+//!
+//! [`spearman`] is implemented as Pearson's r over average ranks, which is
+//! the definition that remains correct in the presence of ties (the popular
+//! `1 − 6Σd²/n(n²−1)` shortcut is only valid without ties).
+
+use crate::rank::average_ranks;
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns `None` when the inputs are shorter than 2 or either sample has
+/// zero variance (the coefficient is undefined; the paper's "ρ = 0.0" for
+/// ISP C is a *defined* zero from non-degenerate data).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "correlation inputs must be the same length"
+    );
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    // Clamp to [-1, 1] against floating-point drift.
+    Some((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Spearman's rank correlation coefficient ρ, with average-rank ties.
+///
+/// `None` under the same degenerate conditions as [`pearson`] (fewer than
+/// two points, or a constant sample).
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "correlation inputs must be the same length"
+    );
+    let rx = average_ranks(x);
+    let ry = average_ranks(y);
+    pearson(&rx, &ry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_lines() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_up = [2.0, 4.0, 6.0, 8.0];
+        let y_down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y_up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &y_down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_inputs() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[], &[]), None);
+        // Zero variance.
+        assert_eq!(pearson(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn pearson_rejects_length_mismatch() {
+        let _ = pearson(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn spearman_is_one_for_any_monotone_relation() {
+        // Non-linear but monotone: Pearson < 1 but Spearman == 1. This is
+        // exactly why the paper uses Spearman for delay-vs-throughput.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|&v: &f64| v.exp()).collect();
+        let rho = spearman(&x, &y).unwrap();
+        assert!((rho - 1.0).abs() < 1e-12);
+        let r = pearson(&x, &y).unwrap();
+        assert!(r < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn spearman_inverse_monotone_is_minus_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| 1.0 / v).collect();
+        assert!((spearman(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        // With ties, the rank-Pearson definition must agree with a direct
+        // computation on average ranks.
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [10.0, 20.0, 20.0, 30.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_of_independent_signals_is_small() {
+        // A deterministic "unrelated" pair: x ascending, y alternating.
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 2.0 })
+            .collect();
+        let rho = spearman(&x, &y).unwrap().abs();
+        assert!(rho < 0.05, "expected near-zero, got {rho}");
+    }
+
+    #[test]
+    fn correlation_is_symmetric() {
+        let x = [0.5, 1.5, 0.25, 2.0, 3.5];
+        let y = [3.0, 2.0, 4.0, 1.0, 0.5];
+        assert!((pearson(&x, &y).unwrap() - pearson(&y, &x).unwrap()).abs() < 1e-12);
+        assert!((spearman(&x, &y).unwrap() - spearman(&y, &x).unwrap()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! Histograms with explicit bin edges.
+//!
+//! Figure 4 of the paper is a grouped bar chart: for each APNIC eyeball
+//! rank bucket, the percentage of ASes in each congestion class. That is a
+//! histogram over explicit, human-chosen edges (1–10, 11–100, 101–1k,
+//! 1k–10k, >10k). [`Histogram`] supports exactly that: arbitrary ascending
+//! edges with an implicit overflow bucket, counts, and percentage views.
+
+/// A histogram over explicit ascending bin edges.
+///
+/// A value `v` lands in bucket `i` if `edges[i] <= v < edges[i+1]`; values
+/// at or above the last edge land in the final (overflow) bucket, values
+/// below the first edge are counted separately as underflow.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    underflow: u64,
+}
+
+impl Histogram {
+    /// Create with the given ascending edges. There are `edges.len()`
+    /// buckets: `edges.len() - 1` bounded ones plus the overflow bucket.
+    ///
+    /// Panics if fewer than one edge is given or edges are not strictly
+    /// ascending.
+    pub fn new(edges: Vec<f64>) -> Histogram {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly ascending"
+        );
+        let n = edges.len();
+        Histogram {
+            edges,
+            counts: vec![0; n],
+            underflow: 0,
+        }
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, v: f64) {
+        debug_assert!(!v.is_nan(), "NaN reached a histogram");
+        if v < self.edges[0] {
+            self.underflow += 1;
+            return;
+        }
+        // partition_point returns the index of the first edge > v, so
+        // bucket = that index - 1.
+        let idx = self.edges.partition_point(|&e| e <= v) - 1;
+        self.counts[idx] += 1;
+    }
+
+    /// Add many observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Per-bucket counts (last bucket is overflow: `>= last edge`).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the first edge.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Total observations including underflow.
+    pub fn total(&self) -> u64 {
+        self.underflow + self.counts.iter().sum::<u64>()
+    }
+
+    /// Bucket shares as fractions of the in-range total (underflow
+    /// excluded). Empty histogram yields all zeros.
+    pub fn fractions(&self) -> Vec<f64> {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Human-readable bucket labels, e.g. `"1-10"`, `">= 10000"`.
+    pub fn labels(&self) -> Vec<String> {
+        let mut out = Vec::with_capacity(self.edges.len());
+        for w in self.edges.windows(2) {
+            out.push(format!("[{}, {})", w[0], w[1]));
+        }
+        out.push(format!(
+            ">= {}",
+            self.edges.last().expect("non-empty edges")
+        ));
+        out
+    }
+
+    /// The edges this histogram was built with.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_left_closed_right_open() {
+        let mut h = Histogram::new(vec![0.0, 10.0, 100.0]);
+        h.extend([0.0, 5.0, 9.999, 10.0, 99.0, 100.0, 1e9]);
+        assert_eq!(h.counts(), &[3, 2, 2]);
+        assert_eq!(h.underflow(), 0);
+    }
+
+    #[test]
+    fn underflow_is_separate() {
+        let mut h = Histogram::new(vec![1.0, 2.0]);
+        h.extend([0.5, 1.5, 3.0]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.counts(), &[1, 1]);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(vec![0.0, 1.0, 2.0, 3.0]);
+        h.extend([0.5, 0.6, 1.5, 2.5, 2.6, 3.5]);
+        let f = h.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(f[0], 2.0 / 6.0);
+    }
+
+    #[test]
+    fn apnic_rank_buckets() {
+        // The Figure 4 bucketing: ranks 1-10, 11-100, 101-1k, 1k-10k, >10k.
+        let mut h = Histogram::new(vec![1.0, 11.0, 101.0, 1001.0, 10001.0]);
+        h.extend([
+            1.0, 10.0, 11.0, 100.0, 101.0, 1000.0, 1001.0, 10000.0, 10001.0, 50000.0,
+        ]);
+        assert_eq!(h.counts(), &[2, 2, 2, 2, 2]);
+        assert_eq!(h.labels().len(), 5);
+        assert_eq!(h.labels()[4], ">= 10001");
+    }
+
+    #[test]
+    fn empty_histogram_fractions_are_zero() {
+        let h = Histogram::new(vec![0.0, 1.0]);
+        assert_eq!(h.fractions(), vec![0.0, 0.0]);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_edges() {
+        let _ = Histogram::new(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge")]
+    fn rejects_no_edges() {
+        let _ = Histogram::new(vec![]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # lastmile-stats
+//!
+//! Small, dependency-free statistics toolkit backing the last-mile
+//! congestion pipeline.
+//!
+//! The IMC 2020 paper leans on a handful of robust statistics:
+//!
+//! * **medians everywhere** — per-probe median RTT per 30-minute bin, the
+//!   median across a probe population, median CDN throughput per 15-minute
+//!   bin ("our metrics are designed to be robust to outliers");
+//! * **empirical CDFs** — Figure 3 plots CDFs of prominent frequencies and
+//!   daily peak-to-peak amplitudes over all monitored ASes;
+//! * **Spearman's rank correlation** — §4.3 reports ρ = −0.6 between
+//!   aggregated delay and throughput for ISP A and ρ = 0.0 for ISP C,
+//!   chosen over Pearson because the relationship is "clearly non-linear".
+//!
+//! Everything here operates on `f64` slices. Aggregations over empty input
+//! return `None` rather than NaN so callers must make missing data
+//! explicit; helpers that *accept* NaN say so in their docs.
+//!
+//! ## Example
+//!
+//! ```
+//! use lastmile_stats::{median, spearman, Ecdf};
+//!
+//! let delays = [0.1, 0.4, 5.0, 0.2];
+//! // Robust to the 5.0 outlier: the median is (0.2 + 0.4) / 2.
+//! assert!((median(&delays).unwrap() - 0.3).abs() < 1e-12);
+//!
+//! let thr = [50.0, 40.0, 10.0, 45.0];
+//! // Higher delay, lower throughput: strong negative rank correlation.
+//! assert!(spearman(&delays, &thr).unwrap() < -0.7);
+//!
+//! let cdf = Ecdf::new(delays.to_vec());
+//! assert_eq!(cdf.fraction_at_or_below(0.4), 0.75);
+//! ```
+
+pub mod cdf;
+pub mod corr;
+pub mod hist;
+pub mod rank;
+pub mod summary;
+
+pub use cdf::Ecdf;
+pub use corr::{pearson, spearman};
+pub use hist::Histogram;
+pub use rank::average_ranks;
+pub use summary::{max, mean, median, median_in_place, min, quantile, stddev, Summary};

@@ -1,0 +1,102 @@
+//! Ranking with tie handling.
+//!
+//! Spearman's ρ is Pearson's r computed on *ranks*. With real measurement
+//! data ties are common (e.g. CDN throughput quantised by object sizes), so
+//! tied values must receive their *average* rank — otherwise ρ becomes
+//! order-dependent. [`average_ranks`] implements fractional ("mid-rank")
+//! ranking, the same convention as `scipy.stats.rankdata(method="average")`.
+
+/// Assign 1-based fractional ranks, averaging ranks over ties.
+///
+/// NaN inputs are unsupported (they have no meaningful rank); callers must
+/// filter them beforehand.
+///
+/// ```
+/// use lastmile_stats::average_ranks;
+/// // 10 and 10 tie for ranks 2 and 3, both get 2.5.
+/// assert_eq!(average_ranks(&[5.0, 10.0, 10.0, 20.0]), vec![1.0, 2.5, 2.5, 4.0]);
+/// ```
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        debug_assert!(
+            !values[a].is_nan() && !values[b].is_nan(),
+            "NaN reached ranking"
+        );
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
+
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the run of tied values [i, j).
+        let mut j = i + 1;
+        while j < n && values[order[j]] == values[order[i]] {
+            j += 1;
+        }
+        // Average of 1-based ranks i+1 ..= j.
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_values_get_integer_ranks() {
+        assert_eq!(average_ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        // Three-way tie for ranks 1,2,3 -> all get 2.
+        assert_eq!(
+            average_ranks(&[7.0, 7.0, 7.0, 9.0]),
+            vec![2.0, 2.0, 2.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn multiple_tie_groups() {
+        let r = average_ranks(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(average_ranks(&[]).is_empty());
+        assert_eq!(average_ranks(&[42.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn rank_sum_is_invariant() {
+        // Sum of ranks must always be n(n+1)/2 regardless of ties.
+        let v = [5.0, 5.0, 1.0, 3.0, 3.0, 3.0, 9.0];
+        let sum: f64 = average_ranks(&v).iter().sum();
+        let n = v.len() as f64;
+        assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranks_preserve_order() {
+        let v = [0.3, 0.1, 0.2, 0.4];
+        let r = average_ranks(&v);
+        // Larger value => larger rank, for distinct values.
+        for i in 0..v.len() {
+            for j in 0..v.len() {
+                if v[i] < v[j] {
+                    assert!(r[i] < r[j]);
+                }
+            }
+        }
+    }
+}

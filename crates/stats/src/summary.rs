@@ -1,0 +1,219 @@
+//! Order statistics and moments.
+//!
+//! The pipeline's workhorse is [`median`]: the paper computes a median RTT
+//! per probe per 30-minute bin ("to filter out noise", following Fontugne et al. IMC 2017), then the
+//! median across probes per bin, then subtracts the per-period *minimum*
+//! of those medians to turn RTT into queuing delay. All of those reduce to
+//! the functions in this module.
+//!
+//! Inputs containing NaN are a programming error for the ordering-based
+//! functions (`median`, `quantile`, `min`, `max`); they panic in debug
+//! builds via the total-order comparator assertion and are documented as
+//! unsupported. Use [`Summary::from_finite`] to drop non-finite values
+//! explicitly when ingesting raw data.
+
+/// Arithmetic mean, or `None` for empty input.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Population standard deviation, or `None` for empty input.
+pub fn stddev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Minimum, or `None` for empty input. NaN inputs are unsupported.
+pub fn min(values: &[f64]) -> Option<f64> {
+    values.iter().copied().reduce(f64::min)
+}
+
+/// Maximum, or `None` for empty input. NaN inputs are unsupported.
+pub fn max(values: &[f64]) -> Option<f64> {
+    values.iter().copied().reduce(f64::max)
+}
+
+fn total_cmp(a: &f64, b: &f64) -> core::cmp::Ordering {
+    debug_assert!(!a.is_nan() && !b.is_nan(), "NaN reached an order statistic");
+    a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal)
+}
+
+/// Median of a slice, copying it first. `None` for empty input.
+///
+/// Even-length inputs return the mean of the two central elements, matching
+/// `numpy.median` (the paper's reference implementation is numpy-based
+/// `raclette`).
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut buf = values.to_vec();
+    median_in_place(&mut buf)
+}
+
+/// Median that reorders the given buffer instead of allocating.
+///
+/// Uses `select_nth_unstable` so the cost is O(n) rather than a full sort —
+/// this runs once per probe per bin across millions of bins.
+pub fn median_in_place(values: &mut [f64]) -> Option<f64> {
+    let n = values.len();
+    if n == 0 {
+        return None;
+    }
+    let mid = n / 2;
+    let (_, upper_mid, _) = values.select_nth_unstable_by(mid, total_cmp);
+    let upper_mid = *upper_mid;
+    if n % 2 == 1 {
+        Some(upper_mid)
+    } else {
+        // Lower-middle element: the maximum of the left partition.
+        let lower_mid = values[..mid]
+            .iter()
+            .copied()
+            .reduce(f64::max)
+            .expect("mid >= 1");
+        Some((lower_mid + upper_mid) / 2.0)
+    }
+}
+
+/// Linear-interpolation quantile (numpy's default `linear` method).
+///
+/// `q` must be within `[0, 1]`. Returns `None` for empty input.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if values.is_empty() {
+        return None;
+    }
+    let mut buf = values.to_vec();
+    buf.sort_unstable_by(total_cmp);
+    let pos = q * (buf.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(buf[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(buf[lo] * (1.0 - frac) + buf[hi] * frac)
+    }
+}
+
+/// A one-pass numeric summary of a data set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of (finite) values summarised.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarise a slice; `None` if empty. NaN inputs are unsupported.
+    pub fn from_slice(values: &[f64]) -> Option<Summary> {
+        Some(Summary {
+            count: values.len(),
+            min: min(values)?,
+            max: max(values)?,
+            mean: mean(values)?,
+            median: median(values)?,
+        })
+    }
+
+    /// Summarise after dropping non-finite values (NaN, ±inf). `None` if
+    /// nothing finite remains. This is the entry point for raw measurement
+    /// data, where missing RTTs may surface as NaN upstream.
+    pub fn from_finite(values: &[f64]) -> Option<Summary> {
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        Summary::from_slice(&finite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[5.0]), Some(5.0));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn median_robust_to_outliers() {
+        // One wild outlier must not move the median: this is the property
+        // the paper relies on for noise filtering.
+        let clean = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let mut dirty = clean.to_vec();
+        dirty.push(1000.0);
+        dirty.push(-1000.0);
+        assert_eq!(median(&dirty), median(&clean));
+    }
+
+    #[test]
+    fn median_in_place_matches_sorting_median() {
+        let data = [9.0, 2.0, 7.0, 7.0, 3.0, 5.0, 1.0, 8.0];
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect = (sorted[3] + sorted[4]) / 2.0;
+        let mut buf = data.to_vec();
+        assert_eq!(median_in_place(&mut buf), Some(expect));
+    }
+
+    #[test]
+    fn median_with_duplicates() {
+        assert_eq!(median(&[2.0, 2.0, 2.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[1.0, 2.0, 2.0, 9.0]), Some(2.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert!((quantile(&v, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_out_of_range() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+        let sd = stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(min(&[3.0, -1.0, 2.0]), Some(-1.0));
+        assert_eq!(max(&[3.0, -1.0, 2.0]), Some(3.0));
+        assert_eq!(min(&[]), None);
+    }
+
+    #[test]
+    fn summary_from_finite_drops_nans() {
+        let s = Summary::from_finite(&[1.0, f64::NAN, 3.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 2.0);
+        assert!(Summary::from_finite(&[f64::NAN]).is_none());
+    }
+}

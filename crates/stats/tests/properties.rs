@@ -1,0 +1,134 @@
+//! Property-based tests for the statistics toolkit.
+
+use lastmile_stats::{average_ranks, mean, median, pearson, quantile, spearman, Ecdf};
+use proptest::prelude::*;
+
+/// Finite, reasonably sized floats: the domain of all pipeline statistics.
+fn finite_vec(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, min_len..64)
+}
+
+proptest! {
+    /// The median is bracketed by min and max and at least half the sample
+    /// lies on each side.
+    #[test]
+    fn median_is_a_middle_value(v in finite_vec(1)) {
+        let m = median(&v).unwrap();
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo && m <= hi);
+        let below = v.iter().filter(|&&x| x <= m).count();
+        let above = v.iter().filter(|&&x| x >= m).count();
+        prop_assert!(below * 2 >= v.len());
+        prop_assert!(above * 2 >= v.len());
+    }
+
+    /// Median is invariant under permutation.
+    #[test]
+    fn median_permutation_invariant(mut v in finite_vec(1)) {
+        let m1 = median(&v).unwrap();
+        v.reverse();
+        let m2 = median(&v).unwrap();
+        prop_assert_eq!(m1, m2);
+    }
+
+    /// Median is translation-equivariant: median(x + c) = median(x) + c.
+    #[test]
+    fn median_translation(v in finite_vec(1), c in -1e3f64..1e3) {
+        let m = median(&v).unwrap();
+        let shifted: Vec<f64> = v.iter().map(|x| x + c).collect();
+        let ms = median(&shifted).unwrap();
+        prop_assert!((ms - (m + c)).abs() < 1e-6);
+    }
+
+    /// Quantile endpoints are min and max; quantile is monotone in q.
+    #[test]
+    fn quantile_monotone(v in finite_vec(1), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&v, qa).unwrap();
+        let b = quantile(&v, qb).unwrap();
+        prop_assert!(a <= b + 1e-12);
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(quantile(&v, 0.0).unwrap(), lo);
+        prop_assert_eq!(quantile(&v, 1.0).unwrap(), hi);
+    }
+
+    /// Mean lies between min and max.
+    #[test]
+    fn mean_is_bracketed(v in finite_vec(1)) {
+        let m = mean(&v).unwrap();
+        let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    /// Rank sum identity: sum of average ranks is n(n+1)/2.
+    #[test]
+    fn rank_sum_identity(v in finite_vec(0)) {
+        let r = average_ranks(&v);
+        let n = v.len() as f64;
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    /// Correlations are bounded in [-1, 1] whenever defined.
+    #[test]
+    fn correlations_bounded(v in finite_vec(2), w in finite_vec(2)) {
+        let n = v.len().min(w.len());
+        let (x, y) = (&v[..n], &w[..n]);
+        if let Some(r) = pearson(x, y) {
+            prop_assert!((-1.0..=1.0).contains(&r));
+        }
+        if let Some(rho) = spearman(x, y) {
+            prop_assert!((-1.0..=1.0).contains(&rho));
+        }
+    }
+
+    /// Spearman is invariant under strictly monotone transforms of either
+    /// variable — the property that makes it the right tool for the
+    /// non-linear delay/throughput relationship.
+    #[test]
+    fn spearman_monotone_invariance(v in finite_vec(3), w in finite_vec(3)) {
+        let n = v.len().min(w.len());
+        let (x, y) = (&v[..n], &w[..n]);
+        if let Some(rho) = spearman(x, y) {
+            // exp is strictly increasing; x/1000 keeps exp finite.
+            let tx: Vec<f64> = x.iter().map(|a| (a / 1e6).exp()).collect();
+            if let Some(rho_t) = spearman(&tx, y) {
+                prop_assert!((rho - rho_t).abs() < 1e-6, "{} vs {}", rho, rho_t);
+            }
+        }
+    }
+
+    /// Spearman of a sample with itself is exactly 1 (when non-constant).
+    #[test]
+    fn spearman_self_is_one(v in finite_vec(2)) {
+        if let Some(rho) = spearman(&v, &v) {
+            prop_assert!((rho - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// The ECDF evaluated at the q-quantile is at least q, and the CDF is
+    /// monotone non-decreasing.
+    #[test]
+    fn ecdf_quantile_consistency(v in finite_vec(1), q in 0.01f64..=1.0) {
+        let cdf = Ecdf::new(v.clone());
+        let x = cdf.quantile(q).unwrap();
+        prop_assert!(cdf.fraction_at_or_below(x) + 1e-12 >= q);
+        let pts = cdf.points();
+        for w in pts.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    /// ECDF bucket fractions over a partition sum to one.
+    #[test]
+    fn ecdf_partition_sums_to_one(v in finite_vec(1)) {
+        let cdf = Ecdf::new(v);
+        let a = cdf.fraction_at_or_below(-10.0);
+        let b = cdf.fraction_in(-10.0, 10.0);
+        let c = 1.0 - cdf.fraction_at_or_below(10.0);
+        prop_assert!((a + b + c - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,406 @@
+//! Proleptic Gregorian calendar conversions.
+//!
+//! Implements Howard Hinnant's `days_from_civil` / `civil_from_days`
+//! algorithms, which are exact over the full `i64` day range used here.
+//! This keeps the workspace free of calendar dependencies while still
+//! letting us write measurement periods as human dates ("1st to the 15th of
+//! March 2018") and label weekly figures with weekday names, as the paper
+//! does.
+
+use crate::unix::{UnixTime, SECS_PER_DAY, SECS_PER_HOUR, SECS_PER_MIN};
+use core::fmt;
+
+/// Month of year, 1-based like `CivilDate`'s textual form.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum Month {
+    January = 1,
+    February = 2,
+    March = 3,
+    April = 4,
+    May = 5,
+    June = 6,
+    July = 7,
+    August = 8,
+    September = 9,
+    October = 10,
+    November = 11,
+    December = 12,
+}
+
+impl Month {
+    /// Convert a 1-based month number.
+    pub fn from_number(n: u8) -> Option<Month> {
+        use Month::*;
+        Some(match n {
+            1 => January,
+            2 => February,
+            3 => March,
+            4 => April,
+            5 => May,
+            6 => June,
+            7 => July,
+            8 => August,
+            9 => September,
+            10 => October,
+            11 => November,
+            12 => December,
+            _ => return None,
+        })
+    }
+
+    /// 1-based month number.
+    #[inline]
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+}
+
+/// Day of week. The numeric values follow ISO 8601 (Monday = 1).
+///
+/// The paper's weekly figures run Monday through Sunday, so [`Weekday`]
+/// ordering matches the x-axis of Figures 1 and 8.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum Weekday {
+    Monday = 1,
+    Tuesday = 2,
+    Wednesday = 3,
+    Thursday = 4,
+    Friday = 5,
+    Saturday = 6,
+    Sunday = 7,
+}
+
+impl Weekday {
+    /// All weekdays in Monday-first order.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// Zero-based index with Monday = 0, matching the weekly-overlay x-axis.
+    #[inline]
+    pub fn monday_index(self) -> usize {
+        self as usize - 1
+    }
+
+    /// Whether this is Saturday or Sunday. Demand models use this to damp
+    /// or shift the diurnal peak on weekends.
+    #[inline]
+    pub fn is_weekend(self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+
+    /// English name, as used in figure axes.
+    pub fn name(self) -> &'static str {
+        match self {
+            Weekday::Monday => "Monday",
+            Weekday::Tuesday => "Tuesday",
+            Weekday::Wednesday => "Wednesday",
+            Weekday::Thursday => "Thursday",
+            Weekday::Friday => "Friday",
+            Weekday::Saturday => "Saturday",
+            Weekday::Sunday => "Sunday",
+        }
+    }
+}
+
+impl fmt::Display for Weekday {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A calendar date in the proleptic Gregorian calendar (UTC).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CivilDate {
+    /// Year (astronomical numbering; 2018 means AD 2018).
+    pub year: i32,
+    /// Month 1..=12.
+    pub month: u8,
+    /// Day of month 1..=31.
+    pub day: u8,
+}
+
+impl CivilDate {
+    /// Construct a date. Panics if the month/day are out of range for the
+    /// given year (invalid dates indicate a programming error in scenario
+    /// definitions, not bad input data).
+    pub fn new(year: i32, month: u8, day: u8) -> CivilDate {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day out of range: {year:04}-{month:02}-{day:02}"
+        );
+        CivilDate { year, month, day }
+    }
+
+    /// Days since the Unix epoch (1970-01-01 = day 0). Negative before 1970.
+    ///
+    /// This is Hinnant's `days_from_civil`, restated for Rust integer
+    /// division semantics.
+    pub fn days_since_epoch(&self) -> i64 {
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let era = y.div_euclid(400);
+        let yoe = y.rem_euclid(400); // [0, 399]
+        let m = i64::from(self.month);
+        let d = i64::from(self.day);
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146097 + doe - 719468
+    }
+
+    /// Inverse of [`CivilDate::days_since_epoch`] (Hinnant's `civil_from_days`).
+    pub fn from_days_since_epoch(days: i64) -> CivilDate {
+        let z = days + 719468;
+        let era = z.div_euclid(146097);
+        let doe = z.rem_euclid(146097); // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+        CivilDate {
+            year: (y + i64::from(m <= 2)) as i32,
+            month: m as u8,
+            day: d as u8,
+        }
+    }
+
+    /// Midnight UTC at the start of this date.
+    pub fn midnight(&self) -> UnixTime {
+        UnixTime::from_secs(self.days_since_epoch() * SECS_PER_DAY)
+    }
+
+    /// Day of week of this date.
+    pub fn weekday(&self) -> Weekday {
+        // 1970-01-01 was a Thursday (ISO weekday 4).
+        let wd = (self.days_since_epoch() + 3).rem_euclid(7) + 1;
+        match wd {
+            1 => Weekday::Monday,
+            2 => Weekday::Tuesday,
+            3 => Weekday::Wednesday,
+            4 => Weekday::Thursday,
+            5 => Weekday::Friday,
+            6 => Weekday::Saturday,
+            _ => Weekday::Sunday,
+        }
+    }
+
+    /// The date `n` days later (or earlier when negative).
+    pub fn add_days(&self, n: i64) -> CivilDate {
+        CivilDate::from_days_since_epoch(self.days_since_epoch() + n)
+    }
+}
+
+impl fmt::Debug for CivilDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for CivilDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A calendar date plus time of day (UTC).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CivilDateTime {
+    pub date: CivilDate,
+    /// Hour 0..=23.
+    pub hour: u8,
+    /// Minute 0..=59.
+    pub minute: u8,
+    /// Second 0..=59.
+    pub second: u8,
+}
+
+impl CivilDateTime {
+    /// Construct; panics on out-of-range time fields.
+    pub fn new(date: CivilDate, hour: u8, minute: u8, second: u8) -> CivilDateTime {
+        assert!(
+            hour < 24 && minute < 60 && second < 60,
+            "time out of range: {hour:02}:{minute:02}:{second:02}"
+        );
+        CivilDateTime {
+            date,
+            hour,
+            minute,
+            second,
+        }
+    }
+
+    /// Convert a Unix timestamp to civil UTC time.
+    pub fn from_unix(t: UnixTime) -> CivilDateTime {
+        let days = t.days_since_epoch();
+        let sod = t.seconds_of_day();
+        CivilDateTime {
+            date: CivilDate::from_days_since_epoch(days),
+            hour: (sod / SECS_PER_HOUR) as u8,
+            minute: ((sod % SECS_PER_HOUR) / SECS_PER_MIN) as u8,
+            second: (sod % SECS_PER_MIN) as u8,
+        }
+    }
+
+    /// Convert back to a Unix timestamp.
+    pub fn to_unix(&self) -> UnixTime {
+        self.date.midnight()
+            + i64::from(self.hour) * SECS_PER_HOUR
+            + i64::from(self.minute) * SECS_PER_MIN
+            + i64::from(self.second)
+    }
+}
+
+impl fmt::Debug for CivilDateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for CivilDateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:02}:{:02}:{:02}",
+            self.date, self.hour, self.minute, self.second
+        )
+    }
+}
+
+/// Whether `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// Number of days in the given month.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("month out of range: {month}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero_and_thursday() {
+        let d = CivilDate::new(1970, 1, 1);
+        assert_eq!(d.days_since_epoch(), 0);
+        assert_eq!(d.weekday(), Weekday::Thursday);
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        // Dates relevant to the paper.
+        let cases = [
+            ((2018, 3, 1), Weekday::Thursday),
+            ((2018, 6, 1), Weekday::Friday),
+            ((2018, 9, 1), Weekday::Saturday),
+            ((2019, 3, 1), Weekday::Friday),
+            ((2019, 9, 19), Weekday::Thursday), // CDN dataset starts Thu Sep 19
+            ((2019, 9, 26), Weekday::Thursday),
+            ((2020, 4, 1), Weekday::Wednesday),
+            ((2000, 2, 29), Weekday::Tuesday), // leap day in a century leap year
+        ];
+        for ((y, m, d), wd) in cases {
+            let date = CivilDate::new(y, m, d);
+            assert_eq!(date.weekday(), wd, "{date}");
+            let back = CivilDate::from_days_since_epoch(date.days_since_epoch());
+            assert_eq!(back, date);
+        }
+    }
+
+    #[test]
+    fn civil_from_days_round_trips_across_a_wide_span() {
+        // Cover century and 400-year boundaries exhaustively by day count.
+        let start = CivilDate::new(1899, 12, 25).days_since_epoch();
+        let end = CivilDate::new(2101, 1, 7).days_since_epoch();
+        let mut prev = CivilDate::from_days_since_epoch(start - 1);
+        for day in start..=end {
+            let d = CivilDate::from_days_since_epoch(day);
+            assert_eq!(d.days_since_epoch(), day, "{d}");
+            // Dates are strictly increasing day by day.
+            assert!(prev < d, "{prev} !< {d}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2000));
+        assert!(is_leap_year(2020));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2019));
+        assert_eq!(days_in_month(2020, 2), 29);
+        assert_eq!(days_in_month(2019, 2), 28);
+        assert_eq!(days_in_month(2019, 9), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "day out of range")]
+    fn rejects_invalid_date() {
+        let _ = CivilDate::new(2019, 2, 29);
+    }
+
+    #[test]
+    fn datetime_round_trip() {
+        let dt = CivilDateTime::new(CivilDate::new(2019, 9, 19), 13, 45, 7);
+        let t = dt.to_unix();
+        assert_eq!(CivilDateTime::from_unix(t), dt);
+        assert_eq!(dt.to_string(), "2019-09-19 13:45:07");
+    }
+
+    #[test]
+    fn datetime_from_known_timestamp() {
+        // 2020-04-01T00:00:00Z == 1585699200.
+        let t = UnixTime::from_secs(1_585_699_200);
+        let dt = CivilDateTime::from_unix(t);
+        assert_eq!(dt.to_string(), "2020-04-01 00:00:00");
+        assert_eq!(dt.to_unix(), t);
+    }
+
+    #[test]
+    fn weekday_helpers() {
+        assert!(Weekday::Saturday.is_weekend());
+        assert!(!Weekday::Friday.is_weekend());
+        assert_eq!(Weekday::Monday.monday_index(), 0);
+        assert_eq!(Weekday::Sunday.monday_index(), 6);
+        assert_eq!(Weekday::ALL.len(), 7);
+    }
+
+    #[test]
+    fn add_days_crosses_month_and_year() {
+        let d = CivilDate::new(2019, 12, 31).add_days(1);
+        assert_eq!(d, CivilDate::new(2020, 1, 1));
+        let d = CivilDate::new(2020, 3, 1).add_days(-1);
+        assert_eq!(d, CivilDate::new(2020, 2, 29));
+    }
+
+    #[test]
+    fn month_enum_round_trips() {
+        for n in 1..=12u8 {
+            assert_eq!(Month::from_number(n).unwrap().number(), n);
+        }
+        assert!(Month::from_number(0).is_none());
+        assert!(Month::from_number(13).is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! # lastmile-timebase
+//!
+//! Time foundations for the last-mile congestion analysis pipeline.
+//!
+//! The IMC 2020 paper ("Persistent Last-mile Congestion: Not so Uncommon")
+//! slices RIPE Atlas traceroute data into fixed UTC time bins (30 minutes
+//! for delay, 15 minutes for CDN throughput), groups results by weekday to
+//! plot "one week" figures, and defines eight *measurement periods* (the
+//! 1st–15th of March/June/September 2018 and 2019, April 2020 for COVID-19,
+//! and September 19–26 2019 for the Tokyo CDN cross-validation).
+//!
+//! This crate provides exactly those primitives, dependency-free:
+//!
+//! * [`UnixTime`] — seconds since the Unix epoch (UTC), the timestamp type
+//!   used throughout the workspace.
+//! * [`CivilDate`] / [`CivilDateTime`] — proleptic Gregorian calendar
+//!   conversions (Howard Hinnant's `days_from_civil` algorithm) so we never
+//!   need a calendar dependency.
+//! * [`Weekday`] — day-of-week arithmetic for the weekly overlays of
+//!   Figures 1 and 8.
+//! * [`bins`] — fixed-width time binning ([`bins::BinSpec`]), the core of
+//!   the paper's noise filtering ("we deliberately employ large time-bins").
+//! * [`period`] — measurement periods, including constructors for all eight
+//!   windows studied in the paper.
+//! * [`TzOffset`] — fixed UTC offsets, used by the traffic simulator to
+//!   place an ISP's demand peak in *local* evening hours.
+//!
+//! All dates in the paper (and in this workspace) are UTC.
+//!
+//! ## Example
+//!
+//! ```
+//! use lastmile_timebase::{UnixTime, CivilDateTime, bins::BinSpec, period::MeasurementPeriod};
+//!
+//! // The first delay bin of the paper's September 2019 period.
+//! let period = MeasurementPeriod::september_2019();
+//! let bins = BinSpec::thirty_minutes();
+//! let first = bins.bin_start(period.start());
+//! assert_eq!(CivilDateTime::from_unix(first).to_string(), "2019-09-01 00:00:00");
+//! // A 15-day period contains 15 * 48 half-hour bins.
+//! assert_eq!(bins.count_in(&period.range()), 15 * 48);
+//! ```
+
+pub mod bins;
+pub mod civil;
+pub mod period;
+pub mod tz;
+pub mod unix;
+
+pub use bins::{BinIndex, BinSpec};
+pub use civil::{CivilDate, CivilDateTime, Month, Weekday};
+pub use period::{MeasurementPeriod, PeriodId};
+pub use tz::TzOffset;
+pub use unix::{TimeRange, UnixTime, SECS_PER_DAY, SECS_PER_HOUR, SECS_PER_MIN, SECS_PER_WEEK};

@@ -1,0 +1,258 @@
+//! Measurement periods.
+//!
+//! The paper analyses eight fixed windows of traceroute data:
+//!
+//! * six *longitudinal* periods — the 1st to the 15th (inclusive, i.e. the
+//!   half-open range `[1st 00:00, 16th 00:00)`) of March, June and
+//!   September, in both 2018 and 2019;
+//! * one *COVID-19* period — April 1–15, 2020;
+//! * one *CDN cross-validation* period — September 19–26, 2019 (the span of
+//!   the Tokyo CDN access-log dataset; `[Sep 19 00:00, Sep 27 00:00)`).
+//!
+//! A [`MeasurementPeriod`] carries its identity ([`PeriodId`]) and time
+//! range. The per-period identity matters to the pipeline itself: the
+//! minimum median RTT used as the queuing-delay baseline is "computed
+//! separately for each measurement period to account for Atlas probe
+//! deployment changes" (§2.1).
+
+use crate::civil::CivilDate;
+use crate::unix::{TimeRange, UnixTime};
+use core::fmt;
+
+/// Identity of one of the paper's measurement periods, or a custom window.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PeriodId {
+    /// March 1–15, 2018.
+    Mar2018,
+    /// June 1–15, 2018.
+    Jun2018,
+    /// September 1–15, 2018.
+    Sep2018,
+    /// March 1–15, 2019.
+    Mar2019,
+    /// June 1–15, 2019.
+    Jun2019,
+    /// September 1–15, 2019.
+    Sep2019,
+    /// April 1–15, 2020 (COVID-19 lockdowns).
+    Apr2020,
+    /// September 19–26, 2019 (Tokyo CDN dataset).
+    TokyoCdn2019,
+    /// A window not named by the paper.
+    Custom,
+}
+
+impl PeriodId {
+    /// Label used in figure legends, e.g. `2019-09`.
+    pub fn label(self) -> &'static str {
+        match self {
+            PeriodId::Mar2018 => "2018-03",
+            PeriodId::Jun2018 => "2018-06",
+            PeriodId::Sep2018 => "2018-09",
+            PeriodId::Mar2019 => "2019-03",
+            PeriodId::Jun2019 => "2019-06",
+            PeriodId::Sep2019 => "2019-09",
+            PeriodId::Apr2020 => "2020-04",
+            PeriodId::TokyoCdn2019 => "2019-09-19..26",
+            PeriodId::Custom => "custom",
+        }
+    }
+
+    /// Whether this period falls inside COVID-19 lockdowns (April 2020).
+    pub fn is_covid(self) -> bool {
+        matches!(self, PeriodId::Apr2020)
+    }
+}
+
+impl fmt::Display for PeriodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A named window of measurement time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MeasurementPeriod {
+    id: PeriodId,
+    range: TimeRange,
+}
+
+impl MeasurementPeriod {
+    /// A custom period over an arbitrary range.
+    pub fn custom(range: TimeRange) -> MeasurementPeriod {
+        MeasurementPeriod {
+            id: PeriodId::Custom,
+            range,
+        }
+    }
+
+    /// The half-month window `[year-month-01 00:00, year-month-16 00:00)`
+    /// used by the longitudinal and COVID periods.
+    fn half_month(id: PeriodId, year: i32, month: u8) -> MeasurementPeriod {
+        let start = CivilDate::new(year, month, 1).midnight();
+        let end = CivilDate::new(year, month, 16).midnight();
+        MeasurementPeriod {
+            id,
+            range: TimeRange::new(start, end),
+        }
+    }
+
+    /// March 1–15, 2018.
+    pub fn march_2018() -> MeasurementPeriod {
+        Self::half_month(PeriodId::Mar2018, 2018, 3)
+    }
+
+    /// June 1–15, 2018.
+    pub fn june_2018() -> MeasurementPeriod {
+        Self::half_month(PeriodId::Jun2018, 2018, 6)
+    }
+
+    /// September 1–15, 2018.
+    pub fn september_2018() -> MeasurementPeriod {
+        Self::half_month(PeriodId::Sep2018, 2018, 9)
+    }
+
+    /// March 1–15, 2019.
+    pub fn march_2019() -> MeasurementPeriod {
+        Self::half_month(PeriodId::Mar2019, 2019, 3)
+    }
+
+    /// June 1–15, 2019.
+    pub fn june_2019() -> MeasurementPeriod {
+        Self::half_month(PeriodId::Jun2019, 2019, 6)
+    }
+
+    /// September 1–15, 2019.
+    pub fn september_2019() -> MeasurementPeriod {
+        Self::half_month(PeriodId::Sep2019, 2019, 9)
+    }
+
+    /// April 1–15, 2020 — the COVID-19 lockdown window.
+    pub fn april_2020() -> MeasurementPeriod {
+        Self::half_month(PeriodId::Apr2020, 2020, 4)
+    }
+
+    /// September 19–26, 2019 — the Tokyo CDN log window
+    /// (`[Sep 19 00:00, Sep 27 00:00)`, eight full days, Thursday to
+    /// Thursday as in Figures 5 and 6).
+    pub fn tokyo_cdn_2019() -> MeasurementPeriod {
+        let start = CivilDate::new(2019, 9, 19).midnight();
+        let end = CivilDate::new(2019, 9, 27).midnight();
+        MeasurementPeriod {
+            id: PeriodId::TokyoCdn2019,
+            range: TimeRange::new(start, end),
+        }
+    }
+
+    /// The six longitudinal periods of §3, in chronological order.
+    pub fn longitudinal() -> [MeasurementPeriod; 6] {
+        [
+            Self::march_2018(),
+            Self::june_2018(),
+            Self::september_2018(),
+            Self::march_2019(),
+            Self::june_2019(),
+            Self::september_2019(),
+        ]
+    }
+
+    /// All seven survey periods (longitudinal plus April 2020), as plotted
+    /// in Figure 1.
+    pub fn survey_periods() -> [MeasurementPeriod; 7] {
+        [
+            Self::march_2018(),
+            Self::june_2018(),
+            Self::september_2018(),
+            Self::march_2019(),
+            Self::june_2019(),
+            Self::september_2019(),
+            Self::april_2020(),
+        ]
+    }
+
+    /// Period identity.
+    pub fn id(&self) -> PeriodId {
+        self.id
+    }
+
+    /// Legend label (e.g. `2020-04`).
+    pub fn label(&self) -> &'static str {
+        self.id.label()
+    }
+
+    /// Covered time range.
+    pub fn range(&self) -> TimeRange {
+        self.range
+    }
+
+    /// Start instant.
+    pub fn start(&self) -> UnixTime {
+        self.range.start()
+    }
+
+    /// End instant (exclusive).
+    pub fn end(&self) -> UnixTime {
+        self.range.end()
+    }
+
+    /// Number of whole days covered.
+    pub fn days(&self) -> i64 {
+        self.range.duration_secs() / crate::unix::SECS_PER_DAY
+    }
+}
+
+impl fmt::Display for MeasurementPeriod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::civil::CivilDateTime;
+
+    #[test]
+    fn longitudinal_periods_are_fifteen_days() {
+        for p in MeasurementPeriod::longitudinal() {
+            assert_eq!(p.days(), 15, "{p}");
+        }
+        assert_eq!(MeasurementPeriod::april_2020().days(), 15);
+    }
+
+    #[test]
+    fn tokyo_period_is_eight_days_thursday_to_thursday() {
+        let p = MeasurementPeriod::tokyo_cdn_2019();
+        assert_eq!(p.days(), 8);
+        let start = CivilDateTime::from_unix(p.start());
+        assert_eq!(start.to_string(), "2019-09-19 00:00:00");
+        assert_eq!(start.date.weekday(), crate::civil::Weekday::Thursday);
+    }
+
+    #[test]
+    fn survey_periods_are_seven_and_ordered() {
+        let ps = MeasurementPeriod::survey_periods();
+        assert_eq!(ps.len(), 7);
+        for w in ps.windows(2) {
+            assert!(w[0].end() <= w[1].start(), "{} overlaps {}", w[0], w[1]);
+        }
+        assert!(ps[6].id().is_covid());
+        assert!(!ps[0].id().is_covid());
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(MeasurementPeriod::march_2018().label(), "2018-03");
+        assert_eq!(MeasurementPeriod::april_2020().label(), "2020-04");
+        assert_eq!(MeasurementPeriod::september_2019().to_string(), "2019-09");
+    }
+
+    #[test]
+    fn custom_period() {
+        let r = TimeRange::new(UnixTime(0), UnixTime(86_400));
+        let p = MeasurementPeriod::custom(r);
+        assert_eq!(p.id(), PeriodId::Custom);
+        assert_eq!(p.days(), 1);
+        assert_eq!(p.range(), r);
+    }
+}

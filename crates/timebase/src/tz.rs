@@ -1,0 +1,106 @@
+//! Fixed UTC offsets.
+//!
+//! All analysis in the paper (and in this workspace) is done in UTC, but
+//! the *simulated* traffic must peak in the evening of each ISP's local
+//! time — Japanese broadband peaks around 21:00 JST, which is 12:00 UTC.
+//! [`TzOffset`] converts a UTC instant to local fractional hours for the
+//! demand models. Daylight saving time is deliberately not modeled: over a
+//! 15-day measurement window an hour of DST shift does not change whether a
+//! diurnal component exists, and the paper itself ignores it.
+
+use crate::unix::{UnixTime, SECS_PER_HOUR};
+
+/// A fixed offset from UTC in seconds (positive = east of Greenwich).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct TzOffset {
+    secs: i32,
+}
+
+impl TzOffset {
+    /// UTC itself.
+    pub const UTC: TzOffset = TzOffset { secs: 0 };
+
+    /// Build from whole hours east of UTC, e.g. `TzOffset::hours(9)` for
+    /// Japan Standard Time.
+    pub const fn hours(h: i32) -> TzOffset {
+        TzOffset {
+            secs: h * SECS_PER_HOUR as i32,
+        }
+    }
+
+    /// Build from seconds east of UTC.
+    pub const fn seconds(secs: i32) -> TzOffset {
+        TzOffset { secs }
+    }
+
+    /// Japan Standard Time (UTC+9) — used by the Tokyo case study.
+    pub const JST: TzOffset = TzOffset::hours(9);
+    /// Central European Time (UTC+1) — ISP_DE.
+    pub const CET: TzOffset = TzOffset::hours(1);
+    /// US Eastern Standard Time (UTC−5) — ISP_US.
+    pub const US_EASTERN: TzOffset = TzOffset::hours(-5);
+    /// US Central Standard Time (UTC−6).
+    pub const US_CENTRAL: TzOffset = TzOffset::hours(-6);
+
+    /// Offset in seconds east of UTC.
+    #[inline]
+    pub const fn offset_secs(self) -> i32 {
+        self.secs
+    }
+
+    /// Shift a UTC instant into local wall-clock time.
+    #[inline]
+    pub fn to_local(self, t: UnixTime) -> UnixTime {
+        t + i64::from(self.secs)
+    }
+
+    /// Local fractional hour of day (`0.0..24.0`) of a UTC instant.
+    ///
+    /// This is the argument demand curves are evaluated at.
+    #[inline]
+    pub fn local_hour(self, t: UnixTime) -> f64 {
+        self.to_local(t).fractional_hour_of_day()
+    }
+
+    /// Local weekday of a UTC instant.
+    pub fn local_weekday(self, t: UnixTime) -> crate::civil::Weekday {
+        crate::civil::CivilDate::from_days_since_epoch(self.to_local(t).days_since_epoch())
+            .weekday()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::civil::{CivilDate, CivilDateTime, Weekday};
+
+    #[test]
+    fn jst_evening_is_utc_noon() {
+        // 2019-09-19 12:00 UTC == 21:00 JST.
+        let t = CivilDateTime::new(CivilDate::new(2019, 9, 19), 12, 0, 0).to_unix();
+        assert!((TzOffset::JST.local_hour(t) - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_offsets() {
+        // 2019-09-20 02:00 UTC == 21:00 EST on Sep 19.
+        let t = CivilDateTime::new(CivilDate::new(2019, 9, 20), 2, 0, 0).to_unix();
+        assert!((TzOffset::US_EASTERN.local_hour(t) - 21.0).abs() < 1e-9);
+        assert_eq!(TzOffset::US_EASTERN.local_weekday(t), Weekday::Thursday);
+    }
+
+    #[test]
+    fn local_weekday_crosses_midnight() {
+        // 2019-09-21 16:00 UTC is already Sunday 01:00 in JST (+9).
+        let t = CivilDateTime::new(CivilDate::new(2019, 9, 21), 16, 0, 0).to_unix();
+        assert_eq!(TzOffset::UTC.local_weekday(t), Weekday::Saturday);
+        assert_eq!(TzOffset::JST.local_weekday(t), Weekday::Sunday);
+    }
+
+    #[test]
+    fn utc_is_identity() {
+        let t = UnixTime(123_456_789);
+        assert_eq!(TzOffset::UTC.to_local(t), t);
+        assert_eq!(TzOffset::UTC.offset_secs(), 0);
+    }
+}

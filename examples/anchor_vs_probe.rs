@@ -1,0 +1,52 @@
+//! Appendix B (Figure 8): probes vs anchor in the same legacy-network AS.
+//!
+//! Atlas anchors live in datacenters, so they share the AS but not the
+//! last mile. ISP_D's probes show tens of milliseconds of evening queuing
+//! delay; its anchor stays flat — pinning the congestion to the access
+//! segment.
+//!
+//! Run with: `cargo run --release --example anchor_vs_probe`
+
+use lastmile_repro::core::pipeline::PipelineConfig;
+use lastmile_repro::netsim::scenarios::anchor::{anchor_world, fig8_periods, ISP_D_ASN};
+use lastmile_repro::runner::{analyze_population, ProbeSelection};
+
+fn main() {
+    let world = anchor_world(8);
+    println!("ISP_D: probes vs anchor, four measurement periods\n");
+    println!(
+        "{:<10} {:>7} {:>16} {:>16} {:>10}",
+        "period", "probes", "probes max (ms)", "anchor max (ms)", "class"
+    );
+
+    for period in fig8_periods() {
+        let probes = analyze_population(
+            &world,
+            ISP_D_ASN,
+            &period,
+            PipelineConfig::paper(),
+            &ProbeSelection::regular(),
+        );
+        let mut anchor_cfg = PipelineConfig::paper();
+        anchor_cfg.min_probes = 1;
+        anchor_cfg.min_probes_per_bin = 1;
+        let anchor = analyze_population(
+            &world,
+            ISP_D_ASN,
+            &period,
+            anchor_cfg,
+            &ProbeSelection::anchors(),
+        );
+        println!(
+            "{:<10} {:>7} {:>16.2} {:>16.2} {:>10}",
+            period.label(),
+            probes.probes_used(),
+            probes.aggregated.max().unwrap_or(0.0),
+            anchor.aggregated.max().unwrap_or(0.0),
+            probes.class(),
+        );
+    }
+
+    println!("\npaper's shape: probes' delay rises to tens of ms at peak hours in every");
+    println!("period (worst under the April 2020 lockdown); the anchor never moves.");
+}

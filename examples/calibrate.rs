@@ -1,0 +1,50 @@
+//! Calibration utility: measures the ratio between a scenario's
+//! `peak_queuing_ms` dial and the daily peak-to-peak amplitude the
+//! detector reports, which pins
+//! `lastmile_netsim::scenarios::PEAK_DELAY_PER_AMPLITUDE`.
+//!
+//! Run with: `cargo run --release --example calibrate`
+
+use lastmile_repro::core::pipeline::PipelineConfig;
+use lastmile_repro::netsim::world::ProbeSpec;
+use lastmile_repro::netsim::{IspConfig, World};
+use lastmile_repro::runner::{analyze_population, ProbeSelection};
+use lastmile_repro::timebase::{MeasurementPeriod, TzOffset};
+
+fn main() {
+    let period = MeasurementPeriod::september_2019();
+    println!("peak_queuing_ms -> detected daily p2p amplitude (ratio)");
+    for peak in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+        let mut ratios = Vec::new();
+        for seed in [1u64, 2, 3] {
+            let mut b = World::builder(seed);
+            b.add_isp(IspConfig::legacy_pppoe(
+                65001,
+                "CAL",
+                "JP",
+                TzOffset::JST,
+                peak,
+            ));
+            b.add_probes(65001, 10, &ProbeSpec::simple());
+            let w = b.build();
+            let analysis = analyze_population(
+                &w,
+                65001,
+                &period,
+                PipelineConfig::paper(),
+                &ProbeSelection::regular(),
+            );
+            let d = analysis.detection.expect("detection must run");
+            ratios.push(peak / d.daily_amplitude_ms);
+            println!(
+                "  peak {peak:>5.1} seed {seed}: amp {:.3} ms (daily={}, prom={:.1}) ratio {:.3}",
+                d.daily_amplitude_ms,
+                d.prominent_is_daily,
+                d.prominent.map(|p| p.prominence).unwrap_or(0.0),
+                peak / d.daily_amplitude_ms
+            );
+        }
+        let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        println!("  => mean ratio {mean:.3}");
+    }
+}

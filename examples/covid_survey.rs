@@ -1,0 +1,80 @@
+//! The COVID-19 survey (§3.2): how many ASes host persistently congested
+//! probes before vs during the April 2020 lockdowns?
+//!
+//! Runs a reduced-scale version of the paper's 646-AS survey (size is a
+//! CLI argument) over September 2019 and April 2020 and prints the class
+//! breakdown, the reported-AS jump (paper: 45 → 70, +55%), and the rank
+//! distribution of the newly congested networks.
+//!
+//! Run with: `cargo run --release --example covid_survey -- 200`
+
+use lastmile_repro::core::detect::CongestionClass;
+use lastmile_repro::netsim::scenarios::survey::{survey_world, SurveyConfig};
+use lastmile_repro::runner::{eyeballs_from_ground_truth, run_survey, SurveyOptions};
+use lastmile_repro::timebase::MeasurementPeriod;
+
+fn main() {
+    let n_ases: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+    println!("building a {n_ases}-AS survey world (paper scale: 646)...");
+    let scenario = survey_world(&SurveyConfig {
+        seed: 2020,
+        n_ases,
+        max_probes_per_as: 10,
+    });
+    let eyeballs = eyeballs_from_ground_truth(&scenario.ground_truth);
+
+    let periods = [
+        MeasurementPeriod::september_2019(),
+        MeasurementPeriod::april_2020(),
+    ];
+    println!("simulating and classifying 2 periods x {n_ases} ASes...");
+    let report = run_survey(
+        &scenario.world,
+        &periods,
+        &eyeballs,
+        &SurveyOptions::default(),
+    );
+
+    println!("\n{}", report.render_text());
+
+    let sep = periods[0].id();
+    let apr = periods[1].id();
+    let before = report.reported_count(sep);
+    let after = report.reported_count(apr);
+    println!(
+        "reported ASes: {before} -> {after} ({:+.0}%; paper: 45 -> 70, +55%)",
+        (after as f64 / before as f64 - 1.0) * 100.0
+    );
+
+    // Which ASes newly crossed the threshold, and how large are they?
+    let newly: Vec<u32> = report
+        .period_rows(apr)
+        .filter(|r| r.class.is_reported())
+        .filter(|r| {
+            report
+                .period_rows(sep)
+                .any(|s| s.asn == r.asn && s.class == CongestionClass::None)
+        })
+        .map(|r| r.asn)
+        .collect();
+    println!("\nASes congested only under lockdown: {}", newly.len());
+    let top1k = newly
+        .iter()
+        .filter(|&&asn| eyeballs.rank_of(asn).is_some_and(|r| r <= 1000))
+        .count();
+    println!("  of which in the top-1000 eyeball ranks: {top1k}");
+
+    println!("\nrank-bucket breakdown in April 2020 (Figure 4 view):");
+    for (bucket, classes) in report.rank_breakdown(apr) {
+        let total: usize = classes.values().sum();
+        let reported: usize = classes
+            .iter()
+            .filter(|(c, _)| c.is_reported())
+            .map(|(_, n)| n)
+            .sum();
+        println!("  {bucket:<14} {total:>4} ASes, {reported:>3} reported");
+    }
+}

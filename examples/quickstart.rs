@@ -1,0 +1,76 @@
+//! Quickstart: detect persistent last-mile congestion in one AS.
+//!
+//! Builds a two-ISP world (one congested legacy-PPPoE network, one clean
+//! fiber network), simulates two weeks of RIPE Atlas built-in traceroutes,
+//! runs the paper's pipeline, and prints the classification — plus a taste
+//! of the Atlas JSON wire format the pipeline also accepts.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lastmile_repro::atlas::json::to_atlas_json;
+use lastmile_repro::core::pipeline::PipelineConfig;
+use lastmile_repro::netsim::world::ProbeSpec;
+use lastmile_repro::netsim::{IspConfig, TracerouteEngine, World};
+use lastmile_repro::runner::{analyze_population, ProbeSelection};
+use lastmile_repro::timebase::{MeasurementPeriod, TimeRange, TzOffset};
+
+fn main() {
+    // 1. A small Internet: a congested and a clean eyeball network.
+    let mut builder = World::builder(42);
+    builder.add_isp(IspConfig::legacy_pppoe(
+        64501,
+        "CongestedNet",
+        "JP",
+        TzOffset::JST,
+        5.0, // 5 ms peak queuing
+    ));
+    builder.add_isp(IspConfig::clean(64502, "CleanFiber", "DE", TzOffset::CET));
+    builder.add_probes(64501, 6, &ProbeSpec::simple());
+    builder.add_probes(64502, 6, &ProbeSpec::simple());
+    let world = builder.build();
+
+    // 2. Run the paper's pipeline over September 2019.
+    let period = MeasurementPeriod::september_2019();
+    println!("analysing period {period} ({} days)\n", period.days());
+    for asn in [64501, 64502] {
+        let analysis = analyze_population(
+            &world,
+            asn,
+            &period,
+            PipelineConfig::paper(),
+            &ProbeSelection::regular(),
+        );
+        let name = &world.as_for(asn).unwrap().config.name;
+        let detection = analysis
+            .detection
+            .as_ref()
+            .expect("population is analysable");
+        println!("AS{asn} ({name}):");
+        println!("  probes used            : {}", analysis.probes_used());
+        println!("  congestion class       : {}", analysis.class());
+        println!(
+            "  daily p2p amplitude    : {:.2} ms",
+            detection.daily_amplitude_ms
+        );
+        println!(
+            "  prominent freq (c/h)   : {:?}",
+            detection.prominent_frequency()
+        );
+        println!(
+            "  peak aggregated delay  : {:.2} ms",
+            analysis.aggregated.max().unwrap_or(0.0)
+        );
+        println!();
+    }
+
+    // 3. The same traceroutes in the RIPE Atlas wire format.
+    let engine = TracerouteEngine::new(&world);
+    let probe = &world.probes()[0];
+    let hour = TimeRange::new(period.start(), period.start() + 3600);
+    if let Some(tr) = engine.probe_traceroutes(probe, &hour).first() {
+        println!(
+            "an Atlas-format traceroute document:\n{}",
+            to_atlas_json(tr, probe.meta.public_addr)
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # lastmile-repro
+//!
+//! Umbrella crate of the reproduction of *"Persistent Last-mile
+//! Congestion: Not so Uncommon"* (IMC 2020): re-exports every workspace
+//! crate and provides the [`runner`] module that wires the simulated
+//! measurement substrate (`lastmile-netsim`, `lastmile-cdnlog`) into the
+//! analysis pipeline (`lastmile-core`) — including the multi-threaded
+//! survey driver used by the §3 experiments.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure.
+
+pub use lastmile_atlas as atlas;
+pub use lastmile_cdnlog as cdnlog;
+pub use lastmile_core as core;
+pub use lastmile_dsp as dsp;
+pub use lastmile_eyeball as eyeball;
+pub use lastmile_netsim as netsim;
+pub use lastmile_prefix as prefix;
+pub use lastmile_stats as stats;
+pub use lastmile_timebase as timebase;
+
+pub mod runner;

@@ -1,0 +1,211 @@
+//! Orchestration: run the paper's analyses over a simulated world.
+//!
+//! The analysis crates are substrate-agnostic (they consume traceroutes
+//! and log records); this module pairs them with the simulator:
+//!
+//! * [`analyze_population`] — one AS (optionally restricted to an area or
+//!   to anchors) over one measurement period: simulate the built-in
+//!   measurements probe by probe, stream them through an
+//!   [`AsPipeline`], return the [`PopulationAnalysis`].
+//! * [`run_survey`] — the §3 loop: every AS × every period, parallelised
+//!   across worker threads with deterministic results (the simulation is
+//!   seed-addressed, so thread scheduling cannot change any value).
+//! * [`eyeballs_from_ground_truth`] — an [`EyeballRegistry`] carrying the
+//!   survey scenario's synthetic APNIC ranks and countries.
+
+use lastmile_core::detect::CongestionClass;
+use lastmile_core::pipeline::{AsPipeline, PipelineConfig, PopulationAnalysis};
+use lastmile_core::report::{AsClassification, SurveyReport};
+use lastmile_eyeball::{EyeballEntry, EyeballRegistry};
+use lastmile_netsim::scenarios::AsGroundTruth;
+use lastmile_netsim::{SimProbe, TracerouteEngine, World};
+use lastmile_prefix::Asn;
+use lastmile_timebase::MeasurementPeriod;
+
+/// Which probes of an AS a population analysis uses.
+#[derive(Clone, Debug, Default)]
+pub struct ProbeSelection {
+    /// Restrict to probes tagged with this area (e.g. `"Tokyo"`, §4).
+    pub area: Option<String>,
+    /// `false` (default): regular probes only, anchors excluded (§2);
+    /// `true`: anchors only (Appendix B's comparison).
+    pub anchors_only: bool,
+}
+
+impl ProbeSelection {
+    /// Regular probes anywhere in the AS.
+    pub fn regular() -> ProbeSelection {
+        ProbeSelection::default()
+    }
+
+    /// Regular probes within an area.
+    pub fn in_area(area: &str) -> ProbeSelection {
+        ProbeSelection {
+            area: Some(area.to_string()),
+            anchors_only: false,
+        }
+    }
+
+    /// Anchors only.
+    pub fn anchors() -> ProbeSelection {
+        ProbeSelection {
+            area: None,
+            anchors_only: true,
+        }
+    }
+
+    fn matches(&self, probe: &SimProbe) -> bool {
+        if probe.meta.is_anchor != self.anchors_only {
+            return false;
+        }
+        match &self.area {
+            Some(a) => probe.meta.in_area(a),
+            None => true,
+        }
+    }
+}
+
+/// Analyse one AS population over one measurement period.
+pub fn analyze_population(
+    world: &World,
+    asn: Asn,
+    period: &MeasurementPeriod,
+    cfg: PipelineConfig,
+    selection: &ProbeSelection,
+) -> PopulationAnalysis {
+    let engine = TracerouteEngine::new(world);
+    let mut pipeline = AsPipeline::new(cfg, period.range());
+    for probe in world.probes_in(asn) {
+        if !selection.matches(probe) {
+            continue;
+        }
+        engine.for_each_traceroute(probe, &period.range(), |tr| pipeline.ingest(&tr));
+    }
+    pipeline.finish()
+}
+
+/// Survey driver options.
+#[derive(Clone, Debug)]
+pub struct SurveyOptions {
+    /// Pipeline parameters.
+    pub pipeline: PipelineConfig,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl Default for SurveyOptions {
+    fn default() -> Self {
+        SurveyOptions {
+            pipeline: PipelineConfig::paper(),
+            threads: 0,
+        }
+    }
+}
+
+/// Run the §3 survey: classify every AS of the world in every period.
+///
+/// `eyeballs` supplies rank/country annotations for the report (pass an
+/// empty registry to skip them).
+pub fn run_survey(
+    world: &World,
+    periods: &[MeasurementPeriod],
+    eyeballs: &EyeballRegistry,
+    options: &SurveyOptions,
+) -> SurveyReport {
+    let asns: Vec<Asn> = world.ases().iter().map(|a| a.config.asn).collect();
+    let threads = if options.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        options.threads
+    };
+    let chunk = asns.len().div_ceil(threads.max(1)).max(1);
+
+    let mut rows: Vec<AsClassification> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = asns
+            .chunks(chunk)
+            .map(|asn_chunk| {
+                let pipeline_cfg = options.pipeline.clone();
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    for &asn in asn_chunk {
+                        for period in periods {
+                            let analysis = analyze_population(
+                                world,
+                                asn,
+                                period,
+                                pipeline_cfg.clone(),
+                                &ProbeSelection::regular(),
+                            );
+                            local.push(classify_row(asn, period, &analysis, eyeballs));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            rows.extend(h.join().expect("survey worker panicked"));
+        }
+    })
+    .expect("survey scope failed");
+
+    // Deterministic row order regardless of thread count.
+    rows.sort_by_key(|r| (r.asn, r.period));
+    let mut report = SurveyReport::new();
+    for row in rows {
+        report.push(row);
+    }
+    report
+}
+
+/// Turn one population analysis into a report row.
+pub fn classify_row(
+    asn: Asn,
+    period: &MeasurementPeriod,
+    analysis: &PopulationAnalysis,
+    eyeballs: &EyeballRegistry,
+) -> AsClassification {
+    let detection = analysis.detection.as_ref();
+    AsClassification {
+        asn,
+        period: period.id(),
+        class: analysis.class(),
+        daily_amplitude_ms: detection.map(|d| d.daily_amplitude_ms).unwrap_or(0.0),
+        prominent_frequency: detection.and_then(|d| d.prominent_frequency()),
+        prominent_is_daily: detection.map(|d| d.prominent_is_daily).unwrap_or(false),
+        probes: analysis.probes_used(),
+        country: eyeballs.country_of(asn).map(str::to_string),
+        rank: eyeballs.rank_of(asn),
+    }
+}
+
+/// Build an eyeball registry from survey ground truth (synthetic APNIC
+/// ranks assigned by the scenario).
+pub fn eyeballs_from_ground_truth(truth: &[AsGroundTruth]) -> EyeballRegistry {
+    let mut reg = EyeballRegistry::new();
+    for g in truth {
+        reg.insert(EyeballEntry {
+            asn: g.asn,
+            rank: g.rank,
+            population: (2.0e8 / f64::from(g.rank).powf(0.85)).max(500.0) as u64,
+            country: g.country.clone(),
+        });
+    }
+    reg
+}
+
+/// Convenience: does the detected class match the scenario's planted
+/// class *band*, allowing one class of drift (borderline amplitudes move
+/// between adjacent classes period to period — the churn §3.1 describes)?
+pub fn class_within_one(detected: CongestionClass, planted: CongestionClass) -> bool {
+    let idx = |c: CongestionClass| match c {
+        CongestionClass::None => 0i32,
+        CongestionClass::Low => 1,
+        CongestionClass::Mild => 2,
+        CongestionClass::Severe => 3,
+    };
+    (idx(detected) - idx(planted)).abs() <= 1
+}

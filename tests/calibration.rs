@@ -1,0 +1,49 @@
+//! Pins the simulator→detector amplitude calibration.
+//!
+//! Scenario ground truth is written in *detected* daily peak-to-peak
+//! amplitude; the simulator dial is peak queuing delay. The conversion
+//! constant `PEAK_DELAY_PER_AMPLITUDE` was measured by
+//! `examples/calibrate.rs`; this test fails if a change to the demand
+//! model, queue law, engine noise, or Welch normalization silently shifts
+//! the calibration.
+
+use lastmile_repro::core::pipeline::PipelineConfig;
+use lastmile_repro::netsim::scenarios::PEAK_DELAY_PER_AMPLITUDE;
+use lastmile_repro::netsim::world::ProbeSpec;
+use lastmile_repro::netsim::{IspConfig, World};
+use lastmile_repro::runner::{analyze_population, ProbeSelection};
+use lastmile_repro::timebase::{MeasurementPeriod, TzOffset};
+
+#[test]
+fn amplitude_calibration_holds() {
+    let period = MeasurementPeriod::september_2019();
+    let peak = 4.0;
+    let mut ratios = Vec::new();
+    for seed in [1u64, 2] {
+        let mut b = World::builder(seed);
+        b.add_isp(IspConfig::legacy_pppoe(
+            65001,
+            "CAL",
+            "JP",
+            TzOffset::JST,
+            peak,
+        ));
+        b.add_probes(65001, 8, &ProbeSpec::simple());
+        let w = b.build();
+        let analysis = analyze_population(
+            &w,
+            65001,
+            &period,
+            PipelineConfig::paper(),
+            &ProbeSelection::regular(),
+        );
+        let d = analysis.detection.expect("detection must run");
+        assert!(d.prominent_is_daily, "calibration signal must be daily");
+        ratios.push(peak / d.daily_amplitude_ms);
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(
+        (mean / PEAK_DELAY_PER_AMPLITUDE - 1.0).abs() < 0.15,
+        "measured ratio {mean:.3} drifted from pinned constant {PEAK_DELAY_PER_AMPLITUDE}"
+    );
+}

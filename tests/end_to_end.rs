@@ -1,0 +1,197 @@
+//! End-to-end pipeline checks on small worlds: traceroute generation →
+//! estimation → binning → aggregation → detection, with known ground
+//! truth.
+
+use lastmile_repro::core::detect::CongestionClass;
+use lastmile_repro::core::pipeline::PipelineConfig;
+use lastmile_repro::netsim::scenarios::anchor::{anchor_world, ISP_D_ASN};
+use lastmile_repro::netsim::world::ProbeSpec;
+use lastmile_repro::netsim::{IspConfig, World};
+use lastmile_repro::runner::{analyze_population, ProbeSelection};
+use lastmile_repro::timebase::{MeasurementPeriod, TzOffset};
+
+fn two_isp_world(seed: u64, congested_peak_ms: f64) -> World {
+    let mut b = World::builder(seed);
+    b.add_isp(IspConfig::legacy_pppoe(
+        65001,
+        "HOT",
+        "JP",
+        TzOffset::JST,
+        congested_peak_ms,
+    ));
+    b.add_isp(IspConfig::clean(65002, "COLD", "DE", TzOffset::CET));
+    b.add_probes(65001, 6, &ProbeSpec::simple());
+    b.add_probes(65002, 6, &ProbeSpec::simple());
+    b.build()
+}
+
+#[test]
+fn congested_as_is_detected_and_clean_as_is_not() {
+    let w = two_isp_world(42, 8.0);
+    let period = MeasurementPeriod::september_2019();
+    let hot = analyze_population(
+        &w,
+        65001,
+        &period,
+        PipelineConfig::paper(),
+        &ProbeSelection::regular(),
+    );
+    let cold = analyze_population(
+        &w,
+        65002,
+        &period,
+        PipelineConfig::paper(),
+        &ProbeSelection::regular(),
+    );
+
+    let hot_detection = hot.detection.as_ref().expect("hot AS must be analysable");
+    assert!(
+        hot_detection.prominent_is_daily,
+        "congestion must appear as a daily pattern"
+    );
+    assert_eq!(
+        hot.class(),
+        CongestionClass::Severe,
+        "amp {}",
+        hot_detection.daily_amplitude_ms
+    );
+
+    assert_eq!(cold.class(), CongestionClass::None);
+    // The clean AS's daily amplitude is far below the reporting threshold.
+    if let Some(d) = &cold.detection {
+        assert!(
+            d.daily_amplitude_ms < 0.3,
+            "clean AS amplitude {}",
+            d.daily_amplitude_ms
+        );
+    }
+}
+
+#[test]
+fn aggregated_delay_peaks_in_local_evening() {
+    let w = two_isp_world(7, 6.0);
+    let period = MeasurementPeriod::september_2019();
+    let hot = analyze_population(
+        &w,
+        65001,
+        &period,
+        PipelineConfig::paper(),
+        &ProbeSelection::regular(),
+    );
+    // Compare the weekly fold at JST evening (21:00 = hour 12 UTC) vs
+    // early morning (04:00 JST = 19:00 UTC).
+    let folded = hot.aggregated.fold_weekly();
+    assert!(!folded.is_empty());
+    let mean_at_utc_hour = |h: f64| {
+        let vals: Vec<f64> = folded
+            .iter()
+            .filter(|(hours, _)| (hours % 24.0 - h).abs() < 0.26)
+            .map(|&(_, v)| v)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    let evening = mean_at_utc_hour(12.0);
+    let night = mean_at_utc_hour(19.0);
+    assert!(
+        evening > night + 1.0,
+        "evening {evening:.2} vs night {night:.2}"
+    );
+}
+
+#[test]
+fn anchors_stay_flat_while_probes_congest() {
+    // Appendix B (Figure 8): same AS, probes vs anchor.
+    let w = anchor_world(3);
+    let period = MeasurementPeriod::september_2019();
+
+    let probes = analyze_population(
+        &w,
+        ISP_D_ASN,
+        &period,
+        PipelineConfig::paper(),
+        &ProbeSelection::regular(),
+    );
+    assert_eq!(probes.class(), CongestionClass::Severe);
+    assert!(
+        probes.aggregated.max().unwrap() > 10.0,
+        "ISP_D probes peak in the tens of ms"
+    );
+
+    // The single anchor: not enough probes for detection by design, but
+    // its aggregated signal must be essentially flat near zero.
+    let mut cfg = PipelineConfig::paper();
+    cfg.min_probes = 1;
+    cfg.min_probes_per_bin = 1;
+    let anchor = analyze_population(&w, ISP_D_ASN, &period, cfg, &ProbeSelection::anchors());
+    assert_eq!(anchor.probes_used(), 1);
+    let max = anchor.aggregated.max().expect("anchor has data");
+    assert!(
+        max < 1.0,
+        "anchor max queuing delay {max:.3} ms must stay flat"
+    );
+}
+
+#[test]
+fn area_selection_restricts_probes() {
+    let mut b = World::builder(5);
+    b.add_isp(IspConfig::clean(65001, "X", "JP", TzOffset::JST));
+    b.add_probes(65001, 4, &ProbeSpec::simple().in_area("Tokyo"));
+    b.add_probes(65001, 3, &ProbeSpec::simple().in_area("Osaka"));
+    let w = b.build();
+    let period = MeasurementPeriod::september_2019();
+    let tokyo = analyze_population(
+        &w,
+        65001,
+        &period,
+        PipelineConfig::paper(),
+        &ProbeSelection::in_area("Tokyo"),
+    );
+    assert_eq!(tokyo.probes_used(), 4);
+    let all = analyze_population(
+        &w,
+        65001,
+        &period,
+        PipelineConfig::paper(),
+        &ProbeSelection::regular(),
+    );
+    assert_eq!(all.probes_used(), 7);
+}
+
+#[test]
+fn covid_amplification_changes_class() {
+    // An AS that is Low in normal times and Mild+ under lockdown.
+    let mut b = World::builder(11);
+    b.add_isp(
+        IspConfig::legacy_pppoe(65001, "COVID", "US", TzOffset::US_EASTERN, 1.8)
+            .with_lockdown_factor(3.0),
+    );
+    b.add_probes(65001, 6, &ProbeSpec::simple());
+    let w = b.lockdown(MeasurementPeriod::april_2020().range()).build();
+
+    let normal = analyze_population(
+        &w,
+        65001,
+        &MeasurementPeriod::september_2019(),
+        PipelineConfig::paper(),
+        &ProbeSelection::regular(),
+    );
+    let covid = analyze_population(
+        &w,
+        65001,
+        &MeasurementPeriod::april_2020(),
+        PipelineConfig::paper(),
+        &ProbeSelection::regular(),
+    );
+    let normal_amp = normal.detection.as_ref().unwrap().daily_amplitude_ms;
+    let covid_amp = covid.detection.as_ref().unwrap().daily_amplitude_ms;
+    assert!(
+        covid_amp > normal_amp * 2.0,
+        "lockdown must amplify: {normal_amp:.2} -> {covid_amp:.2}"
+    );
+    assert!(
+        covid.class() > normal.class(),
+        "{:?} -> {:?}",
+        normal.class(),
+        covid.class()
+    );
+}

@@ -1,0 +1,168 @@
+//! Property-based tests over the end-to-end pipeline: invariants that
+//! must hold for *any* input the simulator (or the real Atlas platform)
+//! could produce.
+
+use lastmile_repro::atlas::{Hop, ProbeId, Reply, TracerouteResult};
+use lastmile_repro::core::aggregate::aggregate_median;
+use lastmile_repro::core::estimator::last_mile_samples;
+use lastmile_repro::core::pipeline::{AsPipeline, PipelineConfig};
+use lastmile_repro::core::series::ProbeSeriesBuilder;
+use lastmile_repro::timebase::{BinSpec, TimeRange, UnixTime};
+use proptest::prelude::*;
+use std::net::IpAddr;
+
+fn ip(s: &str) -> IpAddr {
+    s.parse().unwrap()
+}
+
+/// Strategy: a plausible traceroute with 1..4 private hops then 0..3
+/// public hops, arbitrary RTTs, occasional timeouts.
+fn arb_traceroute(probe: u32) -> impl Strategy<Value = TracerouteResult> {
+    let reply = prop_oneof![
+        4 => (0.01f64..200.0).prop_map(Some),
+        1 => Just(None),
+    ];
+    let private_hop = prop::collection::vec(reply.clone(), 1..=3).prop_map(|rtts| Hop {
+        hop: 0,
+        replies: rtts
+            .into_iter()
+            .map(|r| match r {
+                Some(rtt) => Reply::answered(ip("192.168.1.1"), rtt),
+                None => Reply::timeout(),
+            })
+            .collect(),
+    });
+    let public_hop = prop::collection::vec(reply, 1..=3).prop_map(|rtts| Hop {
+        hop: 0,
+        replies: rtts
+            .into_iter()
+            .map(|r| match r {
+                Some(rtt) => Reply::answered(ip("20.0.0.1"), rtt),
+                None => Reply::timeout(),
+            })
+            .collect(),
+    });
+    (
+        prop::collection::vec(private_hop, 1..4),
+        prop::collection::vec(public_hop, 0..3),
+        0i64..86_400,
+    )
+        .prop_map(move |(private, public, t)| {
+            let mut hops: Vec<Hop> = private.into_iter().chain(public).collect();
+            for (i, h) in hops.iter_mut().enumerate() {
+                h.hop = (i + 1) as u8;
+            }
+            TracerouteResult {
+                probe: ProbeId(probe),
+                msm_id: 5001,
+                timestamp: UnixTime::from_secs(t),
+                dst: ip("20.9.9.9"),
+                src: ip("192.168.1.10"),
+                hops,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The estimator yields at most 9 samples, and each sample is the
+    /// difference of an answered public and an answered private RTT.
+    #[test]
+    fn estimator_sample_bounds(tr in arb_traceroute(1)) {
+        let samples = last_mile_samples(&tr);
+        prop_assert!(samples.len() <= 9);
+        if let (Some(private), Some(public)) = (tr.last_private_hop(), tr.first_public_hop()) {
+            let np = private.rtts().count();
+            let nq = public.rtts().count();
+            prop_assert_eq!(samples.len(), np * nq);
+            let lo = public.rtts().fold(f64::INFINITY, f64::min)
+                - private.rtts().fold(f64::NEG_INFINITY, f64::max);
+            let hi = public.rtts().fold(f64::NEG_INFINITY, f64::max)
+                - private.rtts().fold(f64::INFINITY, f64::min);
+            for &s in &samples {
+                prop_assert!(s >= lo - 1e-9 && s <= hi + 1e-9);
+            }
+        } else {
+            prop_assert!(samples.is_empty());
+        }
+    }
+
+    /// Queuing delay is non-negative and its minimum is exactly zero
+    /// whenever the series is non-empty.
+    #[test]
+    fn queuing_delay_minimum_is_zero(trs in prop::collection::vec(arb_traceroute(7), 1..120)) {
+        let mut b = ProbeSeriesBuilder::new(ProbeId(7), BinSpec::thirty_minutes(), 1);
+        for tr in &trs {
+            b.ingest(tr);
+        }
+        let q = b.finish().queuing_delay();
+        if !q.is_empty() {
+            let mut min = f64::INFINITY;
+            for (_, v) in q.iter() {
+                prop_assert!(v >= -1e-12, "negative queuing delay {}", v);
+                min = min.min(v);
+            }
+            prop_assert!(min.abs() < 1e-12, "minimum must be zero, got {}", min);
+        }
+    }
+
+    /// The aggregated median lies within the envelope of the per-probe
+    /// values for every bin.
+    #[test]
+    fn aggregate_is_bounded_by_inputs(
+        all_trs in prop::collection::vec(
+            (1u32..5, prop::collection::vec(arb_traceroute(0), 1..40)),
+            1..4
+        )
+    ) {
+        let bin = BinSpec::thirty_minutes();
+        let series: Vec<_> = all_trs
+            .iter()
+            .map(|(probe, trs)| {
+                let mut b = ProbeSeriesBuilder::new(ProbeId(*probe), bin, 1);
+                for tr in trs {
+                    let mut tr = tr.clone();
+                    tr.probe = ProbeId(*probe);
+                    b.ingest(&tr);
+                }
+                b.finish().queuing_delay()
+            })
+            .collect();
+        let range = TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(86_400));
+        let agg = aggregate_median(&series, &range, bin, 1);
+        for (start, v) in agg.iter() {
+            let Some(v) = v else { continue };
+            let idx = bin.bin_index(start);
+            let inputs: Vec<f64> = series.iter().filter_map(|s| s.get(idx)).collect();
+            prop_assert!(!inputs.is_empty());
+            let lo = inputs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = inputs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "{} not in [{}, {}]", v, lo, hi);
+        }
+    }
+
+    /// The pipeline never panics on arbitrary traceroute soup, and its
+    /// outputs are structurally sane.
+    #[test]
+    fn pipeline_total_function(
+        trs in prop::collection::vec((1u32..6, arb_traceroute(0)), 0..150)
+    ) {
+        let period = TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(86_400));
+        let mut p = AsPipeline::new(PipelineConfig::paper(), period);
+        for (probe, tr) in &trs {
+            let mut tr = tr.clone();
+            tr.probe = ProbeId(*probe);
+            p.ingest(&tr);
+        }
+        let analysis = p.finish();
+        prop_assert!(analysis.probes_used() <= 5);
+        prop_assert!(analysis.aggregated.coverage() >= 0.0);
+        prop_assert!(analysis.aggregated.coverage() <= 1.0);
+        for (_, v) in analysis.aggregated.iter() {
+            if let Some(v) = v {
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The §3 survey at reduced scale: detection quality against planted
+//! ground truth, the COVID-19 jump, and rank/geography rollups.
+//!
+//! (The paper-scale 646-AS × 7-period survey runs in the experiment
+//! harness, `lastmile-experiments`; here a 60-AS world keeps the test
+//! suite fast while exercising the identical code path.)
+
+use lastmile_repro::core::detect::CongestionClass;
+use lastmile_repro::netsim::scenarios::survey::{survey_world, SurveyConfig};
+use lastmile_repro::netsim::scenarios::GroundTruthClass;
+use lastmile_repro::runner::{
+    class_within_one, eyeballs_from_ground_truth, run_survey, SurveyOptions,
+};
+use lastmile_repro::timebase::MeasurementPeriod;
+
+fn planted_to_class(g: GroundTruthClass) -> CongestionClass {
+    match g {
+        GroundTruthClass::NoDaily | GroundTruthClass::WeakDaily => CongestionClass::None,
+        GroundTruthClass::Low => CongestionClass::Low,
+        GroundTruthClass::Mild => CongestionClass::Mild,
+        GroundTruthClass::Severe => CongestionClass::Severe,
+    }
+}
+
+#[test]
+fn survey_recovers_ground_truth_and_covid_jump() {
+    let scenario = survey_world(&SurveyConfig::test_scale(2020, 60));
+    let eyeballs = eyeballs_from_ground_truth(&scenario.ground_truth);
+    let periods = [
+        MeasurementPeriod::september_2019(),
+        MeasurementPeriod::april_2020(),
+    ];
+    let report = run_survey(
+        &scenario.world,
+        &periods,
+        &eyeballs,
+        &SurveyOptions::default(),
+    );
+
+    let sep = MeasurementPeriod::september_2019().id();
+    let apr = MeasurementPeriod::april_2020().id();
+    assert_eq!(report.monitored(sep), 60);
+    assert_eq!(report.monitored(apr), 60);
+
+    // --- Detection quality: within one class of the planted truth for
+    // the overwhelming majority, and exact for most.
+    let mut within_one = 0usize;
+    let mut exact = 0usize;
+    for row in report.period_rows(sep) {
+        let truth = scenario.truth_for(row.asn).expect("truth exists");
+        let planted = planted_to_class(truth.class);
+        if row.class == planted {
+            exact += 1;
+        }
+        if class_within_one(row.class, planted) {
+            within_one += 1;
+        }
+    }
+    assert!(within_one >= 57, "within-one {within_one}/60");
+    assert!(exact >= 48, "exact {exact}/60");
+
+    // --- Reported counts grow under lockdown (the paper: +55%).
+    let normal = report.reported_count(sep);
+    let covid = report.reported_count(apr);
+    assert!(normal >= 5, "normal reported {normal}");
+    assert!(
+        covid as f64 >= normal as f64 * 1.25,
+        "lockdown must lift reported ASes: {normal} -> {covid}"
+    );
+
+    // --- ~90% of ASes are None in normal times.
+    let none_fraction = 1.0 - normal as f64 / 60.0;
+    assert!(none_fraction > 0.75, "None fraction {none_fraction:.2}");
+
+    // --- Severe ASes detected in normal times sit in large eyeballs.
+    // (Planted Severe is top-1000; borderline Mild ASes drifting into
+    // Severe extend the range to the planted Mild ceiling of 2500.)
+    let severe_ranks: Vec<u32> = report
+        .period_rows(sep)
+        .filter(|r| r.class == CongestionClass::Severe)
+        .map(|r| r.rank.unwrap())
+        .collect();
+    assert!(!severe_ranks.is_empty());
+    assert!(severe_ranks.iter().all(|&r| r <= 2500), "{severe_ranks:?}");
+    assert!(severe_ranks.iter().any(|&r| r <= 1000), "{severe_ranks:?}");
+
+    // --- The daily component dominates reported ASes.
+    for row in report.period_rows(sep) {
+        if row.class.is_reported() {
+            assert!(
+                row.prominent_is_daily,
+                "reported AS{} must be daily",
+                row.asn
+            );
+        }
+    }
+}
+
+#[test]
+fn survey_is_deterministic_across_thread_counts() {
+    let scenario = survey_world(&SurveyConfig::test_scale(7, 24));
+    let eyeballs = eyeballs_from_ground_truth(&scenario.ground_truth);
+    let periods = [MeasurementPeriod::september_2019()];
+    let one = run_survey(
+        &scenario.world,
+        &periods,
+        &eyeballs,
+        &SurveyOptions {
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let many = run_survey(
+        &scenario.world,
+        &periods,
+        &eyeballs,
+        &SurveyOptions {
+            threads: 6,
+            ..Default::default()
+        },
+    );
+    assert_eq!(one.rows().len(), many.rows().len());
+    for (a, b) in one.rows().iter().zip(many.rows()) {
+        assert_eq!(a.asn, b.asn);
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.daily_amplitude_ms, b.daily_amplitude_ms);
+    }
+}
+
+#[test]
+fn amplitude_cdf_reflects_planted_mix() {
+    let scenario = survey_world(&SurveyConfig::test_scale(99, 60));
+    let eyeballs = eyeballs_from_ground_truth(&scenario.ground_truth);
+    let periods = [MeasurementPeriod::september_2019()];
+    let report = run_survey(
+        &scenario.world,
+        &periods,
+        &eyeballs,
+        &SurveyOptions::default(),
+    );
+    let cdf = report.daily_amplitude_cdf(MeasurementPeriod::september_2019().id());
+    assert!(cdf.len() >= 20, "daily ASes in CDF: {}", cdf.len());
+    // Most daily ASes are below the 0.5 ms reporting threshold (the paper:
+    // ~83%), and a tail above 3 ms exists.
+    let below = cdf.fraction_at_or_below(0.5);
+    assert!(
+        (0.6..0.97).contains(&below),
+        "below-threshold fraction {below:.2}"
+    );
+    assert!(
+        cdf.values().last().copied().unwrap() > 2.0,
+        "a severe tail must exist"
+    );
+}

@@ -1,0 +1,213 @@
+//! The §4 Tokyo case study, end to end: delays (Fig. 5), CDN throughput
+//! (Fig. 6), delay–throughput correlation (Fig. 7), and the IPv4/IPv6
+//! comparison (Fig. 9 / Appendix C).
+
+use lastmile_repro::cdnlog::{
+    binned_median_throughput, CdnGeneratorConfig, CdnLogGenerator, LogFilter,
+};
+use lastmile_repro::core::correlate::{
+    delay_throughput_rho, join_by_time, max_throughput_above_delay,
+};
+use lastmile_repro::core::pipeline::{PipelineConfig, PopulationAnalysis};
+use lastmile_repro::netsim::scenarios::tokyo::*;
+use lastmile_repro::netsim::ServiceClass;
+use lastmile_repro::runner::{analyze_population, ProbeSelection};
+use lastmile_repro::stats::median;
+use lastmile_repro::timebase::{BinSpec, MeasurementPeriod};
+
+fn tokyo_analysis(asn: u32) -> PopulationAnalysis {
+    let w = tokyo_world(20190919);
+    analyze_population(
+        &w,
+        asn,
+        &MeasurementPeriod::tokyo_cdn_2019(),
+        PipelineConfig::paper(),
+        &ProbeSelection::in_area("Tokyo"),
+    )
+}
+
+#[test]
+fn fig5_legacy_isps_show_peak_delay_isp_c_stays_stable() {
+    let a = tokyo_analysis(ISP_A_ASN);
+    let b = tokyo_analysis(ISP_B_ASN);
+    let c = tokyo_analysis(ISP_C_ASN);
+    assert_eq!(a.probes_used(), 8);
+    assert_eq!(b.probes_used(), 5);
+    assert_eq!(c.probes_used(), 8);
+
+    let max_a = a.aggregated.max().unwrap();
+    let max_b = b.aggregated.max().unwrap();
+    let max_c = c.aggregated.max().unwrap();
+    assert!(max_a > 2.0, "ISP_A peak {max_a:.2}");
+    assert!(max_b > 1.5, "ISP_B peak {max_b:.2}");
+    // "by an order of magnitude lower" for ISP_C.
+    assert!(max_c < max_a / 5.0, "ISP_C {max_c:.2} vs ISP_A {max_a:.2}");
+}
+
+/// Shared setup for the throughput-side tests.
+fn throughput_series(
+    asn: u32,
+    class: ServiceClass,
+    filter: LogFilter,
+) -> Vec<(lastmile_repro::timebase::UnixTime, f64)> {
+    let w = tokyo_world(20190919);
+    let gen = CdnLogGenerator::new(&w, CdnGeneratorConfig::test_scale(99));
+    let period = MeasurementPeriod::tokyo_cdn_2019();
+    let logs = gen.generate(asn, class, &period.range());
+    let kept: Vec<_> = filter.apply(&logs, w.registry()).cloned().collect();
+    binned_median_throughput(kept.iter(), BinSpec::fifteen_minutes())
+}
+
+fn jst_peak_vs_night(series: &[(lastmile_repro::timebase::UnixTime, f64)]) -> (f64, f64) {
+    let med_at = |hour: u8| {
+        let vals: Vec<f64> = series
+            .iter()
+            .filter(|(t, _)| t.hour_of_day() == hour)
+            .map(|&(_, v)| v)
+            .collect();
+        median(&vals).expect("bins exist at this hour")
+    };
+    (med_at(12), med_at(19)) // 21:00 JST vs 04:00 JST
+}
+
+#[test]
+fn fig6_broadband_halves_at_peak_mobile_stays_above_20() {
+    // ISP_A broadband: throughput during peak hours is less than half.
+    let a = throughput_series(
+        ISP_A_ASN,
+        ServiceClass::BroadbandV4,
+        LogFilter::paper_broadband(),
+    );
+    let (peak, night) = jst_peak_vs_night(&a);
+    assert!(
+        peak < night / 2.0,
+        "ISP_A broadband peak {peak:.1} vs night {night:.1}"
+    );
+
+    // Mobile (different AS for ISP_A) stays above 20 Mbps at all hours.
+    let m = throughput_series(ISP_A_ASN, ServiceClass::Mobile, LogFilter::paper_mobile());
+    let min_mobile = m.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+    assert!(min_mobile > 20.0, "mobile minimum median {min_mobile:.1}");
+
+    // ISP_C broadband: no significant daily drop.
+    let c = throughput_series(
+        ISP_C_ASN,
+        ServiceClass::BroadbandV4,
+        LogFilter::paper_broadband(),
+    );
+    let (peak_c, night_c) = jst_peak_vs_night(&c);
+    assert!(
+        peak_c > night_c * 0.75,
+        "ISP_C peak {peak_c:.1} vs night {night_c:.1}"
+    );
+}
+
+#[test]
+fn fig7_spearman_contrast() {
+    // Delay side.
+    let delay_a = tokyo_analysis(ISP_A_ASN).aggregated;
+    let delay_c = tokyo_analysis(ISP_C_ASN).aggregated;
+    // Throughput side.
+    let thr_a = throughput_series(
+        ISP_A_ASN,
+        ServiceClass::BroadbandV4,
+        LogFilter::paper_broadband(),
+    );
+    let thr_c = throughput_series(
+        ISP_C_ASN,
+        ServiceClass::BroadbandV4,
+        LogFilter::paper_broadband(),
+    );
+
+    let pairs_a = join_by_time(&delay_a, thr_a);
+    let pairs_c = join_by_time(&delay_c, thr_c);
+    assert!(pairs_a.len() > 300, "join produced {} pairs", pairs_a.len());
+
+    let rho_a = delay_throughput_rho(&pairs_a).unwrap();
+    let rho_c = delay_throughput_rho(&pairs_c).unwrap();
+    // Paper: rho = -0.6 for ISP_A, 0.0 for ISP_C.
+    assert!(rho_a < -0.4, "ISP_A rho {rho_a:.2}");
+    assert!(rho_c.abs() < 0.25, "ISP_C rho {rho_c:.2}");
+
+    // "we always observe low throughput when aggregated delay is above 1ms"
+    let night_max = pairs_a
+        .iter()
+        .map(|&(_, t)| t)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let above_1ms = max_throughput_above_delay(&pairs_a, 1.0).unwrap();
+    assert!(
+        above_1ms < night_max * 0.75,
+        "throughput above 1ms delay ({above_1ms:.1}) vs best ({night_max:.1})"
+    );
+}
+
+#[test]
+fn fig9_ipv6_avoids_the_peak_hour_drop() {
+    for asn in [ISP_A_ASN, ISP_B_ASN] {
+        let v4 = throughput_series(
+            asn,
+            ServiceClass::BroadbandV4,
+            LogFilter::paper_broadband().family(false),
+        );
+        let v6 = throughput_series(
+            asn,
+            ServiceClass::BroadbandV6,
+            LogFilter {
+                exclude_mobile: false,
+                ..LogFilter::paper_broadband()
+            }
+            .family(true),
+        );
+        let (v4_peak, _) = jst_peak_vs_night(&v4);
+        let (v6_peak, v6_night) = jst_peak_vs_night(&v6);
+        assert!(
+            v6_peak > v4_peak * 1.5,
+            "AS{asn}: v6 peak {v6_peak:.1} vs v4 peak {v4_peak:.1}"
+        );
+        assert!(
+            v6_peak > v6_night * 0.75,
+            "AS{asn}: v6 itself must not degrade"
+        );
+    }
+    // ISP_C: v4 and v6 comparable.
+    let v4 = throughput_series(
+        ISP_C_ASN,
+        ServiceClass::BroadbandV4,
+        LogFilter::paper_broadband().family(false),
+    );
+    let v6 = throughput_series(
+        ISP_C_ASN,
+        ServiceClass::BroadbandV6,
+        LogFilter {
+            exclude_mobile: false,
+            ..LogFilter::paper_broadband()
+        }
+        .family(true),
+    );
+    let (v4_peak, _) = jst_peak_vs_night(&v4);
+    let (v6_peak, _) = jst_peak_vs_night(&v6);
+    let ratio = v6_peak / v4_peak;
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "ISP_C v6/v4 peak ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn mobile_filter_separates_populations() {
+    // A mixed log feed (broadband + nothing else on the broadband ASN)
+    // must lose its mobile entries in the broadband view. ISP_A's mobile
+    // service lives on its own ASN, so here we check via the mobile ASN's
+    // prefix role instead.
+    let w = tokyo_world(20190919);
+    let gen = CdnLogGenerator::new(&w, CdnGeneratorConfig::test_scale(99));
+    let period = MeasurementPeriod::tokyo_cdn_2019();
+    let mobile_logs = gen.generate(ISP_A_ASN, ServiceClass::Mobile, &period.range());
+    assert!(!mobile_logs.is_empty());
+    let broadband_view = LogFilter::paper_broadband();
+    let kept = broadband_view.apply(&mobile_logs, w.registry()).count();
+    assert_eq!(
+        kept, 0,
+        "mobile clients must be filtered out of the broadband view"
+    );
+}
