@@ -6,15 +6,21 @@ use crate::input::{group_by_asn, load_probes, resolve_window, stream_traceroutes
 use crate::Flags;
 use lastmile_repro::atlas::ProbeId;
 use lastmile_repro::core::pipeline::{AsPipeline, PipelineConfig, PopulationAnalysis};
+use lastmile_repro::obs::{RunMetrics, StageTimer};
 use lastmile_repro::prefix::Asn;
+use lastmile_repro::runner::record_population_metrics;
 use lastmile_repro::timebase::UnixTime;
 use std::collections::BTreeMap;
 
 /// Shared plumbing for `classify` and `hygiene`: stream the file (twice —
 /// once for the time span, once for the analysis) and return one
 /// [`PopulationAnalysis`] per ASN (ASN 0 = "all probes" when no metadata
-/// is given).
-pub fn analyze_file(flags: &Flags) -> Result<Vec<(Asn, PopulationAnalysis)>, String> {
+/// is given). When `metrics` is given, pipeline counters and stage
+/// timings are accumulated into it.
+pub fn analyze_file(
+    flags: &Flags,
+    metrics: Option<&RunMetrics>,
+) -> Result<Vec<(Asn, PopulationAnalysis)>, String> {
     let path = flags.required("traceroutes")?;
     let probes = flags.optional("probes").map(load_probes).transpose()?;
     let bgp = flags.optional("bgp").map(load_table).transpose()?;
@@ -53,6 +59,7 @@ pub fn analyze_file(flags: &Flags) -> Result<Vec<(Asn, PopulationAnalysis)>, Str
     // the BGP table maps the first public hop (the paper's ISP edge) to
     // its origin ASN; otherwise everything is one population (ASN 0).
     let mut pipelines: BTreeMap<Asn, AsPipeline> = BTreeMap::new();
+    let ingest_timer = StageTimer::start();
     stream_traceroutes(path, |tr| {
         let asn = match (&probe_to_asn, &bgp) {
             (Some(map), _) => match map.get(&tr.probe) {
@@ -67,18 +74,40 @@ pub fn analyze_file(flags: &Flags) -> Result<Vec<(Asn, PopulationAnalysis)>, Str
         };
         pipelines
             .entry(asn)
-            .or_insert_with(|| AsPipeline::new(cfg.clone(), window))
+            .or_insert_with(|| AsPipeline::new(cfg, window))
             .ingest(&tr);
     })?;
+    if let Some(m) = metrics {
+        m.add_ingest_nanos(ingest_timer.elapsed_nanos());
+    }
 
     Ok(pipelines
         .into_iter()
-        .map(|(asn, p)| (asn, p.finish()))
+        .map(|(asn, p)| {
+            let analysis = p.finish();
+            if let Some(m) = metrics {
+                // Streaming interleaves populations, so ingest time is
+                // accounted once above; per-task wall = pipeline stages.
+                let s = &analysis.stats;
+                record_population_metrics(
+                    m,
+                    &analysis,
+                    s.series_nanos + s.aggregate_nanos + s.detect_nanos,
+                );
+            }
+            (asn, analysis)
+        })
         .collect())
 }
 
 pub fn run(flags: &Flags) -> Result<(), String> {
-    let results = analyze_file(flags)?;
+    let wants_stats = flags.switch("stats") || flags.optional("stats-out").is_some();
+    let metrics = wants_stats.then(RunMetrics::new);
+    let run_timer = StageTimer::start();
+    let results = analyze_file(flags, metrics.as_ref())?;
+    if let Some(m) = &metrics {
+        m.set_wall(&run_timer);
+    }
     if results.is_empty() {
         return Err("no analysable traceroutes in the window".into());
     }
@@ -127,6 +156,15 @@ pub fn run(flags: &Flags) -> Result<(), String> {
                 a.aggregated.max().unwrap_or(0.0),
                 a.aggregated.coverage(),
             );
+        }
+    }
+    if let Some(m) = &metrics {
+        let json = m.snapshot().to_json();
+        match flags.optional("stats-out") {
+            Some(path) => std::fs::write(path, &json)
+                .map_err(|e| format!("cannot write --stats-out {path}: {e}"))?,
+            // stderr keeps stdout clean for the classification output.
+            None => eprint!("{json}"),
         }
     }
     Ok(())

@@ -10,7 +10,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     if threshold <= 0.0 {
         return Err("--threshold must be positive".into());
     }
-    let results = analyze_file(flags)?;
+    let results = analyze_file(flags, None)?;
     if results.is_empty() {
         return Err("no analysable traceroutes in the window".into());
     }

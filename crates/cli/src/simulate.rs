@@ -84,8 +84,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     // IPoE with a different RTT baseline).
     if world.ases().iter().any(|a| a.v6_prefix.is_some()) {
         let v6_path = format!("{out_dir}/traceroutes_v6.jsonl");
-        let file =
-            std::fs::File::create(&v6_path).map_err(|e| format!("create {v6_path}: {e}"))?;
+        let file = std::fs::File::create(&v6_path).map_err(|e| format!("create {v6_path}: {e}"))?;
         let mut w = std::io::BufWriter::new(file);
         let mut v6_count = 0usize;
         for probe in world.probes() {

@@ -76,6 +76,46 @@ fn simulate_then_classify_round_trip() {
     assert!(stdout.contains("persistent congestion : YES"), "{stdout}");
     assert!(stdout.contains("avoid hours"), "{stdout}");
 
+    // --stats emits the RunMetrics JSON on stderr, after the [input] line.
+    let (_, err, ok) = run(&[
+        "classify",
+        "--traceroutes",
+        trs.to_str().unwrap(),
+        "--probes",
+        probes.to_str().unwrap(),
+        "--stats",
+    ]);
+    assert!(ok, "classify --stats failed: {err}");
+    let json_start = err.find('{').expect("stats JSON on stderr");
+    let stats: serde_json::Value = serde_json::from_str(&err[json_start..]).expect("stats JSON");
+    assert!(
+        stats["traceroutes_ingested"].as_u64().unwrap() > 0,
+        "{stats}"
+    );
+    assert!(stats["populations_analyzed"].as_u64().unwrap() > 0);
+    assert!(stats["welch_segments"].as_u64().unwrap() > 0);
+    assert!(stats["stage_nanos"]["wall"].as_u64().unwrap() > 0);
+    assert_eq!(stats["tasks_failed"], 0);
+
+    // --stats-out writes the same document to a file instead.
+    let stats_path = dir.join("stats.json");
+    let (_, _, ok) = run(&[
+        "classify",
+        "--traceroutes",
+        trs.to_str().unwrap(),
+        "--probes",
+        probes.to_str().unwrap(),
+        "--stats-out",
+        stats_path.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let from_file: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&stats_path).unwrap()).expect("stats file");
+    assert_eq!(
+        from_file["traceroutes_ingested"],
+        stats["traceroutes_ingested"]
+    );
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -42,7 +42,17 @@ pub fn aggregate_median(
     min_probes_per_bin: usize,
 ) -> AggregatedSignal {
     let indices: Vec<BinIndex> = bin.indices_in(period).collect();
-    let first_bin = indices.first().copied().unwrap_or(0);
+    let Some(&first_bin) = indices.first() else {
+        // A period too short to hold a single bin has no signal and, by
+        // construction, no contributing probes — not a signal starting
+        // at the epoch's bin 0, which the old fallback implied.
+        return AggregatedSignal {
+            bin,
+            first_bin: 0,
+            values: Vec::new(),
+            probes: 0,
+        };
+    };
     let mut per_bin: BTreeMap<BinIndex, Vec<f64>> = BTreeMap::new();
     for s in series {
         assert_eq!(s.bin(), bin, "series bin width mismatch");
@@ -119,6 +129,13 @@ impl AggregatedSignal {
     /// for the Welch detector. Returns `None` when coverage is below
     /// [`MIN_COVERAGE`] or no bin holds data.
     pub fn contiguous(&self) -> Option<Vec<f64>> {
+        self.contiguous_with_stats().map(|(v, _)| v)
+    }
+
+    /// Like [`AggregatedSignal::contiguous`], also reporting how many
+    /// bins were filled in (interior gaps interpolated linearly, leading
+    /// and trailing gaps padded with the nearest value).
+    pub fn contiguous_with_stats(&self) -> Option<(Vec<f64>, u64)> {
         if self.coverage() < MIN_COVERAGE {
             return None;
         }
@@ -151,7 +168,8 @@ impl AggregatedSignal {
         for slot in out.iter_mut().skip(tail + 1) {
             *slot = tail_v;
         }
-        Some(out)
+        let known = self.values.iter().filter(|v| v.is_some()).count();
+        Some((out, (n - known) as u64))
     }
 
     /// Fold the period onto one week (the Figure 1/8 view): for each
@@ -327,6 +345,46 @@ mod tests {
         let agg = aggregate_median(&s, &range, BinSpec::thirty_minutes(), 1);
         let filled = agg.contiguous().unwrap();
         assert_eq!(filled, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sub_bin_period_is_explicitly_empty() {
+        // A period too short to hold a single bin has no signal: it must
+        // come back empty with zero probes, not anchored at the epoch's
+        // bin 0 with phantom contributors (the old fallback).
+        let s = vec![series(1, &[(0, 5.0)])];
+        let range = TimeRange::new(UnixTime::from_secs(100), UnixTime::from_secs(200));
+        let agg = aggregate_median(&s, &range, BinSpec::thirty_minutes(), 1);
+        assert!(agg.is_empty());
+        assert_eq!(agg.len(), 0);
+        assert_eq!(agg.probe_count(), 0, "no bins means no contributors");
+        assert!(agg.iter().next().is_none());
+        assert_eq!(agg.coverage(), 0.0);
+        assert!(agg.contiguous().is_none());
+    }
+
+    #[test]
+    fn unaligned_period_start_covers_only_whole_bins() {
+        // Period starting mid-bin: coverage begins at the first bin whose
+        // *start* lies inside the period, not at the straddling bin.
+        let s = vec![series(1, &[(0, 5.0), (1, 6.0), (2, 7.0)])];
+        let range = TimeRange::new(UnixTime::from_secs(900), UnixTime::from_secs(3 * 1800));
+        let agg = aggregate_median(&s, &range, BinSpec::thirty_minutes(), 1);
+        assert_eq!(agg.len(), 2, "bins 1 and 2 only");
+        let pts: Vec<_> = agg.iter().collect();
+        assert_eq!(pts[0].0, UnixTime::from_secs(1800));
+        assert_eq!(pts[0].1, Some(1.0)); // 6 - 5 baseline
+        assert_eq!(pts[1].1, Some(2.0)); // 7 - 5
+    }
+
+    #[test]
+    fn contiguous_with_stats_counts_filled_bins() {
+        let range = TimeRange::new(UnixTime::from_secs(0), UnixTime::from_secs(5 * 1800));
+        let s = vec![series(1, &[(0, 5.0), (2, 7.0), (4, 9.0)])];
+        let agg = aggregate_median(&s, &range, BinSpec::thirty_minutes(), 1);
+        let (filled, interpolated) = agg.contiguous_with_stats().unwrap();
+        assert_eq!(filled, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(interpolated, 2, "bins 1 and 3 were gaps");
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub fn sliding_daily_amplitude(
     window_days: usize,
     step_days: usize,
 ) -> Vec<AmplitudePoint> {
-    assert!(window_days >= 4, "window must cover at least one 4-day Welch segment");
+    assert!(
+        window_days >= 4,
+        "window must cover at least one 4-day Welch segment"
+    );
     assert!(step_days >= 1, "step must be at least one day");
     let bins_per_day = bin.bins_per_day();
     let window_len = window_days * bins_per_day;
@@ -88,10 +91,7 @@ pub fn sliding_daily_amplitude(
 
 /// The longest uninterrupted run of reported windows, as a time range —
 /// "how long did the congestion persist?". `None` when no window reports.
-pub fn longest_reported_run(
-    points: &[AmplitudePoint],
-    window_days: usize,
-) -> Option<TimeRange> {
+pub fn longest_reported_run(points: &[AmplitudePoint], window_days: usize) -> Option<TimeRange> {
     let mut best: Option<(usize, usize)> = None; // (start index, len)
     let mut current: Option<(usize, usize)> = None;
     for (i, p) in points.iter().enumerate() {
@@ -125,7 +125,11 @@ mod tests {
         (0..days * 48)
             .map(|i| {
                 let day = i / 48;
-                let a = if (on_day..off_day).contains(&day) { amp } else { 0.05 };
+                let a = if (on_day..off_day).contains(&day) {
+                    amp
+                } else {
+                    0.05
+                };
                 a / 2.0 + a / 2.0 * (TAU * i as f64 / 48.0).sin()
             })
             .collect()
@@ -143,8 +147,12 @@ mod tests {
             1,
         );
         assert_eq!(pts.len(), 57); // (60-4)/1 + 1 windows
-        // Early windows: quiet. Windows fully inside the episode: ~2 ms.
-        assert!(pts[5].daily_amplitude_ms < 0.3, "{}", pts[5].daily_amplitude_ms);
+                                   // Early windows: quiet. Windows fully inside the episode: ~2 ms.
+        assert!(
+            pts[5].daily_amplitude_ms < 0.3,
+            "{}",
+            pts[5].daily_amplitude_ms
+        );
         assert!(
             (pts[25].daily_amplitude_ms - 2.0).abs() < 0.3,
             "{}",

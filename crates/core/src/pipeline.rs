@@ -18,9 +18,13 @@ use crate::series::{ProbeSeriesBuilder, QueuingDelaySeries};
 use lastmile_atlas::{ProbeId, TracerouteResult};
 use lastmile_timebase::{BinSpec, TimeRange};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Pipeline parameters.
-#[derive(Clone, Debug)]
+///
+/// `Copy`: four plain words, so per-task propagation in the survey
+/// executor is free — no per-(AS, period) clone in the hot loop.
+#[derive(Clone, Copy, Debug)]
 pub struct PipelineConfig {
     /// Bin width (paper: 30 minutes).
     pub bin: BinSpec,
@@ -51,11 +55,38 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Counters and stage timings from one population analysis — the §2
+/// filters made observable. Aggregated across a survey into the run's
+/// `RunMetrics` (see the `lastmile-obs` crate).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PopulationStats {
+    /// Traceroutes offered to [`AsPipeline::ingest`] (including dropped).
+    pub traceroutes_ingested: u64,
+    /// Subset dropped for falling outside the measurement period.
+    pub traceroutes_out_of_period: u64,
+    /// Probe-bins discarded by the sanity filter (§2: fewer than the
+    /// minimum traceroutes in the bin).
+    pub bins_discarded_sanity: u64,
+    /// Bins of the aggregated signal filled by interpolation/padding
+    /// before spectral analysis.
+    pub bins_interpolated: u64,
+    /// Welch segments averaged by the detector (0 when detection was
+    /// skipped).
+    pub welch_segments: u64,
+    /// Wall time spent binning probe series and computing queuing delay.
+    pub series_nanos: u64,
+    /// Wall time spent in cross-probe median aggregation.
+    pub aggregate_nanos: u64,
+    /// Wall time spent in gap filling + Welch detection.
+    pub detect_nanos: u64,
+}
+
 /// Streams traceroutes of a probe population into an analysis.
 pub struct AsPipeline {
     cfg: PipelineConfig,
     period: TimeRange,
     builders: BTreeMap<ProbeId, ProbeSeriesBuilder>,
+    ingested: u64,
     ignored_out_of_period: usize,
 }
 
@@ -66,6 +97,7 @@ impl AsPipeline {
             cfg,
             period,
             builders: BTreeMap::new(),
+            ingested: 0,
             ignored_out_of_period: 0,
         }
     }
@@ -78,6 +110,7 @@ impl AsPipeline {
     /// Ingest one traceroute. Traceroutes outside the period are counted
     /// and dropped (period boundaries are exact, §2's dates are UTC).
     pub fn ingest(&mut self, tr: &TracerouteResult) {
+        self.ingested += 1;
         if !self.period.contains(tr.timestamp) {
             self.ignored_out_of_period += 1;
             return;
@@ -105,28 +138,56 @@ impl AsPipeline {
     pub fn finish(self) -> PopulationAnalysis {
         let cfg = self.cfg;
         let period = self.period;
+        let mut stats = PopulationStats {
+            traceroutes_ingested: self.ingested,
+            traceroutes_out_of_period: self.ignored_out_of_period as u64,
+            ..PopulationStats::default()
+        };
+
+        let t = Instant::now();
         let probe_series: Vec<QueuingDelaySeries> = self
             .builders
             .into_values()
-            .map(|b| b.finish().queuing_delay())
+            .map(|b| {
+                let (series, discarded) = b.finish_with_stats();
+                stats.bins_discarded_sanity += discarded;
+                series.queuing_delay()
+            })
             .filter(|s| !s.is_empty())
             .collect();
+        stats.series_nanos = elapsed_nanos(t);
+
+        let t = Instant::now();
         let aggregated = aggregate_median(&probe_series, &period, cfg.bin, cfg.min_probes_per_bin);
+        stats.aggregate_nanos = elapsed_nanos(t);
+
         let enough_probes = probe_series.len() >= cfg.min_probes;
+        let t = Instant::now();
         let detection = if enough_probes {
             aggregated
-                .contiguous()
-                .and_then(|signal| detect(&signal, cfg.bin).ok())
+                .contiguous_with_stats()
+                .and_then(|(signal, interpolated)| {
+                    stats.bins_interpolated = interpolated;
+                    detect(&signal, cfg.bin).ok()
+                })
         } else {
             None
         };
+        stats.welch_segments = detection.as_ref().map(|d| d.segments as u64).unwrap_or(0);
+        stats.detect_nanos = elapsed_nanos(t);
+
         PopulationAnalysis {
             probe_series,
             aggregated,
             detection,
             enough_probes,
+            stats,
         }
     }
+}
+
+fn elapsed_nanos(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// The result of analysing one probe population over one period.
@@ -141,6 +202,8 @@ pub struct PopulationAnalysis {
     pub detection: Option<Detection>,
     /// Whether the population met the minimum probe count.
     pub enough_probes: bool,
+    /// Counters and stage timings from this analysis.
+    pub stats: PopulationStats,
 }
 
 impl PopulationAnalysis {
@@ -257,6 +320,22 @@ mod tests {
         assert!(!analysis.enough_probes);
         assert!(analysis.detection.is_none());
         assert_eq!(analysis.class(), CongestionClass::None);
+    }
+
+    #[test]
+    fn finish_reports_population_stats() {
+        let mut p = AsPipeline::new(PipelineConfig::paper(), period_15d());
+        feed_diurnal(&mut p, 5, 2.0);
+        p.ingest(&tr(1, -100, 5.0)); // outside the period
+        p.ingest(&tr(9, 0, 5.0)); // only two traceroutes in probe 9's
+        p.ingest(&tr(9, 400, 5.0)); // single bin: sanity filter discards
+        let analysis = p.finish();
+        let s = analysis.stats;
+        assert_eq!(s.traceroutes_ingested, 5 * 720 * 3 + 3);
+        assert_eq!(s.traceroutes_out_of_period, 1);
+        assert_eq!(s.bins_discarded_sanity, 1);
+        assert_eq!(s.bins_interpolated, 0, "feed has full coverage");
+        assert!(s.welch_segments > 0, "detection ran");
     }
 
     #[test]

@@ -42,10 +42,24 @@ pub struct AsClassification {
     pub rank: Option<u32>,
 }
 
+/// One (AS, period) survey task that produced no classification: its
+/// worker panicked, and the executor isolated the failure per task
+/// instead of aborting the whole survey.
+#[derive(Clone, Debug)]
+pub struct SurveyFailure {
+    /// The AS whose analysis failed.
+    pub asn: Asn,
+    /// The measurement period being analysed.
+    pub period: PeriodId,
+    /// The panic message (or a placeholder for non-string payloads).
+    pub reason: String,
+}
+
 /// The classification rows of a whole survey.
 #[derive(Clone, Debug, Default)]
 pub struct SurveyReport {
     rows: Vec<AsClassification>,
+    failures: Vec<SurveyFailure>,
 }
 
 impl SurveyReport {
@@ -59,9 +73,19 @@ impl SurveyReport {
         self.rows.push(row);
     }
 
+    /// Record one failed (AS, period) task.
+    pub fn push_failure(&mut self, failure: SurveyFailure) {
+        self.failures.push(failure);
+    }
+
     /// All rows.
     pub fn rows(&self) -> &[AsClassification] {
         &self.rows
+    }
+
+    /// Tasks that failed instead of classifying (empty on a clean run).
+    pub fn failures(&self) -> &[SurveyFailure] {
+        &self.failures
     }
 
     /// Rows of one period.
@@ -217,6 +241,9 @@ impl SurveyReport {
                 self.daily_fraction(p),
             );
         }
+        if !self.failures.is_empty() {
+            let _ = writeln!(s, "failed tasks: {}", self.failures.len());
+        }
         s
     }
 }
@@ -357,6 +384,20 @@ mod tests {
         assert!(text.contains("2019-09"));
         assert!(text.contains("2020-04"));
         assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn failures_are_recorded_and_rendered() {
+        let mut r = sample_report();
+        assert!(r.failures().is_empty());
+        r.push_failure(SurveyFailure {
+            asn: 9,
+            period: PeriodId::Sep2019,
+            reason: "boom".into(),
+        });
+        assert_eq!(r.failures().len(), 1);
+        assert_eq!(r.failures()[0].asn, 9);
+        assert!(r.render_text().contains("failed tasks: 1"));
     }
 
     #[test]

@@ -80,20 +80,32 @@ impl ProbeSeriesBuilder {
 
     /// Apply the sanity filter and compute per-bin medians.
     pub fn finish(self) -> ProbeSeries {
+        self.finish_with_stats().0
+    }
+
+    /// Like [`ProbeSeriesBuilder::finish`], also reporting how many bins
+    /// the sanity filter discarded (§2's "discard traceroutes in bins
+    /// that have less than 3 traceroutes").
+    pub fn finish_with_stats(self) -> (ProbeSeries, u64) {
         let mut medians = BTreeMap::new();
+        let mut discarded = 0u64;
         for (bin, mut accum) in self.bins {
             if accum.traceroutes < self.min_traceroutes {
-                continue; // disconnected probe: discard the whole bin
+                discarded += 1; // disconnected probe: discard the whole bin
+                continue;
             }
             if let Some(m) = median_in_place(&mut accum.samples) {
                 medians.insert(bin, m);
             }
         }
-        ProbeSeries {
-            probe: self.probe,
-            bin: self.bin,
-            medians,
-        }
+        (
+            ProbeSeries {
+                probe: self.probe,
+                bin: self.bin,
+                medians,
+            },
+            discarded,
+        )
     }
 }
 

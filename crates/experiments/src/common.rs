@@ -88,22 +88,15 @@ pub fn analyze_many(
         .map(|n| n.get())
         .unwrap_or(4);
     let chunk = jobs.len().div_ceil(n_threads).max(1);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot_chunk, job_chunk) in out.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, (asn, period, selection)) in slot_chunk.iter_mut().zip(job_chunk) {
-                    *slot = Some(analyze_population(
-                        world,
-                        *asn,
-                        period,
-                        cfg.clone(),
-                        selection,
-                    ));
+                    *slot = Some(analyze_population(world, *asn, period, *cfg, selection));
                 }
             });
         }
-    })
-    .expect("analysis scope failed");
+    });
     out.into_iter()
         .map(|o| o.expect("all jobs completed"))
         .collect()

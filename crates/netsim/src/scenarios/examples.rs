@@ -62,8 +62,7 @@ pub fn fig1_world(seed: u64) -> World {
             // The +10% margin keeps April 2020 above the Mild threshold
             // (1 ms) under the world's ±25% per-period severity wobble,
             // as the paper's single observed April was (1.19 ms, Mild).
-            ISP_US_COVID_AMPLITUDE_MS / ISP_US_NORMAL_AMPLITUDE_MS / LOCKDOWN_WIDENING_GAIN
-                * 1.10,
+            ISP_US_COVID_AMPLITUDE_MS / ISP_US_NORMAL_AMPLITUDE_MS / LOCKDOWN_WIDENING_GAIN * 1.10,
         )
         .with_subscribers(40_000_000),
     );

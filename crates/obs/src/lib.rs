@@ -1,0 +1,274 @@
+//! Run observability for the survey pipeline.
+//!
+//! [`RunMetrics`] is a set of lock-free counters and stage-time
+//! accumulators shared (by reference) between the survey workers.  Each
+//! counter names one of the §2 pipeline filters or stages of the paper:
+//!
+//! * `traceroutes_ingested` — built-in measurements streamed into an
+//!   [`AsPipeline`] (after probe selection).
+//! * `traceroutes_out_of_period` — dropped because their timestamp fell
+//!   outside the measurement period (§2's period cut).
+//! * `bins_discarded_sanity` — 30-minute probe bins discarded by the
+//!   "at least N traceroutes per bin" sanity filter (§2).
+//! * `bins_interpolated` — gaps in the aggregated signal filled by
+//!   linear interpolation before spectral analysis.
+//! * `welch_segments` — segments averaged by the Welch periodogram
+//!   across all detections.
+//! * `populations_analyzed` / `populations_with_detection` — (AS,
+//!   period) populations processed, and the subset that passed the
+//!   probe-coverage gate and produced a [`Detection`].
+//! * `tasks_failed` — survey tasks whose worker panicked; the executor
+//!   isolates these per task instead of aborting the run.
+//!
+//! Stage timers accumulate wall-clock nanoseconds measured with the
+//! monotonic [`std::time::Instant`] clock; under a multi-threaded
+//! executor they sum *across* workers, so stage totals can exceed the
+//! elapsed `wall_nanos`.
+//!
+//! [`AsPipeline`]: ../lastmile_core/pipeline/struct.AsPipeline.html
+//! [`Detection`]: ../lastmile_core/detect/struct.Detection.html
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Lock-free counters for one survey / classification run.
+///
+/// All methods take `&self`; share between threads by reference.
+/// Counters use relaxed ordering — they are statistics, not
+/// synchronisation, and the executor's channel/join already orders the
+/// final read after every write.
+#[derive(Debug, Default)]
+pub struct RunMetrics {
+    traceroutes_ingested: AtomicU64,
+    traceroutes_out_of_period: AtomicU64,
+    bins_discarded_sanity: AtomicU64,
+    bins_interpolated: AtomicU64,
+    welch_segments: AtomicU64,
+    populations_analyzed: AtomicU64,
+    populations_with_detection: AtomicU64,
+    tasks_failed: AtomicU64,
+    /// Summed across workers (may exceed wall time).
+    ingest_nanos: AtomicU64,
+    series_nanos: AtomicU64,
+    aggregate_nanos: AtomicU64,
+    detect_nanos: AtomicU64,
+    /// Elapsed time of the whole run (set once by the driver).
+    wall_nanos: AtomicU64,
+}
+
+impl RunMetrics {
+    pub fn new() -> RunMetrics {
+        RunMetrics::default()
+    }
+
+    /// Add `n` to a counter. Used via the named helpers below.
+    fn add(field: &AtomicU64, n: u64) {
+        field.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_traceroutes_ingested(&self, n: u64) {
+        Self::add(&self.traceroutes_ingested, n);
+    }
+    pub fn add_traceroutes_out_of_period(&self, n: u64) {
+        Self::add(&self.traceroutes_out_of_period, n);
+    }
+    pub fn add_bins_discarded_sanity(&self, n: u64) {
+        Self::add(&self.bins_discarded_sanity, n);
+    }
+    pub fn add_bins_interpolated(&self, n: u64) {
+        Self::add(&self.bins_interpolated, n);
+    }
+    pub fn add_welch_segments(&self, n: u64) {
+        Self::add(&self.welch_segments, n);
+    }
+    pub fn add_population(&self, with_detection: bool) {
+        Self::add(&self.populations_analyzed, 1);
+        if with_detection {
+            Self::add(&self.populations_with_detection, 1);
+        }
+    }
+    pub fn add_task_failed(&self) {
+        Self::add(&self.tasks_failed, 1);
+    }
+
+    pub fn add_ingest_nanos(&self, n: u64) {
+        Self::add(&self.ingest_nanos, n);
+    }
+    pub fn add_series_nanos(&self, n: u64) {
+        Self::add(&self.series_nanos, n);
+    }
+    pub fn add_aggregate_nanos(&self, n: u64) {
+        Self::add(&self.aggregate_nanos, n);
+    }
+    pub fn add_detect_nanos(&self, n: u64) {
+        Self::add(&self.detect_nanos, n);
+    }
+
+    /// Record the run's elapsed wall time (driver calls this once).
+    pub fn set_wall(&self, timer: &StageTimer) {
+        self.wall_nanos
+            .store(timer.elapsed_nanos(), Ordering::Relaxed);
+    }
+
+    /// A plain-value copy of every counter, for reporting.
+    pub fn snapshot(&self) -> RunMetricsSnapshot {
+        let get = |f: &AtomicU64| f.load(Ordering::Relaxed);
+        RunMetricsSnapshot {
+            traceroutes_ingested: get(&self.traceroutes_ingested),
+            traceroutes_out_of_period: get(&self.traceroutes_out_of_period),
+            bins_discarded_sanity: get(&self.bins_discarded_sanity),
+            bins_interpolated: get(&self.bins_interpolated),
+            welch_segments: get(&self.welch_segments),
+            populations_analyzed: get(&self.populations_analyzed),
+            populations_with_detection: get(&self.populations_with_detection),
+            tasks_failed: get(&self.tasks_failed),
+            stage_nanos: StageNanos {
+                ingest: get(&self.ingest_nanos),
+                series: get(&self.series_nanos),
+                aggregate: get(&self.aggregate_nanos),
+                detect: get(&self.detect_nanos),
+                wall: get(&self.wall_nanos),
+            },
+        }
+    }
+}
+
+/// Per-stage wall-clock nanoseconds. Stage fields sum across worker
+/// threads; `wall` is the driver's elapsed time.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct StageNanos {
+    pub ingest: u64,
+    pub series: u64,
+    pub aggregate: u64,
+    pub detect: u64,
+    pub wall: u64,
+}
+
+/// Plain-value export of [`RunMetrics`]; serializes to the `--stats`
+/// JSON document (see DESIGN.md for the schema).
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct RunMetricsSnapshot {
+    pub traceroutes_ingested: u64,
+    pub traceroutes_out_of_period: u64,
+    pub bins_discarded_sanity: u64,
+    pub bins_interpolated: u64,
+    pub welch_segments: u64,
+    pub populations_analyzed: u64,
+    pub populations_with_detection: u64,
+    pub tasks_failed: u64,
+    pub stage_nanos: StageNanos,
+}
+
+impl RunMetricsSnapshot {
+    /// The `--stats` JSON document (pretty-printed, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s =
+            serde_json::to_string_pretty(self).expect("RunMetricsSnapshot serializes infallibly");
+        s.push('\n');
+        s
+    }
+}
+
+/// Monotonic stopwatch for one stage of work.
+///
+/// ```
+/// # use lastmile_obs::{RunMetrics, StageTimer};
+/// let metrics = RunMetrics::new();
+/// let t = StageTimer::start();
+/// // ... stage work ...
+/// metrics.add_detect_nanos(t.elapsed_nanos());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct StageTimer {
+    started: Instant,
+}
+
+impl StageTimer {
+    pub fn start() -> StageTimer {
+        StageTimer {
+            started: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since `start()`, saturating at `u64::MAX` (584 years).
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = RunMetrics::new();
+        m.add_traceroutes_ingested(10);
+        m.add_traceroutes_ingested(5);
+        m.add_traceroutes_out_of_period(2);
+        m.add_bins_discarded_sanity(3);
+        m.add_bins_interpolated(4);
+        m.add_welch_segments(7);
+        m.add_population(true);
+        m.add_population(false);
+        m.add_task_failed();
+        let s = m.snapshot();
+        assert_eq!(s.traceroutes_ingested, 15);
+        assert_eq!(s.traceroutes_out_of_period, 2);
+        assert_eq!(s.bins_discarded_sanity, 3);
+        assert_eq!(s.bins_interpolated, 4);
+        assert_eq!(s.welch_segments, 7);
+        assert_eq!(s.populations_analyzed, 2);
+        assert_eq!(s.populations_with_detection, 1);
+        assert_eq!(s.tasks_failed, 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = RunMetrics::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        m.add_traceroutes_ingested(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().traceroutes_ingested, 4000);
+    }
+
+    #[test]
+    fn timer_is_monotonic_and_wall_recorded() {
+        let m = RunMetrics::new();
+        let t = StageTimer::start();
+        let a = t.elapsed_nanos();
+        let b = t.elapsed_nanos();
+        assert!(b >= a);
+        m.set_wall(&t);
+        assert!(m.snapshot().stage_nanos.wall >= b);
+    }
+
+    #[test]
+    fn snapshot_serializes_every_field() {
+        let m = RunMetrics::new();
+        m.add_traceroutes_ingested(1);
+        let json = m.snapshot().to_json();
+        for key in [
+            "traceroutes_ingested",
+            "traceroutes_out_of_period",
+            "bins_discarded_sanity",
+            "bins_interpolated",
+            "welch_segments",
+            "populations_analyzed",
+            "populations_with_detection",
+            "tasks_failed",
+            "stage_nanos",
+            "wall",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.ends_with('\n'));
+    }
+}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Pre-merge gate: formatting, lints (deny warnings, all targets so the
+# benches compile too), then the full test suite. Run from anywhere in
+# the repository; everything is offline (deps are vendored in vendor/).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "OK: fmt, clippy, tests all green"

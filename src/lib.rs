@@ -16,6 +16,7 @@ pub use lastmile_core as core;
 pub use lastmile_dsp as dsp;
 pub use lastmile_eyeball as eyeball;
 pub use lastmile_netsim as netsim;
+pub use lastmile_obs as obs;
 pub use lastmile_prefix as prefix;
 pub use lastmile_stats as stats;
 pub use lastmile_timebase as timebase;

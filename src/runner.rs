@@ -15,12 +15,15 @@
 
 use lastmile_core::detect::CongestionClass;
 use lastmile_core::pipeline::{AsPipeline, PipelineConfig, PopulationAnalysis};
-use lastmile_core::report::{AsClassification, SurveyReport};
+use lastmile_core::report::{AsClassification, SurveyFailure, SurveyReport};
 use lastmile_eyeball::{EyeballEntry, EyeballRegistry};
 use lastmile_netsim::scenarios::AsGroundTruth;
 use lastmile_netsim::{SimProbe, TracerouteEngine, World};
+use lastmile_obs::{RunMetrics, StageTimer};
 use lastmile_prefix::Asn;
 use lastmile_timebase::MeasurementPeriod;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Mutex};
 
 /// Which probes of an AS a population analysis uses.
 #[derive(Clone, Debug, Default)]
@@ -73,9 +76,21 @@ pub fn analyze_population(
     cfg: PipelineConfig,
     selection: &ProbeSelection,
 ) -> PopulationAnalysis {
-    let engine = TracerouteEngine::new(world);
+    analyze_population_with(&TracerouteEngine::new(world), asn, period, cfg, selection)
+}
+
+/// Like [`analyze_population`], reusing a prebuilt [`TracerouteEngine`].
+/// The survey executor builds one engine and shares it across workers
+/// and tasks instead of rebuilding it per population.
+pub fn analyze_population_with(
+    engine: &TracerouteEngine,
+    asn: Asn,
+    period: &MeasurementPeriod,
+    cfg: PipelineConfig,
+    selection: &ProbeSelection,
+) -> PopulationAnalysis {
     let mut pipeline = AsPipeline::new(cfg, period.range());
-    for probe in world.probes_in(asn) {
+    for probe in engine.world().probes_in(asn) {
         if !selection.matches(probe) {
             continue;
         }
@@ -85,58 +100,172 @@ pub fn analyze_population(
 }
 
 /// Survey driver options.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct SurveyOptions {
-    /// Pipeline parameters.
+    /// Pipeline parameters (default: [`PipelineConfig::paper`]).
     pub pipeline: PipelineConfig,
-    /// Worker threads (0 = one per available core).
+    /// Worker threads; `0` (the default) means one per available core.
     pub threads: usize,
-}
-
-impl Default for SurveyOptions {
-    fn default() -> Self {
-        SurveyOptions {
-            pipeline: PipelineConfig::paper(),
-            threads: 0,
-        }
-    }
+    /// Metrics sink: when set, every worker accumulates pipeline
+    /// counters and stage timings into it (see `lastmile-obs`).
+    pub metrics: Option<Arc<RunMetrics>>,
+    /// Test hook: panic while analysing this AS, exercising the
+    /// executor's per-task failure isolation from integration tests.
+    #[doc(hidden)]
+    pub inject_panic_asn: Option<Asn>,
 }
 
 /// Run the §3 survey: classify every AS of the world in every period.
 ///
 /// `eyeballs` supplies rank/country annotations for the report (pass an
 /// empty registry to skip them).
+///
+/// # Scheduling
+///
+/// Every (AS, period) pair is one task in a shared queue that `threads`
+/// workers drain — a worker that lands on a probe-heavy AS simply takes
+/// fewer tasks, so skewed probe counts cannot idle the other workers
+/// (unlike static chunking, where the chunk containing the heavy ASes
+/// bounds the whole run). Results are sorted by `(asn, period)` before
+/// the report is assembled, and the simulation is seed-addressed, so the
+/// report is identical for every thread count.
+///
+/// # Failure isolation
+///
+/// A panic while analysing one population is caught per task and
+/// surfaced as a [`SurveyFailure`] in [`SurveyReport::failures`]; the
+/// remaining tasks still run.
 pub fn run_survey(
     world: &World,
     periods: &[MeasurementPeriod],
     eyeballs: &EyeballRegistry,
     options: &SurveyOptions,
 ) -> SurveyReport {
+    let run_timer = StageTimer::start();
     let asns: Vec<Asn> = world.ases().iter().map(|a| a.config.asn).collect();
-    let threads = if options.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        options.threads
-    };
+    let threads = resolve_threads(options.threads);
+    let engine = TracerouteEngine::new(world);
+
+    // Pre-load the task queue. Workers pop one task at a time; the
+    // channel is the work-stealing queue (all tasks are enqueued before
+    // any worker starts, so `try_recv` emptiness means completion).
+    let (tx, rx) = mpsc::channel::<(Asn, usize)>();
+    for &asn in &asns {
+        for period_idx in 0..periods.len() {
+            tx.send((asn, period_idx)).expect("task queue send");
+        }
+    }
+    drop(tx);
+    let queue = Mutex::new(rx);
+
+    let mut rows: Vec<AsClassification> = Vec::new();
+    let mut failures: Vec<SurveyFailure> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let queue = &queue;
+                let engine = &engine;
+                scope.spawn(move || {
+                    let mut ok = Vec::new();
+                    let mut failed = Vec::new();
+                    while let Some((asn, period_idx)) = next_task(queue) {
+                        let period = &periods[period_idx];
+                        let task_timer = StageTimer::start();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            if options.inject_panic_asn == Some(asn) {
+                                panic!("injected survey panic for AS{asn}");
+                            }
+                            analyze_population_with(
+                                engine,
+                                asn,
+                                period,
+                                options.pipeline,
+                                &ProbeSelection::regular(),
+                            )
+                        }));
+                        match outcome {
+                            Ok(analysis) => {
+                                if let Some(m) = &options.metrics {
+                                    record_population_metrics(
+                                        m,
+                                        &analysis,
+                                        task_timer.elapsed_nanos(),
+                                    );
+                                }
+                                ok.push(classify_row(asn, period, &analysis, eyeballs));
+                            }
+                            Err(payload) => {
+                                if let Some(m) = &options.metrics {
+                                    m.add_task_failed();
+                                }
+                                failed.push(SurveyFailure {
+                                    asn,
+                                    period: period.id(),
+                                    reason: panic_message(payload.as_ref()),
+                                });
+                            }
+                        }
+                    }
+                    (ok, failed)
+                })
+            })
+            .collect();
+        for h in handles {
+            // Per-task panics are caught above; a panic escaping here is
+            // a bug in the executor itself, not in an analysis.
+            let (ok, failed) = h.join().expect("survey worker died outside task isolation");
+            rows.extend(ok);
+            failures.extend(failed);
+        }
+    });
+
+    // Deterministic order regardless of thread count and steal order.
+    rows.sort_by_key(|r| (r.asn, r.period));
+    failures.sort_by_key(|f| (f.asn, f.period));
+    let mut report = SurveyReport::new();
+    for row in rows {
+        report.push(row);
+    }
+    for f in failures {
+        report.push_failure(f);
+    }
+    if let Some(m) = &options.metrics {
+        m.set_wall(&run_timer);
+    }
+    report
+}
+
+/// Reference scheduler: the pre-executor static chunking driver, kept so
+/// the `survey_executor` benchmark can measure the load-balancing win.
+/// Produces the same report as [`run_survey`] on panic-free inputs, but
+/// one slow chunk bounds the whole run and worker panics abort it.
+#[doc(hidden)]
+pub fn run_survey_static_chunks(
+    world: &World,
+    periods: &[MeasurementPeriod],
+    eyeballs: &EyeballRegistry,
+    options: &SurveyOptions,
+) -> SurveyReport {
+    let asns: Vec<Asn> = world.ases().iter().map(|a| a.config.asn).collect();
+    let threads = resolve_threads(options.threads);
+    let engine = TracerouteEngine::new(world);
     let chunk = asns.len().div_ceil(threads.max(1)).max(1);
 
     let mut rows: Vec<AsClassification> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = asns
             .chunks(chunk)
             .map(|asn_chunk| {
-                let pipeline_cfg = options.pipeline.clone();
-                scope.spawn(move |_| {
+                let engine = &engine;
+                scope.spawn(move || {
                     let mut local = Vec::new();
                     for &asn in asn_chunk {
                         for period in periods {
-                            let analysis = analyze_population(
-                                world,
+                            let analysis = analyze_population_with(
+                                engine,
                                 asn,
                                 period,
-                                pipeline_cfg.clone(),
+                                options.pipeline,
                                 &ProbeSelection::regular(),
                             );
                             local.push(classify_row(asn, period, &analysis, eyeballs));
@@ -149,16 +278,61 @@ pub fn run_survey(
         for h in handles {
             rows.extend(h.join().expect("survey worker panicked"));
         }
-    })
-    .expect("survey scope failed");
+    });
 
-    // Deterministic row order regardless of thread count.
     rows.sort_by_key(|r| (r.asn, r.period));
     let mut report = SurveyReport::new();
     for row in rows {
         report.push(row);
     }
     report
+}
+
+/// Accumulate one population's [`PopulationStats`] into the run metrics.
+/// `task_nanos` is the task's total wall time; the share not spent in
+/// the measured pipeline stages is attributed to ingest (for simulated
+/// surveys that includes generating the traceroutes).
+pub fn record_population_metrics(
+    metrics: &RunMetrics,
+    analysis: &PopulationAnalysis,
+    task_nanos: u64,
+) {
+    let s = &analysis.stats;
+    metrics.add_traceroutes_ingested(s.traceroutes_ingested);
+    metrics.add_traceroutes_out_of_period(s.traceroutes_out_of_period);
+    metrics.add_bins_discarded_sanity(s.bins_discarded_sanity);
+    metrics.add_bins_interpolated(s.bins_interpolated);
+    metrics.add_welch_segments(s.welch_segments);
+    metrics.add_population(analysis.detection.is_some());
+    metrics.add_series_nanos(s.series_nanos);
+    metrics.add_aggregate_nanos(s.aggregate_nanos);
+    metrics.add_detect_nanos(s.detect_nanos);
+    let pipeline_nanos = s.series_nanos + s.aggregate_nanos + s.detect_nanos;
+    metrics.add_ingest_nanos(task_nanos.saturating_sub(pipeline_nanos));
+}
+
+fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        requested
+    }
+}
+
+fn next_task(queue: &Mutex<mpsc::Receiver<(Asn, usize)>>) -> Option<(Asn, usize)> {
+    queue.lock().expect("task queue lock").try_recv().ok()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 /// Turn one population analysis into a report row.

@@ -1,0 +1,391 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships its own serialization layer under the `serde` name. Instead of
+//! serde's generic `Serializer`/`Deserializer` visitor architecture, this
+//! subset pivots on a single JSON-shaped data model, [`Content`]: types
+//! serialize *into* it and deserialize *from* it, and the vendored
+//! `serde_json` maps it to and from text. That is exactly the power this
+//! workspace needs (Atlas wire JSON, probe metadata, report export) at a
+//! small fraction of the surface.
+//!
+//! The derive macros (`#[derive(Serialize, Deserialize)]`) are re-exported
+//! from the vendored `serde_derive`; see its crate docs for the supported
+//! shapes and attributes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The JSON-shaped data model every type serializes through.
+///
+/// Maps are ordered field lists (struct field order / insertion order is
+/// preserved on output, like serde_json's struct serialization).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+/// Look a key up in a [`Content::Map`] body (first match).
+pub fn content_get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// A free-form error.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+
+    /// "expected X for type T".
+    pub fn expected(what: &str, ty: &str) -> DeError {
+        DeError(format!("expected {what} for {ty}"))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str, ty: &str) -> DeError {
+        DeError(format!("missing field `{field}` in {ty}"))
+    }
+
+    /// An enum string/key did not name a variant.
+    pub fn unknown_variant(got: &str, ty: &str) -> DeError {
+        DeError(format!("unknown variant `{got}` for {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Content`] model.
+pub trait Serialize {
+    /// This value as content.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialization out of the [`Content`] model.
+pub trait Deserialize: Sized {
+    /// Build a value from content.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+// ----------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<bool, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("boolean", "bool")),
+        }
+    }
+}
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<$t, DeError> {
+                let v: i64 = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError::expected("integer in range", stringify!($t)))?,
+                    _ => return Err(DeError::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::expected("integer in range", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+signed_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<$t, DeError> {
+                let v: u64 = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) => u64::try_from(*v)
+                        .map_err(|_| DeError::expected("unsigned integer", stringify!($t)))?,
+                    _ => return Err(DeError::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::expected("integer in range", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<f64, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            _ => Err(DeError::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<f32, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<String, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+// ----------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Option<T>, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Vec<T>, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::expected("array", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<std::collections::BTreeSet<T>, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::expected("array", "BTreeSet")),
+        }
+    }
+}
+
+/// Types usable as JSON object keys (JSON keys are strings; integer keys
+/// round-trip through their decimal form, as in serde_json).
+pub trait MapKey: Ord + Sized {
+    /// Key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Key parsed back from a JSON object key.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<String, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! int_key_impls {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<$t, DeError> {
+                key.parse()
+                    .map_err(|_| DeError::expected("integer key", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+int_key_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<BTreeMap<K, V>, DeError> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", "BTreeMap")),
+        }
+    }
+}
+
+// ----------------------------------------------------------- std::net
+
+macro_rules! display_string_impls {
+    ($($t:ty => $what:literal),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Str(self.to_string())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<$t, DeError> {
+                match c {
+                    Content::Str(s) => s
+                        .parse()
+                        .map_err(|_| DeError::expected($what, stringify!($t))),
+                    _ => Err(DeError::expected("string", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+display_string_impls!(
+    IpAddr => "an IP address string",
+    Ipv4Addr => "an IPv4 address string",
+    Ipv6Addr => "an IPv6 address string"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_and_missing_semantics() {
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_content(&Content::I64(5)).unwrap(),
+            Some(5)
+        );
+        assert_eq!(Option::<u32>::to_content(&None), Content::Null);
+    }
+
+    #[test]
+    fn numeric_cross_acceptance() {
+        // Integer tokens must deserialize into f64 fields (JSON "5").
+        assert_eq!(f64::from_content(&Content::I64(5)).unwrap(), 5.0);
+        assert_eq!(u32::from_content(&Content::I64(7)).unwrap(), 7);
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+        assert!(u8::from_content(&Content::U64(256)).is_err());
+    }
+
+    #[test]
+    fn map_keys_round_trip_integers() {
+        let mut m = BTreeMap::new();
+        m.insert(64500u32, "a".to_string());
+        let c = m.to_content();
+        assert_eq!(
+            c,
+            Content::Map(vec![("64500".into(), Content::Str("a".into()))])
+        );
+        let back: BTreeMap<u32, String> = Deserialize::from_content(&c).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn ip_addresses_are_strings() {
+        let ip: IpAddr = "192.168.1.1".parse().unwrap();
+        assert_eq!(ip.to_content(), Content::Str("192.168.1.1".into()));
+        let back = IpAddr::from_content(&Content::Str("192.168.1.1".into())).unwrap();
+        assert_eq!(back, ip);
+    }
+}

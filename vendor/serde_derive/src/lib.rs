@@ -1,0 +1,408 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! `serde` subset (see `vendor/README.md`).
+//!
+//! Implemented with the bare `proc_macro` API (no `syn`/`quote` in the
+//! offline environment): the item is parsed from its token trees and the
+//! impls are emitted as source strings. The supported shapes are exactly
+//! the ones this workspace uses:
+//!
+//! * structs with named fields (any visibility, no generics);
+//! * `#[serde(transparent)]` single-field tuple structs;
+//! * enums of unit variants and/or one-field (newtype) variants,
+//!   externally tagged (`"V1"` / `{"RootDns": 8}`);
+//! * field attributes `#[serde(rename = "...")]` and
+//!   `#[serde(skip_serializing_if = "path")]`;
+//! * missing `Option<...>` fields deserialize as `None`; any other
+//!   missing field is an error; unknown input fields are ignored.
+//!
+//! Unsupported shapes panic at compile time with a message naming this
+//! file, so a future use of a wider serde surface fails loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field of a named struct.
+struct Field {
+    name: String,
+    json_name: String,
+    ty: String,
+    skip_if: Option<String>,
+    is_option: bool,
+}
+
+/// A parsed enum variant: unit or newtype.
+struct Variant {
+    name: String,
+    has_payload: bool,
+}
+
+/// What the derive input turned out to be.
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TransparentTuple,
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse(input);
+    gen_serialize(&c)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse(input);
+    gen_deserialize(&c)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Attribute content relevant to us.
+#[derive(Default)]
+struct SerdeAttrs {
+    transparent: bool,
+    rename: Option<String>,
+    skip_if: Option<String>,
+}
+
+/// Pull `#[serde(...)]` data out of a `# [ ... ]` attribute group, if it
+/// is one; returns `true` when the tokens at `i` formed any attribute.
+fn eat_attribute(tokens: &[TokenTree], i: &mut usize, attrs: &mut SerdeAttrs) -> bool {
+    if !matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#') {
+        return false;
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(*i + 1) else {
+        return false;
+    };
+    if g.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    if let Some(TokenTree::Ident(id)) = inner.first() {
+        if id.to_string() == "serde" {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                parse_serde_args(&args.stream().into_iter().collect::<Vec<_>>(), attrs);
+            }
+        }
+    }
+    *i += 2;
+    true
+}
+
+/// Parse the inside of `#[serde( ... )]`.
+fn parse_serde_args(args: &[TokenTree], attrs: &mut SerdeAttrs) {
+    let mut i = 0;
+    while i < args.len() {
+        match &args[i] {
+            TokenTree::Ident(id) => {
+                let key = id.to_string();
+                // `key = "value"` or bare `key`.
+                if matches!(args.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    let val = match args.get(i + 2) {
+                        Some(TokenTree::Literal(l)) => unquote(&l.to_string()),
+                        other => {
+                            panic!("serde_derive: expected string after {key} =, got {other:?}")
+                        }
+                    };
+                    match key.as_str() {
+                        "rename" => attrs.rename = Some(val),
+                        "skip_serializing_if" => attrs.skip_if = Some(val),
+                        other => panic!("serde_derive: unsupported attribute {other}"),
+                    }
+                    i += 3;
+                } else {
+                    match key.as_str() {
+                        "transparent" => attrs.transparent = true,
+                        other => panic!("serde_derive: unsupported attribute {other}"),
+                    }
+                    i += 1;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("serde_derive: unexpected token in #[serde(..)]: {other}"),
+        }
+    }
+}
+
+/// Strip the quotes of a string literal.
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Skip a visibility marker (`pub`, `pub(crate)`, ...).
+fn eat_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut container_attrs = SerdeAttrs::default();
+    while i < tokens.len() && eat_attribute(&tokens, &mut i, &mut container_attrs) {}
+    eat_visibility(&tokens, &mut i);
+
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (type {name})");
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct(
+                parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>()),
+            ),
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                if !container_attrs.transparent {
+                    panic!(
+                        "serde_derive: tuple struct {name} requires #[serde(transparent)] \
+                         (only transparent newtypes are supported)"
+                    );
+                }
+                Shape::TransparentTuple
+            }
+            other => panic!("serde_derive: unsupported struct body for {name}: {other}"),
+        },
+        "enum" => match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            other => panic!("serde_derive: unsupported enum body for {name}: {other}"),
+        },
+        other => panic!("serde_derive: cannot derive for {other} {name}"),
+    };
+    Container { name, shape }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        while i < tokens.len() && eat_attribute(tokens, &mut i, &mut attrs) {}
+        if i >= tokens.len() {
+            break;
+        }
+        eat_visibility(tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde_derive: expected `:` after field {name}"
+        );
+        i += 1;
+        // The type runs until a comma at zero angle-bracket depth.
+        let mut ty_tokens: Vec<String> = Vec::new();
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                _ => {}
+            }
+            ty_tokens.push(tokens[i].to_string());
+            i += 1;
+        }
+        let ty = ty_tokens.join(" ");
+        let is_option = ty_tokens.first().is_some_and(|t| t == "Option");
+        fields.push(Field {
+            json_name: attrs.rename.unwrap_or_else(|| name.clone()),
+            name,
+            ty,
+            skip_if: attrs.skip_if,
+            is_option,
+        });
+    }
+    fields
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        while i < tokens.len() && eat_attribute(tokens, &mut i, &mut attrs) {}
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let mut has_payload = false;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    has_payload = true;
+                    i += 1;
+                }
+                other => panic!("serde_derive: unsupported variant {name} body {other:?}"),
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, has_payload });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.shape {
+        Shape::NamedStruct(fields) => {
+            let mut out = String::from(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let push = format!(
+                    "fields.push((::std::string::String::from(\"{json}\"), \
+                     ::serde::Serialize::to_content(&self.{name})));",
+                    json = f.json_name,
+                    name = f.name
+                );
+                match &f.skip_if {
+                    Some(pred) => {
+                        out.push_str(&format!("if !({pred}(&self.{})) {{ {push} }}\n", f.name));
+                    }
+                    None => {
+                        out.push_str(&push);
+                        out.push('\n');
+                    }
+                }
+            }
+            out.push_str("::serde::Content::Map(fields)");
+            out
+        }
+        Shape::TransparentTuple => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                if v.has_payload {
+                    arms.push_str(&format!(
+                        "{name}::{v} (inner) => ::serde::Content::Map(vec![\
+                         (::std::string::String::from(\"{v}\"), \
+                          ::serde::Serialize::to_content(inner))]),\n",
+                        v = v.name
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Content::Str(::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let missing = if f.is_option {
+                    "::std::option::Option::None".to_string()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(\
+                         ::serde::DeError::missing_field(\"{}\", \"{name}\"))",
+                        f.json_name
+                    )
+                };
+                inits.push_str(&format!(
+                    "{field}: match ::serde::content_get(map, \"{json}\") {{\n\
+                     ::std::option::Option::Some(v) => \
+                     <{ty} as ::serde::Deserialize>::from_content(v)?,\n\
+                     ::std::option::Option::None => {missing},\n}},\n",
+                    field = f.name,
+                    json = f.json_name,
+                    ty = f.ty
+                ));
+            }
+            format!(
+                "let map = match c {{\n\
+                 ::serde::Content::Map(m) => m,\n\
+                 _ => return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"object\", \"{name}\")),\n}};\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TransparentTuple => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))")
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut newtype_arms = String::new();
+            for v in variants {
+                if v.has_payload {
+                    newtype_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_content(&m[0].1)?)),\n",
+                        v = v.name
+                    ));
+                } else {
+                    unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            format!(
+                "match c {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(other, \"{name}\")),\n}},\n\
+                 ::serde::Content::Map(m) if m.len() == 1 => match m[0].0.as_str() {{\n{newtype_arms}\
+                 other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(other, \"{name}\")),\n}},\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"variant of\", \"{name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,802 @@
+//! Offline vendored subset of the `serde_json` API.
+//!
+//! Text layer over the vendored `serde` crate's [`Content`] data model:
+//! a recursive-descent parser, compact and pretty writers, a dynamic
+//! [`Value`] with the indexing/comparison sugar the workspace's tests
+//! use, and a [`json!`] macro for object literals with expression values.
+//!
+//! Floats are formatted with Rust's `{:?}`, which produces the shortest
+//! decimal string that round-trips to the same bits — the behaviour of
+//! upstream serde_json's `float_roundtrip` feature. Combined with Rust's
+//! correctly-rounded `str::parse::<f64>`, every finite f64 survives a
+//! text round trip bit for bit (what `tests/atlas_wire.rs` relies on).
+//!
+//! Object order: parsing and serialization both preserve field order
+//! (structs serialize in declaration order, like upstream).
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+// ------------------------------------------------------------------ Value
+
+/// A JSON number: integer forms are kept exact, everything else is f64.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// A non-negative integer token.
+    PosInt(u64),
+    /// A negative integer token.
+    NegInt(i64),
+    /// A token with a fraction or exponent.
+    Float(f64),
+}
+
+impl Number {
+    /// This number as f64 (always possible, maybe lossy).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// This number as u64, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(v) => u64::try_from(v).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// This number as i64, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_f64() == other.as_f64(),
+            },
+        }
+    }
+}
+
+/// A dynamically-typed JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    /// Field order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as f64, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// This value as u64, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// This value as i64, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Is this `null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Field lookup on objects (`None` on missing key or non-object).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn from_content(c: &Content) -> Value {
+        match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(*b),
+            Content::I64(v) => {
+                if *v >= 0 {
+                    Value::Number(Number::PosInt(*v as u64))
+                } else {
+                    Value::Number(Number::NegInt(*v))
+                }
+            }
+            Content::U64(v) => Value::Number(Number::PosInt(*v)),
+            Content::F64(v) => Value::Number(Number::Float(*v)),
+            Content::Str(s) => Value::String(s.clone()),
+            Content::Seq(items) => Value::Array(items.iter().map(Value::from_content).collect()),
+            Content::Map(fields) => Value::Object(
+                fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from_content(v)))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(Number::PosInt(v)) => Content::U64(*v),
+            Value::Number(Number::NegInt(v)) => Content::I64(*v),
+            Value::Number(Number::Float(v)) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(Value::to_content).collect()),
+            Value::Object(fields) => Content::Map(
+                fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_content()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        Value::to_content(self)
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(c: &Content) -> Result<Value, serde::DeError> {
+        Ok(Value::from_content(c))
+    }
+}
+
+/// Missing object keys index to this shared `null` (upstream behaviour
+/// for shared references).
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! value_int_eq {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => match n.as_i64() {
+                        Some(v) => i64::try_from(*other).map(|o| v == o).unwrap_or(false),
+                        None => n.as_u64().and_then(|v| u64::try_from(*other).ok().map(|o| v == o))
+                            .unwrap_or(false),
+                    },
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+value_int_eq!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_content(&Value::to_content(self), &mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+// ------------------------------------------------------------------ errors
+
+/// A parse (or structure) error with a byte offset where available.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+    offset: Option<usize>,
+}
+
+impl Error {
+    fn at(msg: impl Into<String>, offset: usize) -> Error {
+        Error {
+            msg: msg.into(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "{} at byte {}", self.msg, off),
+            None => f.write_str(&self.msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error {
+            msg: e.to_string(),
+            offset: None,
+        }
+    }
+}
+
+// ------------------------------------------------------------------ parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::at(format!("expected `{kw}`"), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b't') => self.eat_keyword("true").map(|_| Content::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|_| Content::Bool(false)),
+            Some(b'n') => self.eat_keyword("null").map(|_| Content::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(other) => Err(Error::at(
+                format!("unexpected character `{}`", other as char),
+                self.pos,
+            )),
+            None => Err(Error::at("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(fields));
+                }
+                _ => return Err(Error::at("expected `,` or `}` in object", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(Error::at("expected `,` or `]` in array", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // Input is a &str, so slices at char boundaries are UTF-8.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::at("invalid UTF-8 in string", start))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::at("unterminated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                self.eat_keyword("\\u")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::at("invalid low surrogate", self.pos));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(ch.ok_or_else(|| Error::at("invalid \\u escape", self.pos))?);
+                        }
+                        other => {
+                            return Err(Error::at(
+                                format!("invalid escape `\\{}`", other as char),
+                                self.pos,
+                            ))
+                        }
+                    }
+                }
+                Some(_) => return Err(Error::at("control character in string", self.pos)),
+                None => return Err(Error::at("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error::at("truncated \\u escape", self.pos))?;
+        let s = std::str::from_utf8(hex).map_err(|_| Error::at("bad \\u escape", self.pos))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error::at("bad \\u escape", self.pos))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::at("bad number", start))?;
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(v) = text.parse::<i64>() {
+                    return Ok(Content::I64(v));
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error::at(format!("invalid number `{text}`"), start))
+    }
+
+    fn finish(mut self, c: Content) -> Result<Content, Error> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(c)
+        } else {
+            Err(Error::at("trailing characters", self.pos))
+        }
+    }
+}
+
+fn parse_content(text: &str) -> Result<Content, Error> {
+    let mut p = Parser::new(text);
+    let c = p.value()?;
+    p.finish(c)
+}
+
+// ------------------------------------------------------------------ writer
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // `{:?}` is shortest-round-trip: parses back to the same bits.
+        let s = format!("{v:?}");
+        out.push_str(&s);
+    } else {
+        // JSON has no NaN/Infinity; upstream writes null.
+        out.push_str("null");
+    }
+}
+
+/// Write content as JSON. `indent = None` is compact; `Some(step)` is
+/// pretty with `step`-space indentation at nesting `depth`.
+fn write_content(c: &Content, out: &mut String, indent: Option<usize>, depth: usize) {
+    let (nl, pad, sep) = match indent {
+        Some(step) => ("\n", " ".repeat(step * (depth + 1)), ": "),
+        None => ("", String::new(), ":"),
+    };
+    let close_pad = match indent {
+        Some(step) => " ".repeat(step * depth),
+        None => String::new(),
+    };
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(*v, out),
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_content(item, out, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Content::Map(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_escaped(k, out);
+                out.push_str(sep);
+                write_content(v, out, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+    }
+}
+
+// ------------------------------------------------------------------ API
+
+/// Parse JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let content = parse_content(text)?;
+    Ok(T::from_content(&content)?)
+}
+
+/// Serialize to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize to 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Convert any serializable value into a dynamic [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    Value::from_content(&value.to_content())
+}
+
+/// Build a [`Value`] from a literal: `json!({"key": expr, ...})`,
+/// `json!([expr, ...])`, `json!(null)`, or `json!(expr)`.
+///
+/// Unlike upstream, nested *literals* must be wrapped in their own
+/// `json!` call (values are parsed as plain Rust expressions) — the
+/// workspace only uses flat literals with expression values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($key.to_string(), $crate::to_value(&$value)),)*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$value) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_writes_basic_documents() {
+        let v: Value = from_str(r#"{"a": 1, "b": [true, null, "x\n"], "c": -2.5}"#).unwrap();
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"][0], true);
+        assert!(v["b"][1].is_null());
+        assert_eq!(v["b"][2], "x\n");
+        assert_eq!(v["c"].as_f64().unwrap(), -2.5);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[true,null,"x\n"],"c":-2.5}"#
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_and_trailing_text() {
+        assert!(from_str::<Value>("not-json").is_err());
+        assert!(from_str::<Value>("{\"a\":1} extra").is_err());
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+
+    #[test]
+    fn floats_round_trip_bit_for_bit() {
+        for &v in &[
+            0.1f64,
+            0.62,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1.7976931348623157e308,
+            -12345.678901234567,
+            5.0,
+        ] {
+            let text = to_string(&v).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v} -> {text}");
+        }
+    }
+
+    #[test]
+    fn integers_keep_exactness() {
+        let v: Value = from_str("9007199254740993").unwrap(); // 2^53 + 1
+        assert_eq!(v.as_u64(), Some(9_007_199_254_740_993));
+        let v: Value = from_str("-42").unwrap();
+        assert_eq!(v.as_i64(), Some(-42));
+    }
+
+    #[test]
+    fn json_macro_builds_objects_in_order() {
+        let amp: Option<f64> = Some(3.5);
+        let doc = json!({
+            "asn": 64520u32,
+            "class": "Severe",
+            "amp": amp,
+            "none": Option::<f64>::None,
+        });
+        assert_eq!(
+            to_string(&doc).unwrap(),
+            r#"{"asn":64520,"class":"Severe","amp":3.5,"none":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable() {
+        let doc = json!({"a": vec![1u32, 2], "b": "x"});
+        let pretty = to_string_pretty(&doc).unwrap();
+        assert!(
+            pretty.contains("\n  \"a\": [\n    1,\n    2\n  ]"),
+            "{pretty}"
+        );
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        // Raw UTF-8 passes through; \u escapes (incl. a surrogate pair)
+        // decode to the same characters.
+        let v: Value = from_str(r#""é😀""#).unwrap();
+        assert_eq!(v, "é😀");
+        let v: Value = from_str("\"\\u00e9\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, "é😀");
+    }
+}
