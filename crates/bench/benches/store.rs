@@ -1,0 +1,90 @@
+//! Series-store benchmark: what a warm cache is worth.
+//!
+//! A population analysis spends nearly all of its time ingesting
+//! traceroutes into per-probe bins; the binned medians those traceroutes
+//! reduce to are a few hundred `f64`s. `lastmile-store` memoizes that
+//! reduction, so the interesting numbers are:
+//!
+//! * **cold vs warm** — the same `(AS, period)` analysis against an empty
+//!   store (full traceroute ingest + write-back) and against a store that
+//!   already holds every probe's series (pure series replay).
+//! * **snapshot save / load** — the on-disk round trip for a survey-sized
+//!   store, in case a run starts from `--cache-dir` instead of memory.
+//!
+//! Both paths produce byte-identical reports (see `tests/store_survey.rs`);
+//! this benchmark prices the difference.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lastmile_repro::core::pipeline::PipelineConfig;
+use lastmile_repro::netsim::scenarios::survey::{survey_world, SurveyConfig, SurveyScenario};
+use lastmile_repro::netsim::TracerouteEngine;
+use lastmile_repro::runner::{analyze_population_stored, ProbeSelection};
+use lastmile_repro::store::{SeriesStore, StoreConfig};
+use lastmile_repro::timebase::MeasurementPeriod;
+
+fn bench_world() -> SurveyScenario {
+    survey_world(&SurveyConfig {
+        seed: 21,
+        n_ases: 20,
+        max_probes_per_as: 4,
+    })
+}
+
+fn bench_store(c: &mut Criterion) {
+    let scenario = bench_world();
+    let engine = TracerouteEngine::new(&scenario.world);
+    let cfg = PipelineConfig::paper();
+    let selection = ProbeSelection::regular();
+    let period = MeasurementPeriod::survey_periods()[0];
+    let asn = scenario.world.ases()[0].config.asn;
+
+    let mut g = c.benchmark_group("store");
+    g.sample_size(10);
+
+    // Cold: every iteration starts from an empty store, pays the full
+    // traceroute ingest, and writes the built series back.
+    g.bench_function("analysis_cold", |b| {
+        b.iter(|| {
+            let store = SeriesStore::default();
+            black_box(analyze_population_stored(
+                &engine, asn, &period, cfg, &selection, &store,
+            ))
+        })
+    });
+
+    // Warm: the store already holds every probe's series for the period;
+    // the analysis replays medians and recomputes only the period-scoped
+    // aggregation and detection stages.
+    let warm = SeriesStore::default();
+    analyze_population_stored(&engine, asn, &period, cfg, &selection, &warm);
+    assert_eq!(warm.counters().misses, warm.counters().inserts);
+    g.bench_function("analysis_warm", |b| {
+        b.iter(|| {
+            black_box(analyze_population_stored(
+                &engine, asn, &period, cfg, &selection, &warm,
+            ))
+        })
+    });
+
+    // Snapshot round trip for a store covering the whole bench world.
+    let full = SeriesStore::default();
+    for a in scenario.world.ases() {
+        analyze_population_stored(&engine, a.config.asn, &period, cfg, &selection, &full);
+    }
+    let dir = std::env::temp_dir().join("lastmile-store-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("bench-{}.lmss", std::process::id()));
+    let bytes = full.save_snapshot(&path, 21).unwrap();
+    eprintln!("snapshot: {} series, {bytes} bytes on disk", full.len());
+    g.bench_function("snapshot_save", |b| {
+        b.iter(|| full.save_snapshot(black_box(&path), 21).unwrap())
+    });
+    g.bench_function("snapshot_load", |b| {
+        b.iter(|| black_box(SeriesStore::load_snapshot(&path, 21, StoreConfig::default()).unwrap()))
+    });
+    let _ = std::fs::remove_file(&path);
+    g.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Shared `--cache-dir` / `--cache` plumbing for the subcommands that can
+//! reuse per-probe median series across runs.
+//!
+//! A cache directory holds one snapshot file (`series.lmss`) and is valid
+//! for exactly one data source: the snapshot records a fingerprint of the
+//! traceroute file it was built from, and a snapshot from a different
+//! source (or a corrupt/truncated/old-format file) is reported and
+//! ignored — the run recomputes everything, and in `rw` mode rewrites the
+//! snapshot.
+
+use crate::Flags;
+use lastmile_repro::obs::{RunMetrics, StageTimer};
+use lastmile_repro::store::{CacheMode, SeriesStore, StoreConfig};
+use std::io::Read;
+use std::path::PathBuf;
+
+/// Snapshot file name inside `--cache-dir`.
+pub const SNAPSHOT_FILE: &str = "series.lmss";
+
+/// An active series cache: the (possibly snapshot-loaded) store plus
+/// where and how to persist it.
+pub struct Cache {
+    pub store: SeriesStore,
+    pub path: PathBuf,
+    pub fingerprint: u64,
+    pub mode: CacheMode,
+}
+
+/// Build the cache from `--cache-dir DIR` and `--cache off|ro|rw`
+/// (default `rw`). Returns `None` when no `--cache-dir` was given.
+/// `fingerprint` identifies the data source (see [`file_fingerprint`]);
+/// it is computed lazily so an uncached run never pays for it.
+pub fn from_flags(
+    flags: &Flags,
+    fingerprint: impl FnOnce() -> Result<u64, String>,
+    metrics: Option<&RunMetrics>,
+) -> Result<Option<Cache>, String> {
+    let mode: CacheMode = flags.parsed("cache")?.unwrap_or_default();
+    let Some(dir) = flags.optional("cache-dir") else {
+        if flags.optional("cache").is_some() {
+            return Err("--cache needs --cache-dir".into());
+        }
+        return Ok(None);
+    };
+    std::fs::create_dir_all(dir).map_err(|e| format!("create --cache-dir {dir}: {e}"))?;
+    let path = PathBuf::from(dir).join(SNAPSHOT_FILE);
+    let fingerprint = fingerprint()?;
+    let config = StoreConfig {
+        mode,
+        ..StoreConfig::default()
+    };
+    if mode == CacheMode::Off {
+        return Ok(Some(Cache {
+            store: SeriesStore::new(config),
+            path,
+            fingerprint,
+            mode,
+        }));
+    }
+    let load_timer = StageTimer::start();
+    let (store, bytes, error) = SeriesStore::load_snapshot_or_empty(&path, fingerprint, config);
+    if let Some(m) = metrics {
+        m.add_store_load_nanos(load_timer.elapsed_nanos());
+        m.add_store_bytes_read(bytes);
+    }
+    match &error {
+        Some(e) => eprintln!("[cache] ignoring {}: {e} (recomputing)", path.display()),
+        None if bytes > 0 => eprintln!(
+            "[cache] loaded {} ({} series, {bytes} bytes)",
+            path.display(),
+            store.len()
+        ),
+        None => {}
+    }
+    Ok(Some(Cache {
+        store,
+        path,
+        fingerprint,
+        mode,
+    }))
+}
+
+impl Cache {
+    /// Persist the store back to the snapshot (no-op unless `rw`).
+    pub fn persist(&self, metrics: Option<&RunMetrics>) -> Result<(), String> {
+        if self.mode != CacheMode::ReadWrite {
+            return Ok(());
+        }
+        let save_timer = StageTimer::start();
+        let bytes = self
+            .store
+            .save_snapshot(&self.path, self.fingerprint)
+            .map_err(|e| format!("save cache snapshot {}: {e}", self.path.display()))?;
+        if let Some(m) = metrics {
+            m.add_store_save_nanos(save_timer.elapsed_nanos());
+            m.add_store_bytes_written(bytes);
+        }
+        eprintln!(
+            "[cache] saved {} ({} series, {bytes} bytes)",
+            self.path.display(),
+            self.store.len()
+        );
+        Ok(())
+    }
+}
+
+/// Fingerprint a data file by content (FNV-1a over its bytes): the same
+/// bytes give the same fingerprint wherever the file lives, and any
+/// content change invalidates snapshots built from it.
+pub fn file_fingerprint(path: &str) -> Result<u64, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = reader
+            .read(&mut buf)
+            .map_err(|e| format!("read {path}: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        for &b in &buf[..n] {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_tracks_content_not_name() {
+        let dir = std::env::temp_dir().join("lastmile-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.jsonl");
+        let b = dir.join("b.jsonl");
+        std::fs::write(&a, "same bytes").unwrap();
+        std::fs::write(&b, "same bytes").unwrap();
+        let fa = file_fingerprint(a.to_str().unwrap()).unwrap();
+        let fb = file_fingerprint(b.to_str().unwrap()).unwrap();
+        assert_eq!(fa, fb);
+        std::fs::write(&b, "other bytes").unwrap();
+        assert_ne!(fa, file_fingerprint(b.to_str().unwrap()).unwrap());
+        assert!(file_fingerprint("/does/not/exist").is_err());
+    }
+}

@@ -2,21 +2,34 @@
 //! Atlas-format traceroute data on disk.
 
 use crate::bgp::load_table;
+use crate::cache::{self, Cache};
 use crate::input::{group_by_asn, load_probes, resolve_window, stream_traceroutes};
 use crate::Flags;
 use lastmile_repro::atlas::ProbeId;
-use lastmile_repro::core::pipeline::{AsPipeline, PipelineConfig, PopulationAnalysis};
+use lastmile_repro::core::pipeline::{
+    AsPipeline, PipelineConfig, PopulationAnalysis, PrebuiltSeries,
+};
 use lastmile_repro::obs::{RunMetrics, StageTimer};
 use lastmile_repro::prefix::Asn;
-use lastmile_repro::runner::record_population_metrics;
+use lastmile_repro::runner::{record_population_metrics, store_traffic_since};
+use lastmile_repro::store::{CacheMode, Lookup, StoreKey};
 use lastmile_repro::timebase::UnixTime;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Shared plumbing for `classify` and `hygiene`: stream the file (twice —
 /// once for the time span, once for the analysis) and return one
 /// [`PopulationAnalysis`] per ASN (ASN 0 = "all probes" when no metadata
 /// is given). When `metrics` is given, pipeline counters and stage
 /// timings are accumulated into it.
+///
+/// With `--cache-dir` the per-probe median series are served from /
+/// memoized into a `lastmile-store` snapshot: a probe whose series the
+/// cache already holds for the whole analysis window skips ingestion
+/// entirely, and freshly built series are written back (`--cache rw`, the
+/// default). The classification output is byte-identical either way. The
+/// cache only engages when the window is aligned to bin boundaries —
+/// pass explicit midnight-aligned `--start`/`--end`; the data-span
+/// fallback window almost never aligns, and unaligned windows bypass.
 pub fn analyze_file(
     flags: &Flags,
     metrics: Option<&RunMetrics>,
@@ -55,10 +68,30 @@ pub fn analyze_file(
         cfg.min_probes_per_bin = min_probes.min(cfg.min_probes_per_bin);
     }
 
+    // Series cache, when requested. The source identity is the traceroute
+    // file's content: same bytes, same fingerprint, wherever it lives.
+    let cache: Option<Cache> = cache::from_flags(flags, || cache::file_fingerprint(path), metrics)?;
+    let counters_before = cache.as_ref().map(|c| c.store.counters());
+    // Retaining built series costs memory; only pay when write-back can
+    // accept them (rw mode, bin-aligned window).
+    let retain = cache
+        .as_ref()
+        .is_some_and(|c| c.mode == CacheMode::ReadWrite && cfg.bin.is_aligned(&window));
+    let new_pipeline = move || {
+        let mut p = AsPipeline::new(cfg, window);
+        p.retain_median_series(retain);
+        p
+    };
+
     // Pass 2: route into per-AS pipelines. Probe metadata wins; otherwise
     // the BGP table maps the first public hop (the paper's ISP edge) to
     // its origin ASN; otherwise everything is one population (ASN 0).
+    // A probe whose series the cache covers for the whole window is
+    // "served": its traceroutes are skipped and the prebuilt series is
+    // fed to its population after the stream.
     let mut pipelines: BTreeMap<Asn, AsPipeline> = BTreeMap::new();
+    let mut served: BTreeMap<ProbeId, (Asn, PrebuiltSeries)> = BTreeMap::new();
+    let mut unserved: BTreeSet<ProbeId> = BTreeSet::new();
     let ingest_timer = StageTimer::start();
     stream_traceroutes(path, |tr| {
         let asn = match (&probe_to_asn, &bgp) {
@@ -72,16 +105,41 @@ pub fn analyze_file(
             },
             (None, None) => 0,
         };
+        if let Some(c) = &cache {
+            if served.contains_key(&tr.probe) {
+                return;
+            }
+            if !unserved.contains(&tr.probe) {
+                match c
+                    .store
+                    .lookup(&StoreKey::for_pipeline(tr.probe, &cfg), &window)
+                {
+                    Lookup::Hit(pre) => {
+                        served.insert(tr.probe, (asn, pre));
+                        return;
+                    }
+                    Lookup::Miss | Lookup::Bypass => {
+                        unserved.insert(tr.probe);
+                    }
+                }
+            }
+        }
         pipelines
             .entry(asn)
-            .or_insert_with(|| AsPipeline::new(cfg, window))
+            .or_insert_with(new_pipeline)
             .ingest(&tr);
     })?;
+    for (_, (asn, pre)) in served {
+        pipelines
+            .entry(asn)
+            .or_insert_with(new_pipeline)
+            .ingest_series(pre);
+    }
     if let Some(m) = metrics {
         m.add_ingest_nanos(ingest_timer.elapsed_nanos());
     }
 
-    Ok(pipelines
+    let results: Vec<(Asn, PopulationAnalysis)> = pipelines
         .into_iter()
         .map(|(asn, p)| {
             let analysis = p.finish();
@@ -97,7 +155,24 @@ pub fn analyze_file(
             }
             (asn, analysis)
         })
-        .collect())
+        .collect();
+
+    if let Some(c) = &cache {
+        for (_, analysis) in &results {
+            for built in &analysis.built_series {
+                c.store.insert(
+                    &StoreKey::for_pipeline(built.series.probe(), &cfg),
+                    &window,
+                    built,
+                );
+            }
+        }
+        c.persist(metrics)?;
+        if let (Some(m), Some(before)) = (metrics, counters_before) {
+            m.add_store_traffic(&store_traffic_since(before, c.store.counters()));
+        }
+    }
+    Ok(results)
 }
 
 pub fn run(flags: &Flags) -> Result<(), String> {

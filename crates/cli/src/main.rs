@@ -17,6 +17,7 @@
 //! anchors cannot be excluded.
 
 mod bgp;
+mod cache;
 mod classify;
 mod hygiene;
 mod input;
@@ -89,10 +90,10 @@ impl Flags {
 
 fn usage() -> &'static str {
     "usage:\n  \
-     lastmile classify --traceroutes FILE [--probes FILE | --bgp TABLE.csv] [--start UNIX --end UNIX] [--min-probes N] [--json] [--stats | --stats-out FILE]\n  \
+     lastmile classify --traceroutes FILE [--probes FILE | --bgp TABLE.csv] [--start UNIX --end UNIX] [--min-probes N] [--cache-dir DIR [--cache off|ro|rw]] [--json] [--stats | --stats-out FILE]\n  \
      lastmile hygiene  --traceroutes FILE [--probes FILE] [--start UNIX --end UNIX] [--threshold MS]\n  \
      lastmile throughput --cdn FILE.tsv --bgp TABLE.csv [--bin-minutes 15] [--view broadband|mobile|v4|v6] [--csv OUT]\n  \
-     lastmile simulate --scenario tokyo|fig1|anchor --out DIR [--seed N] [--days N]"
+     lastmile simulate --scenario tokyo|fig1|anchor --out DIR [--seed N] [--days N] [--cache-dir DIR [--cache off|ro|rw]]"
 }
 
 fn main() -> ExitCode {

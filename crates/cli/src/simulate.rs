@@ -3,11 +3,15 @@
 //! the Tokyo scenario the CDN access logs (TSV) — so external tools (or
 //! the paper's original pipeline) can be pointed at the simulated data.
 
+use crate::cache;
 use crate::Flags;
 use lastmile_repro::atlas::json::to_atlas_json;
 use lastmile_repro::cdnlog::{CdnGeneratorConfig, CdnLogGenerator};
+use lastmile_repro::core::pipeline::PipelineConfig;
+use lastmile_repro::core::series::ProbeSeriesBuilder;
 use lastmile_repro::netsim::scenarios::{anchor, examples, tokyo};
 use lastmile_repro::netsim::{ServiceClass, TracerouteEngine, World};
+use lastmile_repro::store::{CacheMode, SeriesStore, StoreKey};
 use lastmile_repro::timebase::{MeasurementPeriod, TimeRange};
 use std::io::Write;
 
@@ -19,6 +23,17 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     if days <= 0 {
         return Err("--days must be positive".into());
     }
+    // `--cache-dir` primes a series snapshot alongside the export, so a
+    // later `classify --cache-dir` over the exported traceroutes starts
+    // warm. Only `rw` (the default) writes; `ro`/`off` skip priming.
+    let cache_dir = flags.optional("cache-dir");
+    let cache_mode: CacheMode = flags.parsed("cache")?.unwrap_or_default();
+    if cache_dir.is_none() && flags.optional("cache").is_some() {
+        return Err("--cache needs --cache-dir".into());
+    }
+    let prime = cache_dir.is_some() && cache_mode == CacheMode::ReadWrite;
+    let cfg = PipelineConfig::paper();
+    let store = SeriesStore::default();
     std::fs::create_dir_all(out_dir).map_err(|e| format!("create {out_dir}: {e}"))?;
 
     let (world, default_period, with_cdn): (World, MeasurementPeriod, bool) = match scenario {
@@ -65,19 +80,59 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     let mut count = 0usize;
     for probe in world.probes() {
         let mut failed = None;
+        // Piggy-back series building on the export stream: the builder
+        // sees exactly the traceroutes a classify of the exported file
+        // would feed it, and the JSON round trip is value-exact, so the
+        // primed cache reproduces a cold classify bit for bit.
+        let mut builder = prime
+            .then(|| ProbeSeriesBuilder::new(probe.meta.id, cfg.bin, cfg.min_traceroutes_per_bin));
         engine.for_each_traceroute(probe, &window, |tr| {
             let line = to_atlas_json(&tr, probe.meta.public_addr);
             if let Err(e) = writeln!(w, "{line}") {
                 failed = Some(e);
+            }
+            if let Some(b) = builder.as_mut() {
+                b.ingest(&tr);
             }
             count += 1;
         });
         if let Some(e) = failed {
             return Err(format!("write {trs_path}: {e}"));
         }
+        if let Some(b) = builder {
+            let built = b.finish_detailed();
+            store.insert(
+                &StoreKey::for_pipeline(probe.meta.id, &cfg),
+                &window,
+                &built,
+            );
+        }
     }
     w.flush().map_err(|e| format!("flush {trs_path}: {e}"))?;
     eprintln!("[out] {trs_path} ({count} traceroutes)");
+
+    if let Some(dir) = cache_dir {
+        if prime {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create --cache-dir {dir}: {e}"))?;
+            let snap = std::path::Path::new(dir).join(cache::SNAPSHOT_FILE);
+            let fingerprint = cache::file_fingerprint(&trs_path)?;
+            let bytes = store
+                .save_snapshot(&snap, fingerprint)
+                .map_err(|e| format!("save cache snapshot {}: {e}", snap.display()))?;
+            eprintln!(
+                "[cache] primed {} ({} series, {bytes} bytes; classify with \
+                 --start {} --end {} to hit it)",
+                snap.display(),
+                store.len(),
+                window.start().as_secs(),
+                window.end().as_secs()
+            );
+        } else {
+            eprintln!(
+                "[cache] --cache {cache_mode:?} given: simulate only primes in rw mode, skipping"
+            );
+        }
+    }
 
     // IPv6 built-ins, when any AS offers an IPv6 service. Kept in a
     // separate file: the paper's delay analysis is per-family (v6 rides

@@ -14,7 +14,7 @@
 
 use crate::aggregate::{aggregate_median, AggregatedSignal};
 use crate::detect::{detect, CongestionClass, Detection};
-use crate::series::{ProbeSeriesBuilder, QueuingDelaySeries};
+use crate::series::{BuiltSeries, ProbeSeries, ProbeSeriesBuilder, QueuingDelaySeries};
 use lastmile_atlas::{ProbeId, TracerouteResult};
 use lastmile_timebase::{BinSpec, TimeRange};
 use std::collections::BTreeMap;
@@ -81,11 +81,31 @@ pub struct PopulationStats {
     pub detect_nanos: u64,
 }
 
+/// A per-probe median series handed to the pipeline ready-made — either
+/// sliced out of a `lastmile-store` cache (zero traceroutes consumed) or
+/// built externally from a traceroute stream. The attached statistics let
+/// the pipeline report the same [`PopulationStats`] a raw ingest would.
+#[derive(Clone, Debug)]
+pub struct PrebuiltSeries {
+    /// The probe's binned median-RTT series, already restricted to the
+    /// pipeline's measurement period and sanity-filtered.
+    pub series: ProbeSeries,
+    /// Bins the sanity filter discarded while building it (within the
+    /// period).
+    pub bins_discarded_sanity: u64,
+    /// Traceroutes consumed to build it. `0` for a cache hit — that is
+    /// exactly what the warm-store acceptance counters assert on.
+    pub traceroutes_ingested: u64,
+}
+
 /// Streams traceroutes of a probe population into an analysis.
 pub struct AsPipeline {
     cfg: PipelineConfig,
     period: TimeRange,
     builders: BTreeMap<ProbeId, ProbeSeriesBuilder>,
+    prebuilt: BTreeMap<ProbeId, ProbeSeries>,
+    prebuilt_discarded: u64,
+    retain_median_series: bool,
     ingested: u64,
     ignored_out_of_period: usize,
 }
@@ -97,9 +117,41 @@ impl AsPipeline {
             cfg,
             period,
             builders: BTreeMap::new(),
+            prebuilt: BTreeMap::new(),
+            prebuilt_discarded: 0,
+            retain_median_series: false,
             ingested: 0,
             ignored_out_of_period: 0,
         }
+    }
+
+    /// Keep each raw-built probe's median series (and its discarded bins)
+    /// in the analysis result, so the caller can insert them into a
+    /// series store after [`AsPipeline::finish`]. Off by default — the
+    /// retained copies roughly double the per-probe memory.
+    pub fn retain_median_series(&mut self, on: bool) {
+        self.retain_median_series = on;
+    }
+
+    /// Feed one probe's series ready-made instead of its raw traceroutes.
+    ///
+    /// Panics if the series' bin width differs from the pipeline's, or if
+    /// the probe was already fed (raw or prebuilt) — mixing sources for
+    /// one probe would corrupt the analysis silently.
+    pub fn ingest_series(&mut self, pre: PrebuiltSeries) {
+        assert_eq!(
+            pre.series.bin(),
+            self.cfg.bin,
+            "prebuilt series bin width differs from the pipeline's"
+        );
+        let probe = pre.series.probe();
+        assert!(
+            !self.builders.contains_key(&probe) && !self.prebuilt.contains_key(&probe),
+            "probe {probe:?} fed twice (raw and/or prebuilt)"
+        );
+        self.ingested += pre.traceroutes_ingested;
+        self.prebuilt_discarded += pre.bins_discarded_sanity;
+        self.prebuilt.insert(probe, pre.series);
     }
 
     /// The measurement period.
@@ -131,7 +183,7 @@ impl AsPipeline {
 
     /// Number of probes seen so far.
     pub fn probe_count(&self) -> usize {
-        self.builders.len()
+        self.builders.len() + self.prebuilt.len()
     }
 
     /// Run the full analysis.
@@ -141,17 +193,46 @@ impl AsPipeline {
         let mut stats = PopulationStats {
             traceroutes_ingested: self.ingested,
             traceroutes_out_of_period: self.ignored_out_of_period as u64,
+            bins_discarded_sanity: self.prebuilt_discarded,
             ..PopulationStats::default()
         };
 
         let t = Instant::now();
-        let probe_series: Vec<QueuingDelaySeries> = self
+        // Merge raw-built and prebuilt probes in ProbeId order — the same
+        // order a raw-only run produces, so downstream aggregation (and
+        // therefore the report) is byte-identical however each probe's
+        // series arrived.
+        enum Source {
+            Raw(ProbeSeriesBuilder),
+            Pre(ProbeSeries),
+        }
+        let mut merged: BTreeMap<ProbeId, Source> = self
             .builders
+            .into_iter()
+            .map(|(probe, b)| (probe, Source::Raw(b)))
+            .collect();
+        for (probe, series) in self.prebuilt {
+            let clash = merged.insert(probe, Source::Pre(series));
+            assert!(
+                clash.is_none(),
+                "probe {probe:?} fed twice (raw and prebuilt)"
+            );
+        }
+        let retain = self.retain_median_series;
+        let mut built_series: Vec<BuiltSeries> = Vec::new();
+        let probe_series: Vec<QueuingDelaySeries> = merged
             .into_values()
-            .map(|b| {
-                let (series, discarded) = b.finish_with_stats();
-                stats.bins_discarded_sanity += discarded;
-                series.queuing_delay()
+            .map(|src| match src {
+                Source::Raw(b) => {
+                    let built = b.finish_detailed();
+                    stats.bins_discarded_sanity += built.discarded_bins.len() as u64;
+                    let q = built.series.queuing_delay();
+                    if retain {
+                        built_series.push(built);
+                    }
+                    q
+                }
+                Source::Pre(series) => series.queuing_delay(),
             })
             .filter(|s| !s.is_empty())
             .collect();
@@ -182,6 +263,7 @@ impl AsPipeline {
             detection,
             enough_probes,
             stats,
+            built_series,
         }
     }
 }
@@ -204,6 +286,10 @@ pub struct PopulationAnalysis {
     pub enough_probes: bool,
     /// Counters and stage timings from this analysis.
     pub stats: PopulationStats,
+    /// Median series of the raw-built probes, kept only when
+    /// [`AsPipeline::retain_median_series`] was enabled (for insertion
+    /// into a series store); empty otherwise.
+    pub built_series: Vec<BuiltSeries>,
 }
 
 impl PopulationAnalysis {

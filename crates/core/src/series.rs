@@ -18,7 +18,7 @@
 use crate::estimator::last_mile_samples;
 use lastmile_atlas::{ProbeId, TracerouteResult};
 use lastmile_stats::median_in_place;
-use lastmile_timebase::{BinIndex, BinSpec, UnixTime};
+use lastmile_timebase::{BinIndex, BinSpec, TimeRange, UnixTime};
 use std::collections::BTreeMap;
 
 /// Accumulates one probe's last-mile samples into time bins.
@@ -87,26 +87,48 @@ impl ProbeSeriesBuilder {
     /// the sanity filter discarded (§2's "discard traceroutes in bins
     /// that have less than 3 traceroutes").
     pub fn finish_with_stats(self) -> (ProbeSeries, u64) {
+        let built = self.finish_detailed();
+        let discarded = built.discarded_bins.len() as u64;
+        (built.series, discarded)
+    }
+
+    /// Like [`ProbeSeriesBuilder::finish_with_stats`], but reporting the
+    /// *indices* of the discarded bins rather than only their count. The
+    /// series store persists these so a cache hit can reproduce the same
+    /// sanity-filter statistics as a fresh build.
+    pub fn finish_detailed(self) -> BuiltSeries {
         let mut medians = BTreeMap::new();
-        let mut discarded = 0u64;
+        let mut discarded_bins = Vec::new();
         for (bin, mut accum) in self.bins {
             if accum.traceroutes < self.min_traceroutes {
-                discarded += 1; // disconnected probe: discard the whole bin
+                discarded_bins.push(bin); // disconnected probe: discard the whole bin
                 continue;
             }
             if let Some(m) = median_in_place(&mut accum.samples) {
                 medians.insert(bin, m);
             }
         }
-        (
-            ProbeSeries {
+        BuiltSeries {
+            series: ProbeSeries {
                 probe: self.probe,
                 bin: self.bin,
                 medians,
             },
-            discarded,
-        )
+            discarded_bins,
+        }
     }
+}
+
+/// A freshly built [`ProbeSeries`] together with the bins the sanity
+/// filter discarded — everything a series cache needs to answer later
+/// requests with the exact statistics of a fresh build.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BuiltSeries {
+    /// The surviving per-bin medians.
+    pub series: ProbeSeries,
+    /// Indices of bins dropped by the sanity filter (held data, but fewer
+    /// than the minimum traceroutes).
+    pub discarded_bins: Vec<BinIndex>,
 }
 
 /// One probe's median last-mile RTT per time bin.
@@ -118,6 +140,21 @@ pub struct ProbeSeries {
 }
 
 impl ProbeSeries {
+    /// Reassemble a series from its parts (the series store's snapshot
+    /// loader uses this; values must be per-bin medians that already
+    /// passed the sanity filter).
+    pub fn from_parts(
+        probe: ProbeId,
+        bin: BinSpec,
+        medians: BTreeMap<BinIndex, f64>,
+    ) -> ProbeSeries {
+        ProbeSeries {
+            probe,
+            bin,
+            medians,
+        }
+    }
+
     /// The probe.
     pub fn probe(&self) -> ProbeId {
         self.probe
@@ -143,6 +180,25 @@ impl ProbeSeries {
         self.medians
             .iter()
             .map(|(&b, &v)| (self.bin.index_start(b), v))
+    }
+
+    /// Iterate `(bin index, median RTT)` in time order — the raw storage
+    /// view used by the series store's snapshot codec.
+    pub fn iter_bins(&self) -> impl Iterator<Item = (BinIndex, f64)> + '_ {
+        self.medians.iter().map(|(&b, &v)| (b, v))
+    }
+
+    /// Restrict the series to the bins whose start instant falls inside
+    /// `range`. For bin-aligned ranges (every paper period is) this is
+    /// exactly the series a fresh build over `range` would produce, since
+    /// a bin's median depends only on that bin's traceroutes.
+    pub fn slice(&self, range: &TimeRange) -> ProbeSeries {
+        let span = self.bin.index_span(range);
+        ProbeSeries {
+            probe: self.probe,
+            bin: self.bin,
+            medians: self.medians.range(span).map(|(&b, &v)| (b, v)).collect(),
+        }
     }
 
     /// The minimum median RTT of the period — the propagation-delay

@@ -3,12 +3,16 @@
 use lastmile_repro::core::pipeline::{PipelineConfig, PopulationAnalysis};
 use lastmile_repro::core::report::SurveyReport;
 use lastmile_repro::netsim::scenarios::survey::{survey_world, SurveyConfig, SurveyScenario};
+use lastmile_repro::netsim::TracerouteEngine;
 use lastmile_repro::netsim::World;
 use lastmile_repro::runner::{
-    analyze_population, eyeballs_from_ground_truth, run_survey, ProbeSelection, SurveyOptions,
+    analyze_population_stored, eyeballs_from_ground_truth, run_survey, ProbeSelection,
+    SurveyOptions,
 };
+use lastmile_repro::store::SeriesStore;
 use lastmile_repro::timebase::MeasurementPeriod;
 use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Harness options plus lazily computed shared state.
@@ -64,10 +68,19 @@ impl Ctx {
         })
     }
 
-    /// Write a CSV file into the output directory.
+    /// Write a CSV file into the output directory, creating the
+    /// directory first if needed.
     pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) {
+        if let Err(e) = std::fs::create_dir_all(&self.out_dir) {
+            panic!(
+                "cannot create output directory {:?}: {e} \
+                 (pass a writable directory via --out)",
+                self.out_dir
+            );
+        }
         let path = format!("{}/{}", self.out_dir, name);
-        let mut f = std::fs::File::create(&path).expect("create CSV");
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| panic!("cannot create CSV {path:?}: {e}"));
         writeln!(f, "{header}").expect("write CSV header");
         for row in rows {
             writeln!(f, "{row}").expect("write CSV row");
@@ -77,24 +90,55 @@ impl Ctx {
 }
 
 /// Analyse several (ASN, period, selection) populations in parallel.
+///
+/// Jobs are drained from a shared atomic cursor (work stealing), so a
+/// worker that lands on a probe-heavy population simply takes fewer jobs
+/// — static chunking let one heavy chunk bound the whole run. All
+/// workers share one traceroute engine and one in-memory series store:
+/// experiments that analyse the same probes under several periods or
+/// selections (fig4's per-period Tokyo splits, fig8's longitudinal
+/// windows) simulate and bin each probe once and serve the rest from the
+/// store. Results come back in job order regardless of scheduling.
 pub fn analyze_many(
     world: &World,
     jobs: &[(u32, MeasurementPeriod, ProbeSelection)],
     cfg: &PipelineConfig,
 ) -> Vec<PopulationAnalysis> {
-    let mut out: Vec<Option<PopulationAnalysis>> = Vec::new();
-    out.resize_with(jobs.len(), || None);
     let n_threads = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4);
-    let chunk = jobs.len().div_ceil(n_threads).max(1);
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let engine = TracerouteEngine::new(world);
+    let store = SeriesStore::default();
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<PopulationAnalysis>> = Vec::new();
+    out.resize_with(jobs.len(), || None);
     std::thread::scope(|scope| {
-        for (slot_chunk, job_chunk) in out.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, (asn, period, selection)) in slot_chunk.iter_mut().zip(job_chunk) {
-                    *slot = Some(analyze_population(world, *asn, period, *cfg, selection));
-                }
-            });
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                let engine = &engine;
+                let store = &store;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, PopulationAnalysis)> = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((asn, period, selection)) = jobs.get(idx) else {
+                            break;
+                        };
+                        done.push((
+                            idx,
+                            analyze_population_stored(engine, *asn, period, *cfg, selection, store),
+                        ));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (idx, analysis) in h.join().expect("analysis worker panicked") {
+                out[idx] = Some(analysis);
+            }
         }
     });
     out.into_iter()

@@ -19,6 +19,11 @@
 //!   probe-coverage gate and produced a [`Detection`].
 //! * `tasks_failed` — survey tasks whose worker panicked; the executor
 //!   isolates these per task instead of aborting the run.
+//! * `store_*` — series-store traffic when a run is given a
+//!   `lastmile-store` cache: lookup hits/misses/bypasses, entries
+//!   inserted and evicted, snapshot bytes written/read and the
+//!   nanoseconds spent saving/loading snapshots. A warm run over stored
+//!   probes shows `store_hits > 0` and `traceroutes_ingested == 0`.
 //!
 //! Stage timers accumulate wall-clock nanoseconds measured with the
 //! monotonic [`std::time::Instant`] clock; under a multi-threaded
@@ -48,6 +53,15 @@ pub struct RunMetrics {
     populations_analyzed: AtomicU64,
     populations_with_detection: AtomicU64,
     tasks_failed: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
+    store_bypasses: AtomicU64,
+    store_inserts: AtomicU64,
+    store_evictions: AtomicU64,
+    store_bytes_written: AtomicU64,
+    store_bytes_read: AtomicU64,
+    store_save_nanos: AtomicU64,
+    store_load_nanos: AtomicU64,
     /// Summed across workers (may exceed wall time).
     ingest_nanos: AtomicU64,
     series_nanos: AtomicU64,
@@ -92,6 +106,27 @@ impl RunMetrics {
         Self::add(&self.tasks_failed, 1);
     }
 
+    /// Record one batch of series-store lookup/insert traffic.
+    pub fn add_store_traffic(&self, traffic: &StoreTraffic) {
+        Self::add(&self.store_hits, traffic.hits);
+        Self::add(&self.store_misses, traffic.misses);
+        Self::add(&self.store_bypasses, traffic.bypasses);
+        Self::add(&self.store_inserts, traffic.inserts);
+        Self::add(&self.store_evictions, traffic.evictions);
+    }
+    pub fn add_store_bytes_written(&self, n: u64) {
+        Self::add(&self.store_bytes_written, n);
+    }
+    pub fn add_store_bytes_read(&self, n: u64) {
+        Self::add(&self.store_bytes_read, n);
+    }
+    pub fn add_store_save_nanos(&self, n: u64) {
+        Self::add(&self.store_save_nanos, n);
+    }
+    pub fn add_store_load_nanos(&self, n: u64) {
+        Self::add(&self.store_load_nanos, n);
+    }
+
     pub fn add_ingest_nanos(&self, n: u64) {
         Self::add(&self.ingest_nanos, n);
     }
@@ -123,6 +158,17 @@ impl RunMetrics {
             populations_analyzed: get(&self.populations_analyzed),
             populations_with_detection: get(&self.populations_with_detection),
             tasks_failed: get(&self.tasks_failed),
+            store: StoreStats {
+                hits: get(&self.store_hits),
+                misses: get(&self.store_misses),
+                bypasses: get(&self.store_bypasses),
+                inserts: get(&self.store_inserts),
+                evictions: get(&self.store_evictions),
+                snapshot_bytes_written: get(&self.store_bytes_written),
+                snapshot_bytes_read: get(&self.store_bytes_read),
+                snapshot_save_nanos: get(&self.store_save_nanos),
+                snapshot_load_nanos: get(&self.store_load_nanos),
+            },
             stage_nanos: StageNanos {
                 ingest: get(&self.ingest_nanos),
                 series: get(&self.series_nanos),
@@ -132,6 +178,32 @@ impl RunMetrics {
             },
         }
     }
+}
+
+/// One batch of series-store counter deltas, as reported by a store's
+/// counter diff between two points of a run. Plain data so `lastmile-obs`
+/// needs no dependency on `lastmile-store`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreTraffic {
+    pub hits: u64,
+    pub misses: u64,
+    pub bypasses: u64,
+    pub inserts: u64,
+    pub evictions: u64,
+}
+
+/// Series-store traffic of one run; all zero when no store was attached.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct StoreStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub bypasses: u64,
+    pub inserts: u64,
+    pub evictions: u64,
+    pub snapshot_bytes_written: u64,
+    pub snapshot_bytes_read: u64,
+    pub snapshot_save_nanos: u64,
+    pub snapshot_load_nanos: u64,
 }
 
 /// Per-stage wall-clock nanoseconds. Stage fields sum across worker
@@ -157,6 +229,7 @@ pub struct RunMetricsSnapshot {
     pub populations_analyzed: u64,
     pub populations_with_detection: u64,
     pub tasks_failed: u64,
+    pub store: StoreStats,
     pub stage_nanos: StageNanos,
 }
 
@@ -213,6 +286,21 @@ mod tests {
         m.add_population(true);
         m.add_population(false);
         m.add_task_failed();
+        m.add_store_traffic(&StoreTraffic {
+            hits: 6,
+            misses: 2,
+            bypasses: 1,
+            inserts: 2,
+            evictions: 1,
+        });
+        m.add_store_traffic(&StoreTraffic {
+            hits: 1,
+            ..StoreTraffic::default()
+        });
+        m.add_store_bytes_written(100);
+        m.add_store_bytes_read(80);
+        m.add_store_save_nanos(11);
+        m.add_store_load_nanos(9);
         let s = m.snapshot();
         assert_eq!(s.traceroutes_ingested, 15);
         assert_eq!(s.traceroutes_out_of_period, 2);
@@ -222,6 +310,20 @@ mod tests {
         assert_eq!(s.populations_analyzed, 2);
         assert_eq!(s.populations_with_detection, 1);
         assert_eq!(s.tasks_failed, 1);
+        assert_eq!(
+            s.store,
+            StoreStats {
+                hits: 7,
+                misses: 2,
+                bypasses: 1,
+                inserts: 2,
+                evictions: 1,
+                snapshot_bytes_written: 100,
+                snapshot_bytes_read: 80,
+                snapshot_save_nanos: 11,
+                snapshot_load_nanos: 9,
+            }
+        );
     }
 
     #[test]
@@ -264,6 +366,16 @@ mod tests {
             "populations_analyzed",
             "populations_with_detection",
             "tasks_failed",
+            "store",
+            "hits",
+            "misses",
+            "bypasses",
+            "inserts",
+            "evictions",
+            "snapshot_bytes_written",
+            "snapshot_bytes_read",
+            "snapshot_save_nanos",
+            "snapshot_load_nanos",
             "stage_nanos",
             "wall",
         ] {

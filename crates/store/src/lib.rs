@@ -1,0 +1,674 @@
+//! # lastmile-store
+//!
+//! A concurrent, sharded store of per-probe binned median-RTT series.
+//!
+//! Every (AS, period, selection) analysis bins the same probe's
+//! traceroutes into the same epoch-aligned 30-minute bins; a bin's median
+//! depends only on that bin's traceroutes, never on the surrounding
+//! measurement period. The store exploits that: it memoizes each probe's
+//! [`ProbeSeries`] keyed by [`StoreKey`] — `(probe, bin width, sanity
+//! threshold)` — together with the *bin-index coverage* of what has been
+//! computed, and answers any sub-range of the covered horizon by slicing.
+//! Overlapping periods, sliding longitudinal windows, and repeated survey
+//! runs therefore pay the simulation/binning cost once per probe instead
+//! of once per (run × probe).
+//!
+//! Only the *median* series is stored. The paper's queuing-delay baseline
+//! ("the minimum median RTT is computed separately for each measurement
+//! period", §2.1) is period-scoped, so it must be — and is — recomputed
+//! from each slice by the pipeline, which keeps reports byte-identical to
+//! a cache-free run.
+//!
+//! ## Correctness rules
+//!
+//! * A lookup or insert whose range is not aligned to bin boundaries is a
+//!   [`Lookup::Bypass`]: a partial edge bin would yield a median computed
+//!   from a subset of the bin's traceroutes, which is *not* the full-bin
+//!   median the store promises. Every paper period is midnight-aligned,
+//!   so in practice only hand-picked custom windows bypass.
+//! * A store is valid for exactly **one data source** (one simulated
+//!   world, or one traceroute file): the key does not identify the
+//!   source. On-disk snapshots carry a caller-supplied 64-bit source
+//!   fingerprint and refuse to load under a different one
+//!   ([`SnapshotError::SourceMismatch`]).
+//! * A hit reports `traceroutes_ingested = 0` but reproduces the sanity
+//!   filter's discarded-bin count for the requested range exactly, so
+//!   pipeline statistics stay meaningful warm or cold.
+//!
+//! ## Concurrency
+//!
+//! Entries are spread over `shards` independent `RwLock`-protected maps
+//! (key-hash addressed), so survey workers contend only when touching the
+//! same shard. Lookups take the read lock; inserts the write lock of one
+//! shard. No lock is held across shards, and snapshot save takes the read
+//! locks one shard at a time.
+//!
+//! ## Persistence
+//!
+//! [`SeriesStore::save_snapshot`] writes a versioned binary columnar
+//! snapshot (`snapshot` module) atomically — temp file + rename — and
+//! [`SeriesStore::load_snapshot`] restores it, returning typed errors
+//! (bad magic, version or fingerprint mismatch, truncation, checksum
+//! failure) that callers degrade to an empty store + recomputation.
+
+mod coverage;
+pub mod snapshot;
+
+use coverage::Coverage;
+use lastmile_atlas::ProbeId;
+use lastmile_core::pipeline::{PipelineConfig, PrebuiltSeries};
+use lastmile_core::series::{BuiltSeries, ProbeSeries};
+use lastmile_timebase::{BinIndex, BinSpec, TimeRange};
+pub use snapshot::SnapshotError;
+use std::collections::{BTreeSet, HashMap};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Identity of one memoized series: the probe plus every binning
+/// parameter that shapes its values. Two analyses with different bin
+/// widths or sanity thresholds must never share an entry.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct StoreKey {
+    /// Bin width in seconds (from [`BinSpec::width_secs`]; kept as the
+    /// raw integer so the key is totally ordered for snapshot layout).
+    pub bin_width_secs: i64,
+    /// Sanity-filter threshold: minimum traceroutes per bin.
+    pub min_traceroutes_per_bin: u32,
+    /// The probe.
+    pub probe: ProbeId,
+}
+
+impl StoreKey {
+    /// A key from explicit binning parameters.
+    pub fn new(probe: ProbeId, bin: BinSpec, min_traceroutes_per_bin: usize) -> StoreKey {
+        StoreKey {
+            bin_width_secs: bin.width_secs(),
+            min_traceroutes_per_bin: min_traceroutes_per_bin as u32,
+            probe,
+        }
+    }
+
+    /// The key a pipeline with this configuration would use for `probe`.
+    pub fn for_pipeline(probe: ProbeId, cfg: &PipelineConfig) -> StoreKey {
+        StoreKey::new(probe, cfg.bin, cfg.min_traceroutes_per_bin)
+    }
+
+    /// The bin specification.
+    pub fn bin(&self) -> BinSpec {
+        BinSpec::new(self.bin_width_secs)
+    }
+}
+
+/// How a run may use a store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CacheMode {
+    /// No caching: lookups bypass, inserts are dropped.
+    Off,
+    /// Serve hits, never mutate (`--cache ro`).
+    ReadOnly,
+    /// Serve hits and memoize fresh builds (`--cache rw`).
+    #[default]
+    ReadWrite,
+}
+
+impl std::str::FromStr for CacheMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CacheMode, String> {
+        match s {
+            "off" => Ok(CacheMode::Off),
+            "ro" => Ok(CacheMode::ReadOnly),
+            "rw" => Ok(CacheMode::ReadWrite),
+            other => Err(format!("invalid cache mode {other} (off|ro|rw)")),
+        }
+    }
+}
+
+/// Store construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Number of `RwLock` shards (rounded up to at least 1).
+    pub shards: usize,
+    /// Soft cap on the total entry count; `0` means unbounded. When a
+    /// shard overflows its share, an arbitrary resident entry of that
+    /// shard is evicted (the victim is simply recomputed on next use —
+    /// eviction can never change results).
+    pub max_entries: usize,
+    /// Usage mode.
+    pub mode: CacheMode,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            shards: 16,
+            max_entries: 0,
+            mode: CacheMode::ReadWrite,
+        }
+    }
+}
+
+/// One probe's memoized state.
+#[derive(Clone, Debug)]
+struct Entry {
+    /// Full-horizon median series (union of everything computed so far).
+    series: ProbeSeries,
+    /// Bin indices the sanity filter discarded, within the covered
+    /// horizon — kept so hits report the same statistics as fresh builds.
+    discarded: BTreeSet<BinIndex>,
+    /// Which bin-index intervals have been computed.
+    covered: Coverage,
+}
+
+/// Outcome of [`SeriesStore::lookup`].
+#[derive(Debug)]
+pub enum Lookup {
+    /// The requested range is fully covered; here is the slice.
+    Hit(PrebuiltSeries),
+    /// Not (fully) computed yet — build it and [`SeriesStore::insert`] it.
+    Miss,
+    /// The store cannot serve this request (unaligned range, or mode
+    /// `Off`); build without inserting.
+    Bypass,
+}
+
+/// Outcome of [`SeriesStore::insert`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Whether the series was stored (false in `ro`/`off` mode or for an
+    /// unaligned range).
+    pub inserted: bool,
+    /// Resident entries evicted to make room.
+    pub evicted: u64,
+}
+
+/// Lifetime counters of one store (monotonic, relaxed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    pub hits: u64,
+    pub misses: u64,
+    pub bypasses: u64,
+    pub inserts: u64,
+    pub evictions: u64,
+}
+
+/// The concurrent, sharded series store. Share between threads by
+/// reference (or `Arc`); all methods take `&self`.
+pub struct SeriesStore {
+    shards: Vec<RwLock<HashMap<StoreKey, Entry>>>,
+    config: StoreConfig,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypasses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for SeriesStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeriesStore")
+            .field("entries", &self.len())
+            .field("config", &self.config)
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+impl Default for SeriesStore {
+    fn default() -> SeriesStore {
+        SeriesStore::new(StoreConfig::default())
+    }
+}
+
+impl SeriesStore {
+    /// An empty store.
+    pub fn new(config: StoreConfig) -> SeriesStore {
+        let shards = config.shards.max(1);
+        SeriesStore {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            config: StoreConfig { shards, ..config },
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration the store was built with.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Total resident entries (probes × parameterisations).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("store shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard(&self, key: &StoreKey) -> &RwLock<HashMap<StoreKey, Entry>> {
+        // FNV-1a over the key fields: deterministic, cheap, and spreads
+        // consecutive probe ids across shards.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        mix(u64::from(key.probe.0));
+        mix(key.bin_width_secs as u64);
+        mix(u64::from(key.min_traceroutes_per_bin));
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Fetch the series for `range` if the store has computed it (or a
+    /// superset of it) before.
+    pub fn lookup(&self, key: &StoreKey, range: &TimeRange) -> Lookup {
+        let bin = key.bin();
+        if self.config.mode == CacheMode::Off || !bin.is_aligned(range) {
+            self.bypasses.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Bypass;
+        }
+        let span = bin.index_span(range);
+        let shard = self.shard(key).read().expect("store shard poisoned");
+        match shard.get(key) {
+            Some(entry) if entry.covered.contains_span(&span) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                let discarded = entry.discarded.range(span.clone()).count() as u64;
+                Lookup::Hit(PrebuiltSeries {
+                    series: entry.series.slice(range),
+                    bins_discarded_sanity: discarded,
+                    traceroutes_ingested: 0,
+                })
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Lookup::Miss
+            }
+        }
+    }
+
+    /// Memoize a freshly built series for `range`. The series must have
+    /// been built from exactly the traceroutes of `range` with the key's
+    /// binning parameters; overlapping inserts must agree on shared bins
+    /// (true for any deterministic source).
+    pub fn insert(&self, key: &StoreKey, range: &TimeRange, built: &BuiltSeries) -> InsertOutcome {
+        let bin = key.bin();
+        if self.config.mode != CacheMode::ReadWrite || !bin.is_aligned(range) {
+            return InsertOutcome::default();
+        }
+        assert_eq!(
+            built.series.probe(),
+            key.probe,
+            "series probe differs from store key"
+        );
+        assert_eq!(
+            built.series.bin().width_secs(),
+            key.bin_width_secs,
+            "series bin width differs from store key"
+        );
+        let span = bin.index_span(range);
+        let mut evicted = 0u64;
+        {
+            let mut shard = self.shard(key).write().expect("store shard poisoned");
+            let entry = shard.entry(*key).or_insert_with(|| Entry {
+                series: ProbeSeries::from_parts(key.probe, bin, Default::default()),
+                discarded: BTreeSet::new(),
+                covered: Coverage::default(),
+            });
+            // Defensive slice: only bins of `range` may enter under this
+            // coverage claim.
+            let mut medians: std::collections::BTreeMap<BinIndex, f64> =
+                entry.series.iter_bins().collect();
+            medians.extend(built.series.slice(range).iter_bins());
+            entry.series = ProbeSeries::from_parts(key.probe, bin, medians);
+            entry
+                .discarded
+                .extend(built.discarded_bins.iter().filter(|b| span.contains(b)));
+            if !span.is_empty() {
+                entry.covered.add(span.start, span.end);
+            }
+
+            // Soft capacity: evict arbitrary residents of this shard
+            // (never the entry just written) until within the share.
+            if self.config.max_entries > 0 {
+                let cap = self.config.max_entries.div_ceil(self.shards.len()).max(1);
+                while shard.len() > cap {
+                    let Some(victim) = shard.keys().find(|k| *k != key).copied() else {
+                        break;
+                    };
+                    shard.remove(&victim);
+                    evicted += 1;
+                }
+            }
+        }
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        InsertOutcome {
+            inserted: true,
+            evicted,
+        }
+    }
+
+    /// Write the whole store to `path` as a versioned snapshot, atomically
+    /// (temp file in the same directory, then rename). Returns the bytes
+    /// written. Entry order in the file is sorted by key, so the same
+    /// store state always produces the same bytes.
+    pub fn save_snapshot(
+        &self,
+        path: &Path,
+        source_fingerprint: u64,
+    ) -> Result<u64, SnapshotError> {
+        let mut entries: Vec<snapshot::SnapshotEntry> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read().expect("store shard poisoned");
+            for (key, entry) in shard.iter() {
+                entries.push(snapshot::SnapshotEntry {
+                    key: *key,
+                    covered: entry.covered.intervals().to_vec(),
+                    discarded: entry.discarded.iter().copied().collect(),
+                    bins: entry.series.iter_bins().map(|(b, _)| b).collect(),
+                    values: entry.series.iter_bins().map(|(_, v)| v).collect(),
+                });
+            }
+        }
+        entries.sort_by_key(|e| e.key);
+        snapshot::write_snapshot(path, source_fingerprint, &entries)
+    }
+
+    /// Load a snapshot written by [`SeriesStore::save_snapshot`].
+    ///
+    /// `source_fingerprint` must match the one the snapshot was saved
+    /// with — it identifies the data source (world seed, traceroute
+    /// file), and serving series from a different source would be silent
+    /// corruption. Returns the store and the bytes read.
+    pub fn load_snapshot(
+        path: &Path,
+        source_fingerprint: u64,
+        config: StoreConfig,
+    ) -> Result<(SeriesStore, u64), SnapshotError> {
+        let (entries, bytes) = snapshot::read_snapshot(path, source_fingerprint)?;
+        let store = SeriesStore::new(config);
+        for e in entries {
+            let bin = BinSpec::new(e.key.bin_width_secs);
+            let medians = e
+                .bins
+                .iter()
+                .copied()
+                .zip(e.values.iter().copied())
+                .collect();
+            let entry = Entry {
+                series: ProbeSeries::from_parts(e.key.probe, bin, medians),
+                discarded: e.discarded.into_iter().collect(),
+                covered: Coverage::from_sorted_intervals(e.covered)
+                    .map_err(SnapshotError::Corrupt)?,
+            };
+            store
+                .shard(&e.key)
+                .write()
+                .expect("store shard poisoned")
+                .insert(e.key, entry);
+        }
+        Ok((store, bytes))
+    }
+
+    /// Like [`SeriesStore::load_snapshot`], degrading every failure —
+    /// including a missing file — to an empty store plus the error (when
+    /// there was one), so callers fall back to recomputation instead of
+    /// aborting. A missing file is reported as `(empty store, None)`.
+    pub fn load_snapshot_or_empty(
+        path: &Path,
+        source_fingerprint: u64,
+        config: StoreConfig,
+    ) -> (SeriesStore, u64, Option<SnapshotError>) {
+        if !path.exists() {
+            return (SeriesStore::new(config), 0, None);
+        }
+        match SeriesStore::load_snapshot(path, source_fingerprint, config) {
+            Ok((store, bytes)) => (store, bytes, None),
+            Err(e) => (SeriesStore::new(config), 0, Some(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lastmile_timebase::UnixTime;
+    use std::collections::BTreeMap;
+
+    fn aligned(start_bins: i64, end_bins: i64) -> TimeRange {
+        TimeRange::new(
+            UnixTime::from_secs(start_bins * 1800),
+            UnixTime::from_secs(end_bins * 1800),
+        )
+    }
+
+    fn built(probe: u32, bins: &[(i64, f64)], discarded: &[i64]) -> BuiltSeries {
+        let medians: BTreeMap<i64, f64> = bins.iter().copied().collect();
+        BuiltSeries {
+            series: ProbeSeries::from_parts(ProbeId(probe), BinSpec::thirty_minutes(), medians),
+            discarded_bins: discarded.to_vec(),
+        }
+    }
+
+    fn key(probe: u32) -> StoreKey {
+        StoreKey::new(ProbeId(probe), BinSpec::thirty_minutes(), 3)
+    }
+
+    #[test]
+    fn miss_insert_hit_roundtrip() {
+        let store = SeriesStore::default();
+        let range = aligned(0, 4);
+        assert!(matches!(store.lookup(&key(1), &range), Lookup::Miss));
+        let outcome = store.insert(&key(1), &range, &built(1, &[(0, 5.0), (2, 7.5)], &[1]));
+        assert!(outcome.inserted);
+        match store.lookup(&key(1), &range) {
+            Lookup::Hit(pre) => {
+                assert_eq!(pre.traceroutes_ingested, 0);
+                assert_eq!(pre.bins_discarded_sanity, 1);
+                let got: Vec<(i64, f64)> = pre.series.iter_bins().collect();
+                assert_eq!(got, vec![(0, 5.0), (2, 7.5)]);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let c = store.counters();
+        assert_eq!((c.hits, c.misses, c.inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn sub_range_slicing_is_free_after_first_computation() {
+        let store = SeriesStore::default();
+        store.insert(
+            &key(1),
+            &aligned(0, 10),
+            &built(1, &[(0, 5.0), (4, 9.0), (9, 6.0)], &[2, 7]),
+        );
+        // Any aligned sub-range hits, with range-scoped statistics.
+        match store.lookup(&key(1), &aligned(4, 8)) {
+            Lookup::Hit(pre) => {
+                let got: Vec<(i64, f64)> = pre.series.iter_bins().collect();
+                assert_eq!(got, vec![(4, 9.0)]);
+                assert_eq!(pre.bins_discarded_sanity, 1, "only bin 7 is in range");
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // A range poking past the coverage misses.
+        assert!(matches!(
+            store.lookup(&key(1), &aligned(4, 11)),
+            Lookup::Miss
+        ));
+    }
+
+    #[test]
+    fn disjoint_ranges_merge_and_gap_misses() {
+        let store = SeriesStore::default();
+        store.insert(&key(1), &aligned(0, 2), &built(1, &[(0, 5.0)], &[]));
+        store.insert(&key(1), &aligned(6, 8), &built(1, &[(6, 6.0)], &[]));
+        assert!(matches!(
+            store.lookup(&key(1), &aligned(0, 2)),
+            Lookup::Hit(_)
+        ));
+        assert!(matches!(
+            store.lookup(&key(1), &aligned(6, 8)),
+            Lookup::Hit(_)
+        ));
+        // The gap is not covered.
+        assert!(matches!(
+            store.lookup(&key(1), &aligned(0, 8)),
+            Lookup::Miss
+        ));
+        // Filling the gap bridges the intervals.
+        store.insert(&key(1), &aligned(2, 6), &built(1, &[(3, 4.0)], &[]));
+        assert!(matches!(
+            store.lookup(&key(1), &aligned(0, 8)),
+            Lookup::Hit(_)
+        ));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn unaligned_ranges_bypass_both_ways() {
+        let store = SeriesStore::default();
+        let unaligned = TimeRange::new(UnixTime::from_secs(100), UnixTime::from_secs(7200));
+        assert!(matches!(store.lookup(&key(1), &unaligned), Lookup::Bypass));
+        let outcome = store.insert(&key(1), &unaligned, &built(1, &[(0, 5.0)], &[]));
+        assert!(!outcome.inserted);
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.counters().bypasses, 1);
+    }
+
+    #[test]
+    fn keys_isolate_binning_parameters() {
+        let store = SeriesStore::default();
+        let range = aligned(0, 4);
+        store.insert(&key(1), &range, &built(1, &[(0, 5.0)], &[]));
+        // Same probe, different sanity threshold: separate entry.
+        let other = StoreKey::new(ProbeId(1), BinSpec::thirty_minutes(), 5);
+        assert!(matches!(store.lookup(&other, &range), Lookup::Miss));
+    }
+
+    #[test]
+    fn read_only_serves_hits_but_never_mutates() {
+        let rw = SeriesStore::default();
+        let range = aligned(0, 4);
+        rw.insert(&key(1), &range, &built(1, &[(0, 5.0)], &[]));
+        let dir = std::env::temp_dir().join("lastmile-store-ro-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.bin");
+        rw.save_snapshot(&path, 42).unwrap();
+
+        let (ro, _) = SeriesStore::load_snapshot(
+            &path,
+            42,
+            StoreConfig {
+                mode: CacheMode::ReadOnly,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(ro.lookup(&key(1), &range), Lookup::Hit(_)));
+        assert!(
+            !ro.insert(&key(2), &range, &built(2, &[(0, 1.0)], &[]))
+                .inserted
+        );
+        assert_eq!(ro.len(), 1);
+    }
+
+    #[test]
+    fn off_mode_bypasses_everything() {
+        let store = SeriesStore::new(StoreConfig {
+            mode: CacheMode::Off,
+            ..StoreConfig::default()
+        });
+        let range = aligned(0, 4);
+        assert!(matches!(store.lookup(&key(1), &range), Lookup::Bypass));
+        assert!(
+            !store
+                .insert(&key(1), &range, &built(1, &[(0, 5.0)], &[]))
+                .inserted
+        );
+    }
+
+    #[test]
+    fn capacity_cap_evicts_and_counts() {
+        let store = SeriesStore::new(StoreConfig {
+            shards: 1,
+            max_entries: 2,
+            mode: CacheMode::ReadWrite,
+        });
+        let range = aligned(0, 2);
+        for p in 1..=5u32 {
+            store.insert(&key(p), &range, &built(p, &[(0, f64::from(p))], &[]));
+        }
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.counters().evictions, 3);
+        // Evicted probes miss (recompute), resident ones still hit.
+        let hits = (1..=5u32)
+            .filter(|&p| matches!(store.lookup(&key(p), &range), Lookup::Hit(_)))
+            .count();
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn cache_mode_parses() {
+        assert_eq!("off".parse::<CacheMode>().unwrap(), CacheMode::Off);
+        assert_eq!("ro".parse::<CacheMode>().unwrap(), CacheMode::ReadOnly);
+        assert_eq!("rw".parse::<CacheMode>().unwrap(), CacheMode::ReadWrite);
+        assert!("banana".parse::<CacheMode>().is_err());
+    }
+
+    #[test]
+    fn concurrent_mixed_use_is_safe_and_deterministic() {
+        let store = SeriesStore::new(StoreConfig {
+            shards: 4,
+            ..StoreConfig::default()
+        });
+        let range = aligned(0, 48);
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let store = &store;
+                scope.spawn(move || {
+                    for p in 0..50u32 {
+                        let probe = p % 25; // heavy key overlap across threads
+                        match store.lookup(&key(probe), &range) {
+                            Lookup::Hit(pre) => {
+                                let v: Vec<(i64, f64)> = pre.series.iter_bins().collect();
+                                assert_eq!(v, vec![(0, f64::from(probe)), (5, 1.0)]);
+                            }
+                            _ => {
+                                store.insert(
+                                    &key(probe),
+                                    &range,
+                                    &built(probe, &[(0, f64::from(probe)), (5, 1.0)], &[]),
+                                );
+                            }
+                        }
+                        let _ = t;
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 25);
+    }
+}

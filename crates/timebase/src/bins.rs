@@ -99,6 +99,12 @@ impl BinSpec {
 
     /// Iterate indices of bins whose start falls inside `range`.
     pub fn indices_in(&self, range: &TimeRange) -> impl Iterator<Item = BinIndex> + use<> {
+        self.index_span(range)
+    }
+
+    /// The half-open index interval of bins whose start falls inside
+    /// `range` (the bounds form of [`BinSpec::indices_in`]).
+    pub fn index_span(&self, range: &TimeRange) -> core::ops::Range<BinIndex> {
         let first = if range.start().as_secs().rem_euclid(self.width_secs) == 0 {
             self.bin_index(range.start())
         } else {
@@ -112,6 +118,14 @@ impl BinSpec {
             self.bin_index(end) + 1
         };
         first..last_exclusive.max(first)
+    }
+
+    /// Whether both endpoints of `range` sit exactly on bin boundaries.
+    /// Aligned ranges partition into whole bins, which is what makes a
+    /// cached full-bin median series safe to slice down to the range.
+    pub fn is_aligned(&self, range: &TimeRange) -> bool {
+        range.start().as_secs().rem_euclid(self.width_secs) == 0
+            && range.end().as_secs().rem_euclid(self.width_secs) == 0
     }
 
     /// Iterate bin start instants inside `range`.

@@ -11,7 +11,10 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo build --workspace --benches --examples"
+cargo build --workspace --benches --examples
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
-echo "OK: fmt, clippy, tests all green"
+echo "OK: fmt, clippy, benches, tests all green"

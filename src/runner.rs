@@ -19,8 +19,9 @@ use lastmile_core::report::{AsClassification, SurveyFailure, SurveyReport};
 use lastmile_eyeball::{EyeballEntry, EyeballRegistry};
 use lastmile_netsim::scenarios::AsGroundTruth;
 use lastmile_netsim::{SimProbe, TracerouteEngine, World};
-use lastmile_obs::{RunMetrics, StageTimer};
+use lastmile_obs::{RunMetrics, StageTimer, StoreTraffic};
 use lastmile_prefix::Asn;
+use lastmile_store::{Lookup, SeriesStore, StoreCounters, StoreKey};
 use lastmile_timebase::MeasurementPeriod;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc, Mutex};
@@ -99,6 +100,58 @@ pub fn analyze_population_with(
     pipeline.finish()
 }
 
+/// Like [`analyze_population_with`], backed by a [`SeriesStore`]: probes
+/// whose median series the store has already computed for this period (or
+/// a covering superset) skip simulation and ingestion entirely — the
+/// stored series is sliced and fed ready-made. Probes the store cannot
+/// serve are simulated as usual, and their freshly built series are
+/// offered back to the store (a no-op in read-only mode).
+///
+/// The returned analysis — and therefore the survey report — is
+/// byte-identical to the store-free path: the store holds full-bin
+/// medians only, refuses ranges that don't align with bin boundaries, and
+/// the period-scoped queuing-delay baseline is recomputed per call (§2.1
+/// computes the minimum median RTT separately for each measurement
+/// period). Only the ingest statistics differ: a served probe contributes
+/// zero `traceroutes_ingested`.
+pub fn analyze_population_stored(
+    engine: &TracerouteEngine,
+    asn: Asn,
+    period: &MeasurementPeriod,
+    cfg: PipelineConfig,
+    selection: &ProbeSelection,
+    store: &SeriesStore,
+) -> PopulationAnalysis {
+    let range = period.range();
+    let mut pipeline = AsPipeline::new(cfg, range);
+    let mut missed = false;
+    for probe in engine.world().probes_in(asn) {
+        if !selection.matches(probe) {
+            continue;
+        }
+        let key = StoreKey::for_pipeline(probe.meta.id, &cfg);
+        match store.lookup(&key, &range) {
+            Lookup::Hit(pre) => pipeline.ingest_series(pre),
+            outcome => {
+                // A bypass (mode off / unaligned period) can never turn
+                // into an accepted insert, so only misses pay for series
+                // retention.
+                missed |= matches!(outcome, Lookup::Miss);
+                engine.for_each_traceroute(probe, &range, |tr| pipeline.ingest(&tr));
+            }
+        }
+    }
+    if missed {
+        pipeline.retain_median_series(true);
+    }
+    let analysis = pipeline.finish();
+    for built in &analysis.built_series {
+        let key = StoreKey::for_pipeline(built.series.probe(), &cfg);
+        store.insert(&key, &range, built);
+    }
+    analysis
+}
+
 /// Survey driver options.
 #[derive(Clone, Debug, Default)]
 pub struct SurveyOptions {
@@ -109,6 +162,14 @@ pub struct SurveyOptions {
     /// Metrics sink: when set, every worker accumulates pipeline
     /// counters and stage timings into it (see `lastmile-obs`).
     pub metrics: Option<Arc<RunMetrics>>,
+    /// Series store: when set, workers serve per-probe median series
+    /// from it instead of re-simulating stored probes, and memoize fresh
+    /// builds (subject to the store's [`CacheMode`]). The report stays
+    /// byte-identical with or without a store; its lookup/insert traffic
+    /// for this run is added to `metrics` when both are set.
+    ///
+    /// [`CacheMode`]: lastmile_store::CacheMode
+    pub store: Option<Arc<SeriesStore>>,
     /// Test hook: panic while analysing this AS, exercising the
     /// executor's per-task failure isolation from integration tests.
     #[doc(hidden)]
@@ -145,6 +206,7 @@ pub fn run_survey(
     let asns: Vec<Asn> = world.ases().iter().map(|a| a.config.asn).collect();
     let threads = resolve_threads(options.threads);
     let engine = TracerouteEngine::new(world);
+    let store_counters_before = options.store.as_ref().map(|s| s.counters());
 
     // Pre-load the task queue. Workers pop one task at a time; the
     // channel is the work-stealing queue (all tasks are enqueued before
@@ -175,13 +237,23 @@ pub fn run_survey(
                             if options.inject_panic_asn == Some(asn) {
                                 panic!("injected survey panic for AS{asn}");
                             }
-                            analyze_population_with(
-                                engine,
-                                asn,
-                                period,
-                                options.pipeline,
-                                &ProbeSelection::regular(),
-                            )
+                            match &options.store {
+                                Some(store) => analyze_population_stored(
+                                    engine,
+                                    asn,
+                                    period,
+                                    options.pipeline,
+                                    &ProbeSelection::regular(),
+                                    store,
+                                ),
+                                None => analyze_population_with(
+                                    engine,
+                                    asn,
+                                    period,
+                                    options.pipeline,
+                                    &ProbeSelection::regular(),
+                                ),
+                            }
                         }));
                         match outcome {
                             Ok(analysis) => {
@@ -230,9 +302,23 @@ pub fn run_survey(
         report.push_failure(f);
     }
     if let Some(m) = &options.metrics {
+        if let (Some(store), Some(before)) = (&options.store, store_counters_before) {
+            m.add_store_traffic(&store_traffic_since(before, store.counters()));
+        }
         m.set_wall(&run_timer);
     }
     report
+}
+
+/// The store traffic between two counter readings, as an obs delta.
+pub fn store_traffic_since(before: StoreCounters, after: StoreCounters) -> StoreTraffic {
+    StoreTraffic {
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        bypasses: after.bypasses - before.bypasses,
+        inserts: after.inserts - before.inserts,
+        evictions: after.evictions - before.evictions,
+    }
 }
 
 /// Reference scheduler: the pre-executor static chunking driver, kept so
