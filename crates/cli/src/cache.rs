@@ -44,19 +44,21 @@ pub fn from_flags(
     };
     std::fs::create_dir_all(dir).map_err(|e| format!("create --cache-dir {dir}: {e}"))?;
     let path = PathBuf::from(dir).join(SNAPSHOT_FILE);
-    let fingerprint = fingerprint()?;
     let config = StoreConfig {
         mode,
         ..StoreConfig::default()
     };
     if mode == CacheMode::Off {
+        // Off mode neither loads nor persists, so the fingerprint (a
+        // full scan of the data file) is never computed.
         return Ok(Some(Cache {
             store: SeriesStore::new(config),
             path,
-            fingerprint,
+            fingerprint: 0,
             mode,
         }));
     }
+    let fingerprint = fingerprint()?;
     let load_timer = StageTimer::start();
     let (store, bytes, error) = SeriesStore::load_snapshot_or_empty(&path, fingerprint, config);
     if let Some(m) = metrics {
@@ -104,6 +106,22 @@ impl Cache {
     }
 }
 
+/// Mix a second fingerprint into a first, order-sensitively: used when
+/// the cached series depend on more than one input (e.g. `--bgp`
+/// classification, where the table decides which traceroutes are
+/// ingested), so snapshots from different input combinations — or the
+/// same files in different roles — never match.
+pub fn combine_fingerprints(a: u64, b: u64) -> u64 {
+    // FNV-1a over a's bytes then b's: position-sensitive, so swapping
+    // the inputs gives a different result.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in a.to_le_bytes().into_iter().chain(b.to_le_bytes()) {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
 /// Fingerprint a data file by content (FNV-1a over its bytes): the same
 /// bytes give the same fingerprint wherever the file lives, and any
 /// content change invalidates snapshots built from it.
@@ -145,5 +163,30 @@ mod tests {
         std::fs::write(&b, "other bytes").unwrap();
         assert_ne!(fa, file_fingerprint(b.to_str().unwrap()).unwrap());
         assert!(file_fingerprint("/does/not/exist").is_err());
+    }
+
+    #[test]
+    fn combine_is_order_sensitive_and_changes_both_inputs() {
+        assert_ne!(combine_fingerprints(1, 2), combine_fingerprints(2, 1));
+        assert_ne!(combine_fingerprints(1, 2), 1);
+        assert_ne!(combine_fingerprints(1, 2), 2);
+        assert_eq!(combine_fingerprints(1, 2), combine_fingerprints(1, 2));
+    }
+
+    #[test]
+    fn off_mode_never_computes_the_fingerprint() {
+        let dir = std::env::temp_dir().join("lastmile-cache-off-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let args: Vec<String> = ["--cache-dir", dir.to_str().unwrap(), "--cache", "off"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let flags = crate::Flags::parse(&args).unwrap();
+        // The fingerprint closure (a full data-file scan in real runs)
+        // must not run in off mode.
+        let cache = from_flags(&flags, || panic!("fingerprint computed in off mode"), None)
+            .unwrap()
+            .expect("cache-dir given");
+        assert_eq!(cache.mode, CacheMode::Off);
     }
 }

@@ -14,6 +14,7 @@ use lastmile_repro::prefix::Asn;
 use lastmile_repro::runner::{record_population_metrics, store_traffic_since};
 use lastmile_repro::store::{CacheMode, Lookup, StoreKey};
 use lastmile_repro::timebase::UnixTime;
+use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Shared plumbing for `classify` and `hygiene`: stream the file (twice —
@@ -30,6 +31,14 @@ use std::collections::{BTreeMap, BTreeSet};
 /// cache only engages when the window is aligned to bin boundaries —
 /// pass explicit midnight-aligned `--start`/`--end`; the data-span
 /// fallback window almost never aligns, and unaligned windows bypass.
+///
+/// Under per-traceroute ASN attribution (`--bgp` without `--probes`) a
+/// probe can legitimately split across AS pipelines, but the store holds
+/// ONE series per probe — so only probes whose routed traceroutes all
+/// resolve to a single ASN are served or memoized (pass 1 records the
+/// attribution), and the snapshot's source fingerprint mixes in the BGP
+/// table (the table decides which traceroutes are ingested), so `--bgp`
+/// snapshots never cross with `--probes`/ASN-0 ones.
 pub fn analyze_file(
     flags: &Flags,
     metrics: Option<&RunMetrics>,
@@ -38,13 +47,35 @@ pub fn analyze_file(
     let probes = flags.optional("probes").map(load_probes).transpose()?;
     let bgp = flags.optional("bgp").map(load_table).transpose()?;
     let anchors_only = flags.switch("anchors-only");
+    let per_traceroute_asn = probes.is_none() && bgp.is_some();
+    let cache_requested = flags.optional("cache-dir").is_some()
+        && flags.parsed::<CacheMode>("cache")?.unwrap_or_default() != CacheMode::Off;
 
-    // Pass 1: find the data span.
+    // Pass 1: find the data span — and, when the cache may engage under
+    // per-traceroute attribution, record each probe's edge ASN. A probe
+    // whose routed traceroutes disagree (`None`) must never be served
+    // from or inserted into the cache: its traceroutes split across AS
+    // pipelines, and each pipeline's partial series under one store key
+    // would poison the snapshot.
+    let mut bgp_probe_asn: Option<BTreeMap<ProbeId, Option<Asn>>> =
+        (per_traceroute_asn && cache_requested).then(BTreeMap::new);
     let mut data_min: Option<UnixTime> = None;
     let mut data_max: Option<UnixTime> = None;
     let (parsed, skipped) = stream_traceroutes(path, |tr| {
         data_min = Some(data_min.map_or(tr.timestamp, |m| m.min(tr.timestamp)));
         data_max = Some(data_max.map_or(tr.timestamp, |m| m.max(tr.timestamp)));
+        if let (Some(attribution), Some(table)) = (bgp_probe_asn.as_mut(), &bgp) {
+            if let Some((_, &asn)) = tr.edge_address().and_then(|a| table.lookup(a)) {
+                attribution
+                    .entry(tr.probe)
+                    .and_modify(|e| {
+                        if *e != Some(asn) {
+                            *e = None;
+                        }
+                    })
+                    .or_insert(Some(asn));
+            }
+        }
     })?;
     eprintln!("[input] {parsed} traceroutes parsed, {skipped} skipped");
     let window = resolve_window(
@@ -70,7 +101,31 @@ pub fn analyze_file(
 
     // Series cache, when requested. The source identity is the traceroute
     // file's content: same bytes, same fingerprint, wherever it lives.
-    let cache: Option<Cache> = cache::from_flags(flags, || cache::file_fingerprint(path), metrics)?;
+    // Per-traceroute attribution additionally mixes in the BGP table:
+    // the table decides which traceroutes are ingested (no-public-hop /
+    // unrouted edges are dropped before the pipelines), so a snapshot is
+    // only valid for the same table and never for `--probes`/ASN-0 runs,
+    // which ingest every traceroute of a probe.
+    let cache: Option<Cache> = cache::from_flags(
+        flags,
+        || {
+            let f = cache::file_fingerprint(path)?;
+            match (per_traceroute_asn, flags.optional("bgp")) {
+                (true, Some(table_path)) => Ok(cache::combine_fingerprints(
+                    f,
+                    cache::file_fingerprint(table_path)?,
+                )),
+                _ => Ok(f),
+            }
+        },
+        metrics,
+    )?;
+    // Whether a probe's series may be cached at all: always, except under
+    // per-traceroute attribution, where only single-ASN probes qualify.
+    let cacheable = |probe: ProbeId| match &bgp_probe_asn {
+        Some(attribution) => matches!(attribution.get(&probe), Some(Some(_))),
+        None => true,
+    };
     let counters_before = cache.as_ref().map(|c| c.store.counters());
     // Retaining built series costs memory; only pay when write-back can
     // accept them (rw mode, bin-aligned window).
@@ -106,21 +161,23 @@ pub fn analyze_file(
             (None, None) => 0,
         };
         if let Some(c) = &cache {
-            if served.contains_key(&tr.probe) {
-                return;
-            }
-            if !unserved.contains(&tr.probe) {
-                match c
-                    .store
-                    .lookup(&StoreKey::for_pipeline(tr.probe, &cfg), &window)
-                {
-                    Lookup::Hit(pre) => {
-                        served.insert(tr.probe, (asn, pre));
-                        return;
-                    }
-                    Lookup::Miss | Lookup::Bypass => {
-                        unserved.insert(tr.probe);
-                    }
+            // Ineligible (multi-ASN) probes take the cache-free path
+            // untouched.
+            if cacheable(tr.probe) && !unserved.contains(&tr.probe) {
+                match served.entry(tr.probe) {
+                    Entry::Occupied(_) => return,
+                    Entry::Vacant(slot) => match c
+                        .store
+                        .lookup(&StoreKey::for_pipeline(tr.probe, &cfg), &window)
+                    {
+                        Lookup::Hit(pre) => {
+                            slot.insert((asn, pre));
+                            return;
+                        }
+                        Lookup::Miss | Lookup::Bypass => {
+                            unserved.insert(tr.probe);
+                        }
+                    },
                 }
             }
         }
@@ -160,6 +217,12 @@ pub fn analyze_file(
     if let Some(c) = &cache {
         for (_, analysis) in &results {
             for built in &analysis.built_series {
+                // A multi-ASN probe's series here is the partial view of
+                // one pipeline; inserting it would claim full-window
+                // coverage for a subset of the probe's traceroutes.
+                if !cacheable(built.series.probe()) {
+                    continue;
+                }
                 c.store.insert(
                     &StoreKey::for_pipeline(built.series.probe(), &cfg),
                     &window,

@@ -26,6 +26,14 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     // `--cache-dir` primes a series snapshot alongside the export, so a
     // later `classify --cache-dir` over the exported traceroutes starts
     // warm. Only `rw` (the default) writes; `ro`/`off` skip priming.
+    //
+    // The primed snapshot targets `--probes`/ASN-0 classification, which
+    // ingests every traceroute of a probe — exactly what the builder
+    // below sees. A `--bgp` classify instead drops traceroutes with no
+    // routed public hop before ingest and mixes the table into its source
+    // fingerprint, so it reports the primed snapshot as a source mismatch
+    // and recomputes rather than serving series no cold `--bgp` run would
+    // build.
     let cache_dir = flags.optional("cache-dir");
     let cache_mode: CacheMode = flags.parsed("cache")?.unwrap_or_default();
     if cache_dir.is_none() && flags.optional("cache").is_some() {
@@ -81,9 +89,10 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     for probe in world.probes() {
         let mut failed = None;
         // Piggy-back series building on the export stream: the builder
-        // sees exactly the traceroutes a classify of the exported file
-        // would feed it, and the JSON round trip is value-exact, so the
-        // primed cache reproduces a cold classify bit for bit.
+        // sees exactly the traceroutes a `--probes`/ASN-0 classify of
+        // the exported file would feed it, and the JSON round trip is
+        // value-exact, so the primed cache reproduces a cold classify
+        // bit for bit.
         let mut builder = prime
             .then(|| ProbeSeriesBuilder::new(probe.meta.id, cfg.bin, cfg.min_traceroutes_per_bin));
         engine.for_each_traceroute(probe, &window, |tr| {
@@ -121,7 +130,8 @@ pub fn run(flags: &Flags) -> Result<(), String> {
                 .map_err(|e| format!("save cache snapshot {}: {e}", snap.display()))?;
             eprintln!(
                 "[cache] primed {} ({} series, {bytes} bytes; classify with \
-                 --start {} --end {} to hit it)",
+                 --probes (or no routing input) and --start {} --end {} to \
+                 hit it — --bgp runs use a different source id and recompute)",
                 snap.display(),
                 store.len(),
                 window.start().as_secs(),

@@ -167,6 +167,183 @@ fn simulate_then_throughput_round_trip() {
 }
 
 #[test]
+fn bgp_classify_cache_is_isolated_and_round_trips() {
+    let dir = std::env::temp_dir().join(format!("lastmile-e2e-bgp-{}", std::process::id()));
+    let cache_dir = dir.join("cache");
+    let dir_s = dir.to_str().unwrap();
+
+    // Simulate with --cache-dir: primes a --probes/ASN-0 snapshot and
+    // prints the aligned window to classify with.
+    let (_, err, ok) = run(&[
+        "simulate",
+        "--scenario",
+        "anchor",
+        "--out",
+        dir_s,
+        "--days",
+        "5",
+        "--cache-dir",
+        cache_dir.to_str().unwrap(),
+    ]);
+    assert!(ok, "simulate failed: {err}");
+    let grab = |marker: &str| -> String {
+        let at = err.find(marker).expect(marker) + marker.len();
+        err[at..].chars().take_while(char::is_ascii_digit).collect()
+    };
+    let start = grab("--start ");
+    let end = grab("--end ");
+
+    let trs = dir.join("traceroutes.jsonl");
+    let trs = trs.to_str().unwrap();
+    let bgp = dir.join("bgp.csv");
+    let bgp = bgp.to_str().unwrap();
+    let bgp_args = [
+        "classify",
+        "--traceroutes",
+        trs,
+        "--bgp",
+        bgp,
+        "--start",
+        &start,
+        "--end",
+        &end,
+        "--json",
+    ];
+
+    // Baseline: --bgp classification without any cache.
+    let (baseline, err, ok) = run(&bgp_args);
+    assert!(ok, "uncached --bgp classify failed: {err}");
+
+    // Cold cached --bgp run: the primed snapshot belongs to the
+    // --probes/ASN-0 source id, so it must be rejected (not served),
+    // and the output must match the cache-free baseline.
+    let cached_args: Vec<&str> = bgp_args
+        .iter()
+        .copied()
+        .chain(["--cache-dir", cache_dir.to_str().unwrap()])
+        .collect();
+    let (cold, err, ok) = run(&cached_args);
+    assert!(ok, "cold cached --bgp classify failed: {err}");
+    assert!(
+        err.contains("[cache] ignoring"),
+        "primed snapshot not rejected under --bgp: {err}"
+    );
+    assert_eq!(cold, baseline, "cold cached --bgp output diverges");
+
+    // Warm --bgp run: serves the snapshot the cold run wrote, still
+    // byte-identical.
+    let (warm, err, ok) = run(&cached_args);
+    assert!(ok, "warm cached --bgp classify failed: {err}");
+    assert!(err.contains("[cache] loaded"), "no snapshot served: {err}");
+    assert_eq!(warm, baseline, "warm cached --bgp output diverges");
+
+    // And the --bgp snapshot must not leak into --probes classification:
+    // its source id differs, so the probes run rejects and recomputes.
+    let probes = dir.join("probes.json");
+    let probes = probes.to_str().unwrap();
+    let probes_args = [
+        "classify",
+        "--traceroutes",
+        trs,
+        "--probes",
+        probes,
+        "--start",
+        &start,
+        "--end",
+        &end,
+        "--json",
+    ];
+    let (probes_baseline, _, ok) = run(&probes_args);
+    assert!(ok);
+    let probes_cached: Vec<&str> = probes_args
+        .iter()
+        .copied()
+        .chain(["--cache-dir", cache_dir.to_str().unwrap()])
+        .collect();
+    let (probes_out, err, ok) = run(&probes_cached);
+    assert!(ok, "cached --probes classify failed: {err}");
+    assert!(
+        err.contains("[cache] ignoring"),
+        "--bgp snapshot not rejected under --probes: {err}"
+    );
+    assert_eq!(probes_out, probes_baseline);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bgp_cache_excludes_multi_asn_probes() {
+    // Hand-crafted input reproducing the per-traceroute-attribution
+    // hazard: probe 1's edge hop alternates between two ASNs (its
+    // traceroutes legitimately split across AS pipelines), probe 2 is
+    // single-homed. The cache must memoize only probe 2; caching probe
+    // 1's per-pipeline partial series under one key would poison the
+    // snapshot and make warm runs diverge.
+    let dir = std::env::temp_dir().join(format!("lastmile-e2e-multiasn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bgp = dir.join("bgp.csv");
+    std::fs::write(&bgp, "20.0.0.0/16,64500\n20.1.0.0/16,64501\n").unwrap();
+
+    let mut lines = String::new();
+    let mut tr_line = |prb: u32, ts: i64, edge: &str, rtt: f64| {
+        lines.push_str(&format!(
+            r#"{{"fw":5020,"af":4,"dst_addr":"20.99.0.1","src_addr":"192.168.1.10","from":"{edge}","msm_id":5001,"prb_id":{prb},"timestamp":{ts},"proto":"ICMP","type":"traceroute","result":[{{"hop":1,"result":[{{"from":"192.168.1.1","rtt":1.0}}]}},{{"hop":2,"result":[{{"from":"{edge}","rtt":{rtt}}}]}}]}}"#,
+        ));
+        lines.push('\n');
+    };
+    for bin in 0..8i64 {
+        for k in 0..3i64 {
+            let ts = bin * 1800 + k * 600;
+            let rtt = 10.0 + bin as f64;
+            let edge1 = if k % 2 == 0 { "20.0.0.1" } else { "20.1.0.1" };
+            tr_line(1, ts, edge1, rtt);
+            tr_line(2, ts, "20.0.0.9", rtt + 0.5);
+        }
+    }
+    let trs = dir.join("traceroutes.jsonl");
+    std::fs::write(&trs, lines).unwrap();
+
+    let cache_dir = dir.join("cache");
+    let base_args = [
+        "classify",
+        "--traceroutes",
+        trs.to_str().unwrap(),
+        "--bgp",
+        bgp.to_str().unwrap(),
+        "--start",
+        "0",
+        "--end",
+        "86400",
+        "--min-probes",
+        "1",
+        "--json",
+    ];
+    let (baseline, err, ok) = run(&base_args);
+    assert!(ok, "uncached classify failed: {err}");
+
+    let cached_args: Vec<&str> = base_args
+        .iter()
+        .copied()
+        .chain(["--cache-dir", cache_dir.to_str().unwrap()])
+        .collect();
+    let (cold, err, ok) = run(&cached_args);
+    assert!(ok, "cold cached classify failed: {err}");
+    assert_eq!(cold, baseline, "cold cached output diverges");
+    // Only the single-ASN probe may be memoized.
+    assert!(
+        err.contains("(1 series"),
+        "expected exactly probe 2 in the snapshot: {err}"
+    );
+
+    let (warm, err, ok) = run(&cached_args);
+    assert!(ok, "warm cached classify failed: {err}");
+    assert!(err.contains("[cache] loaded"), "no snapshot served: {err}");
+    assert_eq!(warm, baseline, "warm cached output diverges");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let (_, _, ok) = run(&["classify"]); // missing --traceroutes
     assert!(!ok);

@@ -25,9 +25,11 @@
 //! u64 n_bins     · n × i64 (bin index)  · n × u64 (f64 bits)
 //! ```
 //!
-//! Writes are atomic: the snapshot is assembled in a temp file next to
-//! the target and renamed over it, so readers never observe a partial
-//! file. Loads verify magic, version, fingerprint, length and checksum
+//! Writes are atomic: the snapshot is assembled in a uniquely named temp
+//! file next to the target (pid + sequence suffix, so concurrent writers
+//! never share one) and renamed over it, so readers never observe a
+//! partial file and the last rename wins whole-file. Loads verify magic,
+//! version, fingerprint, length and checksum
 //! before parsing, and every parse failure is a typed [`SnapshotError`] —
 //! callers degrade to an empty store and recompute instead of aborting.
 
@@ -304,7 +306,16 @@ pub fn write_snapshot(
     file_bytes.extend_from_slice(&payload);
 
     // Atomic publish: same-directory temp file, flush, durable rename.
-    let tmp = path.with_extension("tmp");
+    // The temp name is unique per writer (pid + per-process sequence):
+    // concurrent runs sharing a cache dir each assemble their own file,
+    // so one writer can neither rename another's half-written bytes over
+    // the target nor delete its in-progress temp file on error cleanup.
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let tmp = path.with_extension(format!(
+        "tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
     let result = (|| -> Result<(), SnapshotError> {
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(&file_bytes)?;
@@ -520,7 +531,44 @@ mod tests {
     fn no_temp_file_left_behind() {
         let path = tmp_path("clean.bin");
         write_snapshot(&path, 1, &sample_entries()).unwrap();
-        assert!(!path.with_extension("tmp").exists());
+        let leftovers: Vec<String> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("clean.") && n.contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+    }
+
+    #[test]
+    fn concurrent_writers_publish_one_complete_snapshot() {
+        // Writers racing on the same target must each use their own temp
+        // file: whichever rename lands last, the result is one of the
+        // written states in full, never an interleaving.
+        let path = tmp_path("race.bin");
+        let variants: Vec<Vec<SnapshotEntry>> = (0..8u32)
+            .map(|i| {
+                let mut entries = sample_entries();
+                entries[0].key.probe = ProbeId(100 + i);
+                entries.sort_by_key(|e| e.key);
+                entries
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for entries in &variants {
+                let path = &path;
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        write_snapshot(path, 7, entries).unwrap();
+                    }
+                });
+            }
+        });
+        let (loaded, _) = read_snapshot(&path, 7).unwrap();
+        assert!(
+            variants.contains(&loaded),
+            "snapshot is not any single writer's state"
+        );
     }
 
     #[test]
