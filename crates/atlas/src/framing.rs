@@ -1,0 +1,526 @@
+//! Incremental framing of Atlas JSON inputs: split a byte stream into
+//! record-aligned document frames without ever holding the whole input.
+//!
+//! Real Atlas data arrives in two shapes — JSON Lines (one document per
+//! line, the format of `magellan`/Atlas daily dumps) and whole-file JSON
+//! arrays (the API's list form). Both are framed by [`DocSplitter`], a
+//! push-based state machine: feed it byte chunks of any size (a document
+//! split across a chunk boundary is carried over), and it emits each
+//! complete document's bytes together with its absolute byte offset.
+//!
+//! ## Framing rules
+//!
+//! * The input's shape is decided by its first non-whitespace byte (after
+//!   an optional UTF-8 byte-order mark): `[` means a top-level array,
+//!   anything else means JSON Lines.
+//! * **Lines**: documents are separated by `\n`; a trailing `\r` (CRLF
+//!   input) is stripped; whitespace-only lines are skipped; a final line
+//!   without a newline is still a document.
+//! * **Array**: elements are scanned with bracket/brace depth, string and
+//!   escape state, so commas inside nested structures or string literals
+//!   never split a document. Separators are lenient — any mix of commas
+//!   and whitespace between elements is accepted (real dumps contain
+//!   sloppy concatenations), and a missing final `]` after a complete
+//!   element is tolerated (routine truncation).
+//! * Bytes the splitter cannot frame — input ending in the middle of an
+//!   array element (a truncated final document) or content after the
+//!   top-level `]` — are emitted as [`Frame::Junk`] with a reason, so
+//!   callers can quarantine rather than die.
+//!
+//! The splitter frames bytes; it does not validate JSON. A garbage array
+//! element (`[{...}, oops, {...}]`) is framed as the document `oops` and
+//! left for the parser to reject, which keeps framing single-pass and
+//! gives per-record error granularity downstream.
+
+/// What the first non-whitespace byte said the input is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// One document per line.
+    Lines,
+    /// A top-level JSON array of documents.
+    Array,
+}
+
+/// One framed run of bytes handed to the `emit` callback.
+#[derive(Debug)]
+pub enum Frame<'a> {
+    /// A complete document (surrounding whitespace trimmed).
+    Doc {
+        /// Absolute byte offset of the document's first byte.
+        offset: u64,
+        /// The document's bytes.
+        bytes: &'a [u8],
+    },
+    /// Bytes that cannot be framed as a document.
+    Junk {
+        /// Absolute byte offset of the run's first byte.
+        offset: u64,
+        /// The unframeable bytes.
+        bytes: &'a [u8],
+        /// Why the bytes could not be framed.
+        reason: &'static str,
+    },
+}
+
+const BOM: [u8; 3] = [0xEF, 0xBB, 0xBF];
+
+/// Reason attached to a truncated final array element.
+pub const TRUNCATED_DOC: &str = "input ended inside an array element (truncated document)";
+/// Reason attached to bytes following the top-level `]`.
+pub const TRAILING_CONTENT: &str = "content after the top-level array close";
+
+#[derive(Debug)]
+enum State {
+    /// Skipping the optional BOM and leading whitespace; `matched_bom`
+    /// counts BOM bytes consumed so far (they may span a chunk boundary).
+    Start { matched_bom: usize },
+    /// JSON Lines: collecting the current line.
+    Lines,
+    /// Array: between elements (also right after `[`).
+    Separators,
+    /// Array: inside an element.
+    Element {
+        depth: u32,
+        in_string: bool,
+        escape: bool,
+    },
+    /// Array: after the top-level `]`. `reported` records whether
+    /// trailing content was already flagged — it is flagged at most once
+    /// (at its first byte) so framing is invariant to chunk boundaries.
+    Closed { reported: bool },
+}
+
+/// Push-based document splitter. Feed chunks with [`DocSplitter::feed`],
+/// then call [`DocSplitter::finish`] to flush the final document (or
+/// flag it as truncated).
+#[derive(Debug)]
+pub struct DocSplitter {
+    state: State,
+    /// Absolute offset of the next byte to be processed.
+    pos: u64,
+    /// Bytes of the current incomplete document, when it spans chunks.
+    pending: Vec<u8>,
+    /// Absolute offset of the current document's first byte.
+    doc_offset: u64,
+    kind: Option<FrameKind>,
+}
+
+impl Default for DocSplitter {
+    fn default() -> DocSplitter {
+        DocSplitter::new()
+    }
+}
+
+impl DocSplitter {
+    pub fn new() -> DocSplitter {
+        DocSplitter {
+            state: State::Start { matched_bom: 0 },
+            pos: 0,
+            pending: Vec::new(),
+            doc_offset: 0,
+            kind: None,
+        }
+    }
+
+    /// The input shape, once the first non-whitespace byte has been seen.
+    pub fn kind(&self) -> Option<FrameKind> {
+        self.kind
+    }
+
+    /// Process one chunk, emitting every document that completes in it.
+    /// Emitted slices borrow either from `chunk` or from the splitter's
+    /// carry-over buffer; copy them if they must outlive the call.
+    pub fn feed(&mut self, chunk: &[u8], emit: &mut dyn FnMut(Frame<'_>)) {
+        let mut i = 0;
+        while i < chunk.len() {
+            match &mut self.state {
+                State::Start { matched_bom } => {
+                    let matched = *matched_bom;
+                    let b = chunk[i];
+                    if self.pos == matched as u64 && matched < 3 && b == BOM[matched] {
+                        self.state = State::Start {
+                            matched_bom: matched + 1,
+                        };
+                        self.pos += 1;
+                        i += 1;
+                    } else if matched > 0 && matched < 3 {
+                        // A BOM prefix that never completed: those held
+                        // bytes are content. Replay them as the start of
+                        // a line (they cannot be `[`).
+                        self.kind = Some(FrameKind::Lines);
+                        self.state = State::Lines;
+                        self.doc_offset = self.pos - matched as u64;
+                        self.pending.extend_from_slice(&BOM[..matched]);
+                        // Do not advance i: reprocess chunk[i] as Lines.
+                    } else if b.is_ascii_whitespace() {
+                        self.pos += 1;
+                        i += 1;
+                    } else if b == b'[' {
+                        self.kind = Some(FrameKind::Array);
+                        self.state = State::Separators;
+                        self.pos += 1;
+                        i += 1;
+                    } else {
+                        self.kind = Some(FrameKind::Lines);
+                        self.state = State::Lines;
+                        self.doc_offset = self.pos;
+                        // Reprocess chunk[i] as Lines.
+                    }
+                }
+                State::Lines => {
+                    // Scan to the next newline; emit straight from the
+                    // chunk when the whole line is inside it.
+                    let rest = &chunk[i..];
+                    match rest.iter().position(|&b| b == b'\n') {
+                        Some(nl) => {
+                            let frame_offset;
+                            let line: &[u8] = if self.pending.is_empty() {
+                                frame_offset = self.pos;
+                                &rest[..nl]
+                            } else {
+                                self.pending.extend_from_slice(&rest[..nl]);
+                                frame_offset = self.doc_offset;
+                                &self.pending
+                            };
+                            let line = trim_line(line);
+                            if !line.is_empty() {
+                                emit(Frame::Doc {
+                                    offset: frame_offset,
+                                    bytes: line,
+                                });
+                            }
+                            self.pending.clear();
+                            self.pos += (nl + 1) as u64;
+                            self.doc_offset = self.pos;
+                            i += nl + 1;
+                        }
+                        None => {
+                            if self.pending.is_empty() {
+                                self.doc_offset = self.pos;
+                            }
+                            self.pending.extend_from_slice(rest);
+                            self.pos += rest.len() as u64;
+                            i = chunk.len();
+                        }
+                    }
+                }
+                State::Separators => {
+                    let b = chunk[i];
+                    if b.is_ascii_whitespace() || b == b',' {
+                        self.pos += 1;
+                        i += 1;
+                    } else if b == b']' {
+                        self.state = State::Closed { reported: false };
+                        self.pos += 1;
+                        i += 1;
+                    } else {
+                        self.state = State::Element {
+                            depth: 0,
+                            in_string: false,
+                            escape: false,
+                        };
+                        self.doc_offset = self.pos;
+                        self.pending.clear();
+                        // Reprocess chunk[i] as the element's first byte.
+                    }
+                }
+                State::Element {
+                    depth,
+                    in_string,
+                    escape,
+                } => {
+                    let b = chunk[i];
+                    let terminated = if *in_string {
+                        if *escape {
+                            *escape = false;
+                        } else if b == b'\\' {
+                            *escape = true;
+                        } else if b == b'"' {
+                            *in_string = false;
+                        }
+                        false
+                    } else {
+                        match b {
+                            b'"' => {
+                                *in_string = true;
+                                false
+                            }
+                            b'{' | b'[' => {
+                                *depth += 1;
+                                false
+                            }
+                            b'}' | b']' if *depth > 0 => {
+                                *depth -= 1;
+                                false
+                            }
+                            // At depth 0 a comma ends the element and a
+                            // `]` ends both the element and the array
+                            // (depth > 0 was handled above). A stray `}`
+                            // is content for the parser to reject.
+                            b',' if *depth == 0 => true,
+                            b']' => true,
+                            _ => false,
+                        }
+                    };
+                    if terminated {
+                        let doc = trim_line(&self.pending);
+                        if !doc.is_empty() {
+                            emit(Frame::Doc {
+                                offset: self.doc_offset,
+                                bytes: doc,
+                            });
+                        }
+                        self.pending.clear();
+                        self.state = if b == b']' {
+                            State::Closed { reported: false }
+                        } else {
+                            State::Separators
+                        };
+                    } else {
+                        self.pending.push(b);
+                    }
+                    self.pos += 1;
+                    i += 1;
+                }
+                State::Closed { reported } => {
+                    let rest = &chunk[i..];
+                    match rest.iter().position(|&b| !b.is_ascii_whitespace()) {
+                        Some(j) if !*reported => {
+                            emit(Frame::Junk {
+                                offset: self.pos + j as u64,
+                                bytes: &rest[j..],
+                                reason: TRAILING_CONTENT,
+                            });
+                            *reported = true;
+                        }
+                        _ => {}
+                    }
+                    self.pos += rest.len() as u64;
+                    i = chunk.len();
+                }
+            }
+        }
+    }
+
+    /// Flush the end of the input: the final newline-less line is a
+    /// document; an unfinished array element is junk (truncated).
+    pub fn finish(self, emit: &mut dyn FnMut(Frame<'_>)) {
+        match self.state {
+            State::Start { matched_bom } => {
+                // Only whitespace (and possibly a BOM prefix) was seen. A
+                // partial BOM is content — surface it for the parser.
+                if matched_bom > 0 && matched_bom < 3 {
+                    emit(Frame::Doc {
+                        offset: self.pos - matched_bom as u64,
+                        bytes: &BOM[..matched_bom],
+                    });
+                }
+            }
+            State::Lines => {
+                let line = trim_line(&self.pending);
+                if !line.is_empty() {
+                    emit(Frame::Doc {
+                        offset: self.doc_offset,
+                        bytes: line,
+                    });
+                }
+            }
+            State::Element { .. } => {
+                let doc = trim_line(&self.pending);
+                if !doc.is_empty() {
+                    emit(Frame::Junk {
+                        offset: self.doc_offset,
+                        bytes: doc,
+                        reason: TRUNCATED_DOC,
+                    });
+                }
+            }
+            // A missing final `]` after complete elements is tolerated
+            // (routine truncation), and a closed array ends cleanly.
+            State::Separators | State::Closed { .. } => {}
+        }
+    }
+
+    /// Frame a complete in-memory input in one call.
+    pub fn split_all(input: &[u8], emit: &mut dyn FnMut(Frame<'_>)) {
+        let mut splitter = DocSplitter::new();
+        splitter.feed(input, emit);
+        splitter.finish(emit);
+    }
+}
+
+/// Strip surrounding ASCII whitespace (covers the `\r` of CRLF input).
+fn trim_line(bytes: &[u8]) -> &[u8] {
+    let start = bytes
+        .iter()
+        .position(|b| !b.is_ascii_whitespace())
+        .unwrap_or(bytes.len());
+    let end = bytes
+        .iter()
+        .rposition(|b| !b.is_ascii_whitespace())
+        .map_or(start, |e| e + 1);
+    &bytes[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type OwnedDocs = Vec<(u64, Vec<u8>)>;
+    type OwnedJunk = Vec<(u64, Vec<u8>, String)>;
+
+    /// Collect (offset, doc) and (offset, junk, reason) frames, feeding
+    /// the input in chunks of `chunk` bytes.
+    fn split(input: &[u8], chunk: usize) -> (OwnedDocs, OwnedJunk) {
+        let mut docs = Vec::new();
+        let mut junk = Vec::new();
+        let mut splitter = DocSplitter::new();
+        let mut emit = |frame: Frame<'_>| match frame {
+            Frame::Doc { offset, bytes } => docs.push((offset, bytes.to_vec())),
+            Frame::Junk {
+                offset,
+                bytes,
+                reason,
+            } => junk.push((offset, bytes.to_vec(), reason.to_string())),
+        };
+        for piece in input.chunks(chunk.max(1)) {
+            splitter.feed(piece, &mut emit);
+        }
+        splitter.finish(&mut emit);
+        (docs, junk)
+    }
+
+    fn docs_only(input: &[u8], chunk: usize) -> Vec<String> {
+        let (docs, junk) = split(input, chunk);
+        assert!(junk.is_empty(), "unexpected junk: {junk:?}");
+        docs.iter()
+            .map(|(_, d)| String::from_utf8(d.clone()).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn lines_basic_with_offsets() {
+        let input = b"{\"a\":1}\n\n  \n{\"b\":2}\n";
+        for chunk in [1, 2, 3, 7, 100] {
+            let (docs, junk) = split(input, chunk);
+            assert!(junk.is_empty());
+            assert_eq!(
+                docs,
+                vec![(0, b"{\"a\":1}".to_vec()), (12, b"{\"b\":2}".to_vec())],
+                "chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn lines_crlf_and_missing_final_newline() {
+        assert_eq!(
+            docs_only(b"{\"a\":1}\r\n{\"b\":2}", 3),
+            ["{\"a\":1}", "{\"b\":2}"]
+        );
+    }
+
+    #[test]
+    fn bom_is_skipped_in_both_modes() {
+        assert_eq!(docs_only(b"\xEF\xBB\xBF{\"a\":1}\n", 1), ["{\"a\":1}"]);
+        assert_eq!(docs_only(b"\xEF\xBB\xBF[1,2]", 2), ["1", "2"]);
+    }
+
+    #[test]
+    fn partial_bom_is_content() {
+        let (docs, junk) = split(b"\xEF\xBB", 1);
+        assert!(junk.is_empty());
+        assert_eq!(docs, vec![(0, vec![0xEF, 0xBB])]);
+        // A BOM prefix followed by other bytes becomes a line.
+        let (docs, _) = split(b"\xEFoops\n", 2);
+        assert_eq!(docs, vec![(0, b"\xEFoops".to_vec())]);
+    }
+
+    #[test]
+    fn array_elements_with_nesting_strings_and_escapes() {
+        let input = br#"[ {"a":[1,2],"s":"x,]}"} , {"b":"\"],"} , 3.5, null ]"#;
+        for chunk in [1, 2, 5, 13, 100] {
+            assert_eq!(
+                docs_only(input, chunk),
+                [
+                    r#"{"a":[1,2],"s":"x,]}"}"#,
+                    r#"{"b":"\"],"}"#,
+                    "3.5",
+                    "null"
+                ],
+                "chunk={chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn array_offsets_point_at_elements() {
+        let (docs, _) = split(b"[10, 20]", 100);
+        assert_eq!(docs, vec![(1, b"10".to_vec()), (5, b"20".to_vec())]);
+    }
+
+    #[test]
+    fn empty_inputs_and_empty_arrays() {
+        for input in [
+            &b""[..],
+            b"   \n\t ",
+            b"[]",
+            b"[ ]",
+            b"[ , , ]",
+            b"\xEF\xBB\xBF",
+        ] {
+            let (docs, junk) = split(input, 1);
+            assert!(docs.is_empty(), "{input:?}");
+            assert!(junk.is_empty(), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_final_element_is_junk() {
+        let (docs, junk) = split(br#"[{"a":1},{"b":"#, 4);
+        assert_eq!(docs, vec![(1, b"{\"a\":1}".to_vec())]);
+        assert_eq!(junk.len(), 1);
+        assert_eq!(junk[0].0, 9);
+        assert_eq!(junk[0].1, b"{\"b\":".to_vec());
+        assert_eq!(junk[0].2, TRUNCATED_DOC);
+        // Truncation inside a string literal as well.
+        let (_, junk) = split(br#"[{"a":"unterminated"#, 100);
+        assert_eq!(junk.len(), 1);
+        assert_eq!(junk[0].2, TRUNCATED_DOC);
+    }
+
+    #[test]
+    fn missing_final_bracket_after_complete_element_is_tolerated() {
+        let (docs, junk) = split(br#"[{"a":1},"#, 3);
+        assert_eq!(docs.len(), 1);
+        assert!(junk.is_empty());
+    }
+
+    #[test]
+    fn content_after_array_close_is_junk() {
+        let (docs, junk) = split(b"[1] trailing", 100);
+        assert_eq!(docs, vec![(1, b"1".to_vec())]);
+        assert_eq!(junk.len(), 1);
+        assert_eq!(junk[0].0, 4);
+        assert_eq!(junk[0].1, b"trailing".to_vec());
+        assert_eq!(junk[0].2, TRAILING_CONTENT);
+    }
+
+    #[test]
+    fn garbage_between_elements_is_framed_for_the_parser() {
+        // Framing is lenient: `oops` becomes a document the JSON parser
+        // rejects, so only that record is lost.
+        assert_eq!(docs_only(b"[1, oops, 2]", 2), ["1", "oops", "2"]);
+    }
+
+    #[test]
+    fn kind_is_reported() {
+        let mut s = DocSplitter::new();
+        assert_eq!(s.kind(), None);
+        s.feed(b"  [", &mut |_| {});
+        assert_eq!(s.kind(), Some(FrameKind::Array));
+        let mut s = DocSplitter::new();
+        s.feed(b"{\"a\":1}", &mut |_| {});
+        assert_eq!(s.kind(), Some(FrameKind::Lines));
+    }
+}

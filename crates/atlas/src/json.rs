@@ -191,11 +191,53 @@ pub fn parse_traceroute(json: &str) -> Result<TracerouteResult, Box<dyn std::err
 }
 
 /// Parse a JSON array of Atlas documents (the API's list form).
+///
+/// The array is framed element-by-element with [`crate::framing`] rather
+/// than deserialised as one `Vec` — same single-pass splitter the
+/// streaming ingest uses — so errors carry the failing element's byte
+/// offset. The first bad element (unparsable JSON, non-traceroute
+/// document, or unframeable bytes) fails the whole call, matching the
+/// strictness of whole-buffer deserialisation.
 pub fn parse_traceroutes(json: &str) -> Result<Vec<TracerouteResult>, Box<dyn std::error::Error>> {
-    let docs: Vec<AtlasTraceroute> = serde_json::from_str(json)?;
-    docs.iter()
-        .map(|d| d.to_model().map_err(Into::into))
-        .collect()
+    let mut out: Vec<TracerouteResult> = Vec::new();
+    let mut first_err: Option<String> = None;
+    let mut emit = |frame: crate::framing::Frame<'_>| {
+        if first_err.is_some() {
+            return;
+        }
+        match frame {
+            crate::framing::Frame::Doc { offset, bytes } => {
+                let text = match std::str::from_utf8(bytes) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        first_err = Some(format!("element at byte {offset}: {e}"));
+                        return;
+                    }
+                };
+                match serde_json::from_str::<AtlasTraceroute>(text).map_err(|e| e.to_string()) {
+                    Ok(doc) => match doc.to_model() {
+                        Ok(tr) => out.push(tr),
+                        Err(e) => first_err = Some(format!("element at byte {offset}: {e}")),
+                    },
+                    Err(e) => first_err = Some(format!("element at byte {offset}: {e}")),
+                }
+            }
+            crate::framing::Frame::Junk { offset, reason, .. } => {
+                first_err = Some(format!("at byte {offset}: {reason}"))
+            }
+        }
+    };
+    let mut splitter = crate::framing::DocSplitter::new();
+    splitter.feed(json.as_bytes(), &mut emit);
+    let kind = splitter.kind();
+    splitter.finish(&mut emit);
+    if kind != Some(crate::framing::FrameKind::Array) {
+        return Err("expected a top-level JSON array of Atlas documents".into());
+    }
+    if let Some(e) = first_err {
+        return Err(e.into());
+    }
+    Ok(out)
 }
 
 /// Serialise one internal traceroute to Atlas JSON.
@@ -266,6 +308,28 @@ mod tests {
         let json = format!("[{SAMPLE},{SAMPLE}]");
         let list = parse_traceroutes(&json).unwrap();
         assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn empty_array_parses_and_non_array_is_rejected() {
+        assert!(parse_traceroutes("[]").unwrap().is_empty());
+        assert!(parse_traceroutes(" [ ] ").unwrap().is_empty());
+        assert!(
+            parse_traceroutes(SAMPLE).is_err(),
+            "bare object is not a list"
+        );
+        assert!(parse_traceroutes("").is_err());
+    }
+
+    #[test]
+    fn array_errors_carry_the_element_offset() {
+        let err = parse_traceroutes("[ {\"bogus\":1} ]")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("at byte 2"), "{err}");
+        let truncated = format!("[{SAMPLE},{}", &SAMPLE[..40]);
+        let err = parse_traceroutes(&truncated).unwrap_err().to_string();
+        assert!(err.contains("truncated"), "{err}");
     }
 
     #[test]

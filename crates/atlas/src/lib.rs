@@ -22,6 +22,8 @@
 //!   deterministic schedule (which traceroutes exist in a time range).
 //! * [`json`] — the Atlas API JSON format (`prb_id`, `msm_id`, `result`
 //!   arrays with `from`/`rtt` or `x: "*"` entries), round-trippable.
+//! * [`framing`] — incremental splitting of JSON Lines / JSON array
+//!   inputs into record-aligned document frames, for streaming ingest.
 //!
 //! ## Example
 //!
@@ -38,6 +40,7 @@
 //! assert_eq!(n, 24);
 //! ```
 
+pub mod framing;
 pub mod json;
 pub mod measurement;
 pub mod probe;

@@ -1,0 +1,259 @@
+//! Property-based tests for the incremental document splitter: framing
+//! must be invariant to how the input is chunked, offsets must always
+//! point back into the original bytes, and arbitrary garbage must never
+//! panic the state machine.
+
+use lastmile_atlas::framing::{DocSplitter, Frame, FrameKind};
+use proptest::prelude::*;
+
+/// An owned frame for comparison across chunkings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Owned {
+    Doc { offset: u64, bytes: Vec<u8> },
+    Junk { offset: u64, reason: &'static str },
+}
+
+fn own(frame: Frame<'_>) -> Owned {
+    match frame {
+        Frame::Doc { offset, bytes } => Owned::Doc {
+            offset,
+            bytes: bytes.to_vec(),
+        },
+        Frame::Junk { offset, reason, .. } => Owned::Junk { offset, reason },
+    }
+}
+
+/// Split with one `feed` per chunk; chunk sizes cycle through `sizes`.
+fn split_chunked(input: &[u8], sizes: &[usize]) -> (Vec<Owned>, Option<FrameKind>) {
+    let mut frames = Vec::new();
+    let mut splitter = DocSplitter::new();
+    let mut at = 0;
+    let mut i = 0;
+    while at < input.len() {
+        let step = sizes[i % sizes.len()].max(1).min(input.len() - at);
+        i += 1;
+        splitter.feed(&input[at..at + step], &mut |f| frames.push(own(f)));
+        at += step;
+    }
+    let kind = splitter.kind();
+    splitter.finish(&mut |f| frames.push(own(f)));
+    (frames, kind)
+}
+
+fn split_whole(input: &[u8]) -> (Vec<Owned>, Option<FrameKind>) {
+    split_chunked(input, &[usize::MAX])
+}
+
+/// A small JSON object document: nested enough to exercise depth
+/// tracking, string/escape state, and bracket characters inside strings.
+/// Objects only — a document starting with `[` is (correctly) read as a
+/// top-level array open, so the lines generator must not produce one.
+fn arb_doc() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("{}".to_string()),
+        Just(r#"{"a":1}"#.to_string()),
+        Just(r#"{"a":[1,{"b":"}]"}]}"#.to_string()),
+        Just(r#"{"s":"comma, ] and \" escape"}"#.to_string()),
+        Just(r#"{"nested":{"deep":[{"x":[[]]}]}}"#.to_string()),
+        prop::collection::vec(b'a'..=b'z', 1..7)
+            .prop_map(|s| format!(r#"{{"k":"{}"}}"#, String::from_utf8(s).unwrap())),
+    ]
+}
+
+/// An array element: any object doc, or an array-typed value (legal as
+/// an element even though it could not start a JSON Lines document).
+fn arb_array_element() -> impl Strategy<Value = String> {
+    prop_oneof![
+        3 => arb_doc(),
+        1 => Just("[]".to_string()),
+        1 => Just("[1,2,[3]]".to_string()),
+    ]
+}
+
+fn arb_chunk_sizes() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..40, 1..8)
+}
+
+/// Assemble a JSON Lines input: optional BOM, docs separated by LF or
+/// CRLF, optional whitespace-only lines in between, optional missing
+/// final newline.
+fn arb_lines_input() -> impl Strategy<Value = (Vec<u8>, Vec<String>)> {
+    (
+        prop::collection::vec((arb_doc(), any::<bool>(), 0usize..3), 0..6),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(docs, bom, final_newline)| {
+            let mut out: Vec<u8> = if bom { vec![0xEF, 0xBB, 0xBF] } else { vec![] };
+            let mut expect = Vec::new();
+            let n = docs.len();
+            for (i, (doc, crlf, blank_lines)) in docs.into_iter().enumerate() {
+                for _ in 0..blank_lines {
+                    out.extend_from_slice(b"  \n");
+                }
+                out.extend_from_slice(doc.as_bytes());
+                expect.push(doc);
+                if i + 1 < n || final_newline {
+                    out.extend_from_slice(if crlf { b"\r\n" } else { b"\n" });
+                }
+            }
+            (out, expect)
+        })
+}
+
+/// Assemble an array-form input: optional BOM, docs separated by commas
+/// with random whitespace (including newlines) around them.
+fn arb_array_input() -> impl Strategy<Value = (Vec<u8>, Vec<String>)> {
+    (
+        prop::collection::vec((arb_array_element(), 0usize..3), 0..6),
+        any::<bool>(),
+    )
+        .prop_map(|(docs, bom)| {
+            let pad = |k: usize| &"  \n\t \r\n"[..k.min(6)];
+            let mut out: Vec<u8> = if bom { vec![0xEF, 0xBB, 0xBF] } else { vec![] };
+            out.push(b'[');
+            let mut expect = Vec::new();
+            for (i, (doc, padding)) in docs.into_iter().enumerate() {
+                if i > 0 {
+                    out.push(b',');
+                }
+                out.extend_from_slice(pad(padding).as_bytes());
+                out.extend_from_slice(doc.as_bytes());
+                expect.push(doc);
+            }
+            out.extend_from_slice(b" ]");
+            (out, expect)
+        })
+}
+
+proptest! {
+    /// Chunking is invisible: any chunk-size sequence yields exactly the
+    /// frames and kind of a single whole-input feed.
+    #[test]
+    fn lines_chunking_is_invariant(
+        (input, _) in arb_lines_input(),
+        sizes in arb_chunk_sizes(),
+    ) {
+        prop_assert_eq!(split_chunked(&input, &sizes), split_whole(&input));
+    }
+
+    #[test]
+    fn array_chunking_is_invariant(
+        (input, _) in arb_array_input(),
+        sizes in arb_chunk_sizes(),
+    ) {
+        prop_assert_eq!(split_chunked(&input, &sizes), split_whole(&input));
+    }
+
+    /// Every document comes back intact, in order, and its offset points
+    /// at exactly those bytes in the original input.
+    #[test]
+    fn lines_docs_round_trip_with_true_offsets(
+        (input, expect) in arb_lines_input(),
+        sizes in arb_chunk_sizes(),
+    ) {
+        let (frames, kind) = split_chunked(&input, &sizes);
+        let docs: Vec<&Owned> = frames
+            .iter()
+            .filter(|f| matches!(f, Owned::Doc { .. }))
+            .collect();
+        prop_assert_eq!(docs.len(), expect.len());
+        for (frame, want) in docs.iter().zip(&expect) {
+            let Owned::Doc { offset, bytes } = frame else { unreachable!() };
+            prop_assert_eq!(bytes.as_slice(), want.as_bytes());
+            let at = *offset as usize;
+            prop_assert_eq!(&input[at..at + bytes.len()], want.as_bytes());
+        }
+        prop_assert!(frames.iter().all(|f| matches!(f, Owned::Doc { .. })));
+        if !expect.is_empty() {
+            prop_assert_eq!(kind, Some(FrameKind::Lines));
+        }
+    }
+
+    #[test]
+    fn array_docs_round_trip_with_true_offsets(
+        (input, expect) in arb_array_input(),
+        sizes in arb_chunk_sizes(),
+    ) {
+        let (frames, kind) = split_chunked(&input, &sizes);
+        prop_assert_eq!(kind, Some(FrameKind::Array));
+        prop_assert_eq!(frames.len(), expect.len());
+        for (frame, want) in frames.iter().zip(&expect) {
+            let Owned::Doc { offset, bytes } = frame else {
+                panic!("junk frame: {frame:?}");
+            };
+            prop_assert_eq!(bytes.as_slice(), want.as_bytes());
+            let at = *offset as usize;
+            prop_assert_eq!(&input[at..at + bytes.len()], want.as_bytes());
+        }
+    }
+
+    /// Truncating an array input anywhere never loses preceding complete
+    /// documents and never fabricates documents the full input lacks.
+    #[test]
+    fn truncated_arrays_keep_complete_prefix(
+        (input, _) in arb_array_input(),
+        cut_seed in any::<usize>(),
+        sizes in arb_chunk_sizes(),
+    ) {
+        // Never cut inside the BOM: a partial BOM is surfaced as content
+        // by design, which this prefix property does not model.
+        let bom = if input.starts_with(&[0xEF, 0xBB, 0xBF]) { 3 } else { 0 };
+        let cut = bom + cut_seed % (input.len() + 1 - bom);
+        let (full, _) = split_whole(&input);
+        let (truncated, _) = split_chunked(&input[..cut], &sizes);
+        let full_docs: Vec<&Owned> = full
+            .iter()
+            .filter(|f| matches!(f, Owned::Doc { .. }))
+            .collect();
+        let cut_docs: Vec<&Owned> = truncated
+            .iter()
+            .filter(|f| matches!(f, Owned::Doc { .. }))
+            .collect();
+        // Every doc recovered from the prefix is a doc of the full input,
+        // in order; at most one final junk frame marks the torn tail.
+        prop_assert!(cut_docs.len() <= full_docs.len());
+        for (a, b) in cut_docs.iter().zip(&full_docs) {
+            prop_assert_eq!(*a, *b);
+        }
+        let junk = truncated
+            .iter()
+            .filter(|f| matches!(f, Owned::Junk { .. }))
+            .count();
+        prop_assert!(junk <= 1, "{truncated:?}");
+    }
+
+    /// Arbitrary bytes at arbitrary chunkings: no panics, frames stay in
+    /// offset order, and every frame's offset lies within the input.
+    #[test]
+    fn garbage_never_panics_and_offsets_are_sane(
+        input in prop::collection::vec(any::<u8>(), 0..300),
+        sizes in arb_chunk_sizes(),
+    ) {
+        let (frames, _) = split_chunked(&input, &sizes);
+        let mut last = 0u64;
+        for f in &frames {
+            let offset = match f {
+                Owned::Doc { offset, .. } | Owned::Junk { offset, .. } => *offset,
+            };
+            prop_assert!(offset >= last, "{frames:?}");
+            prop_assert!(offset <= input.len() as u64);
+            last = offset;
+        }
+    }
+}
+
+#[test]
+fn empty_array_and_whitespace_only_inputs_yield_no_docs() {
+    for input in [
+        &b"[]"[..],
+        b"[ \n ]",
+        b"",
+        b"   \n \r\n ",
+        b"\xEF\xBB\xBF",
+        b"\xEF\xBB\xBF[]",
+    ] {
+        let (frames, _) = split_whole(input);
+        assert!(frames.is_empty(), "{:?} -> {frames:?}", input);
+    }
+}

@@ -3,7 +3,10 @@
 
 use crate::bgp::load_table;
 use crate::cache::{self, Cache};
-use crate::input::{group_by_asn, load_probes, resolve_window, stream_traceroutes};
+use crate::input::{
+    group_by_asn, ingest_options, ingest_traceroutes, ingest_traffic, load_probes, resolve_window,
+    write_quarantine,
+};
 use crate::Flags;
 use lastmile_repro::atlas::ProbeId;
 use lastmile_repro::core::pipeline::{
@@ -44,6 +47,7 @@ pub fn analyze_file(
     metrics: Option<&RunMetrics>,
 ) -> Result<Vec<(Asn, PopulationAnalysis)>, String> {
     let path = flags.required("traceroutes")?;
+    let ingest_opts = ingest_options(flags)?;
     let probes = flags.optional("probes").map(load_probes).transpose()?;
     let bgp = flags.optional("bgp").map(load_table).transpose()?;
     let anchors_only = flags.switch("anchors-only");
@@ -61,7 +65,7 @@ pub fn analyze_file(
         (per_traceroute_asn && cache_requested).then(BTreeMap::new);
     let mut data_min: Option<UnixTime> = None;
     let mut data_max: Option<UnixTime> = None;
-    let (parsed, skipped) = stream_traceroutes(path, |tr| {
+    let span = ingest_traceroutes(path, &ingest_opts, |tr| {
         data_min = Some(data_min.map_or(tr.timestamp, |m| m.min(tr.timestamp)));
         data_max = Some(data_max.map_or(tr.timestamp, |m| m.max(tr.timestamp)));
         if let (Some(attribution), Some(table)) = (bgp_probe_asn.as_mut(), &bgp) {
@@ -77,7 +81,23 @@ pub fn analyze_file(
             }
         }
     })?;
-    eprintln!("[input] {parsed} traceroutes parsed, {skipped} skipped");
+    eprintln!(
+        "[input] {} traceroutes parsed, {} skipped",
+        span.parsed,
+        span.skipped()
+    );
+    // Quarantine detail comes from pass 1 only: both passes read the same
+    // file, so typed counts and the triage dump stay per-file exact.
+    if let Some(m) = metrics {
+        m.add_ingest_traffic(&ingest_traffic(&span, true));
+    }
+    if let Some(qpath) = flags.optional("quarantine") {
+        write_quarantine(qpath, &span.quarantined)?;
+        eprintln!(
+            "[input] {} quarantined record(s) written to {qpath}",
+            span.quarantined.len()
+        );
+    }
     let window = resolve_window(
         flags.parsed::<i64>("start")?,
         flags.parsed::<i64>("end")?,
@@ -148,7 +168,7 @@ pub fn analyze_file(
     let mut served: BTreeMap<ProbeId, (Asn, PrebuiltSeries)> = BTreeMap::new();
     let mut unserved: BTreeSet<ProbeId> = BTreeSet::new();
     let ingest_timer = StageTimer::start();
-    stream_traceroutes(path, |tr| {
+    let pass2 = ingest_traceroutes(path, &ingest_opts, |tr| {
         let asn = match (&probe_to_asn, &bgp) {
             (Some(map), _) => match map.get(&tr.probe) {
                 Some(&asn) => asn,
@@ -194,6 +214,7 @@ pub fn analyze_file(
     }
     if let Some(m) = metrics {
         m.add_ingest_nanos(ingest_timer.elapsed_nanos());
+        m.add_ingest_traffic(&ingest_traffic(&pass2, false));
     }
 
     let results: Vec<(Asn, PopulationAnalysis)> = pipelines

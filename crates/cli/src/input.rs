@@ -1,78 +1,148 @@
 //! Input handling: streaming Atlas-format traceroutes and probe metadata
 //! from disk.
+//!
+//! Traceroute decode goes through `lastmile-ingest` (framing reader +
+//! parallel parse workers over bounded queues); this module owns the
+//! flag plumbing (`--ingest-threads`, `--ingest-serial`, `--quarantine`)
+//! and the adapters between [`IngestSummary`] and the CLI's metrics and
+//! triage outputs.
 
-use lastmile_repro::atlas::json::AtlasTraceroute;
+use crate::Flags;
+use lastmile_repro::atlas::framing::{DocSplitter, Frame, FrameKind};
 use lastmile_repro::atlas::{Probe, ProbeId, TracerouteResult};
+use lastmile_repro::ingest::{ingest_file, IngestOptions, IngestSummary, Quarantined};
+use lastmile_repro::obs::IngestTraffic;
 use lastmile_repro::prefix::Asn;
 use lastmile_repro::timebase::{TimeRange, UnixTime};
 use std::collections::BTreeMap;
-use std::io::BufRead;
+use std::io::Write;
+
+/// Ingest tuning from the command line: `--ingest-threads N` (0 = one
+/// worker per core, the default) and the retained `--ingest-serial`
+/// reference path.
+pub fn ingest_options(flags: &Flags) -> Result<IngestOptions, String> {
+    Ok(IngestOptions {
+        threads: flags.parsed::<usize>("ingest-threads")?.unwrap_or(0),
+        serial: flags.switch("ingest-serial"),
+        ..IngestOptions::default()
+    })
+}
 
 /// Read traceroutes from a file that is either a JSON array or JSON Lines
 /// (one Atlas document per line), streaming each into `f`.
 ///
-/// Malformed lines are counted, not fatal — real Atlas dumps contain the
-/// occasional truncated document. Returns `(parsed, skipped)`.
-pub fn stream_traceroutes(
+/// Malformed records are quarantined, not fatal — real Atlas dumps
+/// contain the occasional truncated document; the summary carries the
+/// typed quarantine detail.
+pub fn ingest_traceroutes(
     path: &str,
-    mut f: impl FnMut(TracerouteResult),
-) -> Result<(usize, usize), String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let mut reader = std::io::BufReader::new(file);
+    options: &IngestOptions,
+    f: impl FnMut(TracerouteResult),
+) -> Result<IngestSummary, String> {
+    ingest_file(path, options, f)
+}
 
-    // Peek the first non-whitespace byte to pick array vs lines.
-    let first = {
-        let buf = reader.fill_buf().map_err(|e| format!("read {path}: {e}"))?;
-        buf.iter().copied().find(|b| !b.is_ascii_whitespace())
-    };
-    let mut parsed = 0usize;
-    let mut skipped = 0usize;
-    match first {
-        Some(b'[') => {
-            // Whole-file JSON array.
-            let mut text = String::new();
-            std::io::Read::read_to_string(&mut reader, &mut text)
-                .map_err(|e| format!("read {path}: {e}"))?;
-            let docs: Vec<AtlasTraceroute> =
-                serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
-            for doc in &docs {
-                match doc.to_model() {
-                    Ok(tr) => {
-                        parsed += 1;
-                        f(tr);
-                    }
-                    Err(_) => skipped += 1,
-                }
-            }
-        }
-        Some(_) => {
-            // JSON Lines.
-            for line in reader.lines() {
-                let line = line.map_err(|e| format!("read {path}: {e}"))?;
-                if line.trim().is_empty() {
-                    continue;
-                }
-                match serde_json::from_str::<AtlasTraceroute>(&line)
-                    .map_err(|_| ())
-                    .and_then(|d| d.to_model().map_err(|_| ()))
-                {
-                    Ok(tr) => {
-                        parsed += 1;
-                        f(tr);
-                    }
-                    Err(()) => skipped += 1,
-                }
-            }
-        }
-        None => {}
+/// Map an ingest summary onto the obs counters. `with_quarantine: false`
+/// reports only throughput (bytes, records, timers) — used for the second
+/// classify pass over the same file, so the typed quarantine counts in
+/// `--stats` stay per-file exact instead of double-counting.
+pub fn ingest_traffic(summary: &IngestSummary, with_quarantine: bool) -> IngestTraffic {
+    use lastmile_repro::ingest::QuarantineKind;
+    IngestTraffic {
+        bytes_read: summary.bytes_read,
+        records_decoded: summary.parsed,
+        quarantined_framing: if with_quarantine {
+            summary.quarantined_of(QuarantineKind::Framing)
+        } else {
+            0
+        },
+        quarantined_json: if with_quarantine {
+            summary.quarantined_of(QuarantineKind::Json)
+        } else {
+            0
+        },
+        quarantined_model: if with_quarantine {
+            summary.quarantined_of(QuarantineKind::Model)
+        } else {
+            0
+        },
+        quarantined_panic: if with_quarantine {
+            summary.quarantined_of(QuarantineKind::WorkerPanic)
+        } else {
+            0
+        },
+        frame_nanos: summary.frame_nanos,
+        decode_nanos: summary.decode_nanos,
+        wall_nanos: summary.wall_nanos,
     }
-    Ok((parsed, skipped))
+}
+
+/// Write quarantined records as a JSON Lines triage dump: one document
+/// per record with its byte offset, typed kind, error detail, and the
+/// raw record bytes (lossily decoded). Records arrive sorted by offset,
+/// so the dump is deterministic for a given input.
+pub fn write_quarantine(path: &str, quarantined: &[Quarantined]) -> Result<(), String> {
+    let file =
+        std::fs::File::create(path).map_err(|e| format!("create --quarantine {path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    for q in quarantined {
+        let doc = serde_json::json!({
+            "offset": q.offset,
+            "kind": q.kind.name(),
+            "detail": q.detail,
+            "record": String::from_utf8_lossy(&q.record).into_owned(),
+        });
+        writeln!(w, "{doc}").map_err(|e| format!("write --quarantine {path}: {e}"))?;
+    }
+    w.flush()
+        .map_err(|e| format!("write --quarantine {path}: {e}"))?;
+    Ok(())
 }
 
 /// Load probe metadata (a JSON array of [`Probe`] objects).
+///
+/// Errors are located: the failing element's byte offset and line in the
+/// file are reported alongside the parse error, so a bad probe in a
+/// large metadata dump can be found without bisecting.
 pub fn load_probes(path: &str) -> Result<Vec<Probe>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("open {path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+    let bytes = std::fs::read(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut probes: Vec<Probe> = Vec::new();
+    let mut first_err: Option<String> = None;
+    let locate = |offset: u64| {
+        let upto = &bytes[..(offset as usize).min(bytes.len())];
+        let line = upto.iter().filter(|&&b| b == b'\n').count() + 1;
+        format!("{path}:{line} (byte {offset})")
+    };
+    let mut emit = |frame: Frame<'_>| {
+        if first_err.is_some() {
+            return;
+        }
+        match frame {
+            Frame::Doc { offset, bytes } => {
+                match std::str::from_utf8(bytes)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| serde_json::from_str::<Probe>(text).map_err(|e| e.to_string()))
+                {
+                    Ok(p) => probes.push(p),
+                    Err(e) => first_err = Some(format!("parse {}: {e}", locate(offset))),
+                }
+            }
+            Frame::Junk { offset, reason, .. } => {
+                first_err = Some(format!("parse {}: {reason}", locate(offset)));
+            }
+        }
+    };
+    let mut splitter = DocSplitter::new();
+    splitter.feed(&bytes, &mut emit);
+    let kind = splitter.kind();
+    splitter.finish(&mut emit);
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    if kind.is_some() && kind != Some(FrameKind::Array) {
+        return Err(format!("parse {path}: expected a JSON array of probes"));
+    }
+    Ok(probes)
 }
 
 /// Group probes by ASN, excluding anchors (the paper's default view).
@@ -177,20 +247,56 @@ mod tests {
         let dir = std::env::temp_dir().join("lastmile-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
 
+        let opts = IngestOptions::default();
+
         // JSON Lines with one garbage line.
         let jsonl = dir.join("trs.jsonl");
         std::fs::write(&jsonl, format!("{json}\nnot-json\n{json}\n")).unwrap();
         let mut count = 0;
-        let (parsed, skipped) =
-            stream_traceroutes(jsonl.to_str().unwrap(), |_| count += 1).unwrap();
-        assert_eq!((parsed, skipped, count), (2, 1, 2));
+        let s = ingest_traceroutes(jsonl.to_str().unwrap(), &opts, |_| count += 1).unwrap();
+        assert_eq!((s.parsed, s.skipped(), count), (2, 1, 2));
 
         // Array form.
         let array = dir.join("trs.json");
         std::fs::write(&array, format!("[{json},{json},{json}]")).unwrap();
         let mut count = 0;
-        let (parsed, skipped) =
-            stream_traceroutes(array.to_str().unwrap(), |_| count += 1).unwrap();
-        assert_eq!((parsed, skipped, count), (3, 0, 3));
+        let s = ingest_traceroutes(array.to_str().unwrap(), &opts, |_| count += 1).unwrap();
+        assert_eq!((s.parsed, s.skipped(), count), (3, 0, 3));
+    }
+
+    #[test]
+    fn ingest_options_read_the_flags() {
+        let args: Vec<String> = ["--ingest-threads", "3", "--ingest-serial"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let flags = crate::Flags::parse(&args).unwrap();
+        let opts = ingest_options(&flags).unwrap();
+        assert_eq!(opts.threads, 3);
+        assert!(opts.serial);
+        let flags = crate::Flags::parse(&[]).unwrap();
+        let opts = ingest_options(&flags).unwrap();
+        assert_eq!(opts.threads, 0, "default is auto");
+        assert!(!opts.serial);
+    }
+
+    #[test]
+    fn probe_errors_are_located() {
+        let dir = std::env::temp_dir().join("lastmile-cli-probe-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probes.json");
+        let good = serde_json::to_string(&probe(1, 10, false)).unwrap();
+        std::fs::write(&path, format!("[\n{good},\n{{\"id\": \"oops\"}}\n]")).unwrap();
+        let err = load_probes(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("probes.json:3"), "{err}");
+        assert!(err.contains("byte"), "{err}");
+        // A clean file still loads.
+        std::fs::write(&path, format!("[{good}]")).unwrap();
+        assert_eq!(load_probes(path.to_str().unwrap()).unwrap().len(), 1);
+        // A non-array file is rejected.
+        std::fs::write(&path, &good).unwrap();
+        assert!(load_probes(path.to_str().unwrap())
+            .unwrap_err()
+            .contains("array"));
     }
 }

@@ -44,7 +44,7 @@ impl Flags {
                 return Err(format!("unexpected argument {arg}"));
             };
             // Boolean switches take no value.
-            if matches!(name, "json" | "anchors-only" | "stats") {
+            if matches!(name, "json" | "anchors-only" | "stats" | "ingest-serial") {
                 switches.push(name.to_string());
                 i += 1;
                 continue;
@@ -90,8 +90,8 @@ impl Flags {
 
 fn usage() -> &'static str {
     "usage:\n  \
-     lastmile classify --traceroutes FILE [--probes FILE | --bgp TABLE.csv] [--start UNIX --end UNIX] [--min-probes N] [--cache-dir DIR [--cache off|ro|rw]] [--json] [--stats | --stats-out FILE]\n  \
-     lastmile hygiene  --traceroutes FILE [--probes FILE] [--start UNIX --end UNIX] [--threshold MS]\n  \
+     lastmile classify --traceroutes FILE [--probes FILE | --bgp TABLE.csv] [--start UNIX --end UNIX] [--min-probes N] [--cache-dir DIR [--cache off|ro|rw]] [--ingest-threads N] [--ingest-serial] [--quarantine FILE] [--json] [--stats | --stats-out FILE]\n  \
+     lastmile hygiene  --traceroutes FILE [--probes FILE] [--start UNIX --end UNIX] [--threshold MS] [--ingest-threads N] [--ingest-serial] [--quarantine FILE]\n  \
      lastmile throughput --cdn FILE.tsv --bgp TABLE.csv [--bin-minutes 15] [--view broadband|mobile|v4|v6] [--csv OUT]\n  \
      lastmile simulate --scenario tokyo|fig1|anchor --out DIR [--seed N] [--days N] [--cache-dir DIR [--cache off|ro|rw]]"
 }

@@ -9,6 +9,7 @@ use lastmile_repro::atlas::json::to_atlas_json;
 use lastmile_repro::cdnlog::{CdnGeneratorConfig, CdnLogGenerator};
 use lastmile_repro::core::pipeline::PipelineConfig;
 use lastmile_repro::core::series::ProbeSeriesBuilder;
+use lastmile_repro::ingest::{ingest_file, IngestOptions};
 use lastmile_repro::netsim::scenarios::{anchor, examples, tokyo};
 use lastmile_repro::netsim::{ServiceClass, TracerouteEngine, World};
 use lastmile_repro::store::{CacheMode, SeriesStore, StoreKey};
@@ -88,37 +89,52 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     let mut count = 0usize;
     for probe in world.probes() {
         let mut failed = None;
-        // Piggy-back series building on the export stream: the builder
-        // sees exactly the traceroutes a `--probes`/ASN-0 classify of
-        // the exported file would feed it, and the JSON round trip is
-        // value-exact, so the primed cache reproduces a cold classify
-        // bit for bit.
-        let mut builder = prime
-            .then(|| ProbeSeriesBuilder::new(probe.meta.id, cfg.bin, cfg.min_traceroutes_per_bin));
         engine.for_each_traceroute(probe, &window, |tr| {
             let line = to_atlas_json(&tr, probe.meta.public_addr);
             if let Err(e) = writeln!(w, "{line}") {
                 failed = Some(e);
-            }
-            if let Some(b) = builder.as_mut() {
-                b.ingest(&tr);
             }
             count += 1;
         });
         if let Some(e) = failed {
             return Err(format!("write {trs_path}: {e}"));
         }
-        if let Some(b) = builder {
-            let built = b.finish_detailed();
-            store.insert(
-                &StoreKey::for_pipeline(probe.meta.id, &cfg),
-                &window,
-                &built,
-            );
-        }
     }
     w.flush().map_err(|e| format!("flush {trs_path}: {e}"))?;
     eprintln!("[out] {trs_path} ({count} traceroutes)");
+
+    // Prime series by re-reading the exported file through the same
+    // ingest path `classify` uses. The builders then see exactly what a
+    // `--probes`/ASN-0 classify of the file would feed them — no
+    // round-trip-fidelity assumption, and any export bug surfaces here
+    // as a quarantined record instead of a poisoned snapshot.
+    if prime {
+        let mut builders: std::collections::BTreeMap<_, ProbeSeriesBuilder> = Default::default();
+        let summary = ingest_file(&trs_path, &IngestOptions::default(), |tr| {
+            builders
+                .entry(tr.probe)
+                .or_insert_with(|| {
+                    ProbeSeriesBuilder::new(tr.probe, cfg.bin, cfg.min_traceroutes_per_bin)
+                })
+                .ingest(&tr);
+        })?;
+        if summary.skipped() > 0 {
+            return Err(format!(
+                "exported {trs_path} failed its own ingest: {} record(s) quarantined \
+                 (first: {})",
+                summary.skipped(),
+                summary
+                    .quarantined
+                    .first()
+                    .map(|q| q.detail.as_str())
+                    .unwrap_or("?"),
+            ));
+        }
+        for (probe, builder) in builders {
+            let built = builder.finish_detailed();
+            store.insert(&StoreKey::for_pipeline(probe, &cfg), &window, &built);
+        }
+    }
 
     if let Some(dir) = cache_dir {
         if prime {

@@ -1,0 +1,163 @@
+//! End-to-end tests of the parallel ingest path: classification output
+//! must be byte-identical at any thread count (and on the retained serial
+//! reference path) for both input forms, and malformed records must show
+//! up — typed and reproducible — in `--stats` and `--quarantine`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lastmile_bin() -> PathBuf {
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop(); // deps/
+    path.pop(); // debug/
+    path.push(format!("lastmile{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(lastmile_bin())
+        .args(args)
+        .output()
+        .expect("spawn lastmile");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// One synthetic Atlas traceroute line: probe `prb`, congestion-shaped
+/// RTT at the edge hop.
+fn tr_line(prb: u32, ts: i64, rtt: f64) -> String {
+    format!(
+        r#"{{"fw":5020,"af":4,"dst_addr":"20.99.0.1","src_addr":"192.168.1.10","from":"20.0.0.{prb}","msm_id":5001,"prb_id":{prb},"timestamp":{ts},"proto":"ICMP","type":"traceroute","result":[{{"hop":1,"result":[{{"from":"192.168.1.1","rtt":1.0}}]}},{{"hop":2,"result":[{{"from":"20.0.0.{prb}","rtt":{rtt}}}]}}]}}"#
+    )
+}
+
+/// A day of 30-minute bins for three probes, in both wire forms.
+fn write_dataset(dir: &std::path::Path) -> (PathBuf, PathBuf) {
+    let mut lines = Vec::new();
+    for bin in 0..48i64 {
+        for k in 0..3i64 {
+            let ts = bin * 1800 + k * 600;
+            // A mild diurnal swing so the pipeline has structure to chew on.
+            let rtt = 10.0 + 3.0 * ((bin % 48) as f64 / 48.0);
+            for prb in 1..=3u32 {
+                lines.push(tr_line(prb, ts, rtt + prb as f64 * 0.25));
+            }
+        }
+    }
+    let jsonl = dir.join("trs.jsonl");
+    std::fs::write(&jsonl, lines.join("\n") + "\n").unwrap();
+    let array = dir.join("trs.json");
+    std::fs::write(&array, format!("[\n{}\n]", lines.join(",\n"))).unwrap();
+    (jsonl, array)
+}
+
+#[test]
+fn reports_are_byte_identical_across_thread_counts_and_forms() {
+    let dir = std::env::temp_dir().join(format!("lastmile-ingest-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (jsonl, array) = write_dataset(&dir);
+
+    let classify = |path: &std::path::Path, extra: &[&str]| {
+        let mut args = vec![
+            "classify",
+            "--traceroutes",
+            path.to_str().unwrap(),
+            "--min-probes",
+            "1",
+            "--json",
+        ];
+        args.extend_from_slice(extra);
+        let (stdout, err, ok) = run(&args);
+        assert!(ok, "classify {extra:?} failed: {err}");
+        stdout
+    };
+
+    let baseline = classify(&jsonl, &["--ingest-serial"]);
+    assert!(!baseline.is_empty());
+    for extra in [
+        &["--ingest-threads", "1"][..],
+        &["--ingest-threads", "4"][..],
+        &[][..], // auto
+    ] {
+        assert_eq!(
+            classify(&jsonl, extra),
+            baseline,
+            "lines form diverges under {extra:?}"
+        );
+        assert_eq!(
+            classify(&array, extra),
+            baseline,
+            "array form diverges under {extra:?}"
+        );
+    }
+    assert_eq!(
+        classify(&array, &["--ingest-serial"]),
+        baseline,
+        "serial array form diverges"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quarantine_counts_and_dump_are_exact() {
+    let dir = std::env::temp_dir().join(format!("lastmile-ingest-quar-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Two good records around one JSON-broken line and one well-formed
+    // JSON document that fails model conversion (unparsable destination).
+    let good1 = tr_line(1, 600, 10.0);
+    let good2 = tr_line(1, 86000, 11.0);
+    let bad_json = r#"{"fw":5020,"af":4,TRUNCATED"#;
+    let bad_model = r#"{"fw":5020,"af":4,"dst_addr":"not-an-ip","src_addr":"192.168.1.10","from":"20.0.0.1","msm_id":5001,"prb_id":1,"timestamp":700,"proto":"ICMP","type":"traceroute","result":[]}"#;
+    let trs = dir.join("trs.jsonl");
+    std::fs::write(&trs, format!("{good1}\n{bad_json}\n{bad_model}\n{good2}\n")).unwrap();
+
+    let stats_path = dir.join("stats.json");
+    let quarantine_path = dir.join("quarantine.jsonl");
+    let (_, err, ok) = run(&[
+        "classify",
+        "--traceroutes",
+        trs.to_str().unwrap(),
+        "--min-probes",
+        "1",
+        "--stats-out",
+        stats_path.to_str().unwrap(),
+        "--quarantine",
+        quarantine_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "classify failed: {err}");
+    assert!(err.contains("2 traceroutes parsed, 2 skipped"), "{err}");
+
+    // Typed counts in the stats JSON are per-file exact, even though
+    // classify reads the file twice.
+    let stats: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&stats_path).unwrap()).unwrap();
+    let q = &stats["ingest"]["quarantined"];
+    assert_eq!(q["json"], 1, "{stats}");
+    assert_eq!(q["model"], 1, "{stats}");
+    assert_eq!(q["framing"], 0, "{stats}");
+    assert_eq!(q["worker_panic"], 0, "{stats}");
+    assert_eq!(stats["ingest"]["records_decoded"], 4, "two passes of two");
+    assert!(stats["ingest"]["bytes_read"].as_u64().unwrap() > 0);
+    assert!(stats["ingest"]["records_per_sec"].as_f64().unwrap() > 0.0);
+
+    // The dump reproduces each bad record verbatim, with its offset.
+    let dump = std::fs::read_to_string(&quarantine_path).unwrap();
+    let docs: Vec<serde_json::Value> = dump
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert_eq!(docs.len(), 2, "{dump}");
+    assert_eq!(docs[0]["kind"], "json");
+    assert_eq!(docs[0]["record"], bad_json);
+    assert_eq!(docs[0]["offset"], (good1.len() + 1) as u64);
+    assert_eq!(docs[1]["kind"], "model");
+    assert_eq!(docs[1]["record"], bad_model);
+    assert!(!docs[1]["detail"].as_str().unwrap().is_empty());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,664 @@
+//! # lastmile-ingest
+//!
+//! Parallel, bounded-memory ingest of Atlas-format traceroute files: the
+//! data plane between bytes on disk and the analysis pipelines.
+//!
+//! Real Atlas built-in dumps are tens of gigabytes per day of
+//! newline-delimited documents with routine truncation and interleaved
+//! garbage; the API's list form is one giant JSON array. Both must be
+//! decoded without ever holding the whole file, fast enough that cold
+//! runs are not bound by a single parsing core, and without letting one
+//! poisoned record kill the run. This crate does exactly that:
+//!
+//! ```text
+//!  file ──► framing reader ──► bounded batch queue ──► N parse workers
+//!           (DocSplitter,          (backpressure)        (serde + model
+//!            one thread)                                  conversion,
+//!                                                         catch_unwind)
+//!                     ┌──────────────────────────────────────┘
+//!                     ▼
+//!           bounded result queue ──► caller thread (`on_record`,
+//!                                    quarantine collection)
+//! ```
+//!
+//! * **Framing** reuses [`lastmile_atlas::framing::DocSplitter`]: JSON
+//!   Lines and top-level JSON arrays are split into record-aligned byte
+//!   frames incrementally, so peak memory is bounded by the chunk size
+//!   plus the queues — never by the file.
+//! * **Backpressure**: both queues are `sync_channel`s. A slow consumer
+//!   stalls the workers, which stall the framer, which stops reading.
+//! * **Determinism**: records are delivered to `on_record` in arrival
+//!   order, which varies with thread count — by design. Every consumer
+//!   in this workspace accumulates per-probe/per-bin multisets (min,
+//!   max, medians, maps keyed by probe), which are order-independent
+//!   reductions, so reports are byte-identical at any `threads` value.
+//!   The CLI's end-to-end tests pin this.
+//! * **Quarantine**: a malformed record is captured — offset, raw bytes,
+//!   and a typed reason ([`QuarantineKind`]: framing / JSON / model
+//!   conversion / worker panic) — not just counted, so `--quarantine`
+//!   can reproduce the bad records for offline triage. A record that
+//!   panics its worker is caught by a per-record `catch_unwind` and
+//!   quarantined like any other.
+//!
+//! `on_record` runs on the caller's thread, so consumers need no
+//! locking; [`ingest_file`] returns an [`IngestSummary`] with counts,
+//! quarantined records (sorted by byte offset), and per-stage timers.
+
+use lastmile_atlas::framing::{DocSplitter, Frame};
+use lastmile_atlas::json::AtlasTraceroute;
+use lastmile_atlas::TracerouteResult;
+use std::io::Read;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+/// Why a record was quarantined instead of delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuarantineKind {
+    /// The bytes could not be framed as a document (truncated final
+    /// document, content after the top-level array close).
+    Framing,
+    /// The document is not valid JSON of the Atlas traceroute shape
+    /// (includes invalid UTF-8).
+    Json,
+    /// Valid JSON that does not convert to the internal model (bad
+    /// address, non-traceroute type).
+    Model,
+    /// Decoding the record panicked its worker; the panic was caught
+    /// and isolated to this record.
+    WorkerPanic,
+}
+
+impl QuarantineKind {
+    /// Stable lower-case name, used in `--stats` JSON and the
+    /// `--quarantine` dump.
+    pub fn name(self) -> &'static str {
+        match self {
+            QuarantineKind::Framing => "framing",
+            QuarantineKind::Json => "json",
+            QuarantineKind::Model => "model",
+            QuarantineKind::WorkerPanic => "worker_panic",
+        }
+    }
+}
+
+/// One malformed record, captured for triage.
+#[derive(Clone, Debug)]
+pub struct Quarantined {
+    /// Absolute byte offset of the record in the input.
+    pub offset: u64,
+    pub kind: QuarantineKind,
+    /// Human-readable error detail.
+    pub detail: String,
+    /// The record's raw bytes.
+    pub record: Vec<u8>,
+}
+
+/// What one ingest did: delivered/quarantined counts, bytes, timers.
+#[derive(Debug, Default)]
+pub struct IngestSummary {
+    /// Records decoded and delivered to `on_record`.
+    pub parsed: u64,
+    /// Bytes read from the input.
+    pub bytes_read: u64,
+    /// Malformed records, sorted by byte offset.
+    pub quarantined: Vec<Quarantined>,
+    /// Nanoseconds the framing reader spent splitting (one thread,
+    /// excludes IO and queue blocking).
+    pub frame_nanos: u64,
+    /// Nanoseconds spent parsing, summed across workers.
+    pub decode_nanos: u64,
+    /// Elapsed time of the whole ingest.
+    pub wall_nanos: u64,
+}
+
+impl IngestSummary {
+    /// Total quarantined records (the CLI's "skipped" count).
+    pub fn skipped(&self) -> u64 {
+        self.quarantined.len() as u64
+    }
+
+    /// Quarantined records of one kind.
+    pub fn quarantined_of(&self, kind: QuarantineKind) -> u64 {
+        self.quarantined.iter().filter(|q| q.kind == kind).count() as u64
+    }
+}
+
+/// Ingest tuning. The defaults bound peak memory to roughly
+/// `chunk_bytes + (queue_batches + threads + 1) × batch` of record bytes
+/// regardless of file size.
+#[derive(Clone, Debug)]
+pub struct IngestOptions {
+    /// Parse worker threads; `0` (the default) means one per available
+    /// core, like the survey executor.
+    pub threads: usize,
+    /// Run the retained single-threaded reference path instead of the
+    /// worker pipeline. Same framing, same quarantine semantics; kept
+    /// for byte-identity tests and benchmarks against the serial
+    /// baseline.
+    pub serial: bool,
+    /// Records per batch handed to a worker.
+    pub batch_records: usize,
+    /// Bounded batch-queue capacity, in batches.
+    pub queue_batches: usize,
+    /// Read chunk size in bytes.
+    pub chunk_bytes: usize,
+    /// Test hook: panic while decoding the record at this byte offset,
+    /// exercising per-record panic isolation from integration tests.
+    #[doc(hidden)]
+    pub inject_panic_offset: Option<u64>,
+}
+
+impl Default for IngestOptions {
+    fn default() -> IngestOptions {
+        IngestOptions {
+            threads: 0,
+            serial: false,
+            batch_records: 64,
+            queue_batches: 8,
+            chunk_bytes: 256 * 1024,
+            inject_panic_offset: None,
+        }
+    }
+}
+
+/// One framed record travelling to a worker.
+type Batch = Vec<(u64, Vec<u8>)>;
+
+/// One decoded batch travelling back to the caller.
+enum Delivery {
+    Records(Vec<TracerouteResult>),
+    Quarantined(Quarantined),
+}
+
+/// Ingest a traceroute file (JSON Lines or a top-level JSON array),
+/// calling `on_record` on the caller's thread for each decoded record.
+/// Delivery order is unspecified under `threads > 1`; see the crate docs
+/// for why consumers stay deterministic anyway.
+pub fn ingest_file(
+    path: &str,
+    options: &IngestOptions,
+    on_record: impl FnMut(TracerouteResult),
+) -> Result<IngestSummary, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    ingest_reader(file, options, on_record).map_err(|e| format!("{path}: {e}"))
+}
+
+/// [`ingest_file`] over any reader (the file-free entry point tests and
+/// benchmarks use).
+pub fn ingest_reader(
+    reader: impl Read + Send,
+    options: &IngestOptions,
+    on_record: impl FnMut(TracerouteResult),
+) -> Result<IngestSummary, String> {
+    if options.serial {
+        ingest_reader_serial(reader, options, on_record)
+    } else {
+        ingest_reader_parallel(reader, options, on_record)
+    }
+}
+
+fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        requested
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Decode one framed record; quarantines never escape as panics.
+fn decode_record(
+    offset: u64,
+    bytes: &[u8],
+    options: &IngestOptions,
+) -> Result<TracerouteResult, Quarantined> {
+    let quarantine = |kind: QuarantineKind, detail: String| Quarantined {
+        offset,
+        kind,
+        detail,
+        record: bytes.to_vec(),
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if options.inject_panic_offset == Some(offset) {
+            panic!("injected ingest panic at byte {offset}");
+        }
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| quarantine(QuarantineKind::Json, e.to_string()))?;
+        let doc: AtlasTraceroute = serde_json::from_str(text)
+            .map_err(|e| quarantine(QuarantineKind::Json, e.to_string()))?;
+        doc.to_model()
+            .map_err(|e| quarantine(QuarantineKind::Model, e.to_string()))
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => Err(quarantine(
+            QuarantineKind::WorkerPanic,
+            panic_message(payload.as_ref()),
+        )),
+    }
+}
+
+/// The retained single-threaded reference path: same framing and
+/// quarantine semantics as the worker pipeline, no threads, no queues.
+fn ingest_reader_serial(
+    mut reader: impl Read + Send,
+    options: &IngestOptions,
+    mut on_record: impl FnMut(TracerouteResult),
+) -> Result<IngestSummary, String> {
+    let wall = Instant::now();
+    let mut summary = IngestSummary::default();
+    let mut splitter = DocSplitter::new();
+    let mut buf = vec![0u8; options.chunk_bytes.max(1)];
+    // The emit closure cannot call `on_record` directly (it borrows the
+    // splitter), so each chunk's frames are staged and drained after.
+    let mut staged: Vec<Result<TracerouteResult, Quarantined>> = Vec::new();
+    loop {
+        let n = reader.read(&mut buf).map_err(|e| format!("read: {e}"))?;
+        let chunk = &buf[..n];
+        summary.bytes_read += n as u64;
+        let t = Instant::now();
+        let mut handle = |frame: Frame<'_>| match frame {
+            Frame::Doc { offset, bytes } => staged.push(decode_record(offset, bytes, options)),
+            Frame::Junk {
+                offset,
+                bytes,
+                reason,
+            } => staged.push(Err(Quarantined {
+                offset,
+                kind: QuarantineKind::Framing,
+                detail: reason.to_string(),
+                record: bytes.to_vec(),
+            })),
+        };
+        if n == 0 {
+            let s = std::mem::take(&mut splitter);
+            s.finish(&mut handle);
+        } else {
+            splitter.feed(chunk, &mut handle);
+        }
+        summary.frame_nanos += elapsed_nanos(t);
+        for outcome in staged.drain(..) {
+            match outcome {
+                Ok(tr) => {
+                    summary.parsed += 1;
+                    on_record(tr);
+                }
+                Err(q) => summary.quarantined.push(q),
+            }
+        }
+        if n == 0 {
+            break;
+        }
+    }
+    // Serial framing and decode interleave; attribute the non-framing
+    // share of the loop to decode.
+    summary.decode_nanos = elapsed_nanos(wall).saturating_sub(summary.frame_nanos);
+    summary.quarantined.sort_by_key(|q| q.offset);
+    summary.wall_nanos = elapsed_nanos(wall);
+    Ok(summary)
+}
+
+/// The worker pipeline: framer thread → bounded batch queue → N parse
+/// workers → bounded result queue → caller thread.
+fn ingest_reader_parallel(
+    mut reader: impl Read + Send,
+    options: &IngestOptions,
+    mut on_record: impl FnMut(TracerouteResult),
+) -> Result<IngestSummary, String> {
+    let wall = Instant::now();
+    let threads = resolve_threads(options.threads);
+    let batch_records = options.batch_records.max(1);
+    let (batch_tx, batch_rx) = mpsc::sync_channel::<Batch>(options.queue_batches.max(1));
+    let (out_tx, out_rx) = mpsc::sync_channel::<Delivery>(options.queue_batches.max(1) + threads);
+    let batch_queue = Mutex::new(batch_rx);
+    let fatal: Mutex<Option<String>> = Mutex::new(None);
+    let bytes_read = AtomicU64::new(0);
+    let frame_nanos = AtomicU64::new(0);
+    let decode_nanos = AtomicU64::new(0);
+
+    let mut summary = IngestSummary::default();
+    std::thread::scope(|scope| {
+        // Framer: read chunks, split into frames, batch the documents.
+        // Junk frames go straight to the result queue as quarantine.
+        {
+            let out_tx = out_tx.clone();
+            let fatal = &fatal;
+            let bytes_read = &bytes_read;
+            let frame_nanos = &frame_nanos;
+            scope.spawn(move || {
+                let mut splitter = DocSplitter::new();
+                let mut buf = vec![0u8; options.chunk_bytes.max(1)];
+                let mut batch: Batch = Vec::with_capacity(batch_records);
+                let mut junk: Vec<Quarantined> = Vec::new();
+                let mut full: Vec<Batch> = Vec::new();
+                loop {
+                    let n = match reader.read(&mut buf) {
+                        Ok(n) => n,
+                        Err(e) => {
+                            *fatal.lock().expect("fatal slot lock") = Some(format!("read: {e}"));
+                            return; // drops the senders; pipeline drains
+                        }
+                    };
+                    bytes_read.fetch_add(n as u64, Ordering::Relaxed);
+                    let t = Instant::now();
+                    let mut handle = |frame: Frame<'_>| match frame {
+                        Frame::Doc { offset, bytes } => {
+                            batch.push((offset, bytes.to_vec()));
+                            if batch.len() >= batch_records {
+                                full.push(std::mem::take(&mut batch));
+                            }
+                        }
+                        Frame::Junk {
+                            offset,
+                            bytes,
+                            reason,
+                        } => junk.push(Quarantined {
+                            offset,
+                            kind: QuarantineKind::Framing,
+                            detail: reason.to_string(),
+                            record: bytes.to_vec(),
+                        }),
+                    };
+                    if n == 0 {
+                        let s = std::mem::take(&mut splitter);
+                        s.finish(&mut handle);
+                    } else {
+                        splitter.feed(&buf[..n], &mut handle);
+                    }
+                    frame_nanos.fetch_add(elapsed_nanos(t), Ordering::Relaxed);
+                    // Queue sends happen outside the timed region: a
+                    // blocked send is backpressure, not framing work.
+                    for b in full.drain(..) {
+                        if batch_tx.send(b).is_err() {
+                            return; // all workers are gone (fatal path)
+                        }
+                    }
+                    for q in junk.drain(..) {
+                        if out_tx.send(Delivery::Quarantined(q)).is_err() {
+                            return;
+                        }
+                    }
+                    if n == 0 {
+                        if !batch.is_empty() {
+                            let _ = batch_tx.send(std::mem::take(&mut batch));
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+
+        // Parse workers: steal batches until the framer hangs up.
+        for _ in 0..threads {
+            let out_tx = out_tx.clone();
+            let batch_queue = &batch_queue;
+            let decode_nanos = &decode_nanos;
+            scope.spawn(move || {
+                loop {
+                    // Blocking recv under the lock: the holder waits for
+                    // a batch while the other workers wait for the lock,
+                    // which hands batches to exactly one worker each.
+                    let Ok(batch) = batch_queue.lock().expect("batch queue lock").recv() else {
+                        return; // framer done and queue drained
+                    };
+                    let t = Instant::now();
+                    let mut records = Vec::with_capacity(batch.len());
+                    let mut quarantined = Vec::new();
+                    for (offset, bytes) in &batch {
+                        match decode_record(*offset, bytes, options) {
+                            Ok(tr) => records.push(tr),
+                            Err(q) => quarantined.push(q),
+                        }
+                    }
+                    decode_nanos.fetch_add(elapsed_nanos(t), Ordering::Relaxed);
+                    if !records.is_empty() && out_tx.send(Delivery::Records(records)).is_err() {
+                        return;
+                    }
+                    for q in quarantined {
+                        if out_tx.send(Delivery::Quarantined(q)).is_err() {
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        // The caller keeps no sender: the drain below ends exactly when
+        // the framer and every worker have hung up.
+        drop(out_tx);
+
+        for delivery in out_rx.iter() {
+            match delivery {
+                Delivery::Records(records) => {
+                    summary.parsed += records.len() as u64;
+                    for tr in records {
+                        on_record(tr);
+                    }
+                }
+                Delivery::Quarantined(q) => summary.quarantined.push(q),
+            }
+        }
+    });
+
+    if let Some(e) = fatal.into_inner().expect("fatal slot lock") {
+        return Err(e);
+    }
+    summary.bytes_read = bytes_read.into_inner();
+    summary.frame_nanos = frame_nanos.into_inner();
+    summary.decode_nanos = decode_nanos.into_inner();
+    summary.quarantined.sort_by_key(|q| q.offset);
+    summary.wall_nanos = elapsed_nanos(wall);
+    Ok(summary)
+}
+
+fn elapsed_nanos(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lastmile_atlas::json::to_atlas_json;
+    use lastmile_atlas::{Hop, ProbeId, Reply};
+    use lastmile_timebase::UnixTime;
+    use std::collections::BTreeMap;
+    use std::io::Cursor;
+
+    fn tr(probe: u32, ts: i64) -> TracerouteResult {
+        TracerouteResult {
+            probe: ProbeId(probe),
+            msm_id: 5001,
+            timestamp: UnixTime::from_secs(ts),
+            dst: "20.9.9.9".parse().unwrap(),
+            src: "192.168.1.10".parse().unwrap(),
+            hops: vec![Hop {
+                hop: 1,
+                replies: vec![Reply::answered("192.168.1.1".parse().unwrap(), 1.25)],
+            }],
+        }
+    }
+
+    fn tr_json(probe: u32, ts: i64) -> String {
+        to_atlas_json(&tr(probe, ts), "20.0.0.1".parse().unwrap())
+    }
+
+    /// A multiset fingerprint of delivered records: order-independent,
+    /// so serial and parallel ingests must agree exactly.
+    fn fingerprint(
+        options: &IngestOptions,
+        input: &[u8],
+    ) -> (BTreeMap<(u32, i64), u64>, IngestSummary) {
+        let mut seen: BTreeMap<(u32, i64), u64> = BTreeMap::new();
+        let summary = ingest_reader(Cursor::new(input.to_vec()), options, |tr| {
+            *seen
+                .entry((tr.probe.0, tr.timestamp.as_secs()))
+                .or_default() += 1;
+        })
+        .unwrap();
+        (seen, summary)
+    }
+
+    fn lines_input(n: u32) -> Vec<u8> {
+        let mut s = String::new();
+        for i in 0..n {
+            s.push_str(&tr_json(i, 1000 + i64::from(i)));
+            s.push('\n');
+        }
+        s.into_bytes()
+    }
+
+    fn array_input(n: u32) -> Vec<u8> {
+        let docs: Vec<String> = (0..n).map(|i| tr_json(i, 1000 + i64::from(i))).collect();
+        format!("[{}]", docs.join(",")).into_bytes()
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_on_lines_and_array() {
+        for input in [lines_input(100), array_input(100)] {
+            let serial = fingerprint(
+                &IngestOptions {
+                    serial: true,
+                    ..IngestOptions::default()
+                },
+                &input,
+            );
+            for threads in [1, 4] {
+                let parallel = fingerprint(
+                    &IngestOptions {
+                        threads,
+                        chunk_bytes: 97, // force documents across chunk boundaries
+                        ..IngestOptions::default()
+                    },
+                    &input,
+                );
+                assert_eq!(serial.0, parallel.0, "threads={threads}");
+                assert_eq!(serial.1.parsed, parallel.1.parsed);
+                assert_eq!(serial.1.bytes_read, parallel.1.bytes_read);
+                assert_eq!(serial.1.skipped(), parallel.1.skipped());
+            }
+        }
+    }
+
+    #[test]
+    fn array_larger_than_the_bounded_queues_streams_through() {
+        // 500 records but the pipeline may only ever hold 2 batches of 4
+        // in the queue (plus one in each of 2 workers): completion
+        // proves the framer streams under backpressure instead of
+        // buffering the array.
+        let input = array_input(500);
+        let queue_capacity_records = 2 * 4;
+        assert!(input.len() > 50 * queue_capacity_records);
+        let (seen, summary) = fingerprint(
+            &IngestOptions {
+                threads: 2,
+                batch_records: 4,
+                queue_batches: 2,
+                chunk_bytes: 512,
+                ..IngestOptions::default()
+            },
+            &input,
+        );
+        assert_eq!(summary.parsed, 500);
+        assert_eq!(summary.bytes_read as usize, input.len());
+        assert_eq!(seen.len(), 500);
+        assert!(summary.quarantined.is_empty());
+    }
+
+    #[test]
+    fn quarantine_taxonomy_is_typed_with_offsets() {
+        let good = tr_json(1, 1000);
+        let model_bad = good.replace("traceroute", "ping");
+        let input = format!("{good}\nnot-json\n{model_bad}\n{good}\n");
+        for options in [
+            IngestOptions {
+                serial: true,
+                ..IngestOptions::default()
+            },
+            IngestOptions {
+                threads: 3,
+                ..IngestOptions::default()
+            },
+        ] {
+            let (_, summary) = fingerprint(&options, input.as_bytes());
+            assert_eq!(summary.parsed, 2);
+            assert_eq!(summary.skipped(), 2);
+            assert_eq!(summary.quarantined_of(QuarantineKind::Json), 1);
+            assert_eq!(summary.quarantined_of(QuarantineKind::Model), 1);
+            // Sorted by offset, with the raw bytes captured.
+            let q = &summary.quarantined;
+            assert!(q[0].offset < q[1].offset);
+            assert_eq!(q[0].record, b"not-json");
+            assert_eq!(q[0].offset as usize, good.len() + 1);
+            assert!(String::from_utf8_lossy(&q[1].record).contains("ping"));
+        }
+    }
+
+    #[test]
+    fn truncated_array_tail_is_framing_quarantine() {
+        let good = tr_json(1, 1000);
+        let input = format!("[{good},{}", &good[..30]);
+        let (_, summary) = fingerprint(&IngestOptions::default(), input.as_bytes());
+        assert_eq!(summary.parsed, 1);
+        assert_eq!(summary.quarantined_of(QuarantineKind::Framing), 1);
+        assert!(summary.quarantined[0].detail.contains("truncated"));
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_to_the_record() {
+        let input = lines_input(10);
+        // Panic on the third record (offset = 2 lines in).
+        let line_len = tr_json(0, 1000).len() + 1;
+        let panic_offset = (2 * line_len) as u64;
+        for serial in [false, true] {
+            let options = IngestOptions {
+                threads: 2,
+                serial,
+                inject_panic_offset: Some(panic_offset),
+                ..IngestOptions::default()
+            };
+            let (_, summary) = fingerprint(&options, &input);
+            assert_eq!(summary.parsed, 9, "serial={serial}");
+            assert_eq!(summary.quarantined_of(QuarantineKind::WorkerPanic), 1);
+            let q = &summary.quarantined[0];
+            assert_eq!(q.offset, panic_offset);
+            assert!(q.detail.contains("injected"), "{}", q.detail);
+        }
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs_are_clean() {
+        for input in [&b""[..], b"  \n \n", b"[]"] {
+            let (seen, summary) = fingerprint(&IngestOptions::default(), input);
+            assert!(seen.is_empty());
+            assert_eq!(summary.parsed, 0);
+            assert!(summary.quarantined.is_empty());
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let err =
+            ingest_file("/does/not/exist.jsonl", &IngestOptions::default(), |_| {}).unwrap_err();
+        assert!(err.contains("/does/not/exist.jsonl"), "{err}");
+    }
+
+    #[test]
+    fn timers_and_throughput_inputs_are_populated() {
+        let input = lines_input(50);
+        let (_, summary) = fingerprint(&IngestOptions::default(), &input);
+        assert!(summary.wall_nanos > 0);
+        assert_eq!(summary.bytes_read as usize, input.len());
+    }
+}

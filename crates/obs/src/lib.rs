@@ -24,6 +24,12 @@
 //!   inserted and evicted, snapshot bytes written/read and the
 //!   nanoseconds spent saving/loading snapshots. A warm run over stored
 //!   probes shows `store_hits > 0` and `traceroutes_ingested == 0`.
+//! * `ingest_*` — file-ingest traffic when a run decodes traceroutes
+//!   from disk through `lastmile-ingest`: bytes read, records decoded,
+//!   quarantined records by error kind (framing / JSON / model
+//!   conversion / worker panic), and per-stage decode timers (framing
+//!   vs parse, plus the ingest wall clock the throughput is computed
+//!   against).
 //!
 //! Stage timers accumulate wall-clock nanoseconds measured with the
 //! monotonic [`std::time::Instant`] clock; under a multi-threaded
@@ -62,6 +68,15 @@ pub struct RunMetrics {
     store_bytes_read: AtomicU64,
     store_save_nanos: AtomicU64,
     store_load_nanos: AtomicU64,
+    ingest_bytes_read: AtomicU64,
+    ingest_records_decoded: AtomicU64,
+    ingest_quarantined_framing: AtomicU64,
+    ingest_quarantined_json: AtomicU64,
+    ingest_quarantined_model: AtomicU64,
+    ingest_quarantined_panic: AtomicU64,
+    ingest_frame_nanos: AtomicU64,
+    ingest_decode_nanos: AtomicU64,
+    ingest_wall_nanos: AtomicU64,
     /// Summed across workers (may exceed wall time).
     ingest_nanos: AtomicU64,
     series_nanos: AtomicU64,
@@ -127,6 +142,24 @@ impl RunMetrics {
         Self::add(&self.store_load_nanos, n);
     }
 
+    /// Record one file ingest's traffic (a classify run that streams the
+    /// input twice calls this once per pass; quarantine counts should be
+    /// reported for one pass only so they stay per-file exact).
+    pub fn add_ingest_traffic(&self, traffic: &IngestTraffic) {
+        Self::add(&self.ingest_bytes_read, traffic.bytes_read);
+        Self::add(&self.ingest_records_decoded, traffic.records_decoded);
+        Self::add(
+            &self.ingest_quarantined_framing,
+            traffic.quarantined_framing,
+        );
+        Self::add(&self.ingest_quarantined_json, traffic.quarantined_json);
+        Self::add(&self.ingest_quarantined_model, traffic.quarantined_model);
+        Self::add(&self.ingest_quarantined_panic, traffic.quarantined_panic);
+        Self::add(&self.ingest_frame_nanos, traffic.frame_nanos);
+        Self::add(&self.ingest_decode_nanos, traffic.decode_nanos);
+        Self::add(&self.ingest_wall_nanos, traffic.wall_nanos);
+    }
+
     pub fn add_ingest_nanos(&self, n: u64) {
         Self::add(&self.ingest_nanos, n);
     }
@@ -169,6 +202,28 @@ impl RunMetrics {
                 snapshot_save_nanos: get(&self.store_save_nanos),
                 snapshot_load_nanos: get(&self.store_load_nanos),
             },
+            ingest: {
+                let wall = get(&self.ingest_wall_nanos);
+                let records = get(&self.ingest_records_decoded);
+                IngestStats {
+                    bytes_read: get(&self.ingest_bytes_read),
+                    records_decoded: records,
+                    records_per_sec: if wall > 0 {
+                        records as f64 / (wall as f64 / 1e9)
+                    } else {
+                        0.0
+                    },
+                    quarantined: QuarantineStats {
+                        framing: get(&self.ingest_quarantined_framing),
+                        json: get(&self.ingest_quarantined_json),
+                        model: get(&self.ingest_quarantined_model),
+                        worker_panic: get(&self.ingest_quarantined_panic),
+                    },
+                    frame_nanos: get(&self.ingest_frame_nanos),
+                    decode_nanos: get(&self.ingest_decode_nanos),
+                    wall_nanos: wall,
+                }
+            },
             stage_nanos: StageNanos {
                 ingest: get(&self.ingest_nanos),
                 series: get(&self.series_nanos),
@@ -190,6 +245,50 @@ pub struct StoreTraffic {
     pub bypasses: u64,
     pub inserts: u64,
     pub evictions: u64,
+}
+
+/// One file ingest's counter deltas, as reported by the decode layer.
+/// Plain data so `lastmile-obs` needs no dependency on `lastmile-ingest`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestTraffic {
+    pub bytes_read: u64,
+    pub records_decoded: u64,
+    pub quarantined_framing: u64,
+    pub quarantined_json: u64,
+    pub quarantined_model: u64,
+    pub quarantined_panic: u64,
+    /// Nanoseconds the framing reader spent splitting records (one
+    /// thread).
+    pub frame_nanos: u64,
+    /// Nanoseconds parse workers spent decoding, summed across workers
+    /// (may exceed the ingest wall time).
+    pub decode_nanos: u64,
+    /// Elapsed time of the ingest, start to drain.
+    pub wall_nanos: u64,
+}
+
+/// Quarantined-record counts by error kind; the typed taxonomy of the
+/// `--quarantine` triage dump.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct QuarantineStats {
+    pub framing: u64,
+    pub json: u64,
+    pub model: u64,
+    pub worker_panic: u64,
+}
+
+/// File-ingest traffic of one run; all zero when nothing was read from
+/// disk. `records_per_sec` is derived from `records_decoded` over
+/// `wall_nanos` at snapshot time.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct IngestStats {
+    pub bytes_read: u64,
+    pub records_decoded: u64,
+    pub records_per_sec: f64,
+    pub quarantined: QuarantineStats,
+    pub frame_nanos: u64,
+    pub decode_nanos: u64,
+    pub wall_nanos: u64,
 }
 
 /// Series-store traffic of one run; all zero when no store was attached.
@@ -230,6 +329,7 @@ pub struct RunMetricsSnapshot {
     pub populations_with_detection: u64,
     pub tasks_failed: u64,
     pub store: StoreStats,
+    pub ingest: IngestStats,
     pub stage_nanos: StageNanos,
 }
 
@@ -301,6 +401,22 @@ mod tests {
         m.add_store_bytes_read(80);
         m.add_store_save_nanos(11);
         m.add_store_load_nanos(9);
+        m.add_ingest_traffic(&IngestTraffic {
+            bytes_read: 1000,
+            records_decoded: 50,
+            quarantined_framing: 1,
+            quarantined_json: 2,
+            quarantined_model: 3,
+            quarantined_panic: 4,
+            frame_nanos: 5,
+            decode_nanos: 6,
+            wall_nanos: 500_000_000, // 0.5 s
+        });
+        m.add_ingest_traffic(&IngestTraffic {
+            records_decoded: 50,
+            wall_nanos: 500_000_000,
+            ..IngestTraffic::default()
+        });
         let s = m.snapshot();
         assert_eq!(s.traceroutes_ingested, 15);
         assert_eq!(s.traceroutes_out_of_period, 2);
@@ -322,6 +438,23 @@ mod tests {
                 snapshot_bytes_read: 80,
                 snapshot_save_nanos: 11,
                 snapshot_load_nanos: 9,
+            }
+        );
+        assert_eq!(
+            s.ingest,
+            IngestStats {
+                bytes_read: 1000,
+                records_decoded: 100,
+                records_per_sec: 100.0, // 100 records over 1 s of ingest wall
+                quarantined: QuarantineStats {
+                    framing: 1,
+                    json: 2,
+                    model: 3,
+                    worker_panic: 4,
+                },
+                frame_nanos: 5,
+                decode_nanos: 6,
+                wall_nanos: 1_000_000_000,
             }
         );
     }
@@ -376,6 +509,18 @@ mod tests {
             "snapshot_bytes_read",
             "snapshot_save_nanos",
             "snapshot_load_nanos",
+            "ingest",
+            "bytes_read",
+            "records_decoded",
+            "records_per_sec",
+            "quarantined",
+            "framing",
+            "json",
+            "model",
+            "worker_panic",
+            "frame_nanos",
+            "decode_nanos",
+            "wall_nanos",
             "stage_nanos",
             "wall",
         ] {

@@ -131,9 +131,10 @@ pub struct StoreConfig {
     /// Number of `RwLock` shards (rounded up to at least 1).
     pub shards: usize,
     /// Soft cap on the total entry count; `0` means unbounded. When a
-    /// shard overflows its share, an arbitrary resident entry of that
-    /// shard is evicted (the victim is simply recomputed on next use —
-    /// eviction can never change results).
+    /// shard overflows its share, the resident with the fewest covered
+    /// bins — the cheapest to recompute — is evicted (ties break on key
+    /// order; the victim is simply recomputed on next use, so eviction
+    /// can never change results).
     pub max_entries: usize,
     /// Usage mode.
     pub mode: CacheMode,
@@ -349,12 +350,19 @@ impl SeriesStore {
                 entry.covered.add(span.start, span.end);
             }
 
-            // Soft capacity: evict arbitrary residents of this shard
-            // (never the entry just written) until within the share.
+            // Soft capacity: cost-aware eviction. The victim is the
+            // resident with the fewest covered bins — the cheapest to
+            // recompute on its next use — never the entry just written;
+            // ties break on key order so eviction is deterministic.
             if self.config.max_entries > 0 {
                 let cap = self.config.max_entries.div_ceil(self.shards.len()).max(1);
                 while shard.len() > cap {
-                    let Some(victim) = shard.keys().find(|k| *k != key).copied() else {
+                    let Some(victim) = shard
+                        .iter()
+                        .filter(|(k, _)| *k != key)
+                        .min_by_key(|(k, e)| (e.covered.total_bins(), **k))
+                        .map(|(k, _)| *k)
+                    else {
                         break;
                     };
                     shard.remove(&victim);
@@ -628,6 +636,45 @@ mod tests {
             .filter(|&p| matches!(store.lookup(&key(p), &range), Lookup::Hit(_)))
             .count();
         assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn eviction_is_cost_aware_heavy_coverage_survives() {
+        let store = SeriesStore::new(StoreConfig {
+            shards: 1,
+            max_entries: 2,
+            mode: CacheMode::ReadWrite,
+        });
+        // Probe 1 carries a week of coverage (336 bins); the rest carry
+        // 2 bins each. Under pressure the cheap entries must be the
+        // victims, never the expensive one.
+        let heavy = aligned(0, 336);
+        store.insert(&key(1), &heavy, &built(1, &[(0, 1.0)], &[]));
+        for p in 2..=6u32 {
+            store.insert(
+                &key(p),
+                &aligned(0, 2),
+                &built(p, &[(0, f64::from(p))], &[]),
+            );
+        }
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.counters().evictions, 4);
+        assert!(
+            matches!(store.lookup(&key(1), &heavy), Lookup::Hit(_)),
+            "heavily-covered series evicted under pressure"
+        );
+        // The other survivor is the last writer (never its own victim);
+        // everything between was evicted cheapest-first.
+        assert!(matches!(
+            store.lookup(&key(6), &aligned(0, 2)),
+            Lookup::Hit(_)
+        ));
+        for p in 2..=5u32 {
+            assert!(
+                matches!(store.lookup(&key(p), &aligned(0, 2)), Lookup::Miss),
+                "probe {p} should have been evicted"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Ingest perf record: classify a simulated dataset in both wire forms
+# (JSON Lines and top-level array) on the serial reference path and at
+# --ingest-threads 1 / auto, collecting each run's --stats-out document
+# into BENCH_ingest.json. Offline; uses only the repo's own binary.
+#
+# The criterion benchmark (cargo bench -p lastmile-bench --bench ingest)
+# prices the raw decode loop in-process; this script records the same
+# comparison end-to-end through the CLI, stats plumbing included.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -q -p lastmile-cli"
+cargo build --release -q -p lastmile-cli
+bin=target/release/lastmile
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "==> simulate 3 days of the anchor scenario"
+"$bin" simulate --scenario anchor --out "$work" --days 3 >/dev/null 2>&1
+jsonl="$work/traceroutes.jsonl"
+array="$work/traceroutes.json"
+# Same records as a top-level JSON array.
+{ printf '['; sed '$!s/$/,/' "$jsonl"; printf ']'; } >"$array"
+
+out=BENCH_ingest.json
+printf '{\n  "bench": "ingest",\n  "cases": [\n' >"$out"
+first=1
+for form in lines array; do
+    case $form in
+        lines) file=$jsonl ;;
+        array) file=$array ;;
+    esac
+    for mode in serial 1 0; do
+        case $mode in
+            serial)
+                args="--ingest-serial"
+                label=serial
+                ;;
+            *)
+                args="--ingest-threads $mode"
+                label="threads$mode"
+                ;;
+        esac
+        echo "==> classify $form $label"
+        # shellcheck disable=SC2086 # $args is intentionally word-split
+        "$bin" classify --traceroutes "$file" --probes "$work/probes.json" \
+            $args --stats-out "$work/stats.json" >/dev/null 2>&1
+        [ "$first" -eq 1 ] || printf ',\n' >>"$out"
+        first=0
+        printf '    {"form": "%s", "mode": "%s", "stats": ' "$form" "$label" >>"$out"
+        tr -d '\n' <"$work/stats.json" >>"$out"
+        printf '}' >>"$out"
+    done
+done
+printf '\n  ]\n}\n' >>"$out"
+echo "OK: wrote $out"

@@ -11,6 +11,9 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Covers every [[bench]] target in crates/bench (components, figures,
+# ablations, executor, store, ingest); scripts/bench_ingest.sh runs the
+# ingest comparison end-to-end and records BENCH_ingest.json.
 echo "==> cargo build --workspace --benches --examples"
 cargo build --workspace --benches --examples
 
