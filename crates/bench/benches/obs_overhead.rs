@@ -1,0 +1,71 @@
+//! Observability overhead: what a span costs with tracing off (the
+//! price every run pays) and on (the `--trace` price), plus the
+//! log-linear histogram's record path.
+//!
+//! The load-bearing number is `span_disabled`: with no tracer installed
+//! a `span()` call is one relaxed atomic load and must stay in the
+//! low-nanosecond range — effectively unmeasurable against the work the
+//! span wraps. `span_with_disabled` additionally pins that the
+//! arg-building closure is never run when tracing is off.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lastmile_repro::obs::{trace, Histogram};
+
+fn bench_obs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs");
+
+    // Order matters: the tracer is a process-global OnceLock, so the
+    // disabled-path benches must run before install().
+    assert!(
+        trace::installed().is_none(),
+        "tracer installed before the disabled-path benches"
+    );
+    g.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let s = trace::span(black_box("bench"));
+            black_box(&s);
+        })
+    });
+    g.bench_function("span_with_disabled", |b| {
+        b.iter(|| {
+            let s = trace::span_with("bench", |a| {
+                // Never runs while disabled; if it did, the panic would
+                // fail the bench loudly rather than skew it quietly.
+                a.u64("k", black_box(1));
+                panic!("arg closure ran with tracing disabled");
+            });
+            black_box(&s);
+        })
+    });
+
+    let mut h = Histogram::default();
+    let mut v = 1u64;
+    g.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            // Cheap LCG so successive samples land in different buckets.
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(v >> 32));
+        })
+    });
+    black_box(h.count());
+
+    trace::install();
+    g.bench_function("span_enabled", |b| {
+        b.iter(|| {
+            let s = trace::span(black_box("bench"));
+            black_box(&s);
+        })
+    });
+    g.bench_function("span_with_enabled", |b| {
+        b.iter(|| {
+            let s = trace::span_with("bench", |a| {
+                a.u64("k", black_box(1));
+            });
+            black_box(&s);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! snapshot.
 
 use crate::Flags;
-use lastmile_repro::obs::{RunMetrics, StageTimer};
+use lastmile_repro::obs::{trace, RunMetrics, StageTimer};
 use lastmile_repro::store::{CacheMode, SeriesStore, StoreConfig};
 use std::io::Read;
 use std::path::PathBuf;
@@ -59,8 +59,12 @@ pub fn from_flags(
         }));
     }
     let fingerprint = fingerprint()?;
+    let span = trace::span_with("snapshot_load", |a| {
+        a.str("path", path.display().to_string());
+    });
     let load_timer = StageTimer::start();
     let (store, bytes, error) = SeriesStore::load_snapshot_or_empty(&path, fingerprint, config);
+    drop(span);
     if let Some(m) = metrics {
         m.add_store_load_nanos(load_timer.elapsed_nanos());
         m.add_store_bytes_read(bytes);
@@ -88,11 +92,15 @@ impl Cache {
         if self.mode != CacheMode::ReadWrite {
             return Ok(());
         }
+        let span = trace::span_with("snapshot_save", |a| {
+            a.str("path", self.path.display().to_string());
+        });
         let save_timer = StageTimer::start();
         let bytes = self
             .store
             .save_snapshot(&self.path, self.fingerprint)
             .map_err(|e| format!("save cache snapshot {}: {e}", self.path.display()))?;
+        drop(span);
         if let Some(m) = metrics {
             m.add_store_save_nanos(save_timer.elapsed_nanos());
             m.add_store_bytes_written(bytes);

@@ -7,18 +7,23 @@ use crate::input::{
     group_by_asn, ingest_options, ingest_traceroutes, ingest_traffic, load_probes, resolve_window,
     write_quarantine,
 };
+use crate::progress::Heartbeat;
+use crate::stats::{emit_stats, wants_stats};
 use crate::Flags;
 use lastmile_repro::atlas::ProbeId;
 use lastmile_repro::core::pipeline::{
     AsPipeline, PipelineConfig, PopulationAnalysis, PrebuiltSeries,
 };
-use lastmile_repro::obs::{RunMetrics, StageTimer};
+use lastmile_repro::ingest::IngestOptions;
+use lastmile_repro::obs::{trace, LiveProgress, RunMetrics, StageTimer};
 use lastmile_repro::prefix::Asn;
 use lastmile_repro::runner::{record_population_metrics, store_traffic_since};
 use lastmile_repro::store::{CacheMode, Lookup, StoreKey};
 use lastmile_repro::timebase::UnixTime;
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Shared plumbing for `classify` and `hygiene`: stream the file (twice —
 /// once for the time span, once for the analysis) and return one
@@ -47,7 +52,21 @@ pub fn analyze_file(
     metrics: Option<&RunMetrics>,
 ) -> Result<Vec<(Asn, PopulationAnalysis)>, String> {
     let path = flags.required("traceroutes")?;
-    let ingest_opts = ingest_options(flags)?;
+    let mut ingest_opts = ingest_options(flags)?;
+    // `--progress` gauges are shared with the ingest workers; the
+    // heartbeat thread lives for the whole analysis and is stopped and
+    // joined when this function returns.
+    let progress = flags
+        .switch("progress")
+        .then(|| Arc::new(LiveProgress::default()));
+    let _heartbeat = progress.clone().map(Heartbeat::start);
+    ingest_opts.progress = progress.clone();
+    // Decode latency is sampled on pass 1 only: both passes decode the
+    // same records, so sampling both would double-count the histogram.
+    let pass1_opts = IngestOptions {
+        record_latency: metrics.is_some(),
+        ..ingest_opts.clone()
+    };
     let probes = flags.optional("probes").map(load_probes).transpose()?;
     let bgp = flags.optional("bgp").map(load_table).transpose()?;
     let anchors_only = flags.switch("anchors-only");
@@ -65,7 +84,7 @@ pub fn analyze_file(
         (per_traceroute_asn && cache_requested).then(BTreeMap::new);
     let mut data_min: Option<UnixTime> = None;
     let mut data_max: Option<UnixTime> = None;
-    let span = ingest_traceroutes(path, &ingest_opts, |tr| {
+    let span = ingest_traceroutes(path, &pass1_opts, |tr| {
         data_min = Some(data_min.map_or(tr.timestamp, |m| m.min(tr.timestamp)));
         data_max = Some(data_max.map_or(tr.timestamp, |m| m.max(tr.timestamp)));
         if let (Some(attribution), Some(table)) = (bgp_probe_asn.as_mut(), &bgp) {
@@ -90,6 +109,7 @@ pub fn analyze_file(
     // file, so typed counts and the triage dump stay per-file exact.
     if let Some(m) = metrics {
         m.add_ingest_traffic(&ingest_traffic(&span, true));
+        m.merge_decode_hist(&span.decode_hist);
     }
     if let Some(qpath) = flags.optional("quarantine") {
         write_quarantine(qpath, &span.quarantined)?;
@@ -217,9 +237,20 @@ pub fn analyze_file(
         m.add_ingest_traffic(&ingest_traffic(&pass2, false));
     }
 
+    // The population table keys on (ASN, period); a file run has no
+    // named measurement period, so the analysis window stands in.
+    let window_label = format!("{}..{}", window.start().as_secs(), window.end().as_secs());
+    if let Some(p) = &progress {
+        p.populations_total
+            .store(pipelines.len() as u64, Ordering::Relaxed);
+    }
     let results: Vec<(Asn, PopulationAnalysis)> = pipelines
         .into_iter()
         .map(|(asn, p)| {
+            let span = trace::span_with("population", |a| {
+                a.u64("asn", u64::from(asn))
+                    .str("period", window_label.as_str());
+            });
             let analysis = p.finish();
             if let Some(m) = metrics {
                 // Streaming interleaves populations, so ingest time is
@@ -227,9 +258,15 @@ pub fn analyze_file(
                 let s = &analysis.stats;
                 record_population_metrics(
                     m,
+                    asn,
+                    &window_label,
                     &analysis,
                     s.series_nanos + s.aggregate_nanos + s.detect_nanos,
                 );
+            }
+            drop(span);
+            if let Some(p) = &progress {
+                p.populations_done.fetch_add(1, Ordering::Relaxed);
             }
             (asn, analysis)
         })
@@ -260,8 +297,7 @@ pub fn analyze_file(
 }
 
 pub fn run(flags: &Flags) -> Result<(), String> {
-    let wants_stats = flags.switch("stats") || flags.optional("stats-out").is_some();
-    let metrics = wants_stats.then(RunMetrics::new);
+    let metrics = wants_stats(flags).then(RunMetrics::new);
     let run_timer = StageTimer::start();
     let results = analyze_file(flags, metrics.as_ref())?;
     if let Some(m) = &metrics {
@@ -318,13 +354,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         }
     }
     if let Some(m) = &metrics {
-        let json = m.snapshot().to_json();
-        match flags.optional("stats-out") {
-            Some(path) => std::fs::write(path, &json)
-                .map_err(|e| format!("cannot write --stats-out {path}: {e}"))?,
-            // stderr keeps stdout clean for the classification output.
-            None => eprint!("{json}"),
-        }
+        emit_stats(flags, m)?;
     }
     Ok(())
 }

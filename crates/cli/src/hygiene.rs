@@ -2,15 +2,22 @@
 //! which hours and probes to avoid per AS.
 
 use crate::classify::analyze_file;
+use crate::stats::{emit_stats, wants_stats};
 use crate::Flags;
 use lastmile_repro::core::hygiene::advise;
+use lastmile_repro::obs::{RunMetrics, StageTimer};
 
 pub fn run(flags: &Flags) -> Result<(), String> {
     let threshold: f64 = flags.parsed("threshold")?.unwrap_or(0.5);
     if threshold <= 0.0 {
         return Err("--threshold must be positive".into());
     }
-    let results = analyze_file(flags, None)?;
+    let metrics = wants_stats(flags).then(RunMetrics::new);
+    let run_timer = StageTimer::start();
+    let results = analyze_file(flags, metrics.as_ref())?;
+    if let Some(m) = &metrics {
+        m.set_wall(&run_timer);
+    }
     if results.is_empty() {
         return Err("no analysable traceroutes in the window".into());
     }
@@ -54,5 +61,8 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     }
     println!("recommendation (paper §6): exclude the listed hours and probes from");
     println!("latency-based inferences (geolocation, anycast mapping, SLA baselines).");
+    if let Some(m) = &metrics {
+        emit_stats(flags, m)?;
+    }
     Ok(())
 }

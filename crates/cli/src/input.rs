@@ -74,6 +74,7 @@ pub fn ingest_traffic(summary: &IngestSummary, with_quarantine: bool) -> IngestT
         frame_nanos: summary.frame_nanos,
         decode_nanos: summary.decode_nanos,
         wall_nanos: summary.wall_nanos,
+        queue_max_depth: summary.queue_max_depth,
     }
 }
 

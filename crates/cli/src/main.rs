@@ -21,7 +21,9 @@ mod cache;
 mod classify;
 mod hygiene;
 mod input;
+mod progress;
 mod simulate;
+mod stats;
 mod throughput;
 
 use std::collections::BTreeMap;
@@ -44,7 +46,10 @@ impl Flags {
                 return Err(format!("unexpected argument {arg}"));
             };
             // Boolean switches take no value.
-            if matches!(name, "json" | "anchors-only" | "stats" | "ingest-serial") {
+            if matches!(
+                name,
+                "json" | "anchors-only" | "stats" | "ingest-serial" | "progress"
+            ) {
                 switches.push(name.to_string());
                 i += 1;
                 continue;
@@ -90,10 +95,25 @@ impl Flags {
 
 fn usage() -> &'static str {
     "usage:\n  \
-     lastmile classify --traceroutes FILE [--probes FILE | --bgp TABLE.csv] [--start UNIX --end UNIX] [--min-probes N] [--cache-dir DIR [--cache off|ro|rw]] [--ingest-threads N] [--ingest-serial] [--quarantine FILE] [--json] [--stats | --stats-out FILE]\n  \
-     lastmile hygiene  --traceroutes FILE [--probes FILE] [--start UNIX --end UNIX] [--threshold MS] [--ingest-threads N] [--ingest-serial] [--quarantine FILE]\n  \
+     lastmile classify --traceroutes FILE [--probes FILE | --bgp TABLE.csv] [--start UNIX --end UNIX] [--min-probes N] [--cache-dir DIR [--cache off|ro|rw]] [--ingest-threads N] [--ingest-serial] [--quarantine FILE] [--json] [--stats | --stats-out FILE] [--populations-csv FILE] [--progress]\n  \
+     lastmile hygiene  --traceroutes FILE [--probes FILE] [--start UNIX --end UNIX] [--threshold MS] [--ingest-threads N] [--ingest-serial] [--quarantine FILE] [--stats | --stats-out FILE] [--populations-csv FILE] [--progress]\n  \
      lastmile throughput --cdn FILE.tsv --bgp TABLE.csv [--bin-minutes 15] [--view broadband|mobile|v4|v6] [--csv OUT]\n  \
-     lastmile simulate --scenario tokyo|fig1|anchor --out DIR [--seed N] [--days N] [--cache-dir DIR [--cache off|ro|rw]]"
+     lastmile simulate --scenario tokyo|fig1|anchor --out DIR [--seed N] [--days N] [--cache-dir DIR [--cache off|ro|rw]]\n\n\
+     any subcommand also takes --trace FILE to write a Chrome/Perfetto trace of the run"
+}
+
+/// Drain the installed tracer into a Chrome trace-event JSON file
+/// (load it at <https://ui.perfetto.dev> or chrome://tracing).
+fn write_trace(path: &str) -> Result<(), String> {
+    let tracer = lastmile_repro::obs::trace::installed().expect("tracer installed at startup");
+    let file = std::fs::File::create(path).map_err(|e| format!("create --trace {path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    tracer
+        .drain_chrome_json(&mut w)
+        .and_then(|()| std::io::Write::flush(&mut w))
+        .map_err(|e| format!("write --trace {path}: {e}"))?;
+    eprintln!("[trace] wrote {path}");
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -109,12 +129,28 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // `--trace` installs the tracer before dispatch so every span of the
+    // run is captured, and drains it after — even when the subcommand
+    // fails, since a trace of a failing run is exactly what you want to
+    // look at.
+    let trace_path = flags.optional("trace").map(str::to_string);
+    if trace_path.is_some() {
+        lastmile_repro::obs::trace::install();
+    }
     let result = match cmd.as_str() {
         "classify" => classify::run(&flags),
         "hygiene" => hygiene::run(&flags),
         "simulate" => simulate::run(&flags),
         "throughput" => throughput::run(&flags),
         other => Err(format!("unknown subcommand {other}\n{}", usage())),
+    };
+    let result = match (result, trace_path.as_deref().map(write_trace)) {
+        (Ok(()), Some(Err(e))) => Err(e),
+        (Err(e), Some(Err(te))) => {
+            eprintln!("error: {te}");
+            Err(e)
+        }
+        (r, _) => r,
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

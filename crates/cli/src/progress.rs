@@ -1,0 +1,84 @@
+//! The `--progress` heartbeat: an opt-in thread that prints live ingest
+//! and population gauges to stderr about once a second.
+//!
+//! The gauges live in a [`LiveProgress`] shared with the ingest workers
+//! and the analysis loop; the heartbeat only ever reads them, so it adds
+//! no synchronisation to the hot paths. Dropping the [`Heartbeat`] stops
+//! and joins the thread, printing one final line so short runs still get
+//! a summary.
+
+use lastmile_repro::obs::LiveProgress;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Handle to the heartbeat thread; stops and joins on drop.
+pub struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Spawn the heartbeat over `progress`.
+    pub fn start(progress: Arc<LiveProgress>) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("progress".into())
+                .spawn(move || beat(&progress, &stop))
+                .expect("spawn progress heartbeat")
+        };
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn beat(progress: &LiveProgress, stop: &AtomicBool) {
+    let started = Instant::now();
+    let mut last_records = 0u64;
+    let mut last_tick = started;
+    loop {
+        // Sleep in short slices so Drop joins promptly.
+        for _ in 0..10 {
+            if stop.load(Ordering::Relaxed) {
+                report(progress, started, last_records, last_tick);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let now = Instant::now();
+        last_records = report(progress, started, last_records, last_tick);
+        last_tick = now;
+    }
+}
+
+/// Print one progress line; returns the record count it reported so the
+/// next tick can compute a rate over the delta.
+fn report(progress: &LiveProgress, started: Instant, last_records: u64, last_tick: Instant) -> u64 {
+    let bytes = progress.bytes_read.load(Ordering::Relaxed);
+    let records = progress.records.load(Ordering::Relaxed);
+    let depth = progress.queue_depth.load(Ordering::Relaxed);
+    let done = progress.populations_done.load(Ordering::Relaxed);
+    let total = progress.populations_total.load(Ordering::Relaxed);
+    let interval = last_tick.elapsed().as_secs_f64().max(1e-9);
+    let rate = (records.saturating_sub(last_records)) as f64 / interval;
+    eprintln!(
+        "[progress +{:.1}s] {:.1} MiB read, {records} records ({rate:.0}/s), \
+         queue depth {depth}, populations {done}/{total}",
+        started.elapsed().as_secs_f64(),
+        bytes as f64 / (1024.0 * 1024.0),
+    );
+    records
+}

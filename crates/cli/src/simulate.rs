@@ -12,6 +12,7 @@ use lastmile_repro::core::series::ProbeSeriesBuilder;
 use lastmile_repro::ingest::{ingest_file, IngestOptions};
 use lastmile_repro::netsim::scenarios::{anchor, examples, tokyo};
 use lastmile_repro::netsim::{ServiceClass, TracerouteEngine, World};
+use lastmile_repro::obs::trace;
 use lastmile_repro::store::{CacheMode, SeriesStore, StoreKey};
 use lastmile_repro::timebase::{MeasurementPeriod, TimeRange};
 use std::io::Write;
@@ -69,6 +70,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     );
 
     // Probe metadata.
+    let span = trace::span("export_probes");
     let probes: Vec<_> = world.probes().iter().map(|p| p.meta.clone()).collect();
     let probes_path = format!("{out_dir}/probes.json");
     let json = serde_json::to_string_pretty(&probes).expect("probes encode");
@@ -80,8 +82,10 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     std::fs::write(&table_path, crate::bgp::table_to_csv(world.registry()))
         .map_err(|e| format!("write {table_path}: {e}"))?;
     eprintln!("[out] {table_path}");
+    drop(span);
 
     // Traceroutes, streamed to JSON Lines.
+    let span = trace::span("export_traceroutes");
     let trs_path = format!("{out_dir}/traceroutes.jsonl");
     let file = std::fs::File::create(&trs_path).map_err(|e| format!("create {trs_path}: {e}"))?;
     let mut w = std::io::BufWriter::new(file);
@@ -102,6 +106,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     }
     w.flush().map_err(|e| format!("flush {trs_path}: {e}"))?;
     eprintln!("[out] {trs_path} ({count} traceroutes)");
+    drop(span);
 
     // Prime series by re-reading the exported file through the same
     // ingest path `classify` uses. The builders then see exactly what a
@@ -109,6 +114,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     // round-trip-fidelity assumption, and any export bug surfaces here
     // as a quarantined record instead of a poisoned snapshot.
     if prime {
+        let _span = trace::span("prime_cache");
         let mut builders: std::collections::BTreeMap<_, ProbeSeriesBuilder> = Default::default();
         let summary = ingest_file(&trs_path, &IngestOptions::default(), |tr| {
             builders
@@ -164,6 +170,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     // separate file: the paper's delay analysis is per-family (v6 rides
     // IPoE with a different RTT baseline).
     if world.ases().iter().any(|a| a.v6_prefix.is_some()) {
+        let _span = trace::span("export_traceroutes_v6");
         let v6_path = format!("{out_dir}/traceroutes_v6.jsonl");
         let file = std::fs::File::create(&v6_path).map_err(|e| format!("create {v6_path}: {e}"))?;
         let mut w = std::io::BufWriter::new(file);
@@ -187,6 +194,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
 
     // CDN logs for the Tokyo scenario.
     if with_cdn {
+        let _span = trace::span("export_cdn");
         let cdn_path = format!("{out_dir}/cdn_access.tsv");
         let file =
             std::fs::File::create(&cdn_path).map_err(|e| format!("create {cdn_path}: {e}"))?;

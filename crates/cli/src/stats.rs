@@ -1,0 +1,39 @@
+//! Shared `--stats` / `--stats-out` / `--populations-csv` emission for
+//! the analysis subcommands (`classify`, `hygiene`).
+
+use crate::Flags;
+use lastmile_repro::obs::RunMetrics;
+
+/// Whether any flag asks for run metrics to be collected. The CSV flag
+/// counts: the population table only fills when a [`RunMetrics`] sink is
+/// installed.
+pub fn wants_stats(flags: &Flags) -> bool {
+    flags.switch("stats")
+        || flags.optional("stats-out").is_some()
+        || flags.optional("populations-csv").is_some()
+}
+
+/// Emit the collected metrics: the JSON snapshot to `--stats-out FILE`
+/// when given (else to stderr, keeping stdout clean for the subcommand's
+/// own output), and the per-population table to `--populations-csv FILE`
+/// when given.
+pub fn emit_stats(flags: &Flags, metrics: &RunMetrics) -> Result<(), String> {
+    let snapshot = metrics.snapshot();
+    if flags.switch("stats") || flags.optional("stats-out").is_some() {
+        let json = snapshot.to_json();
+        match flags.optional("stats-out") {
+            Some(path) => std::fs::write(path, &json)
+                .map_err(|e| format!("cannot write --stats-out {path}: {e}"))?,
+            None => eprint!("{json}"),
+        }
+    }
+    if let Some(path) = flags.optional("populations-csv") {
+        std::fs::write(path, snapshot.populations_csv())
+            .map_err(|e| format!("cannot write --populations-csv {path}: {e}"))?;
+        eprintln!(
+            "[stats] wrote {path} ({} population rows)",
+            snapshot.populations.len()
+        );
+    }
+    Ok(())
+}

@@ -18,6 +18,7 @@ use crate::bgp::load_registry;
 use crate::Flags;
 use lastmile_repro::cdnlog::throughput::daily_minima;
 use lastmile_repro::cdnlog::{binned_median_throughput, AccessLogRecord, LogFilter};
+use lastmile_repro::obs::trace;
 use lastmile_repro::prefix::Asn;
 use lastmile_repro::timebase::BinSpec;
 use std::collections::BTreeMap;
@@ -45,6 +46,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     let mobile_only = flags.optional("view") == Some("mobile");
 
     // Stream the TSV, filter, and group records by client ASN.
+    let span = trace::span("cdn_read");
     let file = std::fs::File::open(cdn_path).map_err(|e| format!("open {cdn_path}: {e}"))?;
     let reader = std::io::BufReader::new(file);
     let mut by_asn: BTreeMap<Asn, Vec<AccessLogRecord>> = BTreeMap::new();
@@ -77,10 +79,12 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         by_asn.entry(asn).or_default().push(record);
     }
     eprintln!("[input] {parsed} records parsed, {skipped} malformed, {filtered} filtered out");
+    drop(span);
     if by_asn.is_empty() {
         return Err("no records survive the filters".into());
     }
 
+    let _span = trace::span("cdn_analyze");
     let mut csv_rows: Vec<String> = Vec::new();
     println!(
         "{:<10} {:>9} {:>7} {:>12} {:>12} {:>24}",

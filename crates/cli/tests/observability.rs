@@ -1,0 +1,278 @@
+//! End-to-end observability: simulate a fixture, then classify with
+//! `--trace`, `--stats-out`, `--populations-csv`, and `--progress`, and
+//! validate every artefact — the Chrome trace is well-formed (valid
+//! JSON, balanced begin/end per thread, one span per pipeline stage and
+//! per population), the stats JSON matches its golden key set, the CSV
+//! mirrors the population table — and that classification stdout stays
+//! byte-identical across ingest thread counts with tracing on.
+//!
+//! `scripts/check.sh` runs this test as its observability smoke step, so
+//! the artefact validation needs no external tools (no jq).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lastmile_bin() -> PathBuf {
+    // target/debug/lastmile next to the test binary's directory.
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop(); // deps/
+    path.pop(); // debug/
+    path.push(format!("lastmile{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(lastmile_bin())
+        .args(args)
+        .output()
+        .expect("spawn lastmile");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn keys(v: &serde_json::Value) -> Vec<&str> {
+    v.as_object()
+        .expect("object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect()
+}
+
+#[test]
+fn trace_stats_and_csv_artifacts() {
+    let dir = std::env::temp_dir().join(format!("lastmile-obs-e2e-{}", std::process::id()));
+    let dir_s = dir.to_str().unwrap();
+    let (_, err, ok) = run(&[
+        "simulate",
+        "--scenario",
+        "anchor",
+        "--out",
+        dir_s,
+        "--days",
+        "5",
+    ]);
+    assert!(ok, "simulate failed: {err}");
+    let trs = dir.join("traceroutes.jsonl");
+    let probes = dir.join("probes.json");
+    let trace_path = dir.join("trace.json");
+    let stats_path = dir.join("stats.json");
+    let csv_path = dir.join("populations.csv");
+
+    let (stdout_base, err, ok) = run(&[
+        "classify",
+        "--traceroutes",
+        trs.to_str().unwrap(),
+        "--probes",
+        probes.to_str().unwrap(),
+        "--json",
+        "--trace",
+        trace_path.to_str().unwrap(),
+        "--stats-out",
+        stats_path.to_str().unwrap(),
+        "--populations-csv",
+        csv_path.to_str().unwrap(),
+        "--progress",
+    ]);
+    assert!(ok, "classify failed: {err}");
+    assert!(err.contains("[trace] wrote"), "{err}");
+    // The heartbeat prints a final line when it stops, so even a
+    // sub-second run reports at least once.
+    assert!(err.contains("[progress"), "{err}");
+
+    // --- The trace file: valid Chrome trace-event JSON ---------------
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap())
+            .expect("trace file is valid JSON");
+    assert_eq!(trace["displayTimeUnit"], "ms");
+    let events = trace["traceEvents"].as_array().expect("traceEvents array");
+    // Balanced begin/end per thread: depth never goes negative and every
+    // thread returns to zero.
+    let mut depth: BTreeMap<u64, i64> = BTreeMap::new();
+    let mut span_names: BTreeSet<String> = BTreeSet::new();
+    let mut population_spans = 0u64;
+    for ev in events {
+        let ph = ev["ph"].as_str().expect("event ph");
+        match ph {
+            "B" => {
+                let tid = ev["tid"].as_u64().expect("B tid");
+                assert!(ev["ts"].as_f64().is_some(), "B without ts: {ev:?}");
+                let name = ev["name"].as_str().expect("B name");
+                span_names.insert(name.to_string());
+                if name == "population" {
+                    population_spans += 1;
+                    assert!(ev["args"]["asn"].as_u64().is_some(), "{ev:?}");
+                    assert!(ev["args"]["period"].as_str().is_some(), "{ev:?}");
+                }
+                *depth.entry(tid).or_insert(0) += 1;
+            }
+            "E" => {
+                let tid = ev["tid"].as_u64().expect("E tid");
+                let d = depth.entry(tid).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "unbalanced E on tid {tid}");
+            }
+            "i" | "M" => {}
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    for (tid, d) in &depth {
+        assert_eq!(*d, 0, "thread {tid} has {d} unclosed span(s)");
+    }
+    // One span per pipeline stage, and one per population.
+    for required in ["ingest", "series", "aggregate", "detect", "population"] {
+        assert!(
+            span_names.contains(required),
+            "no {required:?} span: {span_names:?}"
+        );
+    }
+
+    // --- The stats JSON: golden key set ------------------------------
+    let stats: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&stats_path).unwrap()).expect("stats JSON");
+    assert_eq!(
+        keys(&stats),
+        vec![
+            "traceroutes_ingested",
+            "traceroutes_out_of_period",
+            "bins_discarded_sanity",
+            "bins_interpolated",
+            "welch_segments",
+            "populations_analyzed",
+            "populations_with_detection",
+            "tasks_failed",
+            "store",
+            "ingest",
+            "latency",
+            "stage_nanos",
+            "populations",
+        ],
+        "--stats top-level schema changed"
+    );
+    assert_eq!(keys(&stats["latency"]), vec!["decode", "series", "analyze"]);
+    for hist in ["decode", "series", "analyze"] {
+        let h = &stats["latency"][hist];
+        assert_eq!(
+            keys(h),
+            vec!["count", "p50_nanos", "p90_nanos", "p99_nanos", "max_nanos"],
+            "latency.{hist} schema changed"
+        );
+        assert!(h["count"].as_u64().unwrap() > 0, "latency.{hist} is empty");
+        let (p50, p90, p99, max) = (
+            h["p50_nanos"].as_u64().unwrap(),
+            h["p90_nanos"].as_u64().unwrap(),
+            h["p99_nanos"].as_u64().unwrap(),
+            h["max_nanos"].as_u64().unwrap(),
+        );
+        assert!(p50 > 0 && p50 <= p90 && p90 <= p99, "latency.{hist}: {h:?}");
+        assert!(max > 0, "latency.{hist}: {h:?}");
+    }
+    assert!(stats["ingest"]["queue_max_depth"].as_u64().is_some());
+    let pops = stats["populations"].as_array().expect("populations array");
+    assert_eq!(
+        pops.len() as u64,
+        stats["populations_analyzed"].as_u64().unwrap()
+    );
+    assert_eq!(
+        population_spans,
+        pops.len() as u64,
+        "one span per population"
+    );
+    for row in pops {
+        assert_eq!(
+            keys(row),
+            vec![
+                "asn",
+                "period",
+                "traceroutes",
+                "bins_discarded",
+                "probes",
+                "class",
+                "nanos"
+            ],
+            "population row schema changed"
+        );
+        assert!(row["traceroutes"].as_u64().unwrap() > 0, "{row:?}");
+        assert!(row["nanos"].as_u64().unwrap() > 0, "{row:?}");
+    }
+
+    // --- The populations CSV mirrors the table -----------------------
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some("asn,period,traceroutes,bins_discarded,probes,class,nanos")
+    );
+    assert_eq!(lines.count(), pops.len());
+
+    // --- Determinism: stdout byte-identical across ingest modes with
+    //     tracing on ---------------------------------------------------
+    for (i, extra) in [
+        &["--ingest-serial"][..],
+        &["--ingest-threads", "1"][..],
+        &["--ingest-threads", "4"][..],
+    ]
+    .iter()
+    .enumerate()
+    {
+        let rerun_trace = dir.join(format!("trace-{i}.json"));
+        let mut args = vec![
+            "classify",
+            "--traceroutes",
+            trs.to_str().unwrap(),
+            "--probes",
+            probes.to_str().unwrap(),
+            "--json",
+            "--trace",
+            rerun_trace.to_str().unwrap(),
+            "--stats",
+        ];
+        args.extend_from_slice(extra);
+        let (stdout, err, ok) = run(&args);
+        assert!(ok, "classify {extra:?} failed: {err}");
+        assert_eq!(stdout, stdout_base, "output diverges under {extra:?}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hygiene_accepts_stats_flags() {
+    let dir = std::env::temp_dir().join(format!("lastmile-obs-hyg-{}", std::process::id()));
+    let dir_s = dir.to_str().unwrap();
+    let (_, err, ok) = run(&[
+        "simulate",
+        "--scenario",
+        "anchor",
+        "--out",
+        dir_s,
+        "--days",
+        "5",
+    ]);
+    assert!(ok, "simulate failed: {err}");
+    let trs = dir.join("traceroutes.jsonl");
+    let probes = dir.join("probes.json");
+    let stats_path = dir.join("hygiene-stats.json");
+    let (stdout, err, ok) = run(&[
+        "hygiene",
+        "--traceroutes",
+        trs.to_str().unwrap(),
+        "--probes",
+        probes.to_str().unwrap(),
+        "--stats-out",
+        stats_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "hygiene --stats-out failed: {err}");
+    assert!(stdout.contains("persistent congestion"), "{stdout}");
+    let stats: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&stats_path).unwrap()).expect("stats JSON");
+    assert!(stats["traceroutes_ingested"].as_u64().unwrap() > 0);
+    assert!(stats["populations_analyzed"].as_u64().unwrap() > 0);
+    assert!(stats["latency"]["series"]["count"].as_u64().unwrap() > 0);
+    assert!(stats["stage_nanos"]["wall"].as_u64().unwrap() > 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

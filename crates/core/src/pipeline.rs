@@ -16,6 +16,7 @@ use crate::aggregate::{aggregate_median, AggregatedSignal};
 use crate::detect::{detect, CongestionClass, Detection};
 use crate::series::{BuiltSeries, ProbeSeries, ProbeSeriesBuilder, QueuingDelaySeries};
 use lastmile_atlas::{ProbeId, TracerouteResult};
+use lastmile_obs::{trace, Histogram};
 use lastmile_timebase::{BinSpec, TimeRange};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -58,7 +59,7 @@ impl Default for PipelineConfig {
 /// Counters and stage timings from one population analysis — the §2
 /// filters made observable. Aggregated across a survey into the run's
 /// `RunMetrics` (see the `lastmile-obs` crate).
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct PopulationStats {
     /// Traceroutes offered to [`AsPipeline::ingest`] (including dropped).
     pub traceroutes_ingested: u64,
@@ -75,6 +76,10 @@ pub struct PopulationStats {
     pub welch_segments: u64,
     /// Wall time spent binning probe series and computing queuing delay.
     pub series_nanos: u64,
+    /// Per-probe series-build latency distribution (one sample per probe
+    /// fed to the series stage, raw or prebuilt). A `Default` histogram
+    /// is one unallocated `Vec`, so carrying it here is effectively free.
+    pub series_hist: Histogram,
     /// Wall time spent in cross-probe median aggregation.
     pub aggregate_nanos: u64,
     /// Wall time spent in gap filling + Welch detection.
@@ -198,6 +203,7 @@ impl AsPipeline {
         };
 
         let t = Instant::now();
+        let span = trace::span("series");
         // Merge raw-built and prebuilt probes in ProbeId order — the same
         // order a raw-only run produces, so downstream aggregation (and
         // therefore the report) is byte-identical however each probe's
@@ -222,28 +228,37 @@ impl AsPipeline {
         let mut built_series: Vec<BuiltSeries> = Vec::new();
         let probe_series: Vec<QueuingDelaySeries> = merged
             .into_values()
-            .map(|src| match src {
-                Source::Raw(b) => {
-                    let built = b.finish_detailed();
-                    stats.bins_discarded_sanity += built.discarded_bins.len() as u64;
-                    let q = built.series.queuing_delay();
-                    if retain {
-                        built_series.push(built);
+            .map(|src| {
+                let t_probe = Instant::now();
+                let q = match src {
+                    Source::Raw(b) => {
+                        let built = b.finish_detailed();
+                        stats.bins_discarded_sanity += built.discarded_bins.len() as u64;
+                        let q = built.series.queuing_delay();
+                        if retain {
+                            built_series.push(built);
+                        }
+                        q
                     }
-                    q
-                }
-                Source::Pre(series) => series.queuing_delay(),
+                    Source::Pre(series) => series.queuing_delay(),
+                };
+                stats.series_hist.record(elapsed_nanos(t_probe));
+                q
             })
             .filter(|s| !s.is_empty())
             .collect();
+        drop(span);
         stats.series_nanos = elapsed_nanos(t);
 
         let t = Instant::now();
+        let span = trace::span("aggregate");
         let aggregated = aggregate_median(&probe_series, &period, cfg.bin, cfg.min_probes_per_bin);
+        drop(span);
         stats.aggregate_nanos = elapsed_nanos(t);
 
         let enough_probes = probe_series.len() >= cfg.min_probes;
         let t = Instant::now();
+        let span = trace::span("detect");
         let detection = if enough_probes {
             aggregated
                 .contiguous_with_stats()
@@ -254,6 +269,7 @@ impl AsPipeline {
         } else {
             None
         };
+        drop(span);
         stats.welch_segments = detection.as_ref().map(|d| d.segments as u64).unwrap_or(0);
         stats.detect_nanos = elapsed_nanos(t);
 
@@ -422,6 +438,11 @@ mod tests {
         assert_eq!(s.bins_discarded_sanity, 1);
         assert_eq!(s.bins_interpolated, 0, "feed has full coverage");
         assert!(s.welch_segments > 0, "detection ran");
+        assert_eq!(
+            s.series_hist.count(),
+            6,
+            "one series-build latency sample per probe fed"
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use lastmile_repro::core::report::SurveyReport;
 use lastmile_repro::netsim::scenarios::survey::{survey_world, SurveyConfig, SurveyScenario};
 use lastmile_repro::netsim::TracerouteEngine;
 use lastmile_repro::netsim::World;
+use lastmile_repro::obs::trace;
 use lastmile_repro::runner::{
     analyze_population_stored, eyeballs_from_ground_truth, run_survey, ProbeSelection,
     SurveyOptions,
@@ -126,10 +127,14 @@ pub fn analyze_many(
                         let Some((asn, period, selection)) = jobs.get(idx) else {
                             break;
                         };
+                        let span = trace::span_with("population", |a| {
+                            a.u64("asn", u64::from(*asn)).str("period", period.label());
+                        });
                         done.push((
                             idx,
                             analyze_population_stored(engine, *asn, period, *cfg, selection, store),
                         ));
+                        drop(span);
                     }
                     done
                 })

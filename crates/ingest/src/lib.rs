@@ -47,10 +47,11 @@
 use lastmile_atlas::framing::{DocSplitter, Frame};
 use lastmile_atlas::json::AtlasTraceroute;
 use lastmile_atlas::TracerouteResult;
+use lastmile_obs::{trace, Histogram, LiveProgress};
 use std::io::Read;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 /// Why a record was quarantined instead of delivered.
@@ -111,6 +112,13 @@ pub struct IngestSummary {
     pub decode_nanos: u64,
     /// Elapsed time of the whole ingest.
     pub wall_nanos: u64,
+    /// Deepest the bounded batch queue got, in batches (0 on the serial
+    /// path, which has no queue). Pinned at `queue_batches` means the
+    /// parse workers are the bottleneck; near zero means framing/IO is.
+    pub queue_max_depth: u64,
+    /// Per-record decode latency, collected only when
+    /// [`IngestOptions::record_latency`] is set; empty otherwise.
+    pub decode_hist: Histogram,
 }
 
 impl IngestSummary {
@@ -144,6 +152,15 @@ pub struct IngestOptions {
     pub queue_batches: usize,
     /// Read chunk size in bytes.
     pub chunk_bytes: usize,
+    /// Collect a per-record decode-latency histogram into
+    /// [`IngestSummary::decode_hist`]. Off by default: two clock reads
+    /// per record are cheap but not free, and most runs only want the
+    /// distribution when `--stats` asked for it.
+    pub record_latency: bool,
+    /// Live gauges for a `--progress` heartbeat: bytes read, records
+    /// decoded, and batch-queue depth are updated *while the ingest
+    /// runs* (the summary only lands when it returns).
+    pub progress: Option<Arc<LiveProgress>>,
     /// Test hook: panic while decoding the record at this byte offset,
     /// exercising per-record panic isolation from integration tests.
     #[doc(hidden)]
@@ -158,6 +175,8 @@ impl Default for IngestOptions {
             batch_records: 64,
             queue_batches: 8,
             chunk_bytes: 256 * 1024,
+            record_latency: false,
+            progress: None,
             inject_panic_offset: None,
         }
     }
@@ -192,18 +211,33 @@ pub fn ingest_reader(
     options: &IngestOptions,
     on_record: impl FnMut(TracerouteResult),
 ) -> Result<IngestSummary, String> {
-    if options.serial {
+    let _span = trace::span("ingest");
+    if select_serial(options, available_parallelism()) {
         ingest_reader_serial(reader, options, on_record)
     } else {
         ingest_reader_parallel(reader, options, on_record)
     }
 }
 
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Whether an ingest should take the serial path: explicitly requested,
+/// or automatic thread selection (`threads == 0`) on a single-core host —
+/// there the worker pipeline only adds queue hand-off cost on top of one
+/// core's parsing (BENCH_ingest.json measured it ~25% slower than
+/// serial). An explicit `threads >= 1` still forces the worker pipeline,
+/// so its behaviour stays testable on any machine.
+fn select_serial(options: &IngestOptions, available: usize) -> bool {
+    options.serial || (options.threads == 0 && available <= 1)
+}
+
 fn resolve_threads(requested: usize) -> usize {
     if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
+        available_parallelism()
     } else {
         requested
     }
@@ -260,6 +294,7 @@ fn ingest_reader_serial(
 ) -> Result<IngestSummary, String> {
     let wall = Instant::now();
     let mut summary = IngestSummary::default();
+    let mut decode_hist = Histogram::new();
     let mut splitter = DocSplitter::new();
     let mut buf = vec![0u8; options.chunk_bytes.max(1)];
     // The emit closure cannot call `on_record` directly (it borrows the
@@ -269,9 +304,21 @@ fn ingest_reader_serial(
         let n = reader.read(&mut buf).map_err(|e| format!("read: {e}"))?;
         let chunk = &buf[..n];
         summary.bytes_read += n as u64;
+        if let Some(p) = &options.progress {
+            p.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
+        }
         let t = Instant::now();
         let mut handle = |frame: Frame<'_>| match frame {
-            Frame::Doc { offset, bytes } => staged.push(decode_record(offset, bytes, options)),
+            Frame::Doc { offset, bytes } => {
+                if options.record_latency {
+                    let t_rec = Instant::now();
+                    let outcome = decode_record(offset, bytes, options);
+                    decode_hist.record(elapsed_nanos(t_rec));
+                    staged.push(outcome);
+                } else {
+                    staged.push(decode_record(offset, bytes, options));
+                }
+            }
             Frame::Junk {
                 offset,
                 bytes,
@@ -294,6 +341,9 @@ fn ingest_reader_serial(
             match outcome {
                 Ok(tr) => {
                     summary.parsed += 1;
+                    if let Some(p) = &options.progress {
+                        p.records.fetch_add(1, Ordering::Relaxed);
+                    }
                     on_record(tr);
                 }
                 Err(q) => summary.quarantined.push(q),
@@ -306,6 +356,7 @@ fn ingest_reader_serial(
     // Serial framing and decode interleave; attribute the non-framing
     // share of the loop to decode.
     summary.decode_nanos = elapsed_nanos(wall).saturating_sub(summary.frame_nanos);
+    summary.decode_hist = decode_hist;
     summary.quarantined.sort_by_key(|q| q.offset);
     summary.wall_nanos = elapsed_nanos(wall);
     Ok(summary)
@@ -328,6 +379,12 @@ fn ingest_reader_parallel(
     let bytes_read = AtomicU64::new(0);
     let frame_nanos = AtomicU64::new(0);
     let decode_nanos = AtomicU64::new(0);
+    // Batch-queue depth gauge: pushed by the framer, popped by workers.
+    // Saturating pop — a worker can account its pop before the framer's
+    // racing push lands.
+    let queue_depth = AtomicU64::new(0);
+    let queue_max_depth = AtomicU64::new(0);
+    let decode_hist: Mutex<Histogram> = Mutex::new(Histogram::new());
 
     let mut summary = IngestSummary::default();
     std::thread::scope(|scope| {
@@ -338,102 +395,154 @@ fn ingest_reader_parallel(
             let fatal = &fatal;
             let bytes_read = &bytes_read;
             let frame_nanos = &frame_nanos;
-            scope.spawn(move || {
-                let mut splitter = DocSplitter::new();
-                let mut buf = vec![0u8; options.chunk_bytes.max(1)];
-                let mut batch: Batch = Vec::with_capacity(batch_records);
-                let mut junk: Vec<Quarantined> = Vec::new();
-                let mut full: Vec<Batch> = Vec::new();
-                loop {
-                    let n = match reader.read(&mut buf) {
-                        Ok(n) => n,
-                        Err(e) => {
-                            *fatal.lock().expect("fatal slot lock") = Some(format!("read: {e}"));
-                            return; // drops the senders; pipeline drains
+            let queue_depth = &queue_depth;
+            let queue_max_depth = &queue_max_depth;
+            let push_batch = move |b: Batch, tx: &mpsc::SyncSender<Batch>| {
+                if tx.send(b).is_err() {
+                    return false; // all workers are gone (fatal path)
+                }
+                let depth = queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                queue_max_depth.fetch_max(depth, Ordering::Relaxed);
+                if let Some(p) = &options.progress {
+                    p.queue_push();
+                }
+                true
+            };
+            std::thread::Builder::new()
+                .name("ingest-frame".into())
+                .spawn_scoped(scope, move || {
+                    let mut splitter = DocSplitter::new();
+                    let mut buf = vec![0u8; options.chunk_bytes.max(1)];
+                    let mut batch: Batch = Vec::with_capacity(batch_records);
+                    let mut junk: Vec<Quarantined> = Vec::new();
+                    let mut full: Vec<Batch> = Vec::new();
+                    loop {
+                        let n = match reader.read(&mut buf) {
+                            Ok(n) => n,
+                            Err(e) => {
+                                *fatal.lock().expect("fatal slot lock") =
+                                    Some(format!("read: {e}"));
+                                return; // drops the senders; pipeline drains
+                            }
+                        };
+                        bytes_read.fetch_add(n as u64, Ordering::Relaxed);
+                        if let Some(p) = &options.progress {
+                            p.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
                         }
-                    };
-                    bytes_read.fetch_add(n as u64, Ordering::Relaxed);
-                    let t = Instant::now();
-                    let mut handle = |frame: Frame<'_>| match frame {
-                        Frame::Doc { offset, bytes } => {
-                            batch.push((offset, bytes.to_vec()));
-                            if batch.len() >= batch_records {
-                                full.push(std::mem::take(&mut batch));
+                        let t = Instant::now();
+                        let mut handle = |frame: Frame<'_>| match frame {
+                            Frame::Doc { offset, bytes } => {
+                                batch.push((offset, bytes.to_vec()));
+                                if batch.len() >= batch_records {
+                                    full.push(std::mem::take(&mut batch));
+                                }
+                            }
+                            Frame::Junk {
+                                offset,
+                                bytes,
+                                reason,
+                            } => junk.push(Quarantined {
+                                offset,
+                                kind: QuarantineKind::Framing,
+                                detail: reason.to_string(),
+                                record: bytes.to_vec(),
+                            }),
+                        };
+                        if n == 0 {
+                            let s = std::mem::take(&mut splitter);
+                            s.finish(&mut handle);
+                        } else {
+                            splitter.feed(&buf[..n], &mut handle);
+                        }
+                        frame_nanos.fetch_add(elapsed_nanos(t), Ordering::Relaxed);
+                        // Queue sends happen outside the timed region: a
+                        // blocked send is backpressure, not framing work.
+                        for b in full.drain(..) {
+                            if !push_batch(b, &batch_tx) {
+                                return;
                             }
                         }
-                        Frame::Junk {
-                            offset,
-                            bytes,
-                            reason,
-                        } => junk.push(Quarantined {
-                            offset,
-                            kind: QuarantineKind::Framing,
-                            detail: reason.to_string(),
-                            record: bytes.to_vec(),
-                        }),
-                    };
-                    if n == 0 {
-                        let s = std::mem::take(&mut splitter);
-                        s.finish(&mut handle);
-                    } else {
-                        splitter.feed(&buf[..n], &mut handle);
-                    }
-                    frame_nanos.fetch_add(elapsed_nanos(t), Ordering::Relaxed);
-                    // Queue sends happen outside the timed region: a
-                    // blocked send is backpressure, not framing work.
-                    for b in full.drain(..) {
-                        if batch_tx.send(b).is_err() {
-                            return; // all workers are gone (fatal path)
+                        for q in junk.drain(..) {
+                            if out_tx.send(Delivery::Quarantined(q)).is_err() {
+                                return;
+                            }
                         }
-                    }
-                    for q in junk.drain(..) {
-                        if out_tx.send(Delivery::Quarantined(q)).is_err() {
+                        if n == 0 {
+                            if !batch.is_empty() {
+                                push_batch(std::mem::take(&mut batch), &batch_tx);
+                            }
                             return;
                         }
                     }
-                    if n == 0 {
-                        if !batch.is_empty() {
-                            let _ = batch_tx.send(std::mem::take(&mut batch));
-                        }
-                        return;
-                    }
-                }
-            });
+                })
+                .expect("spawn ingest framer thread");
         }
 
         // Parse workers: steal batches until the framer hangs up.
-        for _ in 0..threads {
+        for worker in 0..threads {
             let out_tx = out_tx.clone();
             let batch_queue = &batch_queue;
             let decode_nanos = &decode_nanos;
-            scope.spawn(move || {
-                loop {
-                    // Blocking recv under the lock: the holder waits for
-                    // a batch while the other workers wait for the lock,
-                    // which hands batches to exactly one worker each.
-                    let Ok(batch) = batch_queue.lock().expect("batch queue lock").recv() else {
-                        return; // framer done and queue drained
-                    };
-                    let t = Instant::now();
-                    let mut records = Vec::with_capacity(batch.len());
-                    let mut quarantined = Vec::new();
-                    for (offset, bytes) in &batch {
-                        match decode_record(*offset, bytes, options) {
-                            Ok(tr) => records.push(tr),
-                            Err(q) => quarantined.push(q),
+            let queue_depth = &queue_depth;
+            let decode_hist = &decode_hist;
+            std::thread::Builder::new()
+                .name(format!("ingest-parse-{worker}"))
+                .spawn_scoped(scope, move || {
+                    let mut local_hist = Histogram::new();
+                    loop {
+                        // Blocking recv under the lock: the holder waits
+                        // for a batch while the other workers wait for
+                        // the lock, which hands batches to exactly one
+                        // worker each.
+                        let Ok(batch) = batch_queue.lock().expect("batch queue lock").recv() else {
+                            // Framer done and queue drained; publish this
+                            // worker's latency samples.
+                            decode_hist
+                                .lock()
+                                .expect("decode histogram lock")
+                                .merge(&local_hist);
+                            return;
+                        };
+                        let _ =
+                            queue_depth.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                                Some(d.saturating_sub(1))
+                            });
+                        if let Some(p) = &options.progress {
+                            p.queue_pop();
                         }
-                    }
-                    decode_nanos.fetch_add(elapsed_nanos(t), Ordering::Relaxed);
-                    if !records.is_empty() && out_tx.send(Delivery::Records(records)).is_err() {
-                        return;
-                    }
-                    for q in quarantined {
-                        if out_tx.send(Delivery::Quarantined(q)).is_err() {
+                        let span = trace::span_with("decode_batch", |a| {
+                            a.u64("records", batch.len() as u64);
+                        });
+                        let t = Instant::now();
+                        let mut records = Vec::with_capacity(batch.len());
+                        let mut quarantined = Vec::new();
+                        for (offset, bytes) in &batch {
+                            let outcome = if options.record_latency {
+                                let t_rec = Instant::now();
+                                let outcome = decode_record(*offset, bytes, options);
+                                local_hist.record(elapsed_nanos(t_rec));
+                                outcome
+                            } else {
+                                decode_record(*offset, bytes, options)
+                            };
+                            match outcome {
+                                Ok(tr) => records.push(tr),
+                                Err(q) => quarantined.push(q),
+                            }
+                        }
+                        decode_nanos.fetch_add(elapsed_nanos(t), Ordering::Relaxed);
+                        drop(span);
+                        if !records.is_empty() && out_tx.send(Delivery::Records(records)).is_err() {
                             return;
                         }
+                        for q in quarantined {
+                            if out_tx.send(Delivery::Quarantined(q)).is_err() {
+                                return;
+                            }
+                        }
                     }
-                }
-            });
+                })
+                .expect("spawn ingest parse worker");
         }
         // The caller keeps no sender: the drain below ends exactly when
         // the framer and every worker have hung up.
@@ -443,6 +552,9 @@ fn ingest_reader_parallel(
             match delivery {
                 Delivery::Records(records) => {
                     summary.parsed += records.len() as u64;
+                    if let Some(p) = &options.progress {
+                        p.records.fetch_add(records.len() as u64, Ordering::Relaxed);
+                    }
                     for tr in records {
                         on_record(tr);
                     }
@@ -458,6 +570,8 @@ fn ingest_reader_parallel(
     summary.bytes_read = bytes_read.into_inner();
     summary.frame_nanos = frame_nanos.into_inner();
     summary.decode_nanos = decode_nanos.into_inner();
+    summary.queue_max_depth = queue_max_depth.into_inner();
+    summary.decode_hist = decode_hist.into_inner().expect("decode histogram lock");
     summary.quarantined.sort_by_key(|q| q.offset);
     summary.wall_nanos = elapsed_nanos(wall);
     Ok(summary)
@@ -652,6 +766,66 @@ mod tests {
         let err =
             ingest_file("/does/not/exist.jsonl", &IngestOptions::default(), |_| {}).unwrap_err();
         assert!(err.contains("/does/not/exist.jsonl"), "{err}");
+    }
+
+    #[test]
+    fn auto_thread_selection_prefers_serial_on_one_core() {
+        let auto = IngestOptions::default();
+        assert!(
+            select_serial(&auto, 1),
+            "auto threads on one core must take the serial path"
+        );
+        assert!(!select_serial(&auto, 8));
+        let explicit_one = IngestOptions {
+            threads: 1,
+            ..IngestOptions::default()
+        };
+        assert!(
+            !select_serial(&explicit_one, 1),
+            "explicit thread counts keep the worker pipeline"
+        );
+        let forced = IngestOptions {
+            serial: true,
+            ..IngestOptions::default()
+        };
+        assert!(select_serial(&forced, 16));
+    }
+
+    #[test]
+    fn latency_and_progress_gauges_are_collected_when_asked() {
+        let input = lines_input(100);
+        for serial in [true, false] {
+            let options = IngestOptions {
+                serial,
+                threads: 2,
+                batch_records: 4,
+                record_latency: true,
+                progress: Some(Arc::new(LiveProgress::default())),
+                ..IngestOptions::default()
+            };
+            let progress = options.progress.clone().unwrap();
+            let (_, summary) = fingerprint(&options, &input);
+            assert_eq!(summary.decode_hist.count(), 100, "serial={serial}");
+            assert!(summary.decode_hist.max() > 0);
+            assert_eq!(
+                progress.bytes_read.load(Ordering::Relaxed) as usize,
+                input.len()
+            );
+            assert_eq!(progress.records.load(Ordering::Relaxed), 100);
+            assert_eq!(
+                progress.queue_depth.load(Ordering::Relaxed),
+                0,
+                "queue fully drained"
+            );
+            if serial {
+                assert_eq!(summary.queue_max_depth, 0, "serial path has no queue");
+            } else {
+                assert!(summary.queue_max_depth > 0, "queue gauge never moved");
+            }
+        }
+        // Latency collection is opt-in: off by default.
+        let (_, summary) = fingerprint(&IngestOptions::default(), &input);
+        assert_eq!(summary.decode_hist.count(), 0);
     }
 
     #[test]

@@ -1,0 +1,311 @@
+//! Log-linear (HDR-style) latency histograms.
+//!
+//! A bare nanosecond sum says where time went in total; a histogram says
+//! how it was distributed — the difference between "decode took 480 ms"
+//! and "p99 decode is 40× the median, something stalls". Values are
+//! bucketed log-linearly: each power-of-two octave is split into
+//! [`SUB_BUCKETS`] linear sub-buckets, so relative error is bounded by
+//! `1 / SUB_BUCKETS` (~6%) across the full `u64` nanosecond range with a
+//! fixed, small table — no preallocation per expected range, no
+//! unbounded memory for outliers.
+//!
+//! Two flavours share the bucketing:
+//!
+//! * [`Histogram`] — plain counters, single-threaded recording. Built
+//!   per population / per worker, then merged.
+//! * [`AtomicHistogram`] — relaxed atomic counters for the shared
+//!   [`RunMetrics`](crate::RunMetrics) sinks; merging a thread-local
+//!   [`Histogram`] in bulk is one `fetch_add` per non-empty bucket.
+//!
+//! Summaries report count / p50 / p90 / p99 / max, where percentiles are
+//! the upper bound of the bucket containing that rank (a conservative
+//! estimate: the true value is never above the reported one by more than
+//! one sub-bucket width).
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave. 16 bounds the relative
+/// quantile error to 1/16 ≈ 6%.
+const SUB_BITS: u32 = 4;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Total bucket count: the linear region `[0, SUB_BUCKETS)` plus one
+/// sub-divided octave per remaining bit of a `u64`.
+const BUCKETS: usize = ((64 - SUB_BITS) as u64 * SUB_BUCKETS) as usize + SUB_BUCKETS as usize;
+
+/// Bucket index of a value: identity in the linear region, then
+/// `(octave, sub-bucket)` above it.
+fn bucket_of(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    // Highest set bit is >= SUB_BITS here.
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = (v >> shift) & (SUB_BUCKETS - 1);
+    ((u64::from(msb - SUB_BITS + 1) * SUB_BUCKETS) + sub) as usize
+}
+
+/// Inclusive upper bound of a bucket — what percentiles report.
+fn bucket_upper(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB_BUCKETS {
+        return index;
+    }
+    let octave = (index / SUB_BUCKETS) - 1;
+    let sub = index % SUB_BUCKETS;
+    // The top octave's upper bound is exactly 2^64 - 1; go through u128
+    // so the shift doesn't lose bits.
+    let upper = ((u128::from(SUB_BUCKETS + sub + 1)) << octave) - 1;
+    upper.min(u128::from(u64::MAX)) as u64
+}
+
+/// Plain log-linear histogram: single-writer counters, cheap to create
+/// (the bucket table allocates on first record), cheap to merge.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    /// Empty until the first record — a `Default` histogram costs one
+    /// pointer, so carrying one in every `PopulationStats` is free for
+    /// runs that never look at it.
+    buckets: Vec<u64>,
+    count: u64,
+    max: u64,
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; BUCKETS];
+        }
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; BUCKETS];
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding that rank, clamped to the exact max. `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The count / p50 / p90 / p99 / max report.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            p50_nanos: self.quantile(0.50).unwrap_or(0),
+            p90_nanos: self.quantile(0.90).unwrap_or(0),
+            p99_nanos: self.quantile(0.99).unwrap_or(0),
+            max_nanos: self.max,
+        }
+    }
+}
+
+/// Shared-sink variant: relaxed atomic buckets, recorded into from any
+/// thread. Allocated eagerly (it lives once per run, inside
+/// [`RunMetrics`](crate::RunMetrics), not once per population).
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> AtomicHistogram {
+        AtomicHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Fold a thread-local [`Histogram`] in: one `fetch_add` per
+    /// non-empty bucket.
+    pub fn merge(&self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (mine, &theirs) in self.buckets.iter().zip(&other.buckets) {
+            if theirs > 0 {
+                mine.fetch_add(theirs, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count, Ordering::Relaxed);
+        self.max.fetch_max(other.max, Ordering::Relaxed);
+    }
+
+    /// A plain-value copy for reporting.
+    pub fn snapshot(&self) -> Histogram {
+        Histogram {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The count / p50 / p90 / p99 / max report.
+    pub fn summary(&self) -> HistogramSummary {
+        self.snapshot().summary()
+    }
+}
+
+/// The exported percentile report of one histogram; all zero when
+/// nothing was recorded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub p50_nanos: u64,
+    pub p90_nanos: u64,
+    pub p99_nanos: u64,
+    pub max_nanos: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotonic_and_cover_u64() {
+        let mut prev = 0;
+        for i in 1..BUCKETS {
+            let upper = bucket_upper(i);
+            assert!(upper > prev, "bucket {i}: {upper} <= {prev}");
+            prev = upper;
+        }
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // Every value lands in a bucket whose bounds contain it.
+        for v in [1u64, 15, 16, 17, 1000, 123_456_789, u64::MAX / 3] {
+            let b = bucket_of(v);
+            assert!(bucket_upper(b) >= v, "{v} above its bucket upper");
+            if b > 0 {
+                assert!(bucket_upper(b - 1) < v, "{v} below its bucket lower");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_close_and_max_exact() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10_000);
+        assert_eq!(s.max_nanos, 10_000);
+        // Bucketed quantiles overestimate by at most one sub-bucket
+        // (1/16), never underestimate.
+        for (q, exact) in [(s.p50_nanos, 5_000.0), (s.p90_nanos, 9_000.0)] {
+            let q = q as f64;
+            assert!(q >= exact * 0.999, "{q} under {exact}");
+            assert!(q <= exact * (1.0 + 1.0 / 16.0) + 1.0, "{q} over {exact}");
+        }
+        assert!(s.p99_nanos >= s.p90_nanos && s.p90_nanos >= s.p50_nanos);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), HistogramSummary::default());
+        assert_eq!(h.quantile(0.5), None);
+        let a = AtomicHistogram::default();
+        assert_eq!(a.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn merge_matches_direct_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut direct = Histogram::new();
+        for v in [3u64, 99, 1_000_000, 42] {
+            a.record(v);
+            direct.record(v);
+        }
+        for v in [7u64, 123_456, 8] {
+            b.record(v);
+            direct.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, direct);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new());
+        assert_eq!(a, direct);
+    }
+
+    #[test]
+    fn atomic_histogram_agrees_across_threads() {
+        let a = AtomicHistogram::default();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let a = &a;
+                scope.spawn(move || {
+                    let mut local = Histogram::new();
+                    for i in 0..1000u64 {
+                        a.record(t * 1000 + i);
+                        local.record(t * 1000 + i);
+                    }
+                    a.merge(&local);
+                });
+            }
+        });
+        let s = a.summary();
+        assert_eq!(s.count, 8000);
+        assert_eq!(s.max_nanos, 3999);
+    }
+}

@@ -36,11 +36,32 @@
 //! executor they sum *across* workers, so stage totals can exceed the
 //! elapsed `wall_nanos`.
 //!
+//! Beyond the counters, the crate carries the rest of the observability
+//! layer:
+//!
+//! * [`trace`] — a dependency-free span tracer (per-thread lock-free
+//!   ring buffers, drained into Chrome trace-event JSON for
+//!   Perfetto/`chrome://tracing`), installed by the CLI's `--trace`.
+//! * [`hist`] — log-linear latency histograms; [`RunMetrics`] holds one
+//!   each for per-record decode, per-probe series build, and
+//!   per-population analyze, summarized as p50/p90/p99/max under the
+//!   `latency` key of the `--stats` JSON.
+//! * [`PopulationRow`] — the per-(ASN, period) metrics table
+//!   (`populations` in `--stats`, optional CSV via the CLI).
+//! * [`LiveProgress`] — live gauges (bytes, records, queue depth,
+//!   populations done/total) feeding the CLI's `--progress` heartbeat.
+//!
 //! [`AsPipeline`]: ../lastmile_core/pipeline/struct.AsPipeline.html
 //! [`Detection`]: ../lastmile_core/detect/struct.Detection.html
 
+pub mod hist;
+pub mod trace;
+
+pub use hist::{AtomicHistogram, Histogram, HistogramSummary};
+
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Lock-free counters for one survey / classification run.
@@ -77,6 +98,17 @@ pub struct RunMetrics {
     ingest_frame_nanos: AtomicU64,
     ingest_decode_nanos: AtomicU64,
     ingest_wall_nanos: AtomicU64,
+    ingest_queue_max_depth: AtomicU64,
+    /// Per-record decode latency (merged from ingest workers).
+    decode_hist: AtomicHistogram,
+    /// Per-probe series-build latency (merged from population stats).
+    series_hist: AtomicHistogram,
+    /// Per-population analyze latency (one sample per (ASN, period)).
+    analyze_hist: AtomicHistogram,
+    /// Per-population rows, pushed once per analyzed population. A
+    /// Mutex, not an atomic — populations complete at most a few
+    /// thousand times per run, far off any hot path.
+    populations: Mutex<Vec<PopulationRow>>,
     /// Summed across workers (may exceed wall time).
     ingest_nanos: AtomicU64,
     series_nanos: AtomicU64,
@@ -158,6 +190,28 @@ impl RunMetrics {
         Self::add(&self.ingest_frame_nanos, traffic.frame_nanos);
         Self::add(&self.ingest_decode_nanos, traffic.decode_nanos);
         Self::add(&self.ingest_wall_nanos, traffic.wall_nanos);
+        self.ingest_queue_max_depth
+            .fetch_max(traffic.queue_max_depth, Ordering::Relaxed);
+    }
+
+    /// Merge per-record decode latencies collected by an ingest.
+    pub fn merge_decode_hist(&self, hist: &Histogram) {
+        self.decode_hist.merge(hist);
+    }
+
+    /// Merge per-probe series-build latencies from one population.
+    pub fn merge_series_hist(&self, hist: &Histogram) {
+        self.series_hist.merge(hist);
+    }
+
+    /// Record one population's end-to-end analyze latency and its row in
+    /// the per-population table.
+    pub fn record_population_row(&self, row: PopulationRow) {
+        self.analyze_hist.record(row.nanos);
+        self.populations
+            .lock()
+            .expect("population table lock")
+            .push(row);
     }
 
     pub fn add_ingest_nanos(&self, n: u64) {
@@ -179,9 +233,17 @@ impl RunMetrics {
             .store(timer.elapsed_nanos(), Ordering::Relaxed);
     }
 
-    /// A plain-value copy of every counter, for reporting.
+    /// A plain-value copy of every counter, for reporting. The
+    /// per-population table is sorted by (asn, period) so the document
+    /// is deterministic regardless of worker scheduling.
     pub fn snapshot(&self) -> RunMetricsSnapshot {
         let get = |f: &AtomicU64| f.load(Ordering::Relaxed);
+        let mut populations = self
+            .populations
+            .lock()
+            .expect("population table lock")
+            .clone();
+        populations.sort_by(|a, b| (a.asn, &a.period).cmp(&(b.asn, &b.period)));
         RunMetricsSnapshot {
             traceroutes_ingested: get(&self.traceroutes_ingested),
             traceroutes_out_of_period: get(&self.traceroutes_out_of_period),
@@ -222,7 +284,13 @@ impl RunMetrics {
                     frame_nanos: get(&self.ingest_frame_nanos),
                     decode_nanos: get(&self.ingest_decode_nanos),
                     wall_nanos: wall,
+                    queue_max_depth: get(&self.ingest_queue_max_depth),
                 }
+            },
+            latency: LatencyStats {
+                decode: self.decode_hist.summary(),
+                series: self.series_hist.summary(),
+                analyze: self.analyze_hist.summary(),
             },
             stage_nanos: StageNanos {
                 ingest: get(&self.ingest_nanos),
@@ -231,6 +299,7 @@ impl RunMetrics {
                 detect: get(&self.detect_nanos),
                 wall: get(&self.wall_nanos),
             },
+            populations,
         }
     }
 }
@@ -265,6 +334,10 @@ pub struct IngestTraffic {
     pub decode_nanos: u64,
     /// Elapsed time of the ingest, start to drain.
     pub wall_nanos: u64,
+    /// Deepest the bounded batch queue got (batches in flight); a queue
+    /// pinned at its capacity means the parse workers are the
+    /// bottleneck, a queue near zero means framing/IO is.
+    pub queue_max_depth: u64,
 }
 
 /// Quarantined-record counts by error kind; the typed taxonomy of the
@@ -289,6 +362,7 @@ pub struct IngestStats {
     pub frame_nanos: u64,
     pub decode_nanos: u64,
     pub wall_nanos: u64,
+    pub queue_max_depth: u64,
 }
 
 /// Series-store traffic of one run; all zero when no store was attached.
@@ -303,6 +377,94 @@ pub struct StoreStats {
     pub snapshot_bytes_read: u64,
     pub snapshot_save_nanos: u64,
     pub snapshot_load_nanos: u64,
+}
+
+/// One analyzed (ASN, period) population: the paper's funnel counters
+/// at per-population resolution, so a slow or lossy population can be
+/// localized instead of disappearing into run-global sums.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct PopulationRow {
+    /// Origin AS of the population (0 = "all probes").
+    pub asn: u32,
+    /// Measurement period label (e.g. `2019-09`, or `START..END` unix
+    /// seconds for ad-hoc windows).
+    pub period: String,
+    /// Traceroutes offered to the population's pipeline.
+    pub traceroutes: u64,
+    /// Probe-bins its sanity filter discarded.
+    pub bins_discarded: u64,
+    /// Probes contributing data after filtering.
+    pub probes: u64,
+    /// Detection class name (`none`/`low`/`mild`/`severe`).
+    pub class: String,
+    /// Nanoseconds spent analysing it (the task's wall time).
+    pub nanos: u64,
+}
+
+impl PopulationRow {
+    /// Header of [`RunMetricsSnapshot::populations_csv`].
+    pub const CSV_HEADER: &'static str = "asn,period,traceroutes,bins_discarded,probes,class,nanos";
+
+    fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{}",
+            self.asn,
+            self.period,
+            self.traceroutes,
+            self.bins_discarded,
+            self.probes,
+            self.class,
+            self.nanos
+        )
+    }
+}
+
+/// Latency distributions of the three per-item hot loops, as
+/// count/p50/p90/p99/max summaries (nanoseconds). All zero when the
+/// corresponding path never ran or latency recording was off.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct LatencyStats {
+    /// Per-record traceroute decode (ingest workers).
+    pub decode: HistogramSummary,
+    /// Per-probe median-series build (pipeline series stage).
+    pub series: HistogramSummary,
+    /// Per-population end-to-end analyze (one sample per (ASN, period)).
+    pub analyze: HistogramSummary,
+}
+
+/// Live counters for the `--progress` heartbeat: updated by the ingest
+/// pipeline and the population drivers *while they run* (unlike
+/// [`RunMetrics`], which several paths only fold into at stage ends).
+/// All atomics; share by `Arc`.
+#[derive(Debug, Default)]
+pub struct LiveProgress {
+    /// Bytes read from traceroute inputs so far.
+    pub bytes_read: AtomicU64,
+    /// Traceroute records decoded so far.
+    pub records: AtomicU64,
+    /// Ingest batch queue: batches currently in flight.
+    pub queue_depth: AtomicU64,
+    /// Populations fully analysed so far.
+    pub populations_done: AtomicU64,
+    /// Total populations, once known (0 until then).
+    pub populations_total: AtomicU64,
+}
+
+impl LiveProgress {
+    /// Enqueue accounting for the ingest batch queue.
+    pub fn queue_push(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Dequeue accounting for the ingest batch queue (saturating: a
+    /// racing reader can observe push/pop out of order).
+    pub fn queue_pop(&self) {
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+    }
 }
 
 /// Per-stage wall-clock nanoseconds. Stage fields sum across worker
@@ -330,7 +492,10 @@ pub struct RunMetricsSnapshot {
     pub tasks_failed: u64,
     pub store: StoreStats,
     pub ingest: IngestStats,
+    pub latency: LatencyStats,
     pub stage_nanos: StageNanos,
+    /// Per-population table, sorted by (asn, period).
+    pub populations: Vec<PopulationRow>,
 }
 
 impl RunMetricsSnapshot {
@@ -340,6 +505,18 @@ impl RunMetricsSnapshot {
             serde_json::to_string_pretty(self).expect("RunMetricsSnapshot serializes infallibly");
         s.push('\n');
         s
+    }
+
+    /// The per-population table as CSV (header + one row per
+    /// population, trailing newline).
+    pub fn populations_csv(&self) -> String {
+        let mut out = String::from(PopulationRow::CSV_HEADER);
+        out.push('\n');
+        for row in &self.populations {
+            out.push_str(&row.to_csv());
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -411,11 +588,35 @@ mod tests {
             frame_nanos: 5,
             decode_nanos: 6,
             wall_nanos: 500_000_000, // 0.5 s
+            queue_max_depth: 3,
         });
         m.add_ingest_traffic(&IngestTraffic {
             records_decoded: 50,
             wall_nanos: 500_000_000,
+            queue_max_depth: 2, // below the max already seen
             ..IngestTraffic::default()
+        });
+        let mut decode = Histogram::new();
+        decode.record(1_000);
+        decode.record(2_000);
+        m.merge_decode_hist(&decode);
+        let mut series = Histogram::new();
+        series.record(5_000);
+        m.merge_series_hist(&series);
+        m.record_population_row(PopulationRow {
+            asn: 64500,
+            period: "2019-09".into(),
+            traceroutes: 100,
+            bins_discarded: 2,
+            probes: 5,
+            class: "mild".into(),
+            nanos: 9_000,
+        });
+        m.record_population_row(PopulationRow {
+            asn: 64496,
+            period: "2019-09".into(),
+            nanos: 4_000,
+            ..PopulationRow::default()
         });
         let s = m.snapshot();
         assert_eq!(s.traceroutes_ingested, 15);
@@ -455,8 +656,24 @@ mod tests {
                 frame_nanos: 5,
                 decode_nanos: 6,
                 wall_nanos: 1_000_000_000,
+                queue_max_depth: 3, // fetch_max, not a sum
             }
         );
+        assert_eq!(s.latency.decode.count, 2);
+        assert_eq!(s.latency.decode.max_nanos, 2_000);
+        assert_eq!(s.latency.series.count, 1);
+        // One analyze sample per recorded population.
+        assert_eq!(s.latency.analyze.count, 2);
+        assert_eq!(s.latency.analyze.max_nanos, 9_000);
+        // The table is sorted by (asn, period) whatever the push order.
+        assert_eq!(s.populations.len(), 2);
+        assert_eq!(s.populations[0].asn, 64496);
+        assert_eq!(s.populations[1].class, "mild");
+        let csv = s.populations_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(PopulationRow::CSV_HEADER));
+        assert_eq!(lines.next(), Some("64496,2019-09,0,0,0,,4000"));
+        assert_eq!(lines.next(), Some("64500,2019-09,100,2,5,mild,9000"));
     }
 
     #[test]
@@ -521,8 +738,19 @@ mod tests {
             "frame_nanos",
             "decode_nanos",
             "wall_nanos",
+            "queue_max_depth",
+            "latency",
+            "decode",
+            "series",
+            "analyze",
+            "p50_nanos",
+            "p90_nanos",
+            "p99_nanos",
+            "max_nanos",
+            "count",
             "stage_nanos",
             "wall",
+            "populations",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

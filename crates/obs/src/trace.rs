@@ -1,0 +1,535 @@
+//! Hand-rolled span tracing: per-thread lock-free ring buffers of
+//! begin / end / instant events, drained at run end into Chrome
+//! trace-event JSON (loadable in Perfetto or `chrome://tracing`).
+//!
+//! # Design
+//!
+//! A [`Tracer`] owns a registry of per-thread [`ThreadBuffer`]s. Each
+//! buffer is a fixed-capacity single-producer ring: only its owning
+//! thread writes events (an index cached in thread-local storage finds
+//! the buffer without touching the registry lock after the first event),
+//! so recording is one monotonic clock read plus a relaxed/release index
+//! bump — no locks, no allocation beyond the event's args. When a ring
+//! wraps, the *oldest* events are overwritten and counted as dropped;
+//! the drain re-balances begin/end pairs so a wrapped trace still loads.
+//!
+//! # Zero cost when disabled
+//!
+//! Nothing here runs unless a tracer is installed. Call sites go through
+//! the free functions ([`span`], [`span_with`], [`instant_with`]), which
+//! check one relaxed atomic and return `None` when tracing is off — the
+//! argument-building closures are never invoked. The `disabled-path`
+//! test below pins this to nanoseconds per call.
+//!
+//! # Drain contract
+//!
+//! [`Tracer::drain_chrome_json`] must run after worker threads have
+//! quiesced (the CLI drains after its subcommand returns; every worker
+//! pool in this workspace is scoped, so joining is structural). The
+//! caller's own thread may keep recording up to the drain call itself.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Events each thread's ring can hold before the oldest are overwritten.
+pub const DEFAULT_THREAD_CAPACITY: usize = 64 * 1024;
+
+/// A typed span/instant argument (rendered into the trace's `args`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+}
+
+/// Arguments attached to an event, built only when tracing is enabled.
+#[derive(Debug, Default)]
+pub struct ArgSet(Vec<(&'static str, ArgValue)>);
+
+impl ArgSet {
+    pub fn u64(&mut self, key: &'static str, v: u64) -> &mut Self {
+        self.0.push((key, ArgValue::U64(v)));
+        self
+    }
+    pub fn i64(&mut self, key: &'static str, v: i64) -> &mut Self {
+        self.0.push((key, ArgValue::I64(v)));
+        self
+    }
+    pub fn f64(&mut self, key: &'static str, v: f64) -> &mut Self {
+        self.0.push((key, ArgValue::F64(v)));
+        self
+    }
+    pub fn str(&mut self, key: &'static str, v: impl Into<String>) -> &mut Self {
+        self.0.push((key, ArgValue::Str(v.into())));
+        self
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EventKind {
+    Begin,
+    End,
+    Instant,
+}
+
+#[derive(Clone, Debug)]
+struct Event {
+    kind: EventKind,
+    name: &'static str,
+    nanos: u64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+/// One thread's event ring. Single producer (the owning thread); drained
+/// by [`Tracer::drain_chrome_json`] after the thread has quiesced.
+struct ThreadBuffer {
+    tid: u64,
+    name: String,
+    slots: Box<[RefCell<Option<Event>>]>,
+    /// Total events ever written; `head > capacity` means the ring
+    /// wrapped and `head - capacity` oldest events were dropped.
+    head: AtomicU64,
+}
+
+// SAFETY: `slots` is written only by the owning thread and read by the
+// drainer strictly after that thread has quiesced (the drain contract
+// above); `head`'s release store / acquire load orders the slot write
+// before the drain's read.
+unsafe impl Sync for ThreadBuffer {}
+unsafe impl Send for ThreadBuffer {}
+
+impl ThreadBuffer {
+    fn new(tid: u64, name: String, capacity: usize) -> ThreadBuffer {
+        ThreadBuffer {
+            tid,
+            name,
+            slots: (0..capacity.max(1)).map(|_| RefCell::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Owning thread only.
+    fn push(&self, event: Event) {
+        let head = self.head.load(Ordering::Relaxed);
+        *self.slots[(head % self.slots.len() as u64) as usize].borrow_mut() = Some(event);
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Events in write order (oldest surviving first), plus the dropped
+    /// count. Drain-side only.
+    fn drain(&self) -> (Vec<Event>, u64) {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let dropped = head.saturating_sub(cap);
+        let mut events = Vec::with_capacity(head.min(cap) as usize);
+        for i in dropped..head {
+            if let Some(e) = self.slots[(i % cap) as usize].borrow().as_ref() {
+                events.push(e.clone());
+            }
+        }
+        (events, dropped)
+    }
+}
+
+/// Distinguishes tracers in the thread-local buffer cache, so unit tests
+/// with private tracers never cross wires with the installed global one.
+static TRACER_IDS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// (tracer id, this thread's buffer in that tracer). A thread rarely
+    /// records into more than one tracer; the Vec handles tests that do.
+    static THREAD_BUFFERS: RefCell<Vec<(usize, Arc<ThreadBuffer>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The span tracer: thread-buffer registry plus the run's epoch.
+pub struct Tracer {
+    id: usize,
+    epoch: Instant,
+    capacity: usize,
+    threads: Mutex<Vec<Arc<ThreadBuffer>>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::with_capacity(DEFAULT_THREAD_CAPACITY)
+    }
+}
+
+impl Tracer {
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// A tracer whose per-thread rings hold `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Tracer {
+        Tracer {
+            id: TRACER_IDS.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            capacity,
+            threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// This thread's buffer, registering (under the registry lock) on
+    /// first use and serving from thread-local storage after.
+    fn buffer(&self) -> Arc<ThreadBuffer> {
+        THREAD_BUFFERS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, buf)) = cache.iter().find(|(id, _)| *id == self.id) {
+                return buf.clone();
+            }
+            let mut threads = self.threads.lock().expect("tracer registry lock");
+            let name = std::thread::current()
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("thread-{}", threads.len()));
+            let buf = Arc::new(ThreadBuffer::new(threads.len() as u64, name, self.capacity));
+            threads.push(buf.clone());
+            cache.push((self.id, buf.clone()));
+            buf
+        })
+    }
+
+    fn push(&self, kind: EventKind, name: &'static str, args: Vec<(&'static str, ArgValue)>) {
+        let nanos = self.now_nanos();
+        self.buffer().push(Event {
+            kind,
+            name,
+            nanos,
+            args,
+        });
+    }
+
+    /// Open a span; the returned guard records the end event on drop.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.span_args(name, Vec::new())
+    }
+
+    /// Open a span with arguments on its begin event.
+    pub fn span_with(&self, name: &'static str, build: impl FnOnce(&mut ArgSet)) -> SpanGuard<'_> {
+        let mut args = ArgSet::default();
+        build(&mut args);
+        self.span_args(name, args.0)
+    }
+
+    fn span_args(&self, name: &'static str, args: Vec<(&'static str, ArgValue)>) -> SpanGuard<'_> {
+        self.push(EventKind::Begin, name, args);
+        SpanGuard { tracer: self, name }
+    }
+
+    /// Record a point-in-time event.
+    pub fn instant_with(&self, name: &'static str, build: impl FnOnce(&mut ArgSet)) {
+        let mut args = ArgSet::default();
+        build(&mut args);
+        self.push(EventKind::Instant, name, args.0);
+    }
+
+    /// Drain every thread's ring into Chrome trace-event JSON.
+    ///
+    /// Must run after worker threads have quiesced (see the module docs).
+    /// Wrapped rings are re-balanced: end events whose begin was
+    /// overwritten are skipped, and spans still open at the buffer's end
+    /// are closed at their thread's last timestamp, so the output always
+    /// has matched begin/end pairs per thread.
+    pub fn drain_chrome_json(&self, mut w: impl Write) -> std::io::Result<()> {
+        use serde_json::{to_value, Value};
+        // The vendored serde_json has no `Map` type and its `json!`
+        // macro takes flat literals only, so event objects are built as
+        // pair-vecs directly.
+        fn obj(pairs: Vec<(&str, Value)>) -> Value {
+            Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        }
+        fn metadata(which: &str, tid: u64, name: &str) -> Value {
+            obj(vec![
+                ("ph", to_value("M")),
+                ("name", to_value(which)),
+                ("pid", to_value(&1u32)),
+                ("tid", to_value(&tid)),
+                ("args", obj(vec![("name", to_value(name))])),
+            ])
+        }
+        let threads = self.threads.lock().expect("tracer registry lock");
+        writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        let mut first = true;
+        let mut emit = |doc: Value, w: &mut dyn Write| -> std::io::Result<()> {
+            if !std::mem::take(&mut first) {
+                writeln!(w, ",")?;
+            }
+            write!(w, "{doc}")
+        };
+        emit(metadata("process_name", 0, "lastmile"), &mut w)?;
+        for buf in threads.iter() {
+            let (events, dropped) = buf.drain();
+            emit(metadata("thread_name", buf.tid, &buf.name), &mut w)?;
+            if dropped > 0 {
+                emit(
+                    obj(vec![
+                        ("ph", to_value("i")),
+                        ("name", to_value("events_dropped")),
+                        ("pid", to_value(&1u32)),
+                        ("tid", to_value(&buf.tid)),
+                        ("ts", to_value(&0.0f64)),
+                        ("s", to_value("t")),
+                        ("args", obj(vec![("dropped", to_value(&dropped))])),
+                    ]),
+                    &mut w,
+                )?;
+            }
+            let mut depth = 0u64;
+            let last_nanos = events.last().map(|e| e.nanos).unwrap_or(0);
+            for event in &events {
+                let ph = match event.kind {
+                    EventKind::Begin => {
+                        depth += 1;
+                        "B"
+                    }
+                    EventKind::End => {
+                        if depth == 0 {
+                            // Its begin was overwritten by a ring wrap.
+                            continue;
+                        }
+                        depth -= 1;
+                        "E"
+                    }
+                    EventKind::Instant => "i",
+                };
+                let mut pairs = vec![
+                    ("ph", to_value(ph)),
+                    ("name", to_value(event.name)),
+                    ("pid", to_value(&1u32)),
+                    ("tid", to_value(&buf.tid)),
+                    ("ts", to_value(&(event.nanos as f64 / 1_000.0))),
+                ];
+                if event.kind == EventKind::Instant {
+                    pairs.push(("s", to_value("t")));
+                }
+                if !event.args.is_empty() {
+                    let args = event
+                        .args
+                        .iter()
+                        .map(|(k, v)| {
+                            let v = match v {
+                                ArgValue::U64(n) => to_value(n),
+                                ArgValue::I64(n) => to_value(n),
+                                ArgValue::F64(n) => to_value(n),
+                                ArgValue::Str(s) => to_value(s),
+                            };
+                            ((*k).to_string(), v)
+                        })
+                        .collect();
+                    pairs.push(("args", Value::Object(args)));
+                }
+                emit(obj(pairs), &mut w)?;
+            }
+            // Close spans still open at the end of the buffer (a guard
+            // alive at drain time, or an end lost to a ring wrap).
+            for _ in 0..depth {
+                emit(
+                    obj(vec![
+                        ("ph", to_value("E")),
+                        ("name", to_value("unclosed")),
+                        ("pid", to_value(&1u32)),
+                        ("tid", to_value(&buf.tid)),
+                        ("ts", to_value(&(last_nanos as f64 / 1_000.0))),
+                    ]),
+                    &mut w,
+                )?;
+            }
+        }
+        writeln!(w, "\n]}}")?;
+        Ok(())
+    }
+}
+
+/// An open span; records its end event when dropped. Must be dropped on
+/// the thread that opened it (guards are neither `Send` nor stored).
+pub struct SpanGuard<'t> {
+    tracer: &'t Tracer,
+    name: &'static str,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.tracer.push(EventKind::End, self.name, Vec::new());
+    }
+}
+
+/// The process-global tracer, installed once by `--trace`.
+static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+/// One relaxed load gates every call site; false means `span()` et al.
+/// return `None` without touching `GLOBAL`.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Install the process-global tracer (idempotent) and return it.
+pub fn install() -> &'static Tracer {
+    let t = GLOBAL.get_or_init(Tracer::new);
+    ENABLED.store(true, Ordering::Release);
+    t
+}
+
+/// Whether a global tracer is installed — the disabled-path fast check.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The installed tracer, if any.
+#[inline]
+pub fn installed() -> Option<&'static Tracer> {
+    if enabled() {
+        GLOBAL.get()
+    } else {
+        None
+    }
+}
+
+/// Open a span on the global tracer; `None` (and no work) when tracing
+/// is off. Bind the result: `let _s = trace::span("aggregate");`.
+#[inline]
+pub fn span(name: &'static str) -> Option<SpanGuard<'static>> {
+    installed().map(|t| t.span(name))
+}
+
+/// [`span`] with arguments; the closure only runs when tracing is on.
+#[inline]
+pub fn span_with(
+    name: &'static str,
+    build: impl FnOnce(&mut ArgSet),
+) -> Option<SpanGuard<'static>> {
+    installed().map(|t| t.span_with(name, build))
+}
+
+/// A point-in-time event on the global tracer; no-op when tracing is off.
+#[inline]
+pub fn instant_with(name: &'static str, build: impl FnOnce(&mut ArgSet)) {
+    if let Some(t) = installed() {
+        t.instant_with(name, build);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_events(json: &str) -> Vec<serde_json::Value> {
+        let doc: serde_json::Value = serde_json::from_str(json).expect("trace JSON parses");
+        doc["traceEvents"]
+            .as_array()
+            .expect("traceEvents array")
+            .clone()
+    }
+
+    fn drain_to_string(tracer: &Tracer) -> String {
+        let mut out = Vec::new();
+        tracer.drain_chrome_json(&mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn spans_nest_and_balance_per_thread() {
+        let tracer = Tracer::new();
+        {
+            let _outer = tracer.span_with("outer", |a| {
+                a.u64("asn", 64500).str("period", "2019-09");
+            });
+            let _inner = tracer.span("inner");
+            tracer.instant_with("tick", |a| {
+                a.i64("delta", -3).f64("ratio", 0.5);
+            });
+        }
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _s = tracer.span("worker");
+            });
+        });
+        let events = parse_events(&drain_to_string(&tracer));
+        // Balanced begin/end per tid, and timestamps never regress
+        // within a thread.
+        let mut depth: std::collections::BTreeMap<u64, i64> = Default::default();
+        let mut last_ts: std::collections::BTreeMap<u64, f64> = Default::default();
+        for e in &events {
+            let tid = e["tid"].as_u64().unwrap();
+            match e["ph"].as_str().unwrap() {
+                "B" => *depth.entry(tid).or_default() += 1,
+                "E" => *depth.entry(tid).or_default() -= 1,
+                _ => {}
+            }
+            if let Some(ts) = e["ts"].as_f64() {
+                let prev = last_ts.entry(tid).or_insert(ts);
+                assert!(ts >= *prev, "timestamps regressed on tid {tid}");
+                *prev = ts;
+            }
+        }
+        assert!(depth.values().all(|&d| d == 0), "unbalanced: {depth:?}");
+        // Args made it through typed.
+        let outer = events
+            .iter()
+            .find(|e| e["name"] == "outer" && e["ph"] == "B")
+            .expect("outer begin");
+        assert_eq!(outer["args"]["asn"], 64500);
+        assert_eq!(outer["args"]["period"], "2019-09");
+        let tick = events.iter().find(|e| e["name"] == "tick").unwrap();
+        assert_eq!(tick["ph"], "i");
+        assert_eq!(tick["args"]["delta"], -3);
+        // Two threads recorded, each named.
+        let names: Vec<_> = events
+            .iter()
+            .filter(|e| e["name"] == "thread_name")
+            .collect();
+        assert_eq!(names.len(), 2);
+    }
+
+    #[test]
+    fn wrapped_ring_still_balances() {
+        let tracer = Tracer::with_capacity(8);
+        for _ in 0..100 {
+            let _s = tracer.span("tight");
+        }
+        let _open = tracer.span("open-at-drain");
+        let json = drain_to_string(&tracer);
+        let events = parse_events(&json);
+        let begins = events.iter().filter(|e| e["ph"] == "B").count();
+        let ends = events.iter().filter(|e| e["ph"] == "E").count();
+        assert_eq!(begins, ends, "wrapped trace unbalanced");
+        assert!(
+            events.iter().any(
+                |e| e["name"] == "events_dropped" && e["args"]["dropped"].as_u64().unwrap() > 0
+            ),
+            "dropped count missing"
+        );
+        drop(_open);
+    }
+
+    #[test]
+    fn global_disabled_path_is_fast_and_inert() {
+        // Not installed (tests in this binary never call install()):
+        // span() must return None without side effects, fast. The bound
+        // is generous — the real cost is ~1 ns; this only catches an
+        // accidental lock or allocation on the disabled path.
+        assert!(!enabled());
+        let start = Instant::now();
+        const N: u32 = 1_000_000;
+        for _ in 0..N {
+            let s = span("never");
+            assert!(s.is_none());
+            instant_with("never", |_| panic!("args built while disabled"));
+        }
+        let per_call = start.elapsed().as_nanos() / u128::from(N);
+        assert!(per_call < 1_000, "disabled span() cost {per_call} ns/call");
+    }
+
+    #[test]
+    fn empty_tracer_produces_valid_json() {
+        let json = drain_to_string(&Tracer::new());
+        let events = parse_events(&json);
+        assert_eq!(events.len(), 1, "process_name metadata only");
+    }
+}

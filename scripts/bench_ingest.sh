@@ -25,7 +25,13 @@ array="$work/traceroutes.json"
 { printf '['; sed '$!s/$/,/' "$jsonl"; printf ']'; } >"$array"
 
 out=BENCH_ingest.json
-printf '{\n  "bench": "ingest",\n  "cases": [\n' >"$out"
+# Host context, so numbers from different machines/toolchains are never
+# compared as if they were one series.
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
+rustc_version=$(rustc --version 2>/dev/null || echo unknown)
+timestamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+printf '{\n  "bench": "ingest",\n  "host": {"cores": %s, "rustc": "%s", "timestamp_utc": "%s"},\n  "cases": [\n' \
+    "$cores" "$rustc_version" "$timestamp" >"$out"
 first=1
 for form in lines array; do
     case $form in

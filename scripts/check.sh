@@ -12,12 +12,19 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Covers every [[bench]] target in crates/bench (components, figures,
-# ablations, executor, store, ingest); scripts/bench_ingest.sh runs the
-# ingest comparison end-to-end and records BENCH_ingest.json.
+# ablations, executor, store, ingest, obs_overhead);
+# scripts/bench_ingest.sh runs the ingest comparison end-to-end and
+# records BENCH_ingest.json.
 echo "==> cargo build --workspace --benches --examples"
 cargo build --workspace --benches --examples
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
-echo "OK: fmt, clippy, benches, tests all green"
+# Observability smoke: simulate a small fixture and classify it with
+# --trace/--stats-out/--populations-csv, validating the artefacts (valid
+# trace JSON, balanced spans, golden stats key set) in-process — no jq.
+echo "==> observability smoke (cargo test -p lastmile-cli --test observability)"
+cargo test -q -p lastmile-cli --test observability
+
+echo "OK: fmt, clippy, benches, tests, observability smoke all green"

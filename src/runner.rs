@@ -19,7 +19,7 @@ use lastmile_core::report::{AsClassification, SurveyFailure, SurveyReport};
 use lastmile_eyeball::{EyeballEntry, EyeballRegistry};
 use lastmile_netsim::scenarios::AsGroundTruth;
 use lastmile_netsim::{SimProbe, TracerouteEngine, World};
-use lastmile_obs::{RunMetrics, StageTimer, StoreTraffic};
+use lastmile_obs::{trace, LiveProgress, PopulationRow, RunMetrics, StageTimer, StoreTraffic};
 use lastmile_prefix::Asn;
 use lastmile_store::{Lookup, SeriesStore, StoreCounters, StoreKey};
 use lastmile_timebase::MeasurementPeriod;
@@ -170,6 +170,10 @@ pub struct SurveyOptions {
     ///
     /// [`CacheMode`]: lastmile_store::CacheMode
     pub store: Option<Arc<SeriesStore>>,
+    /// Live gauges for a `--progress` heartbeat: the survey sets
+    /// `populations_total` up front and bumps `populations_done` as
+    /// tasks complete.
+    pub progress: Option<Arc<LiveProgress>>,
     /// Test hook: panic while analysing this AS, exercising the
     /// executor's per-task failure isolation from integration tests.
     #[doc(hidden)]
@@ -219,67 +223,85 @@ pub fn run_survey(
     }
     drop(tx);
     let queue = Mutex::new(rx);
+    if let Some(p) = &options.progress {
+        use std::sync::atomic::Ordering;
+        p.populations_total
+            .store((asns.len() * periods.len()) as u64, Ordering::Relaxed);
+    }
 
     let mut rows: Vec<AsClassification> = Vec::new();
     let mut failures: Vec<SurveyFailure> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|worker| {
                 let queue = &queue;
                 let engine = &engine;
-                scope.spawn(move || {
-                    let mut ok = Vec::new();
-                    let mut failed = Vec::new();
-                    while let Some((asn, period_idx)) = next_task(queue) {
-                        let period = &periods[period_idx];
-                        let task_timer = StageTimer::start();
-                        let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            if options.inject_panic_asn == Some(asn) {
-                                panic!("injected survey panic for AS{asn}");
-                            }
-                            match &options.store {
-                                Some(store) => analyze_population_stored(
-                                    engine,
-                                    asn,
-                                    period,
-                                    options.pipeline,
-                                    &ProbeSelection::regular(),
-                                    store,
-                                ),
-                                None => analyze_population_with(
-                                    engine,
-                                    asn,
-                                    period,
-                                    options.pipeline,
-                                    &ProbeSelection::regular(),
-                                ),
-                            }
-                        }));
-                        match outcome {
-                            Ok(analysis) => {
-                                if let Some(m) = &options.metrics {
-                                    record_population_metrics(
-                                        m,
-                                        &analysis,
-                                        task_timer.elapsed_nanos(),
-                                    );
+                std::thread::Builder::new()
+                    .name(format!("survey-{worker}"))
+                    .spawn_scoped(scope, move || {
+                        let mut ok = Vec::new();
+                        let mut failed = Vec::new();
+                        while let Some((asn, period_idx)) = next_task(queue) {
+                            let period = &periods[period_idx];
+                            let span = trace::span_with("population", |a| {
+                                a.u64("asn", u64::from(asn)).str("period", period.label());
+                            });
+                            let task_timer = StageTimer::start();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                if options.inject_panic_asn == Some(asn) {
+                                    panic!("injected survey panic for AS{asn}");
                                 }
-                                ok.push(classify_row(asn, period, &analysis, eyeballs));
-                            }
-                            Err(payload) => {
-                                if let Some(m) = &options.metrics {
-                                    m.add_task_failed();
+                                match &options.store {
+                                    Some(store) => analyze_population_stored(
+                                        engine,
+                                        asn,
+                                        period,
+                                        options.pipeline,
+                                        &ProbeSelection::regular(),
+                                        store,
+                                    ),
+                                    None => analyze_population_with(
+                                        engine,
+                                        asn,
+                                        period,
+                                        options.pipeline,
+                                        &ProbeSelection::regular(),
+                                    ),
                                 }
-                                failed.push(SurveyFailure {
-                                    asn,
-                                    period: period.id(),
-                                    reason: panic_message(payload.as_ref()),
-                                });
+                            }));
+                            match outcome {
+                                Ok(analysis) => {
+                                    if let Some(m) = &options.metrics {
+                                        record_population_metrics(
+                                            m,
+                                            asn,
+                                            period.label(),
+                                            &analysis,
+                                            task_timer.elapsed_nanos(),
+                                        );
+                                    }
+                                    ok.push(classify_row(asn, period, &analysis, eyeballs));
+                                }
+                                Err(payload) => {
+                                    if let Some(m) = &options.metrics {
+                                        m.add_task_failed();
+                                    }
+                                    failed.push(SurveyFailure {
+                                        asn,
+                                        period: period.id(),
+                                        reason: panic_message(payload.as_ref()),
+                                    });
+                                }
+                            }
+                            drop(span);
+                            if let Some(p) = &options.progress {
+                                use std::sync::atomic::Ordering;
+                                p.populations_done.fetch_add(1, Ordering::Relaxed);
                             }
                         }
-                    }
-                    (ok, failed)
-                })
+                        (ok, failed)
+                    })
+                    .expect("spawn survey worker")
             })
             .collect();
         for h in handles {
@@ -374,12 +396,16 @@ pub fn run_survey_static_chunks(
     report
 }
 
-/// Accumulate one population's [`PopulationStats`] into the run metrics.
-/// `task_nanos` is the task's total wall time; the share not spent in
-/// the measured pipeline stages is attributed to ingest (for simulated
-/// surveys that includes generating the traceroutes).
+/// Accumulate one population's [`PopulationStats`] into the run metrics,
+/// including its row in the per-population table (keyed by `asn` and the
+/// period `label`). `task_nanos` is the task's total wall time; the
+/// share not spent in the measured pipeline stages is attributed to
+/// ingest (for simulated surveys that includes generating the
+/// traceroutes).
 pub fn record_population_metrics(
     metrics: &RunMetrics,
+    asn: Asn,
+    label: &str,
     analysis: &PopulationAnalysis,
     task_nanos: u64,
 ) {
@@ -395,6 +421,16 @@ pub fn record_population_metrics(
     metrics.add_detect_nanos(s.detect_nanos);
     let pipeline_nanos = s.series_nanos + s.aggregate_nanos + s.detect_nanos;
     metrics.add_ingest_nanos(task_nanos.saturating_sub(pipeline_nanos));
+    metrics.merge_series_hist(&s.series_hist);
+    metrics.record_population_row(PopulationRow {
+        asn,
+        period: label.to_string(),
+        traceroutes: s.traceroutes_ingested,
+        bins_discarded: s.bins_discarded_sanity,
+        probes: analysis.probes_used() as u64,
+        class: analysis.class().name().to_string(),
+        nanos: task_nanos,
+    });
 }
 
 fn resolve_threads(requested: usize) -> usize {
