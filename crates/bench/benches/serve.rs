@@ -1,0 +1,86 @@
+//! Serving-path costs: the HTTP head parser, response serialization,
+//! the per-request metrics record, and a full loopback round-trip
+//! through the bounded worker pool (connect → accept queue → worker →
+//! response). The round-trip number is the daemon's floor latency — what
+//! `GET /healthz` costs before any handler work.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lastmile_repro::obs::{ServeEndpoint, ServeMetrics};
+use lastmile_repro::serve::http::parse_request;
+use lastmile_repro::serve::{Handler, Response, Server, ServerConfig};
+use std::io::{Cursor, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn bench_serve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve");
+
+    let head = b"GET /v1/series/64520?from=1568851200&to=1569283200 HTTP/1.1\r\n\
+                 Host: localhost:8437\r\nUser-Agent: bench/1.0\r\nAccept: */*\r\n\r\n";
+    g.bench_function("parse_request", |b| {
+        b.iter(|| {
+            let mut cursor = Cursor::new(&head[..]);
+            black_box(parse_request(&mut cursor).expect("well-formed head"));
+        })
+    });
+
+    let body: String = "{\"status\":\"ok\"}\n".repeat(64);
+    let mut wire = Vec::with_capacity(4096);
+    g.bench_function("response_write", |b| {
+        b.iter(|| {
+            wire.clear();
+            Response::json(200, body.clone())
+                .endpoint(ServeEndpoint::Healthz)
+                .write_to(&mut wire)
+                .expect("write to Vec");
+            black_box(wire.len());
+        })
+    });
+
+    let metrics = ServeMetrics::new();
+    let mut nanos = 1u64;
+    g.bench_function("metrics_record_request", |b| {
+        b.iter(|| {
+            nanos = nanos.wrapping_mul(6364136223846793005).wrapping_add(1);
+            metrics.record_request(ServeEndpoint::Classify, black_box(nanos >> 32));
+        })
+    });
+    black_box(metrics.snapshot());
+
+    // Floor latency of one request through the real server: TCP connect,
+    // accept-queue hop, worker dispatch, trivial handler, response.
+    let shutdown: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+    let server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServerConfig::default()
+        },
+        Arc::new(ServeMetrics::new()),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let handler: Arc<Handler> = Arc::new(|_req| {
+        Response::json(200, "{\"status\":\"ok\"}\n").endpoint(ServeEndpoint::Healthz)
+    });
+    let daemon = std::thread::spawn(move || server.run(handler, shutdown));
+    g.bench_function("loopback_round_trip", |b| {
+        b.iter(|| {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: bench\r\n\r\n")
+                .expect("send request");
+            let mut response = Vec::new();
+            stream.read_to_end(&mut response).expect("read response");
+            assert!(response.starts_with(b"HTTP/1.1 200"));
+            black_box(response.len());
+        })
+    });
+    shutdown.store(true, Ordering::Relaxed);
+    daemon.join().expect("server thread").expect("server run");
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -51,6 +51,21 @@ pub fn analyze_file(
     flags: &Flags,
     metrics: Option<&RunMetrics>,
 ) -> Result<Vec<(Asn, PopulationAnalysis)>, String> {
+    analyze_file_with_cache(flags, metrics).map(|(results, _)| results)
+}
+
+/// [`analyze_file_with_cache`]'s success value: the per-ASN analyses
+/// plus the active series cache (when `--cache-dir` was given).
+pub type AnalysesAndCache = (Vec<(Asn, PopulationAnalysis)>, Option<Cache>);
+
+/// [`analyze_file`], also handing back the active series cache (when
+/// `--cache-dir` was given) so a long-lived caller — the `serve` daemon —
+/// can re-persist the snapshot at shutdown. The snapshot has already
+/// been persisted once by the time this returns.
+pub fn analyze_file_with_cache(
+    flags: &Flags,
+    metrics: Option<&RunMetrics>,
+) -> Result<AnalysesAndCache, String> {
     let path = flags.required("traceroutes")?;
     let mut ingest_opts = ingest_options(flags)?;
     // `--progress` gauges are shared with the ingest workers; the
@@ -293,7 +308,36 @@ pub fn analyze_file(
             m.add_store_traffic(&store_traffic_since(before, c.store.counters()));
         }
     }
-    Ok(results)
+    Ok((results, cache))
+}
+
+/// One ASN's classification document. Shared by `classify --json` and
+/// the serve daemon's `/v1/classify` endpoints so their bytes cannot
+/// drift apart.
+pub fn classification_doc(asn: Asn, a: &PopulationAnalysis) -> serde_json::Value {
+    let d = a.detection.as_ref();
+    serde_json::json!({
+        "asn": asn,
+        "probes": a.probes_used(),
+        "class": a.class().name(),
+        "daily_amplitude_ms": d.map(|d| d.daily_amplitude_ms),
+        "prominent_frequency_cph": d.and_then(|d| d.prominent_frequency()),
+        "prominent_is_daily": d.map(|d| d.prominent_is_daily),
+        "max_agg_delay_ms": a.aggregated.max(),
+        "coverage": a.aggregated.coverage(),
+    })
+}
+
+/// The exact bytes `classify --json` prints: a pretty array of
+/// [`classification_doc`]s with a trailing newline.
+pub fn classification_json(results: &[(Asn, PopulationAnalysis)]) -> String {
+    let docs: Vec<serde_json::Value> = results
+        .iter()
+        .map(|(asn, a)| classification_doc(*asn, a))
+        .collect();
+    let mut s = serde_json::to_string_pretty(&docs).expect("json encodes");
+    s.push('\n');
+    s
 }
 
 pub fn run(flags: &Flags) -> Result<(), String> {
@@ -307,26 +351,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         return Err("no analysable traceroutes in the window".into());
     }
     if flags.switch("json") {
-        let docs: Vec<serde_json::Value> = results
-            .iter()
-            .map(|(asn, a)| {
-                let d = a.detection.as_ref();
-                serde_json::json!({
-                    "asn": asn,
-                    "probes": a.probes_used(),
-                    "class": a.class().name(),
-                    "daily_amplitude_ms": d.map(|d| d.daily_amplitude_ms),
-                    "prominent_frequency_cph": d.and_then(|d| d.prominent_frequency()),
-                    "prominent_is_daily": d.map(|d| d.prominent_is_daily),
-                    "max_agg_delay_ms": a.aggregated.max(),
-                    "coverage": a.aggregated.coverage(),
-                })
-            })
-            .collect();
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&docs).expect("json encodes")
-        );
+        print!("{}", classification_json(&results));
     } else {
         println!(
             "{:<10} {:>7} {:>8} {:>12} {:>12} {:>9}",

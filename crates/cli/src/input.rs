@@ -78,11 +78,31 @@ pub fn ingest_traffic(summary: &IngestSummary, with_quarantine: bool) -> IngestT
     }
 }
 
+/// Create `path`'s missing parent directories so an output flag pointed
+/// into a fresh directory (`--quarantine out/triage.jsonl`) just works —
+/// matching the experiments harness's `write_csv` behaviour. The error
+/// names both the flag and the directory that could not be created.
+pub fn create_parent_dirs(flag: &str, path: &str) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(parent).map_err(|e| {
+            format!(
+                "cannot create directory {} for --{flag} {path}: {e}",
+                parent.display()
+            )
+        })?;
+    }
+    Ok(())
+}
+
 /// Write quarantined records as a JSON Lines triage dump: one document
 /// per record with its byte offset, typed kind, error detail, and the
 /// raw record bytes (lossily decoded). Records arrive sorted by offset,
 /// so the dump is deterministic for a given input.
 pub fn write_quarantine(path: &str, quarantined: &[Quarantined]) -> Result<(), String> {
+    create_parent_dirs("quarantine", path)?;
     let file =
         std::fs::File::create(path).map_err(|e| format!("create --quarantine {path}: {e}"))?;
     let mut w = std::io::BufWriter::new(file);

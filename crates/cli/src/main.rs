@@ -22,6 +22,7 @@ mod classify;
 mod hygiene;
 mod input;
 mod progress;
+mod serve;
 mod simulate;
 mod stats;
 mod throughput;
@@ -98,19 +99,30 @@ fn usage() -> &'static str {
      lastmile classify --traceroutes FILE [--probes FILE | --bgp TABLE.csv] [--start UNIX --end UNIX] [--min-probes N] [--cache-dir DIR [--cache off|ro|rw]] [--ingest-threads N] [--ingest-serial] [--quarantine FILE] [--json] [--stats | --stats-out FILE] [--populations-csv FILE] [--progress]\n  \
      lastmile hygiene  --traceroutes FILE [--probes FILE] [--start UNIX --end UNIX] [--threshold MS] [--ingest-threads N] [--ingest-serial] [--quarantine FILE] [--stats | --stats-out FILE] [--populations-csv FILE] [--progress]\n  \
      lastmile throughput --cdn FILE.tsv --bgp TABLE.csv [--bin-minutes 15] [--view broadband|mobile|v4|v6] [--csv OUT]\n  \
-     lastmile simulate --scenario tokyo|fig1|anchor --out DIR [--seed N] [--days N] [--cache-dir DIR [--cache off|ro|rw]]\n\n\
-     any subcommand also takes --trace FILE to write a Chrome/Perfetto trace of the run"
+     lastmile simulate --scenario tokyo|fig1|anchor --out DIR [--seed N] [--days N] [--cache-dir DIR [--cache off|ro|rw]]\n  \
+     lastmile serve    --traceroutes FILE [classify flags] [--addr HOST:PORT] [--serve-workers N] [--serve-queue N] [--retry-after SECS] [--ready-file FILE]\n\n\
+     any subcommand also takes --trace FILE to write a Chrome/Perfetto trace of the run\n\
+     (streamed to disk as the run goes; serve drains it incrementally until shutdown)"
 }
 
-/// Drain the installed tracer into a Chrome trace-event JSON file
-/// (load it at <https://ui.perfetto.dev> or chrome://tracing).
-fn write_trace(path: &str) -> Result<(), String> {
-    let tracer = lastmile_repro::obs::trace::installed().expect("tracer installed at startup");
-    let file = std::fs::File::create(path).map_err(|e| format!("create --trace {path}: {e}"))?;
-    let mut w = std::io::BufWriter::new(file);
-    tracer
-        .drain_chrome_json(&mut w)
-        .and_then(|()| std::io::Write::flush(&mut w))
+/// How often the `--trace` stream drains ring buffers to disk. Long
+/// commands (a `serve` daemon running for days) persist spans as they
+/// go instead of losing the oldest to wrap-around at exit; short
+/// commands just get one final drain at finish.
+const TRACE_DRAIN_EVERY: std::time::Duration = std::time::Duration::from_millis(500);
+
+/// Install the tracer and start streaming it to a Chrome trace-event
+/// JSON file (load it at <https://ui.perfetto.dev> or chrome://tracing).
+fn start_trace(path: &str) -> Result<lastmile_repro::obs::trace::TraceStream, String> {
+    lastmile_repro::obs::trace::install();
+    lastmile_repro::obs::trace::TraceStream::start(path, TRACE_DRAIN_EVERY)
+        .map_err(|e| format!("create --trace {path}: {e}"))
+}
+
+/// Final drain + footer; the file is a complete document after this.
+fn finish_trace(stream: lastmile_repro::obs::trace::TraceStream, path: &str) -> Result<(), String> {
+    stream
+        .finish()
         .map_err(|e| format!("write --trace {path}: {e}"))?;
     eprintln!("[trace] wrote {path}");
     Ok(())
@@ -129,22 +141,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    // `--trace` installs the tracer before dispatch so every span of the
-    // run is captured, and drains it after — even when the subcommand
-    // fails, since a trace of a failing run is exactly what you want to
-    // look at.
+    // `--trace` installs the tracer and starts the disk stream before
+    // dispatch so every span of the run is captured, and finishes it
+    // after — even when the subcommand fails, since a trace of a failing
+    // run is exactly what you want to look at.
     let trace_path = flags.optional("trace").map(str::to_string);
-    if trace_path.is_some() {
-        lastmile_repro::obs::trace::install();
-    }
+    let trace_stream = match trace_path.as_deref().map(start_trace).transpose() {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let result = match cmd.as_str() {
         "classify" => classify::run(&flags),
         "hygiene" => hygiene::run(&flags),
         "simulate" => simulate::run(&flags),
         "throughput" => throughput::run(&flags),
+        "serve" => serve::run(&flags),
         other => Err(format!("unknown subcommand {other}\n{}", usage())),
     };
-    let result = match (result, trace_path.as_deref().map(write_trace)) {
+    let finished = trace_stream
+        .map(|stream| finish_trace(stream, trace_path.as_deref().expect("stream implies path")));
+    let result = match (result, finished) {
         (Ok(()), Some(Err(e))) => Err(e),
         (Err(e), Some(Err(te))) => {
             eprintln!("error: {te}");

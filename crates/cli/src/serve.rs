@@ -1,0 +1,295 @@
+//! `lastmile serve`: the always-on congestion query daemon.
+//!
+//! Startup runs the exact `classify` analysis (same flags, same
+//! two-pass ingest, same series cache — a warm `--cache-dir` snapshot
+//! skips recomputation), then serves the results over a bounded
+//! worker pool (`lastmile-serve`) until SIGTERM/SIGINT:
+//!
+//! | endpoint                      | payload                                             |
+//! |-------------------------------|-----------------------------------------------------|
+//! | `GET /v1/classify`            | the full `classify --json` document, byte-identical |
+//! | `GET /v1/classify/{asn}`      | one ASN's classification document                   |
+//! | `GET /v1/series/{asn}?from=&to=` | aggregated queuing-delay bins (half-open window) |
+//! | `GET /v1/populations[?format=csv]` | the per-population stats table (JSON or CSV)   |
+//! | `GET /healthz`                | liveness                                            |
+//! | `GET /metrics`                | `{run: RunMetrics, serve: ServeMetrics}` JSON       |
+//!
+//! Shutdown drains queued and in-flight requests, then re-persists the
+//! series-cache snapshot (if one is active) so series built for queries
+//! survive the restart.
+
+use crate::classify::{analyze_file_with_cache, classification_doc, classification_json};
+use crate::input::create_parent_dirs;
+use crate::stats::{emit_stats, wants_stats};
+use crate::Flags;
+use lastmile_repro::core::pipeline::PopulationAnalysis;
+use lastmile_repro::obs::{
+    RunMetrics, RunMetricsSnapshot, ServeEndpoint, ServeMetrics, ServeMetricsSnapshot, StageTimer,
+};
+use lastmile_repro::prefix::Asn;
+use lastmile_repro::serve::http::{Request, Response};
+use lastmile_repro::serve::server::Handler;
+use lastmile_repro::serve::{signal, Server, ServerConfig};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything the request handler needs, built once before the first
+/// `accept`. Classification responses are pre-rendered (the corpus is
+/// immutable for the daemon's lifetime — live re-ingest is a ROADMAP
+/// lever); metrics documents render per request so gauges stay live.
+struct ServeState {
+    /// Exact `classify --json` bytes for `GET /v1/classify`.
+    classify_all: String,
+    /// Pre-rendered single-ASN documents.
+    classify_by_asn: BTreeMap<Asn, String>,
+    /// Aggregated signal points per ASN for `/v1/series`.
+    series_by_asn: BTreeMap<Asn, SeriesData>,
+    metrics: Arc<RunMetrics>,
+    serve_metrics: Arc<ServeMetrics>,
+    /// Hidden test hook (`--serve-delay-ms`): sleep this long in the
+    /// handler, so tests can park requests in flight deterministically.
+    delay: Option<Duration>,
+}
+
+/// One ASN's aggregated queuing-delay signal, ready to slice.
+struct SeriesData {
+    bin_seconds: i64,
+    coverage: f64,
+    max_ms: Option<f64>,
+    /// `(bin start unix seconds, median queuing delay ms)`; `None` where
+    /// the sanity filter left the bin empty.
+    points: Vec<(i64, Option<f64>)>,
+}
+
+/// `GET /v1/series/{asn}` response document.
+#[derive(Serialize)]
+struct SeriesDoc {
+    asn: Asn,
+    bin_seconds: i64,
+    from: i64,
+    to: i64,
+    coverage: f64,
+    max_agg_delay_ms: Option<f64>,
+    points: Vec<SeriesPoint>,
+}
+
+/// One aggregated bin: its start time and the population-median queuing
+/// delay (`null` where the sanity filter left the bin empty).
+#[derive(Serialize)]
+struct SeriesPoint {
+    t: i64,
+    ms: Option<f64>,
+}
+
+/// `GET /metrics` response document.
+#[derive(Serialize)]
+struct MetricsDoc {
+    run: RunMetricsSnapshot,
+    serve: ServeMetricsSnapshot,
+}
+
+pub fn run(flags: &Flags) -> Result<(), String> {
+    // Metrics are always collected: `/metrics` serves them.
+    let metrics = Arc::new(RunMetrics::new());
+    let run_timer = StageTimer::start();
+    let (results, cache) = analyze_file_with_cache(flags, Some(&metrics))?;
+    metrics.set_wall(&run_timer);
+    if results.is_empty() {
+        return Err("no analysable traceroutes in the window".into());
+    }
+
+    let serve_metrics = Arc::new(ServeMetrics::new());
+    let state = Arc::new(ServeState {
+        classify_all: classification_json(&results),
+        classify_by_asn: results
+            .iter()
+            .map(|(asn, a)| (*asn, render_one(*asn, a)))
+            .collect(),
+        series_by_asn: results
+            .iter()
+            .map(|(asn, a)| {
+                (
+                    *asn,
+                    SeriesData {
+                        bin_seconds: a.aggregated.bin().width_secs(),
+                        coverage: a.aggregated.coverage(),
+                        max_ms: a.aggregated.max(),
+                        points: a.aggregated.iter().map(|(t, v)| (t.as_secs(), v)).collect(),
+                    },
+                )
+            })
+            .collect(),
+        metrics: Arc::clone(&metrics),
+        serve_metrics: Arc::clone(&serve_metrics),
+        delay: flags
+            .parsed::<u64>("serve-delay-ms")?
+            .map(Duration::from_millis),
+    });
+
+    let config = ServerConfig {
+        addr: flags
+            .optional("addr")
+            .unwrap_or("127.0.0.1:8437")
+            .to_string(),
+        workers: flags.parsed::<usize>("serve-workers")?.unwrap_or(4),
+        queue: flags.parsed::<usize>("serve-queue")?.unwrap_or(16),
+        retry_after_secs: flags.parsed::<u64>("retry-after")?.unwrap_or(1),
+    };
+    let server = Server::bind(config.clone(), Arc::clone(&serve_metrics))
+        .map_err(|e| format!("bind {}: {e}", config.addr))?;
+    let addr = server.local_addr();
+    eprintln!(
+        "[serve] listening on {addr} ({} workers, queue {}, {} population(s))",
+        config.workers.max(1),
+        config.queue.max(1),
+        results.len()
+    );
+    // Test/orchestration hook: the actual bound address (the port is
+    // ephemeral under `--addr host:0`), written once ready to accept.
+    if let Some(path) = flags.optional("ready-file") {
+        create_parent_dirs("ready-file", path)?;
+        let mut contents = addr.to_string();
+        contents.push('\n');
+        std::fs::write(path, contents).map_err(|e| format!("write --ready-file {path}: {e}"))?;
+    }
+
+    signal::install();
+    let handler: Arc<Handler> = Arc::new(move |req: &Request| route(req, &state));
+    server
+        .run(handler, signal::flag())
+        .map_err(|e| format!("serve on {addr}: {e}"))?;
+    let served = serve_metrics
+        .requests
+        .load(std::sync::atomic::Ordering::Relaxed);
+    eprintln!("[serve] shutdown: drained, {served} request(s) served");
+    // The startup analysis already persisted once; re-persisting at
+    // shutdown is what keeps this correct when later levers (live
+    // re-ingest) mutate the store while serving.
+    if let Some(cache) = &cache {
+        cache.persist(Some(&metrics))?;
+    }
+    if wants_stats(flags) {
+        emit_stats(flags, &metrics)?;
+    }
+    Ok(())
+}
+
+/// Pretty-print one ASN's document with a trailing newline (the same
+/// rendering `classify --json` gives the array elements).
+fn render_one(asn: Asn, a: &PopulationAnalysis) -> String {
+    let mut s = serde_json::to_string_pretty(&classification_doc(asn, a)).expect("json encodes");
+    s.push('\n');
+    s
+}
+
+fn route(req: &Request, state: &ServeState) -> Response {
+    if let Some(delay) = state.delay {
+        std::thread::sleep(delay);
+    }
+    match req.path.as_str() {
+        "/healthz" => Response::json(200, "{\"status\":\"ok\"}\n").endpoint(ServeEndpoint::Healthz),
+        "/metrics" => {
+            let doc = MetricsDoc {
+                run: state.metrics.snapshot(),
+                serve: state.serve_metrics.snapshot(),
+            };
+            let mut body = serde_json::to_string_pretty(&doc).expect("metrics doc encodes");
+            body.push('\n');
+            Response::json(200, body).endpoint(ServeEndpoint::Metrics)
+        }
+        "/v1/classify" => {
+            Response::json(200, state.classify_all.clone()).endpoint(ServeEndpoint::Classify)
+        }
+        "/v1/populations" => populations(req, state),
+        path => {
+            if let Some(rest) = path.strip_prefix("/v1/classify/") {
+                classify_one(rest, state)
+            } else if let Some(rest) = path.strip_prefix("/v1/series/") {
+                series(rest, req, state)
+            } else {
+                Response::json(404, "{\"error\":\"no such endpoint\"}\n")
+            }
+        }
+    }
+}
+
+/// Parse the `{asn}` path segment (`0` is the "all probes" population).
+fn parse_asn(segment: &str) -> Result<Asn, Response> {
+    segment
+        .parse::<Asn>()
+        .map_err(|_| Response::json(400, format!("{{\"error\":\"invalid asn {segment:?}\"}}\n")))
+}
+
+fn classify_one(segment: &str, state: &ServeState) -> Response {
+    let resp = match parse_asn(segment) {
+        Ok(asn) => match state.classify_by_asn.get(&asn) {
+            Some(doc) => Response::json(200, doc.clone()),
+            None => Response::json(404, format!("{{\"error\":\"unknown asn {asn}\"}}\n")),
+        },
+        Err(resp) => resp,
+    };
+    resp.endpoint(ServeEndpoint::Classify)
+}
+
+fn series(segment: &str, req: &Request, state: &ServeState) -> Response {
+    let parse_bound = |key: &str, default: i64| -> Result<i64, Response> {
+        match req.query_param(key) {
+            None | Some("") => Ok(default),
+            Some(v) => v.parse::<i64>().map_err(|_| {
+                Response::json(400, format!("{{\"error\":\"invalid {key}={v:?}\"}}\n"))
+            }),
+        }
+    };
+    let resp = match (
+        parse_asn(segment),
+        parse_bound("from", i64::MIN),
+        parse_bound("to", i64::MAX),
+    ) {
+        (Ok(asn), Ok(from), Ok(to)) => match state.series_by_asn.get(&asn) {
+            Some(data) => {
+                // Half-open [from, to), like the analysis window.
+                let points: Vec<SeriesPoint> = data
+                    .points
+                    .iter()
+                    .filter(|(t, _)| *t >= from && *t < to)
+                    .map(|&(t, ms)| SeriesPoint { t, ms })
+                    .collect();
+                let doc = SeriesDoc {
+                    asn,
+                    bin_seconds: data.bin_seconds,
+                    from,
+                    to,
+                    coverage: data.coverage,
+                    max_agg_delay_ms: data.max_ms,
+                    points,
+                };
+                let mut body = serde_json::to_string_pretty(&doc).expect("series doc encodes");
+                body.push('\n');
+                Response::json(200, body)
+            }
+            None => Response::json(404, format!("{{\"error\":\"unknown asn {asn}\"}}\n")),
+        },
+        (Err(resp), _, _) | (_, Err(resp), _) | (_, _, Err(resp)) => resp,
+    };
+    resp.endpoint(ServeEndpoint::Series)
+}
+
+fn populations(req: &Request, state: &ServeState) -> Response {
+    let snapshot = state.metrics.snapshot();
+    let resp = match req.query_param("format") {
+        Some("csv") => Response::csv(200, snapshot.populations_csv()),
+        None | Some("json") => {
+            let mut body = serde_json::to_string_pretty(&snapshot.populations)
+                .expect("population table encodes");
+            body.push('\n');
+            Response::json(200, body)
+        }
+        Some(other) => Response::json(
+            400,
+            format!("{{\"error\":\"unknown format {other:?} (json|csv)\"}}\n"),
+        ),
+    };
+    resp.endpoint(ServeEndpoint::Populations)
+}

@@ -1,6 +1,7 @@
 //! Shared `--stats` / `--stats-out` / `--populations-csv` emission for
 //! the analysis subcommands (`classify`, `hygiene`).
 
+use crate::input::create_parent_dirs;
 use crate::Flags;
 use lastmile_repro::obs::RunMetrics;
 
@@ -22,12 +23,16 @@ pub fn emit_stats(flags: &Flags, metrics: &RunMetrics) -> Result<(), String> {
     if flags.switch("stats") || flags.optional("stats-out").is_some() {
         let json = snapshot.to_json();
         match flags.optional("stats-out") {
-            Some(path) => std::fs::write(path, &json)
-                .map_err(|e| format!("cannot write --stats-out {path}: {e}"))?,
+            Some(path) => {
+                create_parent_dirs("stats-out", path)?;
+                std::fs::write(path, &json)
+                    .map_err(|e| format!("cannot write --stats-out {path}: {e}"))?
+            }
             None => eprint!("{json}"),
         }
     }
     if let Some(path) = flags.optional("populations-csv") {
+        create_parent_dirs("populations-csv", path)?;
         std::fs::write(path, snapshot.populations_csv())
             .map_err(|e| format!("cannot write --populations-csv {path}: {e}"))?;
         eprintln!(

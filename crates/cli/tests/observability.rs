@@ -240,6 +240,70 @@ fn trace_stats_and_csv_artifacts() {
 }
 
 #[test]
+fn artifact_flags_create_missing_parent_dirs() {
+    // `--quarantine`, `--stats-out`, and `--populations-csv` into
+    // directories that don't exist yet must create them (matching the
+    // experiment runners' CSV writers) instead of failing at the end of
+    // an otherwise-complete run.
+    let dir = std::env::temp_dir().join(format!("lastmile-obs-mkdir-{}", std::process::id()));
+    let dir_s = dir.to_str().unwrap();
+    let (_, err, ok) = run(&[
+        "simulate",
+        "--scenario",
+        "anchor",
+        "--out",
+        dir_s,
+        "--days",
+        "5",
+    ]);
+    assert!(ok, "simulate failed: {err}");
+    let trs = dir.join("traceroutes.jsonl");
+    let probes = dir.join("probes.json");
+    let quarantine = dir.join("triage/deep/quarantine.jsonl");
+    let stats = dir.join("out/stats/run.json");
+    let csv = dir.join("out/csv/populations.csv");
+    let (_, err, ok) = run(&[
+        "classify",
+        "--traceroutes",
+        trs.to_str().unwrap(),
+        "--probes",
+        probes.to_str().unwrap(),
+        "--quarantine",
+        quarantine.to_str().unwrap(),
+        "--stats-out",
+        stats.to_str().unwrap(),
+        "--populations-csv",
+        csv.to_str().unwrap(),
+    ]);
+    assert!(ok, "classify failed: {err}");
+    assert!(quarantine.exists(), "quarantine parent dirs not created");
+    assert!(stats.exists(), "stats-out parent dirs not created");
+    assert!(csv.exists(), "populations-csv parent dirs not created");
+
+    // An uncreatable parent (a path component is a regular file) fails
+    // with a located error naming the flag.
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, "not a directory").unwrap();
+    let bad = dir.join("blocker/sub/q.jsonl");
+    let (_, err, ok) = run(&[
+        "classify",
+        "--traceroutes",
+        trs.to_str().unwrap(),
+        "--probes",
+        probes.to_str().unwrap(),
+        "--quarantine",
+        bad.to_str().unwrap(),
+    ]);
+    assert!(!ok, "classify should fail on an uncreatable parent");
+    assert!(
+        err.contains("cannot create directory") && err.contains("--quarantine"),
+        "error not located: {err}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn hygiene_accepts_stats_flags() {
     let dir = std::env::temp_dir().join(format!("lastmile-obs-hyg-{}", std::process::id()));
     let dir_s = dir.to_str().unwrap();

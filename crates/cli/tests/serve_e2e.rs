@@ -1,0 +1,388 @@
+//! End-to-end tests for the `lastmile serve` daemon: spawn the real
+//! binary on an ephemeral port (`--addr 127.0.0.1:0` + `--ready-file`),
+//! then talk plain HTTP/1.1 over `std::net::TcpStream`.
+//!
+//! Pinned behaviors, matching DESIGN.md's serving contract:
+//!
+//! * `/v1/classify` bytes are identical to batch `classify --json`
+//!   stdout — even under concurrent requests;
+//! * the populations CSV matches `--populations-csv` output modulo the
+//!   timing column;
+//! * a saturated accept queue answers `503` with `Retry-After` while
+//!   queued requests still complete (and no worker panics);
+//! * SIGTERM drains in-flight requests, re-persists the series-cache
+//!   snapshot, and exits 0.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn lastmile_bin() -> PathBuf {
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop(); // deps/
+    path.pop(); // debug/
+    path.push(format!("lastmile{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(lastmile_bin())
+        .args(args)
+        .output()
+        .expect("spawn lastmile");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// Simulate the anchor fixture into `dir`, returning the traceroute and
+/// probe file paths.
+fn fixture(dir: &Path) -> (PathBuf, PathBuf) {
+    let (_, err, ok) = run(&[
+        "simulate",
+        "--scenario",
+        "anchor",
+        "--out",
+        dir.to_str().unwrap(),
+        "--days",
+        "5",
+    ]);
+    assert!(ok, "simulate failed: {err}");
+    (dir.join("traceroutes.jsonl"), dir.join("probes.json"))
+}
+
+/// Spawn `lastmile serve` with piped stderr and wait for the ready file
+/// to appear, returning the child and the bound address.
+fn spawn_serve(dir: &Path, extra: &[&str]) -> (Child, String) {
+    let (trs, probes) = fixture(dir);
+    let ready = dir.join("ready");
+    let mut args = vec![
+        "serve".to_string(),
+        "--traceroutes".into(),
+        trs.to_str().unwrap().into(),
+        "--probes".into(),
+        probes.to_str().unwrap().into(),
+        "--addr".into(),
+        "127.0.0.1:0".into(),
+        "--ready-file".into(),
+        ready.to_str().unwrap().into(),
+    ];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let mut child = Command::new(lastmile_bin())
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn lastmile serve");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let addr = loop {
+        if let Ok(contents) = std::fs::read_to_string(&ready) {
+            if contents.ends_with('\n') {
+                break contents.trim().to_string();
+            }
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            let out = child.wait_with_output().expect("collect output");
+            panic!(
+                "serve exited before ready ({status}): {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        assert!(Instant::now() < deadline, "serve never became ready");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (child, addr)
+}
+
+/// SIGTERM the daemon and collect (stderr, success).
+fn terminate(child: Child) -> (String, bool) {
+    let ok = Command::new("kill")
+        .arg(child.id().to_string())
+        .status()
+        .expect("spawn kill")
+        .success();
+    assert!(ok, "kill failed");
+    let out = child.wait_with_output().expect("collect serve output");
+    (
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// One blocking HTTP/1.1 GET; the server always closes the connection,
+/// so the body runs to EOF.
+fn http_get(addr: &str, target: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: lastmile\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let pos = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .unwrap_or_else(|| panic!("no head terminator in {:?}", String::from_utf8_lossy(&raw)));
+    let head = String::from_utf8_lossy(&raw[..pos]).into_owned();
+    let body = raw[pos + 4..].to_vec();
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {head:?}"));
+    let headers = lines
+        .map(|l| {
+            let (k, v) = l
+                .split_once(':')
+                .unwrap_or_else(|| panic!("bad header {l:?}"));
+            (k.trim().to_ascii_lowercase(), v.trim().to_string())
+        })
+        .collect();
+    (status, headers, body)
+}
+
+fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Drop a CSV's trailing (timing) column, which legitimately differs
+/// between two runs over the same corpus.
+fn strip_last_column(csv: &str) -> String {
+    csv.lines()
+        .map(|line| line.rsplit_once(',').expect("csv has columns").0)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn concurrent_responses_match_batch_output() {
+    let dir = std::env::temp_dir().join(format!("lastmile-serve-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (child, addr) = spawn_serve(&dir, &[]);
+
+    // The batch outputs the daemon must reproduce byte-for-byte.
+    let trs = dir.join("traceroutes.jsonl");
+    let probes = dir.join("probes.json");
+    let csv_path = dir.join("populations.csv");
+    let (batch_json, err, ok) = run(&[
+        "classify",
+        "--traceroutes",
+        trs.to_str().unwrap(),
+        "--probes",
+        probes.to_str().unwrap(),
+        "--json",
+        "--populations-csv",
+        csv_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "batch classify failed: {err}");
+
+    // Eight concurrent full-classification requests, all byte-identical
+    // to the batch stdout.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || http_get(&addr, "/v1/classify"))
+            })
+            .collect();
+        for handle in handles {
+            let (status, headers, body) = handle.join().expect("client thread");
+            assert_eq!(status, 200);
+            assert_eq!(header(&headers, "content-type"), Some("application/json"));
+            assert_eq!(
+                header(&headers, "content-length"),
+                Some(body.len().to_string().as_str())
+            );
+            assert_eq!(header(&headers, "connection"), Some("close"));
+            assert_eq!(body, batch_json.as_bytes(), "daemon diverged from batch");
+        }
+    });
+
+    // A single ASN's document equals its element of the batch array.
+    let batch: serde_json::Value = serde_json::from_str(&batch_json).expect("batch JSON");
+    let first = &batch.as_array().expect("array")[0];
+    let asn = first["asn"].as_u64().expect("asn");
+    let (status, _, body) = http_get(&addr, &format!("/v1/classify/{asn}"));
+    assert_eq!(status, 200);
+    let doc: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&body).unwrap()).expect("classify doc");
+    assert_eq!(&doc, first);
+    let (status, _, _) = http_get(&addr, "/v1/classify/999999");
+    assert_eq!(status, 404);
+
+    // The populations CSV matches --populations-csv modulo timings.
+    let (status, headers, body) = http_get(&addr, "/v1/populations?format=csv");
+    assert_eq!(status, 200);
+    assert_eq!(
+        header(&headers, "content-type"),
+        Some("text/csv; charset=utf-8")
+    );
+    let batch_csv = std::fs::read_to_string(&csv_path).unwrap();
+    assert_eq!(
+        strip_last_column(std::str::from_utf8(&body).unwrap()),
+        strip_last_column(&batch_csv),
+        "daemon population table diverged from batch CSV"
+    );
+
+    // Series for the same ASN: well-formed, bounded by the query window.
+    let (status, _, body) = http_get(&addr, &format!("/v1/series/{asn}"));
+    assert_eq!(status, 200);
+    let series: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&body).unwrap()).expect("series doc");
+    let points = series["points"].as_array().expect("points");
+    assert!(!points.is_empty());
+    let t0 = points[0]["t"].as_i64().expect("t");
+    let (status, _, body) = http_get(&addr, &format!("/v1/series/{asn}?from={}", t0 + 1));
+    assert_eq!(status, 200);
+    let clipped: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&body).unwrap()).unwrap();
+    let clipped_points = clipped["points"].as_array().unwrap();
+    assert_eq!(
+        clipped_points.len(),
+        points.len() - 1,
+        "from= is inclusive-exclusive"
+    );
+    let (status, _, _) = http_get(&addr, &format!("/v1/series/{asn}?from=banana"));
+    assert_eq!(status, 400);
+
+    // Liveness and metrics.
+    let (status, _, body) = http_get(&addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"{\"status\":\"ok\"}\n");
+    let (status, _, body) = http_get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    let metrics: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&body).unwrap()).expect("metrics doc");
+    assert!(metrics["run"]["traceroutes_ingested"].as_u64().unwrap() > 0);
+    let serve = &metrics["serve"];
+    assert!(serve["requests"].as_u64().unwrap() >= 8);
+    assert_eq!(serve["worker_panics"].as_u64(), Some(0));
+    assert_eq!(serve["rejected_busy"].as_u64(), Some(0));
+    assert!(serve["latency"]["classify"]["count"].as_u64().unwrap() >= 8);
+
+    let (stderr, ok) = terminate(child);
+    assert!(ok, "serve did not exit cleanly: {stderr}");
+    assert!(stderr.contains("[serve] shutdown: drained"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn saturated_queue_answers_503_with_retry_after() {
+    let dir = std::env::temp_dir().join(format!("lastmile-serve-busy-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // One worker, one queue slot, and a handler slow enough that two
+    // staggered requests hold both; the third must bounce.
+    let (child, addr) = spawn_serve(
+        &dir,
+        &[
+            "--serve-workers",
+            "1",
+            "--serve-queue",
+            "1",
+            "--serve-delay-ms",
+            "1500",
+            "--retry-after",
+            "3",
+        ],
+    );
+
+    let slow = |addr: String| {
+        std::thread::spawn(move || {
+            let (status, _, body) = http_get(&addr, "/healthz");
+            (status, body)
+        })
+    };
+    let a = slow(addr.clone()); // → in flight (worker sleeps 1.5s)
+    std::thread::sleep(Duration::from_millis(400));
+    let b = slow(addr.clone()); // → parked in the accept queue
+    std::thread::sleep(Duration::from_millis(400));
+
+    // The pool is saturated: the acceptor itself must bounce us, with
+    // the configured Retry-After and a JSON error body.
+    let (status, headers, body) = http_get(&addr, "/healthz");
+    assert_eq!(status, 503, "expected a bounce while saturated");
+    assert_eq!(header(&headers, "retry-after"), Some("3"));
+    let err: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&body).unwrap()).expect("503 body is JSON");
+    assert_eq!(err["error"].as_str(), Some("accept queue full"));
+    assert_eq!(err["retry_after_secs"].as_u64(), Some(3));
+
+    // Both the in-flight and the queued request still complete.
+    for handle in [a, b] {
+        let (status, body) = handle.join().expect("slow client");
+        assert_eq!(status, 200, "queued request must not be dropped");
+        assert_eq!(body, b"{\"status\":\"ok\"}\n");
+    }
+
+    // The daemon survived: metrics report the bounce and zero panics.
+    let (status, _, body) = http_get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    let metrics: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&body).unwrap()).expect("metrics doc");
+    let serve = &metrics["serve"];
+    assert!(serve["rejected_busy"].as_u64().unwrap() >= 1, "{serve}");
+    assert_eq!(serve["worker_panics"].as_u64(), Some(0));
+    assert!(serve["queue_max_depth"].as_u64().unwrap() >= 1, "{serve}");
+
+    let (stderr, ok) = terminate(child);
+    assert!(ok, "serve did not exit cleanly: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigterm_drains_in_flight_and_repersists_snapshot() {
+    let dir = std::env::temp_dir().join(format!("lastmile-serve-term-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_dir = dir.join("cache");
+    let (child, addr) = spawn_serve(
+        &dir,
+        &[
+            "--serve-delay-ms",
+            "1500",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ],
+    );
+    // Startup analysis persisted the first snapshot.
+    let snapshot = cache_dir.join("series.lmss");
+    assert!(snapshot.exists(), "startup snapshot missing");
+
+    // Park a request in flight, then SIGTERM mid-handling.
+    let in_flight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || http_get(&addr, "/v1/classify"))
+    };
+    std::thread::sleep(Duration::from_millis(400));
+    let (stderr, ok) = terminate(child);
+
+    // The in-flight request completed with a full, valid body.
+    let (status, headers, body) = in_flight.join().expect("in-flight client");
+    assert_eq!(status, 200, "in-flight request was dropped by shutdown");
+    assert_eq!(
+        header(&headers, "content-length"),
+        Some(body.len().to_string().as_str())
+    );
+    serde_json::from_str::<serde_json::Value>(std::str::from_utf8(&body).unwrap())
+        .expect("complete JSON body");
+
+    assert!(ok, "serve did not exit cleanly: {stderr}");
+    assert!(stderr.contains("[serve] shutdown: drained"), "{stderr}");
+    // Snapshot persisted twice: once at startup, once at shutdown.
+    assert_eq!(
+        stderr.matches("[cache] saved").count(),
+        2,
+        "expected startup + shutdown persists: {stderr}"
+    );
+    assert!(snapshot.exists(), "shutdown snapshot missing");
+    std::fs::remove_dir_all(&dir).ok();
+}

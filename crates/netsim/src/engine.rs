@@ -31,6 +31,7 @@ use crate::rng;
 use crate::world::{SimProbe, World};
 use lastmile_atlas::measurement::ScheduledRun;
 use lastmile_atlas::{Hop, Reply, TracerouteResult};
+use lastmile_obs::trace;
 #[cfg(test)]
 use lastmile_timebase::UnixTime;
 use lastmile_timebase::{BinSpec, TimeRange};
@@ -113,6 +114,13 @@ impl<'w> TracerouteEngine<'w> {
         if !probe.is_deployed(window.start()) && !probe.is_deployed(window.end() - 1) {
             return;
         }
+        // Per-probe simulate cost shows up as one span per probe in
+        // `--trace` output (survey-scale exports are probe-major loops).
+        let _span = trace::span_with("simulate_probe", |a| {
+            a.u64("probe", u64::from(probe.meta.id.0))
+                .u64("asn", u64::from(probe.meta.asn))
+                .str("family", "v6");
+        });
         let nth = u128::from(probe.meta.id.0 % 4096);
         let path_base = PathSpec {
             // Unique-local home side (fd00::/8): private per the paper's
@@ -173,6 +181,13 @@ impl<'w> TracerouteEngine<'w> {
         if !probe.is_deployed(window.start()) && !probe.is_deployed(window.end() - 1) {
             return;
         }
+        // Per-probe simulate cost shows up as one span per probe in
+        // `--trace` output (survey-scale exports are probe-major loops).
+        let _span = trace::span_with("simulate_probe", |a| {
+            a.u64("probe", u64::from(probe.meta.id.0))
+                .u64("asn", u64::from(probe.meta.asn))
+                .str("family", "v4");
+        });
         let bins = BinSpec::thirty_minutes();
         let seed = self.world.seed();
         let prb = u64::from(probe.meta.id.0);

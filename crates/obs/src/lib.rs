@@ -547,6 +547,133 @@ impl StageTimer {
     }
 }
 
+/// Request-side counters, gauges, and latency histograms for the
+/// `lastmile serve` daemon. All atomics; the acceptor, every worker, and
+/// the `/metrics` handler share one instance by `Arc`.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Connections accepted and queued (or handled inline).
+    pub accepted: AtomicU64,
+    /// Connections refused with 503 because the accept queue was full.
+    pub rejected_busy: AtomicU64,
+    /// Requests fully answered (any status), across all workers.
+    pub requests: AtomicU64,
+    /// Worker iterations that panicked while handling a connection. The
+    /// worker survives (the panic is caught); nonzero means a handler
+    /// bug.
+    pub worker_panics: AtomicU64,
+    /// Requests being handled right now (gauge).
+    pub in_flight: AtomicU64,
+    /// Connections sitting in the accept queue right now (gauge).
+    pub queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    pub queue_max_depth: AtomicU64,
+    /// Per-endpoint request latency (accept-to-response-flushed), keyed
+    /// like the `/metrics` document: classify / series / populations /
+    /// healthz / metrics / other.
+    pub latency_classify: AtomicHistogram,
+    pub latency_series: AtomicHistogram,
+    pub latency_populations: AtomicHistogram,
+    pub latency_healthz: AtomicHistogram,
+    pub latency_metrics: AtomicHistogram,
+    pub latency_other: AtomicHistogram,
+}
+
+/// Endpoint families a served request is attributed to (one latency
+/// histogram each in [`ServeMetrics`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeEndpoint {
+    Classify,
+    Series,
+    Populations,
+    Healthz,
+    Metrics,
+    Other,
+}
+
+impl ServeMetrics {
+    pub fn new() -> ServeMetrics {
+        ServeMetrics::default()
+    }
+
+    /// Enqueue accounting for the accept queue (tracks the high-water
+    /// mark).
+    pub fn queue_push(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_max_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Dequeue accounting (saturating: a racing reader can observe
+    /// push/pop out of order).
+    pub fn queue_pop(&self) {
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+    }
+
+    /// Record one answered request against its endpoint's histogram.
+    pub fn record_request(&self, endpoint: ServeEndpoint, nanos: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let hist = match endpoint {
+            ServeEndpoint::Classify => &self.latency_classify,
+            ServeEndpoint::Series => &self.latency_series,
+            ServeEndpoint::Populations => &self.latency_populations,
+            ServeEndpoint::Healthz => &self.latency_healthz,
+            ServeEndpoint::Metrics => &self.latency_metrics,
+            ServeEndpoint::Other => &self.latency_other,
+        };
+        hist.record(nanos);
+    }
+
+    /// Plain-value export for the `/metrics` JSON document.
+    pub fn snapshot(&self) -> ServeMetricsSnapshot {
+        ServeMetricsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_max_depth: self.queue_max_depth.load(Ordering::Relaxed),
+            latency: ServeLatencyStats {
+                classify: self.latency_classify.summary(),
+                series: self.latency_series.summary(),
+                populations: self.latency_populations.summary(),
+                healthz: self.latency_healthz.summary(),
+                metrics: self.latency_metrics.summary(),
+                other: self.latency_other.summary(),
+            },
+        }
+    }
+}
+
+/// Per-endpoint latency summaries inside [`ServeMetricsSnapshot`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct ServeLatencyStats {
+    pub classify: HistogramSummary,
+    pub series: HistogramSummary,
+    pub populations: HistogramSummary,
+    pub healthz: HistogramSummary,
+    pub metrics: HistogramSummary,
+    pub other: HistogramSummary,
+}
+
+/// Plain-value export of [`ServeMetrics`]; the `serve` key of the
+/// daemon's `/metrics` JSON.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct ServeMetricsSnapshot {
+    pub accepted: u64,
+    pub rejected_busy: u64,
+    pub requests: u64,
+    pub worker_panics: u64,
+    pub in_flight: u64,
+    pub queue_depth: u64,
+    pub queue_max_depth: u64,
+    pub latency: ServeLatencyStats,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -755,5 +882,53 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn serve_metrics_snapshot_and_queue_gauges() {
+        let m = ServeMetrics::new();
+        m.accepted.fetch_add(3, Ordering::Relaxed);
+        m.queue_push();
+        m.queue_push();
+        m.queue_pop();
+        m.record_request(ServeEndpoint::Classify, 1_000);
+        m.record_request(ServeEndpoint::Classify, 2_000);
+        m.record_request(ServeEndpoint::Healthz, 500);
+        m.rejected_busy.fetch_add(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.accepted, 3);
+        assert_eq!(s.rejected_busy, 1);
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.worker_panics, 0);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.queue_max_depth, 2);
+        assert_eq!(s.latency.classify.count, 2);
+        assert_eq!(s.latency.classify.max_nanos, 2_000);
+        assert_eq!(s.latency.healthz.count, 1);
+        assert_eq!(s.latency.series.count, 0);
+        // Pop below zero saturates.
+        m.queue_pop();
+        m.queue_pop();
+        assert_eq!(m.snapshot().queue_depth, 0);
+        // The document keeps its golden keys.
+        let json = serde_json::to_string_pretty(&s).expect("serve snapshot serializes");
+        for key in [
+            "accepted",
+            "rejected_busy",
+            "requests",
+            "worker_panics",
+            "in_flight",
+            "queue_depth",
+            "queue_max_depth",
+            "latency",
+            "classify",
+            "series",
+            "populations",
+            "healthz",
+            "metrics",
+            "other",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 }

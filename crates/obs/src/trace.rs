@@ -1,6 +1,7 @@
-//! Hand-rolled span tracing: per-thread lock-free ring buffers of
-//! begin / end / instant events, drained at run end into Chrome
-//! trace-event JSON (loadable in Perfetto or `chrome://tracing`).
+//! Hand-rolled span tracing: per-thread ring buffers of begin / end /
+//! instant events, drained — incrementally while the process runs, and
+//! once more at exit — into Chrome trace-event JSON (loadable in
+//! Perfetto or `chrome://tracing`).
 //!
 //! # Design
 //!
@@ -8,10 +9,11 @@
 //! buffer is a fixed-capacity single-producer ring: only its owning
 //! thread writes events (an index cached in thread-local storage finds
 //! the buffer without touching the registry lock after the first event),
-//! so recording is one monotonic clock read plus a relaxed/release index
-//! bump — no locks, no allocation beyond the event's args. When a ring
-//! wraps, the *oldest* events are overwritten and counted as dropped;
-//! the drain re-balances begin/end pairs so a wrapped trace still loads.
+//! so recording is one monotonic clock read, one uncontended slot lock,
+//! and a relaxed/release index bump — no allocation beyond the event's
+//! args. When a ring wraps, the *oldest* undrained events are
+//! overwritten and counted as dropped; the drain re-balances begin/end
+//! pairs so a wrapped trace still loads.
 //!
 //! # Zero cost when disabled
 //!
@@ -21,18 +23,25 @@
 //! argument-building closures are never invoked. The `disabled-path`
 //! test below pins this to nanoseconds per call.
 //!
-//! # Drain contract
+//! # Incremental drain
 //!
-//! [`Tracer::drain_chrome_json`] must run after worker threads have
-//! quiesced (the CLI drains after its subcommand returns; every worker
-//! pool in this workspace is scoped, so joining is structural). The
-//! caller's own thread may keep recording up to the drain call itself.
+//! Each buffer carries a drain cursor; [`TraceSink`] consumes the events
+//! recorded since the previous drain and appends them to its writer,
+//! keeping per-thread begin/end depth across chunks so the finished file
+//! always has matched pairs. [`TraceStream`] runs that drain on a
+//! background thread every few hundred milliseconds, so a long-running
+//! process (the `serve` daemon, a survey over a big corpus) persists its
+//! spans as it goes instead of losing the oldest to ring wrap-around at
+//! exit. Slot-level locks make the drain safe against threads that are
+//! still recording; [`Tracer::drain_chrome_json`] remains the one-shot
+//! form (header + everything undrained + footer) for short runs and
+//! tests.
 
 use std::cell::RefCell;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Events each thread's ring can hold before the oldest are overwritten.
 pub const DEFAULT_THREAD_CAPACITY: usize = 64 * 1024;
@@ -84,54 +93,64 @@ struct Event {
     args: Vec<(&'static str, ArgValue)>,
 }
 
-/// One thread's event ring. Single producer (the owning thread); drained
-/// by [`Tracer::drain_chrome_json`] after the thread has quiesced.
+/// One thread's event ring. Single producer (the owning thread);
+/// drained by a [`TraceSink`] — possibly while the owner still records,
+/// which the per-slot locks make safe.
 struct ThreadBuffer {
     tid: u64,
     name: String,
-    slots: Box<[RefCell<Option<Event>>]>,
-    /// Total events ever written; `head > capacity` means the ring
-    /// wrapped and `head - capacity` oldest events were dropped.
+    /// Slot locks are uncontended except in the instant a drain passes
+    /// the owner's write position, so a push pays one CAS.
+    slots: Box<[Mutex<Option<Event>>]>,
+    /// Total events ever written; `head - drained > capacity` means the
+    /// ring wrapped over undrained events, which are lost.
     head: AtomicU64,
+    /// Total events consumed by drains. Written only under the tracer's
+    /// registry lock (one drainer at a time).
+    drained: AtomicU64,
 }
-
-// SAFETY: `slots` is written only by the owning thread and read by the
-// drainer strictly after that thread has quiesced (the drain contract
-// above); `head`'s release store / acquire load orders the slot write
-// before the drain's read.
-unsafe impl Sync for ThreadBuffer {}
-unsafe impl Send for ThreadBuffer {}
 
 impl ThreadBuffer {
     fn new(tid: u64, name: String, capacity: usize) -> ThreadBuffer {
         ThreadBuffer {
             tid,
             name,
-            slots: (0..capacity.max(1)).map(|_| RefCell::new(None)).collect(),
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
             head: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
         }
     }
 
     /// Owning thread only.
     fn push(&self, event: Event) {
         let head = self.head.load(Ordering::Relaxed);
-        *self.slots[(head % self.slots.len() as u64) as usize].borrow_mut() = Some(event);
+        *self.slots[(head % self.slots.len() as u64) as usize]
+            .lock()
+            .expect("trace slot lock") = Some(event);
         self.head.store(head + 1, Ordering::Release);
     }
 
-    /// Events in write order (oldest surviving first), plus the dropped
-    /// count. Drain-side only.
-    fn drain(&self) -> (Vec<Event>, u64) {
+    /// Events recorded since the last drain, in write order, plus how
+    /// many were lost to ring wrap-around since then. Advances the drain
+    /// cursor. One drainer at a time (the registry lock serializes).
+    fn drain_new(&self) -> (Vec<Event>, u64) {
         let head = self.head.load(Ordering::Acquire);
         let cap = self.slots.len() as u64;
-        let dropped = head.saturating_sub(cap);
-        let mut events = Vec::with_capacity(head.min(cap) as usize);
-        for i in dropped..head {
-            if let Some(e) = self.slots[(i % cap) as usize].borrow().as_ref() {
+        let drained = self.drained.load(Ordering::Relaxed);
+        let start = drained.max(head.saturating_sub(cap));
+        let newly_dropped = start - drained;
+        let mut events = Vec::with_capacity((head - start) as usize);
+        for i in start..head {
+            if let Some(e) = self.slots[(i % cap) as usize]
+                .lock()
+                .expect("trace slot lock")
+                .as_ref()
+            {
                 events.push(e.clone());
             }
         }
-        (events, dropped)
+        self.drained.store(head, Ordering::Relaxed);
+        (events, newly_dropped)
     }
 }
 
@@ -232,120 +251,267 @@ impl Tracer {
         self.push(EventKind::Instant, name, args.0);
     }
 
-    /// Drain every thread's ring into Chrome trace-event JSON.
+    /// Drain every thread's new events into `sink`. Safe while worker
+    /// threads are still recording (they lose at most the events they
+    /// push mid-drain to the *next* drain). The registry lock serializes
+    /// concurrent drainers and briefly blocks first-event registration.
+    pub fn drain_into<W: Write>(&self, sink: &mut TraceSink<W>) -> std::io::Result<()> {
+        let threads = self.threads.lock().expect("tracer registry lock");
+        for buf in threads.iter() {
+            let (events, newly_dropped) = buf.drain_new();
+            sink.consume(buf.tid, &buf.name, &events, newly_dropped)?;
+        }
+        Ok(())
+    }
+
+    /// One-shot drain of everything not yet drained, as a complete
+    /// Chrome trace-event document (header + events + footer).
     ///
-    /// Must run after worker threads have quiesced (see the module docs).
     /// Wrapped rings are re-balanced: end events whose begin was
     /// overwritten are skipped, and spans still open at the buffer's end
     /// are closed at their thread's last timestamp, so the output always
     /// has matched begin/end pairs per thread.
-    pub fn drain_chrome_json(&self, mut w: impl Write) -> std::io::Result<()> {
-        use serde_json::{to_value, Value};
-        // The vendored serde_json has no `Map` type and its `json!`
-        // macro takes flat literals only, so event objects are built as
-        // pair-vecs directly.
-        fn obj(pairs: Vec<(&str, Value)>) -> Value {
-            Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-        }
-        fn metadata(which: &str, tid: u64, name: &str) -> Value {
-            obj(vec![
-                ("ph", to_value("M")),
-                ("name", to_value(which)),
-                ("pid", to_value(&1u32)),
-                ("tid", to_value(&tid)),
-                ("args", obj(vec![("name", to_value(name))])),
-            ])
-        }
-        let threads = self.threads.lock().expect("tracer registry lock");
-        writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
-        let mut first = true;
-        let mut emit = |doc: Value, w: &mut dyn Write| -> std::io::Result<()> {
-            if !std::mem::take(&mut first) {
-                writeln!(w, ",")?;
-            }
-            write!(w, "{doc}")
-        };
-        emit(metadata("process_name", 0, "lastmile"), &mut w)?;
-        for buf in threads.iter() {
-            let (events, dropped) = buf.drain();
-            emit(metadata("thread_name", buf.tid, &buf.name), &mut w)?;
-            if dropped > 0 {
-                emit(
-                    obj(vec![
-                        ("ph", to_value("i")),
-                        ("name", to_value("events_dropped")),
-                        ("pid", to_value(&1u32)),
-                        ("tid", to_value(&buf.tid)),
-                        ("ts", to_value(&0.0f64)),
-                        ("s", to_value("t")),
-                        ("args", obj(vec![("dropped", to_value(&dropped))])),
-                    ]),
-                    &mut w,
-                )?;
-            }
-            let mut depth = 0u64;
-            let last_nanos = events.last().map(|e| e.nanos).unwrap_or(0);
-            for event in &events {
-                let ph = match event.kind {
-                    EventKind::Begin => {
-                        depth += 1;
-                        "B"
-                    }
-                    EventKind::End => {
-                        if depth == 0 {
-                            // Its begin was overwritten by a ring wrap.
-                            continue;
-                        }
-                        depth -= 1;
-                        "E"
-                    }
-                    EventKind::Instant => "i",
-                };
-                let mut pairs = vec![
-                    ("ph", to_value(ph)),
-                    ("name", to_value(event.name)),
-                    ("pid", to_value(&1u32)),
-                    ("tid", to_value(&buf.tid)),
-                    ("ts", to_value(&(event.nanos as f64 / 1_000.0))),
-                ];
-                if event.kind == EventKind::Instant {
-                    pairs.push(("s", to_value("t")));
-                }
-                if !event.args.is_empty() {
-                    let args = event
-                        .args
-                        .iter()
-                        .map(|(k, v)| {
-                            let v = match v {
-                                ArgValue::U64(n) => to_value(n),
-                                ArgValue::I64(n) => to_value(n),
-                                ArgValue::F64(n) => to_value(n),
-                                ArgValue::Str(s) => to_value(s),
-                            };
-                            ((*k).to_string(), v)
-                        })
-                        .collect();
-                    pairs.push(("args", Value::Object(args)));
-                }
-                emit(obj(pairs), &mut w)?;
-            }
-            // Close spans still open at the end of the buffer (a guard
-            // alive at drain time, or an end lost to a ring wrap).
-            for _ in 0..depth {
-                emit(
-                    obj(vec![
-                        ("ph", to_value("E")),
-                        ("name", to_value("unclosed")),
-                        ("pid", to_value(&1u32)),
-                        ("tid", to_value(&buf.tid)),
-                        ("ts", to_value(&(last_nanos as f64 / 1_000.0))),
-                    ]),
-                    &mut w,
-                )?;
-            }
-        }
-        writeln!(w, "\n]}}")?;
+    pub fn drain_chrome_json(&self, w: impl Write) -> std::io::Result<()> {
+        let mut sink = TraceSink::new(w)?;
+        self.drain_into(&mut sink)?;
+        sink.finish()?;
         Ok(())
+    }
+}
+
+/// Per-thread emission state a [`TraceSink`] keeps across drains.
+#[derive(Debug, Default)]
+struct SinkThread {
+    /// Open-span depth, so end events whose begin was lost to a ring
+    /// wrap are skipped and spans still open at finish can be closed.
+    depth: u64,
+    /// Last timestamp emitted (µs). Incremental drains clamp to it, so
+    /// the file stays monotonic per thread even if a drain races a ring
+    /// wrap.
+    last_ts_us: f64,
+    /// Events lost to wrap-around, summed across drains.
+    dropped: u64,
+}
+
+/// An incremental Chrome trace-event writer: the header goes out at
+/// construction, each [`Tracer::drain_into`] appends the new events, and
+/// [`TraceSink::finish`] balances still-open spans and writes the
+/// footer. Between drains the file is a truncated-but-parseable-so-far
+/// prefix; after `finish` it is a complete document.
+pub struct TraceSink<W: Write> {
+    w: W,
+    first: bool,
+    threads: std::collections::BTreeMap<u64, SinkThread>,
+}
+
+impl<W: Write> TraceSink<W> {
+    /// Start a trace document: writes the header and process metadata.
+    pub fn new(mut w: W) -> std::io::Result<TraceSink<W>> {
+        writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        let mut sink = TraceSink {
+            w,
+            first: true,
+            threads: std::collections::BTreeMap::new(),
+        };
+        let doc = obj(vec![
+            ("ph", json("M")),
+            ("name", json("process_name")),
+            ("pid", json(&1u32)),
+            ("tid", json(&0u64)),
+            ("args", obj(vec![("name", json("lastmile"))])),
+        ]);
+        sink.emit(doc)?;
+        Ok(sink)
+    }
+
+    fn emit(&mut self, doc: serde_json::Value) -> std::io::Result<()> {
+        if !std::mem::take(&mut self.first) {
+            writeln!(self.w, ",")?;
+        }
+        write!(self.w, "{doc}")
+    }
+
+    /// Append one buffer's chunk of events.
+    fn consume(
+        &mut self,
+        tid: u64,
+        name: &str,
+        events: &[Event],
+        newly_dropped: u64,
+    ) -> std::io::Result<()> {
+        if let std::collections::btree_map::Entry::Vacant(slot) = self.threads.entry(tid) {
+            slot.insert(SinkThread::default());
+            let doc = obj(vec![
+                ("ph", json("M")),
+                ("name", json("thread_name")),
+                ("pid", json(&1u32)),
+                ("tid", json(&tid)),
+                ("args", obj(vec![("name", json(name))])),
+            ]);
+            self.emit(doc)?;
+        }
+        if newly_dropped > 0 {
+            let state = self.threads.get_mut(&tid).expect("tid just inserted");
+            state.dropped += newly_dropped;
+            let ts = state.last_ts_us;
+            self.emit(obj(vec![
+                ("ph", json("i")),
+                ("name", json("events_dropped")),
+                ("pid", json(&1u32)),
+                ("tid", json(&tid)),
+                ("ts", json(&ts)),
+                ("s", json("t")),
+                ("args", obj(vec![("dropped", json(&newly_dropped))])),
+            ]))?;
+        }
+        for event in events {
+            let state = self.threads.get_mut(&tid).expect("tid just inserted");
+            let ph = match event.kind {
+                EventKind::Begin => {
+                    state.depth += 1;
+                    "B"
+                }
+                EventKind::End => {
+                    if state.depth == 0 {
+                        // Its begin was overwritten by a ring wrap.
+                        continue;
+                    }
+                    state.depth -= 1;
+                    "E"
+                }
+                EventKind::Instant => "i",
+            };
+            let ts = (event.nanos as f64 / 1_000.0).max(state.last_ts_us);
+            state.last_ts_us = ts;
+            let mut pairs = vec![
+                ("ph", json(ph)),
+                ("name", json(event.name)),
+                ("pid", json(&1u32)),
+                ("tid", json(&tid)),
+                ("ts", json(&ts)),
+            ];
+            if event.kind == EventKind::Instant {
+                pairs.push(("s", json("t")));
+            }
+            if !event.args.is_empty() {
+                let args = event
+                    .args
+                    .iter()
+                    .map(|(k, v)| {
+                        let v = match v {
+                            ArgValue::U64(n) => json(n),
+                            ArgValue::I64(n) => json(n),
+                            ArgValue::F64(n) => json(n),
+                            ArgValue::Str(s) => json(s),
+                        };
+                        ((*k).to_string(), v)
+                    })
+                    .collect();
+                pairs.push(("args", serde_json::Value::Object(args)));
+            }
+            self.emit(obj(pairs))?;
+        }
+        self.w.flush()
+    }
+
+    /// Close spans still open (a guard alive at drain time, or an end
+    /// lost to a ring wrap), write the footer, and flush.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        let unclosed: Vec<(u64, u64, f64)> = self
+            .threads
+            .iter()
+            .map(|(tid, s)| (*tid, s.depth, s.last_ts_us))
+            .collect();
+        for (tid, depth, ts) in unclosed {
+            for _ in 0..depth {
+                self.emit(obj(vec![
+                    ("ph", json("E")),
+                    ("name", json("unclosed")),
+                    ("pid", json(&1u32)),
+                    ("tid", json(&tid)),
+                    ("ts", json(&ts)),
+                ]))?;
+            }
+        }
+        writeln!(self.w, "\n]}}")?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+// The vendored serde_json has no `Map` type alias and its `json!` macro
+// takes flat literals only, so event objects are built as pair-vecs.
+fn obj(pairs: Vec<(&str, serde_json::Value)>) -> serde_json::Value {
+    serde_json::Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn json<T: serde::Serialize + ?Sized>(v: &T) -> serde_json::Value {
+    serde_json::to_value(v)
+}
+
+/// A background thread that drains the installed global tracer to a file
+/// every `every`, so long-running processes persist spans incrementally
+/// instead of losing the oldest to ring wrap-around at exit.
+///
+/// [`TraceStream::finish`] stops the thread, drains whatever the caller
+/// recorded since the last tick, and completes the document — call it
+/// after worker pools have quiesced for a loss-free tail.
+pub struct TraceStream {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl TraceStream {
+    /// Create `path` (truncating) and start the periodic drain of the
+    /// installed global tracer. Requires [`install`] to have run.
+    pub fn start(path: &str, every: Duration) -> std::io::Result<TraceStream> {
+        let tracer = installed().ok_or_else(|| std::io::Error::other("no tracer installed"))?;
+        TraceStream::start_with(tracer, path, every)
+    }
+
+    /// [`TraceStream::start`] against an explicit tracer (tests, or a
+    /// process with more than one tracer).
+    pub fn start_with(
+        tracer: &'static Tracer,
+        path: &str,
+        every: Duration,
+    ) -> std::io::Result<TraceStream> {
+        let file = std::fs::File::create(path)?;
+        let mut sink = TraceSink::new(std::io::BufWriter::new(file))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("trace-stream".into())
+            .spawn(move || {
+                // Wake every 25 ms to notice `stop` promptly; drain on
+                // the `every` cadence.
+                let tick = Duration::from_millis(25).min(every);
+                let mut since_drain = Duration::ZERO;
+                while !stop_flag.load(Ordering::Acquire) {
+                    std::thread::sleep(tick);
+                    since_drain += tick;
+                    if since_drain >= every {
+                        since_drain = Duration::ZERO;
+                        tracer.drain_into(&mut sink)?;
+                    }
+                }
+                // Final drain after the caller quiesced, then the footer.
+                tracer.drain_into(&mut sink)?;
+                sink.finish()?;
+                Ok(())
+            })
+            .expect("spawn trace-stream thread");
+        Ok(TraceStream { stop, handle })
+    }
+
+    /// Stop the periodic drain, flush everything recorded so far, and
+    /// complete the trace document.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stop.store(true, Ordering::Release);
+        match self.handle.join() {
+            Ok(result) => result,
+            Err(_) => Err(std::io::Error::other("trace-stream thread panicked")),
+        }
     }
 }
 
@@ -531,5 +697,114 @@ mod tests {
         let json = drain_to_string(&Tracer::new());
         let events = parse_events(&json);
         assert_eq!(events.len(), 1, "process_name metadata only");
+    }
+
+    #[test]
+    fn incremental_drain_matches_one_shot_semantics() {
+        let tracer = Tracer::new();
+        let mut sink = TraceSink::new(Vec::new()).unwrap();
+        {
+            let _a = tracer.span("first");
+        }
+        tracer.drain_into(&mut sink).unwrap();
+        // Events recorded after a drain land in the next chunk, spans
+        // left open across a chunk boundary still balance at finish.
+        let _open = tracer.span_with("second", |a| {
+            a.u64("chunk", 2);
+        });
+        tracer.instant_with("mid", |_| {});
+        tracer.drain_into(&mut sink).unwrap();
+        let json = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let events = parse_events(&json);
+        let begins = events.iter().filter(|e| e["ph"] == "B").count();
+        let ends = events.iter().filter(|e| e["ph"] == "E").count();
+        assert_eq!(begins, 2, "both chunks' begins present");
+        assert_eq!(begins, ends, "open span closed at finish");
+        assert!(events.iter().any(|e| e["name"] == "mid"));
+        assert_eq!(
+            events.iter().filter(|e| e["name"] == "thread_name").count(),
+            1,
+            "thread metadata emitted once across chunks"
+        );
+        // Nothing double-drained: "first" appears exactly once as a B.
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e["ph"] == "B" && e["name"] == "first")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn drain_races_recorder_without_duplication() {
+        // A writer thread records continuously while the main thread
+        // drains repeatedly; every event must appear at most once and
+        // the final document must balance.
+        let tracer = Tracer::new();
+        let stop = AtomicBool::new(false);
+        let mut sink = TraceSink::new(Vec::new()).unwrap();
+        let total = 5_000u64;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..total {
+                    tracer.instant_with("evt", |a| {
+                        a.u64("i", i);
+                    });
+                }
+                stop.store(true, Ordering::Release);
+            });
+            while !stop.load(Ordering::Acquire) {
+                tracer.drain_into(&mut sink).unwrap();
+            }
+        });
+        tracer.drain_into(&mut sink).unwrap();
+        let json = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let events = parse_events(&json);
+        let mut seen = std::collections::BTreeSet::new();
+        for e in events.iter().filter(|e| e["name"] == "evt") {
+            let i = e["args"]["i"].as_u64().unwrap();
+            assert!(seen.insert(i), "event {i} drained twice");
+        }
+        assert_eq!(
+            seen.len() as u64,
+            total,
+            "events lost without a drop marker"
+        );
+    }
+
+    #[test]
+    fn trace_stream_persists_incrementally_and_finishes() {
+        let dir =
+            std::env::temp_dir().join(format!("lastmile-trace-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.json");
+        // Leaked rather than install()ed: the disabled-path test in this
+        // binary asserts the global stays uninstalled.
+        let tracer: &'static Tracer = Box::leak(Box::new(Tracer::new()));
+        let stream =
+            TraceStream::start_with(tracer, path.to_str().unwrap(), Duration::from_millis(10))
+                .unwrap();
+        {
+            let _s = tracer.span_with("streamed", |a| {
+                a.u64("n", 1);
+            });
+        }
+        // Give the background thread at least one tick to drain.
+        std::thread::sleep(Duration::from_millis(60));
+        let partial = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            partial.contains("\"streamed\""),
+            "span not on disk before finish: {partial}"
+        );
+        stream.finish().unwrap();
+        let events = parse_events(&std::fs::read_to_string(&path).unwrap());
+        assert!(events
+            .iter()
+            .any(|e| e["name"] == "streamed" && e["ph"] == "B"));
+        let begins = events.iter().filter(|e| e["ph"] == "B").count();
+        let ends = events.iter().filter(|e| e["ph"] == "E").count();
+        assert_eq!(begins, ends);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

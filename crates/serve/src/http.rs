@@ -1,0 +1,310 @@
+//! A deliberately small HTTP/1.1 subset: enough to parse one `GET`
+//! request from a socket and write one response, nothing more.
+//!
+//! Scope decisions (all documented here so nobody mistakes this for a
+//! general server): requests are `GET`-only (anything else gets 405),
+//! bodies are ignored, every response carries `Connection: close` and
+//! the connection is dropped after one exchange, header blocks are
+//! capped at [`MAX_HEAD_BYTES`], and request targets are used verbatim
+//! (no percent-decoding — the daemon's routes are plain ASCII).
+
+use std::io::{Read, Write};
+
+/// Upper bound on the request head (request line + headers). A client
+/// exceeding it gets 431 and the connection is closed.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, verbatim (`GET` for anything the daemon serves).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Raw query string (no leading `?`; empty when absent).
+    pub query: String,
+    /// Header `(name, value)` pairs; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of `key` in the query string (`from=12&to=99` style;
+    /// no percent-decoding).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
+
+    /// First value of header `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find_map(|(k, v)| (k == name).then_some(v.as_str()))
+    }
+}
+
+/// Why a request head failed to parse — mapped onto a status code by
+/// the connection handler.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The peer closed (or sent nothing) before a full head arrived.
+    /// No response is owed.
+    ConnectionClosed,
+    /// Head exceeded [`MAX_HEAD_BYTES`] → 431.
+    HeadTooLarge,
+    /// Malformed request line or header → 400.
+    Malformed(&'static str),
+    /// Socket error (including read timeout) mid-head.
+    Io(std::io::Error),
+}
+
+/// Read one request head from `stream` and parse it.
+///
+/// Reads byte-chunks until the `\r\n\r\n` terminator; any body bytes
+/// after the head are left unread (and discarded when the connection
+/// closes).
+pub fn parse_request(stream: &mut impl Read) -> Result<Request, ParseError> {
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let end = loop {
+        if let Some(pos) = find_head_end(&head) {
+            if pos > MAX_HEAD_BYTES {
+                return Err(ParseError::HeadTooLarge);
+            }
+            break pos;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(ParseError::HeadTooLarge);
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if head.is_empty() {
+                    ParseError::ConnectionClosed
+                } else {
+                    ParseError::Malformed("connection closed mid-head")
+                })
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Io(e)),
+        };
+        head.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&head[..end]).map_err(|_| ParseError::Malformed("not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(ParseError::Malformed("bad request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("unsupported HTTP version"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ParseError::Malformed("header without colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query: query.to_string(),
+        headers,
+    })
+}
+
+/// Byte offset just past the first `\r\n\r\n`, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// One response to write back. Always closes the connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    /// Extra headers (e.g. `Retry-After`) appended verbatim.
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Which endpoint-family latency histogram this response counts
+    /// against. Handlers set it; the server records it.
+    pub endpoint: lastmile_obs::ServeEndpoint,
+}
+
+impl Response {
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            extra_headers: Vec::new(),
+            endpoint: lastmile_obs::ServeEndpoint::Other,
+        }
+    }
+
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            extra_headers: Vec::new(),
+            endpoint: lastmile_obs::ServeEndpoint::Other,
+        }
+    }
+
+    pub fn csv(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/csv; charset=utf-8",
+            body: body.into(),
+            extra_headers: Vec::new(),
+            endpoint: lastmile_obs::ServeEndpoint::Other,
+        }
+    }
+
+    /// Tag the endpoint family (builder-style).
+    pub fn endpoint(mut self, endpoint: lastmile_obs::ServeEndpoint) -> Response {
+        self.endpoint = endpoint;
+        self
+    }
+
+    /// Append an extra header (builder-style).
+    pub fn header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// Serialize status line + headers + body onto `w` and flush.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        for (name, value) in &self.extra_headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes the daemon emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ParseError> {
+        parse_request(&mut std::io::Cursor::new(bytes.to_vec()))
+    }
+
+    #[test]
+    fn parses_request_line_query_and_headers() {
+        let req = parse(
+            b"GET /v1/series/64500?from=100&to=200 HTTP/1.1\r\nHost: localhost\r\nX-Weird:  padded \r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/v1/series/64500");
+        assert_eq!(req.query, "from=100&to=200");
+        assert_eq!(req.query_param("from"), Some("100"));
+        assert_eq!(req.query_param("to"), Some("200"));
+        assert_eq!(req.query_param("absent"), None);
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("x-weird"), Some("padded"));
+    }
+
+    #[test]
+    fn head_split_across_reads_still_parses() {
+        // A reader that returns one byte at a time exercises the
+        // incremental terminator search.
+        struct OneByte(Vec<u8>, usize);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let req = parse_request(&mut OneByte(b"GET / HTTP/1.1\r\n\r\n".to_vec(), 0)).unwrap();
+        assert_eq!(req.path, "/");
+        assert_eq!(req.query, "");
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        assert!(matches!(parse(b""), Err(ParseError::ConnectionClosed)));
+        assert!(matches!(
+            parse(b"GET /incomplete HTTP/1.1\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / SPDY/3\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "x".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(
+            parse(huge.as_bytes()),
+            Err(ParseError::HeadTooLarge)
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .header("Retry-After", "2")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+    }
+}

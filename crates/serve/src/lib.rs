@@ -1,0 +1,30 @@
+//! `lastmile-serve`: the always-on congestion query daemon's transport
+//! layer — everything between a TCP socket and a `Fn(&Request) ->
+//! Response` handler, with nothing about congestion in it.
+//!
+//! The paper's pipeline is batch-shaped, but its consumers (operators
+//! watching per-ASN congestion) are a standing service; this crate puts
+//! the store/ingest/pipeline stack in front of concurrent clients while
+//! keeping the repo's vendor policy: no external dependencies, just
+//! `std::net` and `lastmile-obs`.
+//!
+//! * [`http`] — a one-request-per-connection HTTP/1.1 `GET` subset.
+//! * [`server`] — bounded-concurrency serving: a fixed worker pool
+//!   (`serve-0` … `serve-N-1`) fed by a bounded accept queue; a full
+//!   queue answers `503` + `Retry-After` immediately instead of
+//!   buffering without bound; shutdown drains queued and in-flight
+//!   requests before [`Server::run`] returns.
+//! * [`signal`] — SIGTERM/SIGINT latched into a flag the accept loop
+//!   polls (hand-declared `signal(2)`, no libc crate).
+//!
+//! Request routing, endpoint payloads, and the startup ingest live in
+//! the CLI's `serve` subcommand; worker-side counters and latency
+//! histograms live in [`lastmile_obs::ServeMetrics`] so `/metrics` can
+//! render them next to the pipeline's `RunMetrics`.
+
+pub mod http;
+pub mod server;
+pub mod signal;
+
+pub use http::{Request, Response};
+pub use server::{Handler, Server, ServerConfig};

@@ -1,0 +1,70 @@
+//! SIGTERM / SIGINT → one shared "shut down" flag, without a libc
+//! dependency: `signal(2)` is declared by hand and the handler does the
+//! only thing that is async-signal-safe here — a relaxed store into a
+//! static atomic the accept loop polls.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler; read by [`requested`].
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod ffi {
+    /// `void (*sighandler_t)(int)` — `signal(2)`'s handler type.
+    pub type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        /// POSIX `signal(2)`. Fine here: the handler is re-armed by
+        /// default on every platform this builds for, and even one
+        /// delivery is enough to latch the flag.
+        pub fn signal(signum: i32, handler: SigHandler) -> usize;
+    }
+
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Install handlers for SIGINT and SIGTERM that latch the shutdown
+/// flag. Idempotent; call once before the accept loop.
+pub fn install() {
+    #[cfg(unix)]
+    unsafe {
+        ffi::signal(ffi::SIGINT, on_signal);
+        ffi::signal(ffi::SIGTERM, on_signal);
+    }
+}
+
+/// True once a shutdown signal was delivered (or [`request`] was
+/// called).
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// The flag itself — hand to [`crate::Server::run`] as its shutdown
+/// condition.
+pub fn flag() -> &'static AtomicBool {
+    &SHUTDOWN
+}
+
+/// Latch the flag from ordinary code (tests, an admin endpoint).
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_latches_flag() {
+        // `requested()` may already be true if another test in this
+        // binary sent a signal; only the latch direction is guaranteed.
+        request();
+        assert!(requested());
+    }
+}

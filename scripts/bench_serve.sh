@@ -1,0 +1,85 @@
+#!/bin/sh
+# Serving perf record: run the `lastmile serve` daemon on a simulated
+# corpus, drive each endpoint family with curl, and collect the daemon's
+# own /metrics document (per-endpoint latency histograms, queue gauges)
+# into BENCH_serve.json. Offline; uses only the repo's binary and curl.
+#
+# The criterion benchmark (cargo bench -p lastmile-bench --bench serve)
+# prices the parser, serializer, and loopback round-trip in-process;
+# this script records end-to-end request latency as the daemon sees it.
+set -eu
+cd "$(dirname "$0")/.."
+
+command -v curl >/dev/null 2>&1 || { echo "bench_serve.sh needs curl" >&2; exit 1; }
+
+echo "==> cargo build --release -q -p lastmile-cli"
+cargo build --release -q -p lastmile-cli
+bin=target/release/lastmile
+
+work=$(mktemp -d)
+serve_pid=
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null && wait "$serve_pid" 2>/dev/null
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "==> simulate 3 days of the anchor scenario"
+"$bin" simulate --scenario anchor --out "$work" --days 3 >/dev/null 2>&1
+
+echo "==> start daemon on an ephemeral port"
+"$bin" serve --traceroutes "$work/traceroutes.jsonl" --probes "$work/probes.json" \
+    --addr 127.0.0.1:0 --ready-file "$work/ready" >/dev/null 2>"$work/serve.log" &
+serve_pid=$!
+i=0
+while [ ! -s "$work/ready" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "daemon never became ready:" >&2
+        cat "$work/serve.log" >&2
+        exit 1
+    fi
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$work/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+addr=$(head -n1 "$work/ready")
+
+classify_n=200
+series_n=200
+healthz_n=200
+populations_n=50
+echo "==> drive $classify_n classify / $series_n series / $healthz_n healthz / $populations_n populations requests"
+asn=$(curl -sf "http://$addr/v1/populations?format=csv" | sed -n '2p' | cut -d, -f1)
+n=0; while [ "$n" -lt "$healthz_n" ]; do curl -sf -o /dev/null "http://$addr/healthz"; n=$((n + 1)); done
+n=0; while [ "$n" -lt "$classify_n" ]; do curl -sf -o /dev/null "http://$addr/v1/classify/$asn"; n=$((n + 1)); done
+n=0; while [ "$n" -lt "$series_n" ]; do curl -sf -o /dev/null "http://$addr/v1/series/$asn"; n=$((n + 1)); done
+n=0; while [ "$n" -lt "$populations_n" ]; do curl -sf -o /dev/null "http://$addr/v1/populations?format=csv"; n=$((n + 1)); done
+
+curl -sf "http://$addr/metrics" >"$work/metrics.json"
+
+echo "==> graceful shutdown"
+kill "$serve_pid"
+wait "$serve_pid"
+serve_pid=
+grep -q "\[serve\] shutdown: drained" "$work/serve.log" || {
+    echo "daemon did not report a drained shutdown:" >&2
+    cat "$work/serve.log" >&2
+    exit 1
+}
+
+out=BENCH_serve.json
+# Host context, so numbers from different machines/toolchains are never
+# compared as if they were one series.
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)
+rustc_version=$(rustc --version 2>/dev/null || echo unknown)
+timestamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+{
+    printf '{\n  "bench": "serve",\n  "host": {"cores": %s, "rustc": "%s", "timestamp_utc": "%s"},\n' \
+        "$cores" "$rustc_version" "$timestamp"
+    printf '  "requests": {"classify": %s, "series": %s, "healthz": %s, "populations": %s},\n' \
+        "$classify_n" "$series_n" "$healthz_n" "$populations_n"
+    printf '  "metrics": '
+    tr -d '\n' <"$work/metrics.json"
+    printf '\n}\n'
+} >"$out"
+echo "OK: wrote $out"

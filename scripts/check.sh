@@ -12,9 +12,10 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Covers every [[bench]] target in crates/bench (components, figures,
-# ablations, executor, store, ingest, obs_overhead);
-# scripts/bench_ingest.sh runs the ingest comparison end-to-end and
-# records BENCH_ingest.json.
+# ablations, executor, store, ingest, obs_overhead, serve);
+# scripts/bench_ingest.sh and scripts/bench_serve.sh run the ingest and
+# serving comparisons end-to-end and record BENCH_ingest.json /
+# BENCH_serve.json.
 echo "==> cargo build --workspace --benches --examples"
 cargo build --workspace --benches --examples
 
@@ -27,4 +28,43 @@ cargo test -q --workspace
 echo "==> observability smoke (cargo test -p lastmile-cli --test observability)"
 cargo test -q -p lastmile-cli --test observability
 
-echo "OK: fmt, clippy, benches, tests, observability smoke all green"
+# Serve smoke: the daemon on a fixture corpus — /healthz, one classify,
+# then a clean SIGTERM shutdown. The full serving contract (byte
+# identity, backpressure, drain) is pinned by the serve_e2e test run
+# above; this step proves the shipped binary serves over a real socket.
+if command -v curl >/dev/null 2>&1; then
+    echo "==> serve smoke (daemon + curl /healthz + classify + SIGTERM)"
+    smoke=$(mktemp -d)
+    serve_pid=
+    smoke_cleanup() {
+        [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null && wait "$serve_pid" 2>/dev/null
+        rm -rf "$smoke"
+    }
+    trap smoke_cleanup EXIT
+    cargo build -q -p lastmile-cli
+    target/debug/lastmile simulate --scenario anchor --out "$smoke" --days 3 >/dev/null 2>&1
+    target/debug/lastmile serve --traceroutes "$smoke/traceroutes.jsonl" \
+        --probes "$smoke/probes.json" --addr 127.0.0.1:0 \
+        --ready-file "$smoke/ready" >/dev/null 2>"$smoke/serve.log" &
+    serve_pid=$!
+    i=0
+    while [ ! -s "$smoke/ready" ]; do
+        i=$((i + 1))
+        [ "$i" -le 300 ] || { echo "serve never became ready" >&2; cat "$smoke/serve.log" >&2; exit 1; }
+        kill -0 "$serve_pid" 2>/dev/null || { cat "$smoke/serve.log" >&2; exit 1; }
+        sleep 0.1
+    done
+    addr=$(head -n1 "$smoke/ready")
+    curl -sf "http://$addr/healthz" | grep -q '"status": *"ok"'
+    curl -sf "http://$addr/v1/classify" | grep -q '"class"'
+    kill "$serve_pid"
+    wait "$serve_pid"
+    serve_pid=
+    grep -q "\[serve\] shutdown: drained" "$smoke/serve.log"
+    smoke_cleanup
+    trap - EXIT
+else
+    echo "==> serve smoke skipped (curl not found)"
+fi
+
+echo "OK: fmt, clippy, benches, tests, observability and serve smoke all green"

@@ -19,6 +19,7 @@ pub use lastmile_ingest as ingest;
 pub use lastmile_netsim as netsim;
 pub use lastmile_obs as obs;
 pub use lastmile_prefix as prefix;
+pub use lastmile_serve as serve;
 pub use lastmile_stats as stats;
 pub use lastmile_store as store;
 pub use lastmile_timebase as timebase;
