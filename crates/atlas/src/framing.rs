@@ -31,6 +31,26 @@
 //! element (`[{...}, oops, {...}]`) is framed as the document `oops` and
 //! left for the parser to reject, which keeps framing single-pass and
 //! gives per-record error granularity downstream.
+//!
+//! ## Bulk scanning and the zero-copy frame lifetime rule
+//!
+//! The hot loops never walk the input one byte at a time. Line mode
+//! jumps newline-to-newline ([`memscan::memchr`]). Array-element mode
+//! loads one 8-byte word at a time and asks
+//! [`memscan::json_scan_mask`] for an exact per-lane mask of the bytes
+//! the state machine cares about (`"` `\` `,` `{` `}` `[` `]`); only
+//! the flagged lanes are visited, in order, with string/escape/depth
+//! state updated per lane. Runs of ordinary bytes cost one SWAR mask
+//! per 8 bytes, and — unlike a memchr-per-token loop — structural-dense
+//! JSON never reloads the same word twice.
+//!
+//! Emitted `Frame` slices obey one lifetime rule, which parallel ingest
+//! relies on for zero-copy batching: a document that completes inside
+//! the chunk passed to [`DocSplitter::feed`] is emitted as a **subslice
+//! of that chunk** (no intermediate copy); only a document that spans a
+//! `feed` boundary is staged in the splitter's carry buffer and emitted
+//! borrowing from it. Either way the slice is only valid during the
+//! `emit` call — copy it (or retain the chunk allocation) to keep it.
 
 /// What the first non-whitespace byte said the input is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -171,7 +191,7 @@ impl DocSplitter {
                     // Scan to the next newline; emit straight from the
                     // chunk when the whole line is inside it.
                     let rest = &chunk[i..];
-                    match rest.iter().position(|&b| b == b'\n') {
+                    match memscan::memchr(b'\n', rest) {
                         Some(nl) => {
                             let frame_offset;
                             let line: &[u8] = if self.pending.is_empty() {
@@ -205,23 +225,35 @@ impl DocSplitter {
                     }
                 }
                 State::Separators => {
-                    let b = chunk[i];
-                    if b.is_ascii_whitespace() || b == b',' {
-                        self.pos += 1;
-                        i += 1;
-                    } else if b == b']' {
-                        self.state = State::Closed { reported: false };
-                        self.pos += 1;
-                        i += 1;
-                    } else {
-                        self.state = State::Element {
-                            depth: 0,
-                            in_string: false,
-                            escape: false,
-                        };
-                        self.doc_offset = self.pos;
-                        self.pending.clear();
-                        // Reprocess chunk[i] as the element's first byte.
+                    // Bulk-skip the separator run (whitespace/commas).
+                    let rest = &chunk[i..];
+                    match rest
+                        .iter()
+                        .position(|&b| !(b.is_ascii_whitespace() || b == b','))
+                    {
+                        None => {
+                            self.pos += rest.len() as u64;
+                            i = chunk.len();
+                        }
+                        Some(j) => {
+                            self.pos += j as u64;
+                            i += j;
+                            if chunk[i] == b']' {
+                                self.state = State::Closed { reported: false };
+                                self.pos += 1;
+                                i += 1;
+                            } else {
+                                self.state = State::Element {
+                                    depth: 0,
+                                    in_string: false,
+                                    escape: false,
+                                };
+                                self.doc_offset = self.pos;
+                                self.pending.clear();
+                                // Reprocess chunk[i] as the element's
+                                // first byte.
+                            }
+                        }
                     }
                 }
                 State::Element {
@@ -229,58 +261,273 @@ impl DocSplitter {
                     in_string,
                     escape,
                 } => {
-                    let b = chunk[i];
-                    let terminated = if *in_string {
+                    // Bulk-scan the element one word at a time: each
+                    // 8-byte load yields an exact mask of the bytes the
+                    // state machine dispatches on (quotes, backslashes,
+                    // brackets, commas), and only those lanes are
+                    // visited — string content, numbers, and key names
+                    // in between cost one mask per word, not one match
+                    // per byte. Atlas JSON is structural-dense, so the
+                    // mask is walked bit by bit with string/escape/depth
+                    // state updated in order; re-scanning from every
+                    // token (the memchr-per-token shape) would reload
+                    // the same words many times over. The element's
+                    // bytes stay in `chunk` — nothing is copied unless
+                    // the element outlives this chunk.
+                    let start = i;
+                    // `(index, byte)` of the terminator, once found.
+                    let mut term: Option<(usize, u8)> = None;
+                    let mut j = i;
+                    'scan: while j < chunk.len() {
                         if *escape {
+                            // A backslash ended the previous word or
+                            // chunk: it escapes exactly one byte,
+                            // whatever that byte is.
                             *escape = false;
-                        } else if b == b'\\' {
-                            *escape = true;
-                        } else if b == b'"' {
-                            *in_string = false;
+                            j += 1;
+                            continue;
                         }
-                        false
-                    } else {
-                        match b {
-                            b'"' => {
-                                *in_string = true;
-                                false
+                        // 32-byte stride while all four words are
+                        // escape-free (the norm): one quote-parity pass
+                        // over 32 lanes, braces walked, commas computed
+                        // only when a terminator is reachable (depth 0).
+                        if j + 4 * memscan::WORD_BYTES <= chunk.len() {
+                            let ws = [
+                                memscan::load_word(&chunk[j..]),
+                                memscan::load_word(&chunk[j + memscan::WORD_BYTES..]),
+                                memscan::load_word(&chunk[j + 2 * memscan::WORD_BYTES..]),
+                                memscan::load_word(&chunk[j + 3 * memscan::WORD_BYTES..]),
+                            ];
+                            if !ws.iter().any(|&w| memscan::has_byte(w, b'\\')) {
+                                let q = memscan::compact4(ws.map(memscan::quote_lanes));
+                                let inside = memscan::prefix_xor32(q)
+                                    ^ if *in_string { u32::MAX } else { 0 };
+                                // `braceish` over-approximates (strays
+                                // dispatch as no-ops below) — worth it
+                                // for one compare per word instead of
+                                // two.
+                                let braces =
+                                    memscan::compact4(ws.map(memscan::braceish_lanes)) & !inside;
+                                let comma32 =
+                                    || memscan::compact4(ws.map(memscan::comma_lanes)) & !inside;
+                                let mut commas = 0u32;
+                                let mut v = braces;
+                                if *depth == 0 {
+                                    commas = comma32();
+                                    v |= commas;
+                                }
+                                while v != 0 {
+                                    let k = v.trailing_zeros() as usize;
+                                    v &= v - 1;
+                                    let b = (ws[k / memscan::WORD_BYTES]
+                                        >> ((k % memscan::WORD_BYTES) * 8))
+                                        as u8;
+                                    match b {
+                                        b'{' | b'[' => *depth += 1,
+                                        b'}' | b']' if *depth > 0 => {
+                                            *depth -= 1;
+                                            if *depth == 0 {
+                                                if commas == 0 {
+                                                    commas = comma32();
+                                                }
+                                                v |= commas & memscan::compact_lanes_after32(k);
+                                            }
+                                        }
+                                        b',' if *depth == 0 => {
+                                            term = Some((j + k, b));
+                                            break 'scan;
+                                        }
+                                        b']' => {
+                                            term = Some((j + k, b));
+                                            break 'scan;
+                                        }
+                                        // A stray `}` at depth 0 (and a
+                                        // comma armed at stride start
+                                        // but reached at depth > 0) is
+                                        // content for the parser.
+                                        _ => {}
+                                    }
+                                }
+                                *in_string ^= q.count_ones() & 1 == 1;
+                                j += 4 * memscan::WORD_BYTES;
+                                continue;
                             }
-                            b'{' | b'[' => {
-                                *depth += 1;
-                                false
-                            }
-                            b'}' | b']' if *depth > 0 => {
-                                *depth -= 1;
-                                false
-                            }
-                            // At depth 0 a comma ends the element and a
-                            // `]` ends both the element and the array
-                            // (depth > 0 was handled above). A stray `}`
-                            // is content for the parser to reject.
-                            b',' if *depth == 0 => true,
-                            b']' => true,
-                            _ => false,
                         }
-                    };
-                    if terminated {
-                        let doc = trim_line(&self.pending);
-                        if !doc.is_empty() {
-                            emit(Frame::Doc {
-                                offset: self.doc_offset,
-                                bytes: doc,
-                            });
-                        }
-                        self.pending.clear();
-                        self.state = if b == b']' {
-                            State::Closed { reported: false }
+                        if j + memscan::WORD_BYTES <= chunk.len() {
+                            let w = memscan::load_word(&chunk[j..]);
+                            if memscan::backslash_lanes(w) == 0 {
+                                // Quote-parity fast path (the norm —
+                                // Atlas JSON rarely escapes anything):
+                                // with no backslash in the word, string
+                                // membership is pure quote parity, so
+                                // the in-string mask comes from one
+                                // prefix-XOR and quotes are never
+                                // visited at all. Only braces (and, at
+                                // depth 0, commas) outside strings are
+                                // walked for depth/terminator tracking.
+                                let q = memscan::compact(memscan::quote_lanes(w));
+                                let inside =
+                                    memscan::prefix_xor(q) ^ if *in_string { 0xFF } else { 0 };
+                                let braces = memscan::compact(memscan::braceish_lanes(w)) & !inside;
+                                let commas = memscan::compact(memscan::comma_lanes(w)) & !inside;
+                                let mut v = braces;
+                                if *depth == 0 {
+                                    v |= commas;
+                                }
+                                while v != 0 {
+                                    let k = v.trailing_zeros() as usize;
+                                    v &= v - 1;
+                                    let b = (w >> (k * 8)) as u8;
+                                    match b {
+                                        b'{' | b'[' => *depth += 1,
+                                        b'}' | b']' if *depth > 0 => {
+                                            *depth -= 1;
+                                            if *depth == 0 {
+                                                v |= commas & memscan::compact_lanes_after(k);
+                                            }
+                                        }
+                                        b',' if *depth == 0 => {
+                                            term = Some((j + k, b));
+                                            break 'scan;
+                                        }
+                                        b']' => {
+                                            term = Some((j + k, b));
+                                            break 'scan;
+                                        }
+                                        // A stray `}` at depth 0 (and a
+                                        // comma armed at word start but
+                                        // reached at depth > 0) is
+                                        // content for the parser.
+                                        _ => {}
+                                    }
+                                }
+                                *in_string ^= q.count_ones() & 1 == 1;
+                                j += memscan::WORD_BYTES;
+                                continue;
+                            }
+                            // Escape-bearing word: walk every relevant
+                            // lane sequentially, tracking string and
+                            // escape state byte-exactly. Comma lanes
+                            // join the walk only while a comma could
+                            // terminate the element (depth 0); the
+                            // depth>0→0 transition below re-arms the
+                            // word's remaining comma lanes.
+                            let mut m = memscan::json_scan_mask_nocomma(w);
+                            if *depth == 0 {
+                                m |= memscan::comma_lanes(w);
+                            }
+                            while m != 0 {
+                                let k = memscan::first_lane(m);
+                                m &= m - 1;
+                                let b = (w >> (k * 8)) as u8;
+                                if *in_string {
+                                    match b {
+                                        b'"' => *in_string = false,
+                                        b'\\' => {
+                                            // Drop the escaped byte's
+                                            // lane (it may be a quote
+                                            // or another backslash); if
+                                            // the backslash is the last
+                                            // lane, the escape crosses
+                                            // into the next word.
+                                            if k + 1 < memscan::WORD_BYTES {
+                                                m &= !memscan::lane_bit(k + 1);
+                                            } else {
+                                                *escape = true;
+                                            }
+                                        }
+                                        _ => {}
+                                    }
+                                } else {
+                                    match b {
+                                        b'"' => *in_string = true,
+                                        b'{' | b'[' => *depth += 1,
+                                        b'}' | b']' if *depth > 0 => {
+                                            *depth -= 1;
+                                            if *depth == 0 {
+                                                m |= memscan::comma_lanes(w)
+                                                    & memscan::lanes_after(k);
+                                            }
+                                        }
+                                        // At depth 0 a comma ends the
+                                        // element and a `]` ends both
+                                        // the element and the array. A
+                                        // stray `}` or `\` is content
+                                        // for the parser to reject.
+                                        b',' if *depth == 0 => {
+                                            term = Some((j + k, b));
+                                            break 'scan;
+                                        }
+                                        b']' => {
+                                            term = Some((j + k, b));
+                                            break 'scan;
+                                        }
+                                        _ => {}
+                                    }
+                                }
+                            }
+                            j += memscan::WORD_BYTES;
                         } else {
-                            State::Separators
-                        };
-                    } else {
-                        self.pending.push(b);
+                            // Sub-word tail: same state machine, byte
+                            // at a time.
+                            let b = chunk[j];
+                            if *in_string {
+                                match b {
+                                    b'"' => *in_string = false,
+                                    b'\\' => *escape = true,
+                                    _ => {}
+                                }
+                            } else {
+                                match b {
+                                    b'"' => *in_string = true,
+                                    b'{' | b'[' => *depth += 1,
+                                    b'}' | b']' if *depth > 0 => *depth -= 1,
+                                    b',' if *depth == 0 => {
+                                        term = Some((j, b));
+                                        break 'scan;
+                                    }
+                                    b']' => {
+                                        term = Some((j, b));
+                                        break 'scan;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            j += 1;
+                        }
                     }
-                    self.pos += 1;
-                    i += 1;
+                    match term {
+                        Some((t, b)) => {
+                            let in_chunk = &chunk[start..t];
+                            let doc: &[u8] = if self.pending.is_empty() {
+                                trim_line(in_chunk)
+                            } else {
+                                self.pending.extend_from_slice(in_chunk);
+                                trim_line(&self.pending)
+                            };
+                            if !doc.is_empty() {
+                                emit(Frame::Doc {
+                                    offset: self.doc_offset,
+                                    bytes: doc,
+                                });
+                            }
+                            self.pending.clear();
+                            self.state = if b == b']' {
+                                State::Closed { reported: false }
+                            } else {
+                                State::Separators
+                            };
+                            self.pos += (t + 1 - start) as u64;
+                            i = t + 1;
+                        }
+                        None => {
+                            // The element continues into the next chunk:
+                            // only now do its bytes hit the carry buffer.
+                            self.pending.extend_from_slice(&chunk[start..]);
+                            self.pos += (chunk.len() - start) as u64;
+                            i = chunk.len();
+                        }
+                    }
                 }
                 State::Closed { reported } => {
                     let rest = &chunk[i..];
@@ -522,5 +769,33 @@ mod tests {
         let mut s = DocSplitter::new();
         s.feed(b"{\"a\":1}", &mut |_| {});
         assert_eq!(s.kind(), Some(FrameKind::Lines));
+    }
+
+    #[test]
+    fn bulk_scanner_boundaries_are_chunk_invariant() {
+        // Inputs aimed at the word-stride scanner's edges: a backslash
+        // as the last byte of a feed, escaped quotes landing on 8-byte
+        // word boundaries, commas excluded at depth, and structural
+        // bytes at every lane of the first word. Every chunk size from
+        // 1 up must frame identically to a whole-input feed.
+        let adversarial: &[&[u8]] = &[
+            br#"[{"e":"\\"},{"e":"\\\\"}]"#,
+            br#"[{"q":"\"\"\"\"\"\"\""}]"#,
+            br#"[{"pad":"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"},{"a":1}]"#,
+            br#"[{"d":[[[[[[[[[[1]]]]]]]]]]},{"m":{"a":1,"b":2,"c":3}}]"#,
+            b"{\"e\":\"\\\\\"}\n{\"q\":\"\\\"\"}\n",
+            b"{\"a\":\"12345678\"}\r\n{\"b\":\"123456\"}\r\n",
+        ];
+        for input in adversarial {
+            let whole = split(input, usize::MAX);
+            for chunk in 1..=input.len() {
+                assert_eq!(
+                    split(input, chunk),
+                    whole,
+                    "chunk={chunk} input={:?}",
+                    String::from_utf8_lossy(input)
+                );
+            }
+        }
     }
 }

@@ -57,6 +57,15 @@ fn arb_doc() -> impl Strategy<Value = String> {
         Just(r#"{"nested":{"deep":[{"x":[[]]}]}}"#.to_string()),
         prop::collection::vec(b'a'..=b'z', 1..7)
             .prop_map(|s| format!(r#"{{"k":"{}"}}"#, String::from_utf8(s).unwrap())),
+        // Adversarial shapes for the bulk scanner: escape runs whose
+        // backslashes straddle chunk and word boundaries, strings dense
+        // in escaped quotes, nesting deep enough to spend many words
+        // inside brackets, and long structural-free runs that must be
+        // skipped in full word strides.
+        (1usize..40).prop_map(|k| format!(r#"{{"e":"{}"}}"#, r"\\".repeat(k))),
+        (1usize..30).prop_map(|k| format!(r#"{{"q":"{}"}}"#, "\\\"".repeat(k))),
+        (1usize..40).prop_map(|d| format!(r#"{{"d":{}{}}}"#, "[".repeat(d), "]".repeat(d))),
+        (1usize..150).prop_map(|k| format!(r#"{{"pad":"{}"}}"#, "x".repeat(k))),
     ]
 }
 
@@ -71,7 +80,10 @@ fn arb_array_element() -> impl Strategy<Value = String> {
 }
 
 fn arb_chunk_sizes() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::vec(1usize..40, 1..8)
+    // Sizes deliberately cross the scanner's 8-byte word stride and the
+    // 64-byte neighbourhood where a doc both starts and ends inside one
+    // word; size 1 forces every state transition across a feed boundary.
+    prop::collection::vec(1usize..100, 1..8)
 }
 
 /// Assemble a JSON Lines input: optional BOM, docs separated by LF or

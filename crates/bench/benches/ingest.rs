@@ -15,6 +15,7 @@
 //! `crates/cli/tests/ingest_e2e.rs`); this benchmark prices the options.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lastmile_repro::atlas::framing::{DocSplitter, Frame};
 use lastmile_repro::atlas::json::to_atlas_json;
 use lastmile_repro::ingest::{ingest_reader, IngestOptions};
 use lastmile_repro::netsim::scenarios::survey::{survey_world, SurveyConfig};
@@ -90,5 +91,37 @@ fn bench_ingest(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ingest);
+/// Framing alone — the `DocSplitter` hot loops with no JSON parse
+/// behind them. This is the layer the bulk byte scanner rewrote; the
+/// 64 KiB feed matches the ingest pipeline's default chunk size, so
+/// chunk-boundary carry costs are priced in.
+fn bench_framing(c: &mut Criterion) {
+    let (jsonl, array) = bench_inputs();
+    let mut g = c.benchmark_group("framing");
+    g.sample_size(20);
+    for (form, input) in [("lines", &jsonl), ("array", &array)] {
+        g.throughput(criterion::Throughput::Bytes(input.len() as u64));
+        g.bench_function(format!("{form}/split"), |b| {
+            b.iter(|| {
+                let mut docs = 0u64;
+                let mut bytes = 0u64;
+                let mut splitter = DocSplitter::new();
+                let mut emit = |frame: Frame<'_>| {
+                    if let Frame::Doc { bytes: d, .. } = frame {
+                        docs += 1;
+                        bytes += d.len() as u64;
+                    }
+                };
+                for chunk in input.chunks(64 * 1024) {
+                    splitter.feed(chunk, &mut emit);
+                }
+                splitter.finish(&mut emit);
+                black_box((docs, bytes))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_framing);
 criterion_main!(benches);

@@ -14,7 +14,6 @@ use lastmile_repro::atlas::ProbeId;
 use lastmile_repro::core::pipeline::{
     AsPipeline, PipelineConfig, PopulationAnalysis, PrebuiltSeries,
 };
-use lastmile_repro::ingest::IngestOptions;
 use lastmile_repro::obs::{trace, LiveProgress, RunMetrics, StageTimer};
 use lastmile_repro::prefix::Asn;
 use lastmile_repro::runner::{record_population_metrics, store_traffic_since};
@@ -76,12 +75,12 @@ pub fn analyze_file_with_cache(
         .then(|| Arc::new(LiveProgress::default()));
     let _heartbeat = progress.clone().map(Heartbeat::start);
     ingest_opts.progress = progress.clone();
-    // Decode latency is sampled on pass 1 only: both passes decode the
-    // same records, so sampling both would double-count the histogram.
-    let pass1_opts = IngestOptions {
-        record_latency: metrics.is_some(),
-        ..ingest_opts.clone()
-    };
+    // Both passes decode every record and both report their decodes
+    // into `ingest.records_decoded`, so BOTH must sample decode latency
+    // — otherwise the histogram count sits at exactly half the decode
+    // counter (the bug `--stats` used to show).
+    ingest_opts.record_latency = metrics.is_some();
+    let pass1_opts = ingest_opts.clone();
     let probes = flags.optional("probes").map(load_probes).transpose()?;
     let bgp = flags.optional("bgp").map(load_table).transpose()?;
     let anchors_only = flags.switch("anchors-only");
@@ -250,6 +249,7 @@ pub fn analyze_file_with_cache(
     if let Some(m) = metrics {
         m.add_ingest_nanos(ingest_timer.elapsed_nanos());
         m.add_ingest_traffic(&ingest_traffic(&pass2, false));
+        m.merge_decode_hist(&pass2.decode_hist);
     }
 
     // The population table keys on (ASN, period); a file run has no

@@ -233,19 +233,24 @@ fn classify_one(segment: &str, state: &ServeState) -> Response {
     resp.endpoint(ServeEndpoint::Classify)
 }
 
+/// Parse an integer query bound. Absent keys AND empty values
+/// (`?from=&to=` — what a form with blank fields submits) mean
+/// "unbounded" and fall back to `default`; anything else must parse or
+/// the whole request 400s.
+fn query_bound(req: &Request, key: &str, default: i64) -> Result<i64, Response> {
+    match req.query_param(key) {
+        None | Some("") => Ok(default),
+        Some(v) => v
+            .parse::<i64>()
+            .map_err(|_| Response::json(400, format!("{{\"error\":\"invalid {key}={v:?}\"}}\n"))),
+    }
+}
+
 fn series(segment: &str, req: &Request, state: &ServeState) -> Response {
-    let parse_bound = |key: &str, default: i64| -> Result<i64, Response> {
-        match req.query_param(key) {
-            None | Some("") => Ok(default),
-            Some(v) => v.parse::<i64>().map_err(|_| {
-                Response::json(400, format!("{{\"error\":\"invalid {key}={v:?}\"}}\n"))
-            }),
-        }
-    };
     let resp = match (
         parse_asn(segment),
-        parse_bound("from", i64::MIN),
-        parse_bound("to", i64::MAX),
+        query_bound(req, "from", i64::MIN),
+        query_bound(req, "to", i64::MAX),
     ) {
         (Ok(asn), Ok(from), Ok(to)) => match state.series_by_asn.get(&asn) {
             Some(data) => {
@@ -292,4 +297,50 @@ fn populations(req: &Request, state: &ServeState) -> Response {
         ),
     };
     resp.endpoint(ServeEndpoint::Populations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(query: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: "/v1/series/64500".into(),
+            query: query.into(),
+            headers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn query_bound_defaults_on_absent_and_empty() {
+        // `/v1/series/{asn}?from=&to=` — empty values mean "unbounded",
+        // exactly like leaving the keys off.
+        for q in ["", "from=&to=", "from=", "to="] {
+            let r = req(q);
+            assert_eq!(query_bound(&r, "from", i64::MIN), Ok(i64::MIN), "q={q:?}");
+            assert_eq!(query_bound(&r, "to", i64::MAX), Ok(i64::MAX), "q={q:?}");
+        }
+    }
+
+    #[test]
+    fn query_bound_parses_values_and_rejects_junk() {
+        let r = req("from=100&to=-5");
+        assert_eq!(query_bound(&r, "from", i64::MIN), Ok(100));
+        assert_eq!(query_bound(&r, "to", i64::MAX), Ok(-5));
+        let bad = query_bound(&req("from=soon"), "from", i64::MIN).unwrap_err();
+        assert_eq!(bad.status, 400);
+        assert!(String::from_utf8_lossy(&bad.body).contains("invalid from"));
+        // A valueless pair is an empty value, not a parse error.
+        assert_eq!(query_bound(&req("from"), "from", 7), Ok(7));
+    }
+
+    #[test]
+    fn query_bound_uses_first_of_repeated_keys() {
+        let r = req("from=1&from=2&to=&to=9");
+        assert_eq!(query_bound(&r, "from", i64::MIN), Ok(1));
+        // First `to` is empty ⇒ default wins even though a later
+        // occurrence carries a value (first-wins, same as query_param).
+        assert_eq!(query_bound(&r, "to", i64::MAX), Ok(i64::MAX));
+    }
 }

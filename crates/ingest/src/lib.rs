@@ -133,9 +133,11 @@ impl IngestSummary {
     }
 }
 
-/// Ingest tuning. The defaults bound peak memory to roughly
-/// `chunk_bytes + (queue_batches + threads + 1) × batch` of record bytes
-/// regardless of file size.
+/// Ingest tuning. Peak memory is bounded regardless of file size: every
+/// in-flight batch pins the read-chunk buffer(s) its records point into
+/// (records are `(chunk, range)` slices, not copies), so the worker
+/// pipeline holds at most roughly `(queue_batches + threads + 1) ×
+/// chunk_bytes` at once; the serial path holds one chunk.
 #[derive(Clone, Debug)]
 pub struct IngestOptions {
     /// Parse worker threads; `0` (the default) means one per available
@@ -182,8 +184,37 @@ impl Default for IngestOptions {
     }
 }
 
+/// Bytes of one framed record travelling to a worker.
+///
+/// The framing reader reads each chunk into an `Arc<Vec<u8>>`; the
+/// splitter's zero-copy contract (a document completing inside the fed
+/// chunk is emitted as a subslice of it) lets the common case ride to
+/// the parse workers as a `(buffer, range)` pair sharing that chunk
+/// allocation — no per-record copy. Only a record spanning a chunk
+/// boundary (at most one per chunk) is copied out of the splitter's
+/// carry buffer.
+enum RecordBytes {
+    /// A subslice of a shared chunk buffer (whole-chunk records).
+    Shared {
+        buf: Arc<Vec<u8>>,
+        start: usize,
+        len: usize,
+    },
+    /// An owned copy (records spanning a chunk boundary).
+    Owned(Vec<u8>),
+}
+
+impl RecordBytes {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            RecordBytes::Shared { buf, start, len } => &buf[*start..*start + *len],
+            RecordBytes::Owned(v) => v,
+        }
+    }
+}
+
 /// One framed record travelling to a worker.
-type Batch = Vec<(u64, Vec<u8>)>;
+type Batch = Vec<(u64, RecordBytes)>;
 
 /// One decoded batch travelling back to the caller.
 enum Delivery {
@@ -412,11 +443,14 @@ fn ingest_reader_parallel(
                 .name("ingest-frame".into())
                 .spawn_scoped(scope, move || {
                     let mut splitter = DocSplitter::new();
-                    let mut buf = vec![0u8; options.chunk_bytes.max(1)];
                     let mut batch: Batch = Vec::with_capacity(batch_records);
                     let mut junk: Vec<Quarantined> = Vec::new();
                     let mut full: Vec<Batch> = Vec::new();
                     loop {
+                        // Each chunk gets its own shared allocation:
+                        // batches reference it until their records are
+                        // decoded, so it cannot be a reused buffer.
+                        let mut buf = vec![0u8; options.chunk_bytes.max(1)];
                         let n = match reader.read(&mut buf) {
                             Ok(n) => n,
                             Err(e) => {
@@ -425,14 +459,31 @@ fn ingest_reader_parallel(
                                 return; // drops the senders; pipeline drains
                             }
                         };
+                        buf.truncate(n);
+                        let chunk = Arc::new(buf);
                         bytes_read.fetch_add(n as u64, Ordering::Relaxed);
                         if let Some(p) = &options.progress {
                             p.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
                         }
                         let t = Instant::now();
+                        // The splitter's zero-copy contract: a document
+                        // completing inside the fed chunk is emitted as
+                        // a subslice of it. The pointer-range test tells
+                        // those apart from carry-buffer frames exactly.
+                        let base = chunk.as_ptr() as usize;
                         let mut handle = |frame: Frame<'_>| match frame {
                             Frame::Doc { offset, bytes } => {
-                                batch.push((offset, bytes.to_vec()));
+                                let p = bytes.as_ptr() as usize;
+                                let rec = if p >= base && p + bytes.len() <= base + chunk.len() {
+                                    RecordBytes::Shared {
+                                        buf: Arc::clone(&chunk),
+                                        start: p - base,
+                                        len: bytes.len(),
+                                    }
+                                } else {
+                                    RecordBytes::Owned(bytes.to_vec())
+                                };
+                                batch.push((offset, rec));
                                 if batch.len() >= batch_records {
                                     full.push(std::mem::take(&mut batch));
                                 }
@@ -452,7 +503,7 @@ fn ingest_reader_parallel(
                             let s = std::mem::take(&mut splitter);
                             s.finish(&mut handle);
                         } else {
-                            splitter.feed(&buf[..n], &mut handle);
+                            splitter.feed(&chunk, &mut handle);
                         }
                         frame_nanos.fetch_add(elapsed_nanos(t), Ordering::Relaxed);
                         // Queue sends happen outside the timed region: a
@@ -519,11 +570,11 @@ fn ingest_reader_parallel(
                         for (offset, bytes) in &batch {
                             let outcome = if options.record_latency {
                                 let t_rec = Instant::now();
-                                let outcome = decode_record(*offset, bytes, options);
+                                let outcome = decode_record(*offset, bytes.as_slice(), options);
                                 local_hist.record(elapsed_nanos(t_rec));
                                 outcome
                             } else {
-                                decode_record(*offset, bytes, options)
+                                decode_record(*offset, bytes.as_slice(), options)
                             };
                             match outcome {
                                 Ok(tr) => records.push(tr),

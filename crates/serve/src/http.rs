@@ -62,19 +62,26 @@ pub enum ParseError {
 
 /// Read one request head from `stream` and parse it.
 ///
-/// Reads byte-chunks until the `\r\n\r\n` terminator; any body bytes
-/// after the head are left unread (and discarded when the connection
-/// closes).
+/// Reads byte-chunks until the head terminator — `\r\n\r\n`, or a bare
+/// `\n\n` from LF-only clients (tolerant reader, like the ingest
+/// splitter's CRLF handling); any body bytes after the head are left
+/// unread (and discarded when the connection closes). The terminator
+/// search is incremental: each iteration scans only the bytes the last
+/// read appended (minus a [`HEAD_SCAN_OVERLAP`]-byte overlap for a
+/// terminator spanning two reads), so a head arriving in many small
+/// reads costs O(head), not O(head²).
 pub fn parse_request(stream: &mut impl Read) -> Result<Request, ParseError> {
     let mut head = Vec::with_capacity(512);
     let mut chunk = [0u8; 1024];
+    let mut scanned: usize = 0;
     let end = loop {
-        if let Some(pos) = find_head_end(&head) {
+        if let Some(pos) = find_head_end(&head, scanned.saturating_sub(HEAD_SCAN_OVERLAP)) {
             if pos > MAX_HEAD_BYTES {
                 return Err(ParseError::HeadTooLarge);
             }
             break pos;
         }
+        scanned = head.len();
         if head.len() > MAX_HEAD_BYTES {
             return Err(ParseError::HeadTooLarge);
         }
@@ -93,7 +100,9 @@ pub fn parse_request(stream: &mut impl Read) -> Result<Request, ParseError> {
         head.extend_from_slice(&chunk[..n]);
     };
     let head = std::str::from_utf8(&head[..end]).map_err(|_| ParseError::Malformed("not UTF-8"))?;
-    let mut lines = head.split("\r\n");
+    // Split on LF and trim the optional CR so CRLF and bare-LF heads
+    // parse identically.
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split(' ');
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
@@ -125,9 +134,30 @@ pub fn parse_request(stream: &mut impl Read) -> Result<Request, ParseError> {
     })
 }
 
-/// Byte offset just past the first `\r\n\r\n`, if present.
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+/// Bytes a resumed terminator search backs up over: the longest
+/// terminator suffix that can span a read boundary is 2 bytes (both
+/// accepted terminators end in `\n\n` or `\r\n` after a leading `\n`).
+const HEAD_SCAN_OVERLAP: usize = 2;
+
+/// Byte offset just past the first head terminator at or after `from`:
+/// an empty line, i.e. `\n` directly followed by `\n` or `\r\n` (this
+/// accepts the standard `\r\n\r\n`, the bare-LF `\n\n`, and mixed
+/// endings).
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            let rest = &buf[i + 1..];
+            if rest.first() == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if rest.starts_with(b"\r\n") {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
 }
 
 /// One response to write back. Always closes the connection.
@@ -261,6 +291,90 @@ mod tests {
         let req = parse_request(&mut OneByte(b"GET / HTTP/1.1\r\n\r\n".to_vec(), 0)).unwrap();
         assert_eq!(req.path, "/");
         assert_eq!(req.query, "");
+    }
+
+    #[test]
+    fn accepts_bare_lf_and_mixed_terminators() {
+        // LF-only clients (`printf 'GET / HTTP/1.1\n\n' | nc ...`) used
+        // to pin a worker slot until the read timeout; the head must
+        // terminate on `\n\n` just like `\r\n\r\n`.
+        let req = parse(b"GET /v1/healthz HTTP/1.1\nHost: x\n\n").unwrap();
+        assert_eq!(req.path, "/v1/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        // Mixed endings: CRLF head lines, bare-LF blank line and the
+        // other way round.
+        let req = parse(b"GET /a HTTP/1.1\r\nHost: x\r\n\n").unwrap();
+        assert_eq!(req.path, "/a");
+        let req = parse(b"GET /b HTTP/1.0\nHost: x\n\r\n").unwrap();
+        assert_eq!(req.path, "/b");
+        // Body bytes after a bare-LF terminator stay unread.
+        let req = parse(b"GET /c HTTP/1.1\n\nignored body").unwrap();
+        assert_eq!(req.path, "/c");
+    }
+
+    #[test]
+    fn byte_at_a_time_head_scan_stays_linear() {
+        // Regression for the O(n^2) rescan: each failed terminator
+        // search used to restart from byte 0, so a near-cap head
+        // arriving one byte at a time examined ~n^2/2 bytes. Replicate
+        // the resume arithmetic `parse_request` uses and count how many
+        // bytes get examined; with incremental resume it is bounded by
+        // one fresh byte plus the two-byte overlap per read.
+        let head = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "x".repeat(MAX_HEAD_BYTES - 64)
+        )
+        .into_bytes();
+        let mut buf = Vec::new();
+        let mut scanned: usize = 0;
+        let mut examined: u64 = 0;
+        let mut found = None;
+        for &b in &head {
+            buf.push(b);
+            let from = scanned.saturating_sub(HEAD_SCAN_OVERLAP);
+            examined += (buf.len() - from) as u64;
+            if let Some(pos) = find_head_end(&buf, from) {
+                found = Some(pos);
+                break;
+            }
+            scanned = buf.len();
+        }
+        assert_eq!(found, Some(head.len()));
+        assert!(
+            examined <= 3 * head.len() as u64,
+            "examined {examined} bytes for a {}-byte head",
+            head.len()
+        );
+        // And the real parser accepts the same head fed through a
+        // one-byte reader without blowing the test timeout.
+        struct OneByte(Vec<u8>, usize);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let req = parse_request(&mut OneByte(head, 0)).unwrap();
+        assert_eq!(req.path, "/");
+    }
+
+    #[test]
+    fn query_param_repeated_keys_and_valueless_pairs() {
+        let req = parse(b"GET /v1/series/1?from=&to=9&from=5&flag&=bare HTTP/1.1\r\n\r\n").unwrap();
+        // First occurrence wins for repeated keys.
+        assert_eq!(req.query_param("from"), Some(""));
+        assert_eq!(req.query_param("to"), Some("9"));
+        // A valueless pair reads as the empty string, distinct from an
+        // absent key.
+        assert_eq!(req.query_param("flag"), Some(""));
+        assert_eq!(req.query_param("missing"), None);
+        // `=bare` is an empty key, not a match for "bare".
+        assert_eq!(req.query_param("bare"), None);
+        assert_eq!(req.query_param(""), Some("bare"));
     }
 
     #[test]

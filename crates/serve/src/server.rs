@@ -445,6 +445,30 @@ mod tests {
     }
 
     #[test]
+    fn bare_lf_request_gets_a_response() {
+        // Regression: an LF-only client (`\n\n` head terminator) used
+        // to hang on a worker slot until the read timeout instead of
+        // being answered.
+        let handler: Arc<Handler> =
+            Arc::new(|req: &Request| Response::text(200, format!("path={}", req.path)));
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue: 4,
+            retry_after_secs: 1,
+        };
+        let (addr, metrics, shutdown, join) = spawn_server(config, handler);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /lf-only HTTP/1.1\nHost: test\n\n").unwrap();
+        let (status, _, body) = read_response(stream);
+        assert_eq!(status, 200);
+        assert_eq!(body, "path=/lf-only");
+        shutdown.store(true, Ordering::Release);
+        join.join().unwrap().unwrap();
+        assert_eq!(metrics.snapshot().requests, 1);
+    }
+
+    #[test]
     fn non_get_and_malformed_requests_get_errors() {
         let handler: Arc<Handler> = Arc::new(|_req: &Request| Response::text(200, "ok"));
         let config = ServerConfig {

@@ -7,6 +7,13 @@
 # The criterion benchmark (cargo bench -p lastmile-bench --bench ingest)
 # prices the raw decode loop in-process; this script records the same
 # comparison end-to-end through the CLI, stats plumbing included.
+#
+# BENCH_SMOKE=1 runs a fast correctness-only pass instead: a one-day
+# corpus (plus a deliberately corrupted copy) is classified in every
+# form × mode combination and each parallel mode's --json output and
+# quarantine dump must be byte-identical to the serial reference path.
+# No timings are recorded and BENCH_ingest.json is not touched — this is
+# the cross-mode identity check scripts/check.sh runs on every change.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,6 +23,58 @@ bin=target/release/lastmile
 
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
+
+if [ "${BENCH_SMOKE:-0}" = "1" ]; then
+    echo "==> smoke: simulate 1 day of the anchor scenario"
+    "$bin" simulate --scenario anchor --out "$work" --days 1 >/dev/null 2>&1
+    jsonl="$work/traceroutes.jsonl"
+    array="$work/traceroutes.json"
+    { printf '['; sed '$!s/$/,/' "$jsonl"; printf ']'; } >"$array"
+    # A corrupted copy exercises quarantine identity: a torn record and
+    # a non-JSON line spliced between intact records.
+    corrupt="$work/corrupt.jsonl"
+    {
+        head -n 3 "$jsonl"
+        printf '{"torn": \nnot json at all\n'
+        tail -n +4 "$jsonl"
+    } >"$corrupt"
+    for form in lines array corrupt; do
+        case $form in
+            lines) file=$jsonl ;;
+            array) file=$array ;;
+            corrupt) file=$corrupt ;;
+        esac
+        for mode in serial 1 0; do
+            case $mode in
+                serial) args="--ingest-serial" label=serial ;;
+                *) args="--ingest-threads $mode" label="threads$mode" ;;
+            esac
+            echo "==> smoke: classify $form $label"
+            # shellcheck disable=SC2086 # $args is intentionally word-split
+            "$bin" classify --traceroutes "$file" --probes "$work/probes.json" \
+                $args --json --quarantine "$work/q.$form.$label.jsonl" \
+                >"$work/out.$form.$label.json" 2>/dev/null
+            if [ "$label" != serial ]; then
+                cmp "$work/out.$form.serial.json" "$work/out.$form.$label.json" || {
+                    echo "FAIL: $form $label classify --json differs from serial" >&2
+                    exit 1
+                }
+                cmp "$work/q.$form.serial.jsonl" "$work/q.$form.$label.jsonl" || {
+                    echo "FAIL: $form $label quarantine dump differs from serial" >&2
+                    exit 1
+                }
+            fi
+        done
+    done
+    # The corrupted corpus must actually have quarantined something, or
+    # the quarantine identity above is vacuous.
+    [ -s "$work/q.corrupt.serial.jsonl" ] || {
+        echo "FAIL: corrupted corpus produced an empty quarantine dump" >&2
+        exit 1
+    }
+    echo "OK: ingest smoke passed (classify --json and quarantine byte-identical across modes)"
+    exit 0
+fi
 
 echo "==> simulate 3 days of the anchor scenario"
 "$bin" simulate --scenario anchor --out "$work" --days 3 >/dev/null 2>&1

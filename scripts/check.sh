@@ -22,6 +22,13 @@ cargo build --workspace --benches --examples
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# Ingest smoke: every form × mode combination of classify over a small
+# corpus (plus a corrupted copy) must produce --json output and a
+# quarantine dump byte-identical to the serial reference path — the
+# invariant the parallel zero-copy framer is held to.
+echo "==> ingest smoke (BENCH_SMOKE=1 scripts/bench_ingest.sh)"
+BENCH_SMOKE=1 sh scripts/bench_ingest.sh
+
 # Observability smoke: simulate a small fixture and classify it with
 # --trace/--stats-out/--populations-csv, validating the artefacts (valid
 # trace JSON, balanced spans, golden stats key set) in-process — no jq.

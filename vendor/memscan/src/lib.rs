@@ -1,0 +1,743 @@
+//! Bulk byte scanning in word-sized strides (SWAR — "SIMD within a
+//! register"): find the first occurrence of one, two, or three needle
+//! bytes, or of a JSON structural byte, without examining the haystack
+//! one byte at a time.
+//!
+//! This is the dependency-free stand-in for the `memchr` crate that the
+//! ingest framing hot loops use (the build environment has no registry
+//! access; see `vendor/README.md`). The interface is deliberately tiny:
+//! every function returns the index of the *first* match, scanning
+//! 8 bytes per step with portable `u64` arithmetic — no `unsafe`, no
+//! platform intrinsics, no alignment requirements
+//! (`u64::from_le_bytes` over `chunks_exact` compiles to unaligned
+//! loads on every target that has them).
+//!
+//! ## How the zero-byte trick works
+//!
+//! For a word `x`, `(x - 0x0101..) & !x & 0x8080..` sets bit 7 of every
+//! byte of `x` that is `0x00`. Borrow propagation can set *additional*
+//! high bits, but only in bytes **above** the lowest true zero byte —
+//! so the lowest set bit of the mask always marks a real match, which
+//! is the only bit these functions consume (`trailing_zeros / 8` under
+//! little-endian byte order = first match in memory order). XOR-ing the
+//! haystack word with a broadcast needle turns "find the needle" into
+//! "find the zero byte"; OR-ing several needles' masks keeps the
+//! lowest-set-bit guarantee, because each mask's false positives sit
+//! above that mask's own first true match.
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+const F7: u64 = 0x7F7F_7F7F_7F7F_7F7F;
+const WORD: usize = 8;
+
+/// Bytes per scan word. Callers that walk [`json_scan_mask`] words
+/// advance by this much per mask.
+pub const WORD_BYTES: usize = WORD;
+
+/// Broadcast one byte into every lane of a word.
+#[inline(always)]
+fn splat(b: u8) -> u64 {
+    LO * u64::from(b)
+}
+
+/// High-bit mask of the zero bytes of `x` (lowest set bit exact; see
+/// the module docs for the false-positive caveat above it).
+#[inline(always)]
+fn zero_bytes(x: u64) -> u64 {
+    x.wrapping_sub(LO) & !x & HI
+}
+
+/// Byte index of the lowest set high bit (little-endian word order).
+#[inline(always)]
+fn first_set(mask: u64) -> usize {
+    (mask.trailing_zeros() / 8) as usize
+}
+
+#[inline(always)]
+fn load(chunk: &[u8]) -> u64 {
+    u64::from_le_bytes(chunk.try_into().expect("exact word chunk"))
+}
+
+/// Exact high-bit mask of the zero bytes of `x`: every zero lane is
+/// flagged and no other lane is. Costs a couple more operations than
+/// [`zero_bytes`], but the result is safe to iterate bit by bit —
+/// there are no false positives anywhere, not just below the first
+/// match. (Per-lane `(x & 0x7F) + 0x7F` carries into bit 7 exactly when
+/// the low 7 bits are non-zero, and cannot carry across lanes.)
+#[inline(always)]
+fn zero_bytes_exact(x: u64) -> u64 {
+    !(((x & F7) + F7) | x | F7)
+}
+
+/// Load one scan word from the first [`WORD_BYTES`] bytes of `chunk`
+/// (little-endian, so lane 0 = first byte in memory).
+#[inline(always)]
+pub fn load_word(chunk: &[u8]) -> u64 {
+    load(&chunk[..WORD])
+}
+
+/// Lane index (0–7, memory order) of the lowest set bit of a scan mask.
+#[inline(always)]
+pub fn first_lane(mask: u64) -> usize {
+    first_set(mask)
+}
+
+/// High bit of `lane`, for masking single lanes out of a scan mask.
+#[inline(always)]
+pub fn lane_bit(lane: usize) -> u64 {
+    0x80u64 << (lane * 8)
+}
+
+/// Exact per-lane mask (high bit of each matching lane) of the bytes a
+/// JSON element scanner dispatches on: `"`, `\`, `,`, `{`, `}`, `[`,
+/// `]` — nothing else matches, every occurrence matches. Built from
+/// [`zero_bytes_exact`] so callers can walk *all* set bits of one word,
+/// updating string/escape/depth state per byte, instead of re-scanning
+/// from each structural byte. The `0x20` fold maps `[`/`]` onto `{`/`}`
+/// (exactly those pairs — see [`find_json_struct`]); the quote,
+/// backslash, and comma are matched unfolded, so their fold aliases
+/// (0x02 → `"`, 0x0C → `,`) cannot produce false lanes.
+#[inline(always)]
+pub fn json_scan_mask(w: u64) -> u64 {
+    json_scan_mask_nocomma(w) | comma_lanes(w)
+}
+
+/// [`json_scan_mask`] without the comma lanes. A scanner at bracket
+/// depth > 0 never acts on a comma, so it can start from this mask and
+/// OR in [`comma_lanes`] only for words (or word tails, via
+/// [`lanes_after`]) where depth is 0 — skipping the object-field and
+/// nested-array separators that dominate dense JSON.
+#[inline(always)]
+pub fn json_scan_mask_nocomma(w: u64) -> u64 {
+    let folded = w | splat(0x20);
+    zero_bytes_exact(w ^ splat(b'"'))
+        | zero_bytes_exact(w ^ splat(b'\\'))
+        | zero_bytes_exact(folded ^ splat(b'{'))
+        | zero_bytes_exact(folded ^ splat(b'}'))
+}
+
+/// Exact per-lane mask of the `,` bytes of `w`.
+#[inline(always)]
+pub fn comma_lanes(w: u64) -> u64 {
+    zero_bytes_exact(w ^ splat(b','))
+}
+
+/// Exact per-lane mask of the `"` bytes of `w`.
+#[inline(always)]
+pub fn quote_lanes(w: u64) -> u64 {
+    zero_bytes_exact(w ^ splat(b'"'))
+}
+
+/// Exact per-lane mask of the `\` bytes of `w`.
+#[inline(always)]
+pub fn backslash_lanes(w: u64) -> u64 {
+    zero_bytes_exact(w ^ splat(b'\\'))
+}
+
+/// Exact per-lane mask of the `{` `}` `[` `]` bytes of `w` (the `0x20`
+/// fold maps each square bracket onto its curly sibling — exactly those
+/// pairs, see [`find_json_struct`]).
+#[inline(always)]
+pub fn brace_lanes(w: u64) -> u64 {
+    let folded = w | splat(0x20);
+    zero_bytes_exact(folded ^ splat(b'{')) | zero_bytes_exact(folded ^ splat(b'}'))
+}
+
+/// Superset of [`brace_lanes`] at half the cost: after the `0x20` fold,
+/// `{` (0x7B) and `}` (0x7D) differ only in bits 1–2, so masking those
+/// out merges all four brackets into one compare against 0x79. The only
+/// other bytes landing in that class are `Y` `y` `_` and DEL — callers
+/// must re-read the byte at each set lane (a scanner dispatching on the
+/// actual byte treats the strays as no-ops; none of them occur outside
+/// strings in JSON anyway).
+#[inline(always)]
+pub fn braceish_lanes(w: u64) -> u64 {
+    zero_bytes_exact(((w | splat(0x20)) & !splat(0x06)) ^ splat(0x79))
+}
+
+/// Compact a per-lane high-bit mask to one bit per lane: bit `i` of the
+/// result = lane `i`'s high bit. The multiply gathers the byte-spaced
+/// bits into the top byte (each wanted product bit `56 + i` is hit by
+/// exactly one (lane, constant-bit) pair; everything else lands below
+/// 56 or wraps away).
+#[inline(always)]
+pub fn compact(mask: u64) -> u8 {
+    ((mask >> 7).wrapping_mul(0x0102_0408_1020_4080) >> 56) as u8
+}
+
+/// Per-lane running parity of a compact mask: bit `i` of the result =
+/// XOR of bits `0..=i`. With the compact quote mask of a word this is
+/// the "inside a string literal" mask — each opening quote flips every
+/// later lane until its closing quote flips them back (XOR the whole
+/// result with `0xFF` when the word *starts* inside a string).
+#[inline(always)]
+pub fn prefix_xor(m: u8) -> u8 {
+    let mut p = m;
+    p ^= p << 1;
+    p ^= p << 2;
+    p ^= p << 4;
+    p
+}
+
+/// Compact-mask counterpart of [`lanes_after`]: every bit strictly
+/// after `lane` (empty for the last lane).
+#[inline(always)]
+pub fn compact_lanes_after(lane: usize) -> u8 {
+    (0xFFu16 << (lane + 1)) as u8
+}
+
+/// [`compact`] over two adjacent words: bit `i` = lane `i` of `m0`,
+/// bit `8 + i` = lane `i` of `m1` — one 16-lane mask for a 16-byte
+/// stride.
+#[inline(always)]
+pub fn compact2(m0: u64, m1: u64) -> u16 {
+    u16::from(compact(m0)) | u16::from(compact(m1)) << 8
+}
+
+/// [`prefix_xor`] over a 16-lane compact mask.
+#[inline(always)]
+pub fn prefix_xor16(m: u16) -> u16 {
+    let mut p = m;
+    p ^= p << 1;
+    p ^= p << 2;
+    p ^= p << 4;
+    p ^= p << 8;
+    p
+}
+
+/// [`compact_lanes_after`] for a 16-lane compact mask.
+#[inline(always)]
+pub fn compact_lanes_after16(lane: usize) -> u16 {
+    (0xFFFFu32 << (lane + 1)) as u16
+}
+
+/// Whether `w` contains byte `b` anywhere. Uses the cheap inexact
+/// [`zero_bytes`] mask — its false positives only affect *positions*,
+/// never presence, so this is an exact yes/no at three ALU ops.
+#[inline(always)]
+pub fn has_byte(w: u64, b: u8) -> bool {
+    zero_bytes(w ^ splat(b)) != 0
+}
+
+/// [`compact`] over four adjacent words: one 32-lane mask for a
+/// 32-byte stride (bit `8 * word + i` = lane `i` of `m[word]`).
+#[inline(always)]
+pub fn compact4(m: [u64; 4]) -> u32 {
+    u32::from(compact(m[0]))
+        | u32::from(compact(m[1])) << 8
+        | u32::from(compact(m[2])) << 16
+        | u32::from(compact(m[3])) << 24
+}
+
+/// [`prefix_xor`] over a 32-lane compact mask.
+#[inline(always)]
+pub fn prefix_xor32(m: u32) -> u32 {
+    let mut p = m;
+    p ^= p << 1;
+    p ^= p << 2;
+    p ^= p << 4;
+    p ^= p << 8;
+    p ^= p << 16;
+    p
+}
+
+/// [`compact_lanes_after`] for a 32-lane compact mask.
+#[inline(always)]
+pub fn compact_lanes_after32(lane: usize) -> u32 {
+    (0xFFFF_FFFFu64 << (lane + 1)) as u32
+}
+
+/// Mask selecting every lane strictly after `lane` (empty for the last
+/// lane).
+#[inline(always)]
+pub fn lanes_after(lane: usize) -> u64 {
+    match lane + 1 {
+        WORD.. => 0,
+        next => !0u64 << (next * 8),
+    }
+}
+
+/// Index of the first occurrence of `needle` in `haystack`.
+#[inline]
+pub fn memchr(needle: u8, haystack: &[u8]) -> Option<usize> {
+    let t = splat(needle);
+    let mut offset = 0;
+    // Two words per iteration: long needle-free runs (line scanning)
+    // pay one branch per 16 bytes.
+    while offset + 2 * WORD <= haystack.len() {
+        let m0 = zero_bytes(load(&haystack[offset..offset + WORD]) ^ t);
+        let m1 = zero_bytes(load(&haystack[offset + WORD..offset + 2 * WORD]) ^ t);
+        if m0 | m1 != 0 {
+            return Some(if m0 != 0 {
+                offset + first_set(m0)
+            } else {
+                offset + WORD + first_set(m1)
+            });
+        }
+        offset += 2 * WORD;
+    }
+    let mut chunks = haystack[offset..].chunks_exact(WORD);
+    for chunk in &mut chunks {
+        let m = zero_bytes(load(chunk) ^ t);
+        if m != 0 {
+            return Some(offset + first_set(m));
+        }
+        offset += WORD;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == needle)
+        .map(|i| offset + i)
+}
+
+/// Index of the first occurrence of `n1` or `n2` in `haystack`.
+#[inline]
+pub fn memchr2(n1: u8, n2: u8, haystack: &[u8]) -> Option<usize> {
+    let t1 = splat(n1);
+    let t2 = splat(n2);
+    let mut chunks = haystack.chunks_exact(WORD);
+    let mut offset = 0;
+    for chunk in &mut chunks {
+        let w = load(chunk);
+        let m = zero_bytes(w ^ t1) | zero_bytes(w ^ t2);
+        if m != 0 {
+            return Some(offset + first_set(m));
+        }
+        offset += WORD;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == n1 || b == n2)
+        .map(|i| offset + i)
+}
+
+/// Index of the first occurrence of `n1`, `n2`, or `n3` in `haystack`.
+#[inline]
+pub fn memchr3(n1: u8, n2: u8, n3: u8, haystack: &[u8]) -> Option<usize> {
+    let t1 = splat(n1);
+    let t2 = splat(n2);
+    let t3 = splat(n3);
+    let mut chunks = haystack.chunks_exact(WORD);
+    let mut offset = 0;
+    for chunk in &mut chunks {
+        let w = load(chunk);
+        let m = zero_bytes(w ^ t1) | zero_bytes(w ^ t2) | zero_bytes(w ^ t3);
+        if m != 0 {
+            return Some(offset + first_set(m));
+        }
+        offset += WORD;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == n1 || b == n2 || b == n3)
+        .map(|i| offset + i)
+}
+
+/// Whether `b` is a JSON structural byte for an element scanner: `"`,
+/// `{`, `}`, `[`, `]`, and (when `commas` is set) `,`.
+#[inline(always)]
+pub fn is_json_struct(b: u8, commas: bool) -> bool {
+    matches!(b, b'"' | b'{' | b'}' | b'[' | b']') || (commas && b == b',')
+}
+
+/// Index of the first JSON structural byte in `haystack`.
+///
+/// Scans for all five bracket/quote bytes in three zero-byte tests per
+/// word: OR-ing `0x20` into every lane folds `[` (0x5B) onto `{` (0x7B)
+/// and `]` (0x5D) onto `}` (0x7D) — exactly those pairs and nothing
+/// else, since `b | 0x20 == 0x7B` iff `b ∈ {0x5B, 0x7B}` (and likewise
+/// for 0x7D). The quote and the optional comma are matched on the
+/// *unfolded* word, so bytes that merely fold onto them (0x02 → 0x22,
+/// 0x0C → 0x2C) cannot produce false matches. Callers exclude commas
+/// while bracket depth is positive, where a comma does not change
+/// scanner state — skipping them in-word instead of stopping at every
+/// object field separator.
+#[inline]
+pub fn find_json_struct(haystack: &[u8], commas: bool) -> Option<usize> {
+    let quote = splat(b'"');
+    let open = splat(b'{');
+    let close = splat(b'}');
+    let comma = splat(b',');
+    let fold = splat(0x20);
+    let mut chunks = haystack.chunks_exact(WORD);
+    let mut offset = 0;
+    for chunk in &mut chunks {
+        let w = load(chunk);
+        let folded = w | fold;
+        let mut m = zero_bytes(w ^ quote) | zero_bytes(folded ^ open) | zero_bytes(folded ^ close);
+        if commas {
+            m |= zero_bytes(w ^ comma);
+        }
+        if m != 0 {
+            return Some(offset + first_set(m));
+        }
+        offset += WORD;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| is_json_struct(b, commas))
+        .map(|i| offset + i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random bytes (xorshift64*), registry-free.
+    fn noise(seed: u64, len: usize) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+            })
+            .collect()
+    }
+
+    fn naive(pred: impl Fn(u8) -> bool, hay: &[u8]) -> Option<usize> {
+        hay.iter().position(|&b| pred(b))
+    }
+
+    #[test]
+    fn memchr_matches_naive_at_every_offset_and_length() {
+        let hay = noise(7, 300);
+        for len in 0..hay.len() {
+            for start in 0..4.min(len + 1) {
+                let h = &hay[start..len.max(start)];
+                for needle in [0u8, b'\n', b'"', 0x80, 0xFF, hay[len / 2 % hay.len()]] {
+                    assert_eq!(
+                        memchr(needle, h),
+                        naive(|b| b == needle, h),
+                        "needle={needle:#x} start={start} len={len}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memchr_finds_needle_in_every_word_lane() {
+        for pos in 0..40 {
+            let mut hay = vec![b'a'; 40];
+            hay[pos] = b'\n';
+            assert_eq!(memchr(b'\n', &hay), Some(pos));
+        }
+        assert_eq!(memchr(b'\n', &[]), None);
+        assert_eq!(memchr(b'\n', b"no newline here....."), None);
+    }
+
+    #[test]
+    fn memchr2_and_memchr3_match_naive() {
+        let hay = noise(99, 257);
+        for len in [0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255, 256, 257] {
+            let h = &hay[..len];
+            assert_eq!(
+                memchr2(b'"', b'\\', h),
+                naive(|b| b == b'"' || b == b'\\', h)
+            );
+            assert_eq!(
+                memchr3(b'"', b'\\', b'\n', h),
+                naive(|b| b == b'"' || b == b'\\' || b == b'\n', h)
+            );
+        }
+        // First of the two needles wins regardless of which needle it is.
+        assert_eq!(memchr2(b'a', b'b', b"xxbxa"), Some(2));
+        assert_eq!(memchr2(b'a', b'b', b"xxaxb"), Some(2));
+    }
+
+    #[test]
+    fn zero_and_high_bytes_are_exact() {
+        // 0x00 and >= 0x80 are the classic SWAR trap cases.
+        let hay = [0x00, 0x7F, 0x80, 0xFF, 0x00, 0x80];
+        assert_eq!(memchr(0x00, &hay), Some(0));
+        assert_eq!(memchr(0x80, &hay), Some(2));
+        assert_eq!(memchr(0xFF, &hay), Some(3));
+        assert_eq!(memchr2(0xFF, 0x80, &hay), Some(2));
+    }
+
+    #[test]
+    fn json_struct_matches_naive_and_rejects_fold_aliases() {
+        let structural = br#"x"x{x}x[x]x,x"#;
+        for commas in [false, true] {
+            assert_eq!(
+                find_json_struct(structural, commas),
+                naive(|b| is_json_struct(b, commas), structural)
+            );
+        }
+        // Bytes that fold onto the bracket lanes must not match: `;`
+        // (0x3B), `=` (0x3D), `_`, DEL, and the comma's unfolded
+        // neighbour 0x0C.
+        let aliases = b"\x3b\x3d_\x7fyY\x0c\x02";
+        assert_eq!(find_json_struct(aliases, true), None);
+        // Exhaustive: agreement with the naive predicate on noise, at
+        // lengths around word boundaries.
+        let hay = noise(3, 130);
+        for len in 0..hay.len() {
+            for commas in [false, true] {
+                assert_eq!(
+                    find_json_struct(&hay[..len], commas),
+                    naive(|b| is_json_struct(b, commas), &hay[..len]),
+                    "len={len} commas={commas}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_structural_byte_is_found_in_every_lane() {
+        for needle in [b'"', b'{', b'}', b'[', b']', b','] {
+            for pos in 0..24 {
+                let mut hay = vec![b'0'; 24];
+                hay[pos] = needle;
+                let commas = needle == b',';
+                assert_eq!(
+                    find_json_struct(&hay, commas),
+                    Some(pos),
+                    "needle={} pos={pos}",
+                    needle as char
+                );
+            }
+        }
+        // Commas are invisible when excluded.
+        assert_eq!(find_json_struct(b"0,0,0,0,0,0,0,0,0,{", false), Some(18));
+    }
+
+    /// The scan-word bytes the mask must flag, and only them.
+    fn scan_byte(b: u8) -> bool {
+        matches!(b, b'"' | b'\\' | b',' | b'{' | b'}' | b'[' | b']')
+    }
+
+    #[test]
+    fn json_scan_mask_is_exact_in_every_lane() {
+        // Exactness is the whole contract: callers iterate ALL set bits,
+        // so a false positive anywhere (not just below the first match)
+        // corrupts framing state. Check every byte value in every lane,
+        // with adversarial neighbours (0x00 and 0xFF border cases for
+        // the SWAR add, plus a real structural byte to the left).
+        for lane in 0..WORD {
+            for neighbour in [0x00u8, 0xFF, b'a', b'{'] {
+                for b in 0..=255u8 {
+                    let mut bytes = [neighbour; WORD];
+                    bytes[lane] = b;
+                    let m = json_scan_mask(load_word(&bytes));
+                    let got = m & lane_bit(lane) != 0;
+                    assert_eq!(
+                        got,
+                        scan_byte(b),
+                        "byte {b:#04x} lane {lane} neighbour {neighbour:#04x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn json_scan_mask_agrees_with_naive_on_noise() {
+        let hay = noise(11, 256);
+        for chunk in hay.chunks_exact(WORD) {
+            let m = json_scan_mask(load_word(chunk));
+            for (lane, &b) in chunk.iter().enumerate() {
+                assert_eq!(
+                    m & lane_bit(lane) != 0,
+                    scan_byte(b),
+                    "byte {b:#04x} lane {lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_lane_and_lane_bit_round_trip() {
+        for lane in 0..WORD {
+            assert_eq!(first_lane(lane_bit(lane)), lane);
+        }
+    }
+
+    #[test]
+    fn compact_prefix_xor_and_lane_masks_agree_with_naive() {
+        // compact: every single-lane mask and a noise sweep.
+        for lane in 0..WORD {
+            assert_eq!(compact(lane_bit(lane)), 1 << lane);
+        }
+        let hay = noise(23, 256);
+        for chunk in hay.chunks_exact(WORD) {
+            let w = load_word(chunk);
+            for (lanes, pred) in [
+                (quote_lanes(w), b'"'),
+                (backslash_lanes(w), b'\\'),
+                (comma_lanes(w), b','),
+            ] {
+                let naive: u8 = chunk
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b == pred)
+                    .map(|(i, _)| 1u8 << i)
+                    .fold(0, |a, b| a | b);
+                assert_eq!(compact(lanes), naive, "byte {pred:#04x} chunk {chunk:?}");
+            }
+            let naive_braces: u8 = chunk
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| matches!(b, b'{' | b'}' | b'[' | b']'))
+                .map(|(i, _)| 1u8 << i)
+                .fold(0, |a, b| a | b);
+            assert_eq!(compact(brace_lanes(w)), naive_braces, "chunk {chunk:?}");
+        }
+        // prefix_xor: running parity, every 8-bit value.
+        for m in 0..=255u8 {
+            let mut parity = 0u8;
+            let mut want = 0u8;
+            for i in 0..8 {
+                parity ^= (m >> i) & 1;
+                want |= parity << i;
+            }
+            assert_eq!(prefix_xor(m), want, "m={m:#010b}");
+        }
+        // lanes_after fills whole lanes; its high bits per lane must
+        // compact to the same selector compact_lanes_after builds.
+        for lane in 0..WORD {
+            assert_eq!(compact(lanes_after(lane) & HI), compact_lanes_after(lane));
+        }
+    }
+
+    #[test]
+    fn sixteen_lane_helpers_agree_with_their_eight_lane_halves() {
+        let hay = noise(57, 160);
+        for pair in hay.chunks_exact(2 * WORD) {
+            let (m0, m1) = (quote_lanes(load_word(&pair[..WORD])), {
+                quote_lanes(load_word(&pair[WORD..]))
+            });
+            let c = compact2(m0, m1);
+            assert_eq!(c as u8, compact(m0));
+            assert_eq!((c >> 8) as u8, compact(m1));
+        }
+        for m in [0u16, 1, 0x8000, 0x0101, 0xFFFF, 0b1001_0010_0100_1000] {
+            let mut parity = 0u16;
+            let mut want = 0u16;
+            for i in 0..16 {
+                parity ^= (m >> i) & 1;
+                want |= parity << i;
+            }
+            assert_eq!(prefix_xor16(m), want, "m={m:#018b}");
+        }
+        for lane in 0..16 {
+            let after = compact_lanes_after16(lane);
+            for k in 0..16 {
+                assert_eq!(after & (1 << k) != 0, k > lane, "lane={lane} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn thirtytwo_lane_helpers_agree_with_their_eight_lane_quarters() {
+        let hay = noise(58, 320);
+        for quad in hay.chunks_exact(4 * WORD) {
+            let ms = [
+                quote_lanes(load_word(&quad[..WORD])),
+                quote_lanes(load_word(&quad[WORD..2 * WORD])),
+                quote_lanes(load_word(&quad[2 * WORD..3 * WORD])),
+                quote_lanes(load_word(&quad[3 * WORD..])),
+            ];
+            let c = compact4(ms);
+            for (i, &m) in ms.iter().enumerate() {
+                assert_eq!((c >> (8 * i)) as u8, compact(m), "word {i}");
+            }
+        }
+        for m in [0u32, 1, 0x8000_0000, 0x0101_0101, u32::MAX, 0x9248_1249] {
+            let mut parity = 0u32;
+            let mut want = 0u32;
+            for i in 0..32 {
+                parity ^= (m >> i) & 1;
+                want |= parity << i;
+            }
+            assert_eq!(prefix_xor32(m), want, "m={m:#034b}");
+        }
+        for lane in 0..32 {
+            let after = compact_lanes_after32(lane);
+            for k in 0..32 {
+                assert_eq!(after & (1u32 << k) != 0, k > lane, "lane={lane} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn braceish_is_a_cheap_superset_of_braces() {
+        // Exactly the four brackets plus the four documented strays, in
+        // every lane, for every byte value.
+        for b in 0u8..=255 {
+            let stray = matches!(b, b'Y' | b'y' | b'_' | 0x7F);
+            let bracket = matches!(b, b'{' | b'}' | b'[' | b']');
+            for lane in 0..WORD {
+                let mut bytes = [b'a'; WORD];
+                bytes[lane] = b;
+                let m = braceish_lanes(load_word(&bytes));
+                assert_eq!(
+                    m & lane_bit(lane) != 0,
+                    bracket || stray,
+                    "b={b:#04x} lane={lane}"
+                );
+            }
+        }
+        let hay = noise(60, 256);
+        for w in hay.chunks_exact(WORD).map(load_word) {
+            assert_eq!(
+                braceish_lanes(w) & brace_lanes(w),
+                brace_lanes(w),
+                "braceish must contain every true bracket lane"
+            );
+        }
+    }
+
+    #[test]
+    fn has_byte_matches_naive_contains() {
+        let hay = noise(59, 256);
+        for w in hay.chunks_exact(WORD).map(load_word) {
+            for b in [0u8, b'\\', b'"', b'{', 0x80, 0xFF] {
+                let naive = w.to_le_bytes().contains(&b);
+                assert_eq!(has_byte(w, b), naive, "w={w:#018x} b={b:#04x}");
+            }
+        }
+        assert!(has_byte(load_word(b"abc\\defg"), b'\\'));
+        assert!(!has_byte(load_word(b"abcdefgh"), b'\\'));
+    }
+
+    #[test]
+    fn prefix_xor_marks_string_interiors() {
+        // The quote mask of `a"bc"d,"` is 0b1001_0010; running parity
+        // marks lanes 1..=3 (the string body plus its opening quote)
+        // and lane 7 (a string left open into the next word).
+        let q = compact(quote_lanes(load_word(b"a\"bc\"d,\"")));
+        assert_eq!(q, 0b1001_0010);
+        assert_eq!(prefix_xor(q), 0b1000_1110);
+    }
+
+    #[test]
+    fn comma_split_and_lanes_after_reassemble_the_full_mask() {
+        let hay = noise(42, 128);
+        for chunk in hay.chunks_exact(WORD) {
+            let w = load_word(chunk);
+            assert_eq!(
+                json_scan_mask_nocomma(w) | comma_lanes(w),
+                json_scan_mask(w)
+            );
+            assert_eq!(json_scan_mask_nocomma(w) & comma_lanes(w), 0);
+        }
+        let w = load_word(b",a,b,c,,");
+        assert_eq!(
+            comma_lanes(w),
+            lane_bit(0) | lane_bit(2) | lane_bit(4) | lane_bit(6) | lane_bit(7)
+        );
+        for lane in 0..WORD {
+            let after = lanes_after(lane);
+            for k in 0..WORD {
+                assert_eq!(after & lane_bit(k) != 0, k > lane, "lane={lane} k={k}");
+            }
+        }
+    }
+}
