@@ -89,6 +89,15 @@ pub fn from_flags(
 impl Cache {
     /// Persist the store back to the snapshot (no-op unless `rw`).
     pub fn persist(&self, metrics: Option<&RunMetrics>) -> Result<(), String> {
+        self.persist_as(self.fingerprint, metrics)
+    }
+
+    /// [`Cache::persist`], stamping the snapshot with a caller-supplied
+    /// source fingerprint. A live daemon's corpus grows while it runs,
+    /// so the fingerprint computed at startup no longer names the bytes
+    /// the store now reflects — the shutdown persist recomputes it over
+    /// the final corpus and stamps that instead.
+    pub fn persist_as(&self, fingerprint: u64, metrics: Option<&RunMetrics>) -> Result<(), String> {
         if self.mode != CacheMode::ReadWrite {
             return Ok(());
         }
@@ -98,7 +107,7 @@ impl Cache {
         let save_timer = StageTimer::start();
         let bytes = self
             .store
-            .save_snapshot(&self.path, self.fingerprint)
+            .save_snapshot(&self.path, fingerprint)
             .map_err(|e| format!("save cache snapshot {}: {e}", self.path.display()))?;
         drop(span);
         if let Some(m) = metrics {

@@ -65,7 +65,43 @@ pub fn analyze_file_with_cache(
     flags: &Flags,
     metrics: Option<&RunMetrics>,
 ) -> Result<AnalysesAndCache, String> {
-    let path = flags.required("traceroutes")?;
+    let paths = vec![flags.required("traceroutes")?.to_string()];
+    let cache = cache::from_flags(flags, || corpus_fingerprint(flags, &paths), metrics)?;
+    let results = analyze_corpus(flags, &paths, metrics, cache.as_ref())?;
+    if let Some(c) = &cache {
+        c.persist(metrics)?;
+    }
+    Ok((results, cache))
+}
+
+/// The source fingerprint for a (possibly multi-file) corpus: the files'
+/// content fingerprints folded left-to-right, plus the BGP table under
+/// per-traceroute attribution (the table decides which traceroutes are
+/// ingested). One file gives exactly [`cache::file_fingerprint`] of it,
+/// so single-file snapshots from older builds keep matching.
+pub fn corpus_fingerprint(flags: &Flags, paths: &[String]) -> Result<u64, String> {
+    let mut f = cache::file_fingerprint(&paths[0])?;
+    for path in &paths[1..] {
+        f = cache::combine_fingerprints(f, cache::file_fingerprint(path)?);
+    }
+    let per_traceroute_asn = flags.optional("probes").is_none();
+    if let (true, Some(table_path)) = (per_traceroute_asn, flags.optional("bgp")) {
+        f = cache::combine_fingerprints(f, cache::file_fingerprint(table_path)?);
+    }
+    Ok(f)
+}
+
+/// The core two-pass analysis over a corpus of one or more traceroute
+/// files (streamed in order, as if concatenated). Serves from / memoizes
+/// into `cache` when one is given, but neither builds nor persists it —
+/// a long-lived caller (the `serve` daemon's re-analysis engine) owns
+/// the cache across many calls and persists once at shutdown.
+pub fn analyze_corpus(
+    flags: &Flags,
+    paths: &[String],
+    metrics: Option<&RunMetrics>,
+    cache: Option<&Cache>,
+) -> Result<Vec<(Asn, PopulationAnalysis)>, String> {
     let mut ingest_opts = ingest_options(flags)?;
     // `--progress` gauges are shared with the ingest workers; the
     // heartbeat thread lives for the whole analysis and is stopped and
@@ -85,8 +121,7 @@ pub fn analyze_file_with_cache(
     let bgp = flags.optional("bgp").map(load_table).transpose()?;
     let anchors_only = flags.switch("anchors-only");
     let per_traceroute_asn = probes.is_none() && bgp.is_some();
-    let cache_requested = flags.optional("cache-dir").is_some()
-        && flags.parsed::<CacheMode>("cache")?.unwrap_or_default() != CacheMode::Off;
+    let cache_engaged = cache.is_some_and(|c| c.mode != CacheMode::Off);
 
     // Pass 1: find the data span — and, when the cache may engage under
     // per-traceroute attribution, record each probe's edge ASN. A probe
@@ -95,41 +130,45 @@ pub fn analyze_file_with_cache(
     // pipelines, and each pipeline's partial series under one store key
     // would poison the snapshot.
     let mut bgp_probe_asn: Option<BTreeMap<ProbeId, Option<Asn>>> =
-        (per_traceroute_asn && cache_requested).then(BTreeMap::new);
+        (per_traceroute_asn && cache_engaged).then(BTreeMap::new);
     let mut data_min: Option<UnixTime> = None;
     let mut data_max: Option<UnixTime> = None;
-    let span = ingest_traceroutes(path, &pass1_opts, |tr| {
-        data_min = Some(data_min.map_or(tr.timestamp, |m| m.min(tr.timestamp)));
-        data_max = Some(data_max.map_or(tr.timestamp, |m| m.max(tr.timestamp)));
-        if let (Some(attribution), Some(table)) = (bgp_probe_asn.as_mut(), &bgp) {
-            if let Some((_, &asn)) = tr.edge_address().and_then(|a| table.lookup(a)) {
-                attribution
-                    .entry(tr.probe)
-                    .and_modify(|e| {
-                        if *e != Some(asn) {
-                            *e = None;
-                        }
-                    })
-                    .or_insert(Some(asn));
+    let mut parsed = 0u64;
+    let mut skipped = 0u64;
+    let mut quarantined_all = Vec::new();
+    for path in paths {
+        let span = ingest_traceroutes(path, &pass1_opts, |tr| {
+            data_min = Some(data_min.map_or(tr.timestamp, |m| m.min(tr.timestamp)));
+            data_max = Some(data_max.map_or(tr.timestamp, |m| m.max(tr.timestamp)));
+            if let (Some(attribution), Some(table)) = (bgp_probe_asn.as_mut(), &bgp) {
+                if let Some((_, &asn)) = tr.edge_address().and_then(|a| table.lookup(a)) {
+                    attribution
+                        .entry(tr.probe)
+                        .and_modify(|e| {
+                            if *e != Some(asn) {
+                                *e = None;
+                            }
+                        })
+                        .or_insert(Some(asn));
+                }
             }
+        })?;
+        parsed += span.parsed;
+        skipped += span.skipped();
+        // Quarantine detail comes from pass 1 only: both passes read the
+        // same files, so typed counts and the triage dump stay exact.
+        if let Some(m) = metrics {
+            m.add_ingest_traffic(&ingest_traffic(&span, true));
+            m.merge_decode_hist(&span.decode_hist);
         }
-    })?;
-    eprintln!(
-        "[input] {} traceroutes parsed, {} skipped",
-        span.parsed,
-        span.skipped()
-    );
-    // Quarantine detail comes from pass 1 only: both passes read the same
-    // file, so typed counts and the triage dump stay per-file exact.
-    if let Some(m) = metrics {
-        m.add_ingest_traffic(&ingest_traffic(&span, true));
-        m.merge_decode_hist(&span.decode_hist);
+        quarantined_all.extend(span.quarantined);
     }
+    eprintln!("[input] {parsed} traceroutes parsed, {skipped} skipped");
     if let Some(qpath) = flags.optional("quarantine") {
-        write_quarantine(qpath, &span.quarantined)?;
+        write_quarantine(qpath, &quarantined_all)?;
         eprintln!(
             "[input] {} quarantined record(s) written to {qpath}",
-            span.quarantined.len()
+            quarantined_all.len()
         );
     }
     let window = resolve_window(
@@ -153,39 +192,17 @@ pub fn analyze_file_with_cache(
         cfg.min_probes_per_bin = min_probes.min(cfg.min_probes_per_bin);
     }
 
-    // Series cache, when requested. The source identity is the traceroute
-    // file's content: same bytes, same fingerprint, wherever it lives.
-    // Per-traceroute attribution additionally mixes in the BGP table:
-    // the table decides which traceroutes are ingested (no-public-hop /
-    // unrouted edges are dropped before the pipelines), so a snapshot is
-    // only valid for the same table and never for `--probes`/ASN-0 runs,
-    // which ingest every traceroute of a probe.
-    let cache: Option<Cache> = cache::from_flags(
-        flags,
-        || {
-            let f = cache::file_fingerprint(path)?;
-            match (per_traceroute_asn, flags.optional("bgp")) {
-                (true, Some(table_path)) => Ok(cache::combine_fingerprints(
-                    f,
-                    cache::file_fingerprint(table_path)?,
-                )),
-                _ => Ok(f),
-            }
-        },
-        metrics,
-    )?;
     // Whether a probe's series may be cached at all: always, except under
     // per-traceroute attribution, where only single-ASN probes qualify.
     let cacheable = |probe: ProbeId| match &bgp_probe_asn {
         Some(attribution) => matches!(attribution.get(&probe), Some(Some(_))),
         None => true,
     };
-    let counters_before = cache.as_ref().map(|c| c.store.counters());
+    let counters_before = cache.map(|c| c.store.counters());
     // Retaining built series costs memory; only pay when write-back can
     // accept them (rw mode, bin-aligned window).
-    let retain = cache
-        .as_ref()
-        .is_some_and(|c| c.mode == CacheMode::ReadWrite && cfg.bin.is_aligned(&window));
+    let retain =
+        cache.is_some_and(|c| c.mode == CacheMode::ReadWrite && cfg.bin.is_aligned(&window));
     let new_pipeline = move || {
         let mut p = AsPipeline::new(cfg, window);
         p.retain_median_series(retain);
@@ -202,44 +219,50 @@ pub fn analyze_file_with_cache(
     let mut served: BTreeMap<ProbeId, (Asn, PrebuiltSeries)> = BTreeMap::new();
     let mut unserved: BTreeSet<ProbeId> = BTreeSet::new();
     let ingest_timer = StageTimer::start();
-    let pass2 = ingest_traceroutes(path, &ingest_opts, |tr| {
-        let asn = match (&probe_to_asn, &bgp) {
-            (Some(map), _) => match map.get(&tr.probe) {
-                Some(&asn) => asn,
-                None => return, // unknown or filtered probe
-            },
-            (None, Some(table)) => match tr.edge_address().and_then(|a| table.lookup(a)) {
-                Some((_, &asn)) => asn,
-                None => return, // no public hop or unrouted edge
-            },
-            (None, None) => 0,
-        };
-        if let Some(c) = &cache {
-            // Ineligible (multi-ASN) probes take the cache-free path
-            // untouched.
-            if cacheable(tr.probe) && !unserved.contains(&tr.probe) {
-                match served.entry(tr.probe) {
-                    Entry::Occupied(_) => return,
-                    Entry::Vacant(slot) => match c
-                        .store
-                        .lookup(&StoreKey::for_pipeline(tr.probe, &cfg), &window)
-                    {
-                        Lookup::Hit(pre) => {
-                            slot.insert((asn, pre));
-                            return;
-                        }
-                        Lookup::Miss | Lookup::Bypass => {
-                            unserved.insert(tr.probe);
-                        }
-                    },
+    for path in paths {
+        let pass2 = ingest_traceroutes(path, &ingest_opts, |tr| {
+            let asn = match (&probe_to_asn, &bgp) {
+                (Some(map), _) => match map.get(&tr.probe) {
+                    Some(&asn) => asn,
+                    None => return, // unknown or filtered probe
+                },
+                (None, Some(table)) => match tr.edge_address().and_then(|a| table.lookup(a)) {
+                    Some((_, &asn)) => asn,
+                    None => return, // no public hop or unrouted edge
+                },
+                (None, None) => 0,
+            };
+            if let Some(c) = cache {
+                // Ineligible (multi-ASN) probes take the cache-free path
+                // untouched.
+                if cacheable(tr.probe) && !unserved.contains(&tr.probe) {
+                    match served.entry(tr.probe) {
+                        Entry::Occupied(_) => return,
+                        Entry::Vacant(slot) => match c
+                            .store
+                            .lookup(&StoreKey::for_pipeline(tr.probe, &cfg), &window)
+                        {
+                            Lookup::Hit(pre) => {
+                                slot.insert((asn, pre));
+                                return;
+                            }
+                            Lookup::Miss | Lookup::Bypass => {
+                                unserved.insert(tr.probe);
+                            }
+                        },
+                    }
                 }
             }
+            pipelines
+                .entry(asn)
+                .or_insert_with(new_pipeline)
+                .ingest(&tr);
+        })?;
+        if let Some(m) = metrics {
+            m.add_ingest_traffic(&ingest_traffic(&pass2, false));
+            m.merge_decode_hist(&pass2.decode_hist);
         }
-        pipelines
-            .entry(asn)
-            .or_insert_with(new_pipeline)
-            .ingest(&tr);
-    })?;
+    }
     for (_, (asn, pre)) in served {
         pipelines
             .entry(asn)
@@ -248,8 +271,6 @@ pub fn analyze_file_with_cache(
     }
     if let Some(m) = metrics {
         m.add_ingest_nanos(ingest_timer.elapsed_nanos());
-        m.add_ingest_traffic(&ingest_traffic(&pass2, false));
-        m.merge_decode_hist(&pass2.decode_hist);
     }
 
     // The population table keys on (ASN, period); a file run has no
@@ -287,7 +308,7 @@ pub fn analyze_file_with_cache(
         })
         .collect();
 
-    if let Some(c) = &cache {
+    if let Some(c) = cache {
         for (_, analysis) in &results {
             for built in &analysis.built_series {
                 // A multi-ASN probe's series here is the partial view of
@@ -303,12 +324,11 @@ pub fn analyze_file_with_cache(
                 );
             }
         }
-        c.persist(metrics)?;
         if let (Some(m), Some(before)) = (metrics, counters_before) {
             m.add_store_traffic(&store_traffic_since(before, c.store.counters()));
         }
     }
-    Ok((results, cache))
+    Ok(results)
 }
 
 /// One ASN's classification document. Shared by `classify --json` and

@@ -31,6 +31,9 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// Parsed command-line flags: `--name value` pairs after the subcommand.
+/// `Clone` so a long-lived daemon can hand a copy to its re-analysis
+/// engine.
+#[derive(Clone)]
 pub struct Flags {
     values: BTreeMap<String, String>,
     switches: Vec<String>,
@@ -49,7 +52,7 @@ impl Flags {
             // Boolean switches take no value.
             if matches!(
                 name,
-                "json" | "anchors-only" | "stats" | "ingest-serial" | "progress"
+                "json" | "anchors-only" | "stats" | "ingest-serial" | "progress" | "watch"
             ) {
                 switches.push(name.to_string());
                 i += 1;
@@ -100,7 +103,8 @@ fn usage() -> &'static str {
      lastmile hygiene  --traceroutes FILE [--probes FILE] [--start UNIX --end UNIX] [--threshold MS] [--ingest-threads N] [--ingest-serial] [--quarantine FILE] [--stats | --stats-out FILE] [--populations-csv FILE] [--progress]\n  \
      lastmile throughput --cdn FILE.tsv --bgp TABLE.csv [--bin-minutes 15] [--view broadband|mobile|v4|v6] [--csv OUT]\n  \
      lastmile simulate --scenario tokyo|fig1|anchor --out DIR [--seed N] [--days N] [--cache-dir DIR [--cache off|ro|rw]]\n  \
-     lastmile serve    --traceroutes FILE [classify flags] [--addr HOST:PORT] [--serve-workers N] [--serve-queue N] [--retry-after SECS] [--ready-file FILE]\n\n\
+     lastmile serve    --traceroutes FILE [classify flags] [--addr HOST:PORT] [--serve-workers N] [--serve-queue N] [--retry-after SECS] [--ready-file FILE]\n                       \
+[--watch [--watch-poll-ms MS] [--live-offset-file FILE]] [--live-spool FILE] [--reanalyze-debounce-ms MS]\n\n\
      any subcommand also takes --trace FILE to write a Chrome/Perfetto trace of the run\n\
      (streamed to disk as the run goes; serve drains it incrementally until shutdown)"
 }

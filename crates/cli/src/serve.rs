@@ -1,4 +1,4 @@
-//! `lastmile serve`: the always-on congestion query daemon.
+//! `lastmile serve`: the always-on congestion observatory daemon.
 //!
 //! Startup runs the exact `classify` analysis (same flags, same
 //! two-pass ingest, same series cache — a warm `--cache-dir` snapshot
@@ -11,20 +11,45 @@
 //! | `GET /v1/classify/{asn}`      | one ASN's classification document                   |
 //! | `GET /v1/series/{asn}?from=&to=` | aggregated queuing-delay bins (half-open window) |
 //! | `GET /v1/populations[?format=csv]` | the per-population stats table (JSON or CSV)   |
-//! | `GET /healthz`                | liveness                                            |
-//! | `GET /metrics`                | `{run: RunMetrics, serve: ServeMetrics}` JSON       |
+//! | `POST /v1/traceroutes`        | live intake: JSON Lines body → spool → re-analysis |
+//! | `GET /healthz`                | liveness (fast lane: answers even when saturated)   |
+//! | `GET /metrics`                | `{run, serve, live}` JSON (fast lane)               |
 //!
-//! Shutdown drains queued and in-flight requests, then re-persists the
-//! series-cache snapshot (if one is active) so series built for queries
-//! survive the restart.
+//! # Live re-ingest
+//!
+//! With `--watch` and/or `--live-spool`, the daemon keeps ingesting
+//! after startup: `--watch` polls the corpus file for appended records,
+//! and `--live-spool FILE` enables `POST /v1/traceroutes` (accepted
+//! records are appended to the spool, which is part of the analysis
+//! corpus from startup). Either intake path marks the engine dirty;
+//! after a debounce window (`--reanalyze-debounce-ms`) the engine
+//! re-runs the full two-pass analysis over the union corpus — cheap,
+//! because per-probe series are memoized in the store and only probes
+//! with new traceroutes were invalidated — and publishes the result as
+//! a new **epoch**: an RCU-style atomic snapshot swap. In-flight
+//! readers keep the epoch they started with (the `X-Epoch` header names
+//! it) and never block on re-analysis. At any instant `GET /v1/classify`
+//! is byte-identical to a cold `classify --json` over corpus + spool.
+//!
+//! Shutdown drains queued and in-flight requests AND any pending
+//! re-analysis (so the last accepted appends reach the store), then
+//! re-persists the series-cache snapshot stamped with the final union
+//! corpus fingerprint.
 
-use crate::classify::{analyze_file_with_cache, classification_doc, classification_json};
+use crate::cache::{self, Cache};
+use crate::classify::{
+    analyze_corpus, classification_doc, classification_json, corpus_fingerprint,
+};
 use crate::input::create_parent_dirs;
 use crate::stats::{emit_stats, wants_stats};
 use crate::Flags;
 use lastmile_repro::core::pipeline::PopulationAnalysis;
+use lastmile_repro::live::{
+    intake_body, AppendWatcher, Epoch, LiveConfig, LiveEngine, LiveHandle, Spool,
+};
 use lastmile_repro::obs::{
-    RunMetrics, RunMetricsSnapshot, ServeEndpoint, ServeMetrics, ServeMetricsSnapshot, StageTimer,
+    LiveMetrics, LiveMetricsSnapshot, RunMetrics, RunMetricsSnapshot, ServeEndpoint, ServeMetrics,
+    ServeMetricsSnapshot, StageTimer,
 };
 use lastmile_repro::prefix::Asn;
 use lastmile_repro::serve::http::{Request, Response};
@@ -32,24 +57,47 @@ use lastmile_repro::serve::server::Handler;
 use lastmile_repro::serve::{signal, Server, ServerConfig};
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Everything the request handler needs, built once before the first
-/// `accept`. Classification responses are pre-rendered (the corpus is
-/// immutable for the daemon's lifetime — live re-ingest is a ROADMAP
-/// lever); metrics documents render per request so gauges stay live.
-struct ServeState {
+/// One fully-rendered analysis generation: everything a request needs,
+/// immutable once published. Re-analysis builds the next one off to the
+/// side and swaps it in via the [`Epoch`] cell.
+struct AnalysisSnapshot {
     /// Exact `classify --json` bytes for `GET /v1/classify`.
     classify_all: String,
     /// Pre-rendered single-ASN documents.
     classify_by_asn: BTreeMap<Asn, String>,
     /// Aggregated signal points per ASN for `/v1/series`.
     series_by_asn: BTreeMap<Asn, SeriesData>,
-    metrics: Arc<RunMetrics>,
+    /// The run metrics of the analysis that produced this snapshot
+    /// (startup or one re-analysis); `/metrics.run` and
+    /// `/v1/populations` stay consistent with the classification.
+    run: RunMetricsSnapshot,
+}
+
+/// Live-intake plumbing, present when `--watch`/`--live-spool` enabled.
+struct LiveState {
+    handle: LiveHandle,
+    /// POST spool; `None` when only `--watch` is on (POST then 409s).
+    spool: Option<Arc<Spool>>,
+    /// The series cache the POST handler invalidates into.
+    cache: Option<Arc<Cache>>,
+}
+
+/// Everything the request handler needs, built once before the first
+/// `accept`. Classification responses live in the epoch cell; metrics
+/// documents render per request so gauges stay live.
+struct ServeState {
+    epoch: Arc<Epoch<AnalysisSnapshot>>,
     serve_metrics: Arc<ServeMetrics>,
+    live_metrics: Arc<LiveMetrics>,
+    live: Option<LiveState>,
     /// Hidden test hook (`--serve-delay-ms`): sleep this long in the
     /// handler, so tests can park requests in flight deterministically.
+    /// Health and metrics probes are exempt — the fast lane must stay
+    /// fast even in tests that park everything else.
     delay: Option<Duration>,
 }
 
@@ -88,21 +136,16 @@ struct SeriesPoint {
 struct MetricsDoc {
     run: RunMetricsSnapshot,
     serve: ServeMetricsSnapshot,
+    live: LiveMetricsSnapshot,
 }
 
-pub fn run(flags: &Flags) -> Result<(), String> {
-    // Metrics are always collected: `/metrics` serves them.
-    let metrics = Arc::new(RunMetrics::new());
-    let run_timer = StageTimer::start();
-    let (results, cache) = analyze_file_with_cache(flags, Some(&metrics))?;
-    metrics.set_wall(&run_timer);
-    if results.is_empty() {
-        return Err("no analysable traceroutes in the window".into());
-    }
-
-    let serve_metrics = Arc::new(ServeMetrics::new());
-    let state = Arc::new(ServeState {
-        classify_all: classification_json(&results),
+/// Render the per-ASN analyses into one immutable snapshot.
+fn build_snapshot(
+    results: &[(Asn, PopulationAnalysis)],
+    run: RunMetricsSnapshot,
+) -> AnalysisSnapshot {
+    AnalysisSnapshot {
+        classify_all: classification_json(results),
         classify_by_asn: results
             .iter()
             .map(|(asn, a)| (*asn, render_one(*asn, a)))
@@ -121,8 +164,160 @@ pub fn run(flags: &Flags) -> Result<(), String> {
                 )
             })
             .collect(),
-        metrics: Arc::clone(&metrics),
+        run,
+    }
+}
+
+/// Swap in a new snapshot and record the swap in the live gauges.
+fn publish_snapshot(
+    epoch: &Epoch<AnalysisSnapshot>,
+    live_metrics: &LiveMetrics,
+    snapshot: AnalysisSnapshot,
+) -> u64 {
+    let swap_timer = StageTimer::start();
+    let generation = epoch.publish(snapshot);
+    live_metrics
+        .swap_nanos
+        .store(swap_timer.elapsed_nanos(), Ordering::Relaxed);
+    live_metrics.epoch.store(generation, Ordering::Relaxed);
+    generation
+}
+
+pub fn run(flags: &Flags) -> Result<(), String> {
+    let corpus = flags.required("traceroutes")?.to_string();
+    let watch = flags.switch("watch");
+    // The corpus length BEFORE the startup analysis reads it: appends
+    // that land mid-analysis stay beyond the watcher's start offset and
+    // get picked up by the first poll instead of being silently skipped.
+    let corpus_len0 = std::fs::metadata(&corpus).map(|m| m.len()).unwrap_or(0);
+    let spool: Option<Arc<Spool>> = flags
+        .optional("live-spool")
+        .map(|p| Spool::open(p).map_err(|e| format!("open --live-spool {p}: {e}")))
+        .transpose()?
+        .map(Arc::new);
+    let live_enabled = watch || spool.is_some();
+    // The analysis corpus: the traceroute file plus (in live mode) the
+    // POST spool. Both cold `classify` over these paths and every
+    // re-analysis see the same union, which is what makes the
+    // byte-identity contract hold.
+    let mut paths = vec![corpus.clone()];
+    if let Some(s) = &spool {
+        paths.push(s.path().display().to_string());
+    }
+
+    // Metrics are always collected: `/metrics` serves them.
+    let metrics = Arc::new(RunMetrics::new());
+    let run_timer = StageTimer::start();
+    let cache: Option<Arc<Cache>> =
+        cache::from_flags(flags, || corpus_fingerprint(flags, &paths), Some(&metrics))?
+            .map(Arc::new);
+    let results = analyze_corpus(flags, &paths, Some(&metrics), cache.as_deref())?;
+    metrics.set_wall(&run_timer);
+    if results.is_empty() {
+        return Err("no analysable traceroutes in the window".into());
+    }
+    if let Some(c) = &cache {
+        c.persist(Some(&metrics))?;
+    }
+
+    let serve_metrics = Arc::new(ServeMetrics::new());
+    let live_metrics = Arc::new(LiveMetrics::default());
+    let epoch = Arc::new(Epoch::new(build_snapshot(&results, metrics.snapshot())));
+    live_metrics
+        .epoch
+        .store(epoch.generation(), Ordering::Relaxed);
+
+    // The live engine: watcher + debounced re-analysis, wired to this
+    // daemon's cache and epoch cell through closures so `lastmile-live`
+    // stays free of CLI types.
+    let engine = if live_enabled {
+        let watcher = if watch {
+            let offset_file = flags
+                .optional("live-offset-file")
+                .map(std::path::PathBuf::from)
+                .or_else(|| {
+                    flags
+                        .optional("cache-dir")
+                        .map(|d| std::path::Path::new(d).join("live.offset"))
+                })
+                .unwrap_or_else(|| std::path::PathBuf::from(format!("{corpus}.offset")));
+            Some(AppendWatcher::new(&corpus, Some(offset_file), corpus_len0))
+        } else {
+            None
+        };
+        let config = LiveConfig {
+            watcher,
+            poll_interval: Duration::from_millis(
+                flags.parsed::<u64>("watch-poll-ms")?.unwrap_or(200),
+            ),
+            debounce: Duration::from_millis(
+                flags.parsed::<u64>("reanalyze-debounce-ms")?.unwrap_or(250),
+            ),
+        };
+        let invalidate = {
+            let cache = cache.clone();
+            Box::new(move |probes: &[lastmile_repro::atlas::ProbeId]| {
+                if let Some(c) = &cache {
+                    for probe in probes {
+                        c.store.invalidate_probe(*probe);
+                    }
+                }
+            })
+        };
+        let invalidate_all = {
+            let cache = cache.clone();
+            Box::new(move || {
+                if let Some(c) = &cache {
+                    c.store.clear();
+                }
+            })
+        };
+        let reanalyze = {
+            let flags = flags.clone();
+            let paths = paths.clone();
+            let cache = cache.clone();
+            let epoch = Arc::clone(&epoch);
+            let live_metrics = Arc::clone(&live_metrics);
+            Box::new(move || -> Result<(), String> {
+                // A fresh RunMetrics per re-analysis: each epoch's
+                // `/metrics.run` and `/v1/populations` describe exactly
+                // the run that produced it, not an accumulation.
+                let run = RunMetrics::new();
+                let timer = StageTimer::start();
+                let results = analyze_corpus(&flags, &paths, Some(&run), cache.as_deref())?;
+                run.set_wall(&timer);
+                if results.is_empty() {
+                    return Err("no analysable traceroutes in the window".into());
+                }
+                let snapshot = build_snapshot(&results, run.snapshot());
+                let generation = publish_snapshot(&epoch, &live_metrics, snapshot);
+                eprintln!(
+                    "[live] epoch {generation}: {} population(s) published",
+                    results.len()
+                );
+                Ok(())
+            })
+        };
+        Some(LiveEngine::start(
+            config,
+            Arc::clone(&live_metrics),
+            invalidate,
+            invalidate_all,
+            reanalyze,
+        ))
+    } else {
+        None
+    };
+
+    let state = Arc::new(ServeState {
+        epoch: Arc::clone(&epoch),
         serve_metrics: Arc::clone(&serve_metrics),
+        live_metrics: Arc::clone(&live_metrics),
+        live: engine.as_ref().map(|e| LiveState {
+            handle: e.handle(),
+            spool: spool.clone(),
+            cache: cache.clone(),
+        }),
         delay: flags
             .parsed::<u64>("serve-delay-ms")?
             .map(Duration::from_millis),
@@ -135,16 +330,18 @@ pub fn run(flags: &Flags) -> Result<(), String> {
             .to_string(),
         workers: flags.parsed::<usize>("serve-workers")?.unwrap_or(4),
         queue: flags.parsed::<usize>("serve-queue")?.unwrap_or(16),
+        fastlane_queue: flags.parsed::<usize>("serve-fastlane-queue")?.unwrap_or(32),
         retry_after_secs: flags.parsed::<u64>("retry-after")?.unwrap_or(1),
     };
     let server = Server::bind(config.clone(), Arc::clone(&serve_metrics))
         .map_err(|e| format!("bind {}: {e}", config.addr))?;
     let addr = server.local_addr();
     eprintln!(
-        "[serve] listening on {addr} ({} workers, queue {}, {} population(s))",
+        "[serve] listening on {addr} ({} workers, queue {}, {} population(s){})",
         config.workers.max(1),
         config.queue.max(1),
-        results.len()
+        results.len(),
+        if live_enabled { ", live" } else { "" }
     );
     // Test/orchestration hook: the actual bound address (the port is
     // ephemeral under `--addr host:0`), written once ready to accept.
@@ -160,15 +357,25 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     server
         .run(handler, signal::flag())
         .map_err(|e| format!("serve on {addr}: {e}"))?;
-    let served = serve_metrics
-        .requests
-        .load(std::sync::atomic::Ordering::Relaxed);
+    // Drain the live engine BEFORE reporting/persisting: a re-analysis
+    // in flight (or pending behind the debounce) finishes and swaps its
+    // epoch, so the persisted snapshot below reflects every accepted
+    // append — never a mix of epochs.
+    if let Some(engine) = engine {
+        engine.shutdown();
+    }
+    let served = serve_metrics.requests.load(Ordering::Relaxed);
     eprintln!("[serve] shutdown: drained, {served} request(s) served");
-    // The startup analysis already persisted once; re-persisting at
-    // shutdown is what keeps this correct when later levers (live
-    // re-ingest) mutate the store while serving.
-    if let Some(cache) = &cache {
-        cache.persist(Some(&metrics))?;
+    if let Some(c) = &cache {
+        if live_enabled {
+            // The corpus grew while serving; stamp the snapshot with the
+            // fingerprint of what the store now reflects, so the next
+            // cold run (or daemon restart) over the final union corpus
+            // loads it warm.
+            c.persist_as(corpus_fingerprint(flags, &paths)?, Some(&metrics))?;
+        } else {
+            c.persist(Some(&metrics))?;
+        }
     }
     if wants_stats(flags) {
         emit_stats(flags, &metrics)?;
@@ -184,23 +391,49 @@ fn render_one(asn: Asn, a: &PopulationAnalysis) -> String {
     s
 }
 
+/// Tag a `/v1` response with the epoch its data came from, so clients
+/// (and the consistency tests) can tell which generation they observed.
+fn with_epoch(resp: Response, generation: u64) -> Response {
+    resp.header("X-Epoch", generation.to_string())
+}
+
 fn route(req: &Request, state: &ServeState) -> Response {
     if let Some(delay) = state.delay {
-        std::thread::sleep(delay);
+        // The fast-lane endpoints stay exempt from the test-hook delay:
+        // parking /healthz would defeat the saturation tests' purpose.
+        if req.path != "/healthz" && req.path != "/metrics" {
+            std::thread::sleep(delay);
+        }
+    }
+    if req.path == "/v1/traceroutes" {
+        return if req.method == "POST" {
+            ingest(req, state)
+        } else {
+            Response::json(405, "{\"error\":\"POST here\"}\n")
+        };
+    }
+    if req.method != "GET" {
+        return Response::json(405, "{\"error\":\"only GET here\"}\n");
     }
     match req.path.as_str() {
         "/healthz" => Response::json(200, "{\"status\":\"ok\"}\n").endpoint(ServeEndpoint::Healthz),
         "/metrics" => {
+            let (_, snap) = state.epoch.read();
             let doc = MetricsDoc {
-                run: state.metrics.snapshot(),
+                run: snap.run.clone(),
                 serve: state.serve_metrics.snapshot(),
+                live: state.live_metrics.snapshot(),
             };
             let mut body = serde_json::to_string_pretty(&doc).expect("metrics doc encodes");
             body.push('\n');
             Response::json(200, body).endpoint(ServeEndpoint::Metrics)
         }
         "/v1/classify" => {
-            Response::json(200, state.classify_all.clone()).endpoint(ServeEndpoint::Classify)
+            let (generation, snap) = state.epoch.read();
+            with_epoch(
+                Response::json(200, snap.classify_all.clone()).endpoint(ServeEndpoint::Classify),
+                generation,
+            )
         }
         "/v1/populations" => populations(req, state),
         path => {
@@ -215,6 +448,74 @@ fn route(req: &Request, state: &ServeState) -> Response {
     }
 }
 
+/// `POST /v1/traceroutes`: validate the body with the batch-ingest
+/// framing/decoding (same quarantine taxonomy), spool accepted records,
+/// invalidate their probes' memoized series, and signal the engine.
+fn ingest(req: &Request, state: &ServeState) -> Response {
+    let resp = match &state.live {
+        Some(LiveState {
+            handle,
+            spool: Some(spool),
+            cache,
+        }) => {
+            if req.body.is_empty() {
+                Response::json(400, "{\"error\":\"empty body\"}\n")
+            } else {
+                match intake_body(&req.body, spool) {
+                    Err(e) => Response::json(500, format!("{{\"error\":\"spool write: {e}\"}}\n")),
+                    Ok(outcome) => {
+                        let lm = &state.live_metrics;
+                        let rejected: Vec<serde_json::Value> = outcome
+                            .rejected
+                            .iter()
+                            .map(|q| {
+                                serde_json::json!({
+                                    "offset": q.offset,
+                                    "kind": q.kind.name(),
+                                    "detail": q.detail,
+                                    "record": String::from_utf8_lossy(&q.record).into_owned(),
+                                })
+                            })
+                            .collect();
+                        lm.posts_rejected
+                            .fetch_add(rejected.len() as u64, Ordering::Relaxed);
+                        if outcome.accepted == 0 {
+                            let body = serde_json::json!({
+                                "error": "no record accepted",
+                                "rejected": rejected,
+                            });
+                            Response::json(400, format!("{body:#}\n"))
+                        } else {
+                            lm.posts_accepted
+                                .fetch_add(outcome.accepted, Ordering::Relaxed);
+                            lm.records_ingested
+                                .fetch_add(outcome.accepted, Ordering::Relaxed);
+                            if let Some(c) = cache {
+                                for probe in &outcome.probes {
+                                    c.store.invalidate_probe(*probe);
+                                }
+                            }
+                            handle.notify_dirty();
+                            let body = serde_json::json!({
+                                "accepted": outcome.accepted,
+                                "rejected": rejected,
+                            });
+                            Response::json(200, format!("{body:#}\n"))
+                        }
+                    }
+                }
+            }
+        }
+        // --watch without --live-spool: the corpus is live but POST has
+        // nowhere durable to put records.
+        Some(LiveState { spool: None, .. }) | None => Response::json(
+            409,
+            "{\"error\":\"live ingest disabled; start serve with --live-spool FILE\"}\n",
+        ),
+    };
+    resp.endpoint(ServeEndpoint::Ingest)
+}
+
 /// Parse the `{asn}` path segment (`0` is the "all probes" population).
 fn parse_asn(segment: &str) -> Result<Asn, Response> {
     segment
@@ -223,14 +524,15 @@ fn parse_asn(segment: &str) -> Result<Asn, Response> {
 }
 
 fn classify_one(segment: &str, state: &ServeState) -> Response {
+    let (generation, snap) = state.epoch.read();
     let resp = match parse_asn(segment) {
-        Ok(asn) => match state.classify_by_asn.get(&asn) {
+        Ok(asn) => match snap.classify_by_asn.get(&asn) {
             Some(doc) => Response::json(200, doc.clone()),
             None => Response::json(404, format!("{{\"error\":\"unknown asn {asn}\"}}\n")),
         },
         Err(resp) => resp,
     };
-    resp.endpoint(ServeEndpoint::Classify)
+    with_epoch(resp.endpoint(ServeEndpoint::Classify), generation)
 }
 
 /// Parse an integer query bound. Absent keys AND empty values
@@ -247,12 +549,13 @@ fn query_bound(req: &Request, key: &str, default: i64) -> Result<i64, Response> 
 }
 
 fn series(segment: &str, req: &Request, state: &ServeState) -> Response {
+    let (generation, snap) = state.epoch.read();
     let resp = match (
         parse_asn(segment),
         query_bound(req, "from", i64::MIN),
         query_bound(req, "to", i64::MAX),
     ) {
-        (Ok(asn), Ok(from), Ok(to)) => match state.series_by_asn.get(&asn) {
+        (Ok(asn), Ok(from), Ok(to)) => match snap.series_by_asn.get(&asn) {
             Some(data) => {
                 // Half-open [from, to), like the analysis window.
                 let points: Vec<SeriesPoint> = data
@@ -278,15 +581,15 @@ fn series(segment: &str, req: &Request, state: &ServeState) -> Response {
         },
         (Err(resp), _, _) | (_, Err(resp), _) | (_, _, Err(resp)) => resp,
     };
-    resp.endpoint(ServeEndpoint::Series)
+    with_epoch(resp.endpoint(ServeEndpoint::Series), generation)
 }
 
 fn populations(req: &Request, state: &ServeState) -> Response {
-    let snapshot = state.metrics.snapshot();
+    let (generation, snap) = state.epoch.read();
     let resp = match req.query_param("format") {
-        Some("csv") => Response::csv(200, snapshot.populations_csv()),
+        Some("csv") => Response::csv(200, snap.run.populations_csv()),
         None | Some("json") => {
-            let mut body = serde_json::to_string_pretty(&snapshot.populations)
+            let mut body = serde_json::to_string_pretty(&snap.run.populations)
                 .expect("population table encodes");
             body.push('\n');
             Response::json(200, body)
@@ -296,7 +599,7 @@ fn populations(req: &Request, state: &ServeState) -> Response {
             format!("{{\"error\":\"unknown format {other:?} (json|csv)\"}}\n"),
         ),
     };
-    resp.endpoint(ServeEndpoint::Populations)
+    with_epoch(resp.endpoint(ServeEndpoint::Populations), generation)
 }
 
 #[cfg(test)]
@@ -309,6 +612,7 @@ mod tests {
             path: "/v1/series/64500".into(),
             query: query.into(),
             headers: Vec::new(),
+            body: Vec::new(),
         }
     }
 

@@ -8,10 +8,14 @@
 //!   stdout — even under concurrent requests;
 //! * the populations CSV matches `--populations-csv` output modulo the
 //!   timing column;
-//! * a saturated accept queue answers `503` with `Retry-After` while
-//!   queued requests still complete (and no worker panics);
-//! * SIGTERM drains in-flight requests, re-persists the series-cache
-//!   snapshot, and exits 0.
+//! * a saturated accept queue answers `503` with `Retry-After` for
+//!   classify traffic while `/healthz` keeps answering via the fast
+//!   lane, and queued requests still complete (no worker panics);
+//! * live intake (file appends + `POST /v1/traceroutes`) converges to
+//!   byte-identity with a cold `classify --json` over the union corpus,
+//!   and concurrent readers see exactly one epoch per response;
+//! * SIGTERM drains in-flight requests AND any pending re-analysis
+//!   (epoch swap before snapshot re-persist), then exits 0.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -123,6 +127,29 @@ fn http_get(addr: &str, target: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
     stream
         .write_all(format!("GET {target} HTTP/1.1\r\nHost: lastmile\r\n\r\n").as_bytes())
         .unwrap();
+    read_response(stream)
+}
+
+/// One blocking HTTP/1.1 POST with a `Content-Length` body.
+fn http_post(addr: &str, target: &str, body: &[u8]) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST {target} HTTP/1.1\r\nHost: lastmile\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    stream.write_all(body).unwrap();
+    read_response(stream)
+}
+
+fn read_response(mut stream: TcpStream) -> (u16, Vec<(String, String)>, Vec<u8>) {
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw).expect("read response");
     let pos = raw
@@ -255,6 +282,15 @@ fn concurrent_responses_match_batch_output() {
     let (status, _, _) = http_get(&addr, &format!("/v1/series/{asn}?from=banana"));
     assert_eq!(status, 400);
 
+    // Without --live-spool, POST intake is explicitly disabled (409,
+    // not 404: the endpoint exists, the daemon just has nowhere durable
+    // to put records) and other methods are rejected.
+    let (status, _, body) = http_post(&addr, "/v1/traceroutes", b"{}\n");
+    assert_eq!(status, 409, "{}", String::from_utf8_lossy(&body));
+    assert!(String::from_utf8_lossy(&body).contains("live ingest disabled"));
+    let (status, _, _) = http_get(&addr, "/v1/traceroutes");
+    assert_eq!(status, 405);
+
     // Liveness and metrics.
     let (status, _, body) = http_get(&addr, "/healthz");
     assert_eq!(status, 200);
@@ -281,7 +317,8 @@ fn saturated_queue_answers_503_with_retry_after() {
     let dir = std::env::temp_dir().join(format!("lastmile-serve-busy-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     // One worker, one queue slot, and a handler slow enough that two
-    // staggered requests hold both; the third must bounce.
+    // staggered requests hold both; the third must bounce — but health
+    // probes must keep answering via the fast lane the whole time.
     let (child, addr) = spawn_serve(
         &dir,
         &[
@@ -298,7 +335,7 @@ fn saturated_queue_answers_503_with_retry_after() {
 
     let slow = |addr: String| {
         std::thread::spawn(move || {
-            let (status, _, body) = http_get(&addr, "/healthz");
+            let (status, _, body) = http_get(&addr, "/v1/classify");
             (status, body)
         })
     };
@@ -307,9 +344,24 @@ fn saturated_queue_answers_503_with_retry_after() {
     let b = slow(addr.clone()); // → parked in the accept queue
     std::thread::sleep(Duration::from_millis(400));
 
-    // The pool is saturated: the acceptor itself must bounce us, with
-    // the configured Retry-After and a JSON error body.
-    let (status, headers, body) = http_get(&addr, "/healthz");
+    // The pool is saturated. Health probes bypass the full queue — they
+    // must answer 200, promptly, while both worker slots are held.
+    for _ in 0..3 {
+        let probe_started = Instant::now();
+        let (status, _, body) = http_get(&addr, "/healthz");
+        assert_eq!(status, 200, "health probe bounced while saturated");
+        assert_eq!(body, b"{\"status\":\"ok\"}\n");
+        assert!(
+            probe_started.elapsed() < Duration::from_millis(900),
+            "health probe stuck behind the worker pool: {:?}",
+            probe_started.elapsed()
+        );
+    }
+
+    // Classify traffic, by contrast, must bounce: the fast lane serves
+    // only health/metrics, so the acceptor 503s with the configured
+    // Retry-After and a JSON error body.
+    let (status, headers, body) = http_get(&addr, "/v1/classify");
     assert_eq!(status, 503, "expected a bounce while saturated");
     assert_eq!(header(&headers, "retry-after"), Some("3"));
     let err: serde_json::Value =
@@ -321,21 +373,314 @@ fn saturated_queue_answers_503_with_retry_after() {
     for handle in [a, b] {
         let (status, body) = handle.join().expect("slow client");
         assert_eq!(status, 200, "queued request must not be dropped");
-        assert_eq!(body, b"{\"status\":\"ok\"}\n");
+        assert!(!body.is_empty());
     }
 
-    // The daemon survived: metrics report the bounce and zero panics.
+    // The daemon survived: metrics report the bounce, the fast-lane
+    // hits, and zero panics. (/metrics itself also rides the fast lane
+    // when saturated; here the pool has drained.)
     let (status, _, body) = http_get(&addr, "/metrics");
     assert_eq!(status, 200);
     let metrics: serde_json::Value =
         serde_json::from_str(std::str::from_utf8(&body).unwrap()).expect("metrics doc");
     let serve = &metrics["serve"];
     assert!(serve["rejected_busy"].as_u64().unwrap() >= 1, "{serve}");
+    assert!(serve["fastlane_hits"].as_u64().unwrap() >= 3, "{serve}");
     assert_eq!(serve["worker_panics"].as_u64(), Some(0));
     assert!(serve["queue_max_depth"].as_u64().unwrap() >= 1, "{serve}");
+    assert!(serve["latency"]["healthz"]["count"].as_u64().unwrap() >= 3);
 
     let (stderr, ok) = terminate(child);
     assert!(ok, "serve did not exit cleanly: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Append a newline-terminated chunk to a file (the collector-style
+/// corpus append the `--watch` intake path is built for).
+fn append_file(path: &Path, bytes: &[u8]) {
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .expect("open corpus for append");
+    f.write_all(bytes).unwrap();
+}
+
+/// Poll `/metrics` until the `live` gauges say every ingested record has
+/// been analyzed (`ingest_lag == 0` after at least one re-analysis and
+/// `expect_ingested` intake records), or panic after `deadline`.
+fn await_live_convergence(addr: &str, expect_ingested: u64, deadline: Duration) {
+    let started = Instant::now();
+    loop {
+        let (status, _, body) = http_get(addr, "/metrics");
+        assert_eq!(status, 200);
+        let doc: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&body).unwrap()).expect("metrics doc");
+        let live = &doc["live"];
+        if live["records_ingested"].as_u64() == Some(expect_ingested)
+            && live["ingest_lag"].as_u64() == Some(0)
+            && live["reanalyses"].as_u64().unwrap_or(0) >= 1
+            && live["epoch"].as_u64().unwrap_or(0) >= 2
+        {
+            return;
+        }
+        assert!(
+            started.elapsed() < deadline,
+            "live intake never converged: {live}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+#[test]
+fn live_appends_and_posts_converge_to_cold_union_bytes() {
+    let dir = std::env::temp_dir().join(format!("lastmile-serve-live-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (full_corpus, probes) = fixture(&dir);
+    let all = std::fs::read_to_string(&full_corpus).expect("fixture corpus");
+    let lines: Vec<&str> = all.lines().collect();
+    // The daemon starts without ANY of probe 6005's records — the
+    // simulated signal is perfectly periodic, so dropping a time-tail
+    // changes nothing; dropping a whole probe changes the population
+    // (and therefore the classification bytes) for sure. Its records
+    // arrive later: most as file appends, 500 via POST (bounded so the
+    // body stays under the 4 MiB intake cap).
+    let (head, tail): (Vec<&str>, Vec<&str>) = lines
+        .iter()
+        .partition(|line| !line.contains("\"prb_id\":6005"));
+    assert!(tail.len() > 1000, "fixture probe 6005 too sparse to split");
+    let (to_append, to_post) = tail.split_at(tail.len() - 500);
+    let corpus = dir.join("live.jsonl");
+    let spool = dir.join("spool.jsonl");
+    let join = |ls: &[&str]| {
+        ls.iter().fold(String::new(), |mut s, l| {
+            s.push_str(l);
+            s.push('\n');
+            s
+        })
+    };
+    std::fs::write(&corpus, join(&head)).unwrap();
+
+    let ready = dir.join("ready-live");
+    let mut child = std::process::Command::new(lastmile_bin())
+        .args([
+            "serve",
+            "--traceroutes",
+            corpus.to_str().unwrap(),
+            "--probes",
+            probes.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--ready-file",
+            ready.to_str().unwrap(),
+            "--watch",
+            "--watch-poll-ms",
+            "50",
+            "--reanalyze-debounce-ms",
+            "100",
+            "--live-spool",
+            spool.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn live serve");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let addr = loop {
+        if let Ok(contents) = std::fs::read_to_string(&ready) {
+            if contents.ends_with('\n') {
+                break contents.trim().to_string();
+            }
+        }
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            let out = child.wait_with_output().expect("collect output");
+            panic!(
+                "serve exited before ready ({status}): {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+        }
+        assert!(Instant::now() < deadline, "serve never became ready");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    // Epoch 1 serves the head-only analysis.
+    let (status, headers, baseline) = http_get(&addr, "/v1/classify");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-epoch"), Some("1"));
+
+    // Concurrent readers during the swaps: every response must carry
+    // one consistent epoch — same X-Epoch ⇒ byte-identical body, and a
+    // reader's epoch never goes backwards.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seen: Vec<(u64, Vec<u8>)> = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let (status, headers, body) = http_get(&addr, "/v1/classify");
+                    assert_eq!(status, 200);
+                    let epoch: u64 = header(&headers, "x-epoch")
+                        .expect("x-epoch header")
+                        .parse()
+                        .expect("numeric epoch");
+                    if let Some((last, _)) = seen.last() {
+                        assert!(epoch >= *last, "epoch went backwards");
+                    }
+                    seen.push((epoch, body));
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    // A malformed-only POST is rejected with the quarantine taxonomy
+    // and must not disturb the pipeline.
+    let (status, _, body) = http_post(&addr, "/v1/traceroutes", b"not json at all\n");
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    let err: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&body).unwrap()).expect("reject doc");
+    assert_eq!(err["rejected"][0]["kind"].as_str(), Some("json"));
+
+    // Live intake: 3 records appended to the watched corpus (split so a
+    // poll can observe a partial line), 3 POSTed (one good + bad mix).
+    let appended = join(to_append);
+    let (first_part, rest) = appended.as_bytes().split_at(appended.len() / 2);
+    append_file(&corpus, first_part);
+    std::thread::sleep(Duration::from_millis(120));
+    append_file(&corpus, rest);
+    let post_body = format!("{}garbage line\n", join(to_post));
+    let (status, _, body) = http_post(&addr, "/v1/traceroutes", post_body.as_bytes());
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let outcome: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&body).unwrap()).expect("intake doc");
+    assert_eq!(outcome["accepted"].as_u64(), Some(500));
+    assert_eq!(outcome["rejected"].as_array().map(Vec::len), Some(1));
+
+    // Wait until every accepted record has been re-analyzed, then stop
+    // the readers.
+    await_live_convergence(&addr, tail.len() as u64, Duration::from_secs(120));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let mut all_seen: Vec<(u64, Vec<u8>)> = Vec::new();
+    for reader in readers {
+        all_seen.extend(reader.join().expect("reader thread"));
+    }
+
+    // The live document now differs from the baseline and equals a cold
+    // `classify --json` over the union corpus (corpus-after-appends +
+    // spool), byte for byte.
+    let (status, headers, live_body) = http_get(&addr, "/v1/classify");
+    assert_eq!(status, 200);
+    assert_ne!(live_body, baseline, "re-analysis changed nothing");
+    let live_epoch: u64 = header(&headers, "x-epoch").unwrap().parse().unwrap();
+    assert!(live_epoch >= 2);
+    let union = dir.join("union.jsonl");
+    let mut union_bytes = std::fs::read(&corpus).unwrap();
+    union_bytes.extend_from_slice(&std::fs::read(&spool).unwrap());
+    std::fs::write(&union, union_bytes).unwrap();
+    let (cold, err, ok) = run(&[
+        "classify",
+        "--traceroutes",
+        union.to_str().unwrap(),
+        "--probes",
+        probes.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(ok, "cold union classify failed: {err}");
+    assert_eq!(
+        live_body,
+        cold.as_bytes(),
+        "live daemon diverged from cold union classify"
+    );
+
+    // Same epoch ⇒ same bytes, across all readers.
+    all_seen.push((live_epoch, live_body));
+    all_seen.push((1, baseline));
+    let mut by_epoch: std::collections::BTreeMap<u64, &[u8]> = std::collections::BTreeMap::new();
+    for (epoch, body) in &all_seen {
+        match by_epoch.get(epoch) {
+            Some(existing) => assert_eq!(
+                existing, body,
+                "two readers saw different bytes under epoch {epoch}"
+            ),
+            None => {
+                by_epoch.insert(*epoch, body);
+            }
+        }
+    }
+
+    let (stderr, ok) = terminate(child);
+    assert!(ok, "serve did not exit cleanly: {stderr}");
+    assert!(stderr.contains("[live] epoch"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sigterm_drains_pending_reanalysis_before_snapshot_persist() {
+    let dir = std::env::temp_dir().join(format!("lastmile-serve-drain-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_dir = dir.join("cache");
+    // A huge debounce guarantees the re-analysis is still PENDING when
+    // SIGTERM lands; the engine must run it during shutdown (draining
+    // the swap) before the snapshot re-persist.
+    let (child, addr) = spawn_serve(
+        &dir,
+        &[
+            "--watch",
+            "--watch-poll-ms",
+            "50",
+            "--reanalyze-debounce-ms",
+            "60000",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ],
+    );
+    let corpus = dir.join("traceroutes.jsonl");
+    let all = std::fs::read_to_string(&corpus).unwrap();
+    let last_line = all.lines().next_back().expect("nonempty corpus");
+    append_file(&corpus, format!("{last_line}\n").as_bytes());
+
+    // Wait until the watcher has seen the append (dirty window open).
+    let started = Instant::now();
+    loop {
+        let (_, _, body) = http_get(&addr, "/metrics");
+        let doc: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&body).unwrap()).unwrap();
+        if doc["live"]["watch_appends"].as_u64().unwrap_or(0) >= 1 {
+            break;
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "watcher never saw the append: {}",
+            doc["live"]
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let (stderr, ok) = terminate(child);
+    assert!(ok, "serve did not exit cleanly: {stderr}");
+    // The pending window was drained: epoch 2 published during
+    // shutdown, strictly before the final snapshot persist — so the
+    // persisted store never mixes epochs.
+    assert!(
+        stderr.contains("[live] draining pending re-analysis before shutdown"),
+        "{stderr}"
+    );
+    let swap_at = stderr
+        .find("[live] epoch 2")
+        .unwrap_or_else(|| panic!("drained re-analysis never published its epoch: {stderr}"));
+    let last_persist_at = stderr.rfind("[cache] saved").expect("shutdown persist");
+    assert!(
+        swap_at < last_persist_at,
+        "snapshot persisted before the drained epoch swap: {stderr}"
+    );
+    // The watcher's resume offset survived shutdown next to the cache.
+    assert!(
+        cache_dir.join("live.offset").exists(),
+        "offset sidecar missing"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -250,6 +250,44 @@ pub fn ingest_reader(
     }
 }
 
+/// Incremental feed entry point for live intake: frame and decode one
+/// standalone byte slice (an appended corpus delta or a `POST
+/// /v1/traceroutes` body) with exactly the framing and quarantine
+/// semantics of [`ingest_file`]. Each decoded record is delivered with
+/// its byte offset within the slice and its raw framed bytes, so
+/// callers can spool accepted records verbatim. Serial by design — live
+/// intake chunks are small, and the worker pipeline's spawn cost would
+/// dominate. Returns the quarantined records, sorted by offset.
+pub fn ingest_slice(
+    bytes: &[u8],
+    mut on_record: impl FnMut(u64, &[u8], TracerouteResult),
+) -> Vec<Quarantined> {
+    let _span = trace::span("ingest_slice");
+    let options = IngestOptions::default();
+    let mut quarantined: Vec<Quarantined> = Vec::new();
+    let mut handle = |frame: Frame<'_>| match frame {
+        Frame::Doc { offset, bytes } => match decode_record(offset, bytes, &options) {
+            Ok(tr) => on_record(offset, bytes, tr),
+            Err(q) => quarantined.push(q),
+        },
+        Frame::Junk {
+            offset,
+            bytes,
+            reason,
+        } => quarantined.push(Quarantined {
+            offset,
+            kind: QuarantineKind::Framing,
+            detail: reason.to_string(),
+            record: bytes.to_vec(),
+        }),
+    };
+    let mut splitter = DocSplitter::new();
+    splitter.feed(bytes, &mut handle);
+    splitter.finish(&mut handle);
+    quarantined.sort_by_key(|q| q.offset);
+    quarantined
+}
+
 fn available_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -687,6 +725,65 @@ mod tests {
     fn array_input(n: u32) -> Vec<u8> {
         let docs: Vec<String> = (0..n).map(|i| tr_json(i, 1000 + i64::from(i))).collect();
         format!("[{}]", docs.join(",")).into_bytes()
+    }
+
+    #[test]
+    fn ingest_slice_delivers_raw_bytes_and_matches_reader_semantics() {
+        let input = lines_input(5);
+        let mut records: Vec<(u64, Vec<u8>, u32)> = Vec::new();
+        let quarantined = ingest_slice(&input, |offset, raw, tr| {
+            records.push((offset, raw.to_vec(), tr.probe.0));
+        });
+        assert!(quarantined.is_empty());
+        assert_eq!(records.len(), 5);
+        for (i, (offset, raw, probe)) in records.iter().enumerate() {
+            assert_eq!(*probe, i as u32);
+            // The raw frame is the exact source line at its offset —
+            // the spool can replay it verbatim.
+            let end = *offset as usize + raw.len();
+            assert_eq!(&input[*offset as usize..end], &raw[..]);
+            assert_eq!(raw.first(), Some(&b'{'));
+        }
+        // A top-level array frames too (same DocSplitter).
+        let mut n = 0;
+        assert!(ingest_slice(&array_input(3), |_, _, _| n += 1).is_empty());
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn ingest_slice_quarantines_with_file_taxonomy() {
+        let mut input = Vec::new();
+        input.extend_from_slice(tr_json(1, 1000).as_bytes());
+        input.push(b'\n');
+        input.extend_from_slice(b"{\"not\":\"atlas\"}\n");
+        input.extend_from_slice(b"not json at all\n");
+        input.extend_from_slice(tr_json(2, 1001).as_bytes());
+        input.push(b'\n');
+        let mut accepted = 0;
+        let quarantined = ingest_slice(&input, |_, _, _| accepted += 1);
+        assert_eq!(accepted, 2);
+        assert_eq!(quarantined.len(), 2);
+        // Sorted by offset; kinds match the batch ingest taxonomy.
+        assert!(quarantined.windows(2).all(|w| w[0].offset <= w[1].offset));
+        let kinds: Vec<&str> = quarantined.iter().map(|q| q.kind.name()).collect();
+        assert_eq!(kinds, vec!["json", "json"]);
+        // A reader-based ingest over the same bytes agrees on counts.
+        let mut reader_accepted = 0;
+        let summary = ingest_reader(
+            Cursor::new(input.clone()),
+            &IngestOptions {
+                serial: true,
+                ..IngestOptions::default()
+            },
+            |_| reader_accepted += 1,
+        )
+        .unwrap();
+        assert_eq!(reader_accepted, accepted);
+        assert_eq!(summary.quarantined.len(), quarantined.len());
+        for (a, b) in summary.quarantined.iter().zip(&quarantined) {
+            assert_eq!((a.offset, a.kind), (b.offset, b.kind));
+            assert_eq!(a.record, b.record);
+        }
     }
 
     #[test]

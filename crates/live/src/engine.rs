@@ -1,0 +1,417 @@
+//! The debounced re-analysis scheduler.
+//!
+//! One engine thread owns the corpus watcher and the re-analysis
+//! closure. Intake events — watcher appends, `POST /v1/traceroutes`
+//! notifications — mark the engine dirty; the first mark starts a
+//! debounce window, and the re-analysis runs once the window closes, so
+//! a burst of appends coalesces into one recompute instead of N. The
+//! deadline is anchored to the *first* signal (not pushed by later
+//! ones), so a continuous stream cannot starve re-analysis forever.
+//!
+//! Dirty state is cleared *before* the closure runs: signals landing
+//! mid-analysis re-arm the window and trigger another pass, which is
+//! how readers converge on the union corpus without the engine ever
+//! holding intake back.
+//!
+//! Shutdown drains: [`LiveEngine::shutdown`] lets an in-flight
+//! re-analysis finish, then runs one final pass if signals are still
+//! pending — so the epoch the daemon re-persists its cache under
+//! reflects every accepted record, never a mix.
+
+use crate::watch::{AppendWatcher, WatchPoll};
+use lastmile_atlas::ProbeId;
+use lastmile_ingest::ingest_slice;
+use lastmile_obs::{trace, LiveMetrics};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Invalidate the memoized series of specific probes (fresh records
+/// arrived for them).
+pub type InvalidateFn = Box<dyn Fn(&[ProbeId]) + Send>;
+/// Invalidate everything (corpus truncated/rotated: full re-ingest).
+pub type InvalidateAllFn = Box<dyn Fn() + Send>;
+/// Re-run the analysis over the union corpus and publish the next
+/// epoch. Runs on the engine thread only.
+pub type ReanalyzeFn = Box<dyn FnMut() -> Result<(), String> + Send>;
+
+/// Scheduling knobs for [`LiveEngine::start`].
+pub struct LiveConfig {
+    /// Corpus append watcher (absent when only POST intake is enabled).
+    pub watcher: Option<AppendWatcher>,
+    /// Watcher poll cadence.
+    pub poll_interval: Duration,
+    /// Quiet window between the first intake signal and the re-analysis
+    /// it triggers.
+    pub debounce: Duration,
+}
+
+struct EngineState {
+    /// When the current dirty window opened (None: clean).
+    dirty_since: Option<Instant>,
+    shutdown: bool,
+}
+
+struct Shared {
+    metrics: Arc<LiveMetrics>,
+    state: Mutex<EngineState>,
+    cond: Condvar,
+}
+
+/// Cloneable signalling endpoint for intake paths outside the engine
+/// thread (the `POST /v1/traceroutes` handler).
+#[derive(Clone)]
+pub struct LiveHandle {
+    shared: Arc<Shared>,
+}
+
+impl LiveHandle {
+    /// The engine's metrics (shared with `/metrics`).
+    pub fn metrics(&self) -> &Arc<LiveMetrics> {
+        &self.shared.metrics
+    }
+
+    /// Mark the engine dirty (opens the debounce window if closed) and
+    /// wake it.
+    pub fn notify_dirty(&self) {
+        let mut state = self.shared.state.lock().expect("live state poisoned");
+        state.dirty_since.get_or_insert_with(Instant::now);
+        drop(state);
+        self.shared.cond.notify_one();
+    }
+}
+
+/// The engine thread plus its shared state; see the module docs.
+pub struct LiveEngine {
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LiveEngine {
+    /// Spawn the engine thread.
+    pub fn start(
+        config: LiveConfig,
+        metrics: Arc<LiveMetrics>,
+        invalidate: InvalidateFn,
+        invalidate_all: InvalidateAllFn,
+        reanalyze: ReanalyzeFn,
+    ) -> LiveEngine {
+        let shared = Arc::new(Shared {
+            metrics,
+            state: Mutex::new(EngineState {
+                dirty_since: None,
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+        });
+        let thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("live-engine".into())
+                .spawn(move || {
+                    engine_loop(&shared, config, &invalidate, &invalidate_all, reanalyze)
+                })
+                .expect("spawn live engine")
+        };
+        LiveEngine {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// A signalling handle for other threads.
+    pub fn handle(&self) -> LiveHandle {
+        LiveHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stop the engine: an in-flight re-analysis finishes, one final
+    /// pass drains any still-pending signals, the watcher offset is
+    /// persisted, and the thread joins.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(thread) = self.thread.take() else {
+            return;
+        };
+        {
+            let mut state = self.shared.state.lock().expect("live state poisoned");
+            state.shutdown = true;
+        }
+        self.shared.cond.notify_one();
+        if thread.join().is_err() {
+            eprintln!("[live] engine thread panicked during shutdown");
+        }
+    }
+}
+
+impl Drop for LiveEngine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn engine_loop(
+    shared: &Shared,
+    config: LiveConfig,
+    invalidate: &InvalidateFn,
+    invalidate_all: &InvalidateAllFn,
+    mut reanalyze: ReanalyzeFn,
+) {
+    let mut watcher = config.watcher;
+    let debounce = config.debounce;
+    loop {
+        // Sleep until a signal, the watcher poll, or the debounce
+        // deadline — whichever is nearest.
+        let shutdown = {
+            let mut state = shared.state.lock().expect("live state poisoned");
+            if !state.shutdown {
+                let now = Instant::now();
+                let until_deadline = state.dirty_since.map(|t| {
+                    (t + debounce)
+                        .checked_duration_since(now)
+                        .unwrap_or(Duration::ZERO)
+                });
+                let sleep = match (until_deadline, watcher.is_some()) {
+                    (Some(d), true) => d.min(config.poll_interval),
+                    (Some(d), false) => d,
+                    (None, true) => config.poll_interval,
+                    // Nothing to poll, nothing pending: wait for a
+                    // notify (bounded, for robustness against a lost
+                    // wakeup).
+                    (None, false) => Duration::from_secs(3600),
+                };
+                if !sleep.is_zero() {
+                    let (guard, _) = shared
+                        .cond
+                        .wait_timeout(state, sleep)
+                        .expect("live state poisoned");
+                    state = guard;
+                }
+            }
+            state.shutdown
+        };
+        if shutdown {
+            break;
+        }
+        if let Some(w) = watcher.as_mut() {
+            process_poll(w.poll(), shared, invalidate, invalidate_all);
+        }
+        let due = {
+            let state = shared.state.lock().expect("live state poisoned");
+            let now = Instant::now();
+            state.dirty_since.is_some_and(|t| now >= t + debounce)
+        };
+        if due {
+            run_reanalysis(shared, &mut reanalyze);
+        }
+    }
+    // Drain: signals accepted before shutdown must reach an epoch
+    // before the daemon re-persists its snapshot.
+    let pending = {
+        let state = shared.state.lock().expect("live state poisoned");
+        state.dirty_since.is_some()
+    };
+    if pending {
+        eprintln!("[live] draining pending re-analysis before shutdown");
+        run_reanalysis(shared, &mut reanalyze);
+    }
+    if let Some(w) = &watcher {
+        w.persist_offset();
+    }
+}
+
+/// Feed one watcher poll outcome into the dirty state.
+fn process_poll(
+    poll: WatchPoll,
+    shared: &Shared,
+    invalidate: &InvalidateFn,
+    invalidate_all: &InvalidateAllFn,
+) {
+    match poll {
+        WatchPoll::Unchanged => {}
+        WatchPoll::Appended(bytes) => {
+            let _span = trace::span_with("live_watch_append", |a| {
+                a.u64("bytes", bytes.len() as u64);
+            });
+            let mut probes = Vec::new();
+            let quarantined = ingest_slice(&bytes, |_, _, tr| probes.push(tr.probe));
+            let m = &shared.metrics;
+            m.watch_appends.fetch_add(1, Ordering::Relaxed);
+            m.watch_quarantined
+                .fetch_add(quarantined.len() as u64, Ordering::Relaxed);
+            for q in &quarantined {
+                eprintln!(
+                    "[live] watch: quarantined record at byte {} ({}): {}",
+                    q.offset,
+                    q.kind.name(),
+                    q.detail
+                );
+            }
+            if !probes.is_empty() {
+                m.records_ingested
+                    .fetch_add(probes.len() as u64, Ordering::Relaxed);
+                invalidate(&probes);
+                mark_dirty(shared);
+            }
+        }
+        WatchPoll::Truncated(bytes) => {
+            let _span = trace::span_with("live_watch_truncation", |a| {
+                a.u64("bytes", bytes.len() as u64);
+            });
+            eprintln!(
+                "[live] watch: corpus truncated/rotated; falling back to full re-ingest ({} bytes)",
+                bytes.len()
+            );
+            shared
+                .metrics
+                .watch_truncations
+                .fetch_add(1, Ordering::Relaxed);
+            // Every memoized series is suspect: the bytes they were
+            // built from may be gone.
+            invalidate_all();
+            mark_dirty(shared);
+        }
+    }
+}
+
+fn mark_dirty(shared: &Shared) {
+    let mut state = shared.state.lock().expect("live state poisoned");
+    state.dirty_since.get_or_insert_with(Instant::now);
+}
+
+/// Run one re-analysis pass, clearing the dirty window first so
+/// signals landing mid-analysis re-arm it.
+fn run_reanalysis(shared: &Shared, reanalyze: &mut ReanalyzeFn) {
+    let m = &shared.metrics;
+    // The base records_ingested this pass covers: everything counted
+    // before the files are re-read (later arrivals re-arm the window).
+    let base = m.records_ingested.load(Ordering::Relaxed);
+    {
+        let mut state = shared.state.lock().expect("live state poisoned");
+        state.dirty_since = None;
+    }
+    let started = Instant::now();
+    let _span = trace::span("live_reanalyze");
+    match reanalyze() {
+        Ok(()) => {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            m.reanalyses.fetch_add(1, Ordering::Relaxed);
+            m.reanalysis_nanos.store(nanos, Ordering::Relaxed);
+            m.records_analyzed.fetch_max(base, Ordering::Relaxed);
+        }
+        Err(e) => {
+            m.reanalysis_errors.fetch_add(1, Ordering::Relaxed);
+            eprintln!("[live] re-analysis failed: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn counting_engine(
+        watcher: Option<AppendWatcher>,
+        debounce_ms: u64,
+    ) -> (LiveEngine, Arc<AtomicU64>, Arc<LiveMetrics>) {
+        let runs = Arc::new(AtomicU64::new(0));
+        let metrics = Arc::new(LiveMetrics::new());
+        let runs2 = Arc::clone(&runs);
+        let engine = LiveEngine::start(
+            LiveConfig {
+                watcher,
+                poll_interval: Duration::from_millis(5),
+                debounce: Duration::from_millis(debounce_ms),
+            },
+            Arc::clone(&metrics),
+            Box::new(|_| {}),
+            Box::new(|| {}),
+            Box::new(move || {
+                runs2.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }),
+        );
+        (engine, runs, metrics)
+    }
+
+    fn wait_until(what: &str, deadline: Duration, reached: impl Fn() -> bool) {
+        let t0 = Instant::now();
+        while !reached() {
+            assert!(t0.elapsed() < deadline, "never reached: {what}");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn burst_of_signals_coalesces_into_one_reanalysis() {
+        let (engine, runs, metrics) = counting_engine(None, 40);
+        let handle = engine.handle();
+        for _ in 0..5 {
+            handle.notify_dirty();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        wait_until("debounced re-analysis", Duration::from_secs(5), || {
+            runs.load(Ordering::SeqCst) == 1
+        });
+        // Quiet afterwards: no further runs.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+        assert_eq!(metrics.reanalyses.load(Ordering::Relaxed), 1);
+        engine.shutdown();
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            1,
+            "clean shutdown re-runs nothing"
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_a_pending_window() {
+        // Debounce far in the future: the signal is pending, never due.
+        let (engine, runs, _metrics) = counting_engine(None, 60_000);
+        engine.handle().notify_dirty();
+        engine.shutdown();
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            1,
+            "pending signal must drain through one final re-analysis"
+        );
+    }
+
+    #[test]
+    fn reanalysis_errors_count_and_do_not_hot_loop() {
+        let runs = Arc::new(AtomicU64::new(0));
+        let metrics = Arc::new(LiveMetrics::new());
+        let runs2 = Arc::clone(&runs);
+        let engine = LiveEngine::start(
+            LiveConfig {
+                watcher: None,
+                poll_interval: Duration::from_millis(5),
+                debounce: Duration::from_millis(10),
+            },
+            Arc::clone(&metrics),
+            Box::new(|_| {}),
+            Box::new(|| {}),
+            Box::new(move || {
+                runs2.fetch_add(1, Ordering::SeqCst);
+                Err("boom".to_string())
+            }),
+        );
+        engine.handle().notify_dirty();
+        wait_until("failed re-analysis", Duration::from_secs(5), || {
+            runs.load(Ordering::SeqCst) >= 1
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "an error must not hot-loop");
+        assert_eq!(metrics.reanalysis_errors.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.reanalyses.load(Ordering::Relaxed), 0);
+        // The drain pass at shutdown is skipped when nothing is pending.
+        engine.shutdown();
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+    }
+}

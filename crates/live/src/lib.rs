@@ -1,0 +1,35 @@
+//! # lastmile-live
+//!
+//! The continuous-ingestion engine that turns the `lastmile serve`
+//! daemon from a snapshot viewer into an always-on congestion
+//! observatory. Three pieces, composed by the CLI:
+//!
+//! * [`epoch::Epoch`] — RCU-style publication of immutable analysis
+//!   snapshots: readers clone an `Arc` under a briefly held lock and
+//!   then never block on (or observe) a writer; each publish bumps a
+//!   generation counter, so a response can be labelled with exactly one
+//!   epoch.
+//! * [`watch::AppendWatcher`] — polls the corpus file's length,
+//!   slurps newline-terminated appended bytes from a persisted resume
+//!   offset, and falls back to a full re-ingest on truncation/rotation.
+//! * [`engine::LiveEngine`] — the scheduler thread: watcher polls and
+//!   `POST /v1/traceroutes` notifications mark probes dirty (series
+//!   invalidated in the memoizing store via a callback), a debounce
+//!   window coalesces bursts, then one re-analysis closure runs and
+//!   publishes the next epoch. Shutdown drains: a pending re-analysis
+//!   completes before the engine joins, so the snapshot the daemon
+//!   re-persists never mixes epochs.
+//!
+//! The correctness contract the whole crate serves: after any sequence
+//! of accepted appends, `GET /v1/classify` is byte-identical to a cold
+//! `classify --json` over the union corpus (main file + POST spool).
+
+pub mod engine;
+pub mod epoch;
+pub mod intake;
+pub mod watch;
+
+pub use engine::{LiveConfig, LiveEngine, LiveHandle};
+pub use epoch::Epoch;
+pub use intake::{intake_body, IntakeOutcome, Spool};
+pub use watch::{AppendWatcher, WatchPoll};

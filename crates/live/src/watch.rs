@@ -1,0 +1,262 @@
+//! The corpus-file append watcher.
+//!
+//! RIPE-Atlas-style corpora are JSON Lines files that only ever grow:
+//! collectors append newline-terminated records. The watcher polls the
+//! file's length (no inotify — portable and cheap at live-intake
+//! rates), and on growth slurps the appended bytes up to the **last
+//! newline** — a partial tail line stays on disk for the next poll, so
+//! a record mid-append is never framed early and arbitrary append
+//! chunkings converge on the same byte stream. On shrink (truncation or
+//! rotation-in-place) it resets to offset zero and re-reads, signalling
+//! the caller to fall back to a full re-ingest.
+//!
+//! The consumed offset is persisted to a sidecar file after every
+//! slurp, so a restarted daemon resumes where it left off instead of
+//! re-signalling work it already analyzed.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Outcome of one [`AppendWatcher::poll`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum WatchPoll {
+    /// No complete new record since the last poll.
+    Unchanged,
+    /// Newline-terminated bytes appended since the last poll.
+    Appended(Vec<u8>),
+    /// The file shrank (truncation/rotation). Offset was reset; the
+    /// carried bytes are the file's content from the start up to its
+    /// last newline. The caller must treat this as a full re-ingest
+    /// (every memoized series is suspect).
+    Truncated(Vec<u8>),
+}
+
+/// Polls one append-only corpus file; see the module docs.
+pub struct AppendWatcher {
+    path: PathBuf,
+    offset: u64,
+    offset_file: Option<PathBuf>,
+}
+
+impl AppendWatcher {
+    /// Watch `path`, resuming from the offset persisted in
+    /// `offset_file` when one is present and plausible (≤
+    /// `fallback_offset`, the corpus length the caller's startup
+    /// analysis covered). A persisted offset *behind* the fallback is
+    /// honoured — the overlap is re-signalled, which is harmless
+    /// (re-analysis is idempotent) — while one beyond it (the file was
+    /// replaced while the daemon was down) falls back.
+    pub fn new(
+        path: impl Into<PathBuf>,
+        offset_file: Option<PathBuf>,
+        fallback_offset: u64,
+    ) -> AppendWatcher {
+        let offset = offset_file
+            .as_deref()
+            .and_then(load_offset)
+            .filter(|&o| o <= fallback_offset)
+            .unwrap_or(fallback_offset);
+        AppendWatcher {
+            path: path.into(),
+            offset,
+            offset_file,
+        }
+    }
+
+    /// The consumed byte offset (everything before it has been
+    /// delivered through [`AppendWatcher::poll`] or was covered by the
+    /// caller's startup analysis).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Check the file once. I/O errors (file momentarily absent during
+    /// a rotation, permissions hiccup) read as [`WatchPoll::Unchanged`]
+    /// so the engine just retries next interval.
+    pub fn poll(&mut self) -> WatchPoll {
+        let len = match std::fs::metadata(&self.path) {
+            Ok(meta) => meta.len(),
+            Err(_) => return WatchPoll::Unchanged,
+        };
+        if len < self.offset {
+            // Truncated or rotated in place: everything we thought we
+            // had consumed may be gone. Start over.
+            self.offset = 0;
+            let bytes = self.read_new_bytes(len).unwrap_or_default();
+            self.advance(&bytes);
+            let consumed = consumed_len(&bytes);
+            return WatchPoll::Truncated(bytes[..consumed].to_vec());
+        }
+        if len == self.offset {
+            return WatchPoll::Unchanged;
+        }
+        let bytes = match self.read_new_bytes(len) {
+            Ok(bytes) => bytes,
+            Err(_) => return WatchPoll::Unchanged,
+        };
+        let consumed = consumed_len(&bytes);
+        if consumed == 0 {
+            // Only a partial line so far; wait for its newline.
+            return WatchPoll::Unchanged;
+        }
+        self.advance(&bytes);
+        WatchPoll::Appended(bytes[..consumed].to_vec())
+    }
+
+    /// Persist the consumed offset (best-effort; a failure only costs a
+    /// harmless overlap re-signal after a restart).
+    pub fn persist_offset(&self) {
+        if let Some(file) = &self.offset_file {
+            let _ = std::fs::write(file, format!("{}\n", self.offset));
+        }
+    }
+
+    /// Read `[offset, len)` from the file (clamped to `len` even if the
+    /// file grew between the stat and the read, keeping the slurp
+    /// newline-aligned with what the stat promised).
+    fn read_new_bytes(&self, len: u64) -> std::io::Result<Vec<u8>> {
+        let mut file = std::fs::File::open(&self.path)?;
+        file.seek(SeekFrom::Start(self.offset))?;
+        let mut bytes = Vec::with_capacity((len - self.offset) as usize);
+        file.take(len - self.offset).read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    /// Advance past the newline-terminated prefix of `bytes` and
+    /// persist the new offset.
+    fn advance(&mut self, bytes: &[u8]) {
+        self.offset += consumed_len(bytes) as u64;
+        self.persist_offset();
+    }
+}
+
+/// Length of the newline-terminated prefix of `bytes` (0 when no
+/// newline: the whole slice is a partial tail line).
+fn consumed_len(bytes: &[u8]) -> usize {
+    bytes
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |pos| pos + 1)
+}
+
+/// The offset persisted in `path`, if readable.
+fn load_offset(path: &Path) -> Option<u64> {
+    std::fs::read_to_string(path).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir =
+                std::env::temp_dir().join(format!("lastmile-watch-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+        fn path(&self, name: &str) -> PathBuf {
+            self.0.join(name)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn append(path: &Path, bytes: &[u8]) {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap();
+        f.write_all(bytes).unwrap();
+    }
+
+    #[test]
+    fn appends_are_delivered_only_at_newline_boundaries() {
+        let dir = TempDir::new("newline");
+        let corpus = dir.path("corpus.jsonl");
+        append(&corpus, b"one\n");
+        let mut w = AppendWatcher::new(&corpus, None, 4);
+        assert_eq!(w.poll(), WatchPoll::Unchanged);
+        // A partial line is held back...
+        append(&corpus, b"tw");
+        assert_eq!(w.poll(), WatchPoll::Unchanged);
+        assert_eq!(w.offset(), 4);
+        // ...and delivered once its newline lands, as one delta.
+        append(&corpus, b"o\nthree\n");
+        assert_eq!(w.poll(), WatchPoll::Appended(b"two\nthree\n".to_vec()));
+        assert_eq!(w.offset(), 14);
+        // A delta with a trailing partial line delivers only the
+        // terminated prefix.
+        append(&corpus, b"four\npart");
+        assert_eq!(w.poll(), WatchPoll::Appended(b"four\n".to_vec()));
+        assert_eq!(w.offset(), 19);
+    }
+
+    #[test]
+    fn truncation_resets_and_redelivers_from_zero() {
+        let dir = TempDir::new("trunc");
+        let corpus = dir.path("corpus.jsonl");
+        append(&corpus, b"aaa\nbbb\n");
+        let mut w = AppendWatcher::new(&corpus, None, 8);
+        // Rotation: replaced by a shorter file with different content.
+        std::fs::write(&corpus, b"ccc\n").unwrap();
+        assert_eq!(w.poll(), WatchPoll::Truncated(b"ccc\n".to_vec()));
+        assert_eq!(w.offset(), 4);
+        // Appends after the rotation resume normal delivery.
+        append(&corpus, b"ddd\n");
+        assert_eq!(w.poll(), WatchPoll::Appended(b"ddd\n".to_vec()));
+    }
+
+    #[test]
+    fn truncation_to_empty_still_signals() {
+        let dir = TempDir::new("empty");
+        let corpus = dir.path("corpus.jsonl");
+        append(&corpus, b"aaa\n");
+        let mut w = AppendWatcher::new(&corpus, None, 4);
+        std::fs::write(&corpus, b"").unwrap();
+        assert_eq!(w.poll(), WatchPoll::Truncated(Vec::new()));
+        assert_eq!(w.offset(), 0);
+    }
+
+    #[test]
+    fn missing_file_reads_as_unchanged() {
+        let dir = TempDir::new("missing");
+        let mut w = AppendWatcher::new(dir.path("nope.jsonl"), None, 0);
+        assert_eq!(w.poll(), WatchPoll::Unchanged);
+    }
+
+    #[test]
+    fn offset_persists_and_resumes() {
+        let dir = TempDir::new("resume");
+        let corpus = dir.path("corpus.jsonl");
+        let sidecar = dir.path("corpus.offset");
+        append(&corpus, b"one\n");
+        let mut w = AppendWatcher::new(&corpus, Some(sidecar.clone()), 4);
+        append(&corpus, b"two\n");
+        assert_eq!(w.poll(), WatchPoll::Appended(b"two\n".to_vec()));
+        drop(w);
+        // A new watcher (same sidecar) resumes past both lines even
+        // with a stale fallback.
+        let mut w = AppendWatcher::new(&corpus, Some(sidecar.clone()), 8);
+        assert_eq!(w.offset(), 8);
+        assert_eq!(w.poll(), WatchPoll::Unchanged);
+        // A persisted offset beyond the fallback (file replaced while
+        // down) is discarded in favour of the fallback.
+        std::fs::write(&sidecar, b"9999\n").unwrap();
+        let w = AppendWatcher::new(&corpus, Some(sidecar.clone()), 8);
+        assert_eq!(w.offset(), 8);
+        // A persisted offset behind the fallback is honoured (overlap
+        // re-signals are harmless).
+        std::fs::write(&sidecar, b"4\n").unwrap();
+        let mut w = AppendWatcher::new(&corpus, Some(sidecar), 8);
+        assert_eq!(w.offset(), 4);
+        assert_eq!(w.poll(), WatchPoll::Appended(b"two\n".to_vec()));
+    }
+}

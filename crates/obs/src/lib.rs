@@ -568,12 +568,16 @@ pub struct ServeMetrics {
     pub queue_depth: AtomicU64,
     /// High-water mark of `queue_depth`.
     pub queue_max_depth: AtomicU64,
+    /// Health/metrics probes served by the fast lane while the main
+    /// accept queue was saturated.
+    pub fastlane_hits: AtomicU64,
     /// Per-endpoint request latency (accept-to-response-flushed), keyed
     /// like the `/metrics` document: classify / series / populations /
-    /// healthz / metrics / other.
+    /// ingest / healthz / metrics / other.
     pub latency_classify: AtomicHistogram,
     pub latency_series: AtomicHistogram,
     pub latency_populations: AtomicHistogram,
+    pub latency_ingest: AtomicHistogram,
     pub latency_healthz: AtomicHistogram,
     pub latency_metrics: AtomicHistogram,
     pub latency_other: AtomicHistogram,
@@ -586,6 +590,8 @@ pub enum ServeEndpoint {
     Classify,
     Series,
     Populations,
+    /// `POST /v1/traceroutes` — the live intake path.
+    Ingest,
     Healthz,
     Metrics,
     Other,
@@ -620,6 +626,7 @@ impl ServeMetrics {
             ServeEndpoint::Classify => &self.latency_classify,
             ServeEndpoint::Series => &self.latency_series,
             ServeEndpoint::Populations => &self.latency_populations,
+            ServeEndpoint::Ingest => &self.latency_ingest,
             ServeEndpoint::Healthz => &self.latency_healthz,
             ServeEndpoint::Metrics => &self.latency_metrics,
             ServeEndpoint::Other => &self.latency_other,
@@ -637,10 +644,12 @@ impl ServeMetrics {
             in_flight: self.in_flight.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_max_depth: self.queue_max_depth.load(Ordering::Relaxed),
+            fastlane_hits: self.fastlane_hits.load(Ordering::Relaxed),
             latency: ServeLatencyStats {
                 classify: self.latency_classify.summary(),
                 series: self.latency_series.summary(),
                 populations: self.latency_populations.summary(),
+                ingest: self.latency_ingest.summary(),
                 healthz: self.latency_healthz.summary(),
                 metrics: self.latency_metrics.summary(),
                 other: self.latency_other.summary(),
@@ -655,6 +664,7 @@ pub struct ServeLatencyStats {
     pub classify: HistogramSummary,
     pub series: HistogramSummary,
     pub populations: HistogramSummary,
+    pub ingest: HistogramSummary,
     pub healthz: HistogramSummary,
     pub metrics: HistogramSummary,
     pub other: HistogramSummary,
@@ -671,7 +681,88 @@ pub struct ServeMetricsSnapshot {
     pub in_flight: u64,
     pub queue_depth: u64,
     pub queue_max_depth: u64,
+    pub fastlane_hits: u64,
     pub latency: ServeLatencyStats,
+}
+
+/// Counters and gauges for the live re-ingest engine (`lastmile-live`):
+/// intake volume on both paths (append watcher + `POST
+/// /v1/traceroutes`), re-analysis cadence, and the current published
+/// epoch. All atomics; the engine thread, the POST handler, and the
+/// `/metrics` handler share one instance by `Arc`.
+#[derive(Debug, Default)]
+pub struct LiveMetrics {
+    /// Records accepted through live intake (watch appends + POSTs).
+    pub records_ingested: AtomicU64,
+    /// Value of `records_ingested` covered by the most recently
+    /// published epoch (`records_ingested - records_analyzed` is the
+    /// ingest-lag gauge).
+    pub records_analyzed: AtomicU64,
+    /// Records accepted via `POST /v1/traceroutes`.
+    pub posts_accepted: AtomicU64,
+    /// Records rejected (quarantined) via `POST /v1/traceroutes`.
+    pub posts_rejected: AtomicU64,
+    /// Append deltas slurped by the corpus-file watcher.
+    pub watch_appends: AtomicU64,
+    /// Truncation/rotation events (each forces a full re-ingest).
+    pub watch_truncations: AtomicU64,
+    /// Records the watcher quarantined (malformed appended lines).
+    pub watch_quarantined: AtomicU64,
+    /// Re-analyses that published a new epoch.
+    pub reanalyses: AtomicU64,
+    /// Re-analyses that failed (logged, epoch unchanged).
+    pub reanalysis_errors: AtomicU64,
+    /// Generation of the currently published analysis snapshot.
+    pub epoch: AtomicU64,
+    /// Wall nanoseconds the last epoch swap (pointer publish) took.
+    pub swap_nanos: AtomicU64,
+    /// Wall nanoseconds the last full re-analysis took.
+    pub reanalysis_nanos: AtomicU64,
+}
+
+impl LiveMetrics {
+    pub fn new() -> LiveMetrics {
+        LiveMetrics::default()
+    }
+
+    /// Plain-value export for the `live` key of the `/metrics` JSON.
+    pub fn snapshot(&self) -> LiveMetricsSnapshot {
+        let ingested = self.records_ingested.load(Ordering::Relaxed);
+        let analyzed = self.records_analyzed.load(Ordering::Relaxed);
+        LiveMetricsSnapshot {
+            records_ingested: ingested,
+            ingest_lag: ingested.saturating_sub(analyzed),
+            posts_accepted: self.posts_accepted.load(Ordering::Relaxed),
+            posts_rejected: self.posts_rejected.load(Ordering::Relaxed),
+            watch_appends: self.watch_appends.load(Ordering::Relaxed),
+            watch_truncations: self.watch_truncations.load(Ordering::Relaxed),
+            watch_quarantined: self.watch_quarantined.load(Ordering::Relaxed),
+            reanalyses: self.reanalyses.load(Ordering::Relaxed),
+            reanalysis_errors: self.reanalysis_errors.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed),
+            swap_nanos: self.swap_nanos.load(Ordering::Relaxed),
+            reanalysis_nanos: self.reanalysis_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value export of [`LiveMetrics`]; the `live` key of the
+/// daemon's `/metrics` JSON.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct LiveMetricsSnapshot {
+    pub records_ingested: u64,
+    /// Records ingested but not yet covered by a published epoch.
+    pub ingest_lag: u64,
+    pub posts_accepted: u64,
+    pub posts_rejected: u64,
+    pub watch_appends: u64,
+    pub watch_truncations: u64,
+    pub watch_quarantined: u64,
+    pub reanalyses: u64,
+    pub reanalysis_errors: u64,
+    pub epoch: u64,
+    pub swap_nanos: u64,
+    pub reanalysis_nanos: u64,
 }
 
 #[cfg(test)]
@@ -920,13 +1011,57 @@ mod tests {
             "in_flight",
             "queue_depth",
             "queue_max_depth",
+            "fastlane_hits",
             "latency",
             "classify",
             "series",
             "populations",
+            "ingest",
             "healthz",
             "metrics",
             "other",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn live_metrics_snapshot_lag_and_golden_keys() {
+        let m = LiveMetrics::new();
+        m.records_ingested.fetch_add(12, Ordering::Relaxed);
+        m.records_analyzed.store(9, Ordering::Relaxed);
+        m.posts_accepted.fetch_add(4, Ordering::Relaxed);
+        m.posts_rejected.fetch_add(1, Ordering::Relaxed);
+        m.watch_appends.fetch_add(2, Ordering::Relaxed);
+        m.reanalyses.fetch_add(3, Ordering::Relaxed);
+        m.epoch.store(4, Ordering::Relaxed);
+        m.swap_nanos.store(1_500, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.records_ingested, 12);
+        assert_eq!(s.ingest_lag, 3);
+        assert_eq!(s.posts_accepted, 4);
+        assert_eq!(s.posts_rejected, 1);
+        assert_eq!(s.watch_appends, 2);
+        assert_eq!(s.reanalyses, 3);
+        assert_eq!(s.epoch, 4);
+        assert_eq!(s.swap_nanos, 1_500);
+        // Lag saturates rather than underflowing if analyzed races ahead.
+        m.records_analyzed.store(20, Ordering::Relaxed);
+        assert_eq!(m.snapshot().ingest_lag, 0);
+        let json = serde_json::to_string_pretty(&s).expect("live snapshot serializes");
+        for key in [
+            "records_ingested",
+            "ingest_lag",
+            "posts_accepted",
+            "posts_rejected",
+            "watch_appends",
+            "watch_truncations",
+            "watch_quarantined",
+            "reanalyses",
+            "reanalysis_errors",
+            "epoch",
+            "swap_nanos",
+            "reanalysis_nanos",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

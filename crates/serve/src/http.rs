@@ -1,12 +1,14 @@
-//! A deliberately small HTTP/1.1 subset: enough to parse one `GET`
-//! request from a socket and write one response, nothing more.
+//! A deliberately small HTTP/1.1 subset: enough to parse one `GET` or
+//! `POST` request from a socket and write one response, nothing more.
 //!
 //! Scope decisions (all documented here so nobody mistakes this for a
-//! general server): requests are `GET`-only (anything else gets 405),
-//! bodies are ignored, every response carries `Connection: close` and
-//! the connection is dropped after one exchange, header blocks are
-//! capped at [`MAX_HEAD_BYTES`], and request targets are used verbatim
-//! (no percent-decoding — the daemon's routes are plain ASCII).
+//! general server): requests are `GET`/`POST`-only (anything else gets
+//! 405), bodies are plain `Content-Length` reads capped at
+//! [`MAX_BODY_BYTES`] (no chunked transfer encoding — that gets 400),
+//! every response carries `Connection: close` and the connection is
+//! dropped after one exchange, header blocks are capped at
+//! [`MAX_HEAD_BYTES`], and request targets are used verbatim (no
+//! percent-decoding — the daemon's routes are plain ASCII).
 
 use std::io::{Read, Write};
 
@@ -14,10 +16,17 @@ use std::io::{Read, Write};
 /// exceeding it gets 431 and the connection is closed.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
+/// Upper bound on a request body (`Content-Length`). A client declaring
+/// (or sending) more gets 413 and the connection is closed. Sized for
+/// live traceroute intake: thousands of records per POST, while keeping
+/// a worker's worst-case buffering bounded.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
 /// One parsed request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
-    /// Request method, verbatim (`GET` for anything the daemon serves).
+    /// Request method, verbatim (`GET` or `POST` for anything the
+    /// daemon serves).
     pub method: String,
     /// Path component of the target, without the query string.
     pub path: String,
@@ -25,6 +34,8 @@ pub struct Request {
     pub query: String,
     /// Header `(name, value)` pairs; names lowercased, values trimmed.
     pub headers: Vec<(String, String)>,
+    /// Request body (`Content-Length` bytes; empty when absent).
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -54,23 +65,71 @@ pub enum ParseError {
     ConnectionClosed,
     /// Head exceeded [`MAX_HEAD_BYTES`] → 431.
     HeadTooLarge,
-    /// Malformed request line or header → 400.
+    /// Body exceeded [`MAX_BODY_BYTES`] → 413.
+    BodyTooLarge,
+    /// Malformed request line, header, or body framing → 400.
     Malformed(&'static str),
-    /// Socket error (including read timeout) mid-head.
+    /// Socket error (including read timeout) mid-head or mid-body.
     Io(std::io::Error),
 }
 
-/// Read one request head from `stream` and parse it.
+/// Read one full request (head, then a `Content-Length` body if one is
+/// declared) from `stream`.
+///
+/// Body rules: no `Content-Length` means an empty body; a
+/// non-numeric length or any `Transfer-Encoding` header is malformed
+/// (400); a declared length above [`MAX_BODY_BYTES`] is
+/// [`ParseError::BodyTooLarge`] (413), checked *before* reading so an
+/// oversized upload is refused without buffering it.
+pub fn parse_request(stream: &mut impl Read) -> Result<Request, ParseError> {
+    let (mut request, leftover) = parse_request_head(stream)?;
+    if request.header("transfer-encoding").is_some() {
+        return Err(ParseError::Malformed("Transfer-Encoding not supported"));
+    }
+    let declared: u64 = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .trim()
+            .parse()
+            .map_err(|_| ParseError::Malformed("bad Content-Length"))?,
+    };
+    if declared > MAX_BODY_BYTES as u64 {
+        return Err(ParseError::BodyTooLarge);
+    }
+    let declared = declared as usize;
+    // Body bytes the head read already pulled off the socket come
+    // first; anything past the declared length is ignored (we close
+    // after one exchange, so there is no pipelining to preserve).
+    let mut body = leftover;
+    body.truncate(declared);
+    let mut chunk = [0u8; 4096];
+    while body.len() < declared {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return Err(ParseError::Malformed("connection closed mid-body")),
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Io(e)),
+        };
+        let take = n.min(declared - body.len());
+        body.extend_from_slice(&chunk[..take]);
+    }
+    request.body = body;
+    Ok(request)
+}
+
+/// Read one request head from `stream` and parse it, returning the
+/// parsed request (body empty) plus any body bytes the head read
+/// already consumed.
 ///
 /// Reads byte-chunks until the head terminator — `\r\n\r\n`, or a bare
 /// `\n\n` from LF-only clients (tolerant reader, like the ingest
-/// splitter's CRLF handling); any body bytes after the head are left
-/// unread (and discarded when the connection closes). The terminator
-/// search is incremental: each iteration scans only the bytes the last
-/// read appended (minus a [`HEAD_SCAN_OVERLAP`]-byte overlap for a
-/// terminator spanning two reads), so a head arriving in many small
-/// reads costs O(head), not O(head²).
-pub fn parse_request(stream: &mut impl Read) -> Result<Request, ParseError> {
+/// splitter's CRLF handling). The fast lane uses this directly: routing
+/// a health probe needs only the head, and never buffers a body. The
+/// terminator search is incremental: each iteration scans only the
+/// bytes the last read appended (minus a [`HEAD_SCAN_OVERLAP`]-byte
+/// overlap for a terminator spanning two reads), so a head arriving in
+/// many small reads costs O(head), not O(head²).
+pub fn parse_request_head(stream: &mut impl Read) -> Result<(Request, Vec<u8>), ParseError> {
     let mut head = Vec::with_capacity(512);
     let mut chunk = [0u8; 1024];
     let mut scanned: usize = 0;
@@ -99,6 +158,7 @@ pub fn parse_request(stream: &mut impl Read) -> Result<Request, ParseError> {
         };
         head.extend_from_slice(&chunk[..n]);
     };
+    let leftover = head[end..].to_vec();
     let head = std::str::from_utf8(&head[..end]).map_err(|_| ParseError::Malformed("not UTF-8"))?;
     // Split on LF and trim the optional CR so CRLF and bare-LF heads
     // parse identically.
@@ -126,12 +186,16 @@ pub fn parse_request(stream: &mut impl Read) -> Result<Request, ParseError> {
             .ok_or(ParseError::Malformed("header without colon"))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-    Ok(Request {
-        method: method.to_string(),
-        path: path.to_string(),
-        query: query.to_string(),
-        headers,
-    })
+    Ok((
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: query.to_string(),
+            headers,
+            body: Vec::new(),
+        },
+        leftover,
+    ))
 }
 
 /// Bytes a resumed terminator search backs up over: the longest
@@ -242,6 +306,8 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -307,9 +373,71 @@ mod tests {
         assert_eq!(req.path, "/a");
         let req = parse(b"GET /b HTTP/1.0\nHost: x\n\r\n").unwrap();
         assert_eq!(req.path, "/b");
-        // Body bytes after a bare-LF terminator stay unread.
+        // Bytes after a bare-LF terminator without a Content-Length are
+        // discarded, not treated as a body.
         let req = parse(b"GET /c HTTP/1.1\n\nignored body").unwrap();
         assert_eq!(req.path, "/c");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn content_length_body_is_read_exactly() {
+        let req = parse(b"POST /v1/traceroutes HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello world");
+        // Body split across reads (one byte at a time) still assembles.
+        struct OneByte(Vec<u8>, usize);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let req = parse_request(&mut OneByte(
+            b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd".to_vec(),
+            0,
+        ))
+        .unwrap();
+        assert_eq!(req.body, b"abcd");
+        // Trailing bytes past the declared length are ignored.
+        let req = parse(b"POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nabEXTRA").unwrap();
+        assert_eq!(req.body, b"ab");
+        // Zero-length body is fine.
+        let req = parse(b"POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n").unwrap();
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn body_framing_errors_map_to_their_statuses() {
+        // Truncated body: peer closed before Content-Length bytes.
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ParseError::Malformed(_))
+        ));
+        // Garbage Content-Length.
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        // Chunked transfer encoding is out of scope.
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        // An oversized declaration is refused before any body read.
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse(huge.as_bytes()),
+            Err(ParseError::BodyTooLarge)
+        ));
     }
 
     #[test]

@@ -1,22 +1,30 @@
-//! The accept loop and worker pool.
+//! The accept loop, worker pool, and health fast lane.
 //!
 //! Concurrency shape (fixed at bind time, nothing grows under load):
 //!
 //! ```text
 //!   acceptor ──try_send──▶ bounded queue (cap Q) ──recv──▶ serve-0..N-1
 //!      │                        full?
+//!      ├──try_send──▶ fast lane (cap F) ──recv──▶ serve-fast
+//!      │                   full?          GET /healthz | /metrics:
+//!      │                                  served inline; else 503
 //!      └──────── inline 503 + Retry-After, close ◀────────┘
 //! ```
 //!
 //! The acceptor never blocks on the queue: a full queue means the pool
 //! is saturated, and the correct behaviour under the ISSUE's
 //! backpressure contract is an immediate `503 Service Unavailable` with
-//! `Retry-After`, not unbounded buffering. Graceful shutdown stops the
-//! acceptor, drops the queue's sender, and joins the workers — which
-//! drain every connection already queued (and the one they are serving)
+//! `Retry-After`, not unbounded buffering. Overflow connections detour
+//! through a dedicated fast lane first: a single thread that parses
+//! only the request head under a tight timeout and serves `GET
+//! /healthz` and `GET /metrics` inline, so a flood of expensive
+//! classify/ingest work can never blind health probes; anything else
+//! overflowing gets the same 503. Graceful shutdown stops the acceptor,
+//! drops both queues' senders, and joins the workers — which drain
+//! every connection already queued (and the one they are serving)
 //! before exiting.
 
-use crate::http::{parse_request, ParseError, Request, Response};
+use crate::http::{parse_request, parse_request_head, ParseError, Request, Response};
 use lastmile_obs::{trace, ServeEndpoint, ServeMetrics};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -41,6 +49,10 @@ pub struct ServerConfig {
     /// Accept-queue capacity. Clamped to ≥ 1; `workers + queue` bounds
     /// the connections held at any instant.
     pub queue: usize,
+    /// Fast-lane queue capacity for connections overflowing the main
+    /// queue (health/metrics probes served there; the rest 503'd).
+    /// Clamped to ≥ 1.
+    pub fastlane_queue: usize,
     /// Seconds advertised in `Retry-After` on a 503.
     pub retry_after_secs: u64,
 }
@@ -51,6 +63,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:8437".to_string(),
             workers: 4,
             queue: 16,
+            fastlane_queue: 32,
             retry_after_secs: 1,
         }
     }
@@ -63,6 +76,18 @@ const IO_TIMEOUT: Duration = Duration::from_secs(10);
 /// Accept-poll interval: how promptly the acceptor notices the shutdown
 /// flag while idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Read/write timeout on the fast lane: tight, so one slow-loris
+/// connection can't park the single thread that keeps health probes
+/// answered while the pool is saturated.
+const FASTLANE_IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Whether the fast lane serves `path` inline when the main accept
+/// queue is full (cheap, read-only endpoints the operator needs *most*
+/// under overload).
+fn fastlane_path(path: &str) -> bool {
+    path == "/healthz" || path == "/metrics"
+}
 
 /// A bound listener plus its pool configuration. `bind` then `run`.
 pub struct Server {
@@ -98,8 +123,11 @@ impl Server {
     pub fn run(self, handler: Arc<Handler>, shutdown: &AtomicBool) -> std::io::Result<()> {
         let workers = self.config.workers.max(1);
         let queue = self.config.queue.max(1);
+        let fastlane = self.config.fastlane_queue.max(1);
+        let retry_after_secs = self.config.retry_after_secs;
         self.listener.set_nonblocking(true)?;
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(queue);
+        let (ftx, frx) = std::sync::mpsc::sync_channel::<TcpStream>(fastlane);
         let rx = Arc::new(Mutex::new(rx));
         std::thread::scope(|scope| -> std::io::Result<()> {
             for n in 0..workers {
@@ -110,6 +138,16 @@ impl Server {
                     .name(format!("serve-{n}"))
                     .spawn_scoped(scope, move || worker_loop(&rx, &handler, &metrics))
                     .expect("spawn serve worker");
+            }
+            {
+                let handler = Arc::clone(&handler);
+                let metrics = Arc::clone(&self.metrics);
+                std::thread::Builder::new()
+                    .name("serve-fast".into())
+                    .spawn_scoped(scope, move || {
+                        fastlane_loop(frx, &handler, &metrics, retry_after_secs)
+                    })
+                    .expect("spawn serve fast lane");
             }
             while !shutdown.load(Ordering::Acquire) {
                 match self.listener.accept() {
@@ -125,7 +163,18 @@ impl Server {
                             Ok(()) => {}
                             Err(TrySendError::Full(stream)) => {
                                 self.metrics.queue_pop();
-                                self.reject_busy(stream);
+                                // Saturated: detour through the fast
+                                // lane, which serves health probes and
+                                // 503s the rest. Only when the fast
+                                // lane itself is full does the acceptor
+                                // answer inline.
+                                match ftx.try_send(stream) {
+                                    Ok(()) => {}
+                                    Err(TrySendError::Full(stream))
+                                    | Err(TrySendError::Disconnected(stream)) => {
+                                        reject_busy(stream, retry_after_secs, &self.metrics);
+                                    }
+                                }
                             }
                             // Workers only stop once `tx` is dropped
                             // below, so the queue cannot disconnect
@@ -149,38 +198,101 @@ impl Server {
                 a.u64("queued", self.metrics.queue_depth.load(Ordering::Relaxed));
             });
             drop(tx); // workers drain the queue, then their recv() errors
+            drop(ftx); // likewise for the fast lane
             Ok(())
         })
     }
+}
 
-    /// Answer a connection the queue had no room for: 503 with
-    /// `Retry-After`, written inline by the acceptor (bounded work — one
-    /// small write on a fresh socket).
-    fn reject_busy(&self, mut stream: TcpStream) {
-        self.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
-        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-        let retry = self.config.retry_after_secs.to_string();
-        let body = format!("{{\"error\":\"accept queue full\",\"retry_after_secs\":{retry}}}\n");
-        let _ = Response::json(503, body)
-            .header("Retry-After", retry)
-            .write_to(&mut stream);
-        // Closing with the client's request still unread would RST the
-        // connection and can discard the 503 out of the client's receive
-        // buffer. Signal end-of-response, then drain what the client
-        // already sent — bounded (tiny timeout, few reads) so a flooding
-        // client can't park the acceptor here.
-        let _ = stream.shutdown(Shutdown::Write);
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
-        let mut scratch = [0u8; 1024];
-        for _ in 0..4 {
-            match stream.read(&mut scratch) {
-                Ok(0) | Err(_) => break,
-                Ok(_) => {}
-            }
+/// Answer a connection no queue had room for: 503 with `Retry-After`,
+/// written inline (bounded work — one small write on a fresh socket).
+/// Shared by the acceptor and the fast lane.
+fn reject_busy(mut stream: TcpStream, retry_after_secs: u64, metrics: &ServeMetrics) {
+    metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let retry = retry_after_secs.to_string();
+    let body = format!("{{\"error\":\"accept queue full\",\"retry_after_secs\":{retry}}}\n");
+    let _ = Response::json(503, body)
+        .header("Retry-After", retry)
+        .write_to(&mut stream);
+    // Closing with the client's request still unread would RST the
+    // connection and can discard the 503 out of the client's receive
+    // buffer. Signal end-of-response, then drain what the client
+    // already sent — bounded (tiny timeout, few reads) so a flooding
+    // client can't park the acceptor here.
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
+    let mut scratch = [0u8; 1024];
+    for _ in 0..4 {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
         }
-        trace::instant_with("request_rejected", |a| {
-            a.u64("status", 503);
+    }
+    trace::instant_with("request_rejected", |a| {
+        a.u64("status", 503);
+    });
+}
+
+/// The fast lane: a single thread that keeps `GET /healthz` and `GET
+/// /metrics` answered while the worker pool is saturated. It parses
+/// only the request head (never a body) under a tight timeout; anything
+/// that isn't a health/metrics probe gets the same 503 the acceptor
+/// would have written.
+fn fastlane_loop(
+    rx: Receiver<TcpStream>,
+    handler: &Arc<Handler>,
+    metrics: &ServeMetrics,
+    retry_after_secs: u64,
+) {
+    while let Ok(stream) = rx.recv() {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            fastlane_connection(stream, handler, metrics, retry_after_secs);
+        }));
+        if result.is_err() {
+            metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Serve exactly one overflow connection on the fast lane.
+fn fastlane_connection(
+    mut stream: TcpStream,
+    handler: &Arc<Handler>,
+    metrics: &ServeMetrics,
+    retry_after_secs: u64,
+) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(FASTLANE_IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(FASTLANE_IO_TIMEOUT));
+    let request = match parse_request_head(&mut stream) {
+        Ok((request, _leftover)) => request,
+        Err(ParseError::ConnectionClosed) => return, // nothing owed
+        // Under saturation an unparsable overflow connection gets the
+        // busy answer rather than per-error statuses: the lane exists
+        // for probes, not error reporting.
+        Err(_) => {
+            reject_busy(stream, retry_after_secs, metrics);
+            return;
+        }
+    };
+    if request.method == "GET" && fastlane_path(&request.path) {
+        metrics.fastlane_hits.fetch_add(1, Ordering::Relaxed);
+        trace::instant_with("fastlane_served", |a| {
+            a.str("path", request.path.clone());
         });
+        let response = match std::panic::catch_unwind(AssertUnwindSafe(|| handler(&request))) {
+            Ok(response) => response,
+            Err(_) => {
+                metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                Response::json(500, "{\"error\":\"handler panicked\"}\n")
+            }
+        };
+        let endpoint = response.endpoint;
+        let _ = response.write_to(&mut stream);
+        record(metrics, endpoint, started);
+    } else {
+        reject_busy(stream, retry_after_secs, metrics);
     }
 }
 
@@ -219,6 +331,7 @@ fn handle_connection(mut stream: TcpStream, handler: &Arc<Handler>, metrics: &Se
         Err(e) => {
             let (status, msg) = match e {
                 ParseError::HeadTooLarge => (431, "request head too large"),
+                ParseError::BodyTooLarge => (413, "request body too large"),
                 ParseError::Malformed(why) => (400, why),
                 ParseError::Io(_) | ParseError::ConnectionClosed => return,
             };
@@ -232,8 +345,8 @@ fn handle_connection(mut stream: TcpStream, handler: &Arc<Handler>, metrics: &Se
         a.str("method", request.method.clone())
             .str("path", request.path.clone());
     });
-    let response = if request.method != "GET" {
-        Response::json(405, "{\"error\":\"only GET is served\"}\n")
+    let response = if request.method != "GET" && request.method != "POST" {
+        Response::json(405, "{\"error\":\"only GET and POST are served\"}\n")
     } else {
         match std::panic::catch_unwind(AssertUnwindSafe(|| handler(&request))) {
             Ok(response) => response,
@@ -328,6 +441,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             queue: 8,
+            fastlane_queue: 4,
             retry_after_secs: 1,
         };
         let (addr, metrics, shutdown, join) = spawn_server(config, handler);
@@ -364,6 +478,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             workers: 1,
             queue: 1,
+            fastlane_queue: 4,
             retry_after_secs: 7,
         };
         let (addr, metrics, shutdown, join) = spawn_server(config, handler);
@@ -430,6 +545,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             workers: 1,
             queue: 4,
+            fastlane_queue: 4,
             retry_after_secs: 1,
         };
         let (addr, metrics, shutdown, join) = spawn_server(config, handler);
@@ -455,6 +571,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             workers: 1,
             queue: 4,
+            fastlane_queue: 4,
             retry_after_secs: 1,
         };
         let (addr, metrics, shutdown, join) = spawn_server(config, handler);
@@ -469,24 +586,122 @@ mod tests {
     }
 
     #[test]
-    fn non_get_and_malformed_requests_get_errors() {
-        let handler: Arc<Handler> = Arc::new(|_req: &Request| Response::text(200, "ok"));
+    fn unsupported_methods_bodies_and_malformed_requests_get_errors() {
+        let handler: Arc<Handler> = Arc::new(|req: &Request| {
+            Response::text(200, format!("{}:{}", req.method, req.body.len()))
+        });
         let config = ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 1,
             queue: 4,
+            fastlane_queue: 4,
             retry_after_secs: 1,
         };
         let (addr, _metrics, shutdown, join) = spawn_server(config, handler);
+        // POST now reaches the handler, with its body.
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "POST /v1/thing HTTP/1.1\r\n\r\n").unwrap();
+        write!(
+            stream,
+            "POST /v1/thing HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd"
+        )
+        .unwrap();
+        let (status, _, body) = read_response(stream);
+        assert_eq!(status, 200);
+        assert_eq!(body, "POST:4");
+        // Other methods stay 405.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "PUT /v1/thing HTTP/1.1\r\n\r\n").unwrap();
         let (status, _, _) = read_response(stream);
         assert_eq!(status, 405);
+        // An oversized declared body is a 413 before any buffering.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST /v1/thing HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            crate::http::MAX_BODY_BYTES + 1
+        )
+        .unwrap();
+        let (status, _, _) = read_response(stream);
+        assert_eq!(status, 413);
         let mut stream = TcpStream::connect(addr).unwrap();
         write!(stream, "utter nonsense\r\n\r\n").unwrap();
         let (status, _, _) = read_response(stream);
         assert_eq!(status, 400);
         shutdown.store(true, Ordering::Release);
         join.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn saturated_queue_still_answers_health_probes_via_fast_lane() {
+        // One worker parked + queue of one ⇒ every further connection
+        // overflows to the fast lane: health and metrics probes are
+        // served there, anything else gets the busy 503.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        let handler: Arc<Handler> = Arc::new(move |req: &Request| {
+            if req.path == "/healthz" {
+                return Response::json(200, "{\"status\":\"ok\"}\n")
+                    .endpoint(ServeEndpoint::Healthz);
+            }
+            gate_rx.lock().unwrap().recv().ok();
+            Response::text(200, "slow")
+        });
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue: 1,
+            fastlane_queue: 4,
+            retry_after_secs: 2,
+        };
+        let (addr, metrics, shutdown, join) = spawn_server(config, handler);
+        let send_slow = || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(stream, "GET /slow HTTP/1.1\r\n\r\n").unwrap();
+            stream.flush().unwrap();
+            stream
+        };
+        let wait_for = |what: &str, reached: &dyn Fn() -> bool| {
+            let t0 = Instant::now();
+            while !reached() {
+                assert!(
+                    t0.elapsed() < Duration::from_secs(5),
+                    "never reached: {what}"
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        };
+        let slow_a = send_slow();
+        wait_for("request A in the handler", &|| {
+            metrics.in_flight.load(Ordering::Relaxed) == 1
+        });
+        let slow_b = send_slow();
+        wait_for("request B parked in the queue", &|| {
+            metrics.queue_depth.load(Ordering::Relaxed) == 1
+        });
+        // Saturated. Health probes keep answering — several in a row.
+        for _ in 0..3 {
+            let (status, _, body) = get(addr, "/healthz");
+            assert_eq!(status, 200, "health probe blinded under saturation");
+            assert!(body.contains("ok"), "{body}");
+        }
+        // A classify overflowing at the same moment is bounced.
+        let (status, headers, _) = get(addr, "/v1/classify");
+        assert_eq!(status, 503);
+        assert!(headers.iter().any(|h| h == "Retry-After: 2"), "{headers:?}");
+        gate_tx.send(()).unwrap();
+        gate_tx.send(()).unwrap();
+        for stream in [slow_a, slow_b] {
+            let (status, _, _) = read_response(stream);
+            assert_eq!(status, 200);
+        }
+        shutdown.store(true, Ordering::Release);
+        join.join().unwrap().unwrap();
+        let s = metrics.snapshot();
+        assert_eq!(s.fastlane_hits, 3);
+        assert_eq!(s.rejected_busy, 1);
+        assert_eq!(s.latency.healthz.count, 3);
+        // Fast-lane successes count as requests; the bounce does not.
+        assert_eq!(s.requests, 5);
+        assert_eq!(s.worker_panics, 0);
     }
 }

@@ -266,6 +266,35 @@ impl SeriesStore {
         }
     }
 
+    /// Drop every memoized entry for `probe`, across all
+    /// parameterisations. The live re-ingest engine calls this when a
+    /// freshly ingested traceroute touches a probe: any resident series
+    /// for that probe is stale (its source bins changed), so the next
+    /// lookup must miss and rebuild from the full record set. Returns
+    /// the number of entries removed.
+    pub fn invalidate_probe(&self, probe: ProbeId) -> u64 {
+        let mut removed = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.write().expect("store shard poisoned");
+            let before = shard.len();
+            shard.retain(|key, _| key.probe != probe);
+            removed += (before - shard.len()) as u64;
+        }
+        removed
+    }
+
+    /// Drop every memoized entry (full re-ingest fallback after corpus
+    /// truncation/rotation). Returns the number of entries removed.
+    pub fn clear(&self) -> u64 {
+        let mut removed = 0u64;
+        for shard in &self.shards {
+            let mut shard = shard.write().expect("store shard poisoned");
+            removed += shard.len() as u64;
+            shard.clear();
+        }
+        removed
+    }
+
     fn shard(&self, key: &StoreKey) -> &RwLock<HashMap<StoreKey, Entry>> {
         // FNV-1a over the key fields: deterministic, cheap, and spreads
         // consecutive probe ids across shards.
@@ -564,6 +593,36 @@ mod tests {
         assert!(!outcome.inserted);
         assert_eq!(store.len(), 0);
         assert_eq!(store.counters().bypasses, 1);
+    }
+
+    #[test]
+    fn invalidate_probe_drops_every_parameterisation_of_that_probe_only() {
+        let store = SeriesStore::default();
+        let range = aligned(0, 4);
+        store.insert(&key(1), &range, &built(1, &[(0, 5.0)], &[]));
+        let alt = StoreKey::new(ProbeId(1), BinSpec::thirty_minutes(), 5);
+        store.insert(&alt, &range, &built(1, &[(0, 5.0)], &[]));
+        store.insert(&key(2), &range, &built(2, &[(0, 6.0)], &[]));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.invalidate_probe(ProbeId(1)), 2);
+        assert_eq!(store.len(), 1);
+        // Probe 1 must rebuild; probe 2 still hits.
+        assert!(matches!(store.lookup(&key(1), &range), Lookup::Miss));
+        assert!(matches!(store.lookup(&alt, &range), Lookup::Miss));
+        assert!(matches!(store.lookup(&key(2), &range), Lookup::Hit(_)));
+        // Idempotent on an absent probe.
+        assert_eq!(store.invalidate_probe(ProbeId(1)), 0);
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let store = SeriesStore::default();
+        let range = aligned(0, 4);
+        store.insert(&key(1), &range, &built(1, &[(0, 5.0)], &[]));
+        store.insert(&key(2), &range, &built(2, &[(0, 6.0)], &[]));
+        assert_eq!(store.clear(), 2);
+        assert!(store.is_empty());
+        assert!(matches!(store.lookup(&key(1), &range), Lookup::Miss));
     }
 
     #[test]

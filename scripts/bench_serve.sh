@@ -1,8 +1,11 @@
 #!/bin/sh
-# Serving perf record: run the `lastmile serve` daemon on a simulated
-# corpus, drive each endpoint family with curl, and collect the daemon's
-# own /metrics document (per-endpoint latency histograms, queue gauges)
-# into BENCH_serve.json. Offline; uses only the repo's binary and curl.
+# Serving perf record: run the `lastmile serve` daemon (in live mode) on
+# a simulated corpus, drive each endpoint family with curl, then run a
+# mixed ingest-while-serving workload (POST /v1/traceroutes batches and
+# corpus-file appends interleaved with classify reads), and collect the
+# daemon's own /metrics document (per-endpoint latency histograms, queue
+# gauges, live ingest/epoch counters) into BENCH_serve.json. Offline;
+# uses only the repo's binary and curl.
 #
 # The criterion benchmark (cargo bench -p lastmile-bench --bench serve)
 # prices the parser, serializer, and loopback round-trip in-process;
@@ -27,9 +30,11 @@ trap cleanup EXIT
 echo "==> simulate 3 days of the anchor scenario"
 "$bin" simulate --scenario anchor --out "$work" --days 3 >/dev/null 2>&1
 
-echo "==> start daemon on an ephemeral port"
+echo "==> start daemon on an ephemeral port (live mode: --watch + POST spool)"
 "$bin" serve --traceroutes "$work/traceroutes.jsonl" --probes "$work/probes.json" \
-    --addr 127.0.0.1:0 --ready-file "$work/ready" >/dev/null 2>"$work/serve.log" &
+    --addr 127.0.0.1:0 --ready-file "$work/ready" \
+    --watch --watch-poll-ms 100 --reanalyze-debounce-ms 200 \
+    --live-spool "$work/spool.jsonl" >/dev/null 2>"$work/serve.log" &
 serve_pid=$!
 i=0
 while [ ! -s "$work/ready" ]; do
@@ -55,6 +60,50 @@ n=0; while [ "$n" -lt "$classify_n" ]; do curl -sf -o /dev/null "http://$addr/v1
 n=0; while [ "$n" -lt "$series_n" ]; do curl -sf -o /dev/null "http://$addr/v1/series/$asn"; n=$((n + 1)); done
 n=0; while [ "$n" -lt "$populations_n" ]; do curl -sf -o /dev/null "http://$addr/v1/populations?format=csv"; n=$((n + 1)); done
 
+# Mixed ingest-while-serving workload: interleave POST batches and
+# corpus-file appends with classify reads, so the recorded latency
+# histograms include requests answered while the live engine is busy
+# re-analyzing, and the live gauges (records_ingested, reanalyses,
+# epoch, swap_nanos) land in the /metrics document captured below.
+post_batches=8
+post_batch_lines=50
+append_batches=4
+append_batch_lines=50
+mixed_classify_per_round=10
+ingest_classify_n=$((post_batches * mixed_classify_per_round))
+echo "==> mixed workload: $((post_batches * post_batch_lines)) POSTed + $((append_batches * append_batch_lines)) appended records interleaved with $ingest_classify_n classify requests"
+head -n $((post_batches * post_batch_lines)) "$work/traceroutes.jsonl" >"$work/posts.jsonl"
+head -n $((append_batches * append_batch_lines)) "$work/traceroutes.jsonl" >"$work/appends.jsonl"
+b=0
+while [ "$b" -lt "$post_batches" ]; do
+    start=$((b * post_batch_lines + 1))
+    sed -n "${start},$((start + post_batch_lines - 1))p" "$work/posts.jsonl" >"$work/batch.jsonl"
+    curl -sf -o /dev/null -X POST --data-binary @"$work/batch.jsonl" "http://$addr/v1/traceroutes"
+    if [ "$b" -lt "$append_batches" ]; then
+        start=$((b * append_batch_lines + 1))
+        sed -n "${start},$((start + append_batch_lines - 1))p" "$work/appends.jsonl" >>"$work/traceroutes.jsonl"
+    fi
+    n=0; while [ "$n" -lt "$mixed_classify_per_round" ]; do curl -sf -o /dev/null "http://$addr/v1/classify"; n=$((n + 1)); done
+    b=$((b + 1))
+done
+
+expected_ingested=$((post_batches * post_batch_lines + append_batches * append_batch_lines))
+echo "==> wait for the live engine to analyze all $expected_ingested ingested records"
+i=0
+while :; do
+    doc=$(curl -sf "http://$addr/metrics" | tr -d ' \n')
+    ingested=$(printf '%s' "$doc" | sed -n 's/.*"records_ingested":\([0-9]*\).*/\1/p')
+    lag=$(printf '%s' "$doc" | sed -n 's/.*"ingest_lag":\([0-9]*\).*/\1/p')
+    [ "${ingested:-0}" -ge "$expected_ingested" ] && [ "${lag:-1}" -eq 0 ] && break
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "live engine never caught up (ingested=${ingested:-?} lag=${lag:-?}):" >&2
+        cat "$work/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
 curl -sf "http://$addr/metrics" >"$work/metrics.json"
 
 echo "==> graceful shutdown"
@@ -76,8 +125,10 @@ timestamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 {
     printf '{\n  "bench": "serve",\n  "host": {"cores": %s, "rustc": "%s", "timestamp_utc": "%s"},\n' \
         "$cores" "$rustc_version" "$timestamp"
-    printf '  "requests": {"classify": %s, "series": %s, "healthz": %s, "populations": %s},\n' \
-        "$classify_n" "$series_n" "$healthz_n" "$populations_n"
+    printf '  "requests": {"classify": %s, "series": %s, "healthz": %s, "populations": %s, "ingest_classify": %s},\n' \
+        "$classify_n" "$series_n" "$healthz_n" "$populations_n" "$ingest_classify_n"
+    printf '  "ingest": {"posted_records": %s, "appended_records": %s},\n' \
+        "$((post_batches * post_batch_lines))" "$((append_batches * append_batch_lines))"
     printf '  "metrics": '
     tr -d '\n' <"$work/metrics.json"
     printf '\n}\n'

@@ -68,6 +68,57 @@ if command -v curl >/dev/null 2>&1; then
     wait "$serve_pid"
     serve_pid=
     grep -q "\[serve\] shutdown: drained" "$smoke/serve.log"
+
+    # Live-ingest smoke: restart the daemon in live mode with one probe's
+    # records withheld, feed them back through BOTH intake paths (corpus
+    # append + POST), wait for the re-analysis epoch to land, and require
+    # /v1/classify to be byte-identical to a cold classify --json over
+    # the union corpus — the observatory's core contract.
+    echo "==> live-ingest smoke (watch + POST -> epoch swap -> cold-union byte identity)"
+    grep -v '"prb_id":6005' "$smoke/traceroutes.jsonl" >"$smoke/live.jsonl"
+    grep '"prb_id":6005' "$smoke/traceroutes.jsonl" >"$smoke/withheld.jsonl"
+    head -n 200 "$smoke/withheld.jsonl" >"$smoke/post.jsonl"
+    tail -n +201 "$smoke/withheld.jsonl" >"$smoke/append.jsonl"
+    : >"$smoke/ready-live"
+    target/debug/lastmile serve --traceroutes "$smoke/live.jsonl" \
+        --probes "$smoke/probes.json" --addr 127.0.0.1:0 \
+        --ready-file "$smoke/ready-live" --watch --watch-poll-ms 50 \
+        --reanalyze-debounce-ms 100 --live-spool "$smoke/spool.jsonl" \
+        >/dev/null 2>"$smoke/serve-live.log" &
+    serve_pid=$!
+    i=0
+    while [ ! -s "$smoke/ready-live" ]; do
+        i=$((i + 1))
+        [ "$i" -le 300 ] || { echo "live serve never became ready" >&2; cat "$smoke/serve-live.log" >&2; exit 1; }
+        kill -0 "$serve_pid" 2>/dev/null || { cat "$smoke/serve-live.log" >&2; exit 1; }
+        sleep 0.1
+    done
+    addr=$(head -n1 "$smoke/ready-live")
+    curl -sf "http://$addr/v1/classify" >"$smoke/baseline.json"
+    cat "$smoke/append.jsonl" >>"$smoke/live.jsonl"
+    # The POST returns only after the records hit the spool, so the union
+    # corpus (and its cold reference output) is final from here on.
+    curl -sf -X POST --data-binary @"$smoke/post.jsonl" \
+        "http://$addr/v1/traceroutes" | grep -q '"accepted": *200'
+    cat "$smoke/live.jsonl" "$smoke/spool.jsonl" >"$smoke/union.jsonl"
+    target/debug/lastmile classify --traceroutes "$smoke/union.jsonl" \
+        --probes "$smoke/probes.json" --json 2>/dev/null >"$smoke/cold.json"
+    cmp -s "$smoke/baseline.json" "$smoke/cold.json" && {
+        echo "live smoke is vacuous: union output equals baseline" >&2
+        exit 1
+    }
+    i=0
+    while :; do
+        curl -sf "http://$addr/v1/classify" >"$smoke/live-now.json"
+        cmp -s "$smoke/live-now.json" "$smoke/cold.json" && break
+        i=$((i + 1))
+        [ "$i" -le 600 ] || { echo "live /v1/classify never converged to cold union classify" >&2; cat "$smoke/serve-live.log" >&2; exit 1; }
+        sleep 0.1
+    done
+    kill "$serve_pid"
+    wait "$serve_pid"
+    serve_pid=
+    grep -q "\[serve\] shutdown: drained" "$smoke/serve-live.log"
     smoke_cleanup
     trap - EXIT
 else
