@@ -34,7 +34,9 @@
 //! Shutdown drains queued and in-flight requests AND any pending
 //! re-analysis (so the last accepted appends reach the store), then
 //! re-persists the series-cache snapshot stamped with the final union
-//! corpus fingerprint.
+//! corpus fingerprint — but only if the corpus still ends where the
+//! last analysis read it (see [`persist_live_snapshot`]); otherwise the
+//! snapshot is skipped and the next start recomputes cold.
 
 use crate::cache::{self, Cache};
 use crate::classify::{
@@ -45,7 +47,8 @@ use crate::stats::{emit_stats, wants_stats};
 use crate::Flags;
 use lastmile_repro::core::pipeline::PopulationAnalysis;
 use lastmile_repro::live::{
-    intake_body, AppendWatcher, Epoch, LiveConfig, LiveEngine, LiveHandle, Spool,
+    intake_body, newline_aligned_len, AppendWatcher, Epoch, LiveConfig, LiveEngine, LiveHandle,
+    Spool,
 };
 use lastmile_repro::obs::{
     LiveMetrics, LiveMetricsSnapshot, RunMetrics, RunMetricsSnapshot, ServeEndpoint, ServeMetrics,
@@ -58,7 +61,7 @@ use lastmile_repro::serve::{signal, Server, ServerConfig};
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// One fully-rendered analysis generation: everything a request needs,
@@ -82,8 +85,6 @@ struct LiveState {
     handle: LiveHandle,
     /// POST spool; `None` when only `--watch` is on (POST then 409s).
     spool: Option<Arc<Spool>>,
-    /// The series cache the POST handler invalidates into.
-    cache: Option<Arc<Cache>>,
 }
 
 /// Everything the request handler needs, built once before the first
@@ -189,7 +190,11 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     // The corpus length BEFORE the startup analysis reads it: appends
     // that land mid-analysis stay beyond the watcher's start offset and
     // get picked up by the first poll instead of being silently skipped.
-    let corpus_len0 = std::fs::metadata(&corpus).map(|m| m.len()).unwrap_or(0);
+    // Newline-aligned, not a bare metadata length: a collector append
+    // can be mid-record right now, and an offset inside that record
+    // would make the watcher's first poll frame the record's tail as
+    // quarantined junk.
+    let corpus_len0 = newline_aligned_len(&corpus);
     let spool: Option<Arc<Spool>> = flags
         .optional("live-spool")
         .map(|p| Spool::open(p).map_err(|e| format!("open --live-spool {p}: {e}")))
@@ -204,6 +209,13 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     if let Some(s) = &spool {
         paths.push(s.path().display().to_string());
     }
+    // The union-corpus file lengths the memoizing store is known to
+    // reflect: seeded before the startup fingerprint/analysis read the
+    // files, replaced by each successful re-analysis with the lengths
+    // *it* read, and cleared (`None`) by a failed one. The shutdown
+    // persist only stamps a fingerprint while the files still have
+    // exactly these lengths — see [`persist_live_snapshot`].
+    let analyzed_lens = Arc::new(Mutex::new(corpus_lens(&paths)));
 
     // Metrics are always collected: `/metrics` serves them.
     let metrics = Arc::new(RunMetrics::new());
@@ -278,24 +290,40 @@ pub fn run(flags: &Flags) -> Result<(), String> {
             let cache = cache.clone();
             let epoch = Arc::clone(&epoch);
             let live_metrics = Arc::clone(&live_metrics);
+            let analyzed_lens = Arc::clone(&analyzed_lens);
             Box::new(move || -> Result<(), String> {
+                // Lengths before the read: append-only files mean the
+                // analysis covers at least these bytes, so the shutdown
+                // persist can stamp a fingerprint iff the files still
+                // end exactly here (nothing landed after the read).
+                let lens_before = corpus_lens(&paths);
                 // A fresh RunMetrics per re-analysis: each epoch's
                 // `/metrics.run` and `/v1/populations` describe exactly
                 // the run that produced it, not an accumulation.
                 let run = RunMetrics::new();
                 let timer = StageTimer::start();
-                let results = analyze_corpus(&flags, &paths, Some(&run), cache.as_deref())?;
-                run.set_wall(&timer);
-                if results.is_empty() {
-                    return Err("no analysable traceroutes in the window".into());
-                }
-                let snapshot = build_snapshot(&results, run.snapshot());
-                let generation = publish_snapshot(&epoch, &live_metrics, snapshot);
-                eprintln!(
-                    "[live] epoch {generation}: {} population(s) published",
-                    results.len()
-                );
-                Ok(())
+                let outcome = (|| {
+                    let results = analyze_corpus(&flags, &paths, Some(&run), cache.as_deref())?;
+                    run.set_wall(&timer);
+                    if results.is_empty() {
+                        return Err("no analysable traceroutes in the window".into());
+                    }
+                    let snapshot = build_snapshot(&results, run.snapshot());
+                    let generation = publish_snapshot(&epoch, &live_metrics, snapshot);
+                    eprintln!(
+                        "[live] epoch {generation}: {} population(s) published",
+                        results.len()
+                    );
+                    Ok(())
+                })();
+                // A failed pass may have memoized series from bytes no
+                // published epoch reflects; `None` makes the shutdown
+                // persist skip rather than stamp a lying fingerprint.
+                *analyzed_lens.lock().expect("lens lock poisoned") = match &outcome {
+                    Ok(()) => lens_before,
+                    Err(_) => None,
+                };
+                outcome
             })
         };
         Some(LiveEngine::start(
@@ -316,7 +344,6 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         live: engine.as_ref().map(|e| LiveState {
             handle: e.handle(),
             spool: spool.clone(),
-            cache: cache.clone(),
         }),
         delay: flags
             .parsed::<u64>("serve-delay-ms")?
@@ -368,11 +395,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     eprintln!("[serve] shutdown: drained, {served} request(s) served");
     if let Some(c) = &cache {
         if live_enabled {
-            // The corpus grew while serving; stamp the snapshot with the
-            // fingerprint of what the store now reflects, so the next
-            // cold run (or daemon restart) over the final union corpus
-            // loads it warm.
-            c.persist_as(corpus_fingerprint(flags, &paths)?, Some(&metrics))?;
+            persist_live_snapshot(c, flags, &paths, &analyzed_lens, &metrics)?;
         } else {
             c.persist(Some(&metrics))?;
         }
@@ -381,6 +404,53 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         emit_stats(flags, &metrics)?;
     }
     Ok(())
+}
+
+/// The byte lengths of the union-corpus files, in `paths` order
+/// (`None` when any is unreadable).
+fn corpus_lens(paths: &[String]) -> Option<Vec<u64>> {
+    paths
+        .iter()
+        .map(|p| std::fs::metadata(p).map(|m| m.len()).ok())
+        .collect()
+}
+
+/// Re-persist the series cache after a live run. The corpus grew while
+/// serving, so the snapshot must be stamped with a fingerprint of
+/// exactly the bytes the store reflects — the bytes the last successful
+/// analysis read. Those bytes are only nameable while the (append-only)
+/// files still end where that read found them, so the lengths are
+/// checked against the last pass's both before and after the
+/// fingerprint scan; any drift — a record landing after the final
+/// drain, a failed last pass, an unreadable file — skips persisting.
+/// Skipping is the safe side: the next start recomputes cold, whereas a
+/// fingerprint claiming bytes the store never saw would make a warm
+/// start serve stale memoized series with no error.
+fn persist_live_snapshot(
+    cache: &Cache,
+    flags: &Flags,
+    paths: &[String],
+    analyzed_lens: &Mutex<Option<Vec<u64>>>,
+    metrics: &RunMetrics,
+) -> Result<(), String> {
+    let skip = |why: &str| {
+        eprintln!("[cache] {why}; leaving the snapshot unpersisted (next start recomputes)");
+        Ok(())
+    };
+    let Some(expected) = analyzed_lens.lock().expect("lens lock poisoned").clone() else {
+        return skip("last re-analysis did not complete cleanly");
+    };
+    if corpus_lens(paths).as_ref() != Some(&expected) {
+        return skip("corpus changed after the last analysis");
+    }
+    let fingerprint = match corpus_fingerprint(flags, paths) {
+        Ok(f) => f,
+        Err(e) => return skip(&format!("cannot fingerprint the final corpus ({e})")),
+    };
+    if corpus_lens(paths).as_ref() != Some(&expected) {
+        return skip("corpus changed while fingerprinting");
+    }
+    cache.persist_as(fingerprint, Some(metrics))
 }
 
 /// Pretty-print one ASN's document with a trailing newline (the same
@@ -450,13 +520,18 @@ fn route(req: &Request, state: &ServeState) -> Response {
 
 /// `POST /v1/traceroutes`: validate the body with the batch-ingest
 /// framing/decoding (same quarantine taxonomy), spool accepted records,
-/// invalidate their probes' memoized series, and signal the engine.
+/// and hand their probes to the engine as dirty. The handler never
+/// touches the memoized store itself: invalidating from this worker
+/// thread would race an in-flight re-analysis, which could re-insert a
+/// series built from pre-append bytes *after* the invalidation — a
+/// stale entry every later pass would cache-hit. The engine invalidates
+/// the recorded probes at the start of its next pass instead, strictly
+/// before re-reading the corpus.
 fn ingest(req: &Request, state: &ServeState) -> Response {
     let resp = match &state.live {
         Some(LiveState {
             handle,
             spool: Some(spool),
-            cache,
         }) => {
             if req.body.is_empty() {
                 Response::json(400, "{\"error\":\"empty body\"}\n")
@@ -490,12 +565,10 @@ fn ingest(req: &Request, state: &ServeState) -> Response {
                                 .fetch_add(outcome.accepted, Ordering::Relaxed);
                             lm.records_ingested
                                 .fetch_add(outcome.accepted, Ordering::Relaxed);
-                            if let Some(c) = cache {
-                                for probe in &outcome.probes {
-                                    c.store.invalidate_probe(*probe);
-                                }
-                            }
-                            handle.notify_dirty();
+                            // The spool append above is durable, so the
+                            // engine's next pass is guaranteed to read
+                            // these records after it invalidates.
+                            handle.notify_dirty_probes(&outcome.probes);
                             let body = serde_json::json!({
                                 "accepted": outcome.accepted,
                                 "rejected": rejected,

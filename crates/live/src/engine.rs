@@ -13,6 +13,18 @@
 //! how readers converge on the union corpus without the engine ever
 //! holding intake back.
 //!
+//! Intake paths never invalidate the memoizing store themselves — they
+//! *record* dirty probes in the engine state, and each re-analysis pass
+//! snapshots-and-clears that set (under the same lock that clears the
+//! dirty window) and invalidates it just before reading the corpus.
+//! Invalidating from the intake thread would race an in-flight
+//! analysis: the analysis could insert a series built from bytes read
+//! *before* the append, after the invalidation, resurrecting a stale
+//! entry that the next pass would then cache-hit. With pass-start
+//! invalidation the insert and the invalidation are sequenced on the
+//! engine thread, so a dirty probe is always recomputed from bytes
+//! that include its append.
+//!
 //! Shutdown drains: [`LiveEngine::shutdown`] lets an in-flight
 //! re-analysis finish, then runs one final pass if signals are still
 //! pending — so the epoch the daemon re-persists its cache under
@@ -49,6 +61,9 @@ pub struct LiveConfig {
 struct EngineState {
     /// When the current dirty window opened (None: clean).
     dirty_since: Option<Instant>,
+    /// Probes with intake since the last re-analysis *started reading*;
+    /// the next pass invalidates them before it reads. May repeat.
+    dirty_probes: Vec<ProbeId>,
     shutdown: bool,
 }
 
@@ -74,7 +89,19 @@ impl LiveHandle {
     /// Mark the engine dirty (opens the debounce window if closed) and
     /// wake it.
     pub fn notify_dirty(&self) {
+        self.notify_dirty_probes(&[]);
+    }
+
+    /// [`LiveHandle::notify_dirty`], additionally recording the probes
+    /// whose memoized series the next re-analysis pass must invalidate
+    /// before it reads the corpus. The caller must have durably
+    /// appended the probes' records (spool/corpus) *before* calling:
+    /// the recording happens-before the pass's snapshot-and-clear,
+    /// which happens-before its read, so the recomputed series always
+    /// covers the append.
+    pub fn notify_dirty_probes(&self, probes: &[ProbeId]) {
         let mut state = self.shared.state.lock().expect("live state poisoned");
+        state.dirty_probes.extend_from_slice(probes);
         state.dirty_since.get_or_insert_with(Instant::now);
         drop(state);
         self.shared.cond.notify_one();
@@ -100,6 +127,7 @@ impl LiveEngine {
             metrics,
             state: Mutex::new(EngineState {
                 dirty_since: None,
+                dirty_probes: Vec::new(),
                 shutdown: false,
             }),
             cond: Condvar::new(),
@@ -198,7 +226,7 @@ fn engine_loop(
             break;
         }
         if let Some(w) = watcher.as_mut() {
-            process_poll(w.poll(), shared, invalidate, invalidate_all);
+            process_poll(w.poll(), shared, invalidate_all);
         }
         let due = {
             let state = shared.state.lock().expect("live state poisoned");
@@ -206,7 +234,7 @@ fn engine_loop(
             state.dirty_since.is_some_and(|t| now >= t + debounce)
         };
         if due {
-            run_reanalysis(shared, &mut reanalyze);
+            run_reanalysis(shared, invalidate, &mut reanalyze);
         }
     }
     // Drain: signals accepted before shutdown must reach an epoch
@@ -217,7 +245,7 @@ fn engine_loop(
     };
     if pending {
         eprintln!("[live] draining pending re-analysis before shutdown");
-        run_reanalysis(shared, &mut reanalyze);
+        run_reanalysis(shared, invalidate, &mut reanalyze);
     }
     if let Some(w) = &watcher {
         w.persist_offset();
@@ -225,12 +253,7 @@ fn engine_loop(
 }
 
 /// Feed one watcher poll outcome into the dirty state.
-fn process_poll(
-    poll: WatchPoll,
-    shared: &Shared,
-    invalidate: &InvalidateFn,
-    invalidate_all: &InvalidateAllFn,
-) {
+fn process_poll(poll: WatchPoll, shared: &Shared, invalidate_all: &InvalidateAllFn) {
     match poll {
         WatchPoll::Unchanged => {}
         WatchPoll::Appended(bytes) => {
@@ -254,8 +277,7 @@ fn process_poll(
             if !probes.is_empty() {
                 m.records_ingested
                     .fetch_add(probes.len() as u64, Ordering::Relaxed);
-                invalidate(&probes);
-                mark_dirty(shared);
+                mark_dirty_probes(shared, &probes);
             }
         }
         WatchPoll::Truncated(bytes) => {
@@ -271,28 +293,39 @@ fn process_poll(
                 .watch_truncations
                 .fetch_add(1, Ordering::Relaxed);
             // Every memoized series is suspect: the bytes they were
-            // built from may be gone.
+            // built from may be gone. Clearing on the engine thread is
+            // race-free — inserts only happen in re-analysis passes,
+            // which are sequenced on this same thread.
             invalidate_all();
-            mark_dirty(shared);
+            mark_dirty_probes(shared, &[]);
         }
     }
 }
 
-fn mark_dirty(shared: &Shared) {
+fn mark_dirty_probes(shared: &Shared, probes: &[ProbeId]) {
     let mut state = shared.state.lock().expect("live state poisoned");
+    state.dirty_probes.extend_from_slice(probes);
     state.dirty_since.get_or_insert_with(Instant::now);
 }
 
-/// Run one re-analysis pass, clearing the dirty window first so
-/// signals landing mid-analysis re-arm it.
-fn run_reanalysis(shared: &Shared, reanalyze: &mut ReanalyzeFn) {
+/// Run one re-analysis pass: snapshot-and-clear the dirty state (so
+/// signals landing mid-analysis re-arm it), invalidate the dirty
+/// probes' memoized series, then re-read and publish. Invalidation
+/// happens here — on the engine thread, after any prior pass's inserts
+/// and before this pass's read — never on the intake threads (see the
+/// module docs for the resurrection race that ordering prevents).
+fn run_reanalysis(shared: &Shared, invalidate: &InvalidateFn, reanalyze: &mut ReanalyzeFn) {
     let m = &shared.metrics;
     // The base records_ingested this pass covers: everything counted
     // before the files are re-read (later arrivals re-arm the window).
     let base = m.records_ingested.load(Ordering::Relaxed);
-    {
+    let dirty = {
         let mut state = shared.state.lock().expect("live state poisoned");
         state.dirty_since = None;
+        std::mem::take(&mut state.dirty_probes)
+    };
+    if !dirty.is_empty() {
+        invalidate(&dirty);
     }
     let started = Instant::now();
     let _span = trace::span("live_reanalyze");
@@ -380,6 +413,52 @@ mod tests {
             runs.load(Ordering::SeqCst),
             1,
             "pending signal must drain through one final re-analysis"
+        );
+    }
+
+    #[test]
+    fn dirty_probes_invalidate_at_pass_start_not_at_intake() {
+        // The regression this pins: POST intake must NOT invalidate the
+        // store from the worker thread (an in-flight analysis could
+        // re-insert a stale series after that). Instead the probes are
+        // recorded, and the pass invalidates them itself right before
+        // it reads — strictly ordered before the re-analysis closure.
+        let events = Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
+        let metrics = Arc::new(LiveMetrics::new());
+        let ev_inv = Arc::clone(&events);
+        let ev_run = Arc::clone(&events);
+        let engine = LiveEngine::start(
+            LiveConfig {
+                watcher: None,
+                poll_interval: Duration::from_millis(5),
+                // Never due on its own: the pass runs only at the
+                // shutdown drain, so the assertions are deterministic.
+                debounce: Duration::from_secs(600),
+            },
+            metrics,
+            Box::new(move |probes: &[ProbeId]| {
+                let ids: Vec<u32> = probes.iter().map(|p| p.0).collect();
+                ev_inv.lock().unwrap().push(format!("invalidate:{ids:?}"));
+            }),
+            Box::new(|| {}),
+            Box::new(move || {
+                ev_run.lock().unwrap().push("reanalyze".into());
+                Ok(())
+            }),
+        );
+        let handle = engine.handle();
+        handle.notify_dirty_probes(&[ProbeId(7)]);
+        handle.notify_dirty_probes(&[ProbeId(9), ProbeId(7)]);
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            events.lock().unwrap().is_empty(),
+            "intake must only record dirty probes, never invalidate inline"
+        );
+        engine.shutdown();
+        assert_eq!(
+            *events.lock().unwrap(),
+            vec!["invalidate:[7, 9, 7]".to_string(), "reanalyze".to_string()],
+            "one coalesced invalidation, strictly before the pass reads"
         );
     }
 

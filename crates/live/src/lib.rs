@@ -9,16 +9,19 @@
 //!   then never block on (or observe) a writer; each publish bumps a
 //!   generation counter, so a response can be labelled with exactly one
 //!   epoch.
-//! * [`watch::AppendWatcher`] — polls the corpus file's length,
-//!   slurps newline-terminated appended bytes from a persisted resume
-//!   offset, and falls back to a full re-ingest on truncation/rotation.
+//! * [`watch::AppendWatcher`] — polls the corpus file's length and
+//!   identity (`(dev, inode)` where available), slurps
+//!   newline-terminated appended bytes from a persisted resume offset,
+//!   and falls back to a full re-ingest on truncation/rotation —
+//!   including rename-rotation to a same-or-longer replacement.
 //! * [`engine::LiveEngine`] — the scheduler thread: watcher polls and
-//!   `POST /v1/traceroutes` notifications mark probes dirty (series
-//!   invalidated in the memoizing store via a callback), a debounce
-//!   window coalesces bursts, then one re-analysis closure runs and
-//!   publishes the next epoch. Shutdown drains: a pending re-analysis
-//!   completes before the engine joins, so the snapshot the daemon
-//!   re-persists never mixes epochs.
+//!   `POST /v1/traceroutes` notifications mark probes dirty, a debounce
+//!   window coalesces bursts, then one re-analysis pass invalidates the
+//!   dirty probes' memoized series (on the engine thread, so an
+//!   in-flight pass can never resurrect a stale entry) and publishes
+//!   the next epoch. Shutdown drains: a pending re-analysis completes
+//!   before the engine joins, so the snapshot the daemon re-persists
+//!   never mixes epochs.
 //!
 //! The correctness contract the whole crate serves: after any sequence
 //! of accepted appends, `GET /v1/classify` is byte-identical to a cold
@@ -32,4 +35,4 @@ pub mod watch;
 pub use engine::{LiveConfig, LiveEngine, LiveHandle};
 pub use epoch::Epoch;
 pub use intake::{intake_body, IntakeOutcome, Spool};
-pub use watch::{AppendWatcher, WatchPoll};
+pub use watch::{newline_aligned_len, AppendWatcher, WatchPoll};

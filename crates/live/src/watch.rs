@@ -13,9 +13,31 @@
 //! The consumed offset is persisted to a sidecar file after every
 //! slurp, so a restarted daemon resumes where it left off instead of
 //! re-signalling work it already analyzed.
+//!
+//! Length alone cannot catch a rotation that swaps in a file at least
+//! as long as the consumed offset, so the watcher also tracks the
+//! file's identity — `(dev, inode)` on Unix — per poll and across
+//! restarts (persisted next to the offset): any identity change reads
+//! as a truncation and triggers the same full re-ingest fallback.
 
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+
+/// A filesystem identity for the watched file: `(device, inode)` where
+/// the platform exposes them, `None` elsewhere (detection then falls
+/// back to length-only).
+type FileIdentity = Option<(u64, u64)>;
+
+#[cfg(unix)]
+fn file_identity(meta: &std::fs::Metadata) -> FileIdentity {
+    use std::os::unix::fs::MetadataExt;
+    Some((meta.dev(), meta.ino()))
+}
+
+#[cfg(not(unix))]
+fn file_identity(_meta: &std::fs::Metadata) -> FileIdentity {
+    None
+}
 
 /// Outcome of one [`AppendWatcher::poll`].
 #[derive(Debug, PartialEq, Eq)]
@@ -35,30 +57,49 @@ pub enum WatchPoll {
 pub struct AppendWatcher {
     path: PathBuf,
     offset: u64,
+    /// Identity of the file the offset refers to (`None` until the
+    /// file has been observed).
+    identity: FileIdentity,
     offset_file: Option<PathBuf>,
 }
 
 impl AppendWatcher {
     /// Watch `path`, resuming from the offset persisted in
-    /// `offset_file` when one is present and plausible (≤
-    /// `fallback_offset`, the corpus length the caller's startup
-    /// analysis covered). A persisted offset *behind* the fallback is
+    /// `offset_file` when one is present and plausible: it must be ≤
+    /// `fallback_offset` (the corpus length the caller's startup
+    /// analysis covered), and when the sidecar also recorded the
+    /// file's identity, that identity must still match the file on
+    /// disk (the file was replaced while the daemon was down
+    /// otherwise). A persisted offset *behind* the fallback is
     /// honoured — the overlap is re-signalled, which is harmless
-    /// (re-analysis is idempotent) — while one beyond it (the file was
-    /// replaced while the daemon was down) falls back.
+    /// (re-analysis is idempotent).
     pub fn new(
         path: impl Into<PathBuf>,
         offset_file: Option<PathBuf>,
         fallback_offset: u64,
     ) -> AppendWatcher {
+        let path = path.into();
+        let identity = std::fs::metadata(&path)
+            .ok()
+            .as_ref()
+            .and_then(file_identity);
         let offset = offset_file
             .as_deref()
             .and_then(load_offset)
-            .filter(|&o| o <= fallback_offset)
+            .filter(|(o, persisted_identity)| {
+                *o <= fallback_offset
+                    && match (persisted_identity, identity) {
+                        (Some(was), Some(now)) => *was == now,
+                        // Either side unknown: length is all we have.
+                        _ => true,
+                    }
+            })
+            .map(|(o, _)| o)
             .unwrap_or(fallback_offset);
         AppendWatcher {
-            path: path.into(),
+            path,
             offset,
+            identity,
             offset_file,
         }
     }
@@ -74,13 +115,21 @@ impl AppendWatcher {
     /// a rotation, permissions hiccup) read as [`WatchPoll::Unchanged`]
     /// so the engine just retries next interval.
     pub fn poll(&mut self) -> WatchPoll {
-        let len = match std::fs::metadata(&self.path) {
-            Ok(meta) => meta.len(),
+        let meta = match std::fs::metadata(&self.path) {
+            Ok(meta) => meta,
             Err(_) => return WatchPoll::Unchanged,
         };
-        if len < self.offset {
-            // Truncated or rotated in place: everything we thought we
-            // had consumed may be gone. Start over.
+        let len = meta.len();
+        let identity = file_identity(&meta);
+        // A new identity is a rotation even when the replacement is as
+        // long as the consumed offset — the bytes behind the offset are
+        // a different file's, so a length-only check would silently
+        // slurp from mid-record.
+        let rotated = matches!((self.identity, identity), (Some(was), Some(now)) if was != now);
+        self.identity = identity;
+        if rotated || len < self.offset {
+            // Truncated or rotated: everything we thought we had
+            // consumed may be gone. Start over.
             self.offset = 0;
             let bytes = self.read_new_bytes(len).unwrap_or_default();
             self.advance(&bytes);
@@ -103,11 +152,16 @@ impl AppendWatcher {
         WatchPoll::Appended(bytes[..consumed].to_vec())
     }
 
-    /// Persist the consumed offset (best-effort; a failure only costs a
+    /// Persist the consumed offset — and, where known, the identity of
+    /// the file it refers to — (best-effort; a failure only costs a
     /// harmless overlap re-signal after a restart).
     pub fn persist_offset(&self) {
         if let Some(file) = &self.offset_file {
-            let _ = std::fs::write(file, format!("{}\n", self.offset));
+            let line = match self.identity {
+                Some((dev, ino)) => format!("{} {dev} {ino}\n", self.offset),
+                None => format!("{}\n", self.offset),
+            };
+            let _ = std::fs::write(file, line);
         }
     }
 
@@ -139,9 +193,51 @@ fn consumed_len(bytes: &[u8]) -> usize {
         .map_or(0, |pos| pos + 1)
 }
 
-/// The offset persisted in `path`, if readable.
-fn load_offset(path: &Path) -> Option<u64> {
-    std::fs::read_to_string(path).ok()?.trim().parse().ok()
+/// The offset (and file identity, when the sidecar recorded one)
+/// persisted in `path`, if readable. The identity-less single-token
+/// form is accepted for sidecars written where identities are
+/// unavailable.
+fn load_offset(path: &Path) -> Option<(u64, FileIdentity)> {
+    let contents = std::fs::read_to_string(path).ok()?;
+    let mut tokens = contents.split_whitespace();
+    let offset = tokens.next()?.parse().ok()?;
+    let identity = match (tokens.next(), tokens.next()) {
+        (Some(dev), Some(ino)) => Some((dev.parse().ok()?, ino.parse().ok()?)),
+        _ => None,
+    };
+    Some((offset, identity))
+}
+
+/// The length of the newline-terminated prefix of the file at `path`
+/// (0 on any I/O error or when the file holds no newline at all).
+///
+/// `serve --watch` uses this for the watcher's fallback start offset:
+/// a collector append can be mid-record when the daemon starts, and a
+/// bare `metadata().len()` would then park the offset inside that
+/// record, making the first poll deliver a record *tail* that gets
+/// quarantined as framing junk. Aligning to the last newline mirrors
+/// the framing the watcher itself uses; the partial record is simply
+/// redelivered whole once its newline lands.
+pub fn newline_aligned_len(path: impl AsRef<Path>) -> u64 {
+    fn aligned(path: &Path) -> std::io::Result<u64> {
+        let mut file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        let mut buf = [0u8; 64 * 1024];
+        let mut end = len;
+        // Scan backwards a chunk at a time for the last newline.
+        while end > 0 {
+            let start = end.saturating_sub(buf.len() as u64);
+            let chunk = &mut buf[..(end - start) as usize];
+            file.seek(SeekFrom::Start(start))?;
+            file.read_exact(chunk)?;
+            if let Some(pos) = chunk.iter().rposition(|&b| b == b'\n') {
+                return Ok(start + pos as u64 + 1);
+            }
+            end = start;
+        }
+        Ok(0)
+    }
+    aligned(path.as_ref()).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -258,5 +354,84 @@ mod tests {
         let mut w = AppendWatcher::new(&corpus, Some(sidecar), 8);
         assert_eq!(w.offset(), 4);
         assert_eq!(w.poll(), WatchPoll::Appended(b"two\n".to_vec()));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn same_length_rotation_is_detected_by_identity() {
+        let dir = TempDir::new("rotate-id");
+        let corpus = dir.path("corpus.jsonl");
+        append(&corpus, b"aaa\nbbb\n");
+        let mut w = AppendWatcher::new(&corpus, None, 8);
+        assert_eq!(w.poll(), WatchPoll::Unchanged);
+        // Rotation via rename: the replacement is exactly as long as
+        // the consumed offset, so a length-only check would see
+        // "unchanged" and keep serving series memoized from the old
+        // file's bytes.
+        let staging = dir.path("corpus.jsonl.new");
+        std::fs::write(&staging, b"ccc\nddd\n").unwrap();
+        std::fs::rename(&staging, &corpus).unwrap();
+        assert_eq!(w.poll(), WatchPoll::Truncated(b"ccc\nddd\n".to_vec()));
+        assert_eq!(w.offset(), 8);
+        // And a *longer* replacement is caught too.
+        let staging = dir.path("corpus.jsonl.new");
+        std::fs::write(&staging, b"eee\nfff\nggg\n").unwrap();
+        std::fs::rename(&staging, &corpus).unwrap();
+        assert_eq!(w.poll(), WatchPoll::Truncated(b"eee\nfff\nggg\n".to_vec()));
+        append(&corpus, b"hhh\n");
+        assert_eq!(w.poll(), WatchPoll::Appended(b"hhh\n".to_vec()));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn persisted_offset_for_a_replaced_file_is_discarded() {
+        let dir = TempDir::new("rotate-resume");
+        let corpus = dir.path("corpus.jsonl");
+        let sidecar = dir.path("corpus.offset");
+        append(&corpus, b"one\ntwo\n");
+        let mut w = AppendWatcher::new(&corpus, Some(sidecar.clone()), 4);
+        assert_eq!(w.poll(), WatchPoll::Appended(b"two\n".to_vec()));
+        drop(w);
+        // Replace the corpus (same length) while "down": the sidecar's
+        // recorded identity no longer matches, so the offset is
+        // discarded in favour of the fallback.
+        let staging = dir.path("corpus.jsonl.new");
+        std::fs::write(&staging, b"XXX\nYYY\n").unwrap();
+        std::fs::rename(&staging, &corpus).unwrap();
+        let w = AppendWatcher::new(&corpus, Some(sidecar.clone()), 0);
+        assert_eq!(w.offset(), 0, "stale offset must not survive a swap");
+        // Same file still in place: the persisted offset is honoured.
+        w.persist_offset();
+        let w = AppendWatcher::new(&corpus, Some(sidecar), 8);
+        assert_eq!(w.offset(), 0);
+    }
+
+    #[test]
+    fn newline_aligned_len_backs_off_to_the_last_newline() {
+        let dir = TempDir::new("aligned");
+        let corpus = dir.path("corpus.jsonl");
+        assert_eq!(newline_aligned_len(&corpus), 0, "missing file");
+        append(&corpus, b"one\ntwo\n");
+        assert_eq!(newline_aligned_len(&corpus), 8);
+        // A mid-write partial record doesn't count.
+        append(&corpus, b"par");
+        assert_eq!(newline_aligned_len(&corpus), 8);
+        append(&corpus, b"t\n");
+        assert_eq!(newline_aligned_len(&corpus), 13);
+        // No newline anywhere: nothing is safely framed yet.
+        std::fs::write(&corpus, b"unterminated").unwrap();
+        assert_eq!(newline_aligned_len(&corpus), 0);
+    }
+
+    #[test]
+    fn newline_aligned_len_scans_past_one_chunk() {
+        let dir = TempDir::new("aligned-big");
+        let corpus = dir.path("corpus.jsonl");
+        // One newline followed by a >64 KiB partial tail: the scan must
+        // cross the chunk boundary to find it.
+        let mut bytes = b"head\n".to_vec();
+        bytes.extend(std::iter::repeat_n(b'x', 100 * 1024));
+        append(&corpus, &bytes);
+        assert_eq!(newline_aligned_len(&corpus), 5);
     }
 }
