@@ -100,6 +100,11 @@ struct ServeState {
     /// Health and metrics probes are exempt — the fast lane must stay
     /// fast even in tests that park everything else.
     delay: Option<Duration>,
+    /// Hidden test hook (`--serve-heavy-delay-ms`): extra sleep applied
+    /// only to the heavy endpoint (`GET /v1/classify`), so saturation
+    /// tests can flood an expensive class while cheap endpoints stay
+    /// genuinely fast.
+    heavy_delay: Option<Duration>,
 }
 
 /// One ASN's aggregated queuing-delay signal, ready to slice.
@@ -348,6 +353,9 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         delay: flags
             .parsed::<u64>("serve-delay-ms")?
             .map(Duration::from_millis),
+        heavy_delay: flags
+            .parsed::<u64>("serve-heavy-delay-ms")?
+            .map(Duration::from_millis),
     });
 
     let config = ServerConfig {
@@ -359,6 +367,9 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         queue: flags.parsed::<usize>("serve-queue")?.unwrap_or(16),
         fastlane_queue: flags.parsed::<usize>("serve-fastlane-queue")?.unwrap_or(32),
         retry_after_secs: flags.parsed::<u64>("retry-after")?.unwrap_or(1),
+        budget_cheap: flags.parsed::<usize>("serve-budget-cheap")?.unwrap_or(0),
+        budget_heavy: flags.parsed::<usize>("serve-budget-heavy")?.unwrap_or(0),
+        budget_intake: flags.parsed::<usize>("serve-budget-intake")?.unwrap_or(0),
     };
     let server = Server::bind(config.clone(), Arc::clone(&serve_metrics))
         .map_err(|e| format!("bind {}: {e}", config.addr))?;
@@ -472,6 +483,11 @@ fn route(req: &Request, state: &ServeState) -> Response {
         // The fast-lane endpoints stay exempt from the test-hook delay:
         // parking /healthz would defeat the saturation tests' purpose.
         if req.path != "/healthz" && req.path != "/metrics" {
+            std::thread::sleep(delay);
+        }
+    }
+    if let Some(delay) = state.heavy_delay {
+        if req.method == "GET" && req.path == "/v1/classify" {
             std::thread::sleep(delay);
         }
     }

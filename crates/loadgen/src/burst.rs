@@ -1,0 +1,143 @@
+//! The burst profile: N connections released simultaneously, repeated.
+//!
+//! This is the thundering-herd shape — everything arrives in the same
+//! instant, so the daemon's accept queue, fast lane, and shed path all
+//! fire at once. Each burst joins fully before the next begins (the
+//! point is the instantaneous spike, not sustained pressure — that's
+//! the ladder's job).
+
+use crate::client::one_shot;
+use crate::mix::{Mix, Plan};
+use crate::report::{BurstReport, EndpointTallies, LoadReport, Tally};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// One burst run's shape.
+#[derive(Clone, Debug)]
+pub struct BurstConfig {
+    pub addr: SocketAddr,
+    pub addr_label: String,
+    /// Connections released at once per burst.
+    pub requests: usize,
+    /// Bursts (each fully joined before the next).
+    pub bursts: usize,
+    pub mix: Mix,
+    pub plan: Plan,
+}
+
+/// Run the burst profile.
+pub fn run_burst(config: BurstConfig) -> Result<LoadReport, String> {
+    let mut mix = config.mix.clone();
+    mix.validate(&config.plan)?;
+    let requests = config.requests.max(1);
+    let bursts = config.bursts.max(1);
+    let started = Instant::now();
+    let mut tallies = EndpointTallies::default();
+    let mut burst_reports = Vec::with_capacity(bursts);
+    for _ in 0..bursts {
+        let burst_started = Instant::now();
+        // Pick each request's endpoint up front (the mix is sequential
+        // state), then release them all at once.
+        let endpoints: Vec<_> = (0..requests).map(|_| mix.pick()).collect();
+        let mut burst_tallies = EndpointTallies::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = endpoints
+                .iter()
+                .map(|&endpoint| {
+                    let plan = &config.plan;
+                    let addr = config.addr;
+                    scope.spawn(move || {
+                        let (method, path, body) = plan.request(endpoint);
+                        (endpoint, one_shot(addr, method, &path, body, plan.timeout))
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (endpoint, result) = handle.join().expect("burst client");
+                match result {
+                    Ok(outcome) => burst_tallies.get_mut(endpoint).record(&outcome),
+                    Err(_) => burst_tallies.get_mut(endpoint).record_error(),
+                }
+            }
+        });
+        let total = burst_tallies.total();
+        burst_reports.push(BurstReport {
+            requests: requests as u64,
+            ok: total.ok,
+            shed: total.shed,
+            errors: total.errors,
+            wall_secs: burst_started.elapsed().as_secs_f64(),
+            p99_nanos: total.latency_ok.summary().p99_nanos,
+        });
+        tallies.merge(&burst_tallies);
+    }
+    let totals: Tally = tallies.total();
+    Ok(LoadReport {
+        profile: "burst".into(),
+        addr: config.addr_label,
+        mix: mix.spec(),
+        concurrency: requests as u64,
+        wall_secs: started.elapsed().as_secs_f64(),
+        consistent: totals.consistent(),
+        totals: totals.summary(),
+        endpoints: tallies.summaries(),
+        rungs: vec![],
+        bursts: burst_reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::Endpoint;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_accounts_every_connection() {
+        // A fake server that answers the first connection of each pair
+        // 200 and the second 503: the tallies must see both kinds.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for n in 0..6 {
+                let (mut stream, _) = listener.accept().expect("accept");
+                let mut buf = [0u8; 1024];
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                let _ = stream.read(&mut buf);
+                let response: &[u8] = if n % 2 == 0 {
+                    b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok"
+                } else {
+                    b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 2\r\n\r\n{\"error\":\"accept queue full\",\"cost_class\":\"cheap\",\"retry_after_secs\":2}\n"
+                };
+                let _ = stream.write_all(response);
+            }
+        });
+        let report = run_burst(BurstConfig {
+            addr,
+            addr_label: addr.to_string(),
+            requests: 3,
+            bursts: 2,
+            mix: Mix::single(Endpoint::Healthz),
+            plan: Plan {
+                timeout: Duration::from_secs(2),
+                ..Plan::default()
+            },
+        })
+        .expect("burst runs");
+        server.join().unwrap();
+        assert_eq!(report.profile, "burst");
+        assert_eq!(report.bursts.len(), 2);
+        assert!(report.consistent);
+        assert_eq!(report.totals.attempted, 6);
+        assert_eq!(
+            report.totals.ok + report.totals.shed + report.totals.errors,
+            6
+        );
+        assert_eq!(report.totals.ok, 3);
+        assert_eq!(report.totals.shed, 3);
+        assert_eq!(report.totals.retry_after_max, 2);
+        assert_eq!(report.endpoints["healthz"].attempted, 6);
+    }
+}

@@ -1,0 +1,218 @@
+//! The raw-TCP one-shot HTTP client every profile is built on.
+//!
+//! One request per connection, `Connection: close` — exactly the subset
+//! the daemon serves — so a "request" here measures what a real client
+//! pays: connect, write, first-byte-to-close read. Timeouts bound every
+//! phase; a stuck daemon costs the generator one worker slot for the
+//! timeout, never forever.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// What one request came back with.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Outcome {
+    /// HTTP status code.
+    pub status: u16,
+    /// Connect-to-connection-closed wall time.
+    pub nanos: u64,
+    /// The `Retry-After` hint, when the daemon sent one (503 sheds).
+    pub retry_after: Option<u64>,
+    /// Body bytes received.
+    pub body_len: usize,
+    /// `cost_class` named in a 503 shed body, when present.
+    pub cost_class: Option<String>,
+}
+
+/// Resolve `addr` ("host:port") once, up front — per-request DNS would
+/// put the resolver in the latency measurement.
+pub fn resolve(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("resolve {addr}: no address"))
+}
+
+/// Issue one request and read the full response. `body` non-empty means
+/// a POST with `Content-Length`. Errors are connect/IO-level failures;
+/// any parsed HTTP status (including 5xx) is an `Ok` outcome.
+pub fn one_shot(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<Outcome> {
+    let started = Instant::now();
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut stream = stream;
+    let mut request =
+        format!("{method} {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n").into_bytes();
+    if !body.is_empty() {
+        request.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    }
+    request.extend_from_slice(b"\r\n");
+    request.extend_from_slice(body);
+    // One write for head + body: fewer syscalls per request, and the
+    // daemon sees the whole request in the first read.
+    stream.write_all(&request)?;
+    stream.flush()?;
+    let mut raw = Vec::with_capacity(4096);
+    stream.read_to_end(&mut raw)?;
+    let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    parse_response(&raw, nanos)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+/// Minimal response parse: status line, `Retry-After`, body length, and
+/// the `cost_class` a shed body names.
+fn parse_response(raw: &[u8], nanos: u64) -> Option<Outcome> {
+    let head_end = find_head_end(raw)?;
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+    let mut lines = head.lines();
+    let status: u16 = lines.next()?.split(' ').nth(1)?.parse().ok()?;
+    let retry_after = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim().eq_ignore_ascii_case("retry-after"))
+        .and_then(|(_, v)| v.trim().parse().ok());
+    let body = &raw[head_end..];
+    let cost_class = (status == 503)
+        .then(|| {
+            let text = std::str::from_utf8(body).ok()?;
+            let (_, tail) = text.split_once("\"cost_class\":\"")?;
+            Some(tail.split('"').next()?.to_string())
+        })
+        .flatten();
+    Some(Outcome {
+        status,
+        nanos,
+        retry_after,
+        body_len: body.len(),
+        cost_class,
+    })
+}
+
+/// Index just past the blank line terminating the head (CRLF or bare
+/// LF, the same tolerance the daemon extends to its clients).
+fn find_head_end(raw: &[u8]) -> Option<usize> {
+    raw.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| raw.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+/// Ask the daemon for a real ASN to aim per-ASN endpoints at: the first
+/// row of the `/v1/populations` table. `None` when the endpoint is
+/// unreachable or the table is empty.
+pub fn discover_asn(addr: SocketAddr, timeout: Duration) -> Option<u32> {
+    let body = {
+        let mut stream = TcpStream::connect_timeout(&addr, timeout).ok()?;
+        stream.set_read_timeout(Some(timeout)).ok()?;
+        stream.set_write_timeout(Some(timeout)).ok()?;
+        stream
+            .write_all(
+                b"GET /v1/populations HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n",
+            )
+            .ok()?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).ok()?;
+        let head_end = find_head_end(&raw)?;
+        raw.split_off(head_end)
+    };
+    let doc: serde_json::Value = serde_json::from_str(std::str::from_utf8(&body).ok()?).ok()?;
+    let rows = doc.as_array()?;
+    rows.iter()
+        .filter_map(|row| u32::try_from(row.get("asn")?.as_u64()?).ok())
+        .next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// One-connection fake server: answer with `response`, return what
+    /// the client sent.
+    fn fake_server(response: &'static [u8]) -> (SocketAddr, std::thread::JoinHandle<Vec<u8>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let join = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut got = vec![0u8; 4096];
+            let n = stream.read(&mut got).unwrap_or(0);
+            got.truncate(n);
+            stream.write_all(response).unwrap();
+            got
+        });
+        (addr, join)
+    }
+
+    #[test]
+    fn one_shot_parses_status_latency_and_body() {
+        let (addr, join) = fake_server(b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello");
+        let out = one_shot(addr, "GET", "/x", b"", Duration::from_secs(5)).expect("outcome");
+        assert_eq!(out.status, 200);
+        assert_eq!(out.body_len, 5);
+        assert!(out.nanos > 0);
+        assert_eq!(out.retry_after, None);
+        assert_eq!(out.cost_class, None);
+        let sent = String::from_utf8(join.join().unwrap()).unwrap();
+        assert!(sent.starts_with("GET /x HTTP/1.1\r\n"), "{sent}");
+        assert!(sent.contains("Connection: close"), "{sent}");
+    }
+
+    #[test]
+    fn one_shot_extracts_shed_hint_and_cost_class() {
+        let (addr, join) = fake_server(
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 4\r\n\r\n{\"error\":\"over budget\",\"cost_class\":\"heavy\",\"retry_after_secs\":4}\n",
+        );
+        let out = one_shot(addr, "GET", "/v1/classify", b"", Duration::from_secs(5)).unwrap();
+        assert_eq!(out.status, 503);
+        assert_eq!(out.retry_after, Some(4));
+        assert_eq!(out.cost_class.as_deref(), Some("heavy"));
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn one_shot_posts_a_body_with_content_length() {
+        let (addr, join) = fake_server(b"HTTP/1.1 202 Accepted\r\n\r\n{}");
+        let out = one_shot(
+            addr,
+            "POST",
+            "/v1/traceroutes",
+            b"{\"x\":1}\n",
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(out.status, 202);
+        let sent = String::from_utf8(join.join().unwrap()).unwrap();
+        assert!(
+            sent.starts_with("POST /v1/traceroutes HTTP/1.1\r\n"),
+            "{sent}"
+        );
+        assert!(sent.contains("Content-Length: 8"), "{sent}");
+        assert!(sent.ends_with("{\"x\":1}\n"), "{sent}");
+    }
+
+    #[test]
+    fn connect_refused_is_an_error_not_an_outcome() {
+        // Bind then drop: the port is (very likely) refused right after.
+        let addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        assert!(one_shot(addr, "GET", "/", b"", Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn discover_asn_reads_the_populations_table() {
+        let (addr, join) = fake_server(
+            b"HTTP/1.1 200 OK\r\n\r\n[{\"asn\":3215,\"traceroutes\":9},{\"asn\":5089,\"traceroutes\":3}]\n",
+        );
+        assert_eq!(discover_asn(addr, Duration::from_secs(5)), Some(3215));
+        join.join().unwrap();
+    }
+}

@@ -1,0 +1,138 @@
+//! The fanout profile: a weighted endpoint mix sustained at one rate.
+//!
+//! Where the ladder asks "how much can it take", fanout asks "who
+//! suffers": a mix like `classify=4,series=1,intake=1` floods the heavy
+//! endpoint while trickling cheap reads and live-intake POSTs through
+//! the same pool, and the per-endpoint tallies show whether the
+//! admission budgets kept the cheap traffic's latency bounded and the
+//! POSTs landing (racing re-analysis epochs) while classify sheds.
+
+use crate::engine::run_open_loop;
+use crate::mix::{Mix, Plan};
+use crate::report::LoadReport;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// One fanout run's shape.
+#[derive(Clone, Debug)]
+pub struct FanoutConfig {
+    pub addr: SocketAddr,
+    pub addr_label: String,
+    /// Offered arrival rate (requests/second) across the whole mix.
+    pub rate: f64,
+    /// Run length.
+    pub duration: Duration,
+    /// Client worker threads — the in-flight cap.
+    pub concurrency: usize,
+    pub mix: Mix,
+    pub plan: Plan,
+}
+
+/// Run the fanout profile.
+pub fn run_fanout(config: FanoutConfig) -> Result<LoadReport, String> {
+    let mut mix = config.mix.clone();
+    mix.validate(&config.plan)?;
+    if !config.rate.is_finite() || config.rate <= 0.0 {
+        return Err(format!(
+            "fanout rate {} must be a positive number",
+            config.rate
+        ));
+    }
+    let started = Instant::now();
+    let tallies = run_open_loop(
+        config.addr,
+        &mut mix,
+        &config.plan,
+        config.rate,
+        config.duration,
+        config.concurrency,
+    );
+    let totals = tallies.total();
+    Ok(LoadReport {
+        profile: "fanout".into(),
+        addr: config.addr_label,
+        mix: mix.spec(),
+        concurrency: config.concurrency.max(1) as u64,
+        wall_secs: started.elapsed().as_secs_f64(),
+        consistent: totals.consistent(),
+        totals: totals.summary(),
+        endpoints: tallies.summaries(),
+        rungs: vec![],
+        bursts: vec![],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::Endpoint;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn fanout_splits_traffic_by_weight() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let server = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        std::thread::spawn(move || {
+                            let mut buf = [0u8; 2048];
+                            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                            let _ = stream.read(&mut buf);
+                            let _ =
+                                stream.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
+                        });
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+        });
+        let report = run_fanout(FanoutConfig {
+            addr,
+            addr_label: addr.to_string(),
+            rate: 80.0,
+            duration: Duration::from_millis(300),
+            concurrency: 8,
+            mix: Mix::parse("healthz=3,intake=1").unwrap(),
+            plan: Plan {
+                post_body: b"{\"x\":1}\n".to_vec(),
+                timeout: Duration::from_secs(2),
+                ..Plan::default()
+            },
+        })
+        .expect("fanout runs");
+        stop.store(true, Ordering::Relaxed);
+        server.join().unwrap();
+        assert_eq!(report.profile, "fanout");
+        assert!(report.consistent);
+        // 80 rps × 0.3 s = 24 arrivals, split 3:1.
+        let scheduled = report.totals.attempted + report.totals.not_sent;
+        assert_eq!(scheduled, 24);
+        let healthz = &report.endpoints["healthz"];
+        let intake = &report.endpoints["intake"];
+        assert_eq!(healthz.attempted + healthz.not_sent, 18);
+        assert_eq!(intake.attempted + intake.not_sent, 6);
+    }
+
+    #[test]
+    fn fanout_refuses_intake_without_a_body() {
+        let config = FanoutConfig {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            addr_label: "x".into(),
+            rate: 10.0,
+            duration: Duration::from_millis(10),
+            concurrency: 1,
+            mix: Mix::single(Endpoint::Intake),
+            plan: Plan::default(),
+        };
+        let err = run_fanout(config).expect_err("must refuse");
+        assert!(err.contains("intake"), "{err}");
+    }
+}

@@ -1,0 +1,160 @@
+//! The sustained-ladder profile: stepped open-loop arrival rates.
+//!
+//! Each rung offers a fixed arrival rate for a dwell period and records
+//! what came of it — offered vs achieved rate, latency percentiles,
+//! shed rate. Stacked, the rungs trace the daemon's
+//! throughput-vs-latency curve: the knee is the first rung where
+//! achieved stops tracking offered and p99 (or the shed rate) takes
+//! off. This is the curve `BENCH_serve.json` records.
+
+use crate::engine::run_open_loop;
+use crate::mix::{Mix, Plan};
+use crate::report::{EndpointTallies, LoadReport, RungReport};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// One ladder run's shape.
+#[derive(Clone, Debug)]
+pub struct LadderConfig {
+    pub addr: SocketAddr,
+    pub addr_label: String,
+    /// Offered arrival rates (requests/second), one rung each, in
+    /// order.
+    pub rates: Vec<f64>,
+    /// Time spent at each rung.
+    pub dwell: Duration,
+    /// Client worker threads — the in-flight cap; arrivals past it are
+    /// counted `not_sent`.
+    pub concurrency: usize,
+    pub mix: Mix,
+    pub plan: Plan,
+}
+
+/// Run the ladder profile.
+pub fn run_ladder(config: LadderConfig) -> Result<LoadReport, String> {
+    let mut mix = config.mix.clone();
+    mix.validate(&config.plan)?;
+    if config.rates.is_empty() {
+        return Err("ladder needs at least one rate".into());
+    }
+    if let Some(bad) = config.rates.iter().find(|r| !r.is_finite() || **r <= 0.0) {
+        return Err(format!("ladder rate {bad} must be a positive number"));
+    }
+    let started = Instant::now();
+    let mut tallies = EndpointTallies::default();
+    let mut rungs = Vec::with_capacity(config.rates.len());
+    for &rate in &config.rates {
+        let rung_started = Instant::now();
+        let rung_tallies = run_open_loop(
+            config.addr,
+            &mut mix,
+            &config.plan,
+            rate,
+            config.dwell,
+            config.concurrency,
+        );
+        // Achieved rate is measured against the rung's true wall time:
+        // the dispatch loop runs for `dwell`, but the tail of in-flight
+        // requests drains after it.
+        let rung_wall = rung_started.elapsed().as_secs_f64();
+        rungs.push(RungReport::from_tally(
+            rate,
+            rung_wall.max(f64::MIN_POSITIVE),
+            &rung_tallies.total(),
+        ));
+        tallies.merge(&rung_tallies);
+    }
+    let totals = tallies.total();
+    Ok(LoadReport {
+        profile: "ladder".into(),
+        addr: config.addr_label,
+        mix: mix.spec(),
+        concurrency: config.concurrency.max(1) as u64,
+        wall_secs: started.elapsed().as_secs_f64(),
+        consistent: totals.consistent(),
+        totals: totals.summary(),
+        endpoints: tallies.summaries(),
+        rungs,
+        bursts: vec![],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::Endpoint;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn ladder_reports_one_rung_per_rate() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let server = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        std::thread::spawn(move || {
+                            let mut buf = [0u8; 1024];
+                            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                            let _ = stream.read(&mut buf);
+                            let _ =
+                                stream.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
+                        });
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+        });
+        let report = run_ladder(LadderConfig {
+            addr,
+            addr_label: addr.to_string(),
+            rates: vec![40.0, 80.0],
+            dwell: Duration::from_millis(200),
+            concurrency: 8,
+            mix: Mix::single(Endpoint::Healthz),
+            plan: Plan {
+                timeout: Duration::from_secs(2),
+                ..Plan::default()
+            },
+        })
+        .expect("ladder runs");
+        stop.store(true, Ordering::Relaxed);
+        server.join().unwrap();
+        assert_eq!(report.profile, "ladder");
+        assert_eq!(report.rungs.len(), 2);
+        assert!(report.consistent);
+        // 40 rps × 0.2 s = 8 arrivals, 80 × 0.2 = 16.
+        assert_eq!(report.rungs[0].attempted + report.rungs[0].not_sent, 8);
+        assert_eq!(report.rungs[1].attempted + report.rungs[1].not_sent, 16);
+        assert!(report.rungs[0].achieved_rps > 0.0);
+        assert_eq!(
+            report.totals.attempted + report.totals.not_sent,
+            24,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn ladder_rejects_bad_rates() {
+        let plan = Plan::default();
+        let base = LadderConfig {
+            addr: "127.0.0.1:1".parse().unwrap(),
+            addr_label: "x".into(),
+            rates: vec![],
+            dwell: Duration::from_millis(10),
+            concurrency: 1,
+            mix: Mix::single(Endpoint::Healthz),
+            plan,
+        };
+        assert!(run_ladder(base.clone()).is_err());
+        let mut zero = base;
+        zero.rates = vec![0.0];
+        assert!(run_ladder(zero).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! `lastmile-loadgen`: an open-loop load generator for the `lastmile
+//! serve` daemon.
+//!
+//! `BENCH_serve.json` used to be produced by polite, mostly-sequential
+//! `curl` loops — a closed-loop client that slows down exactly when the
+//! server does, which is precisely how you *fail* to find a knee in the
+//! throughput-vs-latency curve. This crate drives the daemon the way
+//! real traffic does: requests are released on a wall-clock schedule
+//! regardless of how the previous ones are faring (open loop), over raw
+//! `std::net` TCP with the same one-request-per-connection HTTP/1.1
+//! subset the daemon speaks. No external dependencies beyond the
+//! workspace's vendored `serde`.
+//!
+//! Three profiles:
+//!
+//! * [`burst`] — N connections released at once, repeated B times: the
+//!   thundering-herd shape that exercises the accept queue and the
+//!   fast lane.
+//! * [`ladder`] — stepped arrival rates (open loop, fixed worker pool,
+//!   client-side drops counted as `not_sent`), dwelling at each rung
+//!   and recording offered vs achieved rate, latency percentiles, and
+//!   shed rate per rung: the throughput-vs-latency curve.
+//! * [`fanout`] — a weighted endpoint [`mix`](mix::Mix) (including
+//!   `POST /v1/traceroutes` intake floods racing live re-analysis)
+//!   sustained at one rate: the cost-class starvation probe.
+//!
+//! Every profile reports per-endpoint log-linear latency histograms
+//! (reusing [`lastmile_obs`]'s), plus shed accounting that must satisfy
+//! `attempted == ok + shed + errors` — the invariant `scripts/check.sh`
+//! asserts.
+
+pub mod burst;
+pub mod client;
+pub mod fanout;
+pub mod ladder;
+pub mod mix;
+pub mod report;
+
+mod engine;
+
+pub use burst::{run_burst, BurstConfig};
+pub use client::{discover_asn, one_shot, resolve, Outcome};
+pub use fanout::{run_fanout, FanoutConfig};
+pub use ladder::{run_ladder, LadderConfig};
+pub use mix::{Endpoint, Mix, Plan};
+pub use report::{BurstReport, LoadReport, RungReport, Tally, TallySummary};

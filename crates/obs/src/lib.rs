@@ -571,6 +571,12 @@ pub struct ServeMetrics {
     /// Health/metrics probes served by the fast lane while the main
     /// accept queue was saturated.
     pub fastlane_hits: AtomicU64,
+    /// Per-cost-class admission accounting (budgets, admitted, shed,
+    /// in-flight); the probe class (`/healthz`, `/metrics`) is never
+    /// budgeted, so only the three budgeted classes appear here.
+    pub admission_cheap: AdmissionClassMetrics,
+    pub admission_heavy: AdmissionClassMetrics,
+    pub admission_intake: AdmissionClassMetrics,
     /// Per-endpoint request latency (accept-to-response-flushed), keyed
     /// like the `/metrics` document: classify / series / populations /
     /// ingest / healthz / metrics / other.
@@ -581,6 +587,68 @@ pub struct ServeMetrics {
     pub latency_healthz: AtomicHistogram,
     pub latency_metrics: AtomicHistogram,
     pub latency_other: AtomicHistogram,
+    /// Requests answered without reaching a handler: queue-full and
+    /// over-budget 503 sheds. Kept separate from the per-endpoint
+    /// histograms (which measure served work) so shed latency — how
+    /// fast the daemon turns away traffic under overload — is visible
+    /// instead of silently uncounted.
+    pub latency_rejected: AtomicHistogram,
+}
+
+/// Admission accounting for one cost class: its configured concurrency
+/// budget (a gauge, set once at bind), how many requests it admitted or
+/// shed, and how many are in a handler right now.
+#[derive(Debug, Default)]
+pub struct AdmissionClassMetrics {
+    /// Concurrency budget the server resolved for this class (gauge).
+    pub budget: AtomicU64,
+    /// Requests admitted under the budget (handler ran).
+    pub admitted: AtomicU64,
+    /// Requests shed with 503 because the budget was exhausted.
+    pub shed: AtomicU64,
+    /// Requests of this class in a handler right now (gauge; never
+    /// exceeds `budget`).
+    pub in_flight: AtomicU64,
+}
+
+impl AdmissionClassMetrics {
+    /// Try to take one budget slot; `true` means admitted (the caller
+    /// must release via [`AdmissionClassMetrics::release`]).
+    pub fn try_acquire(&self) -> bool {
+        let budget = self.budget.load(Ordering::Relaxed);
+        let admitted = self
+            .in_flight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < budget).then_some(n + 1)
+            })
+            .is_ok();
+        if admitted {
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        admitted
+    }
+
+    /// Return a slot taken by a successful [`try_acquire`].
+    ///
+    /// [`try_acquire`]: AdmissionClassMetrics::try_acquire
+    pub fn release(&self) {
+        let _ = self
+            .in_flight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                Some(n.saturating_sub(1))
+            });
+    }
+
+    fn snapshot(&self) -> AdmissionClassSnapshot {
+        AdmissionClassSnapshot {
+            budget: self.budget.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Endpoint families a served request is attributed to (one latency
@@ -619,6 +687,13 @@ impl ServeMetrics {
             });
     }
 
+    /// Record one shed (queue-full or over-budget 503) answered without
+    /// reaching a handler. Does not count toward `requests` — that
+    /// counter means "handler-served".
+    pub fn record_rejected(&self, nanos: u64) {
+        self.latency_rejected.record(nanos);
+    }
+
     /// Record one answered request against its endpoint's histogram.
     pub fn record_request(&self, endpoint: ServeEndpoint, nanos: u64) {
         self.requests.fetch_add(1, Ordering::Relaxed);
@@ -645,6 +720,11 @@ impl ServeMetrics {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_max_depth: self.queue_max_depth.load(Ordering::Relaxed),
             fastlane_hits: self.fastlane_hits.load(Ordering::Relaxed),
+            admission: AdmissionSnapshot {
+                cheap: self.admission_cheap.snapshot(),
+                heavy: self.admission_heavy.snapshot(),
+                intake: self.admission_intake.snapshot(),
+            },
             latency: ServeLatencyStats {
                 classify: self.latency_classify.summary(),
                 series: self.latency_series.summary(),
@@ -653,9 +733,28 @@ impl ServeMetrics {
                 healthz: self.latency_healthz.summary(),
                 metrics: self.latency_metrics.summary(),
                 other: self.latency_other.summary(),
+                rejected: self.latency_rejected.summary(),
             },
         }
     }
+}
+
+/// Plain-value export of one class's [`AdmissionClassMetrics`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct AdmissionClassSnapshot {
+    pub budget: u64,
+    pub admitted: u64,
+    pub shed: u64,
+    pub in_flight: u64,
+}
+
+/// The `serve.admission` key of the `/metrics` JSON: one entry per
+/// budgeted cost class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct AdmissionSnapshot {
+    pub cheap: AdmissionClassSnapshot,
+    pub heavy: AdmissionClassSnapshot,
+    pub intake: AdmissionClassSnapshot,
 }
 
 /// Per-endpoint latency summaries inside [`ServeMetricsSnapshot`].
@@ -668,6 +767,9 @@ pub struct ServeLatencyStats {
     pub healthz: HistogramSummary,
     pub metrics: HistogramSummary,
     pub other: HistogramSummary,
+    /// Shed 503s (queue-full and over-budget), answered without
+    /// reaching a handler.
+    pub rejected: HistogramSummary,
 }
 
 /// Plain-value export of [`ServeMetrics`]; the `serve` key of the
@@ -682,6 +784,7 @@ pub struct ServeMetricsSnapshot {
     pub queue_depth: u64,
     pub queue_max_depth: u64,
     pub fastlane_hits: u64,
+    pub admission: AdmissionSnapshot,
     pub latency: ServeLatencyStats,
 }
 
@@ -986,9 +1089,11 @@ mod tests {
         m.record_request(ServeEndpoint::Classify, 2_000);
         m.record_request(ServeEndpoint::Healthz, 500);
         m.rejected_busy.fetch_add(1, Ordering::Relaxed);
+        m.record_rejected(4_000);
         let s = m.snapshot();
         assert_eq!(s.accepted, 3);
         assert_eq!(s.rejected_busy, 1);
+        // Shed answers never count as handler-served requests…
         assert_eq!(s.requests, 3);
         assert_eq!(s.worker_panics, 0);
         assert_eq!(s.queue_depth, 1);
@@ -997,6 +1102,9 @@ mod tests {
         assert_eq!(s.latency.classify.max_nanos, 2_000);
         assert_eq!(s.latency.healthz.count, 1);
         assert_eq!(s.latency.series.count, 0);
+        // …but their latency lands in the dedicated rejected histogram.
+        assert_eq!(s.latency.rejected.count, 1);
+        assert_eq!(s.latency.rejected.max_nanos, 4_000);
         // Pop below zero saturates.
         m.queue_pop();
         m.queue_pop();
@@ -1020,9 +1128,39 @@ mod tests {
             "healthz",
             "metrics",
             "other",
+            "rejected",
+            "admission",
+            "cheap",
+            "heavy",
+            "intake",
+            "budget",
+            "admitted",
+            "shed",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn admission_class_budget_acquire_release() {
+        let class = AdmissionClassMetrics::default();
+        class.budget.store(2, Ordering::Relaxed);
+        assert!(class.try_acquire());
+        assert!(class.try_acquire());
+        // Budget exhausted: third acquire sheds.
+        assert!(!class.try_acquire());
+        class.release();
+        assert!(class.try_acquire());
+        let s = class.snapshot();
+        assert_eq!(s.budget, 2);
+        assert_eq!(s.admitted, 3);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.in_flight, 2);
+        class.release();
+        class.release();
+        // Release below zero saturates.
+        class.release();
+        assert_eq!(class.snapshot().in_flight, 0);
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   (`serve-0` … `serve-N-1`) fed by a bounded accept queue; a full
 //!   queue answers `503` + `Retry-After` immediately instead of
 //!   buffering without bound; shutdown drains queued and in-flight
-//!   requests before [`Server::run`] returns.
+//!   requests before [`Server::run`] returns. On top of the queue,
+//!   cost-aware admission control: requests are classified
+//!   ([`CostClass`]) and each class has a concurrency budget, so an
+//!   expensive-endpoint flood sheds fast 503s (adaptive `Retry-After`,
+//!   class named in the body) instead of occupying every worker.
 //! * [`signal`] — SIGTERM/SIGINT latched into a flag the accept loop
 //!   polls (hand-declared `signal(2)`, no libc crate).
 //!
@@ -27,4 +31,4 @@ pub mod server;
 pub mod signal;
 
 pub use http::{Request, Response};
-pub use server::{Handler, Server, ServerConfig};
+pub use server::{adaptive_retry_after, cost_class, CostClass, Handler, Server, ServerConfig};

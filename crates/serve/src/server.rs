@@ -23,9 +23,26 @@
 //! drops both queues' senders, and joins the workers — which drain
 //! every connection already queued (and the one they are serving)
 //! before exiting.
+//!
+//! ## Admission control
+//!
+//! Beyond the queue there is a second, cost-aware shedding layer: every
+//! request is classified into a [`CostClass`] (probe / cheap / heavy /
+//! intake), and each budgeted class has a concurrency budget enforced
+//! at the moment a worker would run its handler. A worker that dequeues
+//! a request whose class is already at budget answers a fast 503 (with
+//! the class named in the body and an adaptive `Retry-After`) instead
+//! of running the handler — turning slow work into a cheap write, so
+//! the shared accept queue keeps draining and the remaining workers
+//! stay available for the other classes. With `budget_heavy <
+//! workers`, a flood of full-classification requests can never occupy
+//! the whole pool: series / populations / live-intake traffic always
+//! finds a worker. Budgets left at 0 resolve to `workers` — admission
+//! effectively disengaged — so the default daemon sheds only on queue
+//! overflow, exactly as before.
 
 use crate::http::{parse_request, parse_request_head, ParseError, Request, Response};
-use lastmile_obs::{trace, ServeEndpoint, ServeMetrics};
+use lastmile_obs::{trace, AdmissionClassMetrics, ServeEndpoint, ServeMetrics};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
@@ -53,8 +70,20 @@ pub struct ServerConfig {
     /// queue (health/metrics probes served there; the rest 503'd).
     /// Clamped to ≥ 1.
     pub fastlane_queue: usize,
-    /// Seconds advertised in `Retry-After` on a 503.
+    /// Base seconds advertised in `Retry-After` on a 503; the actual
+    /// hint scales up with backlog (see [`adaptive_retry_after`]).
     pub retry_after_secs: u64,
+    /// Concurrency budget for [`CostClass::Cheap`] requests. `0` =
+    /// auto (`workers`: admission disengaged for this class).
+    pub budget_cheap: usize,
+    /// Concurrency budget for [`CostClass::Heavy`] requests (the full
+    /// `GET /v1/classify` document). `0` = auto (`workers`). Set it
+    /// below `workers` to guarantee a classify flood leaves workers
+    /// free for every other class.
+    pub budget_heavy: usize,
+    /// Concurrency budget for [`CostClass::Intake`] requests
+    /// (`POST /v1/traceroutes`). `0` = auto (`workers`).
+    pub budget_intake: usize,
 }
 
 impl Default for ServerConfig {
@@ -65,8 +94,67 @@ impl Default for ServerConfig {
             queue: 16,
             fastlane_queue: 32,
             retry_after_secs: 1,
+            budget_cheap: 0,
+            budget_heavy: 0,
+            budget_intake: 0,
         }
     }
+}
+
+/// What a request costs the daemon, decided from the request head
+/// alone. Each class maps to one admission budget (except `Probe`,
+/// which is never budgeted — it is also the fast-lane set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostClass {
+    /// `GET /healthz` and `GET /metrics`: tiny, operator-critical,
+    /// never shed by admission (the fast lane exists for them).
+    Probe,
+    /// Everything not named below: per-ASN classify documents, series,
+    /// populations, 404s. Cheap lookups against the published epoch.
+    Cheap,
+    /// `GET /v1/classify` — serializes the full classification
+    /// document, the most expensive read the daemon offers.
+    Heavy,
+    /// `POST /v1/traceroutes` — live intake: parse, validate, spool.
+    Intake,
+}
+
+impl CostClass {
+    /// Stable lowercase name used in `/metrics` keys and 503 bodies.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostClass::Probe => "probe",
+            CostClass::Cheap => "cheap",
+            CostClass::Heavy => "heavy",
+            CostClass::Intake => "intake",
+        }
+    }
+}
+
+/// Classify a request head into its [`CostClass`].
+pub fn cost_class(method: &str, path: &str) -> CostClass {
+    let bare = path.split('?').next().unwrap_or(path);
+    if method == "GET" && fastlane_path(bare) {
+        CostClass::Probe
+    } else if method == "POST" && bare == "/v1/traceroutes" {
+        CostClass::Intake
+    } else if method == "GET" && bare == "/v1/classify" {
+        CostClass::Heavy
+    } else {
+        CostClass::Cheap
+    }
+}
+
+/// The `Retry-After` hint for a 503: the configured base when the
+/// shedding resource is merely full, growing linearly with how far the
+/// backlog exceeds capacity (a client told to come back later when the
+/// daemon is drowning is a client that won't pile on), capped at 8×
+/// base so the hint never becomes "give up".
+pub fn adaptive_retry_after(base: u64, occupancy: u64, capacity: u64) -> u64 {
+    let capacity = capacity.max(1);
+    let over = occupancy.saturating_sub(capacity);
+    base.saturating_add(base.saturating_mul(over) / capacity)
+        .min(base.saturating_mul(8))
 }
 
 /// How long a worker waits for a slow client before giving up on the
@@ -124,7 +212,29 @@ impl Server {
         let workers = self.config.workers.max(1);
         let queue = self.config.queue.max(1);
         let fastlane = self.config.fastlane_queue.max(1);
-        let retry_after_secs = self.config.retry_after_secs;
+        let resolve = |budget: usize| if budget == 0 { workers } else { budget };
+        let limits = Limits {
+            retry_after_secs: self.config.retry_after_secs,
+            workers: workers as u64,
+            queue: queue as u64,
+        };
+        // Publish the resolved budgets as gauges before any traffic.
+        for (class, budget) in [
+            (
+                &self.metrics.admission_cheap,
+                resolve(self.config.budget_cheap),
+            ),
+            (
+                &self.metrics.admission_heavy,
+                resolve(self.config.budget_heavy),
+            ),
+            (
+                &self.metrics.admission_intake,
+                resolve(self.config.budget_intake),
+            ),
+        ] {
+            class.budget.store(budget as u64, Ordering::Relaxed);
+        }
         self.listener.set_nonblocking(true)?;
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(queue);
         let (ftx, frx) = std::sync::mpsc::sync_channel::<TcpStream>(fastlane);
@@ -136,7 +246,7 @@ impl Server {
                 let metrics = Arc::clone(&self.metrics);
                 std::thread::Builder::new()
                     .name(format!("serve-{n}"))
-                    .spawn_scoped(scope, move || worker_loop(&rx, &handler, &metrics))
+                    .spawn_scoped(scope, move || worker_loop(&rx, &handler, &metrics, limits))
                     .expect("spawn serve worker");
             }
             {
@@ -145,7 +255,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name("serve-fast".into())
                     .spawn_scoped(scope, move || {
-                        fastlane_loop(frx, &handler, &metrics, retry_after_secs)
+                        fastlane_loop(frx, &handler, &metrics, limits)
                     })
                     .expect("spawn serve fast lane");
             }
@@ -172,7 +282,16 @@ impl Server {
                                     Ok(()) => {}
                                     Err(TrySendError::Full(stream))
                                     | Err(TrySendError::Disconnected(stream)) => {
-                                        reject_busy(stream, retry_after_secs, &self.metrics);
+                                        // Both queues full; the request
+                                        // head was never read, so the
+                                        // cost class is unknown.
+                                        reject_busy(
+                                            stream,
+                                            "unknown",
+                                            limits,
+                                            &self.metrics,
+                                            Instant::now(),
+                                        );
                                     }
                                 }
                             }
@@ -204,14 +323,77 @@ impl Server {
     }
 }
 
+/// Capacities fixed at bind time, shared with every shed site so
+/// `Retry-After` hints can be derived from live occupancy.
+#[derive(Clone, Copy, Debug)]
+struct Limits {
+    retry_after_secs: u64,
+    workers: u64,
+    queue: u64,
+}
+
+impl Limits {
+    /// Hint for a queue-overflow shed: occupancy is everything the pool
+    /// is holding (queued + in a handler) against its total capacity.
+    fn queue_full_hint(&self, metrics: &ServeMetrics) -> u64 {
+        let occupancy =
+            metrics.queue_depth.load(Ordering::Relaxed) + metrics.in_flight.load(Ordering::Relaxed);
+        adaptive_retry_after(self.retry_after_secs, occupancy, self.queue + self.workers)
+    }
+
+    /// Hint for an over-budget shed: the class's own in-flight count
+    /// plus the queue backlog (work that may also land on this class)
+    /// against the class budget.
+    fn budget_hint(&self, metrics: &ServeMetrics, class: &AdmissionClassMetrics) -> u64 {
+        let occupancy =
+            class.in_flight.load(Ordering::Relaxed) + metrics.queue_depth.load(Ordering::Relaxed);
+        adaptive_retry_after(
+            self.retry_after_secs,
+            occupancy,
+            class.budget.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// Answer a connection no queue had room for: 503 with `Retry-After`,
 /// written inline (bounded work — one small write on a fresh socket).
 /// Shared by the acceptor and the fast lane.
-fn reject_busy(mut stream: TcpStream, retry_after_secs: u64, metrics: &ServeMetrics) {
+fn reject_busy(
+    stream: TcpStream,
+    class_name: &'static str,
+    limits: Limits,
+    metrics: &ServeMetrics,
+    started: Instant,
+) {
     metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+    let hint = limits.queue_full_hint(metrics);
+    shed_503(
+        stream,
+        "accept queue full",
+        class_name,
+        hint,
+        metrics,
+        started,
+    );
+}
+
+/// Write a shed 503 (`Retry-After` + JSON body naming the cost class),
+/// drain the unread request, and account its latency under the
+/// dedicated `rejected` histogram — never under `requests`, which
+/// counts handler-served work only.
+fn shed_503(
+    mut stream: TcpStream,
+    error: &str,
+    class_name: &'static str,
+    hint_secs: u64,
+    metrics: &ServeMetrics,
+    started: Instant,
+) {
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let retry = retry_after_secs.to_string();
-    let body = format!("{{\"error\":\"accept queue full\",\"retry_after_secs\":{retry}}}\n");
+    let retry = hint_secs.to_string();
+    let body = format!(
+        "{{\"error\":\"{error}\",\"cost_class\":\"{class_name}\",\"retry_after_secs\":{retry}}}\n"
+    );
     let _ = Response::json(503, body)
         .header("Retry-After", retry)
         .write_to(&mut stream);
@@ -229,8 +411,10 @@ fn reject_busy(mut stream: TcpStream, retry_after_secs: u64, metrics: &ServeMetr
             Ok(_) => {}
         }
     }
+    let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    metrics.record_rejected(nanos);
     trace::instant_with("request_rejected", |a| {
-        a.u64("status", 503);
+        a.u64("status", 503).str("cost_class", class_name);
     });
 }
 
@@ -243,11 +427,11 @@ fn fastlane_loop(
     rx: Receiver<TcpStream>,
     handler: &Arc<Handler>,
     metrics: &ServeMetrics,
-    retry_after_secs: u64,
+    limits: Limits,
 ) {
     while let Ok(stream) = rx.recv() {
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            fastlane_connection(stream, handler, metrics, retry_after_secs);
+            fastlane_connection(stream, handler, metrics, limits);
         }));
         if result.is_err() {
             metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
@@ -260,7 +444,7 @@ fn fastlane_connection(
     mut stream: TcpStream,
     handler: &Arc<Handler>,
     metrics: &ServeMetrics,
-    retry_after_secs: u64,
+    limits: Limits,
 ) {
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(FASTLANE_IO_TIMEOUT));
@@ -272,11 +456,12 @@ fn fastlane_connection(
         // busy answer rather than per-error statuses: the lane exists
         // for probes, not error reporting.
         Err(_) => {
-            reject_busy(stream, retry_after_secs, metrics);
+            reject_busy(stream, "unknown", limits, metrics, started);
             return;
         }
     };
-    if request.method == "GET" && fastlane_path(&request.path) {
+    let class = cost_class(&request.method, &request.path);
+    if class == CostClass::Probe {
         metrics.fastlane_hits.fetch_add(1, Ordering::Relaxed);
         trace::instant_with("fastlane_served", |a| {
             a.str("path", request.path.clone());
@@ -292,12 +477,19 @@ fn fastlane_connection(
         let _ = response.write_to(&mut stream);
         record(metrics, endpoint, started);
     } else {
-        reject_busy(stream, retry_after_secs, metrics);
+        // The head parsed, so the 503 can at least name the class the
+        // client was charged to.
+        reject_busy(stream, class.name(), limits, metrics, started);
     }
 }
 
 /// One worker: pull connections until the queue closes.
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, handler: &Arc<Handler>, metrics: &ServeMetrics) {
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    handler: &Arc<Handler>,
+    metrics: &ServeMetrics,
+    limits: Limits,
+) {
     loop {
         // Hold the receiver lock only for the dequeue, never while
         // serving — otherwise one slow client would serialize the pool.
@@ -308,7 +500,7 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, handler: &Arc<Handler>, metrics:
         metrics.queue_pop();
         metrics.in_flight.fetch_add(1, Ordering::Relaxed);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            handle_connection(stream, handler, metrics);
+            handle_connection(stream, handler, metrics, limits);
         }));
         metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
         if result.is_err() {
@@ -320,8 +512,24 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, handler: &Arc<Handler>, metrics:
     }
 }
 
+/// The admission accountant for `class`, or `None` for the unbudgeted
+/// probe class.
+fn class_metrics(metrics: &ServeMetrics, class: CostClass) -> Option<&AdmissionClassMetrics> {
+    match class {
+        CostClass::Probe => None,
+        CostClass::Cheap => Some(&metrics.admission_cheap),
+        CostClass::Heavy => Some(&metrics.admission_heavy),
+        CostClass::Intake => Some(&metrics.admission_intake),
+    }
+}
+
 /// Serve exactly one request on `stream`, then close it.
-fn handle_connection(mut stream: TcpStream, handler: &Arc<Handler>, metrics: &ServeMetrics) {
+fn handle_connection(
+    mut stream: TcpStream,
+    handler: &Arc<Handler>,
+    metrics: &ServeMetrics,
+    limits: Limits,
+) {
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
@@ -345,15 +553,37 @@ fn handle_connection(mut stream: TcpStream, handler: &Arc<Handler>, metrics: &Se
         a.str("method", request.method.clone())
             .str("path", request.path.clone());
     });
-    let response = if request.method != "GET" && request.method != "POST" {
-        Response::json(405, "{\"error\":\"only GET and POST are served\"}\n")
-    } else {
-        match std::panic::catch_unwind(AssertUnwindSafe(|| handler(&request))) {
+    let run_handler =
+        |request: &Request| match std::panic::catch_unwind(AssertUnwindSafe(|| handler(request))) {
             Ok(response) => response,
             Err(_) => {
                 metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
                 Response::json(500, "{\"error\":\"handler panicked\"}\n")
             }
+        };
+    let response = if request.method != "GET" && request.method != "POST" {
+        Response::json(405, "{\"error\":\"only GET and POST are served\"}\n")
+    } else {
+        let class = cost_class(&request.method, &request.path);
+        match class_metrics(metrics, class) {
+            Some(admission) => {
+                if !admission.try_acquire() {
+                    // Over budget: shed instead of running the handler.
+                    // The write below is microseconds, so the worker is
+                    // immediately back on the queue — a flooded class
+                    // costs the pool almost nothing.
+                    let hint = limits.budget_hint(metrics, admission);
+                    trace::instant_with("admission_shed", |a| {
+                        a.str("cost_class", class.name());
+                    });
+                    shed_503(stream, "over budget", class.name(), hint, metrics, started);
+                    return;
+                }
+                let response = run_handler(&request);
+                admission.release();
+                response
+            }
+            None => run_handler(&request),
         }
     };
     if response.status >= 400 {
@@ -443,6 +673,7 @@ mod tests {
             queue: 8,
             fastlane_queue: 4,
             retry_after_secs: 1,
+            ..ServerConfig::default()
         };
         let (addr, metrics, shutdown, join) = spawn_server(config, handler);
         std::thread::scope(|scope| {
@@ -480,6 +711,7 @@ mod tests {
             queue: 1,
             fastlane_queue: 4,
             retry_after_secs: 7,
+            ..ServerConfig::default()
         };
         let (addr, metrics, shutdown, join) = spawn_server(config, handler);
         // Saturate in stages (the acceptor can outrun the worker, so
@@ -547,6 +779,7 @@ mod tests {
             queue: 4,
             fastlane_queue: 4,
             retry_after_secs: 1,
+            ..ServerConfig::default()
         };
         let (addr, metrics, shutdown, join) = spawn_server(config, handler);
         let (status, _, _) = get(addr, "/boom");
@@ -573,6 +806,7 @@ mod tests {
             queue: 4,
             fastlane_queue: 4,
             retry_after_secs: 1,
+            ..ServerConfig::default()
         };
         let (addr, metrics, shutdown, join) = spawn_server(config, handler);
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -596,6 +830,7 @@ mod tests {
             queue: 4,
             fastlane_queue: 4,
             retry_after_secs: 1,
+            ..ServerConfig::default()
         };
         let (addr, _metrics, shutdown, join) = spawn_server(config, handler);
         // POST now reaches the handler, with its body.
@@ -652,6 +887,7 @@ mod tests {
             queue: 1,
             fastlane_queue: 4,
             retry_after_secs: 2,
+            ..ServerConfig::default()
         };
         let (addr, metrics, shutdown, join) = spawn_server(config, handler);
         let send_slow = || {
@@ -700,8 +936,111 @@ mod tests {
         assert_eq!(s.fastlane_hits, 3);
         assert_eq!(s.rejected_busy, 1);
         assert_eq!(s.latency.healthz.count, 3);
-        // Fast-lane successes count as requests; the bounce does not.
+        // Fast-lane successes count as requests; the bounce does not —
+        // its latency lands in the rejected histogram instead.
         assert_eq!(s.requests, 5);
+        assert_eq!(s.latency.rejected.count, 1);
+        assert_eq!(s.worker_panics, 0);
+    }
+
+    #[test]
+    fn cost_classes_partition_the_api() {
+        use CostClass::*;
+        assert_eq!(cost_class("GET", "/healthz"), Probe);
+        assert_eq!(cost_class("GET", "/metrics"), Probe);
+        assert_eq!(cost_class("GET", "/v1/classify"), Heavy);
+        assert_eq!(cost_class("GET", "/v1/classify?x=1"), Heavy);
+        assert_eq!(cost_class("GET", "/v1/classify/3215"), Cheap);
+        assert_eq!(cost_class("GET", "/v1/series/3215"), Cheap);
+        assert_eq!(cost_class("GET", "/v1/populations"), Cheap);
+        assert_eq!(cost_class("GET", "/nonsense"), Cheap);
+        assert_eq!(cost_class("POST", "/v1/traceroutes"), Intake);
+        // A POST to a GET-only path is not intake work.
+        assert_eq!(cost_class("POST", "/v1/classify"), Cheap);
+        assert_eq!(cost_class("POST", "/healthz"), Cheap);
+    }
+
+    #[test]
+    fn adaptive_retry_after_scales_with_backlog() {
+        // Merely full (occupancy == capacity): exactly the base.
+        assert_eq!(adaptive_retry_after(3, 2, 2), 3);
+        assert_eq!(adaptive_retry_after(3, 0, 2), 3);
+        // One capacity's worth over: double.
+        assert_eq!(adaptive_retry_after(3, 4, 2), 6);
+        // Deep backlog clamps at 8× base.
+        assert_eq!(adaptive_retry_after(3, 1_000, 2), 24);
+        // Degenerate capacity never divides by zero.
+        assert_eq!(adaptive_retry_after(1, 5, 0), 5);
+    }
+
+    #[test]
+    fn over_budget_heavy_sheds_while_cheap_is_served() {
+        // Two workers but a heavy budget of one: with a heavy request
+        // parked in the handler, a second heavy must shed 503 (naming
+        // its class) while a cheap request sails through on the free
+        // worker.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        let handler: Arc<Handler> = Arc::new(move |req: &Request| {
+            if req.path == "/v1/classify" {
+                gate_rx.lock().unwrap().recv().ok();
+                return Response::text(200, "heavy").endpoint(ServeEndpoint::Classify);
+            }
+            Response::text(200, "cheap")
+        });
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue: 8,
+            fastlane_queue: 4,
+            retry_after_secs: 1,
+            budget_heavy: 1,
+            ..ServerConfig::default()
+        };
+        let (addr, metrics, shutdown, join) = spawn_server(config, handler);
+        let mut heavy_a = TcpStream::connect(addr).unwrap();
+        write!(heavy_a, "GET /v1/classify HTTP/1.1\r\n\r\n").unwrap();
+        heavy_a.flush().unwrap();
+        let t0 = Instant::now();
+        while metrics.admission_heavy.in_flight.load(Ordering::Relaxed) != 1 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(5),
+                "heavy request never acquired its budget slot"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Budget exhausted: the second heavy request sheds.
+        let (status, headers, body) = get(addr, "/v1/classify");
+        assert_eq!(status, 503);
+        assert!(
+            headers.iter().any(|h| h.starts_with("Retry-After: ")),
+            "{headers:?}"
+        );
+        assert!(body.contains("\"error\":\"over budget\""), "{body}");
+        assert!(body.contains("\"cost_class\":\"heavy\""), "{body}");
+        // Cheap traffic still finds the free worker.
+        let (status, _, body) = get(addr, "/v1/populations");
+        assert_eq!(status, 200);
+        assert_eq!(body, "cheap");
+        gate_tx.send(()).unwrap();
+        let (status, _, _) = read_response(heavy_a);
+        assert_eq!(status, 200);
+        shutdown.store(true, Ordering::Release);
+        join.join().unwrap().unwrap();
+        let s = metrics.snapshot();
+        assert_eq!(s.admission.heavy.budget, 1);
+        assert_eq!(s.admission.heavy.admitted, 1);
+        assert_eq!(s.admission.heavy.shed, 1);
+        assert_eq!(s.admission.heavy.in_flight, 0);
+        // Auto budgets resolve to the worker count.
+        assert_eq!(s.admission.cheap.budget, 2);
+        assert_eq!(s.admission.intake.budget, 2);
+        assert_eq!(s.admission.cheap.shed, 0);
+        // The shed answered without a handler: latency lands in the
+        // rejected histogram, not in requests.
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.latency.rejected.count, 1);
+        assert_eq!(s.rejected_busy, 0, "budget sheds are not queue sheds");
         assert_eq!(s.worker_panics, 0);
     }
 }

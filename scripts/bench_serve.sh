@@ -1,15 +1,25 @@
 #!/bin/sh
-# Serving perf record: run the `lastmile serve` daemon (in live mode) on
-# a simulated corpus, drive each endpoint family with curl, then run a
-# mixed ingest-while-serving workload (POST /v1/traceroutes batches and
-# corpus-file appends interleaved with classify reads), and collect the
-# daemon's own /metrics document (per-endpoint latency histograms, queue
-# gauges, live ingest/epoch counters) into BENCH_serve.json. Offline;
-# uses only the repo's binary and curl.
+# Serving perf record: run the `lastmile serve` daemon (live mode, with
+# an explicit heavy-class admission budget) on a simulated corpus and
+# drive it with the repo's own open-loop load harness — `lastmile
+# loadgen` — through all three profiles:
+#
+#   burst   thundering herds of classify requests (accept-queue shape)
+#   ladder  stepped offered rates dwelling per rung: the
+#           throughput-vs-latency curve with per-rung shed rates
+#   fanout  a weighted endpoint mix including POST /v1/traceroutes
+#           intake floods racing live re-analysis epochs
+#
+# Each profile writes its own JSON report (per-endpoint latency
+# histograms, shed accounting that must satisfy attempted == ok + shed +
+# errors — the loadgen binary exits nonzero otherwise); this script
+# merges them with the daemon's final /metrics document and host context
+# into BENCH_serve.json. Offline; uses the repo's binary plus curl for
+# the metrics poll.
 #
 # The criterion benchmark (cargo bench -p lastmile-bench --bench serve)
 # prices the parser, serializer, and loopback round-trip in-process;
-# this script records end-to-end request latency as the daemon sees it.
+# this script records end-to-end open-loop behavior as a client sees it.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -29,11 +39,16 @@ trap cleanup EXIT
 
 echo "==> simulate 3 days of the anchor scenario"
 "$bin" simulate --scenario anchor --out "$work" --days 3 >/dev/null 2>&1
+# Intake flood payload: real corpus lines, 25 per POST.
+head -n 400 "$work/traceroutes.jsonl" >"$work/posts.jsonl"
 
-echo "==> start daemon on an ephemeral port (live mode: --watch + POST spool)"
+workers=2
+budget_heavy=1
+echo "==> start daemon (live spool, $workers workers, heavy budget $budget_heavy)"
 "$bin" serve --traceroutes "$work/traceroutes.jsonl" --probes "$work/probes.json" \
     --addr 127.0.0.1:0 --ready-file "$work/ready" \
-    --watch --watch-poll-ms 100 --reanalyze-debounce-ms 200 \
+    --serve-workers "$workers" --serve-budget-heavy "$budget_heavy" \
+    --reanalyze-debounce-ms 200 \
     --live-spool "$work/spool.jsonl" >/dev/null 2>"$work/serve.log" &
 serve_pid=$!
 i=0
@@ -49,55 +64,42 @@ while [ ! -s "$work/ready" ]; do
 done
 addr=$(head -n1 "$work/ready")
 
-classify_n=200
-series_n=200
-healthz_n=200
-populations_n=50
-echo "==> drive $classify_n classify / $series_n series / $healthz_n healthz / $populations_n populations requests"
-asn=$(curl -sf "http://$addr/v1/populations?format=csv" | sed -n '2p' | cut -d, -f1)
-n=0; while [ "$n" -lt "$healthz_n" ]; do curl -sf -o /dev/null "http://$addr/healthz"; n=$((n + 1)); done
-n=0; while [ "$n" -lt "$classify_n" ]; do curl -sf -o /dev/null "http://$addr/v1/classify/$asn"; n=$((n + 1)); done
-n=0; while [ "$n" -lt "$series_n" ]; do curl -sf -o /dev/null "http://$addr/v1/series/$asn"; n=$((n + 1)); done
-n=0; while [ "$n" -lt "$populations_n" ]; do curl -sf -o /dev/null "http://$addr/v1/populations?format=csv"; n=$((n + 1)); done
+# Warm the snapshot serializer once before measuring.
+curl -sf -o /dev/null "http://$addr/v1/classify"
 
-# Mixed ingest-while-serving workload: interleave POST batches and
-# corpus-file appends with classify reads, so the recorded latency
-# histograms include requests answered while the live engine is busy
-# re-analyzing, and the live gauges (records_ingested, reanalyses,
-# epoch, swap_nanos) land in the /metrics document captured below.
-post_batches=8
-post_batch_lines=50
-append_batches=4
-append_batch_lines=50
-mixed_classify_per_round=10
-ingest_classify_n=$((post_batches * mixed_classify_per_round))
-echo "==> mixed workload: $((post_batches * post_batch_lines)) POSTed + $((append_batches * append_batch_lines)) appended records interleaved with $ingest_classify_n classify requests"
-head -n $((post_batches * post_batch_lines)) "$work/traceroutes.jsonl" >"$work/posts.jsonl"
-head -n $((append_batches * append_batch_lines)) "$work/traceroutes.jsonl" >"$work/appends.jsonl"
-b=0
-while [ "$b" -lt "$post_batches" ]; do
-    start=$((b * post_batch_lines + 1))
-    sed -n "${start},$((start + post_batch_lines - 1))p" "$work/posts.jsonl" >"$work/batch.jsonl"
-    curl -sf -o /dev/null -X POST --data-binary @"$work/batch.jsonl" "http://$addr/v1/traceroutes"
-    if [ "$b" -lt "$append_batches" ]; then
-        start=$((b * append_batch_lines + 1))
-        sed -n "${start},$((start + append_batch_lines - 1))p" "$work/appends.jsonl" >>"$work/traceroutes.jsonl"
-    fi
-    n=0; while [ "$n" -lt "$mixed_classify_per_round" ]; do curl -sf -o /dev/null "http://$addr/v1/classify"; n=$((n + 1)); done
-    b=$((b + 1))
-done
+echo "==> loadgen burst: 32-wide thundering herds x5 on the heavy endpoint"
+"$bin" loadgen --addr "$addr" --profile burst --mix classify=1 \
+    --requests 32 --bursts 5 --out "$work/burst.json"
 
-expected_ingested=$((post_batches * post_batch_lines + append_batches * append_batch_lines))
-echo "==> wait for the live engine to analyze all $expected_ingested ingested records"
+echo "==> loadgen ladder: offered 50..800 rps, 1.5s dwell per rung"
+# Reads serve pre-serialized epoch bytes, so this curve typically stays
+# flat on one core — that IS the result worth recording; the knee is
+# demonstrated by the budgeted ladder below.
+"$bin" loadgen --addr "$addr" --profile ladder --mix classify=1 \
+    --rates 50,100,200,400,800 --dwell-ms 1500 --concurrency 16 \
+    --out "$work/ladder.json"
+grep -q '"offered_rps"' "$work/ladder.json" || {
+    echo "ladder report has no rungs" >&2
+    exit 1
+}
+
+echo "==> loadgen fanout: read mix + intake POST flood racing live epochs (80 rps, 6s)"
+"$bin" loadgen --addr "$addr" --profile fanout \
+    --mix classify=4,classify_asn=2,series=2,populations=1,healthz=1,intake=1 \
+    --post-file "$work/posts.jsonl" --post-batch 25 \
+    --rate 80 --duration-ms 6000 --concurrency 16 \
+    --out "$work/fanout.json"
+
+echo "==> wait for the live engine to analyze everything the flood posted"
 i=0
 while :; do
     doc=$(curl -sf "http://$addr/metrics" | tr -d ' \n')
-    ingested=$(printf '%s' "$doc" | sed -n 's/.*"records_ingested":\([0-9]*\).*/\1/p')
     lag=$(printf '%s' "$doc" | sed -n 's/.*"ingest_lag":\([0-9]*\).*/\1/p')
-    [ "${ingested:-0}" -ge "$expected_ingested" ] && [ "${lag:-1}" -eq 0 ] && break
+    reanalyses=$(printf '%s' "$doc" | sed -n 's/.*"reanalyses":\([0-9]*\).*/\1/p')
+    [ "${lag:-1}" -eq 0 ] && [ "${reanalyses:-0}" -ge 1 ] && break
     i=$((i + 1))
     if [ "$i" -gt 600 ]; then
-        echo "live engine never caught up (ingested=${ingested:-?} lag=${lag:-?}):" >&2
+        echo "live engine never caught up (lag=${lag:-?} reanalyses=${reanalyses:-?}):" >&2
         cat "$work/serve.log" >&2
         exit 1
     fi
@@ -116,6 +118,49 @@ grep -q "\[serve\] shutdown: drained" "$work/serve.log" || {
     exit 1
 }
 
+# Second daemon: same budget, but the heavy handler simulates a
+# deployment where classify costs ~15ms (on-demand rendering, larger
+# documents) instead of pre-serialized epoch bytes. One budgeted slot
+# then saturates near 65 rps, so this ladder shows the knee and the
+# per-rung shed rates the admission controller produces — labeled
+# synthetic in the output so the two curves are never conflated.
+heavy_delay_ms=15
+echo "==> budgeted ladder: heavy handler slowed ${heavy_delay_ms}ms, offered 25..200 rps"
+: >"$work/ready-shed"
+"$bin" serve --traceroutes "$work/traceroutes.jsonl" --probes "$work/probes.json" \
+    --addr 127.0.0.1:0 --ready-file "$work/ready-shed" \
+    --serve-workers "$workers" --serve-budget-heavy "$budget_heavy" \
+    --serve-heavy-delay-ms "$heavy_delay_ms" >/dev/null 2>"$work/serve-shed.log" &
+serve_pid=$!
+i=0
+while [ ! -s "$work/ready-shed" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "budgeted daemon never became ready:" >&2
+        cat "$work/serve-shed.log" >&2
+        exit 1
+    fi
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$work/serve-shed.log" >&2; exit 1; }
+    sleep 0.1
+done
+addr=$(head -n1 "$work/ready-shed")
+"$bin" loadgen --addr "$addr" --profile ladder --mix classify=1 \
+    --rates 25,50,100,200 --dwell-ms 1500 --concurrency 16 \
+    --out "$work/ladder_shed.json"
+grep -q '"shed": [1-9]' "$work/ladder_shed.json" || {
+    echo "budgeted ladder never shed" >&2
+    cat "$work/ladder_shed.json" >&2
+    exit 1
+}
+kill "$serve_pid"
+wait "$serve_pid"
+serve_pid=
+grep -q "\[serve\] shutdown: drained" "$work/serve-shed.log" || {
+    echo "budgeted daemon did not report a drained shutdown:" >&2
+    cat "$work/serve-shed.log" >&2
+    exit 1
+}
+
 out=BENCH_serve.json
 # Host context, so numbers from different machines/toolchains are never
 # compared as if they were one series.
@@ -125,11 +170,18 @@ timestamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 {
     printf '{\n  "bench": "serve",\n  "host": {"cores": %s, "rustc": "%s", "timestamp_utc": "%s"},\n' \
         "$cores" "$rustc_version" "$timestamp"
-    printf '  "requests": {"classify": %s, "series": %s, "healthz": %s, "populations": %s, "ingest_classify": %s},\n' \
-        "$classify_n" "$series_n" "$healthz_n" "$populations_n" "$ingest_classify_n"
-    printf '  "ingest": {"posted_records": %s, "appended_records": %s},\n' \
-        "$((post_batches * post_batch_lines))" "$((append_batches * append_batch_lines))"
-    printf '  "metrics": '
+    printf '  "server": {"workers": %s, "budget_heavy": %s},\n' "$workers" "$budget_heavy"
+    printf '  "ladder_shed_server": {"workers": %s, "budget_heavy": %s, "synthetic_heavy_delay_ms": %s},\n' \
+        "$workers" "$budget_heavy" "$heavy_delay_ms"
+    printf '  "profiles": {\n    "burst": '
+    tr -d '\n' <"$work/burst.json"
+    printf ',\n    "ladder": '
+    tr -d '\n' <"$work/ladder.json"
+    printf ',\n    "fanout": '
+    tr -d '\n' <"$work/fanout.json"
+    printf ',\n    "ladder_shed": '
+    tr -d '\n' <"$work/ladder_shed.json"
+    printf '\n  },\n  "metrics": '
     tr -d '\n' <"$work/metrics.json"
     printf '\n}\n'
 } >"$out"

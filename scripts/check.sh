@@ -119,10 +119,51 @@ if command -v curl >/dev/null 2>&1; then
     wait "$serve_pid"
     serve_pid=
     grep -q "\[serve\] shutdown: drained" "$smoke/serve-live.log"
+
+    # Loadgen smoke: a tight heavy budget plus a slowed heavy handler
+    # force real admission sheds; the loadgen binary itself exits
+    # nonzero unless attempted == ok + shed + errors, so a plain run is
+    # the accounting assertion. The burst report must show sheds (the
+    # budget engaged) and the ladder report must carry rungs.
+    echo "==> loadgen smoke (burst + ladder vs a budgeted daemon; shed accounting must balance)"
+    : >"$smoke/ready-lg"
+    target/debug/lastmile serve --traceroutes "$smoke/traceroutes.jsonl" \
+        --probes "$smoke/probes.json" --addr 127.0.0.1:0 \
+        --ready-file "$smoke/ready-lg" --serve-workers 2 \
+        --serve-budget-heavy 1 --serve-heavy-delay-ms 50 \
+        >/dev/null 2>"$smoke/serve-lg.log" &
+    serve_pid=$!
+    i=0
+    while [ ! -s "$smoke/ready-lg" ]; do
+        i=$((i + 1))
+        [ "$i" -le 300 ] || { echo "budgeted serve never became ready" >&2; cat "$smoke/serve-lg.log" >&2; exit 1; }
+        kill -0 "$serve_pid" 2>/dev/null || { cat "$smoke/serve-lg.log" >&2; exit 1; }
+        sleep 0.1
+    done
+    addr=$(head -n1 "$smoke/ready-lg")
+    target/debug/lastmile loadgen --addr "$addr" --profile burst \
+        --requests 16 --bursts 2 --out "$smoke/burst.json" 2>/dev/null
+    grep -q '"shed": [1-9]' "$smoke/burst.json" || {
+        echo "loadgen burst never hit the heavy budget" >&2
+        cat "$smoke/burst.json" >&2
+        exit 1
+    }
+    target/debug/lastmile loadgen --addr "$addr" --profile ladder \
+        --rates 40,80 --dwell-ms 400 --mix classify=2,series=1,healthz=1 \
+        --out "$smoke/ladder.json" 2>/dev/null
+    grep -q '"offered_rps"' "$smoke/ladder.json" || {
+        echo "loadgen ladder report has no rungs" >&2
+        cat "$smoke/ladder.json" >&2
+        exit 1
+    }
+    kill "$serve_pid"
+    wait "$serve_pid"
+    serve_pid=
+    grep -q "\[serve\] shutdown: drained" "$smoke/serve-lg.log"
     smoke_cleanup
     trap - EXIT
 else
     echo "==> serve smoke skipped (curl not found)"
 fi
 
-echo "OK: fmt, clippy, benches, tests, observability and serve smoke all green"
+echo "OK: fmt, clippy, benches, tests, observability, serve and loadgen smoke all green"

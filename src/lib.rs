@@ -17,6 +17,7 @@ pub use lastmile_dsp as dsp;
 pub use lastmile_eyeball as eyeball;
 pub use lastmile_ingest as ingest;
 pub use lastmile_live as live;
+pub use lastmile_loadgen as loadgen;
 pub use lastmile_netsim as netsim;
 pub use lastmile_obs as obs;
 pub use lastmile_prefix as prefix;
