@@ -1,0 +1,126 @@
+//! `lastmile lint`: offline validators for the ops plane's two text
+//! artifacts, so CI can check them without jq or promtool.
+//!
+//! * `--prom FILE` — run the strict Prometheus exposition linter
+//!   (`lastmile_obs::prom::lint`) over a scraped `/metrics?format=prom`
+//!   body.
+//! * `--access-log FILE` — parse every line as a standalone JSON
+//!   object and require the fields that make lines joinable
+//!   (`request_id`, `status`).
+//!
+//! Exit status is nonzero when any check fails; every violation is
+//! printed, not just the first.
+
+use crate::Flags;
+use lastmile_repro::obs::prom;
+
+pub fn run(flags: &Flags) -> Result<(), String> {
+    let prom_file = flags.optional("prom");
+    let access_file = flags.optional("access-log");
+    if prom_file.is_none() && access_file.is_none() {
+        return Err("lint needs --prom FILE and/or --access-log FILE".into());
+    }
+    let mut failures = 0usize;
+    if let Some(path) = prom_file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read --prom {path}: {e}"))?;
+        match prom::lint(&text) {
+            Ok(()) => eprintln!("[lint] {path}: exposition ok"),
+            Err(errors) => {
+                failures += errors.len();
+                for e in &errors {
+                    eprintln!("[lint] {path}: {e}");
+                }
+            }
+        }
+    }
+    if let Some(path) = access_file {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read --access-log {path}: {e}"))?;
+        let errors = lint_access_log(&text);
+        if errors.is_empty() {
+            eprintln!(
+                "[lint] {path}: {} access-log line(s) ok",
+                text.lines().count()
+            );
+        } else {
+            failures += errors.len();
+            for e in &errors {
+                eprintln!("[lint] {path}: {e}");
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("lint failed: {failures} violation(s)"));
+    }
+    Ok(())
+}
+
+/// Every line must be a standalone JSON object carrying at least the
+/// join key (`request_id`) and outcome (`status`).
+fn lint_access_log(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        let n = n + 1;
+        if line.is_empty() {
+            errors.push(format!("line {n}: empty line"));
+            continue;
+        }
+        let value: serde_json::Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                errors.push(format!("line {n}: not valid JSON: {e}"));
+                continue;
+            }
+        };
+        if value.as_object().is_none() {
+            errors.push(format!("line {n}: not a JSON object"));
+            continue;
+        }
+        for key in ["request_id", "status"] {
+            if value.get(key).is_none() {
+                errors.push(format!("line {n}: missing {key:?}"));
+            }
+        }
+        if let Some(id) = value.get("request_id").and_then(|v| v.as_str()) {
+            if id.is_empty() {
+                errors.push(format!("line {n}: empty request_id"));
+            }
+        }
+        if value
+            .get("status")
+            .map(|v| v.as_u64().is_none())
+            .unwrap_or(false)
+        {
+            errors.push(format!("line {n}: status is not an integer"));
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_access_log_lines_pass() {
+        let text = "{\"request_id\":\"a\",\"status\":200}\n{\"request_id\":\"b\",\"status\":503}\n";
+        assert!(lint_access_log(text).is_empty());
+    }
+
+    #[test]
+    fn violations_name_the_line_and_the_problem() {
+        let text = "{\"request_id\":\"a\",\"status\":200}\n\
+                    not json\n\
+                    [1,2]\n\
+                    {\"status\":200}\n\
+                    {\"request_id\":\"\",\"status\":200}\n\
+                    {\"request_id\":\"x\",\"status\":\"ok\"}\n";
+        let errors = lint_access_log(text);
+        assert_eq!(errors.len(), 5, "{errors:?}");
+        assert!(errors[0].contains("line 2") && errors[0].contains("not valid JSON"));
+        assert!(errors[1].contains("line 3") && errors[1].contains("not a JSON object"));
+        assert!(errors[2].contains("line 4") && errors[2].contains("request_id"));
+        assert!(errors[3].contains("line 5") && errors[3].contains("empty request_id"));
+        assert!(errors[4].contains("line 6") && errors[4].contains("not an integer"));
+    }
+}

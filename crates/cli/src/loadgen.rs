@@ -20,7 +20,8 @@
 //! per request. The JSON report prints to stdout with `--json` and/or
 //! lands at `--out`; a human summary always goes to stderr. Exit is
 //! nonzero when the shed accounting is inconsistent (`attempted != ok +
-//! shed + errors`) — the self-check `scripts/check.sh` leans on.
+//! shed + errors`), or when the ladder's client-vs-server shed
+//! reconciliation fails — the self-checks `scripts/check.sh` leans on.
 
 use crate::Flags;
 use lastmile_repro::loadgen::{
@@ -91,6 +92,16 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         return Err(format!(
             "shed accounting inconsistent: attempted {} != ok {} + shed {} + errors {}",
             report.totals.attempted, report.totals.ok, report.totals.shed, report.totals.errors
+        ));
+    }
+    // The ladder also reconciles client-side 503s against the daemon's
+    // own shed counters (scraped from `/metrics` at rung boundaries);
+    // a mismatch beyond connection-error slack is a metrics bug.
+    if let Some(check) = report.shed_check.filter(|c| !c.consistent) {
+        return Err(format!(
+            "shed reconciliation failed: client saw {} sheds but the server's counters \
+             moved by {} (+{} connection errors of slack)",
+            check.client_shed, check.server_shed_delta, check.connection_errors
         ));
     }
     Ok(())

@@ -21,6 +21,7 @@ mod cache;
 mod classify;
 mod hygiene;
 mod input;
+mod lint;
 mod loadgen;
 mod progress;
 mod serve;
@@ -106,10 +107,12 @@ fn usage() -> &'static str {
      lastmile simulate --scenario tokyo|fig1|anchor --out DIR [--seed N] [--days N] [--cache-dir DIR [--cache off|ro|rw]]\n  \
      lastmile serve    --traceroutes FILE [classify flags] [--addr HOST:PORT] [--serve-workers N] [--serve-queue N] [--retry-after SECS] [--ready-file FILE]\n                       \
 [--serve-budget-cheap N --serve-budget-heavy N --serve-budget-intake N (0 = workers)]\n                       \
-[--watch [--watch-poll-ms MS] [--live-offset-file FILE]] [--live-spool FILE] [--reanalyze-debounce-ms MS]\n  \
+[--watch [--watch-poll-ms MS] [--live-offset-file FILE]] [--live-spool FILE] [--reanalyze-debounce-ms MS]\n                       \
+[--ops-sample-ms MS (default 1000, 0 = off)] [--access-log FILE]\n  \
      lastmile loadgen  --addr HOST:PORT --profile burst|ladder|fanout [--mix classify=4,series=1,...] [--concurrency N] [--timeout-ms MS]\n                       \
 [burst: --requests N --bursts B] [ladder: --rates 25,50,100 --dwell-ms MS] [fanout: --rate RPS --duration-ms MS]\n                       \
-[--asn N] [--post-file FILE.jsonl [--post-batch N]] [--out FILE] [--json]\n\n\
+[--asn N] [--post-file FILE.jsonl [--post-batch N]] [--out FILE] [--json]\n  \
+     lastmile lint     [--prom FILE] [--access-log FILE] (validate Prometheus exposition / access-log JSON lines)\n\n\
      any subcommand also takes --trace FILE to write a Chrome/Perfetto trace of the run\n\
      (streamed to disk as the run goes; serve drains it incrementally until shutdown)"
 }
@@ -169,6 +172,7 @@ fn main() -> ExitCode {
         "throughput" => throughput::run(&flags),
         "serve" => serve::run(&flags),
         "loadgen" => loadgen::run(&flags),
+        "lint" => lint::run(&flags),
         other => Err(format!("unknown subcommand {other}\n{}", usage())),
     };
     let finished = trace_stream

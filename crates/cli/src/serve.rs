@@ -50,19 +50,21 @@ use lastmile_repro::live::{
     intake_body, newline_aligned_len, AppendWatcher, Epoch, LiveConfig, LiveEngine, LiveHandle,
     Spool,
 };
+use lastmile_repro::obs::ops::TIMELINE_METRICS;
 use lastmile_repro::obs::{
-    LiveMetrics, LiveMetricsSnapshot, RunMetrics, RunMetricsSnapshot, ServeEndpoint, ServeMetrics,
-    ServeMetricsSnapshot, StageTimer,
+    prom, EpochTelemetry, LiveMetrics, LiveMetricsSnapshot, OpsTimeline, RunMetrics,
+    RunMetricsSnapshot, ServeEndpoint, ServeMetrics, ServeMetricsSnapshot, StageTimer,
+    TimelineSample,
 };
 use lastmile_repro::prefix::Asn;
 use lastmile_repro::serve::http::{Request, Response};
 use lastmile_repro::serve::server::Handler;
-use lastmile_repro::serve::{signal, Server, ServerConfig};
+use lastmile_repro::serve::{signal, AccessLog, Server, ServerConfig};
 use serde::Serialize;
 use std::collections::BTreeMap;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// One fully-rendered analysis generation: everything a request needs,
 /// immutable once published. Re-analysis builds the next one off to the
@@ -105,6 +107,10 @@ struct ServeState {
     /// tests can flood an expensive class while cheap endpoints stay
     /// genuinely fast.
     heavy_delay: Option<Duration>,
+    /// Self-scraped metrics timeline for `GET /v1/ops/timeline`.
+    timeline: Arc<OpsTimeline>,
+    /// Per-pass re-analysis records for `GET /v1/ops/epochs`.
+    telemetry: Arc<EpochTelemetry>,
 }
 
 /// One ASN's aggregated queuing-delay signal, ready to slice.
@@ -239,6 +245,13 @@ pub fn run(flags: &Flags) -> Result<(), String> {
 
     let serve_metrics = Arc::new(ServeMetrics::new());
     let live_metrics = Arc::new(LiveMetrics::default());
+    // Ops plane: the epoch-telemetry ring fills as re-analyses run; the
+    // timeline ring fills from the sampler thread below. Both exist
+    // even when their producers are disabled, so the `/v1/ops/*`
+    // endpoints always answer (with empty rings) instead of 404ing
+    // based on configuration.
+    let telemetry = Arc::new(EpochTelemetry::new());
+    let timeline = Arc::new(OpsTimeline::new());
     let epoch = Arc::new(Epoch::new(build_snapshot(&results, metrics.snapshot())));
     live_metrics
         .epoch
@@ -270,6 +283,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
             debounce: Duration::from_millis(
                 flags.parsed::<u64>("reanalyze-debounce-ms")?.unwrap_or(250),
             ),
+            telemetry: Some(Arc::clone(&telemetry)),
         };
         let invalidate = {
             let cache = cache.clone();
@@ -356,7 +370,22 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         heavy_delay: flags
             .parsed::<u64>("serve-heavy-delay-ms")?
             .map(Duration::from_millis),
+        timeline: Arc::clone(&timeline),
+        telemetry: Arc::clone(&telemetry),
     });
+
+    // `--access-log FILE`: structured request logs via a bounded
+    // non-blocking writer (see `lastmile_serve::access`).
+    let access_log = match flags.optional("access-log") {
+        Some(path) => {
+            create_parent_dirs("access-log", path)?;
+            Some(
+                AccessLog::create(std::path::Path::new(path))
+                    .map_err(|e| format!("open --access-log {path}: {e}"))?,
+            )
+        }
+        None => None,
+    };
 
     let config = ServerConfig {
         addr: flags
@@ -370,6 +399,7 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         budget_cheap: flags.parsed::<usize>("serve-budget-cheap")?.unwrap_or(0),
         budget_heavy: flags.parsed::<usize>("serve-budget-heavy")?.unwrap_or(0),
         budget_intake: flags.parsed::<usize>("serve-budget-intake")?.unwrap_or(0),
+        access_log,
     };
     let server = Server::bind(config.clone(), Arc::clone(&serve_metrics))
         .map_err(|e| format!("bind {}: {e}", config.addr))?;
@@ -390,11 +420,42 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         std::fs::write(path, contents).map_err(|e| format!("write --ready-file {path}: {e}"))?;
     }
 
+    // Self-scrape sampler: snapshot the metrics surface into the
+    // timeline ring every `--ops-sample-ms` (default 1s; 0 disables).
+    let sample_ms = flags.parsed::<u64>("ops-sample-ms")?.unwrap_or(1000);
+    let sampler = if sample_ms > 0 {
+        let timeline = Arc::clone(&timeline);
+        let serve_metrics = Arc::clone(&serve_metrics);
+        let live_metrics = Arc::clone(&live_metrics);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("ops-sampler".into())
+            .spawn(move || {
+                sampler_loop(
+                    &timeline,
+                    &serve_metrics,
+                    &live_metrics,
+                    sample_ms,
+                    &stop_flag,
+                )
+            })
+            .map_err(|e| format!("spawn ops sampler: {e}"))?;
+        Some((stop, handle))
+    } else {
+        None
+    };
+
     signal::install();
     let handler: Arc<Handler> = Arc::new(move |req: &Request| route(req, &state));
-    server
+    let run_result = server
         .run(handler, signal::flag())
-        .map_err(|e| format!("serve on {addr}: {e}"))?;
+        .map_err(|e| format!("serve on {addr}: {e}"));
+    if let Some((stop, handle)) = sampler {
+        stop.store(true, Ordering::Relaxed);
+        let _ = handle.join();
+    }
+    run_result?;
     // Drain the live engine BEFORE reporting/persisting: a re-analysis
     // in flight (or pending behind the debounce) finishes and swaps its
     // epoch, so the persisted snapshot below reflects every accepted
@@ -478,6 +539,76 @@ fn with_epoch(resp: Response, generation: u64) -> Response {
     resp.header("X-Epoch", generation.to_string())
 }
 
+/// Counter values whose deltas become the timeline's rate metrics.
+#[derive(Clone, Copy)]
+struct OpsCounters {
+    accepted: u64,
+    shed_cheap: u64,
+    shed_heavy: u64,
+    shed_intake: u64,
+    rejected_busy: u64,
+}
+
+impl OpsCounters {
+    fn read(m: &ServeMetrics) -> OpsCounters {
+        OpsCounters {
+            accepted: m.accepted.load(Ordering::Relaxed),
+            shed_cheap: m.admission_cheap.shed.load(Ordering::Relaxed),
+            shed_heavy: m.admission_heavy.shed.load(Ordering::Relaxed),
+            shed_intake: m.admission_intake.shed.load(Ordering::Relaxed),
+            rejected_busy: m.rejected_busy.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The self-scrape sampler: every `sample_ms`, read the metrics
+/// surface and push one [`TimelineSample`] into the ring. Rate metrics
+/// are per-second deltas between consecutive samples (the first sample
+/// reports zero rates); gauges are instantaneous. Sleeps in short
+/// steps so shutdown stays prompt at long intervals.
+fn sampler_loop(
+    timeline: &OpsTimeline,
+    serve: &ServeMetrics,
+    live: &LiveMetrics,
+    sample_ms: u64,
+    stop: &AtomicBool,
+) {
+    let interval = Duration::from_millis(sample_ms.max(10));
+    let mut prev: Option<(Instant, OpsCounters)> = None;
+    while !stop.load(Ordering::Relaxed) {
+        let now = Instant::now();
+        let counters = OpsCounters::read(serve);
+        // Values in TIMELINE_METRICS order.
+        let mut values = [0.0f64; 9];
+        if let Some((t0, p)) = prev {
+            let dt = now.duration_since(t0).as_secs_f64().max(1e-9);
+            let rate = |cur: u64, before: u64| cur.saturating_sub(before) as f64 / dt;
+            values[0] = rate(counters.accepted, p.accepted); // request_rate
+            values[1] = rate(counters.shed_cheap, p.shed_cheap); // shed_rate_cheap
+            values[2] = rate(counters.shed_heavy, p.shed_heavy); // shed_rate_heavy
+            values[3] = rate(counters.shed_intake, p.shed_intake); // shed_rate_intake
+            values[4] = rate(counters.rejected_busy, p.rejected_busy); // rejected_rate
+        }
+        let ls = live.snapshot();
+        values[5] = serve.in_flight.load(Ordering::Relaxed) as f64; // in_flight
+        values[6] = serve.queue_depth.load(Ordering::Relaxed) as f64; // queue_depth
+        values[7] = ls.ingest_lag as f64; // ingest_lag
+        values[8] = ls.epoch as f64; // epoch
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        timeline.push(TimelineSample { unix_ms, values });
+        prev = Some((now, counters));
+        let mut slept = Duration::ZERO;
+        while slept < interval && !stop.load(Ordering::Relaxed) {
+            let step = Duration::from_millis(20).min(interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+    }
+}
+
 fn route(req: &Request, state: &ServeState) -> Response {
     if let Some(delay) = state.delay {
         // The fast-lane endpoints stay exempt from the test-hook delay:
@@ -503,17 +634,9 @@ fn route(req: &Request, state: &ServeState) -> Response {
     }
     match req.path.as_str() {
         "/healthz" => Response::json(200, "{\"status\":\"ok\"}\n").endpoint(ServeEndpoint::Healthz),
-        "/metrics" => {
-            let (_, snap) = state.epoch.read();
-            let doc = MetricsDoc {
-                run: snap.run.clone(),
-                serve: state.serve_metrics.snapshot(),
-                live: state.live_metrics.snapshot(),
-            };
-            let mut body = serde_json::to_string_pretty(&doc).expect("metrics doc encodes");
-            body.push('\n');
-            Response::json(200, body).endpoint(ServeEndpoint::Metrics)
-        }
+        "/metrics" => metrics_response(req, state),
+        "/v1/ops/timeline" => ops_timeline(req, state),
+        "/v1/ops/epochs" => ops_epochs(state),
         "/v1/classify" => {
             let (generation, snap) = state.epoch.read();
             with_epoch(
@@ -532,6 +655,85 @@ fn route(req: &Request, state: &ServeState) -> Response {
             }
         }
     }
+}
+
+/// `GET /metrics`: the `{run, serve, live}` JSON document, or the
+/// Prometheus text exposition when the client asks for it —
+/// `?format=prom` explicitly, or (with no `format` given) an `Accept`
+/// header naming `text/plain`. An explicit `?format=json` always wins,
+/// so scripted consumers are immune to whatever `Accept` their client
+/// sends; curl's default `Accept: */*` keeps getting JSON, so default
+/// behaviour is byte-identical to before the ops plane existed.
+fn metrics_response(req: &Request, state: &ServeState) -> Response {
+    let (_, snap) = state.epoch.read();
+    let live = state.live_metrics.snapshot();
+    let prom_wanted = match req.query_param("format") {
+        Some("prom") => true,
+        Some("json") | Some("") => false,
+        None => req
+            .header("accept")
+            .is_some_and(|a| a.contains("text/plain")),
+        Some(other) => {
+            return Response::json(
+                400,
+                format!("{{\"error\":\"unknown format {other:?} (json|prom)\"}}\n"),
+            )
+        }
+    };
+    if prom_wanted {
+        Response::prom(200, prom::render(&snap.run, &state.serve_metrics, &live))
+    } else {
+        let doc = MetricsDoc {
+            run: snap.run.clone(),
+            serve: state.serve_metrics.snapshot(),
+            live,
+        };
+        let mut body = serde_json::to_string_pretty(&doc).expect("metrics doc encodes");
+        body.push('\n');
+        Response::json(200, body).endpoint(ServeEndpoint::Metrics)
+    }
+}
+
+/// `GET /v1/ops/timeline?metric=&from=&to=`: slice the self-scraped
+/// metrics timeline at the finest resolution that still covers `from`.
+/// Bounds are unix seconds, half-open `[from, to)` — the same query
+/// semantics as `/v1/series/{asn}`.
+fn ops_timeline(req: &Request, state: &ServeState) -> Response {
+    let metric = req
+        .query_param("metric")
+        .filter(|m| !m.is_empty())
+        .unwrap_or("request_rate");
+    if OpsTimeline::metric_index(metric).is_none() {
+        return Response::json(
+            400,
+            format!(
+                "{{\"error\":\"unknown metric {metric:?} (one of: {})\"}}\n",
+                TIMELINE_METRICS.join(", ")
+            ),
+        );
+    }
+    let (from, to) = match (
+        query_bound(req, "from", i64::MIN),
+        query_bound(req, "to", i64::MAX),
+    ) {
+        (Ok(from), Ok(to)) => (from, to),
+        (Err(resp), _) | (_, Err(resp)) => return resp,
+    };
+    let points = state.timeline.query(metric, from, to).unwrap_or_default();
+    let doc = serde_json::json!({
+        "metric": metric,
+        "from": from,
+        "to": to,
+        "points": points,
+    });
+    Response::json(200, format!("{doc:#}\n"))
+}
+
+/// `GET /v1/ops/epochs`: the last-N re-analysis pass records, oldest
+/// first (empty until live intake triggers a pass).
+fn ops_epochs(state: &ServeState) -> Response {
+    let doc = serde_json::json!({ "epochs": state.telemetry.snapshot() });
+    Response::json(200, format!("{doc:#}\n"))
 }
 
 /// `POST /v1/traceroutes`: validate the body with the batch-ingest

@@ -152,7 +152,13 @@ fn trace_stats_and_csv_artifacts() {
         ],
         "--stats top-level schema changed"
     );
-    assert_eq!(keys(&stats["latency"]), vec!["decode", "series", "analyze"]);
+    assert_eq!(
+        keys(&stats["latency"]),
+        vec!["decode", "series", "analyze", "bucket_count"]
+    );
+    // The bucket-table size is exposed so quantile consumers can reason
+    // about the log-linear resolution (and thus the error bound).
+    assert!(stats["latency"]["bucket_count"].as_u64().unwrap() > 0);
     for hist in ["decode", "series", "analyze"] {
         let h = &stats["latency"][hist];
         assert_eq!(

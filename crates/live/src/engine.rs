@@ -33,10 +33,10 @@
 use crate::watch::{AppendWatcher, WatchPoll};
 use lastmile_atlas::ProbeId;
 use lastmile_ingest::ingest_slice;
-use lastmile_obs::{trace, LiveMetrics};
+use lastmile_obs::{trace, EpochRecord, EpochTelemetry, LiveMetrics};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Invalidate the memoized series of specific probes (fresh records
 /// arrived for them).
@@ -56,6 +56,38 @@ pub struct LiveConfig {
     /// Quiet window between the first intake signal and the re-analysis
     /// it triggers.
     pub debounce: Duration,
+    /// Epoch telemetry ring every re-analysis pass records into (the
+    /// `/v1/ops/epochs` flight recorder). `None` disables recording.
+    pub telemetry: Option<Arc<EpochTelemetry>>,
+}
+
+/// Which intake paths signalled since the last pass snapshot-and-clear;
+/// rendered into the epoch record's `trigger` field.
+#[derive(Clone, Copy, Default)]
+struct Triggers {
+    watch_append: bool,
+    watch_truncation: bool,
+    post: bool,
+}
+
+impl Triggers {
+    fn label(self) -> String {
+        let mut parts = Vec::new();
+        if self.watch_append {
+            parts.push("watch_append");
+        }
+        if self.watch_truncation {
+            parts.push("watch_truncation");
+        }
+        if self.post {
+            parts.push("post");
+        }
+        if parts.is_empty() {
+            "drain".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
 }
 
 struct EngineState {
@@ -64,11 +96,15 @@ struct EngineState {
     /// Probes with intake since the last re-analysis *started reading*;
     /// the next pass invalidates them before it reads. May repeat.
     dirty_probes: Vec<ProbeId>,
+    /// Intake paths that signalled since the last pass; cleared with the
+    /// dirty state so each epoch record attributes its own window.
+    triggers: Triggers,
     shutdown: bool,
 }
 
 struct Shared {
     metrics: Arc<LiveMetrics>,
+    telemetry: Option<Arc<EpochTelemetry>>,
     state: Mutex<EngineState>,
     cond: Condvar,
 }
@@ -102,6 +138,7 @@ impl LiveHandle {
     pub fn notify_dirty_probes(&self, probes: &[ProbeId]) {
         let mut state = self.shared.state.lock().expect("live state poisoned");
         state.dirty_probes.extend_from_slice(probes);
+        state.triggers.post = true;
         state.dirty_since.get_or_insert_with(Instant::now);
         drop(state);
         self.shared.cond.notify_one();
@@ -125,9 +162,11 @@ impl LiveEngine {
     ) -> LiveEngine {
         let shared = Arc::new(Shared {
             metrics,
+            telemetry: config.telemetry.clone(),
             state: Mutex::new(EngineState {
                 dirty_since: None,
                 dirty_probes: Vec::new(),
+                triggers: Triggers::default(),
                 shutdown: false,
             }),
             cond: Condvar::new(),
@@ -277,7 +316,7 @@ fn process_poll(poll: WatchPoll, shared: &Shared, invalidate_all: &InvalidateAll
             if !probes.is_empty() {
                 m.records_ingested
                     .fetch_add(probes.len() as u64, Ordering::Relaxed);
-                mark_dirty_probes(shared, &probes);
+                mark_dirty_probes(shared, &probes, |t| t.watch_append = true);
             }
         }
         WatchPoll::Truncated(bytes) => {
@@ -297,14 +336,15 @@ fn process_poll(poll: WatchPoll, shared: &Shared, invalidate_all: &InvalidateAll
             // race-free — inserts only happen in re-analysis passes,
             // which are sequenced on this same thread.
             invalidate_all();
-            mark_dirty_probes(shared, &[]);
+            mark_dirty_probes(shared, &[], |t| t.watch_truncation = true);
         }
     }
 }
 
-fn mark_dirty_probes(shared: &Shared, probes: &[ProbeId]) {
+fn mark_dirty_probes(shared: &Shared, probes: &[ProbeId], set_trigger: impl Fn(&mut Triggers)) {
     let mut state = shared.state.lock().expect("live state poisoned");
     state.dirty_probes.extend_from_slice(probes);
+    set_trigger(&mut state.triggers);
     state.dirty_since.get_or_insert_with(Instant::now);
 }
 
@@ -319,27 +359,54 @@ fn run_reanalysis(shared: &Shared, invalidate: &InvalidateFn, reanalyze: &mut Re
     // The base records_ingested this pass covers: everything counted
     // before the files are re-read (later arrivals re-arm the window).
     let base = m.records_ingested.load(Ordering::Relaxed);
-    let dirty = {
+    let (dirty, triggers) = {
         let mut state = shared.state.lock().expect("live state poisoned");
         state.dirty_since = None;
-        std::mem::take(&mut state.dirty_probes)
+        let triggers = std::mem::take(&mut state.triggers);
+        (std::mem::take(&mut state.dirty_probes), triggers)
     };
     if !dirty.is_empty() {
         invalidate(&dirty);
     }
     let started = Instant::now();
     let _span = trace::span("live_reanalyze");
-    match reanalyze() {
+    let outcome = reanalyze();
+    let pass_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let error = match &outcome {
         Ok(()) => {
-            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             m.reanalyses.fetch_add(1, Ordering::Relaxed);
-            m.reanalysis_nanos.store(nanos, Ordering::Relaxed);
+            m.reanalysis_nanos.store(pass_nanos, Ordering::Relaxed);
             m.records_analyzed.fetch_max(base, Ordering::Relaxed);
+            String::new()
         }
         Err(e) => {
             m.reanalysis_errors.fetch_add(1, Ordering::Relaxed);
             eprintln!("[live] re-analysis failed: {e}");
+            e.clone()
         }
+    };
+    if let Some(telemetry) = &shared.telemetry {
+        // Epoch and swap nanos are read *after* the pass: the reanalyze
+        // closure published them (on success), so the record names the
+        // epoch this pass produced.
+        telemetry.record(EpochRecord {
+            epoch: m.epoch.load(Ordering::Relaxed),
+            trigger: triggers.label(),
+            records_ingested: base,
+            probes_invalidated: dirty.len() as u64,
+            pass_nanos,
+            swap_nanos: m.swap_nanos.load(Ordering::Relaxed),
+            outcome: if error.is_empty() {
+                "published".to_string()
+            } else {
+                "error".to_string()
+            },
+            error,
+            unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+        });
     }
 }
 
@@ -360,6 +427,7 @@ mod tests {
                 watcher,
                 poll_interval: Duration::from_millis(5),
                 debounce: Duration::from_millis(debounce_ms),
+                telemetry: None,
             },
             Arc::clone(&metrics),
             Box::new(|_| {}),
@@ -434,6 +502,7 @@ mod tests {
                 // Never due on its own: the pass runs only at the
                 // shutdown drain, so the assertions are deterministic.
                 debounce: Duration::from_secs(600),
+                telemetry: None,
             },
             metrics,
             Box::new(move |probes: &[ProbeId]| {
@@ -466,12 +535,14 @@ mod tests {
     fn reanalysis_errors_count_and_do_not_hot_loop() {
         let runs = Arc::new(AtomicU64::new(0));
         let metrics = Arc::new(LiveMetrics::new());
+        let telemetry = Arc::new(EpochTelemetry::new());
         let runs2 = Arc::clone(&runs);
         let engine = LiveEngine::start(
             LiveConfig {
                 watcher: None,
                 poll_interval: Duration::from_millis(5),
                 debounce: Duration::from_millis(10),
+                telemetry: Some(Arc::clone(&telemetry)),
             },
             Arc::clone(&metrics),
             Box::new(|_| {}),
@@ -492,5 +563,47 @@ mod tests {
         // The drain pass at shutdown is skipped when nothing is pending.
         engine.shutdown();
         assert_eq!(runs.load(Ordering::SeqCst), 1);
+        // The failed pass left a structured record in the telemetry ring.
+        let records = telemetry.snapshot();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].outcome, "error");
+        assert_eq!(records[0].error, "boom");
+        assert_eq!(records[0].trigger, "post");
+    }
+
+    #[test]
+    fn epoch_telemetry_attributes_triggers_per_pass() {
+        let metrics = Arc::new(LiveMetrics::new());
+        let telemetry = Arc::new(EpochTelemetry::new());
+        let epoch = Arc::clone(&metrics);
+        let engine = LiveEngine::start(
+            LiveConfig {
+                watcher: None,
+                poll_interval: Duration::from_millis(5),
+                // Only the shutdown drain runs the pass: deterministic.
+                debounce: Duration::from_secs(600),
+                telemetry: Some(Arc::clone(&telemetry)),
+            },
+            Arc::clone(&metrics),
+            Box::new(|_| {}),
+            Box::new(|| {}),
+            Box::new(move || {
+                // Mimic the real closure: publishing bumps the epoch.
+                epoch.epoch.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }),
+        );
+        let handle = engine.handle();
+        handle.notify_dirty_probes(&[ProbeId(7), ProbeId(9)]);
+        engine.shutdown();
+        let records = telemetry.snapshot();
+        assert_eq!(records.len(), 1, "one drain pass, one record");
+        let r = &records[0];
+        assert_eq!(r.trigger, "post");
+        assert_eq!(r.probes_invalidated, 2);
+        assert_eq!(r.outcome, "published");
+        assert_eq!(r.epoch, 1, "records the epoch the pass produced");
+        assert!(r.unix_ms > 0);
+        assert_eq!(r.error, "");
     }
 }

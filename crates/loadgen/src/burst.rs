@@ -83,6 +83,7 @@ pub fn run_burst(config: BurstConfig) -> Result<LoadReport, String> {
         endpoints: tallies.summaries(),
         rungs: vec![],
         bursts: burst_reports,
+        shed_check: None,
     })
 }
 

@@ -129,6 +129,53 @@ pub fn discover_asn(addr: SocketAddr, timeout: Duration) -> Option<u32> {
         .next()
 }
 
+/// The server-side shed counters a `/metrics` scrape exposes, summed
+/// for reconciliation against the client-side 503 tally.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShedCounters {
+    /// Admission (over-budget) sheds, summed across cost classes.
+    pub admission_shed: u64,
+    /// Queue-overflow sheds (`rejected_busy`).
+    pub rejected_busy: u64,
+}
+
+impl ShedCounters {
+    /// Every 503 the server says it sent.
+    pub fn total(self) -> u64 {
+        self.admission_shed + self.rejected_busy
+    }
+}
+
+/// Scrape the daemon's JSON `/metrics` document for its shed counters.
+/// `None` when the endpoint is unreachable or isn't this daemon's
+/// schema (a fake server in tests, a non-lastmile target) — callers
+/// skip reconciliation rather than fail.
+pub fn scrape_shed_counters(addr: SocketAddr, timeout: Duration) -> Option<ShedCounters> {
+    let body = {
+        let mut stream = TcpStream::connect_timeout(&addr, timeout).ok()?;
+        stream.set_read_timeout(Some(timeout)).ok()?;
+        stream.set_write_timeout(Some(timeout)).ok()?;
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n")
+            .ok()?;
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).ok()?;
+        let head_end = find_head_end(&raw)?;
+        raw.split_off(head_end)
+    };
+    let doc: serde_json::Value = serde_json::from_str(std::str::from_utf8(&body).ok()?).ok()?;
+    let serve = doc.get("serve")?;
+    let admission = serve.get("admission")?;
+    let mut admission_shed = 0u64;
+    for class in ["cheap", "heavy", "intake"] {
+        admission_shed += admission.get(class)?.get("shed")?.as_u64()?;
+    }
+    Some(ShedCounters {
+        admission_shed,
+        rejected_busy: serve.get("rejected_busy")?.as_u64()?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +260,28 @@ mod tests {
             b"HTTP/1.1 200 OK\r\n\r\n[{\"asn\":3215,\"traceroutes\":9},{\"asn\":5089,\"traceroutes\":3}]\n",
         );
         assert_eq!(discover_asn(addr, Duration::from_secs(5)), Some(3215));
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn scrape_shed_counters_sums_classes_and_queue_sheds() {
+        let (addr, join) = fake_server(
+            b"HTTP/1.1 200 OK\r\n\r\n{\"serve\":{\"rejected_busy\":3,\"admission\":{\
+              \"cheap\":{\"budget\":4,\"admitted\":10,\"shed\":1,\"in_flight\":0},\
+              \"heavy\":{\"budget\":1,\"admitted\":5,\"shed\":7,\"in_flight\":0},\
+              \"intake\":{\"budget\":4,\"admitted\":0,\"shed\":0,\"in_flight\":0}}}}\n",
+        );
+        let counters = scrape_shed_counters(addr, Duration::from_secs(5)).expect("counters");
+        assert_eq!(counters.admission_shed, 8);
+        assert_eq!(counters.rejected_busy, 3);
+        assert_eq!(counters.total(), 11);
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn scrape_shed_counters_is_none_for_foreign_schemas() {
+        let (addr, join) = fake_server(b"HTTP/1.1 200 OK\r\n\r\n{\"whatever\":1}\n");
+        assert_eq!(scrape_shed_counters(addr, Duration::from_secs(5)), None);
         join.join().unwrap();
     }
 }

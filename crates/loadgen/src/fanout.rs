@@ -59,6 +59,7 @@ pub fn run_fanout(config: FanoutConfig) -> Result<LoadReport, String> {
         endpoints: tallies.summaries(),
         rungs: vec![],
         bursts: vec![],
+        shed_check: None,
     })
 }
 

@@ -7,9 +7,10 @@
 //! achieved stops tracking offered and p99 (or the shed rate) takes
 //! off. This is the curve `BENCH_serve.json` records.
 
+use crate::client::scrape_shed_counters;
 use crate::engine::run_open_loop;
 use crate::mix::{Mix, Plan};
-use crate::report::{EndpointTallies, LoadReport, RungReport};
+use crate::report::{EndpointTallies, LoadReport, RungReport, ShedReconciliation};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -43,6 +44,14 @@ pub fn run_ladder(config: LadderConfig) -> Result<LoadReport, String> {
     let started = Instant::now();
     let mut tallies = EndpointTallies::default();
     let mut rungs = Vec::with_capacity(config.rates.len());
+    // Scrape the daemon's shed counters before the first rung and at
+    // every rung boundary: each rung records the server-side shed delta
+    // it caused, and the whole run reconciles the client-side 503 tally
+    // against the server's counters. A failed scrape (fake server in
+    // tests, non-lastmile target) disables the reconciliation rather
+    // than failing the run.
+    let baseline = scrape_shed_counters(config.addr, config.plan.timeout);
+    let mut before = baseline;
     for &rate in &config.rates {
         let rung_started = Instant::now();
         let rung_tallies = run_open_loop(
@@ -57,14 +66,30 @@ pub fn run_ladder(config: LadderConfig) -> Result<LoadReport, String> {
         // the dispatch loop runs for `dwell`, but the tail of in-flight
         // requests drains after it.
         let rung_wall = rung_started.elapsed().as_secs_f64();
-        rungs.push(RungReport::from_tally(
+        let mut rung = RungReport::from_tally(
             rate,
             rung_wall.max(f64::MIN_POSITIVE),
             &rung_tallies.total(),
-        ));
+        );
+        let after = before.and_then(|_| scrape_shed_counters(config.addr, config.plan.timeout));
+        if let (Some(b), Some(a)) = (before, after) {
+            rung.server_shed = Some(a.total().saturating_sub(b.total()));
+        }
+        before = after;
+        rungs.push(rung);
         tallies.merge(&rung_tallies);
     }
     let totals = tallies.total();
+    // `before` now holds the post-run scrape (or None if any scrape
+    // failed along the way, which disables the check entirely).
+    let shed_check = match (baseline, before) {
+        (Some(first), Some(last)) => Some(ShedReconciliation::check(
+            totals.shed,
+            last.total().saturating_sub(first.total()),
+            totals.errors,
+        )),
+        _ => None,
+    };
     Ok(LoadReport {
         profile: "ladder".into(),
         addr: config.addr_label,
@@ -76,6 +101,7 @@ pub fn run_ladder(config: LadderConfig) -> Result<LoadReport, String> {
         endpoints: tallies.summaries(),
         rungs,
         bursts: vec![],
+        shed_check,
     })
 }
 
@@ -138,6 +164,65 @@ mod tests {
             24,
             "{report:?}"
         );
+        // The fake server's `/metrics` answer isn't the daemon's JSON
+        // schema, so reconciliation is silently skipped.
+        assert_eq!(report.shed_check, None);
+        assert!(report.rungs.iter().all(|r| r.server_shed.is_none()));
+    }
+
+    #[test]
+    fn ladder_reconciles_sheds_against_a_metrics_scrape() {
+        // A fake daemon that answers `/metrics` with the lastmile JSON
+        // schema (static counters) and everything else with 200: zero
+        // client-side sheds against a zero server-side delta must
+        // reconcile as consistent, with per-rung deltas recorded.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let server = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        std::thread::spawn(move || {
+                            let mut buf = [0u8; 1024];
+                            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                            let n = stream.read(&mut buf).unwrap_or(0);
+                            let head = String::from_utf8_lossy(&buf[..n]).to_string();
+                            let response: &[u8] = if head.starts_with("GET /metrics") {
+                                b"HTTP/1.1 200 OK\r\n\r\n{\"serve\":{\"rejected_busy\":2,\"admission\":{\
+                                  \"cheap\":{\"shed\":1},\"heavy\":{\"shed\":0},\"intake\":{\"shed\":0}}}}\n"
+                            } else {
+                                b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok"
+                            };
+                            let _ = stream.write_all(response);
+                        });
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                }
+            }
+        });
+        let report = run_ladder(LadderConfig {
+            addr,
+            addr_label: addr.to_string(),
+            rates: vec![40.0],
+            dwell: Duration::from_millis(200),
+            concurrency: 8,
+            mix: Mix::single(Endpoint::Healthz),
+            plan: Plan {
+                timeout: Duration::from_secs(2),
+                ..Plan::default()
+            },
+        })
+        .expect("ladder runs");
+        stop.store(true, Ordering::Relaxed);
+        server.join().unwrap();
+        let check = report.shed_check.expect("reconciliation ran");
+        assert!(check.consistent, "{check:?}");
+        assert_eq!(check.client_shed, 0);
+        assert_eq!(check.server_shed_delta, 0);
+        assert_eq!(report.rungs[0].server_shed, Some(0));
     }
 
     #[test]

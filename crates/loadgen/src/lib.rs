@@ -39,8 +39,8 @@ pub mod report;
 mod engine;
 
 pub use burst::{run_burst, BurstConfig};
-pub use client::{discover_asn, one_shot, resolve, Outcome};
+pub use client::{discover_asn, one_shot, resolve, scrape_shed_counters, Outcome, ShedCounters};
 pub use fanout::{run_fanout, FanoutConfig};
 pub use ladder::{run_ladder, LadderConfig};
 pub use mix::{Endpoint, Mix, Plan};
-pub use report::{BurstReport, LoadReport, RungReport, Tally, TallySummary};
+pub use report::{BurstReport, LoadReport, RungReport, ShedReconciliation, Tally, TallySummary};

@@ -172,6 +172,11 @@ pub struct RungReport {
     pub p50_nanos: u64,
     pub p99_nanos: u64,
     pub max_nanos: u64,
+    /// Server-observed shed delta across this rung (admission sheds +
+    /// queue overflow), scraped from `/metrics` at the rung boundaries.
+    /// `None` when the target's metrics endpoint isn't scrapeable.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub server_shed: Option<u64>,
 }
 
 impl RungReport {
@@ -199,6 +204,38 @@ impl RungReport {
             p50_nanos: s.p50_nanos,
             p99_nanos: s.p99_nanos,
             max_nanos: s.max_nanos,
+            server_shed: None,
+        }
+    }
+}
+
+/// Client-vs-server shed cross-check: the number of 503s the client
+/// tallied against the growth of the server's own shed counters over
+/// the run, scraped from `/metrics` before and after. The two views
+/// are allowed to differ by the connection-error count (an error may
+/// be a shed whose response was lost) plus any sheds the server dealt
+/// to *other* clients mid-run — so the check is one-sided: the server
+/// must account for at least `client_shed - connection_errors`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct ShedReconciliation {
+    /// 503s the client received.
+    pub client_shed: u64,
+    /// Growth of the server's shed counters (admission + queue) across
+    /// the run.
+    pub server_shed_delta: u64,
+    /// Client-side transport errors — the allowed slack.
+    pub connection_errors: u64,
+    /// `server_shed_delta + connection_errors >= client_shed`.
+    pub consistent: bool,
+}
+
+impl ShedReconciliation {
+    pub fn check(client_shed: u64, server_shed_delta: u64, connection_errors: u64) -> Self {
+        ShedReconciliation {
+            client_shed,
+            server_shed_delta,
+            connection_errors,
+            consistent: server_shed_delta + connection_errors >= client_shed,
         }
     }
 }
@@ -239,6 +276,10 @@ pub struct LoadReport {
     /// Burst profile only: one entry per burst.
     #[serde(skip_serializing_if = "Vec::is_empty")]
     pub bursts: Vec<BurstReport>,
+    /// Client-vs-server shed cross-check (ladder profile against a
+    /// scrapeable daemon only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub shed_check: Option<ShedReconciliation>,
 }
 
 impl LoadReport {
@@ -351,6 +392,7 @@ mod tests {
             endpoints: tallies.summaries(),
             rungs: vec![],
             bursts: vec![],
+            shed_check: None,
         };
         let json = report.to_json();
         for key in [
@@ -373,6 +415,20 @@ mod tests {
         // Empty profile sections stay out of the document.
         assert!(!json.contains("\"rungs\""));
         assert!(!json.contains("\"bursts\""));
+        assert!(!json.contains("\"shed_check\""));
         assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn shed_reconciliation_allows_connection_error_slack() {
+        // Exact match: consistent.
+        assert!(ShedReconciliation::check(5, 5, 0).consistent);
+        // Server saw more (other clients mid-run): still consistent.
+        assert!(ShedReconciliation::check(5, 9, 0).consistent);
+        // Client 503s the server can't account for: inconsistent…
+        assert!(!ShedReconciliation::check(5, 3, 0).consistent);
+        // …unless connection errors cover the gap.
+        assert!(ShedReconciliation::check(5, 3, 2).consistent);
+        assert!(!ShedReconciliation::check(5, 3, 1).consistent);
     }
 }

@@ -21,6 +21,19 @@
 //! the upper bound of the bucket containing that rank (a conservative
 //! estimate: the true value is never above the reported one by more than
 //! one sub-bucket width).
+//!
+//! # Quantile error bound
+//!
+//! A reported quantile is the **inclusive upper bound** of the bucket
+//! holding the rank, clamped to the exact recorded max. Within one
+//! octave `[2^k, 2^(k+1))` the [`SUB_BUCKETS`] linear sub-buckets are
+//! each `2^k / SUB_BUCKETS` wide, so the reported value `r` and the true
+//! rank value `t` satisfy `t <= r <= t * (1 + 1/SUB_BUCKETS)` — the
+//! estimate never undershoots and overshoots by at most
+//! [`MAX_RELATIVE_ERROR`] (1/16 ≈ 6.25%) relative, plus one unit of
+//! rounding in the linear region `[0, SUB_BUCKETS)` where buckets are
+//! exact. The oracle test `quantile_error_stays_within_documented_bound`
+//! pins this against exact rank statistics across several distributions.
 
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -33,6 +46,14 @@ const SUB_BUCKETS: u64 = 1 << SUB_BITS;
 /// Total bucket count: the linear region `[0, SUB_BUCKETS)` plus one
 /// sub-divided octave per remaining bit of a `u64`.
 const BUCKETS: usize = ((64 - SUB_BITS) as u64 * SUB_BUCKETS) as usize + SUB_BUCKETS as usize;
+
+/// The fixed number of buckets every histogram carries (exposed so
+/// `--stats` and the ops docs can state the memory/precision trade-off).
+pub const BUCKET_COUNT: usize = BUCKETS;
+
+/// Worst-case relative overestimate of a reported quantile versus the
+/// true rank value: one sub-bucket width, `1 / SUB_BUCKETS`.
+pub const MAX_RELATIVE_ERROR: f64 = 1.0 / SUB_BUCKETS as f64;
 
 /// Bucket index of a value: identity in the linear region, then
 /// `(octave, sub-bucket)` above it.
@@ -70,6 +91,7 @@ pub struct Histogram {
     /// runs that never look at it.
     buckets: Vec<u64>,
     count: u64,
+    sum: u64,
     max: u64,
 }
 
@@ -85,6 +107,7 @@ impl Histogram {
         }
         self.buckets[bucket_of(v)] += 1;
         self.count += 1;
+        self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
     }
 
@@ -100,6 +123,7 @@ impl Histogram {
             *mine += theirs;
         }
         self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
 
@@ -108,14 +132,34 @@ impl Histogram {
         self.count
     }
 
+    /// Sum of recorded values (saturating; exact, not bucketed). This is
+    /// what a Prometheus `_sum` series reports.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
     /// Largest recorded value (exact, not bucketed).
     pub fn max(&self) -> u64 {
         self.max
     }
 
+    /// The non-empty `(inclusive upper bound, count)` buckets, in
+    /// ascending order — the raw material for cumulative Prometheus
+    /// `_bucket` series.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+    }
+
     /// The value at quantile `q` in `[0, 1]`: the upper bound of the
     /// bucket holding that rank, clamped to the exact max. `None` when
     /// empty.
+    ///
+    /// Error bound: never below the true rank value, above it by at most
+    /// [`MAX_RELATIVE_ERROR`] relative (see the module docs).
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
@@ -150,6 +194,7 @@ impl Histogram {
 pub struct AtomicHistogram {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
+    sum: AtomicU64,
     max: AtomicU64,
 }
 
@@ -158,6 +203,7 @@ impl Default for AtomicHistogram {
         AtomicHistogram {
             buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
         }
     }
@@ -168,6 +214,7 @@ impl AtomicHistogram {
     pub fn record(&self, v: u64) {
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -183,6 +230,7 @@ impl AtomicHistogram {
             }
         }
         self.count.fetch_add(other.count, Ordering::Relaxed);
+        self.sum.fetch_add(other.sum, Ordering::Relaxed);
         self.max.fetch_max(other.max, Ordering::Relaxed);
     }
 
@@ -195,6 +243,7 @@ impl AtomicHistogram {
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
             count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
         }
     }
@@ -257,6 +306,89 @@ mod tests {
             assert!(q <= exact * (1.0 + 1.0 / 16.0) + 1.0, "{q} over {exact}");
         }
         assert!(s.p99_nanos >= s.p90_nanos && s.p90_nanos >= s.p50_nanos);
+    }
+
+    #[test]
+    fn quantile_error_stays_within_documented_bound() {
+        // The oracle: exact rank statistics over the recorded values.
+        // Across distributions with very different shapes, the bucketed
+        // quantile must never undershoot the true value and never
+        // overshoot it by more than MAX_RELATIVE_ERROR relative (plus
+        // one unit of rounding in the exact linear region).
+        let distributions: Vec<(&str, Vec<u64>)> = vec![
+            ("uniform", (1..=50_000u64).collect()),
+            ("tiny_linear_region", (0..SUB_BUCKETS).collect()),
+            (
+                "exponentialish",
+                (0..40u32).flat_map(|k| [1u64 << k; 7]).collect(),
+            ),
+            (
+                "bimodal",
+                (1..=1000u64)
+                    .chain((1..=1000).map(|v| v * 1_000_000))
+                    .collect(),
+            ),
+            ("heavy_tail", (1..=3000u64).map(|v| v * v * v).collect()),
+        ];
+        for (name, mut values) in distributions {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            values.sort_unstable();
+            for q in [0.01, 0.10, 0.50, 0.90, 0.99, 1.0] {
+                let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+                let exact = values[rank - 1];
+                let got = h.quantile(q).expect("non-empty");
+                assert!(
+                    got >= exact,
+                    "{name} q={q}: {got} undershoots exact {exact}"
+                );
+                let bound = exact as f64 * (1.0 + MAX_RELATIVE_ERROR) + 1.0;
+                assert!(
+                    (got as f64) <= bound,
+                    "{name} q={q}: {got} overshoots exact {exact} beyond {bound}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sum_is_exact_across_record_merge_and_atomic_paths() {
+        let mut h = Histogram::new();
+        for v in [5u64, 10, 100, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.sum(), 1_000_115);
+        let mut other = Histogram::new();
+        other.record(7);
+        h.merge(&other);
+        assert_eq!(h.sum(), 1_000_122);
+        let a = AtomicHistogram::default();
+        a.record(3);
+        a.merge(&h);
+        assert_eq!(a.snapshot().sum(), 1_000_125);
+        // Saturating rather than wrapping on overflow.
+        let mut top = Histogram::new();
+        top.record(u64::MAX);
+        top.record(1);
+        assert_eq!(top.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn nonzero_buckets_reconstruct_count_and_cover_values() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 3, 17, 123_456] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(buckets.iter().map(|(_, c)| c).sum::<u64>(), h.count());
+        // Ascending upper bounds, every one a real bucket boundary.
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(buckets[0], (0, 1));
+        assert_eq!(buckets[1], (3, 2));
+        assert_eq!(Histogram::new().nonzero_buckets().count(), 0);
+        assert_eq!(BUCKET_COUNT, BUCKETS);
     }
 
     #[test]

@@ -55,9 +55,12 @@
 //! [`Detection`]: ../lastmile_core/detect/struct.Detection.html
 
 pub mod hist;
+pub mod ops;
+pub mod prom;
 pub mod trace;
 
 pub use hist::{AtomicHistogram, Histogram, HistogramSummary};
+pub use ops::{EpochRecord, EpochTelemetry, OpsTimeline, TimelinePoint, TimelineSample};
 
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -291,6 +294,7 @@ impl RunMetrics {
                 decode: self.decode_hist.summary(),
                 series: self.series_hist.summary(),
                 analyze: self.analyze_hist.summary(),
+                bucket_count: hist::BUCKET_COUNT as u64,
             },
             stage_nanos: StageNanos {
                 ingest: get(&self.ingest_nanos),
@@ -430,6 +434,11 @@ pub struct LatencyStats {
     pub series: HistogramSummary,
     /// Per-population end-to-end analyze (one sample per (ASN, period)).
     pub analyze: HistogramSummary,
+    /// Fixed bucket-table size of every histogram above
+    /// ([`hist::BUCKET_COUNT`]); together with the log-linear layout it
+    /// states the quantile precision (`1 / 16` relative) the summaries
+    /// carry. Zero never occurs — the table is a compile-time constant.
+    pub bucket_count: u64,
 }
 
 /// Live counters for the `--progress` heartbeat: updated by the ingest
@@ -663,6 +672,22 @@ pub enum ServeEndpoint {
     Healthz,
     Metrics,
     Other,
+}
+
+impl ServeEndpoint {
+    /// Stable lowercase label used in `/metrics` keys, Prometheus
+    /// `endpoint` labels, and access-log lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeEndpoint::Classify => "classify",
+            ServeEndpoint::Series => "series",
+            ServeEndpoint::Populations => "populations",
+            ServeEndpoint::Ingest => "ingest",
+            ServeEndpoint::Healthz => "healthz",
+            ServeEndpoint::Metrics => "metrics",
+            ServeEndpoint::Other => "other",
+        }
+    }
 }
 
 impl ServeMetrics {
@@ -1069,6 +1094,7 @@ mod tests {
             "p99_nanos",
             "max_nanos",
             "count",
+            "bucket_count",
             "stage_nanos",
             "wall",
             "populations",

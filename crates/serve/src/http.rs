@@ -268,6 +268,18 @@ impl Response {
         }
     }
 
+    /// Prometheus text exposition (format 0.0.4) — what a stock
+    /// Prometheus scraper expects from `/metrics?format=prom`.
+    pub fn prom(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: lastmile_obs::prom::CONTENT_TYPE,
+            body: body.into(),
+            extra_headers: Vec::new(),
+            endpoint: lastmile_obs::ServeEndpoint::Metrics,
+        }
+    }
+
     /// Tag the endpoint family (builder-style).
     pub fn endpoint(mut self, endpoint: lastmile_obs::ServeEndpoint) -> Response {
         self.endpoint = endpoint;

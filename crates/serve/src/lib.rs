@@ -20,15 +20,20 @@
 //!   class named in the body) instead of occupying every worker.
 //! * [`signal`] — SIGTERM/SIGINT latched into a flag the accept loop
 //!   polls (hand-declared `signal(2)`, no libc crate).
+//! * [`access`] — structured JSON access logs: one object per request
+//!   through a bounded non-blocking writer that drops-and-counts under
+//!   pressure, joinable with trace spans by `X-Request-Id`.
 //!
 //! Request routing, endpoint payloads, and the startup ingest live in
 //! the CLI's `serve` subcommand; worker-side counters and latency
 //! histograms live in [`lastmile_obs::ServeMetrics`] so `/metrics` can
 //! render them next to the pipeline's `RunMetrics`.
 
+pub mod access;
 pub mod http;
 pub mod server;
 pub mod signal;
 
+pub use access::{AccessLog, AccessRecord};
 pub use http::{Request, Response};
 pub use server::{adaptive_retry_after, cost_class, CostClass, Handler, Server, ServerConfig};

@@ -41,12 +41,13 @@
 //! effectively disengaged — so the default daemon sheds only on queue
 //! overflow, exactly as before.
 
+use crate::access::{now_unix_ms, AccessLog, AccessRecord};
 use crate::http::{parse_request, parse_request_head, ParseError, Request, Response};
 use lastmile_obs::{trace, AdmissionClassMetrics, ServeEndpoint, ServeMetrics};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -84,6 +85,11 @@ pub struct ServerConfig {
     /// Concurrency budget for [`CostClass::Intake`] requests
     /// (`POST /v1/traceroutes`). `0` = auto (`workers`).
     pub budget_intake: usize,
+    /// Structured access log: one JSON object per request (served,
+    /// errored, or shed) through a bounded non-blocking writer. `None`
+    /// (the default) logs nothing. The server shuts the writer down
+    /// (flush + join) after draining workers.
+    pub access_log: Option<Arc<AccessLog>>,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +103,7 @@ impl Default for ServerConfig {
             budget_cheap: 0,
             budget_heavy: 0,
             budget_intake: 0,
+            access_log: None,
         }
     }
 }
@@ -244,21 +251,40 @@ impl Server {
                 let rx = Arc::clone(&rx);
                 let handler = Arc::clone(&handler);
                 let metrics = Arc::clone(&self.metrics);
+                let access = self.config.access_log.clone();
                 std::thread::Builder::new()
                     .name(format!("serve-{n}"))
-                    .spawn_scoped(scope, move || worker_loop(&rx, &handler, &metrics, limits))
+                    .spawn_scoped(scope, move || {
+                        let ctx = Ctx {
+                            metrics: &metrics,
+                            limits,
+                            access: access.as_deref(),
+                        };
+                        worker_loop(&rx, &handler, ctx)
+                    })
                     .expect("spawn serve worker");
             }
             {
                 let handler = Arc::clone(&handler);
                 let metrics = Arc::clone(&self.metrics);
+                let access = self.config.access_log.clone();
                 std::thread::Builder::new()
                     .name("serve-fast".into())
                     .spawn_scoped(scope, move || {
-                        fastlane_loop(frx, &handler, &metrics, limits)
+                        let ctx = Ctx {
+                            metrics: &metrics,
+                            limits,
+                            access: access.as_deref(),
+                        };
+                        fastlane_loop(frx, &handler, ctx)
                     })
                     .expect("spawn serve fast lane");
             }
+            let actx = Ctx {
+                metrics: &self.metrics,
+                limits,
+                access: self.config.access_log.as_deref(),
+            };
             while !shutdown.load(Ordering::Acquire) {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
@@ -288,9 +314,12 @@ impl Server {
                                         reject_busy(
                                             stream,
                                             "unknown",
-                                            limits,
-                                            &self.metrics,
+                                            actx,
                                             Instant::now(),
+                                            AccessRecord {
+                                                request_id: request_id(None),
+                                                ..AccessRecord::default()
+                                            },
                                         );
                                     }
                                 }
@@ -319,8 +348,67 @@ impl Server {
             drop(tx); // workers drain the queue, then their recv() errors
             drop(ftx); // likewise for the fast lane
             Ok(())
-        })
+        })?;
+        // Workers are drained and joined: every record is enqueued, so
+        // the writer can flush and stop. Losses are reported, never
+        // silent.
+        if let Some(log) = &self.config.access_log {
+            let (result, dropped) = log.shutdown();
+            if let Err(e) = result {
+                eprintln!("[serve] access log: write error: {e}");
+            }
+            if dropped > 0 {
+                eprintln!("[serve] access log: dropped {dropped} records under pressure");
+            }
+        }
+        Ok(())
     }
+}
+
+/// Everything a connection-serving path needs besides the socket:
+/// shared metrics, fixed limits, and the optional access log.
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    metrics: &'a ServeMetrics,
+    limits: Limits,
+    access: Option<&'a AccessLog>,
+}
+
+/// Sequence source for generated request ids.
+static REQUEST_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Echo a well-formed client `X-Request-Id` (alphanumeric plus
+/// `.`/`_`/`-`, at most 64 bytes) or mint one: microsecond unix
+/// timestamp plus a process-wide sequence number, both hex. The id is
+/// sent back as `X-Request-Id` and stamped on the request trace span
+/// and access-log line, so all three views of one request join on it.
+fn request_id(client: Option<&str>) -> String {
+    if let Some(id) = client {
+        if !id.is_empty()
+            && id.len() <= 64
+            && id
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+        {
+            return id.to_string();
+        }
+    }
+    let seq = REQUEST_SEQ.fetch_add(1, Ordering::Relaxed);
+    let micros = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    format!("{micros:012x}-{seq:08x}")
+}
+
+/// The analysis epoch a response advertises via `X-Epoch`, or 0.
+fn epoch_from(response: &Response) -> u64 {
+    response
+        .extra_headers
+        .iter()
+        .find(|(name, _)| *name == "X-Epoch")
+        .and_then(|(_, value)| value.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Capacities fixed at bind time, shared with every shed site so
@@ -357,23 +445,27 @@ impl Limits {
 
 /// Answer a connection no queue had room for: 503 with `Retry-After`,
 /// written inline (bounded work — one small write on a fresh socket).
-/// Shared by the acceptor and the fast lane.
+/// Shared by the acceptor and the fast lane. `entry` carries whatever
+/// access-log identity the caller knows (request id always; method and
+/// path only when a head was parsed).
 fn reject_busy(
     stream: TcpStream,
     class_name: &'static str,
-    limits: Limits,
-    metrics: &ServeMetrics,
+    ctx: Ctx<'_>,
     started: Instant,
+    mut entry: AccessRecord,
 ) {
-    metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
-    let hint = limits.queue_full_hint(metrics);
+    ctx.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+    let hint = ctx.limits.queue_full_hint(ctx.metrics);
+    entry.shed_reason = "queue_full";
     shed_503(
         stream,
         "accept queue full",
         class_name,
         hint,
-        metrics,
+        ctx,
         started,
+        entry,
     );
 }
 
@@ -386,17 +478,21 @@ fn shed_503(
     error: &str,
     class_name: &'static str,
     hint_secs: u64,
-    metrics: &ServeMetrics,
+    ctx: Ctx<'_>,
     started: Instant,
+    mut entry: AccessRecord,
 ) {
+    let metrics = ctx.metrics;
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     let retry = hint_secs.to_string();
     let body = format!(
         "{{\"error\":\"{error}\",\"cost_class\":\"{class_name}\",\"retry_after_secs\":{retry}}}\n"
     );
-    let _ = Response::json(503, body)
-        .header("Retry-After", retry)
-        .write_to(&mut stream);
+    let mut response = Response::json(503, body).header("Retry-After", retry);
+    if !entry.request_id.is_empty() {
+        response = response.header("X-Request-Id", entry.request_id.clone());
+    }
+    let _ = response.write_to(&mut stream);
     // Closing with the client's request still unread would RST the
     // connection and can discard the 503 out of the client's receive
     // buffer. Signal end-of-response, then drain what the client
@@ -414,8 +510,18 @@ fn shed_503(
     let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     metrics.record_rejected(nanos);
     trace::instant_with("request_rejected", |a| {
-        a.u64("status", 503).str("cost_class", class_name);
+        a.u64("status", 503)
+            .str("cost_class", class_name)
+            .str("request_id", entry.request_id.clone());
     });
+    if let Some(access) = ctx.access {
+        entry.cost_class = class_name;
+        entry.endpoint = "rejected";
+        entry.status = 503;
+        entry.latency_micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        entry.unix_ms = now_unix_ms();
+        access.log(&entry);
+    }
 }
 
 /// The fast lane: a single thread that keeps `GET /healthz` and `GET
@@ -423,29 +529,20 @@ fn shed_503(
 /// only the request head (never a body) under a tight timeout; anything
 /// that isn't a health/metrics probe gets the same 503 the acceptor
 /// would have written.
-fn fastlane_loop(
-    rx: Receiver<TcpStream>,
-    handler: &Arc<Handler>,
-    metrics: &ServeMetrics,
-    limits: Limits,
-) {
+fn fastlane_loop(rx: Receiver<TcpStream>, handler: &Arc<Handler>, ctx: Ctx<'_>) {
     while let Ok(stream) = rx.recv() {
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            fastlane_connection(stream, handler, metrics, limits);
+            fastlane_connection(stream, handler, ctx);
         }));
         if result.is_err() {
-            metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+            ctx.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
 
 /// Serve exactly one overflow connection on the fast lane.
-fn fastlane_connection(
-    mut stream: TcpStream,
-    handler: &Arc<Handler>,
-    metrics: &ServeMetrics,
-    limits: Limits,
-) {
+fn fastlane_connection(mut stream: TcpStream, handler: &Arc<Handler>, ctx: Ctx<'_>) {
+    let metrics = ctx.metrics;
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(FASTLANE_IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(FASTLANE_IO_TIMEOUT));
@@ -456,15 +553,26 @@ fn fastlane_connection(
         // busy answer rather than per-error statuses: the lane exists
         // for probes, not error reporting.
         Err(_) => {
-            reject_busy(stream, "unknown", limits, metrics, started);
+            reject_busy(
+                stream,
+                "unknown",
+                ctx,
+                started,
+                AccessRecord {
+                    request_id: request_id(None),
+                    ..AccessRecord::default()
+                },
+            );
             return;
         }
     };
+    let id = request_id(request.header("x-request-id"));
     let class = cost_class(&request.method, &request.path);
     if class == CostClass::Probe {
         metrics.fastlane_hits.fetch_add(1, Ordering::Relaxed);
         trace::instant_with("fastlane_served", |a| {
-            a.str("path", request.path.clone());
+            a.str("path", request.path.clone())
+                .str("request_id", id.clone());
         });
         let response = match std::panic::catch_unwind(AssertUnwindSafe(|| handler(&request))) {
             Ok(response) => response,
@@ -473,23 +581,47 @@ fn fastlane_connection(
                 Response::json(500, "{\"error\":\"handler panicked\"}\n")
             }
         };
+        let response = response.header("X-Request-Id", id.clone());
         let endpoint = response.endpoint;
+        let status = response.status;
+        let epoch = epoch_from(&response);
         let _ = response.write_to(&mut stream);
         record(metrics, endpoint, started);
+        if let Some(access) = ctx.access {
+            access.log(&AccessRecord {
+                request_id: id,
+                method: request.method.clone(),
+                path: request.path.clone(),
+                endpoint: endpoint.label(),
+                cost_class: class.name(),
+                status,
+                latency_micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                epoch,
+                shed_reason: "",
+                unix_ms: now_unix_ms(),
+            });
+        }
     } else {
         // The head parsed, so the 503 can at least name the class the
         // client was charged to.
-        reject_busy(stream, class.name(), limits, metrics, started);
+        reject_busy(
+            stream,
+            class.name(),
+            ctx,
+            started,
+            AccessRecord {
+                request_id: id,
+                method: request.method.clone(),
+                path: request.path.clone(),
+                ..AccessRecord::default()
+            },
+        );
     }
 }
 
 /// One worker: pull connections until the queue closes.
-fn worker_loop(
-    rx: &Mutex<Receiver<TcpStream>>,
-    handler: &Arc<Handler>,
-    metrics: &ServeMetrics,
-    limits: Limits,
-) {
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, handler: &Arc<Handler>, ctx: Ctx<'_>) {
+    let metrics = ctx.metrics;
     loop {
         // Hold the receiver lock only for the dequeue, never while
         // serving — otherwise one slow client would serialize the pool.
@@ -500,7 +632,7 @@ fn worker_loop(
         metrics.queue_pop();
         metrics.in_flight.fetch_add(1, Ordering::Relaxed);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            handle_connection(stream, handler, metrics, limits);
+            handle_connection(stream, handler, ctx);
         }));
         metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
         if result.is_err() {
@@ -524,12 +656,8 @@ fn class_metrics(metrics: &ServeMetrics, class: CostClass) -> Option<&AdmissionC
 }
 
 /// Serve exactly one request on `stream`, then close it.
-fn handle_connection(
-    mut stream: TcpStream,
-    handler: &Arc<Handler>,
-    metrics: &ServeMetrics,
-    limits: Limits,
-) {
+fn handle_connection(mut stream: TcpStream, handler: &Arc<Handler>, ctx: Ctx<'_>) {
+    let metrics = ctx.metrics;
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
@@ -543,15 +671,34 @@ fn handle_connection(
                 ParseError::Malformed(why) => (400, why),
                 ParseError::Io(_) | ParseError::ConnectionClosed => return,
             };
+            let id = request_id(None);
             let body = format!("{{\"error\":\"{msg}\"}}\n");
-            let _ = Response::json(status, body).write_to(&mut stream);
+            let _ = Response::json(status, body)
+                .header("X-Request-Id", id.clone())
+                .write_to(&mut stream);
             record(metrics, ServeEndpoint::Other, started);
+            if let Some(access) = ctx.access {
+                // The head never parsed: no method/path to attribute,
+                // but the status and id still land in the log.
+                access.log(&AccessRecord {
+                    request_id: id,
+                    endpoint: ServeEndpoint::Other.label(),
+                    cost_class: "unknown",
+                    status,
+                    latency_micros: u64::try_from(started.elapsed().as_micros())
+                        .unwrap_or(u64::MAX),
+                    unix_ms: now_unix_ms(),
+                    ..AccessRecord::default()
+                });
+            }
             return;
         }
     };
+    let id = request_id(request.header("x-request-id"));
     let _span = trace::span_with("request", |a| {
         a.str("method", request.method.clone())
-            .str("path", request.path.clone());
+            .str("path", request.path.clone())
+            .str("request_id", id.clone());
     });
     let run_handler =
         |request: &Request| match std::panic::catch_unwind(AssertUnwindSafe(|| handler(request))) {
@@ -561,10 +708,10 @@ fn handle_connection(
                 Response::json(500, "{\"error\":\"handler panicked\"}\n")
             }
         };
+    let class = cost_class(&request.method, &request.path);
     let response = if request.method != "GET" && request.method != "POST" {
         Response::json(405, "{\"error\":\"only GET and POST are served\"}\n")
     } else {
-        let class = cost_class(&request.method, &request.path);
         match class_metrics(metrics, class) {
             Some(admission) => {
                 if !admission.try_acquire() {
@@ -572,11 +719,26 @@ fn handle_connection(
                     // The write below is microseconds, so the worker is
                     // immediately back on the queue — a flooded class
                     // costs the pool almost nothing.
-                    let hint = limits.budget_hint(metrics, admission);
+                    let hint = ctx.limits.budget_hint(metrics, admission);
                     trace::instant_with("admission_shed", |a| {
-                        a.str("cost_class", class.name());
+                        a.str("cost_class", class.name())
+                            .str("request_id", id.clone());
                     });
-                    shed_503(stream, "over budget", class.name(), hint, metrics, started);
+                    shed_503(
+                        stream,
+                        "over budget",
+                        class.name(),
+                        hint,
+                        ctx,
+                        started,
+                        AccessRecord {
+                            request_id: id,
+                            method: request.method.clone(),
+                            path: request.path.clone(),
+                            shed_reason: "over_budget",
+                            ..AccessRecord::default()
+                        },
+                    );
                     return;
                 }
                 let response = run_handler(&request);
@@ -591,13 +753,30 @@ fn handle_connection(
             a.u64("status", u64::from(response.status));
         });
     }
+    let response = response.header("X-Request-Id", id.clone());
     let endpoint = response.endpoint;
+    let status = response.status;
+    let epoch = epoch_from(&response);
     if response.write_to(&mut stream).is_err() {
         // The client went away mid-write; the request still ran, so it
         // still counts against its endpoint.
     }
     let _ = stream.flush();
     record(metrics, endpoint, started);
+    if let Some(access) = ctx.access {
+        access.log(&AccessRecord {
+            request_id: id,
+            method: request.method.clone(),
+            path: request.path.clone(),
+            endpoint: endpoint.label(),
+            cost_class: class.name(),
+            status,
+            latency_micros: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            epoch,
+            shed_reason: "",
+            unix_ms: now_unix_ms(),
+        });
+    }
 }
 
 fn record(metrics: &ServeMetrics, endpoint: ServeEndpoint, started: Instant) {
@@ -958,6 +1137,157 @@ mod tests {
         // A POST to a GET-only path is not intake work.
         assert_eq!(cost_class("POST", "/v1/classify"), Cheap);
         assert_eq!(cost_class("POST", "/healthz"), Cheap);
+    }
+
+    #[test]
+    fn request_ids_echo_and_access_log_joins_served_and_shed_requests() {
+        // A shared in-memory sink stands in for the access-log file.
+        #[derive(Clone, Default)]
+        struct SharedSink(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = SharedSink::default();
+        let buf = Arc::clone(&sink.0);
+        let handler: Arc<Handler> = Arc::new(|_req: &Request| {
+            Response::json(200, "{\"ok\":true}\n")
+                .header("X-Epoch", "7")
+                .endpoint(ServeEndpoint::Series)
+        });
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue: 8,
+            fastlane_queue: 4,
+            retry_after_secs: 1,
+            access_log: Some(AccessLog::from_writer(Box::new(sink))),
+            ..ServerConfig::default()
+        };
+        let (addr, metrics, shutdown, join) = spawn_server(config, handler);
+        // A well-formed client id is echoed verbatim.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET /v1/series/3320 HTTP/1.1\r\nX-Request-Id: client-id.1\r\n\r\n"
+        )
+        .unwrap();
+        let (status, headers, _) = read_response(stream);
+        assert_eq!(status, 200);
+        assert!(
+            headers.iter().any(|h| h == "X-Request-Id: client-id.1"),
+            "client id not echoed: {headers:?}"
+        );
+        // A malformed id (space) is replaced by a generated one.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET /v1/series/3320 HTTP/1.1\r\nX-Request-Id: bad id\r\n\r\n"
+        )
+        .unwrap();
+        let (status, headers, _) = read_response(stream);
+        assert_eq!(status, 200);
+        let generated = headers
+            .iter()
+            .find_map(|h| h.strip_prefix("X-Request-Id: "))
+            .expect("generated id header")
+            .to_string();
+        assert_ne!(generated, "bad id");
+        assert!(
+            generated.contains('-') && generated.len() > 10,
+            "{generated}"
+        );
+        shutdown.store(true, Ordering::Release);
+        join.join().unwrap().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one log line per request: {text}");
+        assert!(
+            lines[0].contains("\"request_id\":\"client-id.1\""),
+            "{text}"
+        );
+        assert!(lines[0].contains("\"endpoint\":\"series\""), "{text}");
+        assert!(lines[0].contains("\"cost_class\":\"cheap\""), "{text}");
+        assert!(lines[0].contains("\"status\":200"), "{text}");
+        assert!(lines[0].contains("\"epoch\":7"), "{text}");
+        assert!(lines[0].contains("\"shed_reason\":\"\""), "{text}");
+        assert!(
+            lines[1].contains(&format!("\"request_id\":\"{generated}\"")),
+            "{text}"
+        );
+        assert_eq!(metrics.snapshot().worker_panics, 0);
+    }
+
+    #[test]
+    fn over_budget_sheds_are_access_logged_with_a_reason() {
+        #[derive(Clone, Default)]
+        struct SharedSink(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = SharedSink::default();
+        let buf = Arc::clone(&sink.0);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        let handler: Arc<Handler> = Arc::new(move |req: &Request| {
+            if req.path == "/v1/classify" {
+                gate_rx.lock().unwrap().recv().ok();
+            }
+            Response::text(200, "done")
+        });
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue: 8,
+            fastlane_queue: 4,
+            retry_after_secs: 1,
+            budget_heavy: 1,
+            access_log: Some(AccessLog::from_writer(Box::new(sink))),
+            ..ServerConfig::default()
+        };
+        let (addr, metrics, shutdown, join) = spawn_server(config, handler);
+        let mut heavy_a = TcpStream::connect(addr).unwrap();
+        write!(heavy_a, "GET /v1/classify HTTP/1.1\r\n\r\n").unwrap();
+        heavy_a.flush().unwrap();
+        let t0 = Instant::now();
+        while metrics.admission_heavy.in_flight.load(Ordering::Relaxed) != 1 {
+            assert!(t0.elapsed() < Duration::from_secs(5), "budget never taken");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let (status, headers, _) = get(addr, "/v1/classify");
+        assert_eq!(status, 503);
+        assert!(
+            headers.iter().any(|h| h.starts_with("X-Request-Id: ")),
+            "shed responses still carry a request id: {headers:?}"
+        );
+        gate_tx.send(()).unwrap();
+        let (status, _, _) = read_response(heavy_a);
+        assert_eq!(status, 200);
+        shutdown.store(true, Ordering::Release);
+        join.join().unwrap().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let shed_line = text
+            .lines()
+            .find(|l| l.contains("\"status\":503"))
+            .expect("shed line in access log");
+        assert!(
+            shed_line.contains("\"shed_reason\":\"over_budget\""),
+            "{text}"
+        );
+        assert!(shed_line.contains("\"cost_class\":\"heavy\""), "{text}");
+        assert!(shed_line.contains("\"endpoint\":\"rejected\""), "{text}");
+        assert!(shed_line.contains("\"path\":\"/v1/classify\""), "{text}");
     }
 
     #[test]

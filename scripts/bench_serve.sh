@@ -108,6 +108,27 @@ done
 
 curl -sf "http://$addr/metrics" >"$work/metrics.json"
 
+# Price the Prometheus exposition: sequential scrapes of the full
+# `?format=prom` render (every counter, gauge, and populated histogram
+# family) timed wall-clock. Each iteration pays a curl process spawn
+# too, so mean_us_per_scrape is an upper bound — the number exists to
+# catch encoding-cost blowups, not to be a microbenchmark (the
+# in-process cost is priced by cargo bench -p lastmile-bench).
+prom_scrapes=100
+echo "==> price the prom exposition ($prom_scrapes sequential scrapes)"
+curl -sf -o /dev/null "http://$addr/metrics?format=prom"
+prom_start=$(date +%s%N)
+i=0
+while [ "$i" -lt "$prom_scrapes" ]; do
+    curl -sf -o "$work/metrics.prom" "http://$addr/metrics?format=prom"
+    i=$((i + 1))
+done
+prom_end=$(date +%s%N)
+prom_total_ms=$(((prom_end - prom_start) / 1000000))
+prom_mean_us=$(((prom_end - prom_start) / prom_scrapes / 1000))
+prom_bytes=$(wc -c <"$work/metrics.prom" | tr -d ' ')
+"$bin" lint --prom "$work/metrics.prom"
+
 echo "==> graceful shutdown"
 kill "$serve_pid"
 wait "$serve_pid"
@@ -171,6 +192,8 @@ timestamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
     printf '{\n  "bench": "serve",\n  "host": {"cores": %s, "rustc": "%s", "timestamp_utc": "%s"},\n' \
         "$cores" "$rustc_version" "$timestamp"
     printf '  "server": {"workers": %s, "budget_heavy": %s},\n' "$workers" "$budget_heavy"
+    printf '  "prom_exposition": {"scrapes": %s, "total_ms": %s, "mean_us_per_scrape": %s, "body_bytes": %s},\n' \
+        "$prom_scrapes" "$prom_total_ms" "$prom_mean_us" "$prom_bytes"
     printf '  "ladder_shed_server": {"workers": %s, "budget_heavy": %s, "synthetic_heavy_delay_ms": %s},\n' \
         "$workers" "$budget_heavy" "$heavy_delay_ms"
     printf '  "profiles": {\n    "burst": '

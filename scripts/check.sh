@@ -160,10 +160,50 @@ if command -v curl >/dev/null 2>&1; then
     wait "$serve_pid"
     serve_pid=
     grep -q "\[serve\] shutdown: drained" "$smoke/serve-lg.log"
+
+    # Ops-plane smoke: the daemon with the self-scraper and access log
+    # armed, a loadgen burst to move the counters, then validate the
+    # artefacts with the repo's own `lastmile lint` (no jq/promtool):
+    # the Prometheus exposition must lint clean, the self-scraped
+    # timeline must hold at least two samples, and every access-log
+    # line must be a well-formed JSON object.
+    echo "==> ops smoke (prom exposition + timeline + access log, all linted)"
+    : >"$smoke/ready-ops"
+    target/debug/lastmile serve --traceroutes "$smoke/traceroutes.jsonl" \
+        --probes "$smoke/probes.json" --addr 127.0.0.1:0 \
+        --ready-file "$smoke/ready-ops" --serve-workers 2 \
+        --serve-budget-heavy 1 --serve-heavy-delay-ms 50 \
+        --ops-sample-ms 100 --access-log "$smoke/access.jsonl" \
+        >/dev/null 2>"$smoke/serve-ops.log" &
+    serve_pid=$!
+    i=0
+    while [ ! -s "$smoke/ready-ops" ]; do
+        i=$((i + 1))
+        [ "$i" -le 300 ] || { echo "ops serve never became ready" >&2; cat "$smoke/serve-ops.log" >&2; exit 1; }
+        kill -0 "$serve_pid" 2>/dev/null || { cat "$smoke/serve-ops.log" >&2; exit 1; }
+        sleep 0.1
+    done
+    addr=$(head -n1 "$smoke/ready-ops")
+    target/debug/lastmile loadgen --addr "$addr" --profile burst \
+        --requests 16 --bursts 2 --out "$smoke/ops-burst.json" 2>/dev/null
+    sleep 0.3
+    curl -sf "http://$addr/metrics?format=prom" >"$smoke/metrics.prom"
+    target/debug/lastmile lint --prom "$smoke/metrics.prom"
+    samples=$(curl -sf "http://$addr/v1/ops/timeline?metric=request_rate" | grep -o '"t":' | wc -l)
+    [ "${samples:-0}" -ge 2 ] || {
+        echo "ops timeline too sparse ($samples samples)" >&2
+        exit 1
+    }
+    kill "$serve_pid"
+    wait "$serve_pid"
+    serve_pid=
+    grep -q "\[serve\] shutdown: drained" "$smoke/serve-ops.log"
+    [ -s "$smoke/access.jsonl" ] || { echo "access log is empty" >&2; exit 1; }
+    target/debug/lastmile lint --access-log "$smoke/access.jsonl"
     smoke_cleanup
     trap - EXIT
 else
     echo "==> serve smoke skipped (curl not found)"
 fi
 
-echo "OK: fmt, clippy, benches, tests, observability, serve and loadgen smoke all green"
+echo "OK: fmt, clippy, benches, tests, observability, serve, loadgen and ops smoke all green"
