@@ -9,13 +9,82 @@
 //! snapshot.
 
 use crate::Flags;
+use lastmile_repro::core::pipeline::PipelineConfig;
+use lastmile_repro::core::series::ProbeSeriesBuilder;
+use lastmile_repro::ingest::{ingest_file, IngestOptions};
 use lastmile_repro::obs::{trace, RunMetrics, StageTimer};
-use lastmile_repro::store::{CacheMode, SeriesStore, StoreConfig};
+use lastmile_repro::store::{CacheMode, SeriesStore, StoreConfig, StoreKey};
+use lastmile_repro::timebase::TimeRange;
 use std::io::Read;
 use std::path::PathBuf;
 
 /// Snapshot file name inside `--cache-dir`.
 pub const SNAPSHOT_FILE: &str = "series.lmss";
+
+/// What [`prime_snapshot`] wrote.
+pub struct PrimeReport {
+    /// Per-probe series inserted into the snapshot.
+    pub series: usize,
+    /// Snapshot size on disk, bytes.
+    pub bytes: u64,
+    /// The snapshot path (`<cache-dir>/series.lmss`).
+    pub snapshot: PathBuf,
+}
+
+/// Prime a `--cache-dir` snapshot from an exported traceroute file, so a
+/// later `classify --cache-dir` over that file starts warm. The file is
+/// re-read through the same ingest path `classify` uses: the builders see
+/// exactly what a `--probes`/ASN-0 classify would feed them — no
+/// round-trip-fidelity assumption, and any export bug surfaces here as a
+/// quarantined record instead of a poisoned snapshot.
+///
+/// The window must be the exact window a warm classify will pass via
+/// `--start`/`--end` (the store only serves range-identical requests).
+pub fn prime_snapshot(
+    trs_path: &str,
+    cache_dir: &str,
+    window: &TimeRange,
+) -> Result<PrimeReport, String> {
+    let _span = trace::span("prime_cache");
+    let cfg = PipelineConfig::paper();
+    let store = SeriesStore::default();
+    let mut builders: std::collections::BTreeMap<_, ProbeSeriesBuilder> = Default::default();
+    let summary = ingest_file(trs_path, &IngestOptions::default(), |tr| {
+        builders
+            .entry(tr.probe)
+            .or_insert_with(|| {
+                ProbeSeriesBuilder::new(tr.probe, cfg.bin, cfg.min_traceroutes_per_bin)
+            })
+            .ingest(&tr);
+    })?;
+    if summary.skipped() > 0 {
+        return Err(format!(
+            "exported {trs_path} failed its own ingest: {} record(s) quarantined (first: {})",
+            summary.skipped(),
+            summary
+                .quarantined
+                .first()
+                .map(|q| q.detail.as_str())
+                .unwrap_or("?"),
+        ));
+    }
+    for (probe, builder) in builders {
+        let built = builder.finish_detailed();
+        store.insert(&StoreKey::for_pipeline(probe, &cfg), window, &built);
+    }
+    std::fs::create_dir_all(cache_dir)
+        .map_err(|e| format!("create --cache-dir {cache_dir}: {e}"))?;
+    let snapshot = std::path::Path::new(cache_dir).join(SNAPSHOT_FILE);
+    let fingerprint = file_fingerprint(trs_path)?;
+    let bytes = store
+        .save_snapshot(&snapshot, fingerprint)
+        .map_err(|e| format!("save cache snapshot {}: {e}", snapshot.display()))?;
+    Ok(PrimeReport {
+        series: store.len(),
+        bytes,
+        snapshot,
+    })
+}
 
 /// An active series cache: the (possibly snapshot-loaded) store plus
 /// where and how to persist it.

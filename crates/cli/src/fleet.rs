@@ -1,0 +1,629 @@
+//! `lastmile fleet`: scenario-fleet generation and detector scoring.
+//!
+//! * `fleet gen` renders a [`FleetSpec`] world into the same artifact
+//!   layout `simulate` exports — `probes.json`, `bgp.csv`,
+//!   `traceroutes.jsonl` — plus a ground-truth sidecar (`truth.json`)
+//!   labeling every AS. Generation is deterministic: identical spec +
+//!   seed give byte-identical corpus and sidecar regardless of
+//!   `--threads`.
+//! * `fleet score` joins `classify --json` output against the sidecar
+//!   into a per-label confusion matrix with precision/recall, and can
+//!   gate CI via `--min-recall` / `--max-peering-fp`.
+//!
+//! The spec file is declarative JSON (see `FleetSpec`); validate it
+//! offline with `lastmile lint --fleet SPEC.json`.
+
+use crate::cache;
+use crate::Flags;
+use lastmile_repro::atlas::json::to_atlas_json;
+use lastmile_repro::netsim::fleet::{
+    build_fleet, select_probes, ClassMix, FleetLabel, FleetScenario, FleetSpec, SampleMode,
+};
+use lastmile_repro::netsim::{SimProbe, TracerouteEngine};
+use lastmile_repro::obs::trace;
+use lastmile_repro::prefix::Asn;
+use lastmile_repro::store::CacheMode;
+use std::collections::BTreeMap;
+use std::io::Write;
+
+pub fn run(action: Option<&str>, flags: &Flags) -> Result<(), String> {
+    match action {
+        Some("gen") => gen(flags),
+        Some("score") => score(flags),
+        Some(other) => Err(format!("unknown fleet action {other} (gen|score)")),
+        None => Err("fleet needs an action: gen|score".into()),
+    }
+}
+
+/// Parse and validate a fleet spec file's text. Returns *all* problems —
+/// JSON syntax, unknown keys, structural violations — not just the first.
+pub fn parse_spec(text: &str) -> Result<FleetSpec, Vec<String>> {
+    let value: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| vec![format!("not valid JSON: {e}")])?;
+    let Some(obj) = value.as_object() else {
+        return Err(vec!["spec must be a JSON object".to_string()]);
+    };
+    let mut problems = Vec::new();
+    for (key, _) in obj {
+        if !matches!(key.as_str(), "name" | "days" | "classes" | "probes_per_as") {
+            problems.push(format!("unknown key {key:?}"));
+        }
+    }
+    let name = match value.get("name").and_then(|v| v.as_str()) {
+        Some(s) => s.to_string(),
+        None => {
+            problems.push("\"name\" must be a string".to_string());
+            String::new()
+        }
+    };
+    let days = match value.get("days").and_then(|v| v.as_u64()) {
+        Some(d) => d as u32,
+        None => {
+            problems.push("\"days\" must be a positive integer".to_string());
+            0
+        }
+    };
+    let mut classes = ClassMix::default();
+    match value.get("classes").and_then(|v| v.as_object()) {
+        Some(map) => {
+            for (key, count) in map {
+                let Some(n) = count.as_u64() else {
+                    problems.push(format!("classes.{key} must be a non-negative integer"));
+                    continue;
+                };
+                let n = n as usize;
+                let Some(label) = FleetLabel::parse(key) else {
+                    problems.push(format!(
+                        "unknown class {key:?} (expected one of: {})",
+                        FleetLabel::ALL.map(|l| l.as_str()).join(", ")
+                    ));
+                    continue;
+                };
+                match label {
+                    FleetLabel::Severe => classes.severe = n,
+                    FleetLabel::Mild => classes.mild = n,
+                    FleetLabel::Low => classes.low = n,
+                    FleetLabel::Clean => classes.clean = n,
+                    FleetLabel::Transient => classes.transient = n,
+                    FleetLabel::AdversarialWeekly => classes.adversarial_weekly = n,
+                    FleetLabel::AdversarialPeering => classes.adversarial_peering = n,
+                    FleetLabel::AdversarialRouteShift => classes.adversarial_route_shift = n,
+                }
+            }
+        }
+        None => problems.push("\"classes\" must be an object of label: count".to_string()),
+    }
+    let (probes_min, probes_max) = match value.get("probes_per_as") {
+        None => (3, 8),
+        Some(v) => match v.as_object() {
+            Some(map) => {
+                for (key, _) in map {
+                    if !matches!(key.as_str(), "min" | "max") {
+                        problems.push(format!("unknown key probes_per_as.{key}"));
+                    }
+                }
+                let get = |k: &str| v.get(k).and_then(|n| n.as_u64()).map(|n| n as usize);
+                match (get("min"), get("max")) {
+                    (Some(lo), Some(hi)) => (lo, hi),
+                    _ => {
+                        problems
+                            .push("probes_per_as needs integer \"min\" and \"max\"".to_string());
+                        (3, 8)
+                    }
+                }
+            }
+            None => {
+                problems.push("probes_per_as must be an object".to_string());
+                (3, 8)
+            }
+        },
+    };
+    let spec = FleetSpec {
+        name,
+        days,
+        classes,
+        probes_min,
+        probes_max,
+    };
+    problems.extend(spec.validate());
+    if problems.is_empty() {
+        Ok(spec)
+    } else {
+        Err(problems)
+    }
+}
+
+/// Load and validate `--spec FILE`, folding all problems into one error.
+fn load_spec(path: &str) -> Result<FleetSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read --spec {path}: {e}"))?;
+    parse_spec(&text)
+        .map_err(|problems| format!("invalid fleet spec {path}:\n  {}", problems.join("\n  ")))
+}
+
+/// `--probes-per-as` subsampling config: (count, mode, sample seed).
+type Subsample = (usize, SampleMode, u64);
+
+/// The per-AS probe subset to emit, honoring `--probes-per-as`.
+fn emitted_probes<'w>(
+    scenario: &'w FleetScenario,
+    flags: &Flags,
+) -> Result<(Vec<&'w SimProbe>, Option<Subsample>), String> {
+    let subsample = match flags.parsed::<usize>("probes-per-as")? {
+        None => {
+            if flags.optional("sample-mode").is_some() || flags.optional("sample-seed").is_some() {
+                return Err("--sample-mode/--sample-seed need --probes-per-as".into());
+            }
+            None
+        }
+        Some(0) => return Err("--probes-per-as must be positive".into()),
+        Some(n) => {
+            let mode = match flags.optional("sample-mode") {
+                None => SampleMode::Biased,
+                Some(s) => SampleMode::parse(s)
+                    .ok_or_else(|| format!("invalid --sample-mode {s} (uniform|biased)"))?,
+            };
+            let sample_seed = flags.parsed::<u64>("sample-seed")?.unwrap_or(1);
+            Some((n, mode, sample_seed))
+        }
+    };
+    let probes = match subsample {
+        None => scenario.world.probes().iter().collect(),
+        Some((n, mode, sample_seed)) => {
+            let mut out: Vec<&SimProbe> = Vec::new();
+            for t in &scenario.truth {
+                for id in select_probes(&scenario.world, t.asn, n, mode, sample_seed) {
+                    out.push(
+                        scenario
+                            .world
+                            .probes()
+                            .iter()
+                            .find(|p| p.meta.id == id)
+                            .expect("selected probe exists"),
+                    );
+                }
+            }
+            out
+        }
+    };
+    Ok((probes, subsample))
+}
+
+fn gen(flags: &Flags) -> Result<(), String> {
+    let spec = load_spec(flags.required("spec")?)?;
+    let out_dir = flags.required("out")?;
+    let seed: u64 = flags.parsed("seed")?.unwrap_or(20200646);
+    let threads: usize = flags.parsed("threads")?.unwrap_or(1).max(1);
+    let cache_dir = flags.optional("cache-dir");
+    let cache_mode: CacheMode = flags.parsed("cache")?.unwrap_or_default();
+    if cache_dir.is_none() && flags.optional("cache").is_some() {
+        return Err("--cache needs --cache-dir".into());
+    }
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("create {out_dir}: {e}"))?;
+
+    let span = trace::span("fleet_build");
+    let scenario = build_fleet(&spec, seed);
+    let window = scenario.window;
+    let (probes, subsample) = emitted_probes(&scenario, flags)?;
+    drop(span);
+    eprintln!(
+        "[fleet] {} ({} ASes, {} of {} probes emitted, {} days)",
+        spec.name,
+        scenario.truth.len(),
+        probes.len(),
+        scenario.world.probes().len(),
+        spec.days
+    );
+
+    // Probe metadata: the emitted subset only, so downstream `classify
+    // --probes` sees the same population the corpus carries.
+    let span = trace::span("fleet_export_meta");
+    let metas: Vec<_> = probes.iter().map(|p| p.meta.clone()).collect();
+    let probes_path = format!("{out_dir}/probes.json");
+    let json = serde_json::to_string_pretty(&metas).expect("probes encode");
+    std::fs::write(&probes_path, json).map_err(|e| format!("write {probes_path}: {e}"))?;
+    eprintln!("[out] {probes_path} ({} probes)", metas.len());
+
+    let table_path = format!("{out_dir}/bgp.csv");
+    std::fs::write(
+        &table_path,
+        crate::bgp::table_to_csv(scenario.world.registry()),
+    )
+    .map_err(|e| format!("write {table_path}: {e}"))?;
+    eprintln!("[out] {table_path}");
+
+    // Ground-truth sidecar, the scorer's join input.
+    let truth_path = format!("{out_dir}/truth.json");
+    let truth_doc = serde_json::json!({
+        "spec_name": spec.name,
+        "seed": seed,
+        "window": serde_json::json!({
+            "start": window.start().as_secs(),
+            "end": window.end().as_secs()
+        }),
+        "probes_per_as": subsample.map(|(n, mode, sample_seed)| serde_json::json!({
+            "n": n,
+            "mode": mode.as_str(),
+            "seed": sample_seed
+        })),
+        "ases": scenario.truth.iter().map(|t| serde_json::json!({
+            "asn": t.asn,
+            "name": t.name,
+            "country": t.country,
+            "label": t.label.as_str(),
+            "expected_class": expected_class_name(t.label),
+            "amplitude_ms": t.amplitude_ms,
+            "probes": t.probes,
+            "probes_emitted": probes.iter().filter(|p| p.meta.asn == t.asn).count()
+        })).collect::<Vec<_>>()
+    });
+    let mut truth_text = serde_json::to_string_pretty(&truth_doc).expect("truth encodes");
+    truth_text.push('\n');
+    std::fs::write(&truth_path, truth_text).map_err(|e| format!("write {truth_path}: {e}"))?;
+    eprintln!("[out] {truth_path} ({} ASes)", scenario.truth.len());
+    drop(span);
+
+    // Traceroutes, probe-major. Rendering parallelizes over probes in
+    // chunks of `--threads`, but the file is assembled strictly in probe
+    // order — thread count can never move a byte.
+    let span = trace::span("fleet_export_traceroutes");
+    let trs_path = format!("{out_dir}/traceroutes.jsonl");
+    let file = std::fs::File::create(&trs_path).map_err(|e| format!("create {trs_path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    let engine = TracerouteEngine::new(&scenario.world);
+    let mut count = 0usize;
+    for chunk in probes.chunks(threads) {
+        let rendered: Vec<(String, usize)> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunk
+                .iter()
+                .map(|probe| {
+                    let engine = &engine;
+                    s.spawn(move || {
+                        let mut buf = String::new();
+                        let mut n = 0usize;
+                        engine.for_each_traceroute(probe, &window, |tr| {
+                            buf.push_str(&to_atlas_json(&tr, probe.meta.public_addr));
+                            buf.push('\n');
+                            n += 1;
+                        });
+                        (buf, n)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("render thread panicked"))
+                .collect()
+        });
+        for (buf, n) in rendered {
+            w.write_all(buf.as_bytes())
+                .map_err(|e| format!("write {trs_path}: {e}"))?;
+            count += n;
+        }
+    }
+    w.flush().map_err(|e| format!("flush {trs_path}: {e}"))?;
+    eprintln!("[out] {trs_path} ({count} traceroutes)");
+    drop(span);
+
+    // Optional warm-start snapshot, exactly like `simulate --cache-dir`.
+    if let Some(dir) = cache_dir {
+        if cache_mode == CacheMode::ReadWrite {
+            let report = cache::prime_snapshot(&trs_path, dir, &window)?;
+            eprintln!(
+                "[cache] primed {} ({} series, {} bytes; classify with --probes \
+                 and --start {} --end {} to hit it)",
+                report.snapshot.display(),
+                report.series,
+                report.bytes,
+                window.start().as_secs(),
+                window.end().as_secs()
+            );
+        } else {
+            eprintln!(
+                "[cache] --cache {cache_mode:?} given: fleet gen only primes in rw mode, skipping"
+            );
+        }
+    }
+    Ok(())
+}
+
+/// The class name `classify` should print for ASes of a label.
+fn expected_class_name(label: FleetLabel) -> &'static str {
+    match label {
+        FleetLabel::Severe => "Severe",
+        FleetLabel::Mild => "Mild",
+        FleetLabel::Low => "Low",
+        _ => "None",
+    }
+}
+
+/// One AS's scored outcome: what the detector said.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    None,
+    Low,
+    Mild,
+    Severe,
+    /// The ASN never appeared in the classify output.
+    Unanalyzed,
+}
+
+impl Outcome {
+    const COLUMNS: [Outcome; 5] = [
+        Outcome::None,
+        Outcome::Low,
+        Outcome::Mild,
+        Outcome::Severe,
+        Outcome::Unanalyzed,
+    ];
+
+    fn parse(class: &str) -> Option<Outcome> {
+        match class {
+            "None" => Some(Outcome::None),
+            "Low" => Some(Outcome::Low),
+            "Mild" => Some(Outcome::Mild),
+            "Severe" => Some(Outcome::Severe),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Outcome::None => "None",
+            Outcome::Low => "Low",
+            Outcome::Mild => "Mild",
+            Outcome::Severe => "Severe",
+            Outcome::Unanalyzed => "unanalyzed",
+        }
+    }
+
+    fn reported(self) -> bool {
+        matches!(self, Outcome::Low | Outcome::Mild | Outcome::Severe)
+    }
+}
+
+fn score(flags: &Flags) -> Result<(), String> {
+    let truth_path = flags.required("truth")?;
+    let classified_path = flags.required("classified")?;
+    let truth_text = std::fs::read_to_string(truth_path)
+        .map_err(|e| format!("read --truth {truth_path}: {e}"))?;
+    let truth: serde_json::Value = serde_json::from_str(&truth_text)
+        .map_err(|e| format!("--truth {truth_path} is not valid JSON: {e}"))?;
+    let ases = truth
+        .get("ases")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| format!("--truth {truth_path} has no \"ases\" array"))?;
+
+    let classified_text = std::fs::read_to_string(classified_path)
+        .map_err(|e| format!("read --classified {classified_path}: {e}"))?;
+    let classified: serde_json::Value = serde_json::from_str(&classified_text)
+        .map_err(|e| format!("--classified {classified_path} is not valid JSON: {e}"))?;
+    let docs = classified
+        .as_array()
+        .ok_or_else(|| format!("--classified {classified_path} must be a classify --json array"))?;
+    let mut detected: BTreeMap<Asn, Outcome> = BTreeMap::new();
+    for doc in docs {
+        let asn = doc
+            .get("asn")
+            .and_then(|v| v.as_u64())
+            .ok_or("classified entry without numeric \"asn\"")? as Asn;
+        let class = doc
+            .get("class")
+            .and_then(|v| v.as_str())
+            .ok_or("classified entry without \"class\"")?;
+        let outcome =
+            Outcome::parse(class).ok_or_else(|| format!("AS{asn}: unknown class {class:?}"))?;
+        detected.insert(asn, outcome);
+    }
+
+    // The confusion matrix: label rows × outcome columns.
+    let mut rows: BTreeMap<&'static str, BTreeMap<&'static str, usize>> = BTreeMap::new();
+    let mut persistent_total = 0usize;
+    let mut persistent_detected = 0usize;
+    let mut persistent_exact = 0usize;
+    let mut reported_total = 0usize;
+    let mut true_positives = 0usize;
+    let mut false_positives: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for as_truth in ases {
+        let asn = as_truth
+            .get("asn")
+            .and_then(|v| v.as_u64())
+            .ok_or("truth entry without numeric \"asn\"")? as Asn;
+        let label_name = as_truth
+            .get("label")
+            .and_then(|v| v.as_str())
+            .ok_or("truth entry without \"label\"")?;
+        let label = FleetLabel::parse(label_name)
+            .ok_or_else(|| format!("AS{asn}: unknown label {label_name:?}"))?;
+        let outcome = detected.get(&asn).copied().unwrap_or(Outcome::Unanalyzed);
+        *rows
+            .entry(label.as_str())
+            .or_default()
+            .entry(outcome.as_str())
+            .or_default() += 1;
+        if outcome.reported() {
+            reported_total += 1;
+            if label.expect_reported() {
+                true_positives += 1;
+            } else {
+                *false_positives.entry(label.as_str()).or_default() += 1;
+            }
+        }
+        if label.expect_reported() {
+            persistent_total += 1;
+            if outcome.reported() {
+                persistent_detected += 1;
+            }
+            if outcome.as_str() == expected_class_name(label) {
+                persistent_exact += 1;
+            }
+        }
+    }
+    let recall = if persistent_total > 0 {
+        persistent_detected as f64 / persistent_total as f64
+    } else {
+        1.0
+    };
+    let precision = if reported_total > 0 {
+        true_positives as f64 / reported_total as f64
+    } else {
+        1.0
+    };
+    let exact = if persistent_total > 0 {
+        persistent_exact as f64 / persistent_total as f64
+    } else {
+        1.0
+    };
+    let fp_of = |label: FleetLabel| false_positives.get(label.as_str()).copied().unwrap_or(0);
+    let peering_fp = fp_of(FleetLabel::AdversarialPeering);
+
+    // Threshold gates (checked after printing, so a failing run still
+    // shows its matrix).
+    let min_recall = flags.parsed::<f64>("min-recall")?;
+    let max_peering_fp = flags.parsed::<usize>("max-peering-fp")?;
+    let mut gate_failures = Vec::new();
+    if let Some(min) = min_recall {
+        if recall < min {
+            gate_failures.push(format!("recall {recall:.3} below --min-recall {min}"));
+        }
+    }
+    if let Some(max) = max_peering_fp {
+        if peering_fp > max {
+            gate_failures.push(format!(
+                "{peering_fp} peering false positive(s) above --max-peering-fp {max}"
+            ));
+        }
+    }
+
+    if flags.switch("json") {
+        let doc = serde_json::json!({
+            "spec_name": truth.get("spec_name"),
+            "seed": truth.get("seed"),
+            "ases": ases.len(),
+            "matrix": FleetLabel::ALL.iter().filter_map(|label| {
+                let row = rows.get(label.as_str())?;
+                Some(serde_json::json!({
+                    "label": label.as_str(),
+                    "total": row.values().sum::<usize>(),
+                    "outcomes": Outcome::COLUMNS.iter().map(|o| {
+                        (o.as_str().to_string(), row.get(o.as_str()).copied().unwrap_or(0))
+                    }).collect::<BTreeMap<String, usize>>()
+                }))
+            }).collect::<Vec<_>>(),
+            "recall": recall,
+            "precision": precision,
+            "exact_class_accuracy": exact,
+            "false_positives": FleetLabel::ALL.iter()
+                .filter(|l| !l.expect_reported())
+                .map(|l| (l.as_str().to_string(), fp_of(*l)))
+                .collect::<BTreeMap<String, usize>>(),
+            "passed": gate_failures.is_empty()
+        });
+        let mut s = serde_json::to_string_pretty(&doc).expect("score encodes");
+        s.push('\n');
+        print!("{s}");
+    } else {
+        println!(
+            "{:<24} {:>6} {:>6} {:>6} {:>6} {:>6} {:>11}",
+            "label", "total", "None", "Low", "Mild", "Severe", "unanalyzed"
+        );
+        for label in FleetLabel::ALL {
+            let Some(row) = rows.get(label.as_str()) else {
+                continue;
+            };
+            let cell = |o: Outcome| row.get(o.as_str()).copied().unwrap_or(0);
+            println!(
+                "{:<24} {:>6} {:>6} {:>6} {:>6} {:>6} {:>11}",
+                label.as_str(),
+                row.values().sum::<usize>(),
+                cell(Outcome::None),
+                cell(Outcome::Low),
+                cell(Outcome::Mild),
+                cell(Outcome::Severe),
+                cell(Outcome::Unanalyzed),
+            );
+        }
+        println!(
+            "recall {recall:.3}  precision {precision:.3}  exact-class {exact:.3}  \
+             false positives: clean {} transient {} weekly {} peering {} route-shift {}",
+            fp_of(FleetLabel::Clean),
+            fp_of(FleetLabel::Transient),
+            fp_of(FleetLabel::AdversarialWeekly),
+            peering_fp,
+            fp_of(FleetLabel::AdversarialRouteShift),
+        );
+    }
+
+    if !gate_failures.is_empty() {
+        return Err(format!(
+            "fleet score gates failed: {}",
+            gate_failures.join("; ")
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_spec_round_trips() {
+        let text = r#"{
+            "name": "smoke",
+            "days": 7,
+            "classes": {"severe": 2, "clean": 3, "adversarial_peering": 1},
+            "probes_per_as": {"min": 3, "max": 6}
+        }"#;
+        let spec = parse_spec(text).unwrap();
+        assert_eq!(spec.name, "smoke");
+        assert_eq!(spec.days, 7);
+        assert_eq!(spec.classes.severe, 2);
+        assert_eq!(spec.classes.clean, 3);
+        assert_eq!(spec.classes.adversarial_peering, 1);
+        assert_eq!(spec.classes.mild, 0);
+        assert_eq!((spec.probes_min, spec.probes_max), (3, 6));
+    }
+
+    #[test]
+    fn probes_per_as_defaults_when_omitted() {
+        let spec = parse_spec(r#"{"name":"x","days":5,"classes":{"clean":1}}"#).unwrap();
+        assert_eq!((spec.probes_min, spec.probes_max), (3, 8));
+    }
+
+    #[test]
+    fn all_spec_problems_are_reported_together() {
+        let text = r#"{
+            "name": "bad",
+            "days": 2,
+            "classes": {"severe": 1, "bogus_label": 3},
+            "probes_per_as": {"min": 1, "max": 0},
+            "surprise": true
+        }"#;
+        let problems = parse_spec(text).unwrap_err();
+        assert!(problems.len() >= 5, "{problems:?}");
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("unknown key \"surprise\"")));
+        assert!(problems.iter().any(|p| p.contains("bogus_label")));
+        assert!(problems.iter().any(|p| p.contains("Welch")));
+        assert!(problems.iter().any(|p| p.contains("inclusion threshold")));
+        assert!(problems.iter().any(|p| p.contains("probes_max")));
+    }
+
+    #[test]
+    fn non_json_spec_is_one_clear_problem() {
+        let problems = parse_spec("not json at all").unwrap_err();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("not valid JSON"));
+    }
+
+    #[test]
+    fn outcome_names_cover_the_detector_classes() {
+        for class in ["None", "Low", "Mild", "Severe"] {
+            assert_eq!(Outcome::parse(class).unwrap().as_str(), class);
+        }
+        assert!(Outcome::parse("bogus").is_none());
+        assert!(Outcome::Severe.reported() && !Outcome::None.reported());
+        assert!(!Outcome::Unanalyzed.reported());
+    }
+}

@@ -7,6 +7,9 @@
 //! * `--access-log FILE` — parse every line as a standalone JSON
 //!   object and require the fields that make lines joinable
 //!   (`request_id`, `status`).
+//! * `--fleet FILE` — validate a fleet scenario spec (`fleet gen
+//!   --spec`) without building anything: JSON shape, unknown keys, and
+//!   every structural constraint.
 //!
 //! Exit status is nonzero when any check fails; every violation is
 //! printed, not just the first.
@@ -17,8 +20,9 @@ use lastmile_repro::obs::prom;
 pub fn run(flags: &Flags) -> Result<(), String> {
     let prom_file = flags.optional("prom");
     let access_file = flags.optional("access-log");
-    if prom_file.is_none() && access_file.is_none() {
-        return Err("lint needs --prom FILE and/or --access-log FILE".into());
+    let fleet_file = flags.optional("fleet");
+    if prom_file.is_none() && access_file.is_none() && fleet_file.is_none() {
+        return Err("lint needs --prom FILE, --access-log FILE and/or --fleet FILE".into());
     }
     let mut failures = 0usize;
     if let Some(path) = prom_file {
@@ -46,6 +50,23 @@ pub fn run(flags: &Flags) -> Result<(), String> {
             failures += errors.len();
             for e in &errors {
                 eprintln!("[lint] {path}: {e}");
+            }
+        }
+    }
+    if let Some(path) = fleet_file {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read --fleet {path}: {e}"))?;
+        match crate::fleet::parse_spec(&text) {
+            Ok(spec) => eprintln!(
+                "[lint] {path}: fleet spec ok ({} ASes, {} days)",
+                spec.classes.total(),
+                spec.days
+            ),
+            Err(problems) => {
+                failures += problems.len();
+                for p in &problems {
+                    eprintln!("[lint] {path}: {p}");
+                }
             }
         }
     }

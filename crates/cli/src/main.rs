@@ -19,6 +19,7 @@
 mod bgp;
 mod cache;
 mod classify;
+mod fleet;
 mod hygiene;
 mod input;
 mod lint;
@@ -105,6 +106,9 @@ fn usage() -> &'static str {
      lastmile hygiene  --traceroutes FILE [--probes FILE] [--start UNIX --end UNIX] [--threshold MS] [--ingest-threads N] [--ingest-serial] [--quarantine FILE] [--stats | --stats-out FILE] [--populations-csv FILE] [--progress]\n  \
      lastmile throughput --cdn FILE.tsv --bgp TABLE.csv [--bin-minutes 15] [--view broadband|mobile|v4|v6] [--csv OUT]\n  \
      lastmile simulate --scenario tokyo|fig1|anchor --out DIR [--seed N] [--days N] [--cache-dir DIR [--cache off|ro|rw]]\n  \
+     lastmile fleet gen --spec SPEC.json --out DIR [--seed N] [--threads N] [--probes-per-as N [--sample-mode biased|uniform] [--sample-seed N]]\n                       \
+[--cache-dir DIR [--cache off|ro|rw]]\n  \
+     lastmile fleet score --truth DIR/truth.json --classified FILE.json [--min-recall F] [--max-peering-fp N] [--json]\n  \
      lastmile serve    --traceroutes FILE [classify flags] [--addr HOST:PORT] [--serve-workers N] [--serve-queue N] [--retry-after SECS] [--ready-file FILE]\n                       \
 [--serve-budget-cheap N --serve-budget-heavy N --serve-budget-intake N (0 = workers)]\n                       \
 [--watch [--watch-poll-ms MS] [--live-offset-file FILE]] [--live-spool FILE] [--reanalyze-debounce-ms MS]\n                       \
@@ -112,7 +116,7 @@ fn usage() -> &'static str {
      lastmile loadgen  --addr HOST:PORT --profile burst|ladder|fanout [--mix classify=4,series=1,...] [--concurrency N] [--timeout-ms MS]\n                       \
 [burst: --requests N --bursts B] [ladder: --rates 25,50,100 --dwell-ms MS] [fanout: --rate RPS --duration-ms MS]\n                       \
 [--asn N] [--post-file FILE.jsonl [--post-batch N]] [--out FILE] [--json]\n  \
-     lastmile lint     [--prom FILE] [--access-log FILE] (validate Prometheus exposition / access-log JSON lines)\n\n\
+     lastmile lint     [--prom FILE] [--access-log FILE] [--fleet SPEC.json] (validate Prometheus exposition / access-log JSON lines / fleet specs)\n\n\
      any subcommand also takes --trace FILE to write a Chrome/Perfetto trace of the run\n\
      (streamed to disk as the run goes; serve drains it incrementally until shutdown)"
 }
@@ -146,7 +150,14 @@ fn main() -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::from(2);
     };
-    let flags = match Flags::parse(&args[1..]) {
+    // `fleet` takes an action word (`gen`|`score`) before its flags;
+    // peel it off so the strictly `--name value` flag parser never sees
+    // a positional.
+    let fleet_action = (cmd == "fleet")
+        .then(|| args.get(1).filter(|a| !a.starts_with("--")).cloned())
+        .flatten();
+    let flag_start = if fleet_action.is_some() { 2 } else { 1 };
+    let flags = match Flags::parse(&args[flag_start..]) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n{}", usage());
@@ -169,6 +180,7 @@ fn main() -> ExitCode {
         "classify" => classify::run(&flags),
         "hygiene" => hygiene::run(&flags),
         "simulate" => simulate::run(&flags),
+        "fleet" => fleet::run(fleet_action.as_deref(), &flags),
         "throughput" => throughput::run(&flags),
         "serve" => serve::run(&flags),
         "loadgen" => loadgen::run(&flags),

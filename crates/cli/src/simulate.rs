@@ -7,13 +7,10 @@ use crate::cache;
 use crate::Flags;
 use lastmile_repro::atlas::json::to_atlas_json;
 use lastmile_repro::cdnlog::{CdnGeneratorConfig, CdnLogGenerator};
-use lastmile_repro::core::pipeline::PipelineConfig;
-use lastmile_repro::core::series::ProbeSeriesBuilder;
-use lastmile_repro::ingest::{ingest_file, IngestOptions};
 use lastmile_repro::netsim::scenarios::{anchor, examples, tokyo};
 use lastmile_repro::netsim::{ServiceClass, TracerouteEngine, World};
 use lastmile_repro::obs::trace;
-use lastmile_repro::store::{CacheMode, SeriesStore, StoreKey};
+use lastmile_repro::store::CacheMode;
 use lastmile_repro::timebase::{MeasurementPeriod, TimeRange};
 use std::io::Write;
 
@@ -42,8 +39,6 @@ pub fn run(flags: &Flags) -> Result<(), String> {
         return Err("--cache needs --cache-dir".into());
     }
     let prime = cache_dir.is_some() && cache_mode == CacheMode::ReadWrite;
-    let cfg = PipelineConfig::paper();
-    let store = SeriesStore::default();
     std::fs::create_dir_all(out_dir).map_err(|e| format!("create {out_dir}: {e}"))?;
 
     let (world, default_period, with_cdn): (World, MeasurementPeriod, bool) = match scenario {
@@ -108,54 +103,16 @@ pub fn run(flags: &Flags) -> Result<(), String> {
     eprintln!("[out] {trs_path} ({count} traceroutes)");
     drop(span);
 
-    // Prime series by re-reading the exported file through the same
-    // ingest path `classify` uses. The builders then see exactly what a
-    // `--probes`/ASN-0 classify of the file would feed them — no
-    // round-trip-fidelity assumption, and any export bug surfaces here
-    // as a quarantined record instead of a poisoned snapshot.
-    if prime {
-        let _span = trace::span("prime_cache");
-        let mut builders: std::collections::BTreeMap<_, ProbeSeriesBuilder> = Default::default();
-        let summary = ingest_file(&trs_path, &IngestOptions::default(), |tr| {
-            builders
-                .entry(tr.probe)
-                .or_insert_with(|| {
-                    ProbeSeriesBuilder::new(tr.probe, cfg.bin, cfg.min_traceroutes_per_bin)
-                })
-                .ingest(&tr);
-        })?;
-        if summary.skipped() > 0 {
-            return Err(format!(
-                "exported {trs_path} failed its own ingest: {} record(s) quarantined \
-                 (first: {})",
-                summary.skipped(),
-                summary
-                    .quarantined
-                    .first()
-                    .map(|q| q.detail.as_str())
-                    .unwrap_or("?"),
-            ));
-        }
-        for (probe, builder) in builders {
-            let built = builder.finish_detailed();
-            store.insert(&StoreKey::for_pipeline(probe, &cfg), &window, &built);
-        }
-    }
-
     if let Some(dir) = cache_dir {
         if prime {
-            std::fs::create_dir_all(dir).map_err(|e| format!("create --cache-dir {dir}: {e}"))?;
-            let snap = std::path::Path::new(dir).join(cache::SNAPSHOT_FILE);
-            let fingerprint = cache::file_fingerprint(&trs_path)?;
-            let bytes = store
-                .save_snapshot(&snap, fingerprint)
-                .map_err(|e| format!("save cache snapshot {}: {e}", snap.display()))?;
+            let report = cache::prime_snapshot(&trs_path, dir, &window)?;
             eprintln!(
-                "[cache] primed {} ({} series, {bytes} bytes; classify with \
+                "[cache] primed {} ({} series, {} bytes; classify with \
                  --probes (or no routing input) and --start {} --end {} to \
                  hit it — --bgp runs use a different source id and recompute)",
-                snap.display(),
-                store.len(),
+                report.snapshot.display(),
+                report.series,
+                report.bytes,
                 window.start().as_secs(),
                 window.end().as_secs()
             );

@@ -1,0 +1,310 @@
+//! End-to-end tests of the `lastmile fleet` subcommand: spec linting,
+//! byte-exact determinism of generated corpora, snapshot priming for
+//! zero-re-ingest warm classification, and the truth-joined scorer with
+//! its CI gates.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn lastmile_bin() -> PathBuf {
+    // target/debug/lastmile next to the test binary's directory.
+    let mut path = std::env::current_exe().expect("test binary path");
+    path.pop(); // deps/
+    path.pop(); // debug/
+    path.push(format!("lastmile{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(lastmile_bin())
+        .args(args)
+        .output()
+        .expect("spawn lastmile");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// A fresh scratch dir per test (parallel tests must not collide).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lastmile-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small spec covering a persistent, a clean, and an adversarial AS.
+fn write_spec(dir: &Path) -> PathBuf {
+    let spec = dir.join("spec.json");
+    std::fs::write(
+        &spec,
+        r#"{
+            "name": "e2e",
+            "days": 5,
+            "classes": {"severe": 1, "clean": 1, "adversarial_peering": 1},
+            "probes_per_as": {"min": 3, "max": 4}
+        }"#,
+    )
+    .unwrap();
+    spec
+}
+
+/// The `--start`/`--end` instants recorded in a truth sidecar.
+fn truth_window(truth_path: &Path) -> (i64, i64) {
+    let truth: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(truth_path).unwrap()).unwrap();
+    (
+        truth["window"]["start"].as_i64().unwrap(),
+        truth["window"]["end"].as_i64().unwrap(),
+    )
+}
+
+#[test]
+fn lint_validates_fleet_specs() {
+    let dir = scratch("lint");
+    let spec = write_spec(&dir);
+    let (_, err, ok) = run(&["lint", "--fleet", spec.to_str().unwrap()]);
+    assert!(ok, "lint rejected a valid spec: {err}");
+    assert!(err.contains("fleet spec ok (3 ASes, 5 days)"), "{err}");
+
+    // A broken spec fails with *every* problem listed, not just the first.
+    let bad = dir.join("bad.json");
+    std::fs::write(
+        &bad,
+        r#"{"name": "bad", "days": 2, "classes": {"severe": 1}, "surprise": true}"#,
+    )
+    .unwrap();
+    let (_, err, ok) = run(&["lint", "--fleet", bad.to_str().unwrap()]);
+    assert!(!ok, "lint accepted an invalid spec");
+    assert!(err.contains("unknown key \"surprise\""), "{err}");
+    assert!(err.contains("Welch"), "{err}");
+}
+
+#[test]
+fn fleet_corpus_is_byte_identical_across_threads_and_runs() {
+    let dir = scratch("determinism");
+    let spec = write_spec(&dir);
+    let spec_s = spec.to_str().unwrap();
+    for (out, threads) in [("a", "1"), ("b", "1"), ("c", "3")] {
+        let out_dir = dir.join(out);
+        let (_, err, ok) = run(&[
+            "fleet",
+            "gen",
+            "--spec",
+            spec_s,
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--seed",
+            "11",
+            "--threads",
+            threads,
+        ]);
+        assert!(ok, "fleet gen --threads {threads} failed: {err}");
+    }
+    for artifact in ["traceroutes.jsonl", "probes.json", "bgp.csv", "truth.json"] {
+        let a = std::fs::read(dir.join("a").join(artifact)).unwrap();
+        let b = std::fs::read(dir.join("b").join(artifact)).unwrap();
+        let c = std::fs::read(dir.join("c").join(artifact)).unwrap();
+        assert!(a == b, "{artifact} differs between identical runs");
+        assert!(
+            a == c,
+            "{artifact} differs between --threads 1 and --threads 3"
+        );
+        assert!(!a.is_empty(), "{artifact} is empty");
+    }
+
+    // A different seed moves the corpus (the knob is live).
+    let other = dir.join("other");
+    let (_, err, ok) = run(&[
+        "fleet",
+        "gen",
+        "--spec",
+        spec_s,
+        "--out",
+        other.to_str().unwrap(),
+        "--seed",
+        "12",
+    ]);
+    assert!(ok, "fleet gen failed: {err}");
+    let a = std::fs::read(dir.join("a/traceroutes.jsonl")).unwrap();
+    let d = std::fs::read(other.join("traceroutes.jsonl")).unwrap();
+    assert!(a != d, "different seeds must move the corpus");
+}
+
+#[test]
+fn fleet_gen_primes_cache_for_zero_reingest_warm_classify() {
+    let dir = scratch("warm");
+    let spec = write_spec(&dir);
+    let world = dir.join("world");
+    let cache = dir.join("cache");
+    let (_, err, ok) = run(&[
+        "fleet",
+        "gen",
+        "--spec",
+        spec.to_str().unwrap(),
+        "--out",
+        world.to_str().unwrap(),
+        "--seed",
+        "5",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+    ]);
+    assert!(ok, "fleet gen failed: {err}");
+    assert!(err.contains("[cache] primed"), "{err}");
+    assert!(cache.join("series.lmss").exists());
+
+    let (start, end) = truth_window(&world.join("truth.json"));
+    let trs = world.join("traceroutes.jsonl");
+    let probes_path = world.join("probes.json");
+    let probes: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&probes_path).unwrap()).unwrap();
+    let probe_count = probes.as_array().unwrap().len();
+
+    let classify = |extra: &[&str]| -> (String, String, bool) {
+        let mut args = vec![
+            "classify",
+            "--traceroutes",
+            trs.to_str().unwrap(),
+            "--probes",
+            probes_path.to_str().unwrap(),
+            "--json",
+        ];
+        let (start_s, end_s) = (start.to_string(), end.to_string());
+        args.extend(["--start", &start_s, "--end", &end_s]);
+        args.extend(extra);
+        run(&args)
+    };
+
+    // Cold baseline: no cache flags at all.
+    let (cold, err, ok) = classify(&[]);
+    assert!(ok, "cold classify failed: {err}");
+
+    // Warm run against the primed snapshot, read-only: every series is a
+    // hit, nothing is re-ingested, nothing is re-inserted — and the
+    // verdicts are byte-identical to the cold run.
+    let stats = dir.join("stats.json");
+    let (warm, err, ok) = classify(&[
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--cache",
+        "ro",
+        "--stats-out",
+        stats.to_str().unwrap(),
+    ]);
+    assert!(ok, "warm classify failed: {err}");
+    assert_eq!(cold, warm, "warm verdicts must match cold verdicts");
+    let stats: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&stats).unwrap()).unwrap();
+    assert_eq!(
+        stats["store"]["hits"].as_u64().unwrap(),
+        probe_count as u64,
+        "every probe series must come from the snapshot: {stats}"
+    );
+    assert_eq!(stats["store"]["misses"].as_u64(), Some(0), "{stats}");
+    assert_eq!(stats["store"]["inserts"].as_u64(), Some(0), "{stats}");
+    assert_eq!(
+        stats["traceroutes_ingested"].as_u64(),
+        Some(0),
+        "a warm fleet survey must re-ingest nothing: {stats}"
+    );
+}
+
+#[test]
+fn fleet_score_joins_truth_and_enforces_gates() {
+    let dir = scratch("score");
+    let spec = write_spec(&dir);
+    let world = dir.join("world");
+    let (_, err, ok) = run(&[
+        "fleet",
+        "gen",
+        "--spec",
+        spec.to_str().unwrap(),
+        "--out",
+        world.to_str().unwrap(),
+        "--seed",
+        "9",
+    ]);
+    assert!(ok, "fleet gen failed: {err}");
+    let (start, end) = truth_window(&world.join("truth.json"));
+
+    let (classified, err, ok) = run(&[
+        "classify",
+        "--traceroutes",
+        world.join("traceroutes.jsonl").to_str().unwrap(),
+        "--probes",
+        world.join("probes.json").to_str().unwrap(),
+        "--start",
+        &start.to_string(),
+        "--end",
+        &end.to_string(),
+        "--json",
+    ]);
+    assert!(ok, "classify failed: {err}");
+    let classified_path = dir.join("classified.json");
+    std::fs::write(&classified_path, &classified).unwrap();
+
+    // Gates that must hold by construction: the severe AS is found
+    // (recall 1.0) and the peering AS — congested *beyond* the edge — is
+    // never a false positive.
+    let truth_s = world.join("truth.json");
+    let (stdout, err, ok) = run(&[
+        "fleet",
+        "score",
+        "--truth",
+        truth_s.to_str().unwrap(),
+        "--classified",
+        classified_path.to_str().unwrap(),
+        "--min-recall",
+        "0.99",
+        "--max-peering-fp",
+        "0",
+    ]);
+    assert!(ok, "score gates failed: {err}\n{stdout}");
+    assert!(stdout.contains("severe"), "{stdout}");
+    assert!(stdout.contains("adversarial_peering"), "{stdout}");
+    assert!(stdout.contains("recall 1.000"), "{stdout}");
+
+    // The JSON form carries the full matrix.
+    let (stdout, err, ok) = run(&[
+        "fleet",
+        "score",
+        "--truth",
+        truth_s.to_str().unwrap(),
+        "--classified",
+        classified_path.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(ok, "score --json failed: {err}");
+    let doc: serde_json::Value = serde_json::from_str(&stdout).expect("score json");
+    assert_eq!(doc["spec_name"], "e2e");
+    assert_eq!(doc["ases"].as_u64(), Some(3));
+    assert_eq!(doc["recall"].as_f64(), Some(1.0));
+    assert_eq!(
+        doc["false_positives"]["adversarial_peering"].as_u64(),
+        Some(0)
+    );
+    let matrix = doc["matrix"].as_array().unwrap();
+    assert_eq!(matrix.len(), 3, "{stdout}");
+    assert_eq!(matrix[0]["label"], "severe");
+    assert_eq!(matrix[0]["outcomes"]["Severe"].as_u64(), Some(1));
+
+    // An impossible gate fails loudly (nonzero exit, matrix still shown).
+    let (stdout, err, ok) = run(&[
+        "fleet",
+        "score",
+        "--truth",
+        truth_s.to_str().unwrap(),
+        "--classified",
+        classified_path.to_str().unwrap(),
+        "--min-recall",
+        "1.01",
+    ]);
+    assert!(!ok, "impossible gate must fail");
+    assert!(err.contains("below --min-recall"), "{err}");
+    assert!(
+        stdout.contains("severe"),
+        "matrix must print even on gate failure"
+    );
+}

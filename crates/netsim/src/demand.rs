@@ -36,6 +36,11 @@ pub struct DiurnalProfile {
     /// Weekend amplitude multiplier (e.g. 1.05: slightly busier evenings,
     /// or < 1 for business ISPs).
     pub weekend_scale: f64,
+    /// Weekday amplitude multiplier (normally 1.0). Setting it to 0 turns
+    /// the profile into a **weekly-only** rhythm — flat at `base` Monday
+    /// through Friday, peaking only on weekends. Fleet scenarios use this
+    /// as an adversarial case for the daily-periodicity detector.
+    pub weekday_scale: f64,
     /// Hours the evening peak shifts later on weekends (e.g. 0.5).
     pub weekend_shift_hours: f64,
     /// Added daytime plateau between 09:00 and 18:00 local, fraction of
@@ -53,6 +58,7 @@ impl DiurnalProfile {
             morning_bump: 0.3,
             morning_hour: 10.0,
             weekend_scale: 1.05,
+            weekday_scale: 1.0,
             weekend_shift_hours: 0.5,
             daytime_plateau: 0.0,
         }
@@ -79,7 +85,11 @@ impl DiurnalProfile {
         } else {
             self.peak_hour
         };
-        let scale = if weekend { self.weekend_scale } else { 1.0 };
+        let scale = if weekend {
+            self.weekend_scale
+        } else {
+            self.weekday_scale
+        };
 
         let evening = gaussian_bump(local_hour, peak_center, self.peak_width_hours);
         let morning = self.morning_bump * gaussian_bump(local_hour, self.morning_hour, 2.0);
@@ -194,6 +204,22 @@ mod tests {
             p.shape(15.0, Weekday::Tuesday),
             p.shape(15.0, Weekday::Wednesday)
         );
+    }
+
+    #[test]
+    fn weekly_only_profile_is_flat_on_weekdays() {
+        let weekly = DiurnalProfile {
+            weekday_scale: 0.0,
+            weekend_scale: 1.0,
+            ..DiurnalProfile::residential()
+        };
+        // Weekdays sit at the base floor at every hour...
+        for h in 0..24 {
+            let v = weekly.shape(h as f64, Weekday::Wednesday);
+            assert!((v - weekly.base).abs() < 1e-12, "hour {h}: {v}");
+        }
+        // ...while the weekend evening peak survives in full.
+        assert!(weekly.shape(21.5, Weekday::Saturday) > 0.95);
     }
 
     #[test]

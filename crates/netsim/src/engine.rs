@@ -58,6 +58,13 @@ struct PathSpec {
     edge: IpAddr,
     core: IpAddr,
     q: f64,
+    /// Peering-link queuing delay, ms — enters the path *beyond* the ISP
+    /// edge (core and destination hops only), so the last-mile estimator
+    /// never sees it.
+    peering: f64,
+    /// Route-change RTT level shift, ms — enters at the ISP edge and
+    /// persists outward, an aperiodic step the detector must not flag.
+    shift: f64,
 }
 
 /// Generates traceroutes for probes of a world.
@@ -135,6 +142,8 @@ impl<'w> TracerouteEngine<'w> {
                 .nth_address(0xF_0000)
                 .expect("v6 /32 has room for core"),
             q: 0.0,
+            peering: 0.0,
+            shift: 0.0,
         };
 
         let bins = BinSpec::thirty_minutes();
@@ -295,6 +304,8 @@ impl<'w> TracerouteEngine<'w> {
             edge: probe.edge,
             core: self.core_address(probe),
             q,
+            peering: self.world.peering_delay_ms(probe.meta.asn, run.at),
+            shift: self.world.route_shift_ms(probe.meta.asn, run.at),
         };
         self.synth_traceroute(probe, run, &path, trng)
     }
@@ -343,14 +354,25 @@ impl<'w> TracerouteEngine<'w> {
         if let Some(cgn) = path.cgn {
             push(cgn, probe.base_lan_ms + 0.2, trng);
         }
-        // 3. ISP edge: base LAN + access propagation + shared-segment queue
-        let edge_rtt = probe.base_lan_ms + probe.base_access_ms + q;
+        // 3. ISP edge: base LAN + access propagation + shared-segment
+        //    queue, plus any route-change level shift (the new upstream
+        //    path changes the edge RTT too)
+        let edge_rtt = probe.base_lan_ms + probe.base_access_ms + q + path.shift;
         push(path.edge, edge_rtt, trng);
         // 4. ISP core (one hop into the backbone; everything beyond the
-        //    edge keeps carrying the access queue delay)
-        push(path.core, edge_rtt + 1.0 + 2.0 * trng.gen::<f64>(), trng);
+        //    edge keeps carrying the access queue delay, and crossing the
+        //    peering link adds its queue — invisible to edge − LAN)
+        push(
+            path.core,
+            edge_rtt + path.peering + 1.0 + 2.0 * trng.gen::<f64>(),
+            trng,
+        );
         // 5. destination
-        push(run.target, edge_rtt + 4.0 + 6.0 * trng.gen::<f64>(), trng);
+        push(
+            run.target,
+            edge_rtt + path.peering + 4.0 + 6.0 * trng.gen::<f64>(),
+            trng,
+        );
 
         TracerouteResult {
             probe: probe.meta.id,
@@ -550,6 +572,84 @@ mod tests {
             v6_swing < v4_swing * 0.25,
             "v6 swing {v6_swing:.2} vs v4 {v4_swing:.2}"
         );
+    }
+
+    #[test]
+    fn peering_congestion_is_invisible_to_the_last_mile_estimator() {
+        // A fiber AS whose *peering* link is congested: the core and
+        // destination RTTs swing with the evening, but edge − LAN stays
+        // flat — the estimator's structural blindness the fleet's
+        // adversarial ASes rely on.
+        let mut b = World::builder(31);
+        b.add_isp(
+            IspConfig::clean(65001, "PEER", "JP", TzOffset::JST).with_peering_congestion(6.0),
+        );
+        b.add_probes(65001, 2, &ProbeSpec::simple());
+        let w = b.build();
+        let engine = TracerouteEngine::new(&w);
+        let probe = w.probes().iter().find(|p| p.participation > 0.7).unwrap();
+        let trs = engine.probe_traceroutes(probe, &one_day());
+
+        let med_at = |h: u8, f: &dyn Fn(&TracerouteResult) -> Option<f64>| {
+            let mut v: Vec<f64> = trs
+                .iter()
+                .filter(|t| t.timestamp.hour_of_day() == h)
+                .filter_map(f)
+                .collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let lastmile = |t: &TracerouteResult| -> Option<f64> {
+            Some(t.first_public_hop()?.rtts().next()? - t.last_private_hop()?.rtts().next()?)
+        };
+        let core_minus_edge = |t: &TracerouteResult| -> Option<f64> {
+            let edge = t.first_public_hop()?.rtts().next()?;
+            let core = t.hops.get(2)?.rtts().next()?;
+            Some(core - edge)
+        };
+        // JST evening = 12:00 UTC, JST night = 19:00 UTC.
+        let lm_swing = med_at(12, &lastmile) - med_at(19, &lastmile);
+        let core_swing = med_at(12, &core_minus_edge) - med_at(19, &core_minus_edge);
+        assert!(core_swing > 2.0, "core-hop evening swing {core_swing:.2}");
+        assert!(lm_swing.abs() < 0.5, "last-mile swing {lm_swing:.2}");
+    }
+
+    #[test]
+    fn route_shift_steps_the_edge_rtt_aperiodically() {
+        let at = CivilDate::new(2019, 9, 19).midnight() + 43_200;
+        let mut b = World::builder(32);
+        b.add_isp(IspConfig::clean(65001, "SHIFT", "DE", TzOffset::CET).with_route_shift(at, 5.0));
+        b.add_probes(65001, 1, &ProbeSpec::simple());
+        let w = b.build();
+        let engine = TracerouteEngine::new(&w);
+        let probe = &w.probes()[0];
+        let trs = engine.probe_traceroutes(probe, &one_day());
+        let med = |pred: &dyn Fn(&TracerouteResult) -> bool| {
+            let mut v: Vec<f64> = trs
+                .iter()
+                .filter(|t| pred(t))
+                .filter_map(|t| t.first_public_hop()?.rtts().next())
+                .collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let before = med(&|t: &TracerouteResult| t.timestamp < at);
+        let after = med(&|t: &TracerouteResult| t.timestamp >= at);
+        assert!(
+            after > before + 4.0,
+            "edge RTT must step: {before:.2} -> {after:.2}"
+        );
+        // The step rides through to the destination hop as well.
+        let dst_after = {
+            let mut v: Vec<f64> = trs
+                .iter()
+                .filter(|t| t.timestamp >= at)
+                .filter_map(|t| t.hops.last()?.rtts().next())
+                .collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        assert!(dst_after > after, "destination carries the shifted edge");
     }
 
     #[test]

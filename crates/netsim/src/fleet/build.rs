@@ -1,0 +1,357 @@
+//! Fleet world construction: spec + seed → simulated internet + truth.
+//!
+//! Planting is a single deterministic loop over label groups in a fixed
+//! order, so the mapping from spec to (ASN, label) is stable across runs
+//! and across code that only *reads* the spec (the scorer, the linter).
+//! Every random draw routes through [`crate::rng`] keyed on the seed and
+//! the AS index — never on iteration order or thread identity.
+
+use crate::demand::DiurnalProfile;
+use crate::fleet::{FleetAsTruth, FleetLabel, FleetScenario, FleetSpec};
+use crate::isp::IspConfig;
+use crate::rng;
+use crate::scenarios::{peak_delay_per_amplitude, survey, GroundTruthClass};
+use crate::world::{ProbeSpec, World};
+use crate::AccessTech;
+use lastmile_prefix::Asn;
+use lastmile_timebase::TimeRange;
+
+/// First ASN of a fleet world (fleet ASNs are `FIRST_ASN + index`).
+pub const FIRST_ASN: Asn = 1000;
+
+/// Build a fleet world from a validated spec. Panics on an invalid spec —
+/// callers validate first (`lastmile lint --fleet` exists for exactly
+/// this), so a violation here is a caller bug.
+pub fn build_fleet(spec: &FleetSpec, seed: u64) -> FleetScenario {
+    let violations = spec.validate();
+    assert!(violations.is_empty(), "invalid fleet spec: {violations:?}");
+
+    let window = spec.window();
+    let mut b = World::builder(seed);
+    let mut truth = Vec::with_capacity(spec.classes.total());
+
+    let groups: [(FleetLabel, usize); 8] = [
+        (FleetLabel::Severe, spec.classes.severe),
+        (FleetLabel::Mild, spec.classes.mild),
+        (FleetLabel::Low, spec.classes.low),
+        (FleetLabel::Clean, spec.classes.clean),
+        (FleetLabel::Transient, spec.classes.transient),
+        (
+            FleetLabel::AdversarialWeekly,
+            spec.classes.adversarial_weekly,
+        ),
+        (
+            FleetLabel::AdversarialPeering,
+            spec.classes.adversarial_peering,
+        ),
+        (
+            FleetLabel::AdversarialRouteShift,
+            spec.classes.adversarial_route_shift,
+        ),
+    ];
+
+    let mut index = 0usize;
+    for (label, count) in groups {
+        for _ in 0..count {
+            plant_one(&mut b, &mut truth, spec, seed, index, label, &window);
+            index += 1;
+        }
+    }
+
+    FleetScenario {
+        world: b.build(),
+        truth,
+        window,
+    }
+}
+
+/// Plant one AS of the given label at fleet index `index`.
+#[allow(clippy::too_many_arguments)]
+fn plant_one(
+    b: &mut crate::world::WorldBuilder,
+    truth: &mut Vec<FleetAsTruth>,
+    spec: &FleetSpec,
+    seed: u64,
+    index: usize,
+    label: FleetLabel,
+    window: &TimeRange,
+) {
+    let u = |tag: u64| rng::unit_f64(seed, &[index as u64, tag, 0xF1EE]);
+    let asn: Asn = FIRST_ASN + index as Asn;
+    let name = format!("FLEET{asn}");
+    let country = survey::COUNTRIES[(u(0) * 991.0) as usize % survey::COUNTRIES.len()];
+    let tz = survey::country_tz(country);
+
+    // Per-AS demand idiosyncrasy, like the survey's: peak hour and width
+    // vary so populations in the same timezone still decorrelate.
+    let demand = DiurnalProfile {
+        peak_hour: 20.0 + 2.0 * u(1),
+        peak_width_hours: 2.0 + 1.2 * u(2),
+        ..DiurnalProfile::residential()
+    };
+
+    // Congested access tech mixes PPPoE and cable; clean eyeballs run
+    // fiber. LTE enters as attached mobile services on a few congested
+    // ASes (the paper's ISP_A pattern: mobile bypasses the broadband
+    // bottleneck).
+    let congested_tech = if u(3) < 0.6 {
+        AccessTech::SharedLegacyPppoe
+    } else {
+        AccessTech::CableDocsis
+    };
+
+    let (config, class, amplitude) = match label {
+        FleetLabel::Severe | FleetLabel::Mild | FleetLabel::Low => {
+            let (class, amplitude) = match label {
+                FleetLabel::Severe => (GroundTruthClass::Severe, 3.4 + 5.0 * u(4)),
+                FleetLabel::Mild => (GroundTruthClass::Mild, 1.25 + 1.4 * u(4)),
+                _ => (GroundTruthClass::Low, 0.62 + 0.3 * u(4)),
+            };
+            let peak = amplitude * peak_delay_per_amplitude(congested_tech);
+            let mut cfg = IspConfig {
+                access: congested_tech,
+                demand,
+                peak_queuing_ms: peak,
+                ..IspConfig::clean(asn, &name, country, tz)
+            };
+            if u(5) < 0.25 {
+                cfg = cfg.with_mobile(asn + 10_000, 0.2 + 0.2 * u(6));
+            }
+            (cfg, class, amplitude)
+        }
+        FleetLabel::Clean => {
+            let cfg = IspConfig {
+                demand,
+                peak_queuing_ms: 0.05 + 0.15 * u(4),
+                ..IspConfig::clean(asn, &name, country, tz)
+            };
+            (cfg, GroundTruthClass::NoDaily, 0.0)
+        }
+        FleetLabel::Transient => {
+            // A strong episode covering ~1.5–2.5 days of the window; flat
+            // outside it. Not persistent, so ground truth is NoDaily.
+            let days = f64::from(spec.days);
+            let start_day = 1.0 + u(5) * (days - 4.0).max(0.5);
+            let len_days = 1.5 + u(6);
+            let ep_start = window.start() + (start_day * 86_400.0) as i64;
+            let ep_end = window.end().min(ep_start + (len_days * 86_400.0) as i64);
+            let episode_amp = 2.2 + 1.5 * u(4);
+            let peak = episode_amp * peak_delay_per_amplitude(congested_tech);
+            let cfg = IspConfig {
+                access: congested_tech,
+                demand,
+                peak_queuing_ms: peak,
+                ..IspConfig::clean(asn, &name, country, tz)
+            }
+            .with_active_window(TimeRange::new(ep_start, ep_end));
+            (cfg, GroundTruthClass::NoDaily, 0.0)
+        }
+        FleetLabel::AdversarialWeekly => {
+            // Demand exists only on weekends: a weekly rhythm with *no*
+            // daily component. The planted amplitude is what a weekend
+            // evening would measure if it recurred daily — the daily
+            // ground truth stays 0.
+            let weekend_amp = 2.5 + 2.0 * u(4);
+            let peak = weekend_amp * peak_delay_per_amplitude(AccessTech::SharedLegacyPppoe);
+            let cfg = IspConfig {
+                access: AccessTech::SharedLegacyPppoe,
+                demand: DiurnalProfile {
+                    weekday_scale: 0.0,
+                    weekend_scale: 1.0,
+                    ..demand
+                },
+                peak_queuing_ms: peak,
+                ..IspConfig::clean(asn, &name, country, tz)
+            };
+            (cfg, GroundTruthClass::NoDaily, 0.0)
+        }
+        FleetLabel::AdversarialPeering => {
+            // Clean fiber access; the congestion lives on the upstream
+            // peering link, beyond the edge. Diurnal and strong — but
+            // structurally invisible to edge − LAN.
+            let cfg = IspConfig {
+                demand,
+                peak_queuing_ms: 0.05,
+                ..IspConfig::clean(asn, &name, country, tz)
+            }
+            .with_peering_congestion(3.0 + 4.0 * u(4));
+            (cfg, GroundTruthClass::NoDaily, 0.0)
+        }
+        FleetLabel::AdversarialRouteShift => {
+            // Clean fiber; mid-window the upstream route changes and the
+            // edge RTT steps by a few ms — aperiodic, not congestion.
+            let at =
+                window.start() + ((0.35 + 0.3 * u(5)) * f64::from(spec.days) * 86_400.0) as i64;
+            let cfg = IspConfig {
+                demand,
+                peak_queuing_ms: 0.05,
+                ..IspConfig::clean(asn, &name, country, tz)
+            }
+            .with_route_shift(at, 3.0 + 5.0 * u(4));
+            (cfg, GroundTruthClass::NoDaily, 0.0)
+        }
+    };
+
+    b.add_isp(config);
+    // Population size skews small (Zipf-ish), like real per-AS probe
+    // coverage; the spec bounds it.
+    let span = (spec.probes_max - spec.probes_min) as f64;
+    let probes = spec.probes_min + (span * u(7) * u(7)).round() as usize;
+    b.add_probes(asn, probes, &ProbeSpec::simple().with_old_versions(0.2));
+
+    truth.push(FleetAsTruth {
+        asn,
+        name,
+        country: country.to_string(),
+        label,
+        class,
+        amplitude_ms: amplitude,
+        probes,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::ServiceClass;
+    use lastmile_timebase::UnixTime;
+
+    fn spec() -> FleetSpec {
+        FleetSpec::example()
+    }
+
+    #[test]
+    fn plants_every_label_in_order() {
+        let s = build_fleet(&spec(), 11);
+        assert_eq!(s.truth.len(), 16);
+        assert_eq!(s.world.ases().len(), 16);
+        // Label groups appear in declaration order with contiguous ASNs.
+        assert_eq!(s.truth[0].asn, FIRST_ASN);
+        assert_eq!(s.truth[0].label, FleetLabel::Severe);
+        assert_eq!(s.truth[15].label, FleetLabel::AdversarialRouteShift);
+        for (i, t) in s.truth.iter().enumerate() {
+            assert_eq!(t.asn, FIRST_ASN + i as Asn);
+            assert!(t.probes >= 3);
+            assert!(s.world.as_for(t.asn).is_some());
+        }
+    }
+
+    #[test]
+    fn truth_classes_match_labels() {
+        let s = build_fleet(&spec(), 11);
+        for t in &s.truth {
+            match t.label {
+                FleetLabel::Severe => assert_eq!(t.class, GroundTruthClass::Severe),
+                FleetLabel::Mild => assert_eq!(t.class, GroundTruthClass::Mild),
+                FleetLabel::Low => assert_eq!(t.class, GroundTruthClass::Low),
+                _ => {
+                    assert_eq!(t.class, GroundTruthClass::NoDaily);
+                    assert_eq!(t.amplitude_ms, 0.0);
+                }
+            }
+            assert_eq!(t.label.expect_reported(), t.class.is_reported());
+        }
+    }
+
+    #[test]
+    fn adversarial_ases_carry_their_knobs() {
+        let s = build_fleet(&spec(), 11);
+        for t in &s.truth {
+            let cfg = &s.world.as_for(t.asn).unwrap().config;
+            match t.label {
+                FleetLabel::AdversarialWeekly => {
+                    assert_eq!(cfg.demand.weekday_scale, 0.0);
+                    assert!(cfg.peak_queuing_ms > 1.0);
+                }
+                FleetLabel::AdversarialPeering => {
+                    assert!(cfg.peering_peak_ms >= 3.0);
+                    assert!(cfg.peak_queuing_ms < 0.2, "access stays clean");
+                }
+                FleetLabel::AdversarialRouteShift => {
+                    let rs = cfg.route_shift.expect("route shift planted");
+                    assert!(s.window.contains(rs.at));
+                    assert!(rs.delta_ms >= 3.0);
+                }
+                FleetLabel::Transient => {
+                    let w = cfg.active_window.expect("episode planted");
+                    assert!(w.start() > s.window.start());
+                    assert!(w.end() <= s.window.end());
+                    assert!(w.duration_secs() >= 86_400);
+                }
+                _ => {
+                    assert_eq!(cfg.peering_peak_ms, 0.0);
+                    assert!(cfg.route_shift.is_none() && cfg.active_window.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_worlds_have_no_anchors_and_bounded_probes() {
+        let s = build_fleet(&spec(), 11);
+        assert!(s.world.probes().iter().all(|p| !p.meta.is_anchor));
+        for t in &s.truth {
+            let n = s.world.probes_in(t.asn).count();
+            assert_eq!(n, t.probes);
+            assert!((3..=8).contains(&n), "AS{}: {n}", t.asn);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = build_fleet(&spec(), 42);
+        let b = build_fleet(&spec(), 42);
+        for (x, y) in a.truth.iter().zip(&b.truth) {
+            assert_eq!(x.asn, y.asn);
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.amplitude_ms, y.amplitude_ms);
+            assert_eq!(x.country, y.country);
+            assert_eq!(x.probes, y.probes);
+        }
+        // Different seeds move the draws.
+        let c = build_fleet(&spec(), 43);
+        assert!(a
+            .truth
+            .iter()
+            .zip(&c.truth)
+            .any(|(x, y)| x.amplitude_ms != y.amplitude_ms || x.country != y.country));
+    }
+
+    #[test]
+    fn transient_congestion_is_confined_to_its_episode() {
+        let s = build_fleet(&spec(), 11);
+        let t = s
+            .truth
+            .iter()
+            .find(|t| t.label == FleetLabel::Transient)
+            .unwrap();
+        let episode = s.world.as_for(t.asn).unwrap().config.active_window.unwrap();
+        // Probe local evenings inside vs outside the episode.
+        let probe = |at: UnixTime| {
+            s.world
+                .queuing_delay_ms(t.asn, ServiceClass::BroadbandV4, at)
+        };
+        let mut inside_max: f64 = 0.0;
+        let mut outside_max: f64 = 0.0;
+        let mut t0 = s.window.start();
+        while t0 < s.window.end() {
+            let q = probe(t0);
+            if episode.contains(t0) {
+                inside_max = inside_max.max(q);
+            } else {
+                outside_max = outside_max.max(q);
+            }
+            t0 += 1800;
+        }
+        assert!(inside_max > 1.0, "episode peak {inside_max}");
+        assert_eq!(outside_max, 0.0, "outside the episode must be silent");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fleet spec")]
+    fn invalid_specs_are_rejected() {
+        let mut bad = spec();
+        bad.days = 1;
+        let _ = build_fleet(&bad, 1);
+    }
+}

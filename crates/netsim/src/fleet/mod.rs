@@ -1,0 +1,170 @@
+//! Scenario fleets: synthetic internets with per-AS ground truth.
+//!
+//! The paper's headline numbers are measured over 646 ASes; this module
+//! generates worlds of that shape on demand so the *detector* can be
+//! scored against known truth. A [`FleetSpec`] (declarative, seedable)
+//! states how many ASes of each class to plant:
+//!
+//! | label                    | what the detector should say |
+//! |--------------------------|------------------------------|
+//! | `severe`/`mild`/`low`    | report (persistent, daily)   |
+//! | `clean`                  | nothing                      |
+//! | `transient`              | nothing (episode, not persistent) |
+//! | `adversarial_weekly`     | nothing (weekly, not daily)  |
+//! | `adversarial_peering`    | nothing (beyond the edge)    |
+//! | `adversarial_route_shift`| nothing (aperiodic step)     |
+//!
+//! [`build_fleet`] turns spec + seed into a [`FleetScenario`]: a
+//! [`crate::World`] plus a [`FleetAsTruth`] sidecar per AS. The CLI's
+//! `lastmile fleet gen` renders the world into a traceroute corpus and
+//! `lastmile fleet score` joins `classify --json` output back against the
+//! sidecar into a per-label confusion matrix.
+//!
+//! [`select_probes`] implements the probe-subsampling knob (uniform or
+//! biased per-AS draws, "Less is More") so detection quality can be
+//! studied down to the paper's 3-probe inclusion threshold.
+
+mod build;
+mod sample;
+mod spec;
+
+pub use build::{build_fleet, FIRST_ASN};
+pub use sample::{select_probes, SampleMode};
+pub use spec::{ClassMix, FleetSpec, MAX_DAYS, MAX_PROBES_PER_AS, MIN_DAYS, MIN_PROBES_PER_AS};
+
+use crate::scenarios::GroundTruthClass;
+use crate::world::World;
+use lastmile_prefix::Asn;
+use lastmile_timebase::TimeRange;
+
+/// The ground-truth label of a fleet AS — one confusion-matrix row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FleetLabel {
+    /// Persistently congested, daily amplitude > 3 ms.
+    Severe,
+    /// Persistently congested, daily amplitude in (1, 3] ms.
+    Mild,
+    /// Persistently congested, daily amplitude in (0.5, 1] ms.
+    Low,
+    /// Clean fiber eyeball.
+    Clean,
+    /// Congested only during a short episode inside the window.
+    Transient,
+    /// Weekend-only demand: weekly periodicity, no daily component.
+    AdversarialWeekly,
+    /// Congestion on the upstream peering link, beyond the ISP edge.
+    AdversarialPeering,
+    /// A route-change RTT level shift mid-window.
+    AdversarialRouteShift,
+}
+
+impl FleetLabel {
+    /// Every label, in planting (and confusion-matrix row) order.
+    pub const ALL: [FleetLabel; 8] = [
+        FleetLabel::Severe,
+        FleetLabel::Mild,
+        FleetLabel::Low,
+        FleetLabel::Clean,
+        FleetLabel::Transient,
+        FleetLabel::AdversarialWeekly,
+        FleetLabel::AdversarialPeering,
+        FleetLabel::AdversarialRouteShift,
+    ];
+
+    /// The label's canonical (spec/sidecar) name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FleetLabel::Severe => "severe",
+            FleetLabel::Mild => "mild",
+            FleetLabel::Low => "low",
+            FleetLabel::Clean => "clean",
+            FleetLabel::Transient => "transient",
+            FleetLabel::AdversarialWeekly => "adversarial_weekly",
+            FleetLabel::AdversarialPeering => "adversarial_peering",
+            FleetLabel::AdversarialRouteShift => "adversarial_route_shift",
+        }
+    }
+
+    /// Parse a canonical label name.
+    pub fn parse(s: &str) -> Option<FleetLabel> {
+        FleetLabel::ALL.into_iter().find(|l| l.as_str() == s)
+    }
+
+    /// Whether the detector *should* report ASes of this label.
+    pub fn expect_reported(self) -> bool {
+        matches!(
+            self,
+            FleetLabel::Severe | FleetLabel::Mild | FleetLabel::Low
+        )
+    }
+}
+
+/// Ground truth for one fleet AS — one sidecar row.
+#[derive(Clone, Debug)]
+pub struct FleetAsTruth {
+    /// The broadband ASN.
+    pub asn: Asn,
+    /// Display name (`FLEET<asn>`).
+    pub name: String,
+    /// ISO country code (timezone follows the country).
+    pub country: String,
+    /// The planted label.
+    pub label: FleetLabel,
+    /// The planted *daily* congestion class (NoDaily for everything the
+    /// detector should stay silent on).
+    pub class: GroundTruthClass,
+    /// Planted daily peak-to-peak amplitude, ms (0 when not reported).
+    pub amplitude_ms: f64,
+    /// Probes hosted by the AS in the world (before any subsampling).
+    pub probes: usize,
+}
+
+/// A built fleet: the world, its truth sidecar, and the window.
+pub struct FleetScenario {
+    /// The simulated internet.
+    pub world: World,
+    /// Per-AS ground truth, in ASN order.
+    pub truth: Vec<FleetAsTruth>,
+    /// The measurement window the corpus covers.
+    pub window: TimeRange,
+}
+
+impl FleetScenario {
+    /// Ground truth for an ASN.
+    pub fn truth_for(&self, asn: Asn) -> Option<&FleetAsTruth> {
+        self.truth.iter().find(|t| t.asn == asn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_names_round_trip() {
+        for label in FleetLabel::ALL {
+            assert_eq!(FleetLabel::parse(label.as_str()), Some(label));
+        }
+        assert_eq!(FleetLabel::parse("bogus"), None);
+    }
+
+    #[test]
+    fn reported_labels_are_the_persistent_ones() {
+        let reported: Vec<_> = FleetLabel::ALL
+            .into_iter()
+            .filter(|l| l.expect_reported())
+            .collect();
+        assert_eq!(
+            reported,
+            [FleetLabel::Severe, FleetLabel::Mild, FleetLabel::Low]
+        );
+    }
+
+    #[test]
+    fn scenario_lookup_by_asn() {
+        let s = build_fleet(&FleetSpec::example(), 3);
+        let first = &s.truth[0];
+        assert_eq!(s.truth_for(first.asn).unwrap().label, first.label);
+        assert!(s.truth_for(1).is_none());
+    }
+}

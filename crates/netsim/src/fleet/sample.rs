@@ -1,0 +1,141 @@
+//! Probe subsampling — the "Less is More" knob.
+//!
+//! Real per-AS Atlas coverage is tiny: the paper's inclusion threshold is
+//! just 3 probes. The fleet generator therefore supports emitting only a
+//! subset of each AS's probes, in two modes:
+//!
+//! * **Uniform** — a seeded uniform draw, the honest model of "whatever
+//!   probes happen to exist in this AS". Detection quality degrades with
+//!   population size because a small draw can land entirely on probes
+//!   that do not share the congested segment.
+//! * **Biased** — prefer probes whose *participation* is closest to 1,
+//!   i.e. probes that see the shared bottleneck roughly 1:1. This models
+//!   informed vantage-point selection ("Less is More: probe selection
+//!   strategies beat probe volume") and keeps even 3-probe populations
+//!   representative.
+//!
+//! Selection is deterministic in (world seed, sampling seed, ASN, probe
+//! id) — independent of iteration order — and the returned ids are
+//! sorted, so corpus emission order is stable.
+
+use crate::rng;
+use crate::world::World;
+use lastmile_atlas::ProbeId;
+use lastmile_prefix::Asn;
+
+/// How a per-AS probe subset is drawn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampleMode {
+    /// Seeded uniform draw over the AS's probes.
+    Uniform,
+    /// Prefer probes with participation closest to 1 (shared-bottleneck
+    /// vantage points).
+    Biased,
+}
+
+impl SampleMode {
+    /// Parse a mode name (`uniform` | `biased`).
+    pub fn parse(s: &str) -> Option<SampleMode> {
+        match s {
+            "uniform" => Some(SampleMode::Uniform),
+            "biased" => Some(SampleMode::Biased),
+            _ => None,
+        }
+    }
+
+    /// The mode's canonical name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SampleMode::Uniform => "uniform",
+            SampleMode::Biased => "biased",
+        }
+    }
+}
+
+/// Select up to `n` probes of an AS. Returns all of them (sorted) when
+/// the AS hosts `n` or fewer.
+pub fn select_probes(
+    world: &World,
+    asn: Asn,
+    n: usize,
+    mode: SampleMode,
+    sample_seed: u64,
+) -> Vec<ProbeId> {
+    let mut scored: Vec<(f64, ProbeId)> = world
+        .probes_in(asn)
+        .map(|p| {
+            let key = match mode {
+                // Distance from full participation; ties broken by id
+                // via the stable sort below.
+                SampleMode::Biased => (p.participation - 1.0).abs(),
+                SampleMode::Uniform => {
+                    rng::unit_f64(sample_seed, &[u64::from(asn), u64::from(p.meta.id.0), 0x5A])
+                }
+            };
+            (key, p.meta.id)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1 .0.cmp(&b.1 .0)));
+    scored.truncate(n);
+    let mut ids: Vec<ProbeId> = scored.into_iter().map(|(_, id)| id).collect();
+    ids.sort_by_key(|id| id.0);
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::{build_fleet, FleetSpec};
+
+    fn world_with_big_as() -> (World, Asn) {
+        let mut spec = FleetSpec::example();
+        spec.probes_min = 20;
+        spec.probes_max = 30;
+        let s = build_fleet(&spec, 5);
+        let asn = s.truth[0].asn;
+        (s.world, asn)
+    }
+
+    #[test]
+    fn biased_mode_picks_shared_bottleneck_probes() {
+        let (world, asn) = world_with_big_as();
+        let ids = select_probes(&world, asn, 3, SampleMode::Biased, 1);
+        assert_eq!(ids.len(), 3);
+        for id in &ids {
+            let p = world.probes().iter().find(|p| p.meta.id == *id).unwrap();
+            assert!(
+                (p.participation - 1.0).abs() < 0.35,
+                "probe {} participation {}",
+                id.0,
+                p.participation
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_mode_is_seeded_and_seed_sensitive() {
+        let (world, asn) = world_with_big_as();
+        let a = select_probes(&world, asn, 5, SampleMode::Uniform, 1);
+        let b = select_probes(&world, asn, 5, SampleMode::Uniform, 1);
+        assert_eq!(a, b, "same seed, same draw");
+        let c = select_probes(&world, asn, 5, SampleMode::Uniform, 2);
+        assert_ne!(a, c, "different seed moves the draw");
+    }
+
+    #[test]
+    fn selection_is_sorted_and_caps_at_population() {
+        let (world, asn) = world_with_big_as();
+        let all = world.probes_in(asn).count();
+        let ids = select_probes(&world, asn, all + 50, SampleMode::Uniform, 1);
+        assert_eq!(ids.len(), all);
+        assert!(ids.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn mode_parsing_round_trips() {
+        for mode in [SampleMode::Uniform, SampleMode::Biased] {
+            assert_eq!(SampleMode::parse(mode.as_str()), Some(mode));
+        }
+        assert_eq!(SampleMode::parse("random"), None);
+    }
+}

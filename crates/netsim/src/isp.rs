@@ -10,7 +10,7 @@
 use crate::access::AccessTech;
 use crate::demand::DiurnalProfile;
 use lastmile_prefix::Asn;
-use lastmile_timebase::TzOffset;
+use lastmile_timebase::{TimeRange, TzOffset, UnixTime};
 
 /// A mobile (cellular) service attached to an ISP.
 ///
@@ -32,6 +32,20 @@ pub struct V6Service {
     /// far below the PPPoE path ("more recent equipment and lower number
     /// of users", Appendix C).
     pub peak_queuing_ms: f64,
+}
+
+/// A route-change-induced RTT level shift ("From BGP to RTT and Beyond"):
+/// at instant `at`, the AS's upstream path changes and every RTT from the
+/// ISP edge outward steps by `delta_ms` — an *aperiodic* shift that naive
+/// RTT-based congestion inference can mistake for congestion onset. The
+/// paper's detector must not report it (no prominent daily component).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RouteShift {
+    /// When the route changes.
+    pub at: UnixTime,
+    /// RTT level shift from the edge outward, ms (may be negative: a
+    /// route can also get shorter).
+    pub delta_ms: f64,
 }
 
 /// Ground-truth configuration of one eyeball AS.
@@ -61,6 +75,18 @@ pub struct IspConfig {
     pub mobile: Option<MobileService>,
     /// Optional IPv6 broadband service.
     pub v6: Option<V6Service>,
+    /// Target queuing delay at the busiest instant on the AS's upstream
+    /// **peering** link, ms ("Where in the Internet is congestion?").
+    /// This delay sits *beyond* the ISP edge, so the paper's last-mile
+    /// estimator (first-public minus last-private RTT) must not see it.
+    /// Zero for an uncongested interconnect.
+    pub peering_peak_ms: f64,
+    /// Optional route-change RTT level shift.
+    pub route_shift: Option<RouteShift>,
+    /// When set, the shared-segment congestion only exists inside this
+    /// window — a *transient* episode (outage, flash crowd, short-lived
+    /// oversubscription) rather than the paper's persistent pattern.
+    pub active_window: Option<TimeRange>,
 }
 
 impl IspConfig {
@@ -79,6 +105,9 @@ impl IspConfig {
             subscribers: 100_000,
             mobile: None,
             v6: None,
+            peering_peak_ms: 0.0,
+            route_shift: None,
+            active_window: None,
         }
     }
 
@@ -124,6 +153,25 @@ impl IspConfig {
         self.lockdown_factor = factor;
         self
     }
+
+    /// Congest the upstream peering link (beyond the ISP edge).
+    pub fn with_peering_congestion(mut self, peak_ms: f64) -> IspConfig {
+        assert!(peak_ms >= 0.0, "peering peak must be non-negative");
+        self.peering_peak_ms = peak_ms;
+        self
+    }
+
+    /// Apply a route-change RTT level shift from `at` onward.
+    pub fn with_route_shift(mut self, at: UnixTime, delta_ms: f64) -> IspConfig {
+        self.route_shift = Some(RouteShift { at, delta_ms });
+        self
+    }
+
+    /// Confine the shared-segment congestion to a transient episode.
+    pub fn with_active_window(mut self, window: TimeRange) -> IspConfig {
+        self.active_window = Some(window);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -164,5 +212,27 @@ mod tests {
     #[should_panic(expected = "lockdown factor")]
     fn rejects_negative_lockdown_factor() {
         let _ = IspConfig::clean(1, "x", "US", TzOffset::UTC).with_lockdown_factor(-1.0);
+    }
+
+    #[test]
+    fn adversarial_builders_chain() {
+        let start = UnixTime::from_secs(1_000_000);
+        let isp = IspConfig::clean(9, "adv", "US", TzOffset::UTC)
+            .with_peering_congestion(5.0)
+            .with_route_shift(start, 4.0)
+            .with_active_window(TimeRange::new(start, start + 86_400));
+        assert_eq!(isp.peering_peak_ms, 5.0);
+        assert_eq!(isp.route_shift.unwrap().delta_ms, 4.0);
+        assert_eq!(isp.active_window.unwrap().duration_secs(), 86_400);
+        // clean() carries none of the adversarial knobs.
+        let base = IspConfig::clean(1, "x", "US", TzOffset::UTC);
+        assert_eq!(base.peering_peak_ms, 0.0);
+        assert!(base.route_shift.is_none() && base.active_window.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "peering peak")]
+    fn rejects_negative_peering_peak() {
+        let _ = IspConfig::clean(1, "x", "US", TzOffset::UTC).with_peering_congestion(-0.1);
     }
 }

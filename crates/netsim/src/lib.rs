@@ -35,6 +35,9 @@
 //!   reply triples, timeouts, probe flakiness and transient spikes.
 //! * [`scenarios`] — ready-made worlds for every experiment in the paper
 //!   (Figures 1–9 and the §3 survey).
+//! * [`fleet`] — declarative scenario fleets: whole internets with
+//!   per-AS ground truth (persistent/transient/clean/adversarial) for
+//!   scoring the detector, built from a seedable [`fleet::FleetSpec`].
 //!
 //! Everything is reproducible: the world seed plus (probe, bin) indices
 //! derive every random draw, so two runs — or two threads — produce
@@ -43,6 +46,7 @@
 pub mod access;
 pub mod demand;
 pub mod engine;
+pub mod fleet;
 pub mod isp;
 pub mod queue;
 pub mod rng;

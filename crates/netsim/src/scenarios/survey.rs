@@ -228,6 +228,9 @@ pub fn survey_world(cfg: &SurveyConfig) -> SurveyScenario {
             subscribers,
             mobile: None,
             v6: None,
+            peering_peak_ms: 0.0,
+            route_shift: None,
+            active_window: None,
         });
         let probes = probe_count(plan.rank).min(cfg.max_probes_per_as).max(3);
         b.add_probes(asn, probes, &ProbeSpec::simple().with_old_versions(0.3));
@@ -312,7 +315,7 @@ fn probe_count(rank: u32) -> usize {
 }
 
 /// Timezone of a country (fixed offsets; DST ignored).
-fn country_tz(country: &str) -> TzOffset {
+pub fn country_tz(country: &str) -> TzOffset {
     match country {
         "JP" | "KR" => TzOffset::hours(9),
         "CN" | "TW" | "HK" | "SG" | "MY" | "PH" | "AU" => TzOffset::hours(8),

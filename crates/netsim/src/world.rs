@@ -39,6 +39,10 @@ pub struct SimAs {
     pub mobile_queue: Option<QueueModel>,
     /// Queue on the IPv6 (IPoE) service, if offered.
     pub v6_queue: Option<QueueModel>,
+    /// Queue on the upstream peering link, if that interconnect is
+    /// congested. Sits *beyond* the ISP edge: its delay reaches the core
+    /// and destination hops but never the edge−LAN last-mile estimate.
+    pub peering_queue: Option<QueueModel>,
     /// Customer IPv4 space (broadband).
     pub broadband_prefix: Prefix,
     /// Router/edge interface space — the "first public IP" addresses.
@@ -229,11 +233,20 @@ impl World {
 
     /// Queuing delay on an AS's given service at instant `t`, ms.
     ///
-    /// Returns 0 for ASes or services the world does not model.
+    /// Returns 0 for ASes or services the world does not model, and for
+    /// instants outside a transient AS's `active_window`.
     pub fn queuing_delay_ms(&self, asn: Asn, class: ServiceClass, t: UnixTime) -> f64 {
         let Some(sim_as) = self.as_for(asn) else {
             return 0.0;
         };
+        if sim_as
+            .config
+            .active_window
+            .as_ref()
+            .is_some_and(|w| !w.contains(t))
+        {
+            return 0.0;
+        }
         let Some(queue) = self.queue_of(sim_as, class) else {
             return 0.0;
         };
@@ -247,6 +260,31 @@ impl World {
             * self.day_factor(asn, t)
             * self.period_factor(asn, t)
             * lockdown_boost
+    }
+
+    /// Queuing delay on an AS's upstream **peering** link at `t`, ms.
+    ///
+    /// The interconnect carries the AS's aggregate demand, so a congested
+    /// peering link peaks in the local evening too — but the delay enters
+    /// the path *beyond* the ISP edge, where the last-mile estimator
+    /// (first-public minus last-private) cannot see it. Zero for ASes
+    /// without peering congestion.
+    pub fn peering_delay_ms(&self, asn: Asn, t: UnixTime) -> f64 {
+        let Some(sim_as) = self.as_for(asn) else {
+            return 0.0;
+        };
+        let Some(queue) = &sim_as.peering_queue else {
+            return 0.0;
+        };
+        queue.queuing_delay_ms(self.demand_shape(sim_as, t)) * self.day_factor(asn, t)
+    }
+
+    /// Route-change RTT level shift affecting an AS's upstream path at
+    /// `t`, ms. Zero before the shift instant and for ASes without one.
+    pub fn route_shift_ms(&self, asn: Asn, t: UnixTime) -> f64 {
+        self.as_for(asn)
+            .and_then(|a| a.config.route_shift)
+            .map_or(0.0, |rs| if t >= rs.at { rs.delta_ms } else { 0.0 })
     }
 
     /// Loss rate on an AS's given service at instant `t`.
@@ -407,6 +445,8 @@ impl WorldBuilder {
             .v6
             .as_ref()
             .map(|v| AccessTech::DedicatedFiber.queue_for_peak_delay(v.peak_queuing_ms));
+        let peering_queue = (config.peering_peak_ms > 0.0)
+            .then(|| QueueModel::calibrated(0.4, 0.9, config.peering_peak_ms, 80.0));
 
         self.asn_index.insert(config.asn, self.ases.len());
         self.ases.push(SimAs {
@@ -414,6 +454,7 @@ impl WorldBuilder {
             broadband_queue,
             mobile_queue,
             v6_queue,
+            peering_queue,
             broadband_prefix,
             infra_prefix,
             mobile_prefix,
@@ -717,6 +758,59 @@ mod tests {
         assert!(covid > normal * 1.8, "covid {covid} vs normal {normal}");
         assert!(w.is_lockdown(covid_evening));
         assert!(!w.is_lockdown(normal_evening));
+    }
+
+    #[test]
+    fn peering_congestion_peaks_without_touching_the_access_queue() {
+        let mut b = World::builder(17);
+        b.add_isp(
+            IspConfig::clean(65001, "PEER", "JP", TzOffset::JST).with_peering_congestion(5.0),
+        );
+        b.add_isp(IspConfig::clean(65002, "C", "JP", TzOffset::JST));
+        let w = b.build();
+        let evening = w.peering_delay_ms(65001, tokyo_evening());
+        let night = w.peering_delay_ms(65001, tokyo_night());
+        assert!(evening > 2.0, "peering evening delay {evening}");
+        assert!(night < evening * 0.3, "peering night delay {night}");
+        // The access segment of the same AS stays clean.
+        let access = w.queuing_delay_ms(65001, ServiceClass::BroadbandV4, tokyo_evening());
+        assert!(access < 0.3, "access queuing {access}");
+        // ASes without peering congestion (and unknown ASNs) report zero.
+        assert_eq!(w.peering_delay_ms(65002, tokyo_evening()), 0.0);
+        assert_eq!(w.peering_delay_ms(99999, tokyo_evening()), 0.0);
+    }
+
+    #[test]
+    fn route_shift_steps_at_the_configured_instant() {
+        let at = CivilDate::new(2019, 9, 18).midnight();
+        let mut b = World::builder(18);
+        b.add_isp(IspConfig::clean(65001, "SHIFT", "DE", TzOffset::CET).with_route_shift(at, 4.5));
+        let w = b.build();
+        assert_eq!(w.route_shift_ms(65001, at - 1), 0.0);
+        assert_eq!(w.route_shift_ms(65001, at), 4.5);
+        assert_eq!(w.route_shift_ms(65001, at + 86_400), 4.5);
+        assert_eq!(w.route_shift_ms(99999, at), 0.0);
+    }
+
+    #[test]
+    fn active_window_confines_congestion_to_the_episode() {
+        // Congestion exists only on Sept 18; Sept 17 and 19 evenings are clean.
+        let episode = TimeRange::new(
+            CivilDate::new(2019, 9, 18).midnight(),
+            CivilDate::new(2019, 9, 19).midnight(),
+        );
+        let mut b = World::builder(19);
+        b.add_isp(
+            IspConfig::legacy_pppoe(65001, "EPISODE", "JP", TzOffset::JST, 4.0)
+                .with_active_window(episode),
+        );
+        let w = b.build();
+        let inside = w.queuing_delay_ms(65001, ServiceClass::BroadbandV4, tokyo_evening());
+        let before = w.queuing_delay_ms(65001, ServiceClass::BroadbandV4, tokyo_evening() - 86_400);
+        let after = w.queuing_delay_ms(65001, ServiceClass::BroadbandV4, tokyo_evening() + 86_400);
+        assert!(inside > 2.0, "episode evening queuing {inside}");
+        assert_eq!(before, 0.0);
+        assert_eq!(after, 0.0);
     }
 
     #[test]

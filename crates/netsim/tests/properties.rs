@@ -6,25 +6,24 @@ use proptest::prelude::*;
 
 fn arb_profile() -> impl Strategy<Value = DiurnalProfile> {
     (
-        0.0f64..0.6,  // base
-        0.0f64..24.0, // peak hour
-        0.5f64..5.0,  // width
-        0.0f64..0.8,  // morning bump
-        6.0f64..12.0, // morning hour
-        0.8f64..1.3,  // weekend scale
-        -1.0f64..2.0, // weekend shift
-        0.0f64..0.7,  // plateau
+        (
+            0.0f64..0.6,  // base
+            0.0f64..24.0, // peak hour
+            0.5f64..5.0,  // width
+            0.0f64..0.8,  // morning bump
+            6.0f64..12.0, // morning hour
+        ),
+        (
+            0.8f64..1.3,  // weekend scale
+            0.0f64..1.2,  // weekday scale (0 = weekly-only)
+            -1.0f64..2.0, // weekend shift
+            0.0f64..0.7,  // plateau
+        ),
     )
         .prop_map(
             |(
-                base,
-                peak_hour,
-                peak_width_hours,
-                morning_bump,
-                morning_hour,
-                weekend_scale,
-                weekend_shift_hours,
-                daytime_plateau,
+                (base, peak_hour, peak_width_hours, morning_bump, morning_hour),
+                (weekend_scale, weekday_scale, weekend_shift_hours, daytime_plateau),
             )| {
                 DiurnalProfile {
                     base,
@@ -33,6 +32,7 @@ fn arb_profile() -> impl Strategy<Value = DiurnalProfile> {
                     morning_bump,
                     morning_hour,
                     weekend_scale,
+                    weekday_scale,
                     weekend_shift_hours,
                     daytime_plateau,
                 }

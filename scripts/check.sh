@@ -29,6 +29,15 @@ cargo test -q --workspace
 echo "==> ingest smoke (BENCH_SMOKE=1 scripts/bench_ingest.sh)"
 BENCH_SMOKE=1 sh scripts/bench_ingest.sh
 
+# Fleet smoke: generate a small scenario fleet from the checked-in spec
+# (deterministic corpus + primed snapshot), classify it cold and warm
+# (byte-identical), and score the verdicts against the ground-truth
+# sidecar with the CI gates armed — recall >= 0.7 on the planted
+# congested ASes, zero false positives on the adversarial
+# peering-congestion ASes.
+echo "==> fleet smoke (BENCH_SMOKE=1 scripts/bench_fleet.sh)"
+BENCH_SMOKE=1 sh scripts/bench_fleet.sh
+
 # Observability smoke: simulate a small fixture and classify it with
 # --trace/--stats-out/--populations-csv, validating the artefacts (valid
 # trace JSON, balanced spans, golden stats key set) in-process — no jq.
@@ -206,4 +215,4 @@ else
     echo "==> serve smoke skipped (curl not found)"
 fi
 
-echo "OK: fmt, clippy, benches, tests, observability, serve, loadgen and ops smoke all green"
+echo "OK: fmt, clippy, benches, tests, observability, fleet, serve, loadgen and ops smoke all green"
